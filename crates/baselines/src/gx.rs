@@ -1,0 +1,125 @@
+//! The Great-Expectations-style baseline (§4.1.4): the "data assistant"
+//! suggests four constraint families —
+//!
+//! 1. table row count within a range (table-level: cannot pinpoint cells),
+//! 2. column unique-value count within a range (column-level: cannot
+//!    pinpoint cells),
+//! 3. column values not null,
+//! 4. column values null,
+//!
+//! then validation marks violating cells where a cell-level interpretation
+//! exists. Suggested from the dirty data the not-null/null constraints are
+//! self-consistent, so almost nothing fires — reproducing the paper's
+//! "GX has a near-zero F1-Score". The [`Gx::oracle`] mode suggests from
+//! the clean tables instead (GX-Oracle), which catches exactly the
+//! missing-value errors and nothing else.
+
+use crate::{Budget, ErrorDetector};
+use matelda_table::value::is_null;
+use matelda_table::{CellId, CellMask, Lake, Labeler, Table};
+
+/// The GX-style baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Gx {
+    /// When set, constraints are extracted from this clean lake
+    /// (the unrealistic GX-Oracle configuration).
+    clean_reference: Option<Lake>,
+}
+
+/// Suggested constraints for one column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ColumnExpectation {
+    /// `expect_column_values_to_not_be_null`.
+    not_null: bool,
+    /// `expect_column_values_to_be_null` (suggested on all-null columns).
+    null: bool,
+}
+
+impl Gx {
+    /// Standard GX: constraints suggested from the dirty data itself.
+    pub fn new() -> Self {
+        Self { clean_reference: None }
+    }
+
+    /// GX-Oracle: constraints suggested from the clean ground truth.
+    pub fn oracle(clean: Lake) -> Self {
+        Self { clean_reference: Some(clean) }
+    }
+
+    fn suggest(table: &Table, col: usize) -> ColumnExpectation {
+        let values = &table.columns[col].values;
+        let nulls = values.iter().filter(|v| is_null(v)).count();
+        ColumnExpectation {
+            // The assistant suggests not-null only when the profiled data
+            // is fully populated.
+            not_null: nulls == 0 && !values.is_empty(),
+            null: !values.is_empty() && nulls == values.len(),
+        }
+    }
+}
+
+impl ErrorDetector for Gx {
+    fn name(&self) -> String {
+        if self.clean_reference.is_some() { "GX-Oracle".to_string() } else { "GX".to_string() }
+    }
+
+    fn detect(&self, lake: &Lake, _labeler: &mut dyn Labeler, _budget: Budget) -> CellMask {
+        let mut mask = CellMask::empty(lake);
+        for (t, table) in lake.tables.iter().enumerate() {
+            for c in 0..table.n_cols() {
+                let source: &Table = match &self.clean_reference {
+                    Some(clean) => &clean.tables[t],
+                    None => table,
+                };
+                let exp = Self::suggest(source, c);
+                for (r, v) in table.columns[c].values.iter().enumerate() {
+                    let violates = (exp.not_null && is_null(v)) || (exp.null && !is_null(v));
+                    if violates {
+                        mask.set(CellId::new(t, r, c), true);
+                    }
+                }
+            }
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matelda_table::{Column, Oracle};
+
+    fn dirty_lake() -> (Lake, Lake) {
+        let clean = Lake::new(vec![Table::new(
+            "t",
+            vec![Column::new("a", ["1", "2", "3", "4"]), Column::new("b", ["x", "y", "z", "w"])],
+        )]);
+        let mut dirty = clean.clone();
+        *dirty.tables[0].cell_mut(1, 0) = "".into(); // injected MV
+        *dirty.tables[0].cell_mut(2, 1) = "zz".into(); // injected typo
+        (dirty, clean)
+    }
+
+    #[test]
+    fn dirty_profiling_misses_the_mv() {
+        let (dirty, _) = dirty_lake();
+        let truth = CellMask::empty(&dirty);
+        let mut o = Oracle::new(&truth);
+        // Column a contains a null, so not-null is NOT suggested: nothing
+        // fires — the paper's near-zero GX.
+        let mask = Gx::new().detect(&dirty, &mut o, Budget::per_table(0.0));
+        assert_eq!(mask.count(), 0);
+    }
+
+    #[test]
+    fn oracle_profiling_catches_only_missing_values() {
+        let (dirty, clean) = dirty_lake();
+        let truth = CellMask::empty(&dirty);
+        let mut o = Oracle::new(&truth);
+        let mask = Gx::oracle(clean).detect(&dirty, &mut o, Budget::per_table(0.0));
+        assert_eq!(mask.count(), 1);
+        assert!(mask.get(CellId::new(0, 1, 0)), "the MV is caught");
+        // The typo is invisible to null-constraints.
+        assert!(!mask.get(CellId::new(0, 2, 1)));
+    }
+}

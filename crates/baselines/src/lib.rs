@@ -1,0 +1,102 @@
+//! # matelda-baselines
+//!
+//! Every baseline system the paper compares against (§4.1.4), rebuilt in
+//! Rust:
+//!
+//! * [`raha`] — the single-table semi-supervised state of the art
+//!   (Mahdavi et al., SIGMOD 2019): per-column detector-strategy
+//!   ensembles, per-column cell clustering, tuple-based labeling, label
+//!   propagation, per-column gradient boosting. Plus the paper's four
+//!   budget-distribution variants: **Standard**, **RandomTables (RT)**,
+//!   **2LabelsPerCol (2LPC)**, **20LabelsPerCol (20LPC)**.
+//! * [`aspell`] — the dictionary spell checker run over every cell.
+//! * [`unidetect`] — Uni-Detect-style unsupervised detection, pre-trained
+//!   on a clean corpus for high precision / low recall.
+//! * [`holodetect`] — HoloDetect-style few-shot learning with data
+//!   augmentation; per-table, deliberately the most expensive system.
+//! * [`deequ`] — Deequ-style constraint suggestion + validation
+//!   (completeness, type consistency, length/magnitude ranges), with an
+//!   `-Oracle` mode that suggests from the clean data.
+//! * [`gx`] — Great-Expectations-style data-assistant constraints (row
+//!   count, unique count, null / not-null), also with an `-Oracle` mode.
+//!
+//! All systems speak the common [`ErrorDetector`] interface so the
+//! experiment harness can sweep them uniformly.
+
+pub mod aspell;
+pub mod deequ;
+pub mod gx;
+pub mod holodetect;
+pub mod raha;
+pub mod unidetect;
+
+use matelda_table::{CellMask, Lake, Labeler};
+
+/// Budget handed to a detection system, in the units the paper's x-axes
+/// use: labeled tuples per table (fractions allowed — 0.5 means one tuple
+/// for every second table).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Budget {
+    /// Average labeled tuples per table.
+    pub tuples_per_table: f64,
+}
+
+impl Budget {
+    /// Convenience constructor.
+    pub fn per_table(tuples_per_table: f64) -> Self {
+        Self { tuples_per_table }
+    }
+
+    /// Total tuple budget over a lake.
+    pub fn total_tuples(&self, lake: &Lake) -> usize {
+        (self.tuples_per_table * lake.n_tables() as f64).round() as usize
+    }
+
+    /// Total cell budget over a lake (a labeled tuple labels all its
+    /// cells; the per-table column counts convert tuples to cells).
+    pub fn total_cells(&self, lake: &Lake) -> usize {
+        let avg_cols = if lake.n_tables() == 0 {
+            0.0
+        } else {
+            lake.n_columns() as f64 / lake.n_tables() as f64
+        };
+        (self.tuples_per_table * lake.n_tables() as f64 * avg_cols).round() as usize
+    }
+}
+
+/// A uniform interface over Matelda, the Raha variants and the
+/// unsupervised baselines, consumed by the experiment harness.
+pub trait ErrorDetector {
+    /// Display name used in the experiment tables.
+    fn name(&self) -> String;
+
+    /// Detects errors in `lake` within `budget`, drawing labels from
+    /// `labeler`. Unsupervised systems ignore both.
+    fn detect(&self, lake: &Lake, labeler: &mut dyn Labeler, budget: Budget) -> CellMask;
+
+    /// Whether the system can run at the given budget (Raha-Standard and
+    /// HoloDetect need at least one labeled tuple per table).
+    fn applicable(&self, _lake: &Lake, _budget: Budget) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matelda_table::{Column, Table};
+
+    #[test]
+    fn budget_conversions() {
+        let lake = Lake::new(vec![
+            Table::new("a", vec![Column::new("x", ["1"]), Column::new("y", ["2"])]),
+            Table::new("b", vec![Column::new("z", ["3"]); 4]),
+        ]);
+        let b = Budget::per_table(2.0);
+        assert_eq!(b.total_tuples(&lake), 4);
+        // 2 tables * 2 tuples * 3 avg cols = 12 cells.
+        assert_eq!(b.total_cells(&lake), 12);
+        let half = Budget::per_table(0.5);
+        assert_eq!(half.total_tuples(&lake), 1);
+    }
+}

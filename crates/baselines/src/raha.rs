@@ -1,0 +1,441 @@
+//! The Raha baseline (Mahdavi et al., SIGMOD 2019) and the paper's four
+//! budget-distribution variants (§4.1.4).
+//!
+//! Raha is strictly single-table and column-specific, which is exactly the
+//! contrast the paper draws with Matelda (§2.3):
+//!
+//! * per column it instantiates a *strategy ensemble* — TF-histogram and
+//!   Gaussian outlier sweeps, one **bag-of-characters checker per
+//!   character of the column's alphabet**, and one FD-violation detector
+//!   per candidate unary FD involving the column — so feature vectors
+//!   have a different length in every column and cannot be compared
+//!   across columns, let alone tables;
+//! * cells of each column are clustered hierarchically and labels are
+//!   drawn tuple-at-a-time, propagated within clusters, and fed to one
+//!   gradient-boosting model per column.
+
+use crate::{Budget, ErrorDetector};
+use matelda_cluster::agglomerative;
+use matelda_detect::outlier::{gaussian_flags, histogram_flags};
+use matelda_fd::violating_rows;
+use matelda_ml::{GradientBoostingClassifier, GradientBoostingConfig};
+use matelda_table::{CellId, CellMask, Lake, Labeler, Table};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, HashSet};
+
+/// The paper's Raha budget-distribution schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RahaVariant {
+    /// Raha-Standard: the same number of labeled tuples for every table;
+    /// needs ≥ 1 tuple per table to be applicable.
+    Standard,
+    /// Raha-RT: tables are shuffled and receive one labeled tuple each in
+    /// sequence until the cell budget runs out; tables wider than the
+    /// remaining budget are skipped.
+    RandomTables,
+    /// Raha-2LPC: random columns receive two cell labels each until the
+    /// budget runs out; other columns stay untreated.
+    TwoLabelsPerCol,
+    /// Raha-20LPC: like 2LPC with twenty labels per chosen column.
+    TwentyLabelsPerCol,
+}
+
+/// The Raha baseline system.
+#[derive(Debug, Clone)]
+pub struct Raha {
+    /// Budget scheme.
+    pub variant: RahaVariant,
+    /// Seed for table/column shuffling.
+    pub seed: u64,
+    /// Classifier hyperparameters.
+    pub gbm: GradientBoostingConfig,
+    /// Cap on bag-of-characters checkers per column (the most frequent
+    /// characters; Raha instantiates one per character).
+    pub max_char_checkers: usize,
+}
+
+impl Raha {
+    /// Creates the given variant with default hyperparameters.
+    pub fn new(variant: RahaVariant) -> Self {
+        Self { variant, seed: 0, gbm: GradientBoostingConfig::default(), max_char_checkers: 24 }
+    }
+}
+
+/// Raha's column-specific feature matrix: one row per cell of the column.
+/// Vector length varies per column (outliers + alphabet + FDs).
+pub fn column_strategy_features(table: &Table, col: usize, max_chars: usize) -> Vec<Vec<f32>> {
+    let values = &table.columns[col].values;
+    let n = values.len();
+    let mut features: Vec<Vec<f32>> = vec![Vec::new(); n];
+
+    // Outlier strategies (shared with Matelda's detectors).
+    let hist = histogram_flags(values);
+    let gauss = gaussian_flags(values, table.columns[col].data_type());
+    for r in 0..n {
+        features[r].extend(hist[r].iter().map(|&b| f32::from(u8::from(b))));
+        features[r].extend(gauss[r].iter().map(|&b| f32::from(u8::from(b))));
+    }
+
+    // Bag-of-characters checkers: one per (frequent) character of the
+    // column alphabet — the column-specific feature family Matelda
+    // cannot afford (§2.3).
+    let mut char_freq: BTreeMap<char, usize> = BTreeMap::new();
+    for v in values {
+        for ch in v.chars() {
+            *char_freq.entry(ch).or_insert(0) += 1;
+        }
+    }
+    let mut alphabet: Vec<(char, usize)> = char_freq.into_iter().collect();
+    alphabet.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    alphabet.truncate(max_chars);
+    for (ch, _) in &alphabet {
+        for (r, v) in values.iter().enumerate() {
+            features[r].push(f32::from(u8::from(v.contains(*ch))));
+        }
+    }
+
+    // FD-violation strategies: all candidate unary FDs a -> col.
+    for a in 0..table.n_cols() {
+        if a == col {
+            continue;
+        }
+        let viol: HashSet<usize> = violating_rows(table, a, col).into_iter().collect();
+        for (r, f) in features.iter_mut().enumerate() {
+            f.push(f32::from(u8::from(viol.contains(&r))));
+        }
+    }
+    features
+}
+
+/// Per-table Raha: clusters each column's cells, labels `tuple_budget`
+/// tuples chosen for cluster coverage, propagates within clusters, trains
+/// one model per column and predicts every cell. Marks hits into `mask`.
+pub fn detect_table(
+    lake: &Lake,
+    t: usize,
+    tuple_budget: usize,
+    labeler: &mut dyn Labeler,
+    gbm: &GradientBoostingConfig,
+    max_chars: usize,
+    mask: &mut CellMask,
+) {
+    let table = &lake[t];
+    let (n, m) = (table.n_rows(), table.n_cols());
+    if n == 0 || m == 0 || tuple_budget == 0 {
+        return;
+    }
+    let features: Vec<Vec<Vec<f32>>> =
+        (0..m).map(|c| column_strategy_features(table, c, max_chars)).collect();
+
+    // Per-column clustering; cluster count grows with the budget (Raha
+    // refines its clustering one level per labeled tuple; finer clusters
+    // keep propagation pure — labeled tuples cover several clusters each
+    // because every tuple labels one cell in every column).
+    let k = (2 * tuple_budget + 1).clamp(2, n);
+    let clusters: Vec<Vec<usize>> = (0..m)
+        .map(|c| {
+            agglomerative(n, k, |a, b| {
+                features[c][a]
+                    .iter()
+                    .zip(&features[c][b])
+                    .map(|(x, y)| f64::from((x - y) * (x - y)))
+                    .sum::<f64>()
+                    .sqrt()
+            })
+        })
+        .collect();
+
+    // Tuple sampling: greedily pick the tuple covering the most
+    // still-unlabeled (column, cluster) pairs.
+    let mut covered: HashSet<(usize, usize)> = HashSet::new();
+    let mut labeled_rows: Vec<usize> = Vec::new();
+    for _ in 0..tuple_budget.min(n) {
+        let best_row = (0..n)
+            .filter(|r| !labeled_rows.contains(r))
+            .max_by_key(|&r| {
+                (0..m).filter(|&c| !covered.contains(&(c, clusters[c][r]))).count()
+            });
+        let Some(row) = best_row else { break };
+        labeled_rows.push(row);
+        for c in 0..m {
+            covered.insert((c, clusters[c][row]));
+        }
+    }
+
+    // Label the chosen tuples cell by cell; propagate by cluster majority.
+    let mut cluster_votes: Vec<BTreeMap<usize, (usize, usize)>> = vec![BTreeMap::new(); m]; // cluster -> (pos, neg)
+    for &r in &labeled_rows {
+        for c in 0..m {
+            let verdict = labeler.label(CellId::new(t, r, c));
+            let entry = cluster_votes[c].entry(clusters[c][r]).or_insert((0, 0));
+            if verdict {
+                entry.0 += 1;
+            } else {
+                entry.1 += 1;
+            }
+        }
+    }
+
+    for c in 0..m {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for r in 0..n {
+            if let Some(&(pos, neg)) = cluster_votes[c].get(&clusters[c][r]) {
+                x.push(features[c][r].clone());
+                y.push(pos > neg);
+            }
+        }
+        let model = GradientBoostingClassifier::fit(&x, &y, gbm);
+        for r in 0..n {
+            if model.predict(&features[c][r]) {
+                mask.set(CellId::new(t, r, c), true);
+            }
+        }
+    }
+}
+
+/// Column-level Raha used by the 2LPC/20LPC variants: clusters the cells
+/// of one column into `n_labels` folds, labels each fold representative,
+/// propagates and classifies that column only.
+pub fn detect_column(
+    lake: &Lake,
+    t: usize,
+    c: usize,
+    n_labels: usize,
+    labeler: &mut dyn Labeler,
+    gbm: &GradientBoostingConfig,
+    max_chars: usize,
+    mask: &mut CellMask,
+) {
+    let table = &lake[t];
+    let n = table.n_rows();
+    if n == 0 || n_labels == 0 {
+        return;
+    }
+    let features = column_strategy_features(table, c, max_chars);
+    let k = n_labels.clamp(1, n);
+    let clusters = agglomerative(n, k, |a, b| {
+        features[a]
+            .iter()
+            .zip(&features[b])
+            .map(|(x, y)| f64::from((x - y) * (x - y)))
+            .sum::<f64>()
+            .sqrt()
+    });
+    let n_clusters = clusters.iter().copied().max().unwrap_or(0) + 1;
+
+    // Representative per cluster: the first member (deterministic); label
+    // it and propagate to the cluster.
+    let mut labels: Vec<Option<bool>> = vec![None; n];
+    for cl in 0..n_clusters {
+        let Some(rep) = (0..n).find(|&r| clusters[r] == cl) else { continue };
+        let verdict = labeler.label(CellId::new(t, rep, c));
+        for r in 0..n {
+            if clusters[r] == cl {
+                labels[r] = Some(verdict);
+            }
+        }
+    }
+
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for r in 0..n {
+        if let Some(lab) = labels[r] {
+            x.push(features[r].clone());
+            y.push(lab);
+        }
+    }
+    let model = GradientBoostingClassifier::fit(&x, &y, gbm);
+    for (r, f) in features.iter().enumerate() {
+        if model.predict(f) {
+            mask.set(CellId::new(t, r, c), true);
+        }
+    }
+}
+
+impl ErrorDetector for Raha {
+    fn name(&self) -> String {
+        match self.variant {
+            RahaVariant::Standard => "Raha-Standard",
+            RahaVariant::RandomTables => "Raha-RT",
+            RahaVariant::TwoLabelsPerCol => "Raha-2LPC",
+            RahaVariant::TwentyLabelsPerCol => "Raha-20LPC",
+        }
+        .to_string()
+    }
+
+    fn applicable(&self, _lake: &Lake, budget: Budget) -> bool {
+        match self.variant {
+            RahaVariant::Standard => budget.tuples_per_table >= 1.0,
+            _ => true,
+        }
+    }
+
+    fn detect(&self, lake: &Lake, labeler: &mut dyn Labeler, budget: Budget) -> CellMask {
+        let mut mask = CellMask::empty(lake);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        match self.variant {
+            RahaVariant::Standard => {
+                let per_table = budget.tuples_per_table.floor().max(1.0) as usize;
+                for t in 0..lake.n_tables() {
+                    detect_table(lake, t, per_table, labeler, &self.gbm, self.max_char_checkers, &mut mask);
+                }
+            }
+            RahaVariant::RandomTables => {
+                // Allocate one tuple per table in shuffled order, cycling
+                // until the cell budget is exhausted; tables wider than the
+                // remaining budget are skipped. Each table then runs Raha
+                // once with its accumulated tuple count.
+                let mut remaining = budget.total_cells(lake);
+                let mut order: Vec<usize> = (0..lake.n_tables()).collect();
+                order.shuffle(&mut rng);
+                let mut tuples = vec![0usize; lake.n_tables()];
+                'outer: loop {
+                    let mut progressed = false;
+                    for &t in &order {
+                        let cost = lake[t].n_cols();
+                        if cost == 0 || lake[t].n_rows() == 0 || tuples[t] >= lake[t].n_rows() {
+                            continue;
+                        }
+                        if cost > remaining {
+                            continue; // "skip tables with more columns than labels"
+                        }
+                        tuples[t] += 1;
+                        remaining -= cost;
+                        progressed = true;
+                        if remaining == 0 {
+                            break 'outer;
+                        }
+                    }
+                    if !progressed {
+                        break;
+                    }
+                }
+                for (t, &n_tuples) in tuples.iter().enumerate() {
+                    if n_tuples > 0 {
+                        detect_table(lake, t, n_tuples, labeler, &self.gbm, self.max_char_checkers, &mut mask);
+                    }
+                }
+            }
+            RahaVariant::TwoLabelsPerCol | RahaVariant::TwentyLabelsPerCol => {
+                let per_col = if self.variant == RahaVariant::TwoLabelsPerCol { 2 } else { 20 };
+                let mut remaining = budget.total_cells(lake);
+                let mut columns: Vec<(usize, usize)> = (0..lake.n_tables())
+                    .flat_map(|t| (0..lake[t].n_cols()).map(move |c| (t, c)))
+                    .filter(|&(t, _)| lake[t].n_rows() > 0)
+                    .collect();
+                columns.shuffle(&mut rng);
+                for (t, c) in columns {
+                    if remaining < per_col {
+                        break;
+                    }
+                    detect_column(lake, t, c, per_col, labeler, &self.gbm, self.max_char_checkers, &mut mask);
+                    remaining -= per_col;
+                }
+            }
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matelda_lakegen::QuintetLake;
+    use matelda_table::{Confusion, Oracle};
+
+    fn small_lake() -> matelda_lakegen::GeneratedLake {
+        QuintetLake { rows_per_table: 50, error_rate: 0.1 }.generate(17)
+    }
+
+    #[test]
+    fn column_features_vary_in_length_across_columns() {
+        let lake = small_lake();
+        let f0 = column_strategy_features(&lake.dirty[0], 0, 24);
+        let f1 = column_strategy_features(&lake.dirty[0], 1, 24);
+        assert_eq!(f0.len(), lake.dirty[0].n_rows());
+        // Different alphabets -> different vector lengths (the paper's
+        // §2.3 argument for why Raha features don't transfer).
+        assert_ne!(f0[0].len(), f1[0].len());
+    }
+
+    #[test]
+    fn standard_detects_with_enough_labels() {
+        let lake = small_lake();
+        let mut oracle = Oracle::new(&lake.errors);
+        let raha = Raha::new(RahaVariant::Standard);
+        let mask = raha.detect(&lake.dirty, &mut oracle, Budget::per_table(10.0));
+        let conf = Confusion::from_masks(&mask, &lake.errors);
+        assert!(conf.f1() > 0.3, "Raha-Standard f1 {} too low", conf.f1());
+        // Tuple labels: 5 tables * 10 tuples * ~6 cols each.
+        assert!(oracle.labels_used() >= 250, "{}", oracle.labels_used());
+    }
+
+    #[test]
+    fn standard_not_applicable_below_one_tuple_per_table() {
+        let lake = small_lake();
+        let raha = Raha::new(RahaVariant::Standard);
+        assert!(!raha.applicable(&lake.dirty, Budget::per_table(0.5)));
+        assert!(raha.applicable(&lake.dirty, Budget::per_table(1.0)));
+    }
+
+    #[test]
+    fn rt_respects_cell_budget() {
+        let lake = small_lake();
+        let mut oracle = Oracle::new(&lake.errors);
+        let raha = Raha::new(RahaVariant::RandomTables);
+        let budget = Budget::per_table(0.4); // 2 tuples over 5 tables
+        let _ = raha.detect(&lake.dirty, &mut oracle, budget);
+        assert!(oracle.labels_used() <= budget.total_cells(&lake.dirty));
+        assert!(oracle.labels_used() > 0);
+    }
+
+    #[test]
+    fn lpc_variants_treat_few_columns_with_high_precision_labels() {
+        let lake = small_lake();
+        let budget = Budget::per_table(2.0);
+        let mut o2 = Oracle::new(&lake.errors);
+        let two = Raha::new(RahaVariant::TwoLabelsPerCol);
+        let m2 = two.detect(&lake.dirty, &mut o2, budget);
+        let mut o20 = Oracle::new(&lake.errors);
+        let twenty = Raha::new(RahaVariant::TwentyLabelsPerCol);
+        let m20 = twenty.detect(&lake.dirty, &mut o20, budget);
+        // Both stay within the cell budget.
+        let cells = budget.total_cells(&lake.dirty);
+        assert!(o2.labels_used() <= cells);
+        assert!(o20.labels_used() <= cells);
+        // 20LPC covers fewer columns than 2LPC (same budget, 10x cost per
+        // column) -> typically lower recall.
+        let c2 = Confusion::from_masks(&m2, &lake.errors);
+        let c20 = Confusion::from_masks(&m20, &lake.errors);
+        assert!(c20.recall() <= c2.recall() + 0.05, "20LPC recall {} vs 2LPC {}", c20.recall(), c2.recall());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let lake = small_lake();
+        let run = || {
+            let mut oracle = Oracle::new(&lake.errors);
+            Raha::new(RahaVariant::RandomTables).detect(&lake.dirty, &mut oracle, Budget::per_table(1.0))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn empty_lake_is_fine() {
+        let lake = Lake::default();
+        let truth = CellMask::empty(&lake);
+        let mut oracle = Oracle::new(&truth);
+        for v in [
+            RahaVariant::Standard,
+            RahaVariant::RandomTables,
+            RahaVariant::TwoLabelsPerCol,
+            RahaVariant::TwentyLabelsPerCol,
+        ] {
+            let m = Raha::new(v).detect(&lake, &mut oracle, Budget::per_table(2.0));
+            assert_eq!(m.count(), 0);
+        }
+    }
+}

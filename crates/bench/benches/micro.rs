@@ -1,0 +1,118 @@
+//! Criterion micro-benchmarks for the substrates: embedding throughput,
+//! HDBSCAN, mini-batch k-means, cell featurization, gradient boosting,
+//! FD mining, and an end-to-end pipeline sample.
+//!
+//! Run with `cargo bench -p matelda-bench`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use matelda_cluster::kmeans::MiniBatchKMeansConfig;
+use matelda_cluster::{Hdbscan, MiniBatchKMeans};
+use matelda_core::{Matelda, MateldaConfig};
+use matelda_detect::{featurize_table, FeatureConfig};
+use matelda_embed::encoder::{embed_table, HashedEncoder};
+use matelda_fd::mine_approximate;
+use matelda_lakegen::{domains, QuintetLake};
+use matelda_ml::{GradientBoostingClassifier, GradientBoostingConfig};
+use matelda_table::Oracle;
+use matelda_text::SpellChecker;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn sample_table(rows: usize) -> matelda_table::Table {
+    let mut rng = StdRng::seed_from_u64(7);
+    domains::HOSPITAL.generate("bench", rows, &mut rng)
+}
+
+fn bench_embedding(c: &mut Criterion) {
+    let encoder = HashedEncoder::default();
+    let table = sample_table(200);
+    c.bench_function("embed_table_200rows", |b| {
+        b.iter(|| black_box(embed_table(&encoder, black_box(&table))))
+    });
+}
+
+fn bench_hdbscan(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let points: Vec<Vec<f32>> = (0..200)
+        .map(|i| {
+            let cx = (i % 4) as f32 * 10.0;
+            vec![cx + rng.random_range(-0.5..0.5), rng.random_range(-0.5..0.5)]
+        })
+        .collect();
+    c.bench_function("hdbscan_200points", |b| {
+        b.iter(|| black_box(Hdbscan::default().fit_points(black_box(&points))))
+    });
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let points: Vec<Vec<f32>> =
+        (0..2000).map(|_| (0..33).map(|_| rng.random_range(0.0..1.0)).collect()).collect();
+    c.bench_function("minibatch_kmeans_2000x33_k16", |b| {
+        b.iter(|| {
+            let cfg = MiniBatchKMeansConfig { k: 16, seed: 1, ..Default::default() };
+            black_box(MiniBatchKMeans::new(cfg).fit(black_box(&points)))
+        })
+    });
+}
+
+fn bench_featurize(c: &mut Criterion) {
+    let table = sample_table(200);
+    let spell = SpellChecker::english();
+    let cfg = FeatureConfig::default();
+    c.bench_function("featurize_table_200x7", |b| {
+        b.iter(|| black_box(featurize_table(black_box(&table), &spell, &cfg)))
+    });
+}
+
+fn bench_gbm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let x: Vec<Vec<f32>> =
+        (0..200).map(|_| (0..33).map(|_| rng.random_range(0.0..1.0)).collect()).collect();
+    let y: Vec<bool> = (0..200).map(|i| i % 7 == 0).collect();
+    c.bench_function("gbm_fit_200x33", |b| {
+        b.iter(|| {
+            black_box(GradientBoostingClassifier::fit(
+                black_box(&x),
+                black_box(&y),
+                &GradientBoostingConfig::default(),
+            ))
+        })
+    });
+}
+
+fn bench_fd_mining(c: &mut Criterion) {
+    let table = sample_table(300);
+    c.bench_function("mine_approximate_300x7", |b| {
+        b.iter(|| black_box(mine_approximate(black_box(&table), 0.3)))
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let lake = QuintetLake { rows_per_table: 40, ..Default::default() }.generate(1);
+    c.bench_function("matelda_pipeline_quintet40", |b| {
+        b.iter_batched(
+            || Oracle::new(&lake.errors),
+            |mut oracle| {
+                black_box(
+                    Matelda::new(MateldaConfig::default()).detect(&lake.dirty, &mut oracle, 60),
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(10);
+    targets = bench_embedding,
+    bench_hdbscan,
+    bench_kmeans,
+    bench_featurize,
+    bench_gbm,
+    bench_fd_mining,
+    bench_pipeline
+);
+criterion_main!(micro);

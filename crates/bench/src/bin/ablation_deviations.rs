@@ -1,0 +1,87 @@
+//! Deviation ablation — empirical justification of the three places this
+//! reproduction deliberately departs from the paper's letter (all
+//! documented in DESIGN.md §6 and in the module docs):
+//!
+//! 1. **TF normalization** — Eq. 2 normalizes a value's count by the sum
+//!    of all rows' counts; at realistic row counts every ratio collapses
+//!    below θ = 0.1 and the histogram flags saturate. We normalize by the
+//!    column's max count instead.
+//! 2. **FD violation marking** — whole violating groups (Raha's
+//!    column-local convention) vs only the minority rows.
+//! 3. **Missing-value dimension** — the extra nullness bit that restores
+//!    the visibility Raha's bag-of-characters gives empty cells.
+//!
+//! For each deviation the binary compares this repo's choice against the
+//! literal alternative on Quintet and DGov-NTR at 2 labeled tuples/table.
+
+use matelda_baselines::Budget;
+use matelda_bench::{pct, run_once, MateldaSystem, Scale, TextTable};
+use matelda_core::MateldaConfig;
+use matelda_detect::FeatureConfig;
+use matelda_lakegen::{DGovLake, GeneratedLake, QuintetLake};
+
+fn with_features(label: &str, features: FeatureConfig) -> MateldaSystem {
+    MateldaSystem::variant(label, MateldaConfig { features, ..Default::default() })
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let seeds = scale.seeds();
+    println!("=== Deviation ablation (scale: {scale:?}, 2 tuples/table) ===\n");
+
+    let n = scale.tables(143);
+    let lakes: Vec<(&str, Box<dyn Fn(u64) -> GeneratedLake>)> = vec![
+        ("Quintet", Box::new(|s| QuintetLake::default().generate(s))),
+        ("DGov-NTR", Box::new(move |s| DGovLake::ntr().with_n_tables(n).generate(s))),
+    ];
+    let budget = Budget::per_table(2.0);
+
+    let variants = || {
+        vec![
+            with_features("this repo", FeatureConfig::default()),
+            with_features(
+                "Eq.2-literal TF",
+                FeatureConfig { tf_eq2_literal: true, ..FeatureConfig::default() },
+            ),
+            with_features(
+                "whole-group FD",
+                FeatureConfig { fd_whole_group: true, ..FeatureConfig::default() },
+            ),
+            with_features(
+                "no null flag",
+                FeatureConfig { no_null_flag: true, ..FeatureConfig::default() },
+            ),
+        ]
+    };
+
+    let mut table = TextTable::new(&["lake", "variant", "precision", "recall", "f1"]);
+    for (lake_name, generate) in &lakes {
+        for sys in variants() {
+            let (mut p, mut r, mut f1) = (0.0, 0.0, 0.0);
+            for seed in 1..=seeds {
+                let lake = generate(seed);
+                let res = run_once(&sys, &lake, budget);
+                p += res.precision;
+                r += res.recall;
+                f1 += res.f1;
+            }
+            let k = seeds as f64;
+            table.row(vec![
+                lake_name.to_string(),
+                sys.label.clone(),
+                pct(p / k),
+                pct(r / k),
+                pct(f1 / k),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    let _ = table.write_csv("ablation_deviations");
+
+    println!("expected: Eq.2-literal TF and no-null-flag cost F1 outright.");
+    println!("whole-group FD marking is close (sometimes ahead) in *total* F1 but");
+    println!("collapses the recall of FD-violation errors to near zero (the clean");
+    println!("majority cells share the dirty minority's signature) — which would");
+    println!("break the paper's §4.4 claim that the rule features capture VAD");
+    println!("errors across tables. Minority marking stays the default.");
+}

@@ -1,0 +1,82 @@
+//! Figure 4 — Ablation study on error types.
+//!
+//! Matelda vs. the strongest baselines (Raha variants, ASPELL) on three
+//! single-error-type lakes: DGov-NO (numeric outliers only), DGov-Typo
+//! (formatting & typos only), DGov-RV (rule violations only), sweeping the
+//! labeling budget.
+
+use matelda_baselines::aspell::Aspell;
+use matelda_baselines::raha::{Raha, RahaVariant};
+use matelda_baselines::{Budget, ErrorDetector};
+use matelda_bench::{budget_axis, pct, run_once, MateldaSystem, Scale, TextTable};
+use matelda_lakegen::{DGovLake, GeneratedLake};
+use std::collections::BTreeMap;
+
+fn main() {
+    let scale = Scale::from_env();
+    let seeds = scale.seeds();
+    println!("=== Figure 4: Ablation on error types (scale: {scale:?}) ===\n");
+
+    let n = scale.tables(96);
+    let lakes: Vec<(&str, Box<dyn Fn(u64) -> GeneratedLake>)> = vec![
+        ("DGov-NO", Box::new(move |s| DGovLake::no().with_n_tables(n).generate(s))),
+        ("DGov-Typo", Box::new(move |s| DGovLake::typo().with_n_tables(n).generate(s))),
+        ("DGov-RV", Box::new(move |s| DGovLake::rv().with_n_tables(n).generate(s))),
+    ];
+    let budgets = budget_axis(scale);
+
+    for (lake_name, generate) in &lakes {
+        let mut acc: BTreeMap<(String, usize), (f64, usize)> = BTreeMap::new();
+        let mut order: Vec<String> = Vec::new();
+        for seed in 1..=seeds {
+            let lake = generate(seed);
+            let systems: Vec<Box<dyn ErrorDetector>> = vec![
+                Box::new(MateldaSystem::standard()),
+                Box::new(Raha::new(RahaVariant::Standard)),
+                Box::new(Raha::new(RahaVariant::RandomTables)),
+                Box::new(Raha::new(RahaVariant::TwoLabelsPerCol)),
+                Box::new(Raha::new(RahaVariant::TwentyLabelsPerCol)),
+                Box::new(Aspell::new()),
+            ];
+            if order.is_empty() {
+                order = systems.iter().map(|s| s.name()).collect();
+            }
+            for (bi, &b) in budgets.iter().enumerate() {
+                let budget = Budget::per_table(b);
+                for system in &systems {
+                    if !system.applicable(&lake.dirty, budget) {
+                        continue;
+                    }
+                    let r = run_once(system.as_ref(), &lake, budget);
+                    let e = acc.entry((system.name(), bi)).or_insert((0.0, 0));
+                    e.0 += r.f1;
+                    e.1 += 1;
+                }
+            }
+        }
+
+        let mut header = vec!["tuples/table".to_string()];
+        header.extend(order.iter().cloned());
+        let mut table = TextTable::new(&header.iter().map(|s| &**s).collect::<Vec<_>>());
+        for (bi, &b) in budgets.iter().enumerate() {
+            let mut row = vec![format!("{b}")];
+            for name in &order {
+                row.push(match acc.get(&(name.clone(), bi)) {
+                    Some((f1, k)) if *k > 0 => pct(f1 / *k as f64),
+                    _ => "n/a".to_string(),
+                });
+            }
+            table.row(row);
+        }
+        println!("--- {lake_name}: F1 vs labeling budget ---");
+        println!("{}", table.render());
+        let _ = table.write_csv(&format!("fig4_{}", lake_name.to_lowercase().replace('-', "_")));
+    }
+
+    println!("shape checks (paper §4.4):");
+    println!("  * DGov-NO: Matelda above all baselines at every budget;");
+    println!("  * DGov-Typo: Matelda ahead once ~0.3 tuples/table are labeled; Raha");
+    println!("    catches up above ~15;");
+    println!("  * DGov-RV: Matelda ≈ Raha from 1 tuple/table on (rule features work");
+    println!("    across tables); ASPELL flat and weak everywhere except DGov-Typo.");
+}

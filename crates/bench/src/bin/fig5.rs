@@ -1,0 +1,79 @@
+//! Figure 5 — Folding strategies impact.
+//!
+//! Matelda-Standard vs. Matelda-EDF (extreme domain folding: everything in
+//! one fold) vs. Matelda+SF (syntactic refinement of domain folds) on
+//! Quintet and DGov-NTR, plus the runtime note §4.5.1 makes (EDF is up to
+//! ~8× slower on DGov-NTR).
+
+use matelda_baselines::Budget;
+use matelda_bench::{budget_axis, pct, run_once, secs, MateldaSystem, Scale, TextTable};
+use matelda_core::{DomainFolding, MateldaConfig};
+use matelda_lakegen::{DGovLake, GeneratedLake, QuintetLake};
+use std::collections::BTreeMap;
+
+fn variants() -> Vec<MateldaSystem> {
+    vec![
+        MateldaSystem::standard(),
+        MateldaSystem::variant(
+            "Matelda-EDF",
+            MateldaConfig { domain_folding: DomainFolding::ExtremeDomainFolding, ..Default::default() },
+        ),
+        MateldaSystem::variant(
+            "Matelda+SF",
+            MateldaConfig { syntactic_refinement: true, ..Default::default() },
+        ),
+    ]
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let seeds = scale.seeds();
+    println!("=== Figure 5: Folding strategies impact (scale: {scale:?}) ===\n");
+
+    let n = scale.tables(143);
+    let lakes: Vec<(&str, Box<dyn Fn(u64) -> GeneratedLake>)> = vec![
+        ("Quintet", Box::new(|s| QuintetLake::default().generate(s))),
+        ("DGov-NTR", Box::new(move |s| DGovLake::ntr().with_n_tables(n).generate(s))),
+    ];
+    let budgets = budget_axis(scale);
+
+    for (lake_name, generate) in &lakes {
+        let mut acc: BTreeMap<(String, usize), (f64, f64, usize)> = BTreeMap::new();
+        for seed in 1..=seeds {
+            let lake = generate(seed);
+            for (bi, &b) in budgets.iter().enumerate() {
+                for sys in variants() {
+                    let r = run_once(&sys, &lake, Budget::per_table(b));
+                    let e = acc.entry((sys.label.clone(), bi)).or_insert((0.0, 0.0, 0));
+                    e.0 += r.f1;
+                    e.1 += r.seconds;
+                    e.2 += 1;
+                }
+            }
+        }
+        let names: Vec<String> = variants().iter().map(|v| v.label.clone()).collect();
+        let mut header = vec!["tuples/table".to_string()];
+        header.extend(names.iter().cloned());
+        header.extend(names.iter().map(|n| format!("{n} [time]")));
+        let mut table = TextTable::new(&header.iter().map(|s| &**s).collect::<Vec<_>>());
+        for (bi, &b) in budgets.iter().enumerate() {
+            let mut row = vec![format!("{b}")];
+            for name in &names {
+                let (f1, _, k) = acc[&(name.clone(), bi)];
+                row.push(pct(f1 / k as f64));
+            }
+            for name in &names {
+                let (_, s, k) = acc[&(name.clone(), bi)];
+                row.push(secs(s / k as f64));
+            }
+            table.row(row);
+        }
+        println!("--- {lake_name}: F1 and runtime per folding strategy ---");
+        println!("{}", table.render());
+        let _ = table.write_csv(&format!("fig5_{}", lake_name.to_lowercase().replace('-', "_")));
+    }
+
+    println!("shape checks (paper §4.5.1): on Quintet the three variants are close;");
+    println!("on DGov-NTR Standard ≈ EDF in F1 and both beat +SF; EDF runtime is a");
+    println!("multiple of Standard's on DGov-NTR (paper: up to 8×).");
+}

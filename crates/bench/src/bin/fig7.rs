@@ -1,0 +1,77 @@
+//! Figure 7 — Quality-based cell folding: feature impact analysis.
+//!
+//! Matelda with all features vs. Matelda-NOD (no outlier detectors), -NTD
+//! (no typo detector) and -NRVD (no rule-violation detectors) on Quintet
+//! and DGov-NTR.
+
+use matelda_baselines::Budget;
+use matelda_bench::{budget_axis, pct, run_once, MateldaSystem, Scale, TextTable};
+use matelda_core::MateldaConfig;
+use matelda_detect::FeatureConfig;
+use matelda_lakegen::{DGovLake, GeneratedLake, QuintetLake};
+use std::collections::BTreeMap;
+
+fn variants() -> Vec<MateldaSystem> {
+    vec![
+        MateldaSystem::standard(),
+        MateldaSystem::variant(
+            "Matelda-NOD",
+            MateldaConfig { features: FeatureConfig::no_outliers(), ..Default::default() },
+        ),
+        MateldaSystem::variant(
+            "Matelda-NTD",
+            MateldaConfig { features: FeatureConfig::no_typos(), ..Default::default() },
+        ),
+        MateldaSystem::variant(
+            "Matelda-NRVD",
+            MateldaConfig { features: FeatureConfig::no_rules(), ..Default::default() },
+        ),
+    ]
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let seeds = scale.seeds();
+    println!("=== Figure 7: Quality-fold feature ablations (scale: {scale:?}) ===\n");
+
+    let n = scale.tables(143);
+    let lakes: Vec<(&str, Box<dyn Fn(u64) -> GeneratedLake>)> = vec![
+        ("Quintet", Box::new(|s| QuintetLake::default().generate(s))),
+        ("DGov-NTR", Box::new(move |s| DGovLake::ntr().with_n_tables(n).generate(s))),
+    ];
+    let budgets = budget_axis(scale);
+
+    for (lake_name, generate) in &lakes {
+        let mut acc: BTreeMap<(String, usize), (f64, usize)> = BTreeMap::new();
+        for seed in 1..=seeds {
+            let lake = generate(seed);
+            for (bi, &b) in budgets.iter().enumerate() {
+                for sys in variants() {
+                    let r = run_once(&sys, &lake, Budget::per_table(b));
+                    let e = acc.entry((sys.label.clone(), bi)).or_insert((0.0, 0));
+                    e.0 += r.f1;
+                    e.1 += 1;
+                }
+            }
+        }
+        let names: Vec<String> = variants().iter().map(|v| v.label.clone()).collect();
+        let mut header = vec!["tuples/table".to_string()];
+        header.extend(names.iter().cloned());
+        let mut table = TextTable::new(&header.iter().map(|s| &**s).collect::<Vec<_>>());
+        for (bi, &b) in budgets.iter().enumerate() {
+            let mut row = vec![format!("{b}")];
+            for name in &names {
+                let (f1, k) = acc[&(name.clone(), bi)];
+                row.push(pct(f1 / k as f64));
+            }
+            table.row(row);
+        }
+        println!("--- {lake_name}: F1 per feature configuration ---");
+        println!("{}", table.render());
+        let _ = table.write_csv(&format!("fig7_{}", lake_name.to_lowercase().replace('-', "_")));
+    }
+
+    println!("shape checks (paper §4.5.3): full features win for most budgets;");
+    println!("NOD is consistently the worst ablation; the typo/rule detectors'");
+    println!("benefit grows with budget on DGov-NTR.");
+}

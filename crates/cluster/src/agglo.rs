@@ -1,0 +1,100 @@
+//! Average-linkage agglomerative clustering with a fixed cluster count.
+//!
+//! Used by the Raha baseline (the Raha paper clusters each column's cells
+//! hierarchically and cuts the dendrogram at the labeling budget) and
+//! available as the "hierarchical clustering of prior work" alternative the
+//! paper contrasts with mini-batch k-means in §3.3.2.
+
+/// Clusters `n` items into (at most) `k` clusters using average linkage on
+/// the given distance function. Returns dense labels `0..k'`, `k' <= k`.
+///
+/// Naive O(n³) implementation — Raha applies it per column, where n is the
+/// number of rows of one table, which keeps this comfortably fast.
+pub fn agglomerative(n: usize, k: usize, dist: impl Fn(usize, usize) -> f64) -> Vec<usize> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = k.clamp(1, n);
+    // Active cluster list: member indices per cluster.
+    let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    // Pairwise item distances, cached once.
+    let d: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..n).map(|j| if i == j { 0.0 } else { dist(i, j) }).collect())
+        .collect();
+
+    let avg = |a: &[usize], b: &[usize]| -> f64 {
+        let mut s = 0.0;
+        for &x in a {
+            for &y in b {
+                s += d[x][y];
+            }
+        }
+        s / (a.len() * b.len()) as f64
+    };
+
+    while clusters.len() > k {
+        // Find the closest pair under average linkage; ties break to the
+        // lexicographically smallest (i, j) for determinism.
+        let mut best = (0usize, 1usize);
+        let mut best_d = f64::INFINITY;
+        for i in 0..clusters.len() {
+            for j in (i + 1)..clusters.len() {
+                let dd = avg(&clusters[i], &clusters[j]);
+                if dd < best_d {
+                    best_d = dd;
+                    best = (i, j);
+                }
+            }
+        }
+        let merged = clusters.remove(best.1);
+        clusters[best.0].extend(merged);
+    }
+
+    let mut labels = vec![0usize; n];
+    for (c, members) in clusters.iter().enumerate() {
+        for &m in members {
+            labels[m] = c;
+        }
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_degenerate() {
+        assert!(agglomerative(0, 3, |_, _| 0.0).is_empty());
+        assert_eq!(agglomerative(1, 3, |_, _| 0.0), vec![0]);
+        // k = 0 clamps to 1: everything in one cluster.
+        assert_eq!(agglomerative(3, 0, |_, _| 1.0), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn splits_line_into_two_groups() {
+        let pos: [f64; 6] = [0.0, 0.1, 0.2, 9.0, 9.1, 9.2];
+        let labels = agglomerative(6, 2, |a, b| (pos[a] - pos[b]).abs());
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_eq!(labels[4], labels[5]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn k_equals_n_keeps_singletons() {
+        let labels = agglomerative(4, 4, |_, _| 1.0);
+        let mut sorted = labels.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let pos: [f64; 5] = [0.0, 5.0, 5.1, 10.0, 0.2];
+        let l1 = agglomerative(5, 3, |a, b| (pos[a] - pos[b]).abs());
+        let l2 = agglomerative(5, 3, |a, b| (pos[a] - pos[b]).abs());
+        assert_eq!(l1, l2);
+    }
+}

@@ -1,0 +1,450 @@
+//! HDBSCAN* — hierarchical density-based clustering (Campello, Moulavi,
+//! Zimek, Sander 2015), implemented in full:
+//!
+//! 1. core distances (k-NN with `k = min_samples`, self included),
+//! 2. mutual-reachability distances,
+//! 3. minimum spanning tree over the mutual-reachability graph (Prim,
+//!    dense O(n²) — the paper clusters *tables*, so n is at most a few
+//!    thousand),
+//! 4. single-linkage dendrogram,
+//! 5. condensed tree with `min_cluster_size`,
+//! 6. excess-of-mass (EOM) cluster extraction by stability.
+//!
+//! The paper's domain folding runs this with `min_cluster_size = 2`
+//! (§4.1.3); outlying tables come back as [`NOISE`] and are promoted to
+//! singleton domain folds by the pipeline.
+
+use crate::linkage::{single_linkage, Merge};
+
+/// Label for points not assigned to any cluster.
+pub const NOISE: isize = -1;
+
+/// HDBSCAN configuration.
+#[derive(Debug, Clone)]
+pub struct HdbscanConfig {
+    /// Smallest size a condensed cluster may have. The paper sets 2.
+    pub min_cluster_size: usize,
+    /// Neighborhood size for core distances; `None` means
+    /// `min_cluster_size` (the library default).
+    pub min_samples: Option<usize>,
+    /// If true, the dendrogram root itself may be selected when it is the
+    /// most stable cluster (library's `allow_single_cluster`).
+    pub allow_single_cluster: bool,
+}
+
+impl Default for HdbscanConfig {
+    fn default() -> Self {
+        Self { min_cluster_size: 2, min_samples: None, allow_single_cluster: false }
+    }
+}
+
+/// The HDBSCAN* estimator.
+///
+/// ```
+/// use matelda_cluster::{Hdbscan, NOISE};
+/// let points = vec![
+///     vec![0.0, 0.0], vec![0.1, 0.0], vec![0.0, 0.1],
+///     vec![9.0, 9.0], vec![9.1, 9.0], vec![9.0, 9.1],
+///     vec![100.0, -50.0], // loner
+/// ];
+/// let labels = Hdbscan::default().fit_points(&points);
+/// assert_eq!(labels[0], labels[1]);
+/// assert_ne!(labels[0], labels[3]);
+/// assert_eq!(labels[6], NOISE);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Hdbscan {
+    config: HdbscanConfig,
+}
+
+/// One edge of the condensed tree.
+#[derive(Debug, Clone, Copy)]
+struct CondensedEdge {
+    parent: usize,
+    child: usize,
+    lambda: f64,
+    size: usize,
+}
+
+impl Hdbscan {
+    /// Creates an estimator with the given configuration.
+    pub fn new(config: HdbscanConfig) -> Self {
+        Self { config }
+    }
+
+    /// Clusters `n` items given a pairwise distance function. Returns one
+    /// label per item; unclustered items get [`NOISE`]. Cluster labels are
+    /// dense `0..k` and deterministic.
+    pub fn fit_with(&self, n: usize, dist: impl Fn(usize, usize) -> f64) -> Vec<isize> {
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![NOISE];
+        }
+        let mcs = self.config.min_cluster_size.max(2);
+        let min_samples = self.config.min_samples.unwrap_or(mcs).max(1).min(n);
+
+        // 1. Core distances: distance to the min_samples-th nearest
+        // neighbor, counting the point itself at distance 0.
+        let core = core_distances(n, &dist, min_samples);
+
+        // 2+3. MST over mutual reachability (computed on the fly).
+        let mreach = |a: usize, b: usize| dist(a, b).max(core[a]).max(core[b]);
+        let mut edges = prim_mst(n, mreach);
+        edges.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite distances"));
+
+        // 4. Single-linkage dendrogram.
+        let merges = single_linkage(n, &edges);
+
+        // 5. Condensed tree.
+        let condensed = condense(n, &merges, mcs);
+
+        // 6. Stability + EOM extraction.
+        let labels = extract_eom(n, &condensed, self.config.allow_single_cluster);
+        labels
+    }
+
+    /// Clusters points under Euclidean distance.
+    pub fn fit_points(&self, points: &[Vec<f32>]) -> Vec<isize> {
+        let d = |a: usize, b: usize| {
+            points[a]
+                .iter()
+                .zip(&points[b])
+                .map(|(x, y)| {
+                    let d = (*x - *y) as f64;
+                    d * d
+                })
+                .sum::<f64>()
+                .sqrt()
+        };
+        self.fit_with(points.len(), d)
+    }
+}
+
+fn core_distances(n: usize, dist: &impl Fn(usize, usize) -> f64, k: usize) -> Vec<f64> {
+    let mut core = vec![0.0; n];
+    let mut row = vec![0.0f64; n];
+    for i in 0..n {
+        for (j, r) in row.iter_mut().enumerate() {
+            *r = if i == j { 0.0 } else { dist(i, j) };
+        }
+        // k-th smallest including self (k >= 1).
+        let kth = k - 1;
+        row.select_nth_unstable_by(kth, |a, b| a.partial_cmp(b).expect("finite"));
+        core[i] = row[kth];
+    }
+    core
+}
+
+/// Dense Prim's algorithm; returns the n-1 MST edges.
+fn prim_mst(n: usize, dist: impl Fn(usize, usize) -> f64) -> Vec<(usize, usize, f64)> {
+    let mut in_tree = vec![false; n];
+    let mut best = vec![f64::INFINITY; n];
+    let mut best_from = vec![0usize; n];
+    let mut edges = Vec::with_capacity(n - 1);
+    in_tree[0] = true;
+    for j in 1..n {
+        best[j] = dist(0, j);
+        best_from[j] = 0;
+    }
+    for _ in 1..n {
+        let (next, _) = best
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| !in_tree[*j])
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("unvisited node remains");
+        in_tree[next] = true;
+        edges.push((best_from[next], next, best[next]));
+        for j in 0..n {
+            if !in_tree[j] {
+                let d = dist(next, j);
+                if d < best[j] {
+                    best[j] = d;
+                    best_from[j] = next;
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// Converts a merge distance to a density lambda, guarding zero distances.
+fn lambda_of(distance: f64) -> f64 {
+    if distance <= 1e-12 {
+        1e12
+    } else {
+        1.0 / distance
+    }
+}
+
+/// Condenses the single-linkage dendrogram: splits that produce two
+/// children of size >= `mcs` become new clusters; smaller children "fall
+/// out" of the parent cluster point by point.
+fn condense(n: usize, merges: &[Merge], mcs: usize) -> Vec<CondensedEdge> {
+    let root = 2 * n - 2; // scipy node id of the last merge
+    let node_size = |node: usize| if node < n { 1 } else { merges[node - n].size };
+    let leaves_under = |node: usize| -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![node];
+        while let Some(x) = stack.pop() {
+            if x < n {
+                out.push(x);
+            } else {
+                let m = merges[x - n];
+                stack.push(m.left);
+                stack.push(m.right);
+            }
+        }
+        out
+    };
+
+    let mut condensed = Vec::new();
+    let mut next_label = n + 1;
+    // (dendrogram node, condensed label of the cluster it belongs to)
+    let mut stack: Vec<(usize, usize)> = vec![(root, n)];
+    while let Some((node, label)) = stack.pop() {
+        if node < n {
+            continue;
+        }
+        let m = merges[node - n];
+        let lambda = lambda_of(m.distance);
+        let (ls, rs) = (node_size(m.left), node_size(m.right));
+        match (ls >= mcs, rs >= mcs) {
+            (true, true) => {
+                let (cl, cr) = (next_label, next_label + 1);
+                next_label += 2;
+                condensed.push(CondensedEdge { parent: label, child: cl, lambda, size: ls });
+                condensed.push(CondensedEdge { parent: label, child: cr, lambda, size: rs });
+                stack.push((m.left, cl));
+                stack.push((m.right, cr));
+            }
+            (true, false) => {
+                for p in leaves_under(m.right) {
+                    condensed.push(CondensedEdge { parent: label, child: p, lambda, size: 1 });
+                }
+                stack.push((m.left, label));
+            }
+            (false, true) => {
+                for p in leaves_under(m.left) {
+                    condensed.push(CondensedEdge { parent: label, child: p, lambda, size: 1 });
+                }
+                stack.push((m.right, label));
+            }
+            (false, false) => {
+                for p in leaves_under(m.left).into_iter().chain(leaves_under(m.right)) {
+                    condensed.push(CondensedEdge { parent: label, child: p, lambda, size: 1 });
+                }
+            }
+        }
+    }
+    condensed
+}
+
+/// Excess-of-mass cluster extraction: computes stabilities over the
+/// condensed tree, selects the most stable antichain, labels points.
+fn extract_eom(n: usize, condensed: &[CondensedEdge], allow_single_cluster: bool) -> Vec<isize> {
+    if condensed.is_empty() {
+        return vec![NOISE; n];
+    }
+    let max_label = condensed.iter().map(|e| e.parent.max(e.child)).max().expect("non-empty") + 1;
+
+    // Birth lambda of each cluster: lambda of the edge that created it;
+    // the root (cluster n) is born at lambda 0.
+    let mut birth = vec![0.0f64; max_label];
+    let mut parent_of = vec![usize::MAX; max_label];
+    for e in condensed {
+        if e.child >= n {
+            birth[e.child] = e.lambda;
+            parent_of[e.child] = e.parent;
+        }
+    }
+
+    // Stability: sum over departing mass of (lambda_departure - birth).
+    let mut stability = vec![0.0f64; max_label];
+    for e in condensed {
+        stability[e.parent] += e.size as f64 * (e.lambda - birth[e.parent]);
+    }
+
+    // Children clusters of each cluster.
+    let mut cluster_children: Vec<Vec<usize>> = vec![Vec::new(); max_label];
+    for e in condensed {
+        if e.child >= n {
+            cluster_children[e.parent].push(e.child);
+        }
+    }
+
+    // Bottom-up EOM: condensed labels are assigned increasing with depth,
+    // so descending id order visits children before parents.
+    let mut selected = vec![false; max_label];
+    let mut propagated = vec![0.0f64; max_label];
+    for c in (n..max_label).rev() {
+        let child_sum: f64 = cluster_children[c].iter().map(|&ch| propagated[ch]).sum();
+        let is_root = c == n;
+        if (!is_root || allow_single_cluster)
+            && (cluster_children[c].is_empty() || stability[c] >= child_sum)
+        {
+            selected[c] = true;
+            propagated[c] = stability[c].max(child_sum);
+        } else {
+            selected[c] = false;
+            propagated[c] = child_sum;
+        }
+    }
+    // Enforce an antichain: deselect descendants of selected clusters.
+    for c in n..max_label {
+        if selected[c] {
+            let mut stack = cluster_children[c].clone();
+            while let Some(d) = stack.pop() {
+                selected[d] = false;
+                stack.extend(cluster_children[d].iter().copied());
+            }
+        }
+    }
+
+    // Compact selected ids to 0..k in id order (deterministic).
+    let mut compact = vec![NOISE; max_label];
+    let mut k = 0isize;
+    for c in n..max_label {
+        if selected[c] {
+            compact[c] = k;
+            k += 1;
+        }
+    }
+
+    // Each point belongs to the nearest selected ancestor of the cluster
+    // it fell out of; no selected ancestor -> noise.
+    let mut labels = vec![NOISE; n];
+    for e in condensed {
+        if e.child < n {
+            let mut c = e.parent;
+            labels[e.child] = loop {
+                if selected[c] {
+                    break compact[c];
+                }
+                if parent_of[c] == usize::MAX {
+                    break NOISE;
+                }
+                c = parent_of[c];
+            };
+        }
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(center: (f32, f32), k: usize, spread: f32) -> Vec<Vec<f32>> {
+        // Deterministic ring of points around the center.
+        (0..k)
+            .map(|i| {
+                let a = i as f32 * 2.399963; // golden angle: no collinearity
+                vec![
+                    center.0 + spread * (1.0 + 0.1 * i as f32) * a.cos(),
+                    center.1 + spread * (1.0 + 0.1 * i as f32) * a.sin(),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let h = Hdbscan::default();
+        assert!(h.fit_points(&[]).is_empty());
+        assert_eq!(h.fit_points(&[vec![1.0, 2.0]]), vec![NOISE]);
+    }
+
+    #[test]
+    fn two_well_separated_blobs() {
+        let mut pts = blob((0.0, 0.0), 8, 0.05);
+        pts.extend(blob((10.0, 10.0), 8, 0.05));
+        let labels = Hdbscan::new(HdbscanConfig { min_cluster_size: 3, ..Default::default() })
+            .fit_points(&pts);
+        let a = labels[0];
+        let b = labels[8];
+        assert_ne!(a, NOISE);
+        assert_ne!(b, NOISE);
+        assert_ne!(a, b);
+        assert!(labels[..8].iter().all(|&l| l == a), "{labels:?}");
+        assert!(labels[8..].iter().all(|&l| l == b), "{labels:?}");
+    }
+
+    #[test]
+    fn far_outlier_is_noise() {
+        let mut pts = blob((0.0, 0.0), 10, 0.05);
+        pts.extend(blob((10.0, 0.0), 10, 0.05));
+        pts.push(vec![500.0, 500.0]);
+        let labels = Hdbscan::new(HdbscanConfig { min_cluster_size: 4, ..Default::default() })
+            .fit_points(&pts);
+        assert_eq!(*labels.last().expect("non-empty"), NOISE, "{labels:?}");
+        assert!(labels[..10].iter().all(|&l| l != NOISE));
+    }
+
+    #[test]
+    fn min_cluster_size_two_pairs_tables() {
+        // The paper's setting: clusters may be as small as two tables.
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![50.0, 50.0],
+            vec![50.1, 50.0],
+            vec![-80.0, 90.0], // loner
+        ];
+        let labels = Hdbscan::default().fit_points(&pts);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+        assert_ne!(labels[0], NOISE);
+        assert_eq!(labels[4], NOISE);
+    }
+
+    #[test]
+    fn all_identical_points_single_cluster_when_allowed() {
+        let pts = vec![vec![1.0, 1.0]; 6];
+        let cfg = HdbscanConfig { allow_single_cluster: true, ..Default::default() };
+        let labels = Hdbscan::new(cfg).fit_points(&pts);
+        assert!(labels.iter().all(|&l| l == 0), "{labels:?}");
+    }
+
+    #[test]
+    fn three_blobs_three_clusters() {
+        let mut pts = blob((0.0, 0.0), 6, 0.1);
+        pts.extend(blob((20.0, 0.0), 6, 0.1));
+        pts.extend(blob((0.0, 20.0), 6, 0.1));
+        let labels = Hdbscan::new(HdbscanConfig { min_cluster_size: 3, ..Default::default() })
+            .fit_points(&pts);
+        let distinct: std::collections::HashSet<_> =
+            labels.iter().filter(|&&l| l != NOISE).collect();
+        assert_eq!(distinct.len(), 3, "{labels:?}");
+    }
+
+    #[test]
+    fn labels_are_dense_from_zero() {
+        let mut pts = blob((0.0, 0.0), 5, 0.1);
+        pts.extend(blob((30.0, 0.0), 5, 0.1));
+        let labels = Hdbscan::new(HdbscanConfig { min_cluster_size: 3, ..Default::default() })
+            .fit_points(&pts);
+        let mut seen: Vec<isize> = labels.iter().copied().filter(|&l| l != NOISE).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen, vec![0, 1]);
+    }
+
+    #[test]
+    fn fit_with_custom_metric() {
+        // Distance on a line given by index gaps.
+        let d = |a: usize, b: usize| {
+            let pos: [f64; 6] = [0.0, 0.2, 0.4, 10.0, 10.2, 10.4];
+            (pos[a] - pos[b]) as f64
+        };
+        let labels = Hdbscan::new(HdbscanConfig { min_cluster_size: 3, ..Default::default() })
+            .fit_with(6, |a, b| d(a, b).abs());
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[5]);
+        assert_ne!(labels[0], labels[3]);
+    }
+}

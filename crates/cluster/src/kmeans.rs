@@ -1,0 +1,226 @@
+//! Mini-batch K-Means (Sculley, WWW 2010) with k-means++ seeding.
+//!
+//! This is the clustering step of quality-based cell folding (paper Alg. 1
+//! line 13): each domain fold's cells — embedded in the unified detector
+//! feature space — are folded into `k` quality folds, where `k` is that
+//! fold's share of the labeling budget. The paper picks mini-batch k-means
+//! over the hierarchical clustering of prior work for efficiency (§3.3.2)
+//! and sets the batch size to `256 × cores` (§4.1.3).
+
+use rand::rngs::StdRng;
+use rand::seq::index::sample;
+use rand::{Rng, SeedableRng};
+
+/// Mini-batch K-Means configuration.
+#[derive(Debug, Clone)]
+pub struct MiniBatchKMeansConfig {
+    /// Number of clusters. Clamped to the number of points at fit time.
+    pub k: usize,
+    /// Mini-batch size per iteration (paper: 256 × cores).
+    pub batch_size: usize,
+    /// Number of mini-batch iterations.
+    pub iterations: usize,
+    /// RNG seed; fits are deterministic given the seed.
+    pub seed: u64,
+}
+
+impl Default for MiniBatchKMeansConfig {
+    fn default() -> Self {
+        Self { k: 8, batch_size: 256, iterations: 100, seed: 0 }
+    }
+}
+
+/// Result of a fit: centers and per-point assignments.
+#[derive(Debug, Clone)]
+pub struct KMeansFit {
+    /// Final cluster centers, `k × dim`.
+    pub centers: Vec<Vec<f32>>,
+    /// Cluster index per input point.
+    pub assignments: Vec<usize>,
+}
+
+/// The estimator.
+///
+/// ```
+/// use matelda_cluster::kmeans::{MiniBatchKMeans, MiniBatchKMeansConfig};
+/// let points: Vec<Vec<f32>> = (0..40)
+///     .map(|i| vec![if i % 2 == 0 { 0.0 } else { 10.0 }, i as f32 * 0.01])
+///     .collect();
+/// let fit = MiniBatchKMeans::new(MiniBatchKMeansConfig { k: 2, ..Default::default() })
+///     .fit(&points);
+/// assert_eq!(fit.centers.len(), 2);
+/// assert_ne!(fit.assignments[0], fit.assignments[1]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MiniBatchKMeans {
+    config: MiniBatchKMeansConfig,
+}
+
+impl MiniBatchKMeans {
+    /// Creates an estimator with the given configuration.
+    pub fn new(config: MiniBatchKMeansConfig) -> Self {
+        Self { config }
+    }
+
+    /// Fits on `points` (row-major, equal dims). Returns centers and
+    /// assignments. With fewer points than `k`, every point becomes its
+    /// own center.
+    pub fn fit(&self, points: &[Vec<f32>]) -> KMeansFit {
+        let n = points.len();
+        if n == 0 {
+            return KMeansFit { centers: Vec::new(), assignments: Vec::new() };
+        }
+        let k = self.config.k.clamp(1, n);
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut centers = kmeanspp_init(points, k, &mut rng);
+
+        // Sculley's algorithm: per-center counts give decaying step sizes.
+        let mut counts = vec![0usize; k];
+        let batch = self.config.batch_size.min(n).max(1);
+        for _ in 0..self.config.iterations {
+            let idx = sample(&mut rng, n, batch);
+            // Cache nearest centers for the whole batch first (the paper's
+            // algorithm caches before updating).
+            let nearest: Vec<usize> =
+                idx.iter().map(|i| nearest_center(&points[i], &centers)).collect();
+            for (i, &c) in idx.iter().zip(&nearest) {
+                counts[c] += 1;
+                let eta = 1.0 / counts[c] as f32;
+                for (cv, pv) in centers[c].iter_mut().zip(&points[i]) {
+                    *cv += eta * (*pv - *cv);
+                }
+            }
+        }
+
+        let assignments = points.iter().map(|p| nearest_center(p, &centers)).collect();
+        KMeansFit { centers, assignments }
+    }
+}
+
+/// Index of the nearest center by squared Euclidean distance; ties go to
+/// the lowest index (determinism).
+pub fn nearest_center(point: &[f32], centers: &[Vec<f32>]) -> usize {
+    let mut best = 0usize;
+    let mut best_d = f32::INFINITY;
+    for (c, center) in centers.iter().enumerate() {
+        let d = sq_dist(point, center);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    best
+}
+
+/// Squared Euclidean distance.
+pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// k-means++ seeding (Arthur & Vassilvitskii 2007).
+fn kmeanspp_init(points: &[Vec<f32>], k: usize, rng: &mut StdRng) -> Vec<Vec<f32>> {
+    let n = points.len();
+    let mut centers: Vec<Vec<f32>> = Vec::with_capacity(k);
+    centers.push(points[rng.random_range(0..n)].clone());
+    let mut d2: Vec<f32> = points.iter().map(|p| sq_dist(p, &centers[0])).collect();
+    while centers.len() < k {
+        let total: f32 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All remaining points coincide with existing centers; pick
+            // uniformly to still reach k centers.
+            rng.random_range(0..n)
+        } else {
+            let mut target = rng.random_range(0.0..total);
+            let mut chosen = n - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                if target < d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
+            }
+            chosen
+        };
+        centers.push(points[next].clone());
+        let latest = centers.last().expect("just pushed").clone();
+        for (i, p) in points.iter().enumerate() {
+            let d = sq_dist(p, &latest);
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+    centers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f32>> {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            pts.push(vec![0.0 + 0.01 * i as f32, 0.0]);
+            pts.push(vec![10.0 + 0.01 * i as f32, 10.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let fit = MiniBatchKMeans::new(MiniBatchKMeansConfig { k: 2, seed: 3, ..Default::default() })
+            .fit(&two_blobs());
+        assert_eq!(fit.centers.len(), 2);
+        // Points alternate blob A / blob B; assignments must too.
+        let a = fit.assignments[0];
+        let b = fit.assignments[1];
+        assert_ne!(a, b);
+        for (i, &l) in fit.assignments.iter().enumerate() {
+            assert_eq!(l, if i % 2 == 0 { a } else { b });
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = two_blobs();
+        let cfg = MiniBatchKMeansConfig { k: 4, seed: 42, ..Default::default() };
+        let f1 = MiniBatchKMeans::new(cfg.clone()).fit(&pts);
+        let f2 = MiniBatchKMeans::new(cfg).fit(&pts);
+        assert_eq!(f1.assignments, f2.assignments);
+        assert_eq!(f1.centers, f2.centers);
+    }
+
+    #[test]
+    fn k_clamped_to_n_points() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        let fit = MiniBatchKMeans::new(MiniBatchKMeansConfig { k: 10, ..Default::default() }).fit(&pts);
+        assert_eq!(fit.centers.len(), 2);
+        assert_ne!(fit.assignments[0], fit.assignments[1]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let fit = MiniBatchKMeans::default().fit(&[]);
+        assert!(fit.centers.is_empty());
+        assert!(fit.assignments.is_empty());
+    }
+
+    #[test]
+    fn identical_points_do_not_crash_kmeanspp() {
+        let pts = vec![vec![5.0, 5.0]; 10];
+        let fit = MiniBatchKMeans::new(MiniBatchKMeansConfig { k: 3, ..Default::default() }).fit(&pts);
+        assert_eq!(fit.centers.len(), 3);
+        assert!(fit.assignments.iter().all(|&a| a < 3));
+    }
+
+    #[test]
+    fn assignments_point_to_nearest_center() {
+        let pts = two_blobs();
+        let fit = MiniBatchKMeans::new(MiniBatchKMeansConfig { k: 3, seed: 7, ..Default::default() })
+            .fit(&pts);
+        for (p, &a) in pts.iter().zip(&fit.assignments) {
+            assert_eq!(a, nearest_center(p, &fit.centers));
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Single-linkage dendrogram machinery: union-find and the scipy-style
+//! merge list shared by HDBSCAN and the agglomerative fallback.
+
+/// Disjoint-set with path compression and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self { parent: (0..n).collect(), size: vec![1; n] }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets of `a` and `b`; returns the new root, or `None` if
+    /// they were already joined.
+    pub fn union(&mut self, a: usize, b: usize) -> Option<usize> {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return None;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        Some(big)
+    }
+
+    /// Size of `x`'s set.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r]
+    }
+}
+
+/// One merge of a single-linkage dendrogram. Leaves are `0..n`; merge `i`
+/// creates internal node `n + i` (scipy convention).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    /// First merged node id.
+    pub left: usize,
+    /// Second merged node id.
+    pub right: usize,
+    /// Linkage distance of this merge.
+    pub distance: f64,
+    /// Number of leaves under the new node.
+    pub size: usize,
+}
+
+/// Builds a single-linkage dendrogram from edges sorted ascending by
+/// weight. `edges` must connect all `n` nodes (an MST does).
+///
+/// # Panics
+/// Panics if the edges do not connect the graph.
+pub fn single_linkage(n: usize, sorted_edges: &[(usize, usize, f64)]) -> Vec<Merge> {
+    if n <= 1 {
+        return Vec::new();
+    }
+    let mut uf = UnionFind::new(2 * n - 1);
+    // node_of[root] = current dendrogram node id for that set.
+    let mut node_of: Vec<usize> = (0..2 * n - 1).collect();
+    let mut merges = Vec::with_capacity(n - 1);
+    let mut next_node = n;
+    for &(a, b, d) in sorted_edges {
+        let (ra, rb) = (uf.find(a), uf.find(b));
+        if ra == rb {
+            continue;
+        }
+        let (na, nb) = (node_of[ra], node_of[rb]);
+        let size = uf.set_size(a) + uf.set_size(b);
+        let root = uf.union(a, b).expect("distinct roots merge");
+        node_of[root] = next_node;
+        merges.push(Merge { left: na, right: nb, distance: d, size });
+        next_node += 1;
+    }
+    assert_eq!(merges.len(), n - 1, "edges do not span all {n} points");
+    merges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_find_merges_and_sizes() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.set_size(0), 1);
+        assert!(uf.union(0, 1).is_some());
+        assert!(uf.union(0, 1).is_none());
+        assert_eq!(uf.find(0), uf.find(1));
+        assert_ne!(uf.find(0), uf.find(2));
+        uf.union(2, 3);
+        uf.union(1, 3);
+        assert_eq!(uf.set_size(0), 4);
+    }
+
+    #[test]
+    fn linkage_on_chain() {
+        // 0 -1- 1 -2- 2: merges at 1 then 2.
+        let merges = single_linkage(3, &[(0, 1, 1.0), (1, 2, 2.0)]);
+        assert_eq!(merges.len(), 2);
+        assert_eq!(merges[0].distance, 1.0);
+        assert_eq!(merges[0].size, 2);
+        assert_eq!(merges[1].size, 3);
+        // Second merge joins node 3 (the first merge) with leaf 2.
+        assert!(merges[1].left == 3 || merges[1].right == 3);
+    }
+
+    #[test]
+    fn linkage_trivial_sizes() {
+        assert!(single_linkage(0, &[]).is_empty());
+        assert!(single_linkage(1, &[]).is_empty());
+        let m = single_linkage(2, &[(0, 1, 0.5)]);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].size, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "edges do not span")]
+    fn disconnected_edges_panic() {
+        let _ = single_linkage(3, &[(0, 1, 1.0)]);
+    }
+}

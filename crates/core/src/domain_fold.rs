@@ -1,0 +1,439 @@
+//! Step 1 — domain-based cell folding (paper §3.2) and its variants.
+
+use matelda_cluster::{Hdbscan, HdbscanConfig, NOISE};
+use matelda_detect::column_syntactic_features;
+use matelda_embed::encoder::{embed_table, embed_table_sampled, HashedEncoder};
+use matelda_embed::vector::cosine_distance;
+use matelda_table::Lake;
+use matelda_text::jaccard;
+use rand::rngs::StdRng;
+use rand::seq::index::sample;
+use rand::SeedableRng;
+
+/// How to build domain folds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DomainFolding {
+    /// The standard pipeline: serialized-table embeddings clustered with
+    /// HDBSCAN (`min_cluster_size = 2`); outlier tables become singleton
+    /// folds.
+    Hdbscan,
+    /// Matelda-EDF (§4.5.1): skip domain folding, one fold holds all
+    /// tables ("extreme domain folding").
+    ExtremeDomainFolding,
+    /// Matelda-RS (§4.5.2): embed only this fraction of each table's rows
+    /// (the paper uses 1%; at laptop scale we default to larger samples)
+    /// before the standard HDBSCAN step.
+    RowSampling(f64),
+    /// Matelda-Santos (§4.5.2): a unionability score stands in for the
+    /// embedding — per table pair, the average best Jaccard overlap of
+    /// column value-sets — then HDBSCAN on (1 − score). Much slower, same
+    /// folds on well-separated lakes, reproducing the paper's finding.
+    SantosLike,
+    /// Extension: the SANTOS-style unionability score computed over
+    /// MinHash sketches of the column value-sets instead of exact sets —
+    /// O(k) per column pair instead of O(values), the standard data-lake
+    /// discovery trick. The argument is the sketch size `k`.
+    SantosSketch(usize),
+}
+
+/// A fold: a set of `(table, column)` pairs whose cells share labels.
+///
+/// For plain domain folding a fold contains *all* columns of its member
+/// tables; the `+SF` syntactic refinement (§4.5.1) splits a domain fold
+/// into column groups, which this representation expresses directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fold {
+    /// Member columns as `(table index, column index)`.
+    pub columns: Vec<(usize, usize)>,
+}
+
+impl Fold {
+    /// Number of member columns — the budget-allocation weight
+    /// (Alg. 1 line 12 splits Λ by column share).
+    pub fn n_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Distinct member tables, ascending.
+    pub fn tables(&self) -> Vec<usize> {
+        let mut t: Vec<usize> = self.columns.iter().map(|&(t, _)| t).collect();
+        t.sort_unstable();
+        t.dedup();
+        t
+    }
+}
+
+/// Groups the lake's tables into domain folds according to `strategy`.
+/// Every table lands in exactly one fold; every fold carries all columns
+/// of its tables (apply [`refine_syntactic`] afterwards for `+SF`).
+pub fn domain_folds(
+    lake: &Lake,
+    strategy: DomainFolding,
+    encoder: &HashedEncoder,
+    seed: u64,
+) -> Vec<Fold> {
+    let n = lake.n_tables();
+    if n == 0 {
+        return Vec::new();
+    }
+    let table_groups: Vec<Vec<usize>> = match strategy {
+        DomainFolding::ExtremeDomainFolding => vec![(0..n).collect()],
+        DomainFolding::Hdbscan => cluster_tables(lake, &embeddings(lake, encoder)),
+        DomainFolding::RowSampling(frac) => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let vecs: Vec<Vec<f32>> = lake
+                .tables
+                .iter()
+                .map(|t| {
+                    let rows = t.n_rows();
+                    let k = ((rows as f64 * frac).ceil() as usize).clamp(1, rows.max(1));
+                    if rows == 0 {
+                        embed_table(encoder, t)
+                    } else {
+                        let mut idx: Vec<usize> = sample(&mut rng, rows, k).into_iter().collect();
+                        idx.sort_unstable();
+                        embed_table_sampled(encoder, t, &idx)
+                    }
+                })
+                .collect();
+            cluster_tables(lake, &vecs)
+        }
+        DomainFolding::SantosLike => {
+            let sims = unionability_matrix(lake);
+            let labels = Hdbscan::new(HdbscanConfig::default())
+                .fit_with(n, |a, b| (1.0 - sims[a][b]).max(0.0));
+            groups_from_labels(&labels, n)
+        }
+        DomainFolding::SantosSketch(k) => {
+            let sims = unionability_matrix_sketched(lake, k.max(16));
+            let labels = Hdbscan::new(HdbscanConfig::default())
+                .fit_with(n, |a, b| (1.0 - sims[a][b]).max(0.0));
+            groups_from_labels(&labels, n)
+        }
+    };
+    table_groups
+        .into_iter()
+        .map(|tables| Fold {
+            columns: tables
+                .iter()
+                .flat_map(|&t| (0..lake[t].n_cols()).map(move |c| (t, c)))
+                .collect(),
+        })
+        .collect()
+}
+
+fn embeddings(lake: &Lake, encoder: &HashedEncoder) -> Vec<Vec<f32>> {
+    lake.tables.iter().map(|t| embed_table(encoder, t)).collect()
+}
+
+fn cluster_tables(lake: &Lake, vecs: &[Vec<f32>]) -> Vec<Vec<usize>> {
+    let n = lake.n_tables();
+    if n == 1 {
+        return vec![vec![0]];
+    }
+    let labels = Hdbscan::new(HdbscanConfig::default())
+        .fit_with(n, |a, b| f64::from(cosine_distance(&vecs[a], &vecs[b])));
+    groups_from_labels(&labels, n)
+}
+
+/// Converts HDBSCAN labels to table groups; noise tables become singleton
+/// folds ("each of the outlying tables is clustered into an individual
+/// group", §3.2).
+fn groups_from_labels(labels: &[isize], n: usize) -> Vec<Vec<usize>> {
+    let k = labels.iter().copied().filter(|&l| l != NOISE).max().map_or(0, |m| m as usize + 1);
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); k];
+    let mut singletons = Vec::new();
+    for (t, &l) in labels.iter().enumerate().take(n) {
+        if l == NOISE {
+            singletons.push(vec![t]);
+        } else {
+            groups[l as usize].push(t);
+        }
+    }
+    groups.retain(|g| !g.is_empty());
+    groups.extend(singletons);
+    groups
+}
+
+/// The SANTOS-like unionability score between all table pairs: for each
+/// column of `a`, the best Jaccard overlap with any column of `b`
+/// (value-set level), averaged — symmetric by averaging both directions.
+/// Deliberately expensive (full value-set comparisons), mirroring the
+/// paper's observation that the SANTOS variant is ~4× slower.
+pub fn unionability_matrix(lake: &Lake) -> Vec<Vec<f64>> {
+    let n = lake.n_tables();
+    // Tokenized value sets per column per table.
+    let col_values: Vec<Vec<Vec<String>>> = lake
+        .tables
+        .iter()
+        .map(|t| {
+            t.columns
+                .iter()
+                .map(|c| {
+                    let mut vals: Vec<String> =
+                        c.values.iter().map(|v| v.to_lowercase()).collect();
+                    vals.sort_unstable();
+                    vals.dedup();
+                    vals
+                })
+                .collect()
+        })
+        .collect();
+
+    let direction = |a: usize, b: usize| -> f64 {
+        let cols_a = &col_values[a];
+        let cols_b = &col_values[b];
+        if cols_a.is_empty() || cols_b.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for ca in cols_a {
+            let best = cols_b
+                .iter()
+                .map(|cb| jaccard(ca, cb))
+                .fold(0.0f64, f64::max);
+            total += best;
+        }
+        total / cols_a.len() as f64
+    };
+
+    let mut sims = vec![vec![0.0f64; n]; n];
+    for a in 0..n {
+        sims[a][a] = 1.0;
+        for b in (a + 1)..n {
+            let s = (direction(a, b) + direction(b, a)) / 2.0;
+            sims[a][b] = s;
+            sims[b][a] = s;
+        }
+    }
+    sims
+}
+
+/// The `+SF` refinement (§4.5.1): split each domain fold into column
+/// groups by syntactic profile (data types, character distributions,
+/// value lengths), so cells only share labels with syntactically similar
+/// columns. The paper shows this *hurts* label sharing on DGov-NTR.
+pub fn refine_syntactic(lake: &Lake, folds: Vec<Fold>, groups_per_fold: usize) -> Vec<Fold> {
+    let mut refined = Vec::new();
+    for fold in folds {
+        if fold.columns.len() <= 1 || groups_per_fold <= 1 {
+            refined.push(fold);
+            continue;
+        }
+        let profiles: Vec<Vec<f32>> = fold
+            .columns
+            .iter()
+            .map(|&(t, c)| column_syntactic_features(&lake[t], c))
+            .collect();
+        let k = groups_per_fold.min(fold.columns.len());
+        let labels = matelda_cluster::agglomerative(fold.columns.len(), k, |a, b| {
+            profiles[a]
+                .iter()
+                .zip(&profiles[b])
+                .map(|(x, y)| f64::from((x - y) * (x - y)))
+                .sum::<f64>()
+                .sqrt()
+        });
+        let n_groups = labels.iter().copied().max().unwrap_or(0) + 1;
+        let mut buckets: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n_groups];
+        for (i, &g) in labels.iter().enumerate() {
+            buckets[g].push(fold.columns[i]);
+        }
+        for columns in buckets.into_iter().filter(|b| !b.is_empty()) {
+            refined.push(Fold { columns });
+        }
+    }
+    refined
+}
+
+/// The sketched unionability matrix: like [`unionability_matrix`] but the
+/// per-column Jaccard overlaps are MinHash estimates, so each pair costs
+/// O(columns² · k) instead of O(columns² · values).
+pub fn unionability_matrix_sketched(lake: &Lake, k: usize) -> Vec<Vec<f64>> {
+    use matelda_embed::MinHashSketch;
+    let n = lake.n_tables();
+    let sketches: Vec<Vec<MinHashSketch>> = lake
+        .tables
+        .iter()
+        .map(|t| {
+            t.columns
+                .iter()
+                .map(|c| MinHashSketch::of(c.values.iter().map(|v| v.to_lowercase()), k))
+                .collect()
+        })
+        .collect();
+    let direction = |a: usize, b: usize| -> f64 {
+        if sketches[a].is_empty() || sketches[b].is_empty() {
+            return 0.0;
+        }
+        let total: f64 = sketches[a]
+            .iter()
+            .map(|ca| sketches[b].iter().map(|cb| ca.jaccard(cb)).fold(0.0f64, f64::max))
+            .sum();
+        total / sketches[a].len() as f64
+    };
+    let mut sims = vec![vec![0.0f64; n]; n];
+    for a in 0..n {
+        sims[a][a] = 1.0;
+        for b in (a + 1)..n {
+            let s = (direction(a, b) + direction(b, a)) / 2.0;
+            sims[a][b] = s;
+            sims[b][a] = s;
+        }
+    }
+    sims
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matelda_table::{Column, Table};
+
+    /// Two soccer-ish tables, two movie-ish tables, one loner.
+    fn mixed_lake() -> Lake {
+        let soccer = |name: &str| {
+            Table::new(
+                name,
+                vec![
+                    Column::new("club", ["Liverpool", "Chelsea", "Arsenal", "Barcelona", "Madrid", "Bayern"]),
+                    Column::new("country", ["England", "England", "England", "Spain", "Spain", "Germany"]),
+                    Column::new("league points", ["82", "74", "71", "88", "86", "79"]),
+                ],
+            )
+        };
+        let movies = |name: &str| {
+            Table::new(
+                name,
+                vec![
+                    Column::new("genre", ["Drama", "Comedy", "Thriller", "Horror", "Romance", "Western"]),
+                    Column::new("director", ["Frank", "Sidney", "Francis", "Steven", "Martin", "Sofia"]),
+                    Column::new("rating", ["9.3", "8.1", "7.7", "6.9", "7.2", "8.4"]),
+                ],
+            )
+        };
+        let loner = Table::new(
+            "soil",
+            vec![
+                Column::new("depth", ["5", "10", "20", "40", "80", "100"]),
+                Column::new("moisture", ["0.1", "0.2", "0.3", "0.4", "0.5", "0.45"]),
+            ],
+        );
+        Lake::new(vec![soccer("clubs_a"), movies("films_a"), soccer("clubs_b"), movies("films_b"), loner])
+    }
+
+    fn encoder() -> HashedEncoder {
+        HashedEncoder::default()
+    }
+
+    #[test]
+    fn hdbscan_folding_groups_domains() {
+        let lake = mixed_lake();
+        let folds = domain_folds(&lake, DomainFolding::Hdbscan, &encoder(), 0);
+        // Every table in exactly one fold.
+        let mut seen: Vec<usize> = folds.iter().flat_map(Fold::tables).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        // The two soccer tables fold together, as do the two movie tables.
+        let fold_of = |t: usize| folds.iter().position(|f| f.tables().contains(&t)).expect("covered");
+        assert_eq!(fold_of(0), fold_of(2), "{folds:?}");
+        assert_eq!(fold_of(1), fold_of(3), "{folds:?}");
+        assert_ne!(fold_of(0), fold_of(1), "{folds:?}");
+    }
+
+    #[test]
+    fn edf_puts_everything_in_one_fold() {
+        let lake = mixed_lake();
+        let folds = domain_folds(&lake, DomainFolding::ExtremeDomainFolding, &encoder(), 0);
+        assert_eq!(folds.len(), 1);
+        assert_eq!(folds[0].n_columns(), lake.n_columns());
+    }
+
+    #[test]
+    fn row_sampling_preserves_domain_grouping() {
+        // With a large-enough sample the RS variant reproduces the
+        // essential property: same-domain tables keep folding together
+        // (the paper reports "nearly the same F1" for Matelda-RS).
+        let lake = mixed_lake();
+        let sampled = domain_folds(&lake, DomainFolding::RowSampling(0.9), &encoder(), 0);
+        let mut covered: Vec<usize> = sampled.iter().flat_map(Fold::tables).collect();
+        covered.sort_unstable();
+        assert_eq!(covered, vec![0, 1, 2, 3, 4], "every table in exactly one fold");
+        let fold_of =
+            |t: usize| sampled.iter().position(|f| f.tables().contains(&t)).expect("covered");
+        assert_eq!(fold_of(0), fold_of(2), "{sampled:?}");
+        assert_eq!(fold_of(1), fold_of(3), "{sampled:?}");
+        assert_ne!(fold_of(0), fold_of(1), "{sampled:?}");
+    }
+
+    #[test]
+    fn santos_like_also_groups_domains() {
+        let lake = mixed_lake();
+        let folds = domain_folds(&lake, DomainFolding::SantosLike, &encoder(), 0);
+        let fold_of = |t: usize| folds.iter().position(|f| f.tables().contains(&t)).expect("covered");
+        assert_eq!(fold_of(0), fold_of(2), "{folds:?}");
+        assert_eq!(fold_of(1), fold_of(3), "{folds:?}");
+    }
+
+    #[test]
+    fn sketched_unionability_tracks_exact_and_groups_domains() {
+        let lake = mixed_lake();
+        let exact = unionability_matrix(&lake);
+        let sketched = unionability_matrix_sketched(&lake, 128);
+        for a in 0..5 {
+            for b in 0..5 {
+                assert!(
+                    (exact[a][b] - sketched[a][b]).abs() < 0.2,
+                    "({a},{b}): exact {} vs sketch {}",
+                    exact[a][b],
+                    sketched[a][b]
+                );
+            }
+        }
+        let folds = domain_folds(&lake, DomainFolding::SantosSketch(128), &encoder(), 0);
+        let fold_of =
+            |t: usize| folds.iter().position(|f| f.tables().contains(&t)).expect("covered");
+        assert_eq!(fold_of(0), fold_of(2), "{folds:?}");
+        assert_eq!(fold_of(1), fold_of(3), "{folds:?}");
+    }
+
+    #[test]
+    fn unionability_is_symmetric_and_reflexive() {
+        let lake = mixed_lake();
+        let m = unionability_matrix(&lake);
+        for a in 0..5 {
+            assert_eq!(m[a][a], 1.0);
+            for b in 0..5 {
+                assert!((m[a][b] - m[b][a]).abs() < 1e-12);
+            }
+        }
+        assert!(m[0][2] > m[0][1], "same-domain unionability should dominate");
+    }
+
+    #[test]
+    fn syntactic_refinement_splits_by_column_type() {
+        let lake = mixed_lake();
+        let folds = vec![Fold { columns: vec![(0, 0), (0, 1), (0, 2), (4, 0), (4, 1)] }];
+        let refined = refine_syntactic(&lake, folds, 2);
+        assert_eq!(refined.len(), 2);
+        // Numeric columns ((0,2), (4,0), (4,1)) split from text columns.
+        let numeric_fold = refined
+            .iter()
+            .find(|f| f.columns.contains(&(0, 2)))
+            .expect("numeric fold exists");
+        assert!(numeric_fold.columns.contains(&(4, 0)), "{refined:?}");
+        assert!(!numeric_fold.columns.contains(&(0, 0)), "{refined:?}");
+    }
+
+    #[test]
+    fn empty_lake_no_folds() {
+        assert!(domain_folds(&Lake::default(), DomainFolding::Hdbscan, &encoder(), 0).is_empty());
+    }
+
+    #[test]
+    fn single_table_lake_single_fold() {
+        let lake = Lake::new(vec![mixed_lake().tables[0].clone()]);
+        let folds = domain_folds(&lake, DomainFolding::Hdbscan, &encoder(), 0);
+        assert_eq!(folds.len(), 1);
+        assert_eq!(folds[0].tables(), vec![0]);
+    }
+}

@@ -1,0 +1,47 @@
+//! # matelda-core
+//!
+//! The MaTElDa pipeline (Ahmadi et al., EDBT 2025, Alg. 1): semi-supervised
+//! error detection over a *set* of tables with a labeling budget smaller
+//! than the number of tables.
+//!
+//! ```text
+//! Step 1  Domain-based cell folding   (serialize → embed → HDBSCAN)
+//! Step 2  Quality-based cell folding  (unified detector features → mini-batch k-means)
+//! Step 3  Sampling & labeling         (cell nearest each fold centroid → user label)
+//! Step 4  Label propagation           (label shared with the whole fold)
+//! Step 5  Classification              (one gradient-boosting model per column)
+//! ```
+//!
+//! [`MateldaConfig`] exposes every variant the paper evaluates:
+//!
+//! * §4.5.1 folding strategies — [`DomainFolding::ExtremeDomainFolding`]
+//!   (Matelda-EDF) and [`MateldaConfig::syntactic_refinement`] (+SF);
+//! * §4.5.2 domain-folding designs — [`DomainFolding::RowSampling`]
+//!   (Matelda-RS) and [`DomainFolding::SantosLike`] (Matelda-Santos);
+//! * §4.5.3 feature ablations — via [`matelda_detect::FeatureConfig`]
+//!   (NOD / NTD / NRVD);
+//! * §4.5.4 training strategies — [`TrainingStrategy::PerDomainFold`]
+//!   (TPDF) and [`TrainingStrategy::UnlabeledCellFolds`] (TUCF).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use matelda_core::{Matelda, MateldaConfig, Oracle};
+//! use matelda_lakegen::QuintetLake;
+//!
+//! let lake = QuintetLake { rows_per_table: 40, ..Default::default() }.generate(1);
+//! let mut oracle = Oracle::new(&lake.errors);
+//! let result = Matelda::new(MateldaConfig::default()).detect(&lake.dirty, &mut oracle, 30);
+//! let conf = matelda_table::Confusion::from_masks(&result.predicted, &lake.errors);
+//! assert!(conf.f1() > 0.0);
+//! ```
+
+pub mod domain_fold;
+pub mod pipeline;
+pub mod quality_fold;
+pub mod repair;
+
+pub use domain_fold::{domain_folds, DomainFolding, Fold};
+pub use matelda_table::oracle::{Labeler, Oracle};
+pub use pipeline::{DetectionResult, LabelingStrategy, Matelda, MateldaConfig, TrainingStrategy};
+pub use repair::{suggest_repairs, Repair, RepairStrategy};

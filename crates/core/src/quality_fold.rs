@@ -1,0 +1,185 @@
+//! Step 2 — quality-based cell folding (paper §3.3): embed every cell of a
+//! domain fold in the unified detector feature space and cluster into `k`
+//! quality folds, where `k` is the fold's share of the labeling budget.
+
+use crate::domain_fold::Fold;
+use matelda_cluster::kmeans::{sq_dist, MiniBatchKMeans, MiniBatchKMeansConfig};
+use matelda_detect::CellFeatures;
+use matelda_table::{CellId, Lake};
+
+/// One quality fold: member cells plus the centroid they cluster around.
+#[derive(Debug, Clone)]
+pub struct QualityFold {
+    /// Member cells.
+    pub cells: Vec<CellId>,
+    /// The cluster centroid in feature space.
+    pub centroid: Vec<f32>,
+}
+
+impl QualityFold {
+    /// The member cell nearest the centroid — the labeling sample
+    /// (Alg. 1 line 15). Ties break to the smallest `CellId` for
+    /// determinism.
+    pub fn sample(&self, features: &impl Fn(CellId) -> Vec<f32>) -> CellId {
+        let mut best = self.cells[0];
+        let mut best_d = f32::INFINITY;
+        for &id in &self.cells {
+            let d = sq_dist(&features(id), &self.centroid);
+            if d < best_d || (d == best_d && id < best) {
+                best_d = d;
+                best = id;
+            }
+        }
+        best
+    }
+}
+
+/// Splits the labeling budget over domain folds proportional to their
+/// column counts, with the paper's floor of two labels per fold
+/// (Alg. 1 line 12: `k = max(2, Λ · |cols(df)| / |cols(S)|)`).
+pub fn budget_per_fold(folds: &[Fold], total_budget: usize) -> Vec<usize> {
+    let total_cols: usize = folds.iter().map(Fold::n_columns).sum();
+    folds
+        .iter()
+        .map(|f| {
+            if total_cols == 0 {
+                2
+            } else {
+                let share = total_budget as f64 * f.n_columns() as f64 / total_cols as f64;
+                (share.round() as usize).max(2)
+            }
+        })
+        .collect()
+}
+
+/// Clusters one domain fold's cells into `k` quality folds with
+/// mini-batch k-means over the unified feature space.
+pub fn quality_folds(
+    lake: &Lake,
+    fold: &Fold,
+    features: &[CellFeatures],
+    k: usize,
+    batch_size: usize,
+    iterations: usize,
+    seed: u64,
+) -> Vec<QualityFold> {
+    // Gather the fold's cells and vectors.
+    let mut ids: Vec<CellId> = Vec::new();
+    for &(t, c) in &fold.columns {
+        for r in 0..lake[t].n_rows() {
+            ids.push(CellId::new(t, r, c));
+        }
+    }
+    if ids.is_empty() {
+        return Vec::new();
+    }
+    let points: Vec<Vec<f32>> =
+        ids.iter().map(|id| features[id.table].get(id.row, id.col).to_vec()).collect();
+
+    let fit = MiniBatchKMeans::new(MiniBatchKMeansConfig {
+        k: k.max(1),
+        batch_size,
+        iterations,
+        seed,
+    })
+    .fit(&points);
+
+    let n_centers = fit.centers.len();
+    let mut folds: Vec<QualityFold> = (0..n_centers)
+        .map(|c| QualityFold { cells: Vec::new(), centroid: fit.centers[c].clone() })
+        .collect();
+    for (i, &cluster) in fit.assignments.iter().enumerate() {
+        folds[cluster].cells.push(ids[i]);
+    }
+    folds.retain(|f| !f.cells.is_empty());
+    folds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matelda_detect::{featurize_table, FeatureConfig};
+    use matelda_table::{Column, Table};
+    use matelda_text::SpellChecker;
+
+    fn lake() -> Lake {
+        Lake::new(vec![Table::new(
+            "t",
+            vec![
+                Column::new("age", ["24", "25", "26", "9000", "27", "24"]),
+                Column::new("name", ["red", "blue", "green", "red", "blue", "qqzzk"]),
+            ],
+        )])
+    }
+
+    fn features(lake: &Lake) -> Vec<CellFeatures> {
+        let spell = SpellChecker::english();
+        let cfg = FeatureConfig::default();
+        lake.tables.iter().map(|t| featurize_table(t, &spell, &cfg)).collect()
+    }
+
+    #[test]
+    fn budget_split_proportional_with_floor() {
+        let folds = vec![
+            Fold { columns: vec![(0, 0); 8] },
+            Fold { columns: vec![(0, 0); 2] },
+        ];
+        let b = budget_per_fold(&folds, 20);
+        assert_eq!(b, vec![16, 4]);
+        // Tiny share still gets the floor of two.
+        let b = budget_per_fold(&folds, 4);
+        assert_eq!(b, vec![3, 2]);
+        assert!(budget_per_fold(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn folds_partition_the_cells() {
+        let l = lake();
+        let fold = Fold { columns: vec![(0, 0), (0, 1)] };
+        let f = features(&l);
+        let qf = quality_folds(&l, &fold, &f, 4, 64, 50, 0);
+        let total: usize = qf.iter().map(|q| q.cells.len()).sum();
+        assert_eq!(total, 12);
+        let mut all: Vec<CellId> = qf.iter().flat_map(|q| q.cells.clone()).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 12, "no duplicates");
+    }
+
+    #[test]
+    fn dirty_and_clean_cells_separate() {
+        let l = lake();
+        let fold = Fold { columns: vec![(0, 0)] };
+        let f = features(&l);
+        let qf = quality_folds(&l, &fold, &f, 2, 64, 80, 1);
+        assert_eq!(qf.len(), 2);
+        // The 9000 outlier should sit alone (or at least apart from the
+        // typical ages).
+        let outlier_fold = qf.iter().find(|q| q.cells.contains(&CellId::new(0, 3, 0))).expect("exists");
+        assert!(
+            outlier_fold.cells.len() < 6,
+            "outlier should not share a fold with all cells: {outlier_fold:?}"
+        );
+    }
+
+    #[test]
+    fn sample_is_a_member_cell() {
+        let l = lake();
+        let fold = Fold { columns: vec![(0, 0), (0, 1)] };
+        let f = features(&l);
+        let qf = quality_folds(&l, &fold, &f, 3, 64, 50, 2);
+        let get = |id: CellId| f[id.table].get(id.row, id.col).to_vec();
+        for q in &qf {
+            let s = q.sample(&get);
+            assert!(q.cells.contains(&s));
+        }
+    }
+
+    #[test]
+    fn empty_fold_no_quality_folds() {
+        let l = lake();
+        let fold = Fold { columns: vec![] };
+        let f = features(&l);
+        assert!(quality_folds(&l, &fold, &f, 2, 64, 10, 0).is_empty());
+    }
+}

@@ -1,0 +1,325 @@
+//! Repair suggestion — the paper's future-work direction (§6: "the
+//! exploration of strategies for data repair within data lakes represents
+//! a promising and largely unexplored direction").
+//!
+//! This module implements a pragmatic first cut: for each *detected*
+//! error cell, propose a correction from the evidence the detectors
+//! already computed:
+//!
+//! * **FD-majority repair** — if the cell sits on the RHS of a
+//!   near-functional dependency and its LHS group has a clear majority
+//!   value, propose that majority (fixes the running example's
+//!   `Real Madrid → France` to `Spain`);
+//! * **spell repair** — if the cell's words are one edit away from
+//!   dictionary words, propose the corrected spelling;
+//! * **numeric repair** — if the cell is a far-out numeric outlier whose
+//!   magnitude is an obvious scaling artifact (×10^k of the column's
+//!   range), propose the rescaled value; otherwise propose the column
+//!   median;
+//! * **missing-value repair** — propose the most frequent value of the
+//!   column (only when that value is clearly dominant).
+//!
+//! Suggestions carry a confidence and the strategy that produced them, so
+//! a reviewer can filter.
+
+use matelda_fd::{mine_approximate, Partition};
+use matelda_table::value::{as_f64, is_null};
+use matelda_table::{CellId, CellMask, DataType, Lake};
+use matelda_text::SpellChecker;
+use std::collections::HashMap;
+
+/// Which evidence produced a suggestion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairStrategy {
+    /// Majority RHS value of the cell's FD group.
+    FdMajority,
+    /// Dictionary spelling correction.
+    Spelling,
+    /// Rescaled or median numeric value.
+    Numeric,
+    /// Most frequent column value for a missing cell.
+    MostFrequent,
+}
+
+/// One proposed repair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Repair {
+    /// The cell to repair.
+    pub cell: CellId,
+    /// Current (erroneous) value.
+    pub current: String,
+    /// Proposed replacement.
+    pub proposed: String,
+    /// Evidence class.
+    pub strategy: RepairStrategy,
+    /// Heuristic confidence in `(0, 1]`.
+    pub confidence: f64,
+}
+
+/// Proposes repairs for every flagged cell of `predicted`. Cells with no
+/// confident suggestion are skipped — precision over coverage.
+pub fn suggest_repairs(lake: &Lake, predicted: &CellMask, spell: &SpellChecker) -> Vec<Repair> {
+    let mut out = Vec::new();
+    for (t, table) in lake.tables.iter().enumerate() {
+        // Rules once per table.
+        // Tighter rule set than detection uses: repairs need rules that
+        // almost hold, not rules that merely correlate.
+        let fds = mine_approximate(table, 0.15);
+        let partitions: Vec<Partition> =
+            (0..table.n_cols()).map(|c| Partition::of_column(table, c)).collect();
+
+        for c in 0..table.n_cols() {
+            let values = &table.columns[c].values;
+            for r in 0..table.n_rows() {
+                let id = CellId::new(t, r, c);
+                if !predicted.get(id) {
+                    continue;
+                }
+                let current = values[r].clone();
+                let suggestion = repair_cell(table, r, c, &current, &fds, &partitions, spell);
+                if let Some((proposed, strategy, confidence)) = suggestion {
+                    if proposed != current {
+                        out.push(Repair { cell: id, current, proposed, strategy, confidence });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn repair_cell(
+    table: &matelda_table::Table,
+    row: usize,
+    col: usize,
+    current: &str,
+    fds: &[matelda_fd::Fd],
+    partitions: &[Partition],
+    spell: &SpellChecker,
+) -> Option<(String, RepairStrategy, f64)> {
+    // 1. FD-majority: strongest evidence — look for a rule lhs -> col
+    //    whose group containing this row has a clear majority RHS.
+    for fd in fds.iter().filter(|fd| fd.rhs == col) {
+        let group = partitions[fd.lhs].groups.iter().find(|g| g.contains(&row));
+        if let Some(group) = group {
+            let mut counts: HashMap<&str, usize> = HashMap::new();
+            for &r in group {
+                if r != row {
+                    *counts.entry(table.columns[col].values[r].as_str()).or_insert(0) += 1;
+                }
+            }
+            let total: usize = counts.values().sum();
+            if let Some((&majority, &count)) = counts.iter().max_by_key(|(v, c)| (**c, std::cmp::Reverse(*v))) {
+                if total >= 2 && count >= 2 && count * 4 >= total * 3 && majority != current {
+                    return Some((
+                        majority.to_string(),
+                        RepairStrategy::FdMajority,
+                        count as f64 / total as f64,
+                    ));
+                }
+            }
+        }
+    }
+
+    // 2. Missing value: most frequent value of the column, when dominant.
+    if is_null(current) {
+        let values = &table.columns[col].values;
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for v in values.iter().filter(|v| !is_null(v)) {
+            *counts.entry(v.as_str()).or_insert(0) += 1;
+        }
+        if let Some((&best, &count)) = counts.iter().max_by_key(|(v, c)| (**c, std::cmp::Reverse(*v))) {
+            if count * 3 >= values.len() {
+                return Some((
+                    best.to_string(),
+                    RepairStrategy::MostFrequent,
+                    count as f64 / values.len() as f64,
+                ));
+            }
+        }
+        return None; // no dominant value: refuse to guess
+    }
+
+    // 3. Numeric: rescale obvious magnitude artifacts, else median.
+    let column_type = table.columns[col].data_type();
+    if matches!(column_type, DataType::Integer | DataType::Float) {
+        if let Some(x) = as_f64(current) {
+            let mut others: Vec<f64> = table.columns[col]
+                .values
+                .iter()
+                .enumerate()
+                .filter(|(r, _)| *r != row)
+                .filter_map(|(_, v)| as_f64(v))
+                .collect();
+            if others.len() >= 4 {
+                others.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                let median = others[others.len() / 2];
+                let max_abs = others.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+                if x.abs() > 10.0 * max_abs.max(1e-9) {
+                    // Try the scaling factors the error generator (and real
+                    // unit mistakes) produce.
+                    for factor in [100.0, 1000.0, -100.0] {
+                        let candidate = x / factor;
+                        if candidate.abs() <= max_abs * 1.5 && candidate >= others[0] * 0.5 {
+                            let rendered = if current.trim().parse::<i64>().is_ok() {
+                                format!("{}", candidate.round() as i64)
+                            } else {
+                                format!("{candidate:.2}")
+                            };
+                            return Some((rendered, RepairStrategy::Numeric, 0.6));
+                        }
+                    }
+                    let rendered = if matches!(column_type, DataType::Integer) {
+                        format!("{}", median.round() as i64)
+                    } else {
+                        format!("{median:.2}")
+                    };
+                    return Some((rendered, RepairStrategy::Numeric, 0.3));
+                }
+            }
+        }
+    }
+
+    // 4. Spelling: repair one-edit typos word by word.
+    let words = matelda_text::words(current);
+    if !words.is_empty() && spell.flags_cell(current) {
+        let mut repaired = current.to_string();
+        let mut fixed_any = false;
+        for w in &words {
+            if w.chars().count() > 1 && !spell.knows(w) {
+                let sugg = spell.suggest(w, 1, 1);
+                if let Some(fix) = sugg.first() {
+                    repaired = replace_word_case_insensitive(&repaired, w, fix);
+                    fixed_any = true;
+                }
+            }
+        }
+        if fixed_any && repaired != current {
+            return Some((repaired, RepairStrategy::Spelling, 0.5));
+        }
+    }
+
+    None
+}
+
+/// Replaces the first case-insensitive occurrence of `word` in `text`
+/// with `replacement`, preserving an initial capital.
+fn replace_word_case_insensitive(text: &str, word: &str, replacement: &str) -> String {
+    let lower = text.to_lowercase();
+    if let Some(pos) = lower.find(word) {
+        let original = &text[pos..pos + word.len()];
+        let adjusted = if original.chars().next().is_some_and(char::is_uppercase) {
+            let mut chars = replacement.chars();
+            match chars.next() {
+                Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+                None => String::new(),
+            }
+        } else {
+            replacement.to_string()
+        };
+        format!("{}{}{}", &text[..pos], adjusted, &text[pos + word.len()..])
+    } else {
+        text.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matelda_table::{Column, Table};
+
+    fn spell() -> SpellChecker {
+        SpellChecker::english()
+    }
+
+    #[test]
+    fn fd_majority_fixes_running_example() {
+        // Real Madrid appears four times; one says France. The table is
+        // large enough that club -> country has g3 error 1/8 < 0.15 and
+        // survives the repair-grade rule mining.
+        let table = Table::new(
+            "clubs",
+            vec![
+                Column::new("club", ["Real", "Real", "Real", "Real", "City", "City", "City", "City"]),
+                Column::new(
+                    "country",
+                    ["Spain", "Spain", "France", "Spain", "England", "England", "England", "England"],
+                ),
+            ],
+        );
+        let lake = Lake::new(vec![table]);
+        let predicted = CellMask::from_cells(&lake, [CellId::new(0, 2, 1)]);
+        let repairs = suggest_repairs(&lake, &predicted, &spell());
+        assert_eq!(repairs.len(), 1);
+        assert_eq!(repairs[0].proposed, "Spain");
+        assert_eq!(repairs[0].strategy, RepairStrategy::FdMajority);
+        assert!(repairs[0].confidence > 0.9);
+    }
+
+    #[test]
+    fn spelling_repair_fixes_one_edit_typos() {
+        let table = Table::new(
+            "movies",
+            vec![Column::new("genre", ["Drama", "Derama", "Crime", "Drama", "Crime", "Drama"])],
+        );
+        let lake = Lake::new(vec![table]);
+        let predicted = CellMask::from_cells(&lake, [CellId::new(0, 1, 0)]);
+        let repairs = suggest_repairs(&lake, &predicted, &spell());
+        assert_eq!(repairs.len(), 1);
+        assert_eq!(repairs[0].proposed, "Drama");
+        assert_eq!(repairs[0].strategy, RepairStrategy::Spelling);
+    }
+
+    #[test]
+    fn numeric_repair_rescales_magnitude_artifacts() {
+        let table = Table::new(
+            "ages",
+            vec![Column::new("age", ["24", "23", "30", "2800", "31", "26"])],
+        );
+        let lake = Lake::new(vec![table]);
+        let predicted = CellMask::from_cells(&lake, [CellId::new(0, 3, 0)]);
+        let repairs = suggest_repairs(&lake, &predicted, &spell());
+        assert_eq!(repairs.len(), 1);
+        assert_eq!(repairs[0].proposed, "28", "2800 / 100 = 28");
+        assert_eq!(repairs[0].strategy, RepairStrategy::Numeric);
+    }
+
+    #[test]
+    fn missing_value_repair_requires_dominant_value() {
+        let dominant = Table::new(
+            "t",
+            vec![Column::new("status", ["Active", "Active", "Active", "Active", "", "Active"])],
+        );
+        let lake = Lake::new(vec![dominant]);
+        let predicted = CellMask::from_cells(&lake, [CellId::new(0, 4, 0)]);
+        let repairs = suggest_repairs(&lake, &predicted, &spell());
+        assert_eq!(repairs.len(), 1);
+        assert_eq!(repairs[0].proposed, "Active");
+
+        // No dominant value -> refuse to guess.
+        let scattered = Table::new(
+            "t",
+            vec![Column::new("name", ["Ann", "Bob", "Cid", "Dee", "", "Eve"])],
+        );
+        let lake = Lake::new(vec![scattered]);
+        let predicted = CellMask::from_cells(&lake, [CellId::new(0, 4, 0)]);
+        assert!(suggest_repairs(&lake, &predicted, &spell()).is_empty());
+    }
+
+    #[test]
+    fn unflagged_cells_are_never_touched() {
+        let table = Table::new(
+            "t",
+            vec![Column::new("v", ["Derama", "Drama", "Drama"])],
+        );
+        let lake = Lake::new(vec![table]);
+        let predicted = CellMask::empty(&lake);
+        assert!(suggest_repairs(&lake, &predicted, &spell()).is_empty());
+    }
+
+    #[test]
+    fn capitalization_preserved_in_word_replacement() {
+        assert_eq!(replace_word_case_insensitive("Derama time", "derama", "drama"), "Drama time");
+        assert_eq!(replace_word_case_insensitive("crime derama", "derama", "drama"), "crime drama");
+    }
+}

@@ -1,0 +1,75 @@
+//! Partition laws for every domain-folding strategy: each table must land
+//! in exactly one fold, folds carry all columns of their member tables,
+//! and the budget split respects its floor — on generated multi-domain
+//! lakes, not toy fixtures.
+
+use matelda_core::domain_fold::{domain_folds, refine_syntactic, DomainFolding};
+use matelda_core::quality_fold::budget_per_fold;
+use matelda_embed::encoder::HashedEncoder;
+use matelda_lakegen::DGovLake;
+
+fn strategies() -> Vec<DomainFolding> {
+    vec![
+        DomainFolding::Hdbscan,
+        DomainFolding::ExtremeDomainFolding,
+        DomainFolding::RowSampling(0.3),
+        DomainFolding::SantosLike,
+        DomainFolding::SantosSketch(64),
+    ]
+}
+
+#[test]
+fn every_strategy_partitions_the_tables() {
+    let lake = DGovLake::ntr().with_n_tables(14).generate(6).dirty;
+    let encoder = HashedEncoder::default();
+    for strategy in strategies() {
+        let folds = domain_folds(&lake, strategy, &encoder, 0);
+        // Exactly one fold per table.
+        let mut covered: Vec<usize> = folds.iter().flat_map(|f| f.tables()).collect();
+        covered.sort_unstable();
+        assert_eq!(covered, (0..14).collect::<Vec<_>>(), "{strategy:?}");
+        // Column counts add up to the lake's.
+        let cols: usize = folds.iter().map(|f| f.n_columns()).sum();
+        assert_eq!(cols, lake.n_columns(), "{strategy:?}");
+    }
+}
+
+#[test]
+fn syntactic_refinement_preserves_column_coverage() {
+    let lake = DGovLake::ntr().with_n_tables(10).generate(2).dirty;
+    let encoder = HashedEncoder::default();
+    let folds = domain_folds(&lake, DomainFolding::Hdbscan, &encoder, 0);
+    let before: usize = folds.iter().map(|f| f.n_columns()).sum();
+    let refined = refine_syntactic(&lake, folds, 8);
+    let after: usize = refined.iter().map(|f| f.n_columns()).sum();
+    assert_eq!(before, after, "refinement must not drop or duplicate columns");
+    assert!(refined.len() >= 1);
+    // No column appears in two folds.
+    let mut all: Vec<(usize, usize)> = refined.iter().flat_map(|f| f.columns.clone()).collect();
+    let n = all.len();
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(all.len(), n);
+}
+
+#[test]
+fn budget_split_is_proportional_and_floored() {
+    let lake = DGovLake::ntr().with_n_tables(12).generate(4).dirty;
+    let encoder = HashedEncoder::default();
+    let folds = domain_folds(&lake, DomainFolding::Hdbscan, &encoder, 0);
+    for budget in [0usize, 5, 50, 500] {
+        let split = budget_per_fold(&folds, budget);
+        assert_eq!(split.len(), folds.len());
+        // Floor of two labels per fold (Alg. 1 line 12).
+        assert!(split.iter().all(|&k| k >= 2), "budget {budget}: {split:?}");
+        // Above the floor, bigger folds get at least as much as smaller.
+        let mut pairs: Vec<(usize, usize)> =
+            folds.iter().map(|f| f.n_columns()).zip(split.iter().copied()).collect();
+        pairs.sort();
+        for w in pairs.windows(2) {
+            if w[0].1 > 2 && w[1].1 > 2 {
+                assert!(w[0].1 <= w[1].1, "budget {budget}: non-monotone split {pairs:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Assembly of the unified 32-dim cell feature vector (Alg. 1 line 10).
+
+use crate::outlier::{gaussian_flags, histogram_flags, histogram_flags_eq2_literal};
+use crate::rules::{rule_signals_with, RuleSignals};
+use crate::typo::typo_flags;
+use matelda_table::Table;
+use matelda_text::SpellChecker;
+
+/// Dimensionality of the unified cell feature space: 9 histogram + 9
+/// Gaussian + 1 typo + 3 structural FD + 5 `nv_LHS` + 5 `nv_RHS` + 1
+/// missing-value flag.
+///
+/// The missing-value dimension is a documented deviation from the paper's
+/// Alg. 1 line 10 (see DESIGN.md): in the single-table setting Raha's
+/// bag-of-characters features make empty cells maximally distinctive,
+/// but the paper's Aspell substitution (which we follow) has no words to
+/// check in an empty cell and the outlier detectors only see emptiness in
+/// numeric columns. One explicit nullness bit restores that visibility in
+/// the unified space.
+pub const FEATURE_DIM: usize = 33;
+
+/// Offsets of the feature blocks within the vector.
+pub mod layout {
+    /// TF-histogram flags (9).
+    pub const HISTOGRAM: usize = 0;
+    /// Gaussian flags (9).
+    pub const GAUSSIAN: usize = 9;
+    /// Typo flag (1).
+    pub const TYPO: usize = 18;
+    /// Structural FD flags (3).
+    pub const STRUCTURAL_FD: usize = 19;
+    /// `nv_LHS` one-hot buckets (5).
+    pub const NV_LHS: usize = 22;
+    /// `nv_RHS` one-hot buckets (5).
+    pub const NV_RHS: usize = 27;
+    /// Missing-value flag (1).
+    pub const NULL_FLAG: usize = 32;
+}
+
+/// Which detector families contribute to the vector. Disabled families
+/// are zeroed (not removed), so vector dimensionality — and therefore
+/// cross-configuration comparability — is preserved. Implements the
+/// paper's feature ablations (§4.5.3).
+#[derive(Debug, Clone, Copy)]
+pub struct FeatureConfig {
+    /// Histogram + Gaussian outlier flags. Off = Matelda-NOD.
+    pub outliers: bool,
+    /// Dictionary typo flag. Off = Matelda-NTD.
+    pub typos: bool,
+    /// Structural FD flags and `nv` buckets. Off = Matelda-NRVD.
+    pub rules: bool,
+    /// g3 tolerance for the `nv` rule set (see `rules::rule_signals`).
+    pub rule_g3_threshold: f64,
+    /// Deviation ablation: use the literal Eq. 2 TF normalization instead
+    /// of the max-count normalization this repo defaults to (DESIGN.md).
+    pub tf_eq2_literal: bool,
+    /// Deviation ablation: mark whole violating FD groups (Raha's
+    /// convention) instead of only the minority rows.
+    pub fd_whole_group: bool,
+    /// Deviation ablation: drop the explicit missing-value dimension.
+    pub no_null_flag: bool,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        Self {
+            outliers: true,
+            typos: true,
+            rules: true,
+            rule_g3_threshold: 0.3,
+            tf_eq2_literal: false,
+            fd_whole_group: false,
+            no_null_flag: false,
+        }
+    }
+}
+
+impl FeatureConfig {
+    /// Matelda-NOD: no outlier detectors.
+    pub fn no_outliers() -> Self {
+        Self { outliers: false, ..Self::default() }
+    }
+
+    /// Matelda-NTD: no typo detector.
+    pub fn no_typos() -> Self {
+        Self { typos: false, ..Self::default() }
+    }
+
+    /// Matelda-NRVD: no rule-violation detectors.
+    pub fn no_rules() -> Self {
+        Self { rules: false, ..Self::default() }
+    }
+}
+
+/// The feature vectors of every cell of one table, row-major
+/// (`index = row * n_cols + col`).
+#[derive(Debug, Clone)]
+pub struct CellFeatures {
+    /// Number of columns (for indexing).
+    pub n_cols: usize,
+    /// Number of rows.
+    pub n_rows: usize,
+    /// Flattened `n_rows * n_cols` vectors of [`FEATURE_DIM`] values.
+    pub vectors: Vec<Vec<f32>>,
+}
+
+impl CellFeatures {
+    /// The vector of cell `(row, col)`.
+    pub fn get(&self, row: usize, col: usize) -> &[f32] {
+        &self.vectors[row * self.n_cols + col]
+    }
+}
+
+/// Featurizes every cell of `table` into the unified space.
+pub fn featurize_table(table: &Table, spell: &SpellChecker, config: &FeatureConfig) -> CellFeatures {
+    let (n, m) = (table.n_rows(), table.n_cols());
+    let mut vectors = vec![vec![0.0f32; FEATURE_DIM]; n * m];
+
+    if config.outliers {
+        for (j, col) in table.columns.iter().enumerate() {
+            let hist = if config.tf_eq2_literal {
+                histogram_flags_eq2_literal(&col.values)
+            } else {
+                histogram_flags(&col.values)
+            };
+            let gauss = gaussian_flags(&col.values, col.data_type());
+            for r in 0..n {
+                let v = &mut vectors[r * m + j];
+                for k in 0..9 {
+                    v[layout::HISTOGRAM + k] = f32::from(u8::from(hist[r][k]));
+                    v[layout::GAUSSIAN + k] = f32::from(u8::from(gauss[r][k]));
+                }
+            }
+        }
+    }
+
+    if config.typos {
+        for (j, col) in table.columns.iter().enumerate() {
+            let flags = typo_flags(&col.values, spell);
+            for (r, &flag) in flags.iter().enumerate() {
+                vectors[r * m + j][layout::TYPO] = f32::from(u8::from(flag));
+            }
+        }
+    }
+
+    // The nullness bit belongs to no ablatable detector family (the
+    // paper's NOD/NTD/NRVD variants each keep it); only the deviation
+    // ablation drops it.
+    if !config.no_null_flag {
+        for (j, col) in table.columns.iter().enumerate() {
+            for (r, v) in col.values.iter().enumerate() {
+                if matelda_table::value::is_null(v) {
+                    vectors[r * m + j][layout::NULL_FLAG] = 1.0;
+                }
+            }
+        }
+    }
+
+    if config.rules && m > 0 {
+        let RuleSignals { structural, nv_lhs_bucket, nv_rhs_bucket } =
+            rule_signals_with(table, config.rule_g3_threshold, config.fd_whole_group);
+        for j in 0..m {
+            for r in 0..n {
+                let v = &mut vectors[r * m + j];
+                for k in 0..3 {
+                    v[layout::STRUCTURAL_FD + k] = f32::from(u8::from(structural[j][r][k]));
+                }
+                v[layout::NV_LHS + nv_lhs_bucket[j][r]] = 1.0;
+                v[layout::NV_RHS + nv_rhs_bucket[j][r]] = 1.0;
+            }
+        }
+    }
+
+    CellFeatures { n_cols: m, n_rows: n, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matelda_table::Column;
+
+    fn spell() -> SpellChecker {
+        SpellChecker::english()
+    }
+
+    fn demo_table() -> Table {
+        Table::new(
+            "t",
+            vec![
+                Column::new("club", ["Real", "Real", "City", "City"]),
+                Column::new("country", ["Spain", "France", "England", "England"]),
+                Column::new("score", ["10", "12", "11", "900"]),
+            ],
+        )
+    }
+
+    #[test]
+    fn vector_shape_and_layout() {
+        let f = featurize_table(&demo_table(), &spell(), &FeatureConfig::default());
+        assert_eq!(f.n_rows, 4);
+        assert_eq!(f.n_cols, 3);
+        assert_eq!(f.vectors.len(), 12);
+        assert!(f.vectors.iter().all(|v| v.len() == FEATURE_DIM));
+        // Every cell has exactly one nv bucket per side set.
+        for v in &f.vectors {
+            let lhs: f32 = v[layout::NV_LHS..layout::NV_LHS + 5].iter().sum();
+            let rhs: f32 = v[layout::NV_RHS..layout::NV_RHS + 5].iter().sum();
+            assert_eq!(lhs, 1.0);
+            assert_eq!(rhs, 1.0);
+        }
+    }
+
+    #[test]
+    fn numeric_outlier_shows_in_gaussian_block() {
+        let f = featurize_table(&demo_table(), &spell(), &FeatureConfig::default());
+        let outlier = f.get(3, 2);
+        let inlier = f.get(0, 2);
+        let sum = |v: &[f32]| v[layout::GAUSSIAN..layout::GAUSSIAN + 9].iter().sum::<f32>();
+        assert!(sum(outlier) > sum(inlier));
+    }
+
+    #[test]
+    fn fd_violation_shows_in_structural_block() {
+        let f = featurize_table(&demo_table(), &spell(), &FeatureConfig::default());
+        // The Real group disagrees on country (Spain vs France); the
+        // 1-vs-1 tie breaks to "France", so row 0 (Spain) is the minority
+        // cell that gets flagged. Row 2's City group is consistent.
+        let dirty = f.get(0, 1);
+        let clean = f.get(2, 1);
+        assert_eq!(dirty[layout::STRUCTURAL_FD + 1], 1.0);
+        assert_eq!(clean[layout::STRUCTURAL_FD + 1], 0.0);
+    }
+
+    #[test]
+    fn ablations_zero_their_blocks() {
+        let t = demo_table();
+        let sp = spell();
+        let nod = featurize_table(&t, &sp, &FeatureConfig::no_outliers());
+        for v in &nod.vectors {
+            assert!(v[layout::HISTOGRAM..layout::TYPO].iter().all(|x| *x == 0.0));
+        }
+        let ntd = featurize_table(&t, &sp, &FeatureConfig::no_typos());
+        for v in &ntd.vectors {
+            assert_eq!(v[layout::TYPO], 0.0);
+        }
+        let nrvd = featurize_table(&t, &sp, &FeatureConfig::no_rules());
+        for v in &nrvd.vectors {
+            assert!(v[layout::STRUCTURAL_FD..layout::NULL_FLAG].iter().all(|x| *x == 0.0));
+        }
+    }
+
+    #[test]
+    fn typo_block_fires_on_unknown_words() {
+        let t = Table::new(
+            "t",
+            vec![Column::new("genre", ["drama", "derama", "crime"])],
+        );
+        let f = featurize_table(&t, &spell(), &FeatureConfig::default());
+        assert_eq!(f.get(0, 0)[layout::TYPO], 0.0);
+        assert_eq!(f.get(1, 0)[layout::TYPO], 1.0);
+    }
+
+    #[test]
+    fn empty_table_yields_no_vectors() {
+        let t = Table::new("t", vec![]);
+        let f = featurize_table(&t, &spell(), &FeatureConfig::default());
+        assert!(f.vectors.is_empty());
+    }
+
+    #[test]
+    fn cells_comparable_across_tables() {
+        // The whole point of the unified space: equivalent dirtiness in
+        // different tables should produce nearby vectors. Two tables with
+        // disjoint schemata, each containing one numeric outlier.
+        let t1 = Table::new(
+            "players",
+            vec![Column::new("age", ["24", "23", "30", "1995", "31", "26"])],
+        );
+        let t2 = Table::new(
+            "cities",
+            vec![Column::new(
+                "population",
+                ["10000000", "10100000", "10200000", "10300000", "10400000", "99"],
+            )],
+        );
+        let sp = spell();
+        let cfg = FeatureConfig::default();
+        let f1 = featurize_table(&t1, &sp, &cfg);
+        let f2 = featurize_table(&t2, &sp, &cfg);
+        let d = |a: &[f32], b: &[f32]| -> f32 {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+        };
+        // outlier in t1 vs outlier in t2 closer than outlier vs inlier.
+        let cross_outlier = d(f1.get(3, 0), f2.get(5, 0));
+        let outlier_vs_inlier = d(f1.get(3, 0), f1.get(0, 0));
+        assert!(
+            cross_outlier < outlier_vs_inlier,
+            "cross-table outliers {cross_outlier} vs within-table contrast {outlier_vs_inlier}"
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! Rule-violation detectors (§3.3.1, Eqs. 5–6).
+//!
+//! Cross-table comparability of FD features is the paper's trickiest
+//! design point: different tables have different FD sets, so per-FD
+//! features cannot line up. The paper's answer (inspired by similarity
+//! flooding) is *structural*: every column gets exactly three candidate
+//! FDs anchored on its position —
+//!
+//! * `a₀ → aⱼ` — the first column is "typically the key of the table",
+//! * `aⱼ₋₁ → aⱼ` and `aⱼ → aⱼ₊₁` — "relevant columns are positioned
+//!   together in the table".
+//!
+//! plus ten aggregate features: the relative frequency of the cell's
+//! participation in *any* rule violation, one-hot encoded into five 20%
+//! quantile buckets per FD side (Eq. 6).
+
+use matelda_fd::{mine_approximate, violation_stats};
+use matelda_table::Table;
+use std::collections::HashSet;
+
+/// Rule-derived signals for every cell of one table.
+#[derive(Debug, Clone)]
+pub struct RuleSignals {
+    /// `[col][row]` → the three structural FD flags of Eq. 5.
+    pub structural: Vec<Vec<[bool; 3]>>,
+    /// `[col][row]` → `nv_LHS` quantile bucket in `0..5`.
+    pub nv_lhs_bucket: Vec<Vec<usize>>,
+    /// `[col][row]` → `nv_RHS` quantile bucket in `0..5`.
+    pub nv_rhs_bucket: Vec<Vec<usize>>,
+}
+
+/// Maps a relative frequency in `[0, 1]` to one of five 20%-wide buckets.
+pub fn quantile_bucket(nv: f64) -> usize {
+    debug_assert!((0.0..=1.0 + 1e-9).contains(&nv), "nv out of range: {nv}");
+    ((nv * 5.0).floor() as usize).min(4)
+}
+
+/// Computes all rule signals of a table.
+///
+/// `g3_threshold` controls which unary FDs count as "rules" for the
+/// aggregate `nv` statistics: a dependency is a rule if it holds on all
+/// but at most that fraction of rows. The threshold must sit above the
+/// expected error rate, otherwise genuinely-dirty FDs drop out of the
+/// rule set and their violations become invisible.
+pub fn rule_signals(table: &Table, g3_threshold: f64) -> RuleSignals {
+    rule_signals_with(table, g3_threshold, false)
+}
+
+/// [`rule_signals`] with a switch between minority-row marking (the
+/// default) and whole-group marking (Raha's column-local convention,
+/// kept for the deviation ablation).
+pub fn rule_signals_with(table: &Table, g3_threshold: f64, whole_group: bool) -> RuleSignals {
+    let m = table.n_cols();
+    let n = table.n_rows();
+
+    // --- Eq. 5: three structural candidate FDs per column. ---
+    // Violation marking uses the *minority* rows of each inconsistent
+    // group: the tuples whose RHS disagrees with the group's majority are
+    // the ones a repair would change. Marking whole groups (Raha's
+    // column-local convention) would give clean majority cells the same
+    // signature as the dirty minority and blur the quality folds the
+    // labels propagate through.
+    let marked = |lhs: usize, rhs: usize| -> Vec<usize> {
+        let stats = violation_stats(table, lhs, rhs);
+        if whole_group {
+            stats.violating_rows
+        } else {
+            stats.minority_rows
+        }
+    };
+    let mut structural = vec![vec![[false; 3]; n]; m];
+    for j in 0..m {
+        // d_{a0 -> aj}
+        if j > 0 {
+            for r in marked(0, j) {
+                structural[j][r][0] = true;
+            }
+        }
+        // d_{a(j-1) -> aj}; for j == 1 this duplicates the first detector,
+        // exactly as Eq. 5 prescribes.
+        if j > 0 {
+            for r in marked(j - 1, j) {
+                structural[j][r][1] = true;
+            }
+        }
+        // d_{aj -> a(j+1)}: the current column sits on the LHS.
+        if j + 1 < m {
+            for r in marked(j, j + 1) {
+                structural[j][r][2] = true;
+            }
+        }
+    }
+
+    // --- Eq. 6: aggregate violation frequencies over the mined rule set. ---
+    let rules = mine_approximate(table, g3_threshold);
+    let mut lhs_counts = vec![vec![0usize; n]; m];
+    let mut rhs_counts = vec![vec![0usize; n]; m];
+    let mut lhs_rules = vec![0usize; m];
+    let mut rhs_rules = vec![0usize; m];
+    for fd in &rules {
+        lhs_rules[fd.lhs] += 1;
+        rhs_rules[fd.rhs] += 1;
+        let stats = violation_stats(table, fd.lhs, fd.rhs);
+        let viol: HashSet<usize> =
+            if whole_group { stats.violating_rows } else { stats.minority_rows }
+                .into_iter()
+                .collect();
+        for &r in &viol {
+            lhs_counts[fd.lhs][r] += 1;
+            rhs_counts[fd.rhs][r] += 1;
+        }
+    }
+
+    let bucketize = |counts: &[Vec<usize>], totals: &[usize]| -> Vec<Vec<usize>> {
+        (0..m)
+            .map(|j| {
+                (0..n)
+                    .map(|r| {
+                        if totals[j] == 0 {
+                            0
+                        } else {
+                            quantile_bucket(counts[j][r] as f64 / totals[j] as f64)
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+    let nv_lhs_bucket = bucketize(&lhs_counts, &lhs_rules);
+    let nv_rhs_bucket = bucketize(&rhs_counts, &rhs_rules);
+
+    RuleSignals { structural, nv_lhs_bucket, nv_rhs_bucket }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matelda_table::Column;
+
+    /// Clubs table shaped like the running example: the FD
+    /// club -> country is violated by one Real Madrid row.
+    fn clubs() -> Table {
+        Table::new(
+            "clubs",
+            vec![
+                Column::new("id", ["1", "2", "3", "4", "5", "6"]),
+                Column::new("club", ["Real", "Real", "Real", "City", "City", "Ajax"]),
+                Column::new("country", ["Spain", "Spain", "France", "England", "England", "NL"]),
+            ],
+        )
+    }
+
+    #[test]
+    fn quantile_buckets_cover_unit_interval() {
+        assert_eq!(quantile_bucket(0.0), 0);
+        assert_eq!(quantile_bucket(0.19), 0);
+        assert_eq!(quantile_bucket(0.2), 1);
+        assert_eq!(quantile_bucket(0.5), 2);
+        assert_eq!(quantile_bucket(0.99), 4);
+        assert_eq!(quantile_bucket(1.0), 4);
+    }
+
+    #[test]
+    fn structural_flags_catch_neighbor_fd_violation() {
+        let s = rule_signals(&clubs(), 0.3);
+        // Column 2 (country): d_{a1->a2} fires for the *minority* row of
+        // the Real group (France, row 2) — not for the consistent
+        // majority (Spain, rows 0-1).
+        assert!(!s.structural[2][0][1]);
+        assert!(!s.structural[2][1][1]);
+        assert!(s.structural[2][2][1]);
+        assert!(!s.structural[2][3][1], "City group is consistent");
+        // Column 1 (club): detector d_{a1->a2} (its own LHS role, slot 2)
+        // fires for the LHS cell of the minority row.
+        assert!(s.structural[1][2][2]);
+        assert!(!s.structural[1][5][2], "Ajax is a singleton group");
+        // Column 0 is a key: nothing fires in its LHS-role slot.
+        assert!(!s.structural[0].iter().any(|f| f[2]));
+    }
+
+    #[test]
+    fn first_column_detector_is_separate_from_neighbor() {
+        // Table where a0->a2 is violated but a1->a2 is not. The 1-vs-1
+        // tie breaks to the lexicographically smaller RHS ("1"), so row 1
+        // is the minority.
+        let t = Table::new(
+            "t",
+            vec![
+                Column::new("k", ["a", "a"]),
+                Column::new("x", ["p", "q"]),
+                Column::new("v", ["1", "2"]),
+            ],
+        );
+        let s = rule_signals(&t, 1.0);
+        assert!(s.structural[2][1][0], "a0->a2 violated (minority row)");
+        assert!(!s.structural[2][1][1], "a1->a2 holds (x is key)");
+    }
+
+    #[test]
+    fn nv_buckets_rise_with_violation_participation() {
+        let s = rule_signals(&clubs(), 0.3);
+        // Row 2's country cell is RHS of the violated club->country rule.
+        let dirty_bucket = s.nv_rhs_bucket[2][2];
+        let clean_bucket = s.nv_rhs_bucket[2][5];
+        assert!(dirty_bucket > clean_bucket, "dirty {dirty_bucket} vs clean {clean_bucket}");
+    }
+
+    #[test]
+    fn single_column_table_has_all_zero_signals() {
+        let t = Table::new("t", vec![Column::new("a", ["1", "1", "2"])]);
+        let s = rule_signals(&t, 0.5);
+        assert!(s.structural[0].iter().all(|f| *f == [false; 3]));
+        assert!(s.nv_lhs_bucket[0].iter().all(|&b| b == 0));
+        assert!(s.nv_rhs_bucket[0].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn empty_table_is_fine() {
+        let t = Table::new("t", vec![]);
+        let s = rule_signals(&t, 0.5);
+        assert!(s.structural.is_empty());
+    }
+}

@@ -1,0 +1,112 @@
+//! Column-level syntactic profiles for the `+SF` (syntactic folding)
+//! variant (§4.5.1): "features that capture data types, character
+//! distributions, and cell value lengths" used to refine domain folds by
+//! column similarity. The paper finds this refinement *hurts* on DGov-NTR
+//! — the variant exists to reproduce that ablation.
+
+use matelda_table::value::infer_type;
+use matelda_table::{DataType, Table};
+
+/// Dimensionality of the syntactic profile vector.
+pub const SYNTACTIC_DIM: usize = 10;
+
+/// Builds the 10-dim syntactic profile of one column:
+/// `[frac_int, frac_float, frac_date, frac_text, frac_null,
+///   frac_alpha_chars, frac_digit_chars, frac_punct_chars,
+///   mean_len/32 (capped), std_len/32 (capped)]`.
+pub fn column_syntactic_features(table: &Table, col: usize) -> Vec<f32> {
+    let values = &table.columns[col].values;
+    let n = values.len();
+    let mut v = vec![0.0f32; SYNTACTIC_DIM];
+    if n == 0 {
+        return v;
+    }
+
+    let mut type_counts = [0usize; 5]; // int, float, date, text, null
+    let (mut alpha, mut digit, mut punct, mut total_chars) = (0usize, 0usize, 0usize, 0usize);
+    let mut lens = Vec::with_capacity(n);
+    for val in values {
+        match infer_type(val) {
+            DataType::Integer => type_counts[0] += 1,
+            DataType::Float => type_counts[1] += 1,
+            DataType::Date => type_counts[2] += 1,
+            DataType::Text => type_counts[3] += 1,
+            DataType::Null => type_counts[4] += 1,
+        }
+        for c in val.chars() {
+            total_chars += 1;
+            if c.is_alphabetic() {
+                alpha += 1;
+            } else if c.is_ascii_digit() {
+                digit += 1;
+            } else if !c.is_whitespace() {
+                punct += 1;
+            }
+        }
+        lens.push(val.chars().count() as f32);
+    }
+
+    for (i, &c) in type_counts.iter().enumerate() {
+        v[i] = c as f32 / n as f32;
+    }
+    if total_chars > 0 {
+        v[5] = alpha as f32 / total_chars as f32;
+        v[6] = digit as f32 / total_chars as f32;
+        v[7] = punct as f32 / total_chars as f32;
+    }
+    let mean = lens.iter().sum::<f32>() / n as f32;
+    let var = lens.iter().map(|l| (l - mean) * (l - mean)).sum::<f32>() / n as f32;
+    v[8] = (mean / 32.0).min(1.0);
+    v[9] = (var.sqrt() / 32.0).min(1.0);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matelda_table::Column;
+
+    #[test]
+    fn numeric_vs_text_columns_have_distant_profiles() {
+        let t = Table::new(
+            "t",
+            vec![
+                Column::new("age", ["24", "23", "30", "31"]),
+                Column::new("name", ["Kylian", "Erling", "Harry", "Jack"]),
+                Column::new("score", ["10", "20", "15", "12"]),
+            ],
+        );
+        let age = column_syntactic_features(&t, 0);
+        let name = column_syntactic_features(&t, 1);
+        let score = column_syntactic_features(&t, 2);
+        let d = |a: &[f32], b: &[f32]| -> f32 {
+            a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+        };
+        assert!(d(&age, &score) < d(&age, &name));
+        assert_eq!(age[0], 1.0, "all-integer column");
+        assert_eq!(name[3], 1.0, "all-text column");
+    }
+
+    #[test]
+    fn null_fraction_tracked() {
+        let t = Table::new("t", vec![Column::new("x", ["", "NULL", "5", "6"])]);
+        let v = column_syntactic_features(&t, 0);
+        assert_eq!(v[4], 0.5);
+        assert_eq!(v[0], 0.5);
+    }
+
+    #[test]
+    fn empty_column_is_zero_vector() {
+        let t = Table::new("t", vec![Column::new("x", Vec::<String>::new())]);
+        assert_eq!(column_syntactic_features(&t, 0), vec![0.0; SYNTACTIC_DIM]);
+    }
+
+    #[test]
+    fn length_features_capped() {
+        let long = "x".repeat(1000);
+        let t = Table::new("t", vec![Column::new("x", vec![long.clone(), long])]);
+        let v = column_syntactic_features(&t, 0);
+        assert_eq!(v[8], 1.0);
+        assert_eq!(v[9], 0.0);
+    }
+}

@@ -1,0 +1,23 @@
+//! The typo detector `d_TD` (Eq. 4): a cell is flagged when any of its
+//! alphabetic words is missing from the dictionary. Thin column-level
+//! wrapper over [`matelda_text::SpellChecker`].
+
+use matelda_text::SpellChecker;
+
+/// Typo flags for every cell of a column.
+pub fn typo_flags(values: &[String], spell: &SpellChecker) -> Vec<bool> {
+    values.iter().map(|v| spell.flags_cell(v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_out_of_dictionary_words_only() {
+        let spell = SpellChecker::from_words(["crime", "drama", "musical"]);
+        let values: Vec<String> =
+            ["crime drama", "derama", "musical", "42", ""].iter().map(|s| s.to_string()).collect();
+        assert_eq!(typo_flags(&values, &spell), vec![false, true, false, false, false]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Conformance tests for the unified feature space: on arbitrary tables
+//! every vector must be finite, bounded, fixed-dimension and column-type
+//! appropriate — the invariants the clustering and classification layers
+//! silently rely on.
+
+use matelda_detect::featurize::layout;
+use matelda_detect::{featurize_table, FeatureConfig, FEATURE_DIM};
+use matelda_table::{Column, DataType, Table};
+use matelda_text::SpellChecker;
+
+fn spell() -> SpellChecker {
+    SpellChecker::english()
+}
+
+fn messy_table() -> Table {
+    Table::new(
+        "messy",
+        vec![
+            Column::new("id", ["1", "2", "3", "4", "5", "6"]),
+            Column::new("name", ["Paris", "", "NULL", "Par1s", "Lyon", "Paris"]),
+            Column::new("amount", ["10", "12", "$14", "11", "9000", ""]),
+            Column::new("when", ["2020-01-02", "2020-02-03", "03/04/2020", "2020-03-01", "", "2020-05-05"]),
+        ],
+    )
+}
+
+#[test]
+fn vectors_are_finite_bounded_and_fixed_dim() {
+    let f = featurize_table(&messy_table(), &spell(), &FeatureConfig::default());
+    assert_eq!(f.vectors.len(), 24);
+    for v in &f.vectors {
+        assert_eq!(v.len(), FEATURE_DIM);
+        for (i, x) in v.iter().enumerate() {
+            assert!(x.is_finite(), "dim {i} not finite: {x}");
+            assert!((0.0..=1.0).contains(x), "dim {i} out of [0,1]: {x}");
+        }
+    }
+}
+
+#[test]
+fn exactly_one_nv_bucket_set_per_side() {
+    let f = featurize_table(&messy_table(), &spell(), &FeatureConfig::default());
+    for v in &f.vectors {
+        let lhs: f32 = v[layout::NV_LHS..layout::NV_LHS + 5].iter().sum();
+        let rhs: f32 = v[layout::NV_RHS..layout::NV_RHS + 5].iter().sum();
+        assert_eq!(lhs, 1.0);
+        assert_eq!(rhs, 1.0);
+    }
+}
+
+#[test]
+fn null_flag_set_exactly_on_null_cells() {
+    let t = messy_table();
+    let f = featurize_table(&t, &spell(), &FeatureConfig::default());
+    for r in 0..t.n_rows() {
+        for c in 0..t.n_cols() {
+            let expected = matelda_table::value::is_null(t.cell(r, c));
+            let got = f.get(r, c)[layout::NULL_FLAG] == 1.0;
+            assert_eq!(got, expected, "cell ({r},{c}) = {:?}", t.cell(r, c));
+        }
+    }
+}
+
+#[test]
+fn gaussian_block_abstains_outside_numeric_and_date_columns() {
+    let t = messy_table();
+    assert_eq!(t.columns[1].data_type(), DataType::Text);
+    let f = featurize_table(&t, &spell(), &FeatureConfig::default());
+    for r in 0..t.n_rows() {
+        let v = f.get(r, 1);
+        assert!(
+            v[layout::GAUSSIAN..layout::GAUSSIAN + 9].iter().all(|x| *x == 0.0),
+            "text column row {r} has gaussian flags"
+        );
+    }
+}
+
+#[test]
+fn date_column_flags_format_breaks() {
+    let t = messy_table();
+    assert_eq!(t.columns[3].data_type(), DataType::Date);
+    let f = featurize_table(&t, &spell(), &FeatureConfig::default());
+    // Row 2 holds "03/04/2020" — a *valid* date shape, so not flagged;
+    // row 4 holds "" — not a date, saturated.
+    let ok_row = f.get(0, 3);
+    let empty_row = f.get(4, 3);
+    assert!(ok_row[layout::GAUSSIAN..layout::GAUSSIAN + 9].iter().all(|x| *x == 0.0));
+    assert!(empty_row[layout::GAUSSIAN..layout::GAUSSIAN + 9].iter().all(|x| *x == 1.0));
+}
+
+#[test]
+fn unparsable_cell_in_numeric_column_saturates() {
+    let t = messy_table();
+    let f = featurize_table(&t, &spell(), &FeatureConfig::default());
+    // "$14" in the amount column.
+    let v = f.get(2, 2);
+    assert!(v[layout::GAUSSIAN..layout::GAUSSIAN + 9].iter().all(|x| *x == 1.0));
+}
+
+#[test]
+fn ablated_configs_keep_dimensions_and_zero_their_blocks() {
+    let t = messy_table();
+    let sp = spell();
+    for (cfg, lo, hi) in [
+        (FeatureConfig::no_outliers(), layout::HISTOGRAM, layout::TYPO),
+        (FeatureConfig::no_typos(), layout::TYPO, layout::TYPO + 1),
+        (FeatureConfig::no_rules(), layout::STRUCTURAL_FD, layout::NULL_FLAG),
+    ] {
+        let f = featurize_table(&t, &sp, &cfg);
+        for v in &f.vectors {
+            assert_eq!(v.len(), FEATURE_DIM);
+            assert!(
+                v[lo..hi].iter().all(|x| *x == 0.0),
+                "block [{lo},{hi}) not zeroed under {cfg:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_and_single_cell_tables() {
+    let sp = spell();
+    let cfg = FeatureConfig::default();
+    let empty = Table::new("e", vec![]);
+    assert!(featurize_table(&empty, &sp, &cfg).vectors.is_empty());
+    let single = Table::new("s", vec![Column::new("a", ["x"])]);
+    let f = featurize_table(&single, &sp, &cfg);
+    assert_eq!(f.vectors.len(), 1);
+    assert_eq!(f.get(0, 0).len(), FEATURE_DIM);
+}

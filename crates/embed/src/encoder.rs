@@ -1,0 +1,174 @@
+//! The signed feature-hashing text encoder (BERT substitute).
+
+use crate::vector::{l2_normalize, Vector};
+use matelda_table::Table;
+use matelda_text::ngram::{signed_bucket, word_ngrams};
+use matelda_text::token::{char_trigrams, tokens};
+use std::collections::HashMap;
+
+/// Configuration of the [`HashedEncoder`].
+#[derive(Debug, Clone)]
+pub struct EncoderConfig {
+    /// Embedding dimensionality. 128 is plenty for the coarse domain
+    /// separation this is used for; collisions are mitigated by the ±1
+    /// hashing signs.
+    pub dim: usize,
+    /// Longest word n-gram to hash (1 = unigrams only).
+    pub max_word_ngram: usize,
+    /// Whether to also hash character trigrams (captures value *shape* —
+    /// dates, codes, numeric formats — independent of vocabulary).
+    pub char_trigrams: bool,
+    /// Weight of character-trigram features relative to word features.
+    pub trigram_weight: f32,
+}
+
+impl Default for EncoderConfig {
+    fn default() -> Self {
+        Self { dim: 128, max_word_ngram: 2, char_trigrams: true, trigram_weight: 0.5 }
+    }
+}
+
+/// Deterministic text encoder: hashed word n-grams + char trigrams with
+/// sublinear tf weighting and L2 normalization.
+///
+/// Substitutes the paper's pre-trained BERT model for domain folding; see
+/// the crate docs and DESIGN.md for the substitution argument.
+#[derive(Debug, Clone, Default)]
+pub struct HashedEncoder {
+    config: EncoderConfig,
+}
+
+impl HashedEncoder {
+    /// Creates an encoder with the given configuration.
+    pub fn new(config: EncoderConfig) -> Self {
+        Self { config }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    /// Encodes arbitrary text into a unit-norm dense vector.
+    pub fn encode(&self, text: &str) -> Vector {
+        let mut counts: HashMap<String, f32> = HashMap::new();
+        let toks = tokens(text);
+        for g in word_ngrams(&toks, self.config.max_word_ngram) {
+            *counts.entry(g).or_insert(0.0) += 1.0;
+        }
+        if self.config.char_trigrams {
+            for tok in &toks {
+                for tri in char_trigrams(tok) {
+                    // Prefix avoids colliding the trigram namespace with words.
+                    *counts.entry(format!("#{tri}")).or_insert(0.0) += self.config.trigram_weight;
+                }
+            }
+        }
+        let mut v = vec![0.0f32; self.config.dim];
+        for (feature, tf) in counts {
+            let (bucket, sign) = signed_bucket(&feature, self.config.dim);
+            // Sublinear tf: repeated tokens saturate instead of dominating.
+            v[bucket] += sign * (1.0 + tf.ln());
+        }
+        l2_normalize(&mut v);
+        v
+    }
+}
+
+/// Embeds a whole table: serialize row-major (Alg. 1 line 3), then encode
+/// (Alg. 1 line 4).
+pub fn embed_table(encoder: &HashedEncoder, table: &Table) -> Vector {
+    encoder.encode(&table.serialize())
+}
+
+/// Embeds a table from a row sample — the Matelda-RS variant (§4.5.2),
+/// which feeds only ~1% of rows to the encoder to cut embedding cost.
+pub fn embed_table_sampled(encoder: &HashedEncoder, table: &Table, rows: &[usize]) -> Vector {
+    encoder.encode(&table.serialize_rows(rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::{cosine, norm};
+    use matelda_table::Column;
+
+    fn enc() -> HashedEncoder {
+        HashedEncoder::default()
+    }
+
+    #[test]
+    fn encoding_is_deterministic_and_unit_norm() {
+        let e = enc();
+        let a = e.encode("liverpool beat chelsea in london");
+        let b = e.encode("liverpool beat chelsea in london");
+        assert_eq!(a, b);
+        assert!((norm(&a) - 1.0).abs() < 1e-5);
+        assert_eq!(a.len(), 128);
+    }
+
+    #[test]
+    fn same_domain_more_similar_than_cross_domain() {
+        let e = enc();
+        let football1 = e.encode("liverpool chelsea arsenal goals league season club striker england");
+        let football2 = e.encode("manchester club league bayern goals season striker spain madrid");
+        let movies = e.encode("director genre release screenplay studio drama thriller actor oscar");
+        let within = cosine(&football1, &football2);
+        let across = cosine(&football1, &movies);
+        assert!(
+            within > across,
+            "within-domain cosine {within} should exceed cross-domain {across}"
+        );
+    }
+
+    #[test]
+    fn empty_text_is_zero_vector() {
+        let e = enc();
+        let v = e.encode("");
+        assert!(v.iter().all(|x| *x == 0.0));
+    }
+
+    #[test]
+    fn table_embedding_matches_serialized_text() {
+        let e = enc();
+        let t = Table::new(
+            "t",
+            vec![Column::new("a", ["hello", "big"]), Column::new("b", ["world", "cat"])],
+        );
+        assert_eq!(embed_table(&e, &t), e.encode("hello world big cat"));
+    }
+
+    #[test]
+    fn sampled_embedding_uses_only_selected_rows() {
+        let e = enc();
+        let t = Table::new(
+            "t",
+            vec![Column::new("a", ["hello", "big"]), Column::new("b", ["world", "cat"])],
+        );
+        assert_eq!(embed_table_sampled(&e, &t, &[1]), e.encode("big cat"));
+    }
+
+    #[test]
+    fn sampled_embedding_approximates_full_embedding() {
+        // A table with homogeneous rows: embedding from half the rows should
+        // stay very close to the full embedding (the Matelda-RS premise).
+        let e = enc();
+        let values: Vec<String> = (0..200)
+            .map(|i| if i % 2 == 0 { "red apple".to_string() } else { "green pear".to_string() })
+            .collect();
+        let t = Table::new("t", vec![Column::new("fruit", values)]);
+        let full = embed_table(&e, &t);
+        // A uniform sample keeps the row mix balanced, as random sampling
+        // would in expectation.
+        let rows: Vec<usize> = (0..200).step_by(5).collect();
+        let sampled = embed_table_sampled(&e, &t, &rows);
+        assert!(cosine(&full, &sampled) > 0.9, "cosine = {}", cosine(&full, &sampled));
+    }
+
+    #[test]
+    fn dimension_is_configurable() {
+        let e = HashedEncoder::new(EncoderConfig { dim: 32, ..EncoderConfig::default() });
+        assert_eq!(e.encode("x y z").len(), 32);
+        assert_eq!(e.dim(), 32);
+    }
+}

@@ -1,0 +1,92 @@
+//! Dense `f32` vectors and the distance functions the clustering substrate
+//! consumes.
+
+/// A dense embedding vector.
+pub type Vector = Vec<f32>;
+
+/// Dot product of two equally long vectors.
+///
+/// # Panics
+/// Panics (debug) on length mismatch.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+pub fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Scales a vector to unit L2 norm in place; zero vectors are left as-is.
+pub fn l2_normalize(a: &mut [f32]) {
+    let n = norm(a);
+    if n > 0.0 {
+        for x in a.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+/// Cosine similarity in `[-1, 1]`; 0 if either vector is zero.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let (na, nb) = (norm(a), norm(b));
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+    }
+}
+
+/// Euclidean distance.
+pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+}
+
+/// Cosine *distance* `1 - cos(a,b)` — the metric used for table embeddings
+/// (two unit vectors at distance 0 are identical in direction).
+pub fn cosine_distance(a: &[f32], b: &[f32]) -> f32 {
+    1.0 - cosine(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_norm_cosine() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        assert_eq!(dot(&a, &b), 0.0);
+        assert_eq!(norm(&a), 1.0);
+        assert_eq!(cosine(&a, &b), 0.0);
+        assert_eq!(cosine(&a, &a), 1.0);
+        assert!((euclidean(&a, &b) - 2.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_handles_zero() {
+        let mut z = vec![0.0, 0.0];
+        l2_normalize(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+        let mut v = vec![3.0, 4.0];
+        l2_normalize(&mut v);
+        assert!((norm(&v) - 1.0).abs() < 1e-6);
+        assert!((v[0] - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero_not_nan() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(cosine_distance(&[0.0], &[0.0]), 1.0);
+    }
+
+    #[test]
+    fn cosine_clamped() {
+        // Accumulated float error can push |cos| above 1 — must be clamped.
+        let a = vec![0.1f32; 1000];
+        assert!(cosine(&a, &a) <= 1.0);
+        assert_eq!(cosine_distance(&a, &a), 0.0);
+    }
+}

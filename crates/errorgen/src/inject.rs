@@ -1,0 +1,444 @@
+//! The injection planner: distributes a target error count evenly over the
+//! requested error types and applies cell mutations.
+
+use crate::mutate;
+use matelda_fd::{mine_exact_injectable, Partition};
+use matelda_table::value::as_f64;
+use matelda_table::{DataType, Table};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Error taxonomy, matching the paper's Table 1 legend: MV, T, FI, NO, VAD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ErrorType {
+    /// Missing value (MV).
+    MissingValue,
+    /// Typo (T).
+    Typo,
+    /// Formatting issue (FI).
+    Formatting,
+    /// Numeric outlier (NO).
+    NumericOutlier,
+    /// Violated attribute dependency (VAD) — the semantic errors.
+    FdViolation,
+}
+
+impl ErrorType {
+    /// The paper's abbreviation for the type.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            ErrorType::MissingValue => "MV",
+            ErrorType::Typo => "T",
+            ErrorType::Formatting => "FI",
+            ErrorType::NumericOutlier => "NO",
+            ErrorType::FdViolation => "VAD",
+        }
+    }
+}
+
+/// What to inject.
+#[derive(Debug, Clone)]
+pub struct ErrorSpec {
+    /// Target fraction of cells to dirty (paper Table 1's "Error Rate").
+    pub rate: f64,
+    /// Error types; the target count is split evenly among them.
+    pub types: Vec<ErrorType>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ErrorSpec {
+    /// Spec over all five types, matching REIN/DGov-style mixes.
+    pub fn all_types(rate: f64, seed: u64) -> Self {
+        Self {
+            rate,
+            types: vec![
+                ErrorType::MissingValue,
+                ErrorType::Typo,
+                ErrorType::Formatting,
+                ErrorType::NumericOutlier,
+                ErrorType::FdViolation,
+            ],
+            seed,
+        }
+    }
+}
+
+/// Which cells were injected, with their error type.
+#[derive(Debug, Clone, Default)]
+pub struct InjectionReport {
+    /// `(row, col, type)` of every injected cell.
+    pub injected: Vec<(usize, usize, ErrorType)>,
+}
+
+impl InjectionReport {
+    /// Cells of one specific error type.
+    pub fn of_type(&self, t: ErrorType) -> Vec<(usize, usize)> {
+        self.injected.iter().filter(|(_, _, et)| *et == t).map(|&(r, c, _)| (r, c)).collect()
+    }
+
+    /// Number of injected cells.
+    pub fn len(&self) -> usize {
+        self.injected.len()
+    }
+
+    /// `true` if nothing was injected.
+    pub fn is_empty(&self) -> bool {
+        self.injected.is_empty()
+    }
+}
+
+/// Injects errors into a clean table per `spec`. Returns the dirty table
+/// and the injection report. The clean input is left untouched; diffing
+/// dirty-vs-clean recovers exactly the injected set.
+///
+/// ```
+/// use matelda_errorgen::{inject, ErrorSpec};
+/// use matelda_table::{Column, Table};
+/// let clean = Table::new(
+///     "t",
+///     vec![
+///         Column::new("city", vec!["Paris"; 30]),
+///         Column::new("n", (0..30).map(|i| (100 + i).to_string()).collect::<Vec<_>>()),
+///     ],
+/// );
+/// let (dirty, report) = inject(&clean, &ErrorSpec::all_types(0.2, 7));
+/// assert_eq!(report.len(), 12); // 20% of 60 cells
+/// assert_ne!(dirty, clean);
+/// ```
+pub fn inject(clean: &Table, spec: &ErrorSpec) -> (Table, InjectionReport) {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut dirty = clean.clone();
+    let mut report = InjectionReport::default();
+    let n_cells = clean.n_cells();
+    if n_cells == 0 || spec.types.is_empty() || spec.rate <= 0.0 {
+        return (dirty, report);
+    }
+    let target = ((spec.rate * n_cells as f64).round() as usize).min(n_cells);
+    let mut used: HashSet<(usize, usize)> = HashSet::new();
+
+    // Even split with remainder spread over the first types.
+    let k = spec.types.len();
+    let quotas: Vec<usize> = (0..k).map(|i| target / k + usize::from(i < target % k)).collect();
+
+    // FD machinery is shared across passes: dependencies are mined once on
+    // the clean table ("utilized as many functional dependencies as
+    // possible").
+    let fds = mine_exact_injectable(clean);
+    let partitions: Vec<Partition> =
+        (0..clean.n_cols()).map(|c| Partition::of_column(clean, c)).collect();
+
+    // First pass: the even split. Later passes hand the entire shortfall
+    // to whichever types can still absorb it (e.g. NumericOutlier quota on
+    // a table without numeric columns flows to the other types), until the
+    // target is met or no type makes progress.
+    let mut leftover: usize = 0;
+    for (ti, &ty) in spec.types.iter().enumerate() {
+        let want = quotas[ti];
+        let got =
+            inject_type(clean, &mut dirty, ty, want, &fds, &partitions, &mut used, &mut report, &mut rng);
+        leftover += want - got;
+    }
+    while leftover > 0 {
+        let before = leftover;
+        for &ty in &spec.types {
+            if leftover == 0 {
+                break;
+            }
+            let got = inject_type(
+                clean, &mut dirty, ty, leftover, &fds, &partitions, &mut used, &mut report, &mut rng,
+            );
+            leftover -= got;
+        }
+        if leftover == before {
+            break; // nothing can absorb the rest
+        }
+    }
+    report.injected.sort_unstable();
+    (dirty, report)
+}
+
+/// Injects up to `want` errors of one type; returns how many succeeded.
+#[allow(clippy::too_many_arguments)]
+fn inject_type(
+    clean: &Table,
+    dirty: &mut Table,
+    ty: ErrorType,
+    want: usize,
+    fds: &[matelda_fd::Fd],
+    partitions: &[Partition],
+    used: &mut HashSet<(usize, usize)>,
+    report: &mut InjectionReport,
+    rng: &mut StdRng,
+) -> usize {
+    if want == 0 {
+        return 0;
+    }
+    let mut candidates = eligible_cells(clean, ty, fds, partitions);
+    candidates.retain(|c| !used.contains(c));
+    candidates.shuffle(rng);
+
+    let mut done = 0;
+    for (r, c) in candidates {
+        if done >= want {
+            break;
+        }
+        let original = clean.cell(r, c);
+        let mutated = match ty {
+            ErrorType::MissingValue => mutate::make_missing(original, rng),
+            ErrorType::Typo => mutate::make_typo(original, rng),
+            ErrorType::Formatting => mutate::make_formatting(original, rng),
+            ErrorType::NumericOutlier => mutate::make_outlier(original, rng),
+            ErrorType::FdViolation => make_fd_violation(clean, r, c, fds, partitions, rng),
+        };
+        if let Some(new_value) = mutated {
+            if new_value != original {
+                *dirty.cell_mut(r, c) = new_value;
+                used.insert((r, c));
+                report.injected.push((r, c, ty));
+                done += 1;
+            }
+        }
+    }
+    done
+}
+
+/// Cells eligible for a given error type.
+fn eligible_cells(
+    table: &Table,
+    ty: ErrorType,
+    fds: &[matelda_fd::Fd],
+    partitions: &[Partition],
+) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    match ty {
+        ErrorType::MissingValue | ErrorType::Formatting => {
+            for (c, col) in table.columns.iter().enumerate() {
+                for (r, v) in col.values.iter().enumerate() {
+                    if !matelda_table::value::is_null(v) {
+                        out.push((r, c));
+                    }
+                }
+            }
+        }
+        ErrorType::Typo => {
+            for (c, col) in table.columns.iter().enumerate() {
+                for (r, v) in col.values.iter().enumerate() {
+                    if v.chars().filter(|ch| ch.is_alphabetic()).count() >= 2 {
+                        out.push((r, c));
+                    }
+                }
+            }
+        }
+        ErrorType::NumericOutlier => {
+            for (c, col) in table.columns.iter().enumerate() {
+                if !matches!(col.data_type(), DataType::Integer | DataType::Float) {
+                    continue;
+                }
+                for (r, v) in col.values.iter().enumerate() {
+                    if as_f64(v).is_some() {
+                        out.push((r, c));
+                    }
+                }
+            }
+        }
+        ErrorType::FdViolation => {
+            // Any cell on either side of an injectable FD whose LHS group
+            // has duplicates ("errors on both sides of a functional
+            // dependency").
+            let mut seen = HashSet::new();
+            for fd in fds {
+                for group in &partitions[fd.lhs].groups {
+                    for &r in group {
+                        seen.insert((r, fd.rhs));
+                        seen.insert((r, fd.lhs));
+                    }
+                }
+            }
+            out.extend(seen);
+            out.sort_unstable();
+        }
+    }
+    out
+}
+
+/// Mutates cell `(r, c)` so that some clean FD becomes violated, using a
+/// *plausible* replacement value drawn from the same column's domain.
+fn make_fd_violation(
+    clean: &Table,
+    r: usize,
+    c: usize,
+    fds: &[matelda_fd::Fd],
+    partitions: &[Partition],
+    rng: &mut StdRng,
+) -> Option<String> {
+    let original = clean.cell(r, c);
+    // Collect the FDs this cell can break, on either side.
+    let mut applicable: Vec<&matelda_fd::Fd> = fds
+        .iter()
+        .filter(|fd| {
+            (fd.rhs == c || fd.lhs == c)
+                && partitions[fd.lhs].groups.iter().any(|g| g.contains(&r))
+        })
+        .collect();
+    if applicable.is_empty() {
+        return None;
+    }
+    applicable.sort();
+    let fd = applicable[rng.random_range(0..applicable.len())];
+
+    // Replacement pool: other distinct values of this column.
+    let mut pool: Vec<&str> = clean.columns[c]
+        .values
+        .iter()
+        .map(String::as_str)
+        .filter(|v| *v != original && !matelda_table::value::is_null(v))
+        .collect();
+    pool.sort_unstable();
+    pool.dedup();
+    if pool.is_empty() {
+        return None;
+    }
+    let replacement = pool[rng.random_range(0..pool.len())].to_string();
+
+    // RHS-side change always violates (the group held one consistent RHS
+    // value). LHS-side change violates unless the row's RHS happens to
+    // match the adopted group's RHS; accept it anyway — BART's random
+    // injection has the same slack, and the diff against the clean table
+    // still counts it as an error.
+    let _ = fd;
+    Some(replacement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matelda_table::{diff_tables, CellMask, Column, Lake};
+
+    /// A clean table with text, numeric and FD structure.
+    fn clean() -> Table {
+        let n = 40;
+        let cities = ["Paris", "Berlin", "Rome", "Madrid"];
+        let countries = ["France", "Germany", "Italy", "Spain"];
+        Table::new(
+            "clean",
+            vec![
+                Column::new("id", (0..n).map(|i| i.to_string())),
+                Column::new("city", (0..n).map(|i| cities[i % 4].to_string())),
+                Column::new("country", (0..n).map(|i| countries[i % 4].to_string())),
+                Column::new("population", (0..n).map(|i| (1_000_000 + 13_337 * i).to_string())),
+            ],
+        )
+    }
+
+    #[test]
+    fn injects_requested_rate() {
+        let spec = ErrorSpec::all_types(0.1, 7);
+        let (dirty, report) = inject(&clean(), &spec);
+        let expected = (0.1f64 * 160.0).round() as usize;
+        assert_eq!(report.len(), expected, "wanted {expected} errors");
+        // The diff against clean recovers exactly the injected set.
+        let lake = Lake::new(vec![dirty.clone()]);
+        let mut mask = CellMask::empty(&lake);
+        diff_tables(&dirty, &clean(), 0, &mut mask);
+        assert_eq!(mask.count(), report.len());
+        for &(r, c, _) in &report.injected {
+            assert!(mask.get(matelda_table::CellId::new(0, r, c)));
+        }
+    }
+
+    #[test]
+    fn types_are_evenly_distributed() {
+        let spec = ErrorSpec::all_types(0.2, 3);
+        let (_, report) = inject(&clean(), &spec);
+        for ty in &spec.types {
+            let count = report.of_type(*ty).len();
+            assert!(
+                count >= 3,
+                "type {:?} got only {count} of {} errors",
+                ty,
+                report.len()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = ErrorSpec::all_types(0.15, 99);
+        let (d1, r1) = inject(&clean(), &spec);
+        let (d2, r2) = inject(&clean(), &spec);
+        assert_eq!(d1, d2);
+        assert_eq!(r1.injected, r2.injected);
+    }
+
+    #[test]
+    fn no_cell_injected_twice() {
+        let spec = ErrorSpec::all_types(0.3, 5);
+        let (_, report) = inject(&clean(), &spec);
+        let unique: HashSet<_> = report.injected.iter().map(|&(r, c, _)| (r, c)).collect();
+        assert_eq!(unique.len(), report.len());
+    }
+
+    #[test]
+    fn fd_violations_actually_violate() {
+        let spec = ErrorSpec { rate: 0.05, types: vec![ErrorType::FdViolation], seed: 21 };
+        let (dirty, report) = inject(&clean(), &spec);
+        assert!(!report.is_empty());
+        // The clean table satisfies city->country exactly; the dirty one
+        // must not (at least one injected violation touches it).
+        let stats = matelda_fd::violation_stats(&dirty, 1, 2);
+        assert!(
+            !stats.violating_rows.is_empty(),
+            "expected city->country violations, report = {:?}",
+            report.injected
+        );
+    }
+
+    #[test]
+    fn outliers_are_numeric_and_far() {
+        let spec = ErrorSpec { rate: 0.05, types: vec![ErrorType::NumericOutlier], seed: 4 };
+        let (dirty, report) = inject(&clean(), &spec);
+        assert!(!report.is_empty());
+        for (r, c) in report.of_type(ErrorType::NumericOutlier) {
+            assert!(c == 0 || c == 3, "outliers only in numeric columns (id, population), got {c}");
+            if c == 0 {
+                continue;
+            }
+            let v = as_f64(dirty.cell(r, c)).expect("outlier remains numeric");
+            assert!(v.abs() > 10_000_000.0 || v < 0.0, "value {v} is not an outlier");
+        }
+    }
+
+    #[test]
+    fn unfillable_quota_is_redistributed() {
+        // No numeric columns: outlier quota must flow to other types.
+        let t = Table::new(
+            "text_only",
+            vec![
+                Column::new("a", ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"]),
+                Column::new("b", ["one", "two", "three", "four", "five", "six"]),
+            ],
+        );
+        let spec = ErrorSpec {
+            rate: 0.5,
+            types: vec![ErrorType::NumericOutlier, ErrorType::Typo],
+            seed: 8,
+        };
+        let (_, report) = inject(&t, &spec);
+        assert_eq!(report.len(), 6, "half of 12 cells");
+        assert!(report.of_type(ErrorType::NumericOutlier).is_empty());
+        assert_eq!(report.of_type(ErrorType::Typo).len(), 6);
+    }
+
+    #[test]
+    fn zero_rate_or_empty_table() {
+        let (d, r) = inject(&clean(), &ErrorSpec::all_types(0.0, 1));
+        assert_eq!(d, clean());
+        assert!(r.is_empty());
+        let empty = Table::new("e", vec![]);
+        let (_, r) = inject(&empty, &ErrorSpec::all_types(0.5, 1));
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+//! # matelda-errorgen
+//!
+//! A BART-style error generator (Santoro et al., SIGMOD 2016 — the tool
+//! the paper uses to synthesize its DGov-X and REIN benchmarks).
+//!
+//! Given a *clean* table it injects a configurable rate of errors, evenly
+//! distributed over the requested error types (the paper: "we evenly
+//! distributed the number of errors among the three types and utilized as
+//! many functional dependencies as possible"):
+//!
+//! * **missing values** (MV) — blank out a cell,
+//! * **typos** (T) — character-level edits in alphabetic values,
+//! * **formatting issues** (FI) — currency signs, separators, date
+//!   reformatting,
+//! * **numeric outliers** (NO) — scale or shift a numeric value far out of
+//!   its column distribution,
+//! * **FD violations** (VAD, the semantic errors) — perturb either side of
+//!   a mined functional dependency so a previously consistent group
+//!   becomes inconsistent, using *plausible* in-domain replacement values
+//!   (that is what makes them semantic rather than syntactic).
+//!
+//! Every injected cell is reported with its error type, so downstream
+//! evaluation can compute per-type recall (paper Table 3, Figure 4).
+
+pub mod inject;
+pub mod mutate;
+
+pub use inject::{inject, ErrorSpec, ErrorType, InjectionReport};

@@ -1,0 +1,187 @@
+//! Single-cell mutation primitives. Each returns `None` when the value is
+//! not eligible for that mutation (the injector then tries another cell).
+
+use matelda_table::value::{as_f64, is_null};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Replaces the value with a missing-value token.
+pub fn make_missing(value: &str, rng: &mut StdRng) -> Option<String> {
+    if is_null(value) {
+        return None; // already missing — not a new error
+    }
+    Some(if rng.random_bool(0.5) { String::new() } else { "NULL".to_string() })
+}
+
+/// Introduces a character-level typo: swap, delete, duplicate or replace.
+/// Only values with at least two alphabetic characters are eligible.
+pub fn make_typo(value: &str, rng: &mut StdRng) -> Option<String> {
+    let chars: Vec<char> = value.chars().collect();
+    let letter_positions: Vec<usize> =
+        chars.iter().enumerate().filter(|(_, c)| c.is_alphabetic()).map(|(i, _)| i).collect();
+    if letter_positions.len() < 2 {
+        return None;
+    }
+    // Try a few times: some edits can be no-ops (swapping equal letters).
+    for _ in 0..8 {
+        let mut out = chars.clone();
+        match rng.random_range(0..4u8) {
+            0 => {
+                // Swap two adjacent letters.
+                let k = rng.random_range(0..letter_positions.len() - 1);
+                let (i, j) = (letter_positions[k], letter_positions[k + 1]);
+                out.swap(i, j);
+            }
+            1 => {
+                // Delete a letter.
+                let i = letter_positions[rng.random_range(0..letter_positions.len())];
+                out.remove(i);
+            }
+            2 => {
+                // Duplicate a letter.
+                let i = letter_positions[rng.random_range(0..letter_positions.len())];
+                let c = out[i];
+                out.insert(i, c);
+            }
+            _ => {
+                // Replace a letter with a random lowercase letter.
+                let i = letter_positions[rng.random_range(0..letter_positions.len())];
+                out[i] = (b'a' + rng.random_range(0..26u8)) as char;
+            }
+        }
+        let candidate: String = out.into_iter().collect();
+        if candidate != value {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+/// Introduces a formatting issue: currency prefix or thousands separators
+/// on numerics, whitespace padding or case mangling otherwise.
+pub fn make_formatting(value: &str, rng: &mut StdRng) -> Option<String> {
+    if is_null(value) {
+        return None;
+    }
+    let candidate = if as_f64(value).is_some() {
+        match rng.random_range(0..3u8) {
+            0 => format!("${value}"),
+            1 => format!("{value}%"),
+            _ => group_thousands(value),
+        }
+    } else if value.chars().any(|c| c.is_alphabetic()) {
+        match rng.random_range(0..3u8) {
+            0 => format!("  {value}"),
+            1 => value.to_uppercase(),
+            _ => value.to_lowercase(),
+        }
+    } else {
+        format!(" {value} ")
+    };
+    (candidate != value).then_some(candidate)
+}
+
+/// Inserts `,` thousands separators into the integer part of a numeric
+/// string (`534858444` → `534,858,444`).
+fn group_thousands(value: &str) -> String {
+    let (int_part, frac_part) = match value.split_once('.') {
+        Some((i, f)) => (i, Some(f)),
+        None => (value, None),
+    };
+    let digits: Vec<char> = int_part.chars().collect();
+    let mut out = String::new();
+    let digit_count = digits.iter().filter(|c| c.is_ascii_digit()).count();
+    let mut remaining = digit_count;
+    for c in digits {
+        out.push(c);
+        if c.is_ascii_digit() {
+            remaining -= 1;
+            if remaining > 0 && remaining % 3 == 0 {
+                out.push(',');
+            }
+        }
+    }
+    if let Some(f) = frac_part {
+        out.push('.');
+        out.push_str(f);
+    }
+    out
+}
+
+/// Turns a numeric value into a far-out outlier (scale by 100/1000 or
+/// inject a magnitude shift). Only numeric values are eligible.
+pub fn make_outlier(value: &str, rng: &mut StdRng) -> Option<String> {
+    let x = as_f64(value)?;
+    let is_int = value.trim().parse::<i64>().is_ok();
+    let factor = [100.0, 1000.0, -100.0][rng.random_range(0..3usize)];
+    let y = if x.abs() < 1e-9 { factor * 7.7 } else { x * factor };
+    let candidate = if is_int { format!("{}", y as i64) } else { format!("{y:.2}") };
+    (candidate != value).then_some(candidate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn missing_replaces_value() {
+        let mut r = rng();
+        let m = make_missing("Chelsea", &mut r).expect("eligible");
+        assert!(m.is_empty() || m == "NULL");
+        assert_eq!(make_missing("", &mut r), None);
+        assert_eq!(make_missing("NULL", &mut r), None);
+    }
+
+    #[test]
+    fn typo_changes_value_and_needs_letters() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let t = make_typo("France", &mut r).expect("eligible");
+            assert_ne!(t, "France");
+        }
+        assert_eq!(make_typo("42", &mut r), None);
+        assert_eq!(make_typo("a", &mut r), None);
+        assert_eq!(make_typo("", &mut r), None);
+    }
+
+    #[test]
+    fn formatting_changes_numeric_values() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let f = make_formatting("534858444", &mut r).expect("eligible");
+            assert_ne!(f, "534858444");
+            // Still recognizably the same digits underneath.
+            let stripped: String = f.chars().filter(|c| c.is_ascii_digit()).collect();
+            assert_eq!(stripped, "534858444");
+        }
+    }
+
+    #[test]
+    fn thousands_grouping() {
+        assert_eq!(group_thousands("534858444"), "534,858,444");
+        assert_eq!(group_thousands("1234.5"), "1,234.5");
+        assert_eq!(group_thousands("12"), "12");
+        assert_eq!(group_thousands("-1234"), "-1,234");
+    }
+
+    #[test]
+    fn outlier_is_far_from_original() {
+        let mut r = rng();
+        let o = make_outlier("42", &mut r).expect("numeric");
+        let v = as_f64(&o).expect("still numeric");
+        assert!(v.abs() >= 4200.0 - 1e-9);
+        assert_eq!(make_outlier("Chelsea", &mut r), None);
+    }
+
+    #[test]
+    fn outlier_on_zero_still_moves() {
+        let mut r = rng();
+        let o = make_outlier("0", &mut r).expect("numeric");
+        assert_ne!(o, "0");
+    }
+}

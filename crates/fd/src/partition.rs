@@ -1,0 +1,99 @@
+//! Stripped partitions: the classic FD-mining representation of a column
+//! (TANE / HyFD). A partition groups row indices by cell value and keeps
+//! only groups of size ≥ 2 — singleton groups can never witness or violate
+//! a unary FD.
+
+use matelda_table::Table;
+use std::collections::HashMap;
+
+/// The stripped partition of one column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Row-index groups (size ≥ 2), each sorted ascending; groups sorted by
+    /// first member for determinism.
+    pub groups: Vec<Vec<usize>>,
+    /// Total number of rows in the column the partition was built from.
+    pub n_rows: usize,
+}
+
+impl Partition {
+    /// Builds the stripped partition of column `col` of `table`.
+    pub fn of_column(table: &Table, col: usize) -> Self {
+        Self::from_values(table.columns[col].values.iter().map(String::as_str))
+    }
+
+    /// Builds a stripped partition from raw values.
+    pub fn from_values<'a>(values: impl Iterator<Item = &'a str>) -> Self {
+        let mut by_value: HashMap<&str, Vec<usize>> = HashMap::new();
+        let mut n_rows = 0;
+        for (i, v) in values.enumerate() {
+            by_value.entry(v).or_default().push(i);
+            n_rows += 1;
+        }
+        let mut groups: Vec<Vec<usize>> =
+            by_value.into_values().filter(|g| g.len() >= 2).collect();
+        groups.sort_by_key(|g| g[0]);
+        Self { groups, n_rows }
+    }
+
+    /// Number of non-singleton groups.
+    pub fn n_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// `true` if every value is unique (a key column).
+    pub fn is_key(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Rows covered by non-singleton groups.
+    pub fn covered_rows(&self) -> usize {
+        self.groups.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matelda_table::Column;
+
+    fn table() -> Table {
+        Table::new(
+            "t",
+            vec![
+                Column::new("club", ["Real", "Real", "City", "City", "Ajax"]),
+                Column::new("id", ["1", "2", "3", "4", "5"]),
+            ],
+        )
+    }
+
+    #[test]
+    fn groups_rows_by_value() {
+        let p = Partition::of_column(&table(), 0);
+        assert_eq!(p.n_rows, 5);
+        assert_eq!(p.groups, vec![vec![0, 1], vec![2, 3]]);
+        assert_eq!(p.covered_rows(), 4);
+        assert!(!p.is_key());
+    }
+
+    #[test]
+    fn key_column_has_empty_partition() {
+        let p = Partition::of_column(&table(), 1);
+        assert!(p.is_key());
+        assert_eq!(p.n_groups(), 0);
+        assert_eq!(p.covered_rows(), 0);
+    }
+
+    #[test]
+    fn empty_column() {
+        let p = Partition::from_values(std::iter::empty());
+        assert_eq!(p.n_rows, 0);
+        assert!(p.is_key());
+    }
+
+    #[test]
+    fn all_identical_single_group() {
+        let p = Partition::from_values(["x", "x", "x"].into_iter());
+        assert_eq!(p.groups, vec![vec![0, 1, 2]]);
+    }
+}

@@ -1,0 +1,702 @@
+//! Domain templates: clean-table generators with real FD structure and
+//! dictionary-covered vocabulary.
+
+use matelda_table::{Column, Table};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A column generator within a [`DomainSpec`].
+#[derive(Debug, Clone, Copy)]
+pub enum ColumnSpec {
+    /// Sequential row identifier with a prefix (`"R-17"`). The paper leans
+    /// on first columns being keys ("every table has a first column …
+    /// typically the key of the table").
+    Id {
+        /// Identifier prefix.
+        prefix: &'static str,
+    },
+    /// A key-ish entity column: each row picks an entity index into
+    /// `pool`; the index also drives any [`ColumnSpec::Determined`]
+    /// columns, creating exact FDs entity → attribute.
+    Entity {
+        /// Column name.
+        name: &'static str,
+        /// Entity vocabulary.
+        pool: &'static [&'static str],
+    },
+    /// Functionally determined by the row's entity: `map[entity % len]`.
+    Determined {
+        /// Column name.
+        name: &'static str,
+        /// Aligned attribute vocabulary.
+        map: &'static [&'static str],
+    },
+    /// Independent categorical value.
+    Cat {
+        /// Column name.
+        name: &'static str,
+        /// Vocabulary.
+        pool: &'static [&'static str],
+    },
+    /// Numeric column, uniform in `[min, max]`.
+    Num {
+        /// Column name.
+        name: &'static str,
+        /// Lower bound.
+        min: f64,
+        /// Upper bound.
+        max: f64,
+        /// Render as integer.
+        integer: bool,
+    },
+    /// Date column in `YYYY-MM-DD`.
+    Date {
+        /// Column name.
+        name: &'static str,
+        /// First year (inclusive).
+        start_year: i32,
+        /// Last year (inclusive).
+        end_year: i32,
+    },
+    /// Proper-noun column whose vocabulary is deliberately *outside* the
+    /// embedded dictionary (player surnames, brand names). Real corpora
+    /// are full of such values — they are what keeps a spell checker's
+    /// precision low (the paper measures ASPELL at 2% precision on
+    /// Quintet) and they make the typo detector non-trivial.
+    Proper {
+        /// Column name.
+        name: &'static str,
+        /// Out-of-dictionary vocabulary.
+        pool: &'static [&'static str],
+    },
+}
+
+/// A table-shaped domain: a name and an ordered list of column specs.
+#[derive(Debug, Clone, Copy)]
+pub struct DomainSpec {
+    /// Domain name (used for table naming and tests).
+    pub name: &'static str,
+    /// The columns, in schema order.
+    pub columns: &'static [ColumnSpec],
+}
+
+impl DomainSpec {
+    /// Generates a clean table of `n_rows` rows.
+    pub fn generate(&self, table_name: &str, n_rows: usize, rng: &mut StdRng) -> Table {
+        // One entity index per row drives all Entity/Determined columns,
+        // giving exact FDs. Drawing from a pool much smaller than n_rows
+        // guarantees duplicated LHS values (injectable FDs).
+        let entity_pool_len = self
+            .columns
+            .iter()
+            .find_map(|c| match c {
+                ColumnSpec::Entity { pool, .. } => Some(pool.len()),
+                _ => None,
+            })
+            .unwrap_or(1);
+        let entities: Vec<usize> =
+            (0..n_rows).map(|_| rng.random_range(0..entity_pool_len)).collect();
+
+        let columns = self
+            .columns
+            .iter()
+            .map(|spec| match spec {
+                ColumnSpec::Id { prefix } => Column::new(
+                    format!("{prefix}_id"),
+                    (0..n_rows).map(|i| format!("{prefix}-{i}")),
+                ),
+                ColumnSpec::Entity { name, pool } => Column::new(
+                    *name,
+                    entities.iter().map(|&e| pool[e].to_string()),
+                ),
+                ColumnSpec::Determined { name, map } => Column::new(
+                    *name,
+                    entities.iter().map(|&e| map[e % map.len()].to_string()),
+                ),
+                ColumnSpec::Cat { name, pool } => Column::new(
+                    *name,
+                    (0..n_rows).map(|_| pool[rng.random_range(0..pool.len())].to_string()),
+                ),
+                ColumnSpec::Num { name, min, max, integer } => Column::new(
+                    *name,
+                    (0..n_rows).map(|_| {
+                        let v = rng.random_range(*min..=*max);
+                        if *integer {
+                            format!("{}", v.round() as i64)
+                        } else {
+                            format!("{v:.2}")
+                        }
+                    }),
+                ),
+                ColumnSpec::Date { name, start_year, end_year } => Column::new(
+                    *name,
+                    (0..n_rows).map(|_| {
+                        let y = rng.random_range(*start_year..=*end_year);
+                        let m = rng.random_range(1..=12u32);
+                        let d = rng.random_range(1..=28u32);
+                        format!("{y:04}-{m:02}-{d:02}")
+                    }),
+                ),
+                ColumnSpec::Proper { name, pool } => Column::new(
+                    *name,
+                    (0..n_rows).map(|_| pool[rng.random_range(0..pool.len())].to_string()),
+                ),
+            })
+            .collect();
+        let mut table = Table::new(table_name, columns);
+
+        // Natural missing values: real corpora are not fully populated —
+        // every optional column (Num/Date/Cat; never the FD-bearing
+        // Entity/Determined pairs or ids) carries ~2% empty cells even
+        // when clean. This keeps not-null constraint suggestion (GX/Deequ)
+        // honest: the paper observes GX-Oracle near zero because real
+        // clean data already contains legitimate blanks.
+        for (j, spec) in self.columns.iter().enumerate() {
+            let optional = matches!(
+                spec,
+                ColumnSpec::Num { .. } | ColumnSpec::Date { .. } | ColumnSpec::Cat { .. }
+            );
+            if optional {
+                for r in 0..n_rows {
+                    if rng.random_bool(0.02) {
+                        *table.cell_mut(r, j) = String::new();
+                    }
+                }
+            }
+        }
+        table
+    }
+}
+
+// ---------------------------------------------------------------------
+// Vocabularies. Every word below is present in the embedded dictionary
+// (matelda-text/src/words_en.txt), keeping clean data spell-clean.
+// ---------------------------------------------------------------------
+
+const CITIES: &[&str] = &[
+    "Paris", "London", "Berlin", "Madrid", "Rome", "Lisbon", "Amsterdam", "Vienna", "Warsaw",
+    "Prague", "Dublin", "Athens", "Oslo", "Helsinki", "Stockholm", "Copenhagen",
+];
+const CITY_COUNTRY: &[&str] = &[
+    "France", "England", "Germany", "Spain", "Italy", "Portugal", "Netherlands", "Austria",
+    "Poland", "Czechia", "Ireland", "Greece", "Norway", "Finland", "Sweden", "Denmark",
+];
+const CLUBS: &[&str] = &[
+    "Manchester City", "Liverpool", "Chelsea", "Arsenal", "Real Madrid", "Barcelona",
+    "Bayern Munich", "Dortmund", "Milan", "Turin", "Porto", "Lyon", "Marseille", "Monaco",
+];
+const CLUB_COUNTRY: &[&str] = &[
+    "England", "England", "England", "England", "Spain", "Spain", "Germany", "Germany",
+    "Italy", "Italy", "Portugal", "France", "France", "France",
+];
+/// Out-of-dictionary player surnames (see [`ColumnSpec::Proper`]).
+const PLAYER_SURNAMES: &[&str] = &[
+    "Mbappe", "Haaland", "Szoboszlai", "Vinicius", "Bellingham", "Gyokeres", "Osimhen",
+    "Kvaratskhelia", "Musiala", "Wirtz", "Odegaard", "Gundogan", "Kudus", "Isak", "Hojlund",
+    "Zirkzee", "Yamal", "Doku", "Mainoo", "Sesko",
+];
+/// Out-of-dictionary movie titles.
+const MOVIE_TITLES: &[&str] = &[
+    "Shawshank", "Godfather", "Inception", "Interstellar", "Gladiator", "Casablanca",
+    "Vertigo", "Chinatown", "Goodfellas", "Amadeus", "Rashomon", "Oldboy", "Parasite",
+    "Whiplash", "Memento", "Alien",
+];
+/// Out-of-dictionary author surnames.
+const AUTHOR_NAMES: &[&str] = &[
+    "Abedjan", "Mahdavi", "Rekatsinas", "Papotti", "Ouzzani", "Ilyas", "Stonebraker",
+    "Neutatz", "Khatiwada", "Nargesian", "Hulsebos", "Papenbrock", "Esmailoghli", "Schelter",
+];
+const GENRES: &[&str] =
+    &["Drama", "Comedy", "Action", "Crime", "Thriller", "Horror", "Romance", "Adventure", "Musical", "Fantasy", "Western", "Mystery"];
+const DIRECTORS: &[&str] = &[
+    "Frank", "Francis", "Sidney", "Steven", "Martin", "Christopher", "Peter", "Ridley", "James",
+    "George", "Sofia", "Kathryn",
+];
+const STUDIOS: &[&str] =
+    &["Paramount", "Universal", "Columbia", "Warner", "Disney", "Fox", "Lionsgate", "Orion"];
+const BEER_STYLES: &[&str] =
+    &["Pale Ale", "India Pale Ale", "Lager", "Stout", "Porter", "Wheat", "Amber", "Blonde"];
+const BREWERIES: &[&str] = &[
+    "Ayinger Brewery", "Deschutes Brewery", "Karbach Brewery", "Weihenstephaner",
+    "Rochefort Brewery", "Unibroue", "Tripel Karmeliet", "Westvleteren",
+];
+const AIRLINES: &[&str] =
+    &["United", "Delta", "JetBlue", "Southwest", "Lufthansa", "Wizzair", "Ryanair"];
+const AIRPORTS: &[&str] =
+    &["Boston", "Chicago", "Denver", "Seattle", "Austin", "Dallas", "Houston", "Phoenix", "Portland", "Detroit", "Atlanta", "Miami"];
+const HOSPITAL_NAMES: &[&str] = &[
+    "Ascension Mercy", "Gundersen Clinic", "Sentara General", "Intermountain Care",
+    "Providence Regional", "Geisinger Clinic", "Montefiore Hospital", "Ochsner Medical",
+];
+const CONDITIONS: &[&str] = &[
+    "Heart Failure", "Pneumonia", "Heart Attack", "Surgical Care", "Asthma", "Diabetes",
+    "Stroke", "Infection",
+];
+const STATES: &[&str] =
+    &["Alabama", "Alaska", "Arizona", "Colorado", "Georgia", "Kansas", "Montana", "Nevada", "Oregon", "Texas", "Utah", "Vermont"];
+const STATE_CODES: &[&str] =
+    &["AL", "AK", "AZ", "CO", "GA", "KS", "MT", "NV", "OR", "TX", "UT", "VT"];
+const JOURNALS: &[&str] = &[
+    "Nature Medicine", "Science Reports", "Health Review", "Data Journal", "Systems Review",
+    "Medical Letters", "Clinical Notes", "Open Science",
+];
+const LANGUAGES: &[&str] =
+    &["English", "German", "French", "Spanish", "Italian", "Dutch", "Polish", "Greek"];
+const OCCUPATIONS: &[&str] = &[
+    "Sales", "Craft Repair", "Exec Managerial", "Prof Specialty", "Handlers Cleaners",
+    "Machine Op", "Adm Clerical", "Farming Fishing", "Transport Moving", "Tech Support",
+];
+const EDUCATION: &[&str] =
+    &["Bachelors", "Masters", "Doctorate", "College", "School", "Vocational"];
+const WORKCLASS: &[&str] =
+    &["Private", "State Gov", "Federal Gov", "Local Gov", "Self Employed"];
+const MACHINE_STATUS: &[&str] = &["Running", "Idle", "Maintenance", "Fault", "Offline"];
+const WEATHER: &[&str] = &["Clear", "Cloudy", "Rain", "Snow", "Mist", "Storm"];
+const DEPARTMENTS: &[&str] = &[
+    "Finance", "Health", "Education", "Transit", "Parks", "Housing", "Water", "Energy",
+    "Police", "Fire", "Library", "Sanitation",
+];
+const CUISINES: &[&str] =
+    &["American", "Chinese", "Italian", "Mexican", "Japanese", "Thai", "French", "Indian"];
+const BOROUGHS: &[&str] =
+    &["Manhattan", "Brooklyn", "Queens", "Bronx", "Richmond"];
+const GRADES: &[&str] = &["A", "B", "C"];
+const PRODUCTS: &[&str] = &[
+    "Laptop", "Monitor", "Keyboard", "Printer", "Camera", "Speaker", "Tablet", "Router",
+    "Charger", "Headset",
+];
+const SUPPLIERS: &[&str] = &[
+    "Initech Supply", "Globex Parts", "Vandelay Goods", "Wernham Trade", "Cyberdyne Retail",
+    "Dunder Depot", "Hooli Wholesale", "Umbrella Imports",
+];
+const SONG_ARTISTS: &[&str] = &[
+    "Khruangbin", "Alvvays", "Phoebe Rodrigo", "Bastille Echo", "Wilco Harbor", "Sufjan Canyon",
+    "Bonobo Valley", "Tame Rivers",
+];
+const SCHOOL_NAMES: &[&str] = &[
+    "Lincoln High", "Washington Middle", "Jefferson Elementary", "Roosevelt High",
+    "Franklin Academy", "Madison Prep", "Kennedy High", "Monroe Elementary",
+];
+
+// ---------------------------------------------------------------------
+// The domain templates.
+// ---------------------------------------------------------------------
+
+/// Soccer players (paper running example, Table t1).
+pub const PLAYERS: DomainSpec = DomainSpec {
+    name: "soccer",
+    columns: &[
+        ColumnSpec::Id { prefix: "P" },
+        ColumnSpec::Proper { name: "name", pool: PLAYER_SURNAMES },
+        ColumnSpec::Num { name: "age", min: 18.0, max: 38.0, integer: true },
+        ColumnSpec::Num { name: "market_value", min: 1.0, max: 180.0, integer: false },
+        ColumnSpec::Entity { name: "club", pool: CLUBS },
+        ColumnSpec::Determined { name: "club_country", map: CLUB_COUNTRY },
+    ],
+};
+
+/// Soccer clubs (running example Table t3) — same domain as [`PLAYERS`].
+pub const CLUBS_TABLE: DomainSpec = DomainSpec {
+    name: "soccer",
+    columns: &[
+        ColumnSpec::Id { prefix: "C" },
+        ColumnSpec::Entity { name: "club_name", pool: CLUBS },
+        ColumnSpec::Determined { name: "country", map: CLUB_COUNTRY },
+        ColumnSpec::Num { name: "score", min: 1900.0, max: 2100.0, integer: true },
+        ColumnSpec::Num { name: "founded", min: 1880.0, max: 1995.0, integer: true },
+    ],
+};
+
+/// Movies with ratings (running example Table t2).
+pub const MOVIES: DomainSpec = DomainSpec {
+    name: "movies",
+    columns: &[
+        ColumnSpec::Id { prefix: "M" },
+        ColumnSpec::Proper { name: "title", pool: MOVIE_TITLES },
+        ColumnSpec::Cat { name: "genre", pool: GENRES },
+        ColumnSpec::Num { name: "release_year", min: 1950.0, max: 2023.0, integer: true },
+        ColumnSpec::Num { name: "rating", min: 5.0, max: 9.5, integer: false },
+        ColumnSpec::Entity { name: "director", pool: DIRECTORS },
+        ColumnSpec::Num { name: "gross", min: 100_000.0, max: 900_000_000.0, integer: true },
+    ],
+};
+
+/// Box-office table (running example Table t5) — same domain as [`MOVIES`].
+pub const BOX_OFFICE: DomainSpec = DomainSpec {
+    name: "movies",
+    columns: &[
+        ColumnSpec::Id { prefix: "B" },
+        ColumnSpec::Entity { name: "studio", pool: STUDIOS },
+        ColumnSpec::Date { name: "release_date", start_year: 1950, end_year: 2023 },
+        ColumnSpec::Cat { name: "genre", pool: GENRES },
+        ColumnSpec::Num { name: "total_gross", min: 1_000_000.0, max: 900_000_000.0, integer: true },
+    ],
+};
+
+/// Countries and populations (running example Table t4).
+pub const COUNTRIES: DomainSpec = DomainSpec {
+    name: "geo",
+    columns: &[
+        ColumnSpec::Id { prefix: "G" },
+        ColumnSpec::Entity { name: "capital", pool: CITIES },
+        ColumnSpec::Determined { name: "country", map: CITY_COUNTRY },
+        ColumnSpec::Num { name: "population", min: 100_000.0, max: 85_000_000.0, integer: true },
+        ColumnSpec::Num { name: "area", min: 1_000.0, max: 700_000.0, integer: true },
+    ],
+};
+
+/// Flights (Quintet's "Flights").
+pub const FLIGHTS: DomainSpec = DomainSpec {
+    name: "flights",
+    columns: &[
+        ColumnSpec::Id { prefix: "F" },
+        ColumnSpec::Cat { name: "airline", pool: AIRLINES },
+        ColumnSpec::Entity { name: "origin", pool: AIRPORTS },
+        ColumnSpec::Cat { name: "destination", pool: AIRPORTS },
+        ColumnSpec::Date { name: "scheduled", start_year: 2011, end_year: 2012 },
+        ColumnSpec::Num { name: "delay_minutes", min: 0.0, max: 240.0, integer: true },
+    ],
+};
+
+/// Beers (Quintet's "Beers").
+pub const BEERS: DomainSpec = DomainSpec {
+    name: "beers",
+    columns: &[
+        ColumnSpec::Id { prefix: "BE" },
+        ColumnSpec::Entity { name: "brewery", pool: BREWERIES },
+        ColumnSpec::Cat { name: "style", pool: BEER_STYLES },
+        ColumnSpec::Num { name: "abv", min: 3.0, max: 12.0, integer: false },
+        ColumnSpec::Num { name: "ibu", min: 5.0, max: 120.0, integer: true },
+        ColumnSpec::Num { name: "ounces", min: 8.0, max: 32.0, integer: true },
+    ],
+};
+
+/// Hospitals (Quintet's "Hospital").
+pub const HOSPITAL: DomainSpec = DomainSpec {
+    name: "hospital",
+    columns: &[
+        ColumnSpec::Id { prefix: "H" },
+        ColumnSpec::Entity { name: "hospital_name", pool: HOSPITAL_NAMES },
+        ColumnSpec::Cat { name: "condition", pool: CONDITIONS },
+        ColumnSpec::Entity { name: "state", pool: STATES },
+        ColumnSpec::Determined { name: "state_code", map: STATE_CODES },
+        ColumnSpec::Num { name: "sample_size", min: 10.0, max: 900.0, integer: true },
+        ColumnSpec::Num { name: "score", min: 0.0, max: 100.0, integer: true },
+    ],
+};
+
+/// Bibliographic records (Quintet's "Rayyan").
+pub const RAYYAN: DomainSpec = DomainSpec {
+    name: "articles",
+    columns: &[
+        ColumnSpec::Id { prefix: "A" },
+        ColumnSpec::Proper { name: "author", pool: AUTHOR_NAMES },
+        ColumnSpec::Entity { name: "journal", pool: JOURNALS },
+        ColumnSpec::Determined { name: "language", map: LANGUAGES },
+        ColumnSpec::Num { name: "volume", min: 1.0, max: 60.0, integer: true },
+        ColumnSpec::Num { name: "pages", min: 4.0, max: 40.0, integer: true },
+        ColumnSpec::Date { name: "published", start_year: 1990, end_year: 2020 },
+    ],
+};
+
+/// Census income rows (REIN's "Adult").
+pub const ADULT: DomainSpec = DomainSpec {
+    name: "census",
+    columns: &[
+        ColumnSpec::Id { prefix: "AD" },
+        ColumnSpec::Num { name: "age", min: 17.0, max: 90.0, integer: true },
+        ColumnSpec::Entity { name: "occupation", pool: OCCUPATIONS },
+        ColumnSpec::Cat { name: "education", pool: EDUCATION },
+        ColumnSpec::Cat { name: "workclass", pool: WORKCLASS },
+        ColumnSpec::Num { name: "hours_per_week", min: 10.0, max: 80.0, integer: true },
+        ColumnSpec::Num { name: "capital_gain", min: 0.0, max: 20_000.0, integer: true },
+    ],
+};
+
+/// Tumor measurements (REIN's "Breast Cancer").
+pub const BREAST_CANCER: DomainSpec = DomainSpec {
+    name: "medical",
+    columns: &[
+        ColumnSpec::Id { prefix: "BC" },
+        ColumnSpec::Num { name: "radius", min: 6.0, max: 28.0, integer: false },
+        ColumnSpec::Num { name: "texture", min: 9.0, max: 40.0, integer: false },
+        ColumnSpec::Num { name: "perimeter", min: 40.0, max: 190.0, integer: false },
+        ColumnSpec::Num { name: "smoothness", min: 0.05, max: 0.16, integer: false },
+        ColumnSpec::Cat { name: "diagnosis", pool: &["Benign", "Malignant"] },
+    ],
+};
+
+/// Sensor readings (REIN's "Smart Factory").
+pub const SMART_FACTORY: DomainSpec = DomainSpec {
+    name: "factory",
+    columns: &[
+        ColumnSpec::Id { prefix: "SF" },
+        ColumnSpec::Entity { name: "machine", pool: &["Press", "Lathe", "Mill", "Welder", "Cutter", "Drill"] },
+        ColumnSpec::Determined { name: "status", map: MACHINE_STATUS },
+        ColumnSpec::Num { name: "temperature", min: 18.0, max: 95.0, integer: false },
+        ColumnSpec::Num { name: "pressure", min: 0.8, max: 6.5, integer: false },
+        ColumnSpec::Num { name: "vibration", min: 0.0, max: 12.0, integer: false },
+    ],
+};
+
+/// Airfoil acoustics (REIN's "Nasa").
+pub const NASA: DomainSpec = DomainSpec {
+    name: "aero",
+    columns: &[
+        ColumnSpec::Id { prefix: "N" },
+        ColumnSpec::Num { name: "frequency", min: 200.0, max: 20_000.0, integer: true },
+        ColumnSpec::Num { name: "angle", min: 0.0, max: 22.0, integer: false },
+        ColumnSpec::Num { name: "chord", min: 0.02, max: 0.3, integer: false },
+        ColumnSpec::Num { name: "velocity", min: 30.0, max: 72.0, integer: false },
+        ColumnSpec::Num { name: "sound_level", min: 103.0, max: 141.0, integer: false },
+    ],
+};
+
+/// Bike-sharing demand (REIN's "Bikes").
+pub const BIKES: DomainSpec = DomainSpec {
+    name: "transport",
+    columns: &[
+        ColumnSpec::Id { prefix: "BK" },
+        ColumnSpec::Date { name: "day", start_year: 2011, end_year: 2012 },
+        ColumnSpec::Cat { name: "weather", pool: WEATHER },
+        ColumnSpec::Num { name: "temperature", min: -8.0, max: 39.0, integer: false },
+        ColumnSpec::Num { name: "windspeed", min: 0.0, max: 57.0, integer: false },
+        ColumnSpec::Num { name: "count", min: 1.0, max: 8_000.0, integer: true },
+    ],
+};
+
+/// Soil moisture probes (REIN's "Soil Moisture").
+pub const SOIL: DomainSpec = DomainSpec {
+    name: "environment",
+    columns: &[
+        ColumnSpec::Id { prefix: "SO" },
+        ColumnSpec::Num { name: "depth", min: 5.0, max: 100.0, integer: true },
+        ColumnSpec::Num { name: "moisture", min: 0.02, max: 0.55, integer: false },
+        ColumnSpec::Num { name: "salinity", min: 0.1, max: 8.0, integer: false },
+        ColumnSpec::Num { name: "nitrogen", min: 0.5, max: 40.0, integer: false },
+    ],
+};
+
+/// Car listings (REIN's "Mercedes").
+pub const MERCEDES: DomainSpec = DomainSpec {
+    name: "vehicles",
+    columns: &[
+        ColumnSpec::Id { prefix: "MB" },
+        ColumnSpec::Entity { name: "model", pool: &["Class A", "Class B", "Class C", "Class E", "Class S", "Class G"] },
+        ColumnSpec::Determined { name: "fuel", map: &["Petrol", "Petrol", "Diesel", "Diesel", "Petrol", "Diesel"] },
+        ColumnSpec::Num { name: "mileage", min: 500.0, max: 180_000.0, integer: true },
+        ColumnSpec::Num { name: "horsepower", min: 90.0, max: 620.0, integer: true },
+        ColumnSpec::Num { name: "price", min: 9_000.0, max: 160_000.0, integer: true },
+    ],
+};
+
+/// Wearable activity data (REIN's "HAR").
+pub const HAR: DomainSpec = DomainSpec {
+    name: "wearables",
+    columns: &[
+        ColumnSpec::Id { prefix: "HR" },
+        ColumnSpec::Cat { name: "activity", pool: &["Walking", "Sitting", "Standing", "Running", "Cycling"] },
+        ColumnSpec::Num { name: "accelerometer", min: -20.0, max: 20.0, integer: false },
+        ColumnSpec::Num { name: "gyroscope", min: -10.0, max: 10.0, integer: false },
+        ColumnSpec::Num { name: "subject", min: 1.0, max: 30.0, integer: true },
+    ],
+};
+
+/// Open-government style: school enrollment.
+pub const SCHOOLS: DomainSpec = DomainSpec {
+    name: "education",
+    columns: &[
+        ColumnSpec::Id { prefix: "SC" },
+        ColumnSpec::Entity { name: "school", pool: SCHOOL_NAMES },
+        ColumnSpec::Determined { name: "district", map: DEPARTMENTS },
+        ColumnSpec::Num { name: "enrollment", min: 80.0, max: 3_500.0, integer: true },
+        ColumnSpec::Num { name: "graduation_rate", min: 40.0, max: 99.0, integer: false },
+    ],
+};
+
+/// Open-government style: agency budgets.
+pub const BUDGETS: DomainSpec = DomainSpec {
+    name: "finance",
+    columns: &[
+        ColumnSpec::Id { prefix: "BU" },
+        ColumnSpec::Entity { name: "department", pool: DEPARTMENTS },
+        ColumnSpec::Num { name: "fiscal_year", min: 2005.0, max: 2023.0, integer: true },
+        ColumnSpec::Num { name: "budget", min: 100_000.0, max: 90_000_000.0, integer: true },
+        ColumnSpec::Num { name: "spent", min: 50_000.0, max: 90_000_000.0, integer: true },
+    ],
+};
+
+/// Open-government style: restaurant inspections.
+pub const RESTAURANTS: DomainSpec = DomainSpec {
+    name: "inspections",
+    columns: &[
+        ColumnSpec::Id { prefix: "RI" },
+        ColumnSpec::Cat { name: "cuisine", pool: CUISINES },
+        ColumnSpec::Entity { name: "borough", pool: BOROUGHS },
+        ColumnSpec::Cat { name: "grade", pool: GRADES },
+        ColumnSpec::Num { name: "violations", min: 0.0, max: 12.0, integer: true },
+        ColumnSpec::Date { name: "inspected", start_year: 2015, end_year: 2023 },
+    ],
+};
+
+/// Open-government style: weather stations.
+pub const WEATHER_STATIONS: DomainSpec = DomainSpec {
+    name: "weather",
+    columns: &[
+        ColumnSpec::Id { prefix: "WS" },
+        ColumnSpec::Entity { name: "station_city", pool: CITIES },
+        ColumnSpec::Determined { name: "country", map: CITY_COUNTRY },
+        ColumnSpec::Num { name: "rainfall", min: 0.0, max: 340.0, integer: false },
+        ColumnSpec::Num { name: "temp_max", min: -10.0, max: 44.0, integer: false },
+        ColumnSpec::Num { name: "temp_min", min: -25.0, max: 25.0, integer: false },
+    ],
+};
+
+/// Commerce orders (GitTables-ish spreadsheets).
+pub const ORDERS: DomainSpec = DomainSpec {
+    name: "commerce",
+    columns: &[
+        ColumnSpec::Id { prefix: "O" },
+        ColumnSpec::Cat { name: "product", pool: PRODUCTS },
+        ColumnSpec::Entity { name: "supplier", pool: SUPPLIERS },
+        ColumnSpec::Num { name: "quantity", min: 1.0, max: 500.0, integer: true },
+        ColumnSpec::Num { name: "price", min: 2.0, max: 2_400.0, integer: false },
+    ],
+};
+
+/// Music charts (GitTables-ish spreadsheets).
+pub const SONGS: DomainSpec = DomainSpec {
+    name: "music",
+    columns: &[
+        ColumnSpec::Id { prefix: "SG" },
+        ColumnSpec::Entity { name: "artist", pool: SONG_ARTISTS },
+        ColumnSpec::Num { name: "track_length", min: 120.0, max: 420.0, integer: true },
+        ColumnSpec::Num { name: "chart_position", min: 1.0, max: 100.0, integer: true },
+        ColumnSpec::Num { name: "plays", min: 1_000.0, max: 90_000_000.0, integer: true },
+    ],
+};
+
+/// Every template, for generators that cycle through domains.
+pub const ALL_DOMAINS: &[DomainSpec] = &[
+    PLAYERS,
+    CLUBS_TABLE,
+    MOVIES,
+    BOX_OFFICE,
+    COUNTRIES,
+    FLIGHTS,
+    BEERS,
+    HOSPITAL,
+    RAYYAN,
+    ADULT,
+    BREAST_CANCER,
+    SMART_FACTORY,
+    NASA,
+    BIKES,
+    SOIL,
+    MERCEDES,
+    HAR,
+    SCHOOLS,
+    BUDGETS,
+    RESTAURANTS,
+    WEATHER_STATIONS,
+    ORDERS,
+    SONGS,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matelda_text::SpellChecker;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_requested_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = PLAYERS.generate("players", 50, &mut rng);
+        assert_eq!(t.n_rows(), 50);
+        assert_eq!(t.n_cols(), 6);
+        assert_eq!(t.columns[0].name, "P_id");
+    }
+
+    #[test]
+    fn entity_determined_pairs_form_exact_fds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for spec in ALL_DOMAINS {
+            let t = spec.generate("t", 60, &mut rng);
+            for (j, col) in spec.columns.iter().enumerate() {
+                if let ColumnSpec::Determined { .. } = col {
+                    // Find the entity column (the FD's LHS).
+                    let lhs = spec
+                        .columns
+                        .iter()
+                        .position(|c| matches!(c, ColumnSpec::Entity { .. }))
+                        .expect("Determined requires Entity");
+                    let stats = matelda_fd::violation_stats(&t, lhs, j);
+                    assert!(
+                        stats.violating_rows.is_empty(),
+                        "domain {} column {j} violates its own FD",
+                        spec.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clean_tables_are_mostly_spell_clean_except_proper_nouns() {
+        let spell = SpellChecker::english();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut flagged = 0usize;
+        let mut total = 0usize;
+        let mut proper_flagged = 0usize;
+        let mut proper_total = 0usize;
+        for spec in ALL_DOMAINS {
+            let t = spec.generate("t", 30, &mut rng);
+            for (j, col) in t.columns.iter().enumerate() {
+                // Proper columns and Entity columns carry real-world
+                // brand/venue names, which are OOD by design.
+                let is_proper = matches!(
+                    spec.columns[j],
+                    ColumnSpec::Proper { .. } | ColumnSpec::Entity { .. }
+                );
+                for v in &col.values {
+                    let f = spell.flags_cell(v);
+                    if is_proper {
+                        proper_total += 1;
+                        proper_flagged += usize::from(f);
+                    } else {
+                        total += 1;
+                        flagged += usize::from(f);
+                    }
+                }
+            }
+        }
+        // Dictionary-covered columns stay quiet...
+        let rate = flagged as f64 / total as f64;
+        assert!(rate < 0.02, "clean dictionary columns trigger the typo detector at rate {rate}");
+        // ...while proper-noun columns are flagged wholesale — that is the
+        // realistic false-positive source for ASPELL-style detection.
+        assert!(proper_total > 0);
+        assert!(
+            proper_flagged as f64 / proper_total as f64 > 0.3,
+            "proper-noun vocabulary leaked into the dictionary"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t1 = MOVIES.generate("m", 20, &mut StdRng::seed_from_u64(9));
+        let t2 = MOVIES.generate("m", 20, &mut StdRng::seed_from_u64(9));
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn first_column_is_a_key() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for spec in ALL_DOMAINS {
+            let t = spec.generate("t", 40, &mut rng);
+            let p = matelda_fd::Partition::of_column(&t, 0);
+            assert!(p.is_key(), "domain {} first column is not a key", spec.name);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! The GitTables-shaped lake: many small CSV-in-repository tables (the
+//! paper samples 1000 of the one-million-table corpus; average ~126 rows
+//! per table, scaled down here). Used for the Figure 9 scalability sweep
+//! (100–1000 tables).
+
+use crate::build::{assemble, GeneratedLake};
+use crate::domains::ALL_DOMAINS;
+use matelda_errorgen::{ErrorSpec, ErrorType};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator parameters for the GitTables-shaped lake.
+#[derive(Debug, Clone)]
+pub struct GitTablesLake {
+    /// Number of tables (paper sweeps 100–1000).
+    pub n_tables: usize,
+    /// Row count range; GitTables are small (paper avg 126 rows,
+    /// scaled to laptop size).
+    pub rows: (usize, usize),
+    /// Cell error rate (unknown in the paper; a mixed 10% default).
+    pub error_rate: f64,
+}
+
+impl Default for GitTablesLake {
+    fn default() -> Self {
+        Self { n_tables: 1000, rows: (8, 25), error_rate: 0.10 }
+    }
+}
+
+impl GitTablesLake {
+    /// A copy limited to `n` tables.
+    pub fn with_n_tables(mut self, n: usize) -> Self {
+        self.n_tables = n;
+        self
+    }
+
+    /// Generates the lake deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> GeneratedLake {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tables = Vec::with_capacity(self.n_tables);
+        for i in 0..self.n_tables {
+            let spec = &ALL_DOMAINS[rng.random_range(0..ALL_DOMAINS.len())];
+            let n_rows = rng.random_range(self.rows.0..=self.rows.1);
+            let mut t = spec.generate(&format!("git_{i}_{}", spec.name), n_rows, &mut rng);
+            // Repository CSVs are often narrow fragments.
+            while t.n_cols() > 3 && rng.random_bool(0.35) {
+                t.columns.pop();
+            }
+            tables.push(t);
+        }
+        let types = vec![
+            ErrorType::MissingValue,
+            ErrorType::Typo,
+            ErrorType::Formatting,
+            ErrorType::NumericOutlier,
+            ErrorType::FdViolation,
+        ];
+        let specs: Vec<ErrorSpec> = (0..self.n_tables)
+            .map(|i| ErrorSpec { rate: self.error_rate, types: types.clone(), seed: seed ^ (0x617 + i as u64) })
+            .collect();
+        assemble(tables, &specs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_small_and_numerous() {
+        let lake = GitTablesLake::default().with_n_tables(50).generate(3);
+        assert_eq!(lake.dirty.n_tables(), 50);
+        let avg_rows = lake.dirty.n_rows() as f64 / 50.0;
+        assert!((8.0..=25.0).contains(&avg_rows));
+    }
+
+    #[test]
+    fn sweep_sizes_nest_deterministically() {
+        // Generating with the same seed and truncating must equal the
+        // smaller generation — Fig. 9 sweeps rely on this.
+        let big = GitTablesLake::default().with_n_tables(30).generate(4);
+        let small = GitTablesLake::default().with_n_tables(10).generate(4);
+        for i in 0..10 {
+            assert_eq!(big.dirty.tables[i], small.dirty.tables[i]);
+        }
+    }
+}

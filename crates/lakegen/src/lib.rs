@@ -1,0 +1,36 @@
+//! # matelda-lakegen
+//!
+//! Synthetic data-lake generators shaped like the paper's benchmarks
+//! (Table 1). The real corpora (Quintet, REIN, data.gov crawls, the WDC
+//! web-table corpus, GitTables) are not redistributable here, so each
+//! generator reproduces the *shape* that drives the experiments — table
+//! counts, schema diversity, domain overlap across tables, error rates and
+//! error-type mixes — at laptop scale (row counts reduced ~50-100×; see
+//! DESIGN.md's substitution table).
+//!
+//! Design invariants the experiments rely on:
+//!
+//! * clean values are drawn from the embedded dictionary vocabularies, so
+//!   the typo detector is quiet on clean data and fires on injected typos
+//!   (as Aspell does on the paper's corpora);
+//! * every domain template carries real functional dependencies
+//!   (entity → attribute maps), so FD-violation injection and detection
+//!   have something to work with;
+//! * several templates share domains (e.g. two soccer tables, two movie
+//!   tables), giving domain-based folding its reason to exist;
+//! * everything is deterministic given the seed.
+
+pub mod build;
+pub mod dgov;
+pub mod domains;
+pub mod gittables;
+pub mod quintet;
+pub mod rein;
+pub mod wdc;
+
+pub use build::GeneratedLake;
+pub use dgov::DGovLake;
+pub use gittables::GitTablesLake;
+pub use quintet::QuintetLake;
+pub use rein::ReinLake;
+pub use wdc::WdcLake;

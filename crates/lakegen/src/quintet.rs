@@ -1,0 +1,74 @@
+//! The Quintet-shaped lake: five tables from five distinct domains
+//! ("Flights", "Beers", "Hospital", "Movies", "Rayyan"), ~9% cell errors
+//! of types MV, T, FI, VAD (paper Table 1 row 1).
+
+use crate::build::{assemble, GeneratedLake};
+use crate::domains;
+use matelda_errorgen::{ErrorSpec, ErrorType};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Generator parameters for the Quintet-shaped lake.
+#[derive(Debug, Clone)]
+pub struct QuintetLake {
+    /// Rows per table (the paper's Quintet averages ~8k rows per table;
+    /// scaled to laptop size — see DESIGN.md).
+    pub rows_per_table: usize,
+    /// Cell error rate (paper: 9%).
+    pub error_rate: f64,
+}
+
+impl Default for QuintetLake {
+    fn default() -> Self {
+        Self { rows_per_table: 120, error_rate: 0.09 }
+    }
+}
+
+impl QuintetLake {
+    /// Generates the lake deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> GeneratedLake {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tables = vec![
+            domains::FLIGHTS.generate("flights", self.rows_per_table, &mut rng),
+            domains::BEERS.generate("beers", self.rows_per_table, &mut rng),
+            domains::HOSPITAL.generate("hospital", self.rows_per_table, &mut rng),
+            domains::MOVIES.generate("movies", self.rows_per_table, &mut rng),
+            domains::RAYYAN.generate("rayyan", self.rows_per_table, &mut rng),
+        ];
+        let types = vec![
+            ErrorType::MissingValue,
+            ErrorType::Typo,
+            ErrorType::Formatting,
+            ErrorType::FdViolation,
+        ];
+        let specs: Vec<ErrorSpec> = (0..tables.len())
+            .map(|i| ErrorSpec { rate: self.error_rate, types: types.clone(), seed: seed ^ (i as u64 + 1) })
+            .collect();
+        assemble(tables, &specs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table1_shape() {
+        let lake = QuintetLake::default().generate(7);
+        assert_eq!(lake.dirty.n_tables(), 5);
+        let rate = lake.error_rate();
+        assert!((0.06..=0.12).contains(&rate), "error rate {rate} should be ~9%");
+        // All four error types present.
+        let names: Vec<&str> = lake.typed_errors.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["MV", "T", "FI", "VAD"]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = QuintetLake::default().generate(3);
+        let b = QuintetLake::default().generate(3);
+        assert_eq!(a.dirty, b.dirty);
+        let c = QuintetLake::default().generate(4);
+        assert_ne!(a.dirty, c.dirty);
+    }
+}

@@ -1,0 +1,97 @@
+//! The WDC-shaped lake: 100 English relational web tables, 3–10 columns,
+//! ≥ 21 rows (the paper's pre-filter), mixed domains, no published ground
+//! truth — we *do* keep ground truth (we generated the errors) so the
+//! Table 2 harness can grade the 100-cell evaluation samples exactly the
+//! way the paper graded them by hand.
+
+use crate::build::{assemble, GeneratedLake};
+use crate::domains::ALL_DOMAINS;
+use matelda_errorgen::{ErrorSpec, ErrorType};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator parameters for the WDC-shaped lake.
+#[derive(Debug, Clone)]
+pub struct WdcLake {
+    /// Number of web tables (paper: 100).
+    pub n_tables: usize,
+    /// Row count range; the paper filtered to ≥ 21 rows.
+    pub rows: (usize, usize),
+    /// Cell error rate. Web tables are moderately dirty; 8% keeps the
+    /// manual-sample statistics of Table 2 meaningful.
+    pub error_rate: f64,
+}
+
+impl Default for WdcLake {
+    fn default() -> Self {
+        Self { n_tables: 100, rows: (21, 45), error_rate: 0.08 }
+    }
+}
+
+impl WdcLake {
+    /// Generates the lake deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> GeneratedLake {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tables = Vec::with_capacity(self.n_tables);
+        for i in 0..self.n_tables {
+            // Web tables are domain-scattered and entity-heavy: half the
+            // tables come from the proper-noun-rich templates (players,
+            // movies, articles, beers, hospitals, commerce, music).
+            let ood_heavy = [0usize, 2, 3, 6, 7, 8, 15, 21, 22];
+            let spec = if rng.random_bool(0.5) {
+                &ALL_DOMAINS[ood_heavy[rng.random_range(0..ood_heavy.len())]]
+            } else {
+                &ALL_DOMAINS[rng.random_range(0..ALL_DOMAINS.len())]
+            };
+            let n_rows = rng.random_range(self.rows.0..=self.rows.1);
+            let mut t = spec.generate(&format!("wdc_{i}_{}", spec.name), n_rows, &mut rng);
+            // The paper keeps 3–10 column tables; occasionally narrow.
+            while t.n_cols() > 3 && rng.random_bool(0.25) {
+                t.columns.pop();
+            }
+            tables.push(t);
+        }
+        // Web-table dirt is dominated by scraping artifacts (missing
+        // values, formatting damage) and wrong-entity cells; genuine
+        // misspellings are rare — the paper measures ASPELL at 7% recall
+        // on WDC. Repeating a type in the list gives it a proportionally
+        // larger share of the evenly split quota.
+        let types = vec![
+            ErrorType::MissingValue,
+            ErrorType::Formatting,
+            ErrorType::FdViolation,
+            ErrorType::MissingValue,
+            ErrorType::Formatting,
+            ErrorType::FdViolation,
+            ErrorType::Typo,
+        ];
+        let specs: Vec<ErrorSpec> = (0..self.n_tables)
+            .map(|i| ErrorSpec { rate: self.error_rate, types: types.clone(), seed: seed ^ (0x57DC + i as u64) })
+            .collect();
+        assemble(tables, &specs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_web_table_filters() {
+        let cfg = WdcLake { n_tables: 30, ..WdcLake::default() };
+        let lake = cfg.generate(9);
+        assert_eq!(lake.dirty.n_tables(), 30);
+        for t in &lake.dirty.tables {
+            assert!(t.n_rows() >= 21, "table {} too short", t.name);
+            assert!((3..=10).contains(&t.n_cols()), "table {} width {}", t.name, t.n_cols());
+        }
+    }
+
+    #[test]
+    fn moderate_error_rate() {
+        let cfg = WdcLake { n_tables: 20, ..WdcLake::default() };
+        let lake = cfg.generate(13);
+        let rate = lake.error_rate();
+        assert!((0.05..=0.12).contains(&rate), "rate {rate}");
+    }
+}

@@ -1,0 +1,96 @@
+//! Conformance tests: every lake generator must produce aligned
+//! dirty/clean pairs, error masks that match the diff, typed masks that
+//! partition the error set, and deterministic output.
+
+use matelda_lakegen::{DGovLake, GeneratedLake, GitTablesLake, QuintetLake, ReinLake, WdcLake};
+use matelda_table::diff_lakes;
+
+fn all_generators() -> Vec<(&'static str, Box<dyn Fn(u64) -> GeneratedLake>)> {
+    vec![
+        ("quintet", Box::new(|s| QuintetLake { rows_per_table: 40, ..Default::default() }.generate(s))),
+        ("rein", Box::new(|s| ReinLake { rows_per_table: 40, ..Default::default() }.generate(s))),
+        ("dgov-ntr", Box::new(|s| DGovLake::ntr().with_n_tables(10).generate(s))),
+        ("dgov-nt", Box::new(|s| DGovLake::nt().with_n_tables(10).generate(s))),
+        ("dgov-no", Box::new(|s| DGovLake::no().with_n_tables(10).generate(s))),
+        ("dgov-typo", Box::new(|s| DGovLake::typo().with_n_tables(10).generate(s))),
+        ("dgov-rv", Box::new(|s| DGovLake::rv().with_n_tables(10).generate(s))),
+        ("dgov-1k", Box::new(|s| DGovLake::dgov_1k().with_n_tables(10).generate(s))),
+        ("wdc", Box::new(|s| WdcLake { n_tables: 10, ..Default::default() }.generate(s))),
+        ("gittables", Box::new(|s| GitTablesLake::default().with_n_tables(10).generate(s))),
+    ]
+}
+
+#[test]
+fn dirty_and_clean_lakes_are_cell_aligned() {
+    for (name, generate) in all_generators() {
+        let lake = generate(2);
+        assert_eq!(lake.dirty.n_tables(), lake.clean.n_tables(), "{name}");
+        for (d, c) in lake.dirty.tables.iter().zip(&lake.clean.tables) {
+            assert_eq!(d.name, c.name, "{name}");
+            assert_eq!(d.n_rows(), c.n_rows(), "{name}/{}", d.name);
+            assert_eq!(d.n_cols(), c.n_cols(), "{name}/{}", d.name);
+            assert_eq!(d.header(), c.header(), "{name}/{}", d.name);
+        }
+    }
+}
+
+#[test]
+fn error_mask_equals_diff_and_typed_masks_partition_it() {
+    for (name, generate) in all_generators() {
+        let lake = generate(3);
+        let diff = diff_lakes(&lake.dirty, &lake.clean);
+        assert_eq!(diff.count(), lake.errors.count(), "{name}: mask != diff");
+        // Typed masks are disjoint and cover the error set.
+        let mut covered = 0usize;
+        for (i, (ti, mi)) in lake.typed_errors.iter().enumerate() {
+            covered += mi.count();
+            assert_eq!(mi.and(&lake.errors).count(), mi.count(), "{name}/{ti} outside errors");
+            for (tj, mj) in lake.typed_errors.iter().skip(i + 1) {
+                assert_eq!(mi.and(mj).count(), 0, "{name}: {ti} overlaps {tj}");
+            }
+        }
+        assert_eq!(covered, lake.errors.count(), "{name}: typed masks do not partition");
+    }
+}
+
+#[test]
+fn generators_are_deterministic_and_seed_sensitive() {
+    for (name, generate) in all_generators() {
+        let a = generate(7);
+        let b = generate(7);
+        assert_eq!(a.dirty, b.dirty, "{name} not deterministic");
+        assert_eq!(a.clean, b.clean, "{name} not deterministic");
+        let c = generate(8);
+        assert_ne!(a.dirty, c.dirty, "{name} ignores the seed");
+    }
+}
+
+#[test]
+fn error_rates_land_in_configured_bands() {
+    let bands = [
+        ("quintet", 0.06, 0.12),
+        ("rein", 0.09, 0.17),
+        ("dgov-ntr", 0.11, 0.21),
+        ("dgov-nt", 0.10, 0.20),
+        ("dgov-no", 0.005, 0.04),
+        ("dgov-typo", 0.05, 0.13),
+        ("dgov-rv", 0.02, 0.15),
+        ("wdc", 0.04, 0.12),
+    ];
+    let gens = all_generators();
+    for (name, lo, hi) in bands {
+        let generate = &gens.iter().find(|(n, _)| *n == name).expect("known generator").1;
+        let lake = generate(5);
+        let rate = lake.error_rate();
+        assert!((lo..=hi).contains(&rate), "{name}: rate {rate} outside [{lo}, {hi}]");
+    }
+}
+
+#[test]
+fn dirty_lakes_actually_differ_from_clean() {
+    for (name, generate) in all_generators() {
+        let lake = generate(11);
+        assert_ne!(lake.dirty, lake.clean, "{name}: no errors injected");
+        assert!(lake.errors.count() > 0, "{name}");
+    }
+}

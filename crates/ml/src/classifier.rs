@@ -1,0 +1,76 @@
+//! A small classifier abstraction so the pipeline can swap learners
+//! (the paper uses gradient boosting "similar to prior work"; the
+//! classifier ablation compares it against a random forest).
+
+use crate::forest::{RandomForestClassifier, RandomForestConfig};
+use crate::gbm::{GradientBoostingClassifier, GradientBoostingConfig};
+
+/// Which learner to fit per column/fold.
+#[derive(Debug, Clone)]
+pub enum ClassifierKind {
+    /// Gradient boosting (the paper's choice).
+    GradientBoosting(GradientBoostingConfig),
+    /// Bagged random forest.
+    RandomForest(RandomForestConfig),
+}
+
+impl Default for ClassifierKind {
+    fn default() -> Self {
+        ClassifierKind::GradientBoosting(GradientBoostingConfig::default())
+    }
+}
+
+/// A fitted learner of either kind.
+#[derive(Debug, Clone)]
+pub enum FittedClassifier {
+    /// Fitted boosting model.
+    Gbm(GradientBoostingClassifier),
+    /// Fitted forest.
+    Forest(RandomForestClassifier),
+}
+
+impl FittedClassifier {
+    /// Fits the configured learner.
+    pub fn fit(kind: &ClassifierKind, x: &[Vec<f32>], y: &[bool]) -> Self {
+        match kind {
+            ClassifierKind::GradientBoosting(cfg) => {
+                FittedClassifier::Gbm(GradientBoostingClassifier::fit(x, y, cfg))
+            }
+            ClassifierKind::RandomForest(cfg) => {
+                FittedClassifier::Forest(RandomForestClassifier::fit(x, y, cfg))
+            }
+        }
+    }
+
+    /// Positive-class probability.
+    pub fn predict_proba(&self, sample: &[f32]) -> f64 {
+        match self {
+            FittedClassifier::Gbm(m) => m.predict_proba(sample),
+            FittedClassifier::Forest(m) => m.predict_proba(sample),
+        }
+    }
+
+    /// Hard decision at 0.5.
+    pub fn predict(&self, sample: &[f32]) -> bool {
+        self.predict_proba(sample) >= 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_kinds_fit_and_agree_on_easy_data() {
+        let x: Vec<Vec<f32>> = (0..30).map(|i| vec![i as f32]).collect();
+        let y: Vec<bool> = (0..30).map(|i| i >= 15).collect();
+        for kind in [
+            ClassifierKind::default(),
+            ClassifierKind::RandomForest(RandomForestConfig::default()),
+        ] {
+            let m = FittedClassifier::fit(&kind, &x, &y);
+            assert!(!m.predict(&[2.0]), "{kind:?}");
+            assert!(m.predict(&[28.0]), "{kind:?}");
+        }
+    }
+}

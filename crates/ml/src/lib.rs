@@ -1,0 +1,26 @@
+//! # matelda-ml
+//!
+//! The machine-learning substrate for MaTElDa, built from scratch:
+//!
+//! * [`tree`] — CART regression trees (variance-reduction splits),
+//! * [`gbm`] — a binary **Gradient Boosting Classifier** (Friedman 2001)
+//!   with logistic loss and Newton leaf values — the per-column error
+//!   classifier of the paper (Alg. 1 lines 20–22: "Similar to prior work,
+//!   we use the Gradient Boosting Classifier, which has shown robust
+//!   performance"),
+//! * [`metrics`] — accuracy and log-loss helpers for model-level tests.
+//!
+//! The classifier intentionally mirrors scikit-learn's
+//! `GradientBoostingClassifier` defaults in spirit (shallow trees, shrinkage)
+//! while staying dependency-free.
+
+pub mod classifier;
+pub mod forest;
+pub mod gbm;
+pub mod metrics;
+pub mod tree;
+
+pub use classifier::{ClassifierKind, FittedClassifier};
+pub use forest::{RandomForestClassifier, RandomForestConfig};
+pub use gbm::{GradientBoostingClassifier, GradientBoostingConfig};
+pub use tree::{RegressionTree, TreeConfig};

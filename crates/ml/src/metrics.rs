@@ -1,0 +1,57 @@
+//! Model-level evaluation helpers (cell-level P/R/F1 lives in
+//! `matelda-table::metrics`; these are for validating the learners
+//! themselves).
+
+/// Fraction of predictions equal to the labels.
+///
+/// # Panics
+/// Panics on length mismatch; returns 0.0 on empty input.
+pub fn accuracy(predictions: &[bool], labels: &[bool]) -> f64 {
+    assert_eq!(predictions.len(), labels.len());
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let hits = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    hits as f64 / predictions.len() as f64
+}
+
+/// Binary cross-entropy of predicted probabilities against labels, with
+/// probability clamping for numerical safety.
+pub fn log_loss(probabilities: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(probabilities.len(), labels.len());
+    if probabilities.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for (&p, &y) in probabilities.iter().zip(labels) {
+        let p = p.clamp(1e-12, 1.0 - 1e-12);
+        total -= if y { p.ln() } else { (1.0 - p).ln() };
+    }
+    total / probabilities.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[true, false, true], &[true, true, true]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn log_loss_prefers_confident_correct() {
+        let confident = log_loss(&[0.99, 0.01], &[true, false]);
+        let unsure = log_loss(&[0.6, 0.4], &[true, false]);
+        let wrong = log_loss(&[0.01, 0.99], &[true, false]);
+        assert!(confident < unsure);
+        assert!(unsure < wrong);
+    }
+
+    #[test]
+    fn log_loss_clamps_extremes() {
+        let l = log_loss(&[0.0, 1.0], &[true, false]);
+        assert!(l.is_finite());
+    }
+}

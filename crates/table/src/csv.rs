@@ -1,0 +1,202 @@
+//! A minimal RFC-4180 CSV reader/writer.
+//!
+//! The paper's lakes live as directories of CSV files (one dirty + one
+//! clean file per table). This module is deliberately small: quoted fields,
+//! embedded commas/quotes/newlines, CRLF tolerance — nothing more.
+
+use crate::table::{Column, Table};
+use std::fmt;
+
+/// Errors produced while parsing CSV text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// A record had a different number of fields than the header.
+    RaggedRow {
+        /// 1-based line-ish record index (header = record 0).
+        record: usize,
+        /// Fields found.
+        found: usize,
+        /// Fields expected (header width).
+        expected: usize,
+    },
+    /// A quoted field was never closed.
+    UnterminatedQuote,
+    /// Input had no header record.
+    Empty,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::RaggedRow { record, found, expected } => {
+                write!(f, "record {record}: found {found} fields, expected {expected}")
+            }
+            CsvError::UnterminatedQuote => write!(f, "unterminated quoted field"),
+            CsvError::Empty => write!(f, "empty csv input"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Splits CSV text into records of fields.
+pub fn parse_records(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = input.chars().peekable();
+    let mut in_quotes = false;
+    let mut any = false;
+
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {
+                    // Swallow; the \n (if any) terminates the record.
+                }
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::UnterminatedQuote);
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    if !any || records.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    Ok(records)
+}
+
+/// Parses CSV text (header + data records) into a [`Table`].
+pub fn parse_table(name: &str, input: &str) -> Result<Table, CsvError> {
+    let records = parse_records(input)?;
+    let header = &records[0];
+    let width = header.len();
+    let mut columns: Vec<Column> = header
+        .iter()
+        .map(|h| Column { name: h.clone(), values: Vec::with_capacity(records.len() - 1) })
+        .collect();
+    for (i, rec) in records.iter().enumerate().skip(1) {
+        if rec.len() != width {
+            return Err(CsvError::RaggedRow { record: i, found: rec.len(), expected: width });
+        }
+        for (col, v) in columns.iter_mut().zip(rec) {
+            col.values.push(v.clone());
+        }
+    }
+    Ok(Table { name: name.to_string(), columns })
+}
+
+/// Escapes one field per RFC 4180.
+fn escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        let mut out = String::with_capacity(field.len() + 2);
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        field.to_string()
+    }
+}
+
+/// Serializes a [`Table`] to CSV text (header + rows, `\n` line endings).
+pub fn write_table(table: &Table) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = table.columns.iter().map(|c| escape(&c.name)).collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for r in 0..table.n_rows() {
+        let row: Vec<String> = table.columns.iter().map(|c| escape(&c.values[r])).collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_round_trip() {
+        let t = Table::new(
+            "t",
+            vec![Column::new("a", ["1", "2"]), Column::new("b", ["x", "y"])],
+        );
+        let text = write_table(&t);
+        let back = parse_table("t", &text).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn quoting_round_trip() {
+        let t = Table::new(
+            "t",
+            vec![
+                Column::new("a,b", ["va,l", "quote\"inside"]),
+                Column::new("c", ["multi\nline", "plain"]),
+            ],
+        );
+        let back = parse_table("t", &write_table(&t)).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn crlf_tolerated() {
+        let t = parse_table("t", "a,b\r\n1,2\r\n3,4\r\n").unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.cell(1, 1), "4");
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert_eq!(parse_table("t", ""), Err(CsvError::Empty));
+        assert_eq!(parse_table("t", "a,b\n1\n"), Err(CsvError::RaggedRow { record: 1, found: 1, expected: 2 }));
+        assert_eq!(parse_table("t", "a\n\"unclosed\n"), Err(CsvError::UnterminatedQuote));
+    }
+
+    #[test]
+    fn empty_fields_preserved() {
+        let t = parse_table("t", "a,b\n,2\n1,\n").unwrap();
+        assert_eq!(t.cell(0, 0), "");
+        assert_eq!(t.cell(1, 1), "");
+    }
+
+    #[test]
+    fn header_only_table() {
+        let t = parse_table("t", "a,b\n").unwrap();
+        assert_eq!(t.n_rows(), 0);
+        assert_eq!(t.n_cols(), 2);
+    }
+}

@@ -1,0 +1,78 @@
+//! Ground-truth diffing: realizes Eq. 1 of the paper, `E = { t_k[i,j] |
+//! t_k[i,j] ≠ t_k*[i,j] }`.
+
+use crate::lake::Lake;
+use crate::mask::CellMask;
+use crate::table::Table;
+
+/// Marks every cell of `dirty` whose value differs from the corresponding
+/// cell of `clean`. The per-table result is written into `mask` using the
+/// provided table index.
+///
+/// # Panics
+/// Panics if the two tables disagree in shape — the paper's dirty/clean
+/// pairs are cell-aligned by construction.
+pub fn diff_tables(dirty: &Table, clean: &Table, table_idx: usize, mask: &mut CellMask) {
+    assert_eq!(dirty.n_rows(), clean.n_rows(), "row count mismatch in {:?}", dirty.name);
+    assert_eq!(dirty.n_cols(), clean.n_cols(), "column count mismatch in {:?}", dirty.name);
+    for c in 0..dirty.n_cols() {
+        for r in 0..dirty.n_rows() {
+            if dirty.cell(r, c) != clean.cell(r, c) {
+                mask.set(crate::lake::CellId::new(table_idx, r, c), true);
+            }
+        }
+    }
+}
+
+/// Diffs a whole (dirty, clean) lake pair into an error [`CellMask`].
+///
+/// # Panics
+/// Panics if the lakes have different numbers of tables or misaligned
+/// shapes.
+pub fn diff_lakes(dirty: &Lake, clean: &Lake) -> CellMask {
+    assert_eq!(dirty.n_tables(), clean.n_tables(), "lake size mismatch");
+    let mut mask = CellMask::empty(dirty);
+    for (i, (d, c)) in dirty.tables.iter().zip(&clean.tables).enumerate() {
+        diff_tables(d, c, i, &mut mask);
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lake::CellId;
+    use crate::table::Column;
+
+    #[test]
+    fn identical_lakes_have_no_errors() {
+        let l = Lake::new(vec![Table::new(
+            "t",
+            vec![Column::new("a", ["1", "2"]), Column::new("b", ["x", "y"])],
+        )]);
+        assert_eq!(diff_lakes(&l, &l).count(), 0);
+    }
+
+    #[test]
+    fn differing_cells_are_flagged() {
+        let clean = Lake::new(vec![Table::new(
+            "t",
+            vec![Column::new("a", ["1", "2"]), Column::new("b", ["x", "y"])],
+        )]);
+        let mut dirty = clean.clone();
+        *dirty.tables[0].cell_mut(1, 0) = "99".into();
+        *dirty.tables[0].cell_mut(0, 1) = "".into();
+        let e = diff_lakes(&dirty, &clean);
+        assert_eq!(e.count(), 2);
+        assert!(e.get(CellId::new(0, 1, 0)));
+        assert!(e.get(CellId::new(0, 0, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "lake size mismatch")]
+    fn misaligned_lakes_panic() {
+        let a = Lake::new(vec![]);
+        let b = Lake::new(vec![Table::new("t", vec![])]);
+        let _ = diff_lakes(&a, &b);
+    }
+}

@@ -1,0 +1,137 @@
+//! Lake ↔ directory persistence: one CSV file per table.
+//!
+//! The canonical on-disk layout of a generated benchmark is
+//! `<root>/dirty/*.csv` + `<root>/clean/*.csv`; this module handles one
+//! such directory at a time. Tables load in file-name order so a lake
+//! round-trips deterministically.
+
+use crate::csv;
+use crate::lake::Lake;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Errors from lake-directory I/O.
+#[derive(Debug)]
+pub enum IoError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// A CSV file failed to parse.
+    Csv {
+        /// File the error came from.
+        path: PathBuf,
+        /// Parser error.
+        source: csv::CsvError,
+    },
+    /// The directory holds no CSV files.
+    EmptyDirectory(PathBuf),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Csv { path, source } => write!(f, "{}: {source}", path.display()),
+            IoError::EmptyDirectory(p) => write!(f, "no .csv files in {}", p.display()),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Writes every table of `lake` as `<dir>/<table name>.csv`, creating the
+/// directory if needed.
+pub fn write_lake_to_dir(lake: &Lake, dir: &Path) -> Result<(), IoError> {
+    std::fs::create_dir_all(dir)?;
+    for table in &lake.tables {
+        std::fs::write(dir.join(format!("{}.csv", table.name)), csv::write_table(table))?;
+    }
+    Ok(())
+}
+
+/// Loads every `*.csv` in `dir` into a [`Lake`], in file-name order.
+/// Table names are the file stems.
+pub fn read_lake_from_dir(dir: &Path) -> Result<Lake, IoError> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "csv"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(IoError::EmptyDirectory(dir.to_path_buf()));
+    }
+    let mut tables = Vec::new();
+    for path in paths {
+        let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("table").to_string();
+        let text = std::fs::read_to_string(&path)?;
+        let table =
+            csv::parse_table(&name, &text).map_err(|source| IoError::Csv { path, source })?;
+        tables.push(table);
+    }
+    Ok(Lake::new(tables))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{Column, Table};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("matelda_io_test_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn lake_round_trips_through_a_directory() {
+        let lake = Lake::new(vec![
+            Table::new("alpha", vec![Column::new("a", ["1", "2"]), Column::new("b", ["x,y", "z"])]),
+            Table::new("beta", vec![Column::new("c", ["\"quoted\"", ""])]),
+        ]);
+        let dir = tmp("roundtrip");
+        write_lake_to_dir(&lake, &dir).expect("write");
+        let back = read_lake_from_dir(&dir).expect("read");
+        assert_eq!(lake, back, "file-name order matches insertion order here");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn empty_directory_is_an_error() {
+        let dir = tmp("empty");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        match read_lake_from_dir(&dir) {
+            Err(IoError::EmptyDirectory(_)) => {}
+            other => panic!("expected EmptyDirectory, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn bad_csv_reports_the_file() {
+        let dir = tmp("bad");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(dir.join("broken.csv"), "a,b\n1\n").expect("write");
+        match read_lake_from_dir(&dir) {
+            Err(IoError::Csv { path, .. }) => {
+                assert!(path.ends_with("broken.csv"));
+            }
+            other => panic!("expected Csv error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn missing_directory_is_an_io_error() {
+        match read_lake_from_dir(Path::new("/definitely/not/here")) {
+            Err(IoError::Io(_)) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+}

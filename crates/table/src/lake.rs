@@ -1,0 +1,138 @@
+//! Lakes: ordered sets of tables with global cell addressing.
+
+use crate::table::Table;
+
+/// Globally addresses one cell inside a [`Lake`]: `(table, row, col)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId {
+    /// Index of the table within the lake.
+    pub table: usize,
+    /// Row (tuple) index within the table.
+    pub row: usize,
+    /// Column (attribute) index within the table.
+    pub col: usize,
+}
+
+impl CellId {
+    /// Convenience constructor.
+    pub fn new(table: usize, row: usize, col: usize) -> Self {
+        Self { table, row, col }
+    }
+}
+
+/// A set of tables — the unit the multi-table error detection problem
+/// (paper §2.2) is defined over.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Lake {
+    /// The member tables, in a stable order.
+    pub tables: Vec<Table>,
+}
+
+impl Lake {
+    /// Creates a lake from tables.
+    pub fn new(tables: Vec<Table>) -> Self {
+        Self { tables }
+    }
+
+    /// Number of tables `|S|`.
+    pub fn n_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Total number of cells across all tables.
+    pub fn n_cells(&self) -> usize {
+        self.tables.iter().map(Table::n_cells).sum()
+    }
+
+    /// Total number of columns across all tables — the denominator of the
+    /// per-domain-fold budget split (Alg. 1 line 12).
+    pub fn n_columns(&self) -> usize {
+        self.tables.iter().map(Table::n_cols).sum()
+    }
+
+    /// Total number of rows (tuples) across all tables.
+    pub fn n_rows(&self) -> usize {
+        self.tables.iter().map(Table::n_rows).sum()
+    }
+
+    /// The cell value addressed by `id`.
+    pub fn cell(&self, id: CellId) -> &str {
+        self.tables[id.table].cell(id.row, id.col)
+    }
+
+    /// Iterates over every cell id of the lake, table-major.
+    pub fn cell_ids(&self) -> impl Iterator<Item = CellId> + '_ {
+        self.tables.iter().enumerate().flat_map(|(t, tab)| {
+            let (rows, cols) = (tab.n_rows(), tab.n_cols());
+            (0..rows).flat_map(move |r| (0..cols).map(move |c| CellId::new(t, r, c)))
+        })
+    }
+
+    /// Looks up a table by name.
+    pub fn table_by_name(&self, name: &str) -> Option<&Table> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// A sub-lake restricted to the given table indices, preserving order.
+    /// Returned tables keep their identity; the mapping back to original
+    /// indices is the input slice itself.
+    pub fn project(&self, table_indices: &[usize]) -> Lake {
+        Lake::new(table_indices.iter().map(|&i| self.tables[i].clone()).collect())
+    }
+}
+
+impl std::ops::Index<usize> for Lake {
+    type Output = Table;
+    fn index(&self, i: usize) -> &Table {
+        &self.tables[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Column;
+
+    fn lake() -> Lake {
+        Lake::new(vec![
+            Table::new("a", vec![Column::new("x", ["1", "2"]), Column::new("y", ["3", "4"])]),
+            Table::new("b", vec![Column::new("z", ["5"])]),
+        ])
+    }
+
+    #[test]
+    fn counts() {
+        let l = lake();
+        assert_eq!(l.n_tables(), 2);
+        assert_eq!(l.n_cells(), 5);
+        assert_eq!(l.n_columns(), 3);
+        assert_eq!(l.n_rows(), 3);
+    }
+
+    #[test]
+    fn cell_addressing() {
+        let l = lake();
+        assert_eq!(l.cell(CellId::new(0, 1, 1)), "4");
+        assert_eq!(l.cell(CellId::new(1, 0, 0)), "5");
+        assert_eq!(l[1].name, "b");
+    }
+
+    #[test]
+    fn cell_ids_cover_every_cell_exactly_once() {
+        let l = lake();
+        let ids: Vec<_> = l.cell_ids().collect();
+        assert_eq!(ids.len(), l.n_cells());
+        let unique: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(unique.len(), ids.len());
+    }
+
+    #[test]
+    fn lookup_and_projection() {
+        let l = lake();
+        assert!(l.table_by_name("a").is_some());
+        assert!(l.table_by_name("missing").is_none());
+        let sub = l.project(&[1]);
+        assert_eq!(sub.n_tables(), 1);
+        assert_eq!(sub[0].name, "b");
+    }
+}

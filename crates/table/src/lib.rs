@@ -1,0 +1,43 @@
+//! # matelda-table
+//!
+//! The relational substrate underneath the MaTElDa multi-table error
+//! detection system (Ahmadi et al., EDBT 2025).
+//!
+//! Everything in the paper operates on *sets of tables* ("lakes") whose
+//! cells are raw strings: an error is any cell whose serialized value
+//! differs from the corresponding ground-truth cell (paper Eq. 1). This
+//! crate provides:
+//!
+//! * [`Table`] — a named, column-major relational instance of string cells,
+//! * [`Lake`] — an ordered set of tables with global [`CellId`] addressing,
+//! * [`CellMask`] — a per-lake bitset over cells (error masks, predictions),
+//! * [`diff`] — ground-truth diffing that turns a (dirty, clean) lake pair
+//!   into the error set `E` of Eq. 1,
+//! * [`metrics`] — precision / recall / F1 and per-error-type recall used
+//!   throughout the paper's evaluation (Figures 3–9, Tables 2–3),
+//! * [`csv`] — a minimal RFC-4180 reader/writer so lakes round-trip to disk.
+//!
+//! Cells are deliberately kept as strings: detection happens on the
+//! serialized value (`"1995"` in an Age column *is* the error), numeric
+//! detectors parse on demand via [`value`] helpers.
+
+pub mod csv;
+pub mod diff;
+pub mod io;
+pub mod lake;
+pub mod mask;
+pub mod metrics;
+pub mod oracle;
+pub mod profile;
+pub mod table;
+pub mod value;
+
+pub use diff::{diff_lakes, diff_tables};
+pub use io::{read_lake_from_dir, write_lake_to_dir};
+pub use lake::{CellId, Lake};
+pub use mask::CellMask;
+pub use metrics::{Confusion, PerTypeRecall};
+pub use oracle::{Labeler, Oracle};
+pub use profile::{profile_table, ColumnProfile, NumericSummary};
+pub use table::{Column, Table};
+pub use value::DataType;

@@ -1,0 +1,179 @@
+//! Per-lake cell masks: error sets, detector verdicts, predictions.
+
+use crate::lake::{CellId, Lake};
+
+/// A boolean flag per cell of a lake, stored as one `Vec<bool>` per table in
+/// row-major order. Used for ground-truth error masks, per-error-type masks
+/// and system predictions; set algebra on masks implements the paper's
+/// evaluation (TP/FP/FN counting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellMask {
+    /// `(n_rows, n_cols)` per table, to map `CellId`s to flat offsets.
+    dims: Vec<(usize, usize)>,
+    /// Row-major flags, one vec per table.
+    flags: Vec<Vec<bool>>,
+}
+
+impl CellMask {
+    /// An all-false mask shaped like `lake`.
+    pub fn empty(lake: &Lake) -> Self {
+        let dims: Vec<_> = lake.tables.iter().map(|t| (t.n_rows(), t.n_cols())).collect();
+        let flags = dims.iter().map(|&(r, c)| vec![false; r * c]).collect();
+        Self { dims, flags }
+    }
+
+    /// Builds a mask shaped like `lake` with the given cells set.
+    pub fn from_cells(lake: &Lake, cells: impl IntoIterator<Item = CellId>) -> Self {
+        let mut m = Self::empty(lake);
+        for id in cells {
+            m.set(id, true);
+        }
+        m
+    }
+
+    fn offset(&self, id: CellId) -> usize {
+        let (_, cols) = self.dims[id.table];
+        id.row * cols + id.col
+    }
+
+    /// Flag of one cell.
+    pub fn get(&self, id: CellId) -> bool {
+        self.flags[id.table][self.offset(id)]
+    }
+
+    /// Sets the flag of one cell.
+    pub fn set(&mut self, id: CellId, value: bool) {
+        let o = self.offset(id);
+        self.flags[id.table][o] = value;
+    }
+
+    /// Number of set cells.
+    pub fn count(&self) -> usize {
+        self.flags.iter().map(|f| f.iter().filter(|b| **b).count()).sum()
+    }
+
+    /// Total number of cells covered by the mask.
+    pub fn n_cells(&self) -> usize {
+        self.flags.iter().map(Vec::len).sum()
+    }
+
+    /// Fraction of set cells (the paper's "error rate" column of Table 1).
+    pub fn rate(&self) -> f64 {
+        let n = self.n_cells();
+        if n == 0 {
+            0.0
+        } else {
+            self.count() as f64 / n as f64
+        }
+    }
+
+    /// Iterates over the ids of all set cells, table-major.
+    pub fn iter_set(&self) -> impl Iterator<Item = CellId> + '_ {
+        self.dims.iter().enumerate().flat_map(move |(t, &(_, cols))| {
+            self.flags[t].iter().enumerate().filter(|(_, b)| **b).map(move |(o, _)| {
+                if cols == 0 {
+                    unreachable!("set flag in zero-column table")
+                }
+                CellId::new(t, o / cols, o % cols)
+            })
+        })
+    }
+
+    /// `self ∧ other`.
+    ///
+    /// # Panics
+    /// Panics if the masks have different shapes.
+    pub fn and(&self, other: &Self) -> Self {
+        self.zip_with(other, |a, b| a && b)
+    }
+
+    /// `self ∨ other`.
+    pub fn or(&self, other: &Self) -> Self {
+        self.zip_with(other, |a, b| a || b)
+    }
+
+    /// `self ∧ ¬other`.
+    pub fn minus(&self, other: &Self) -> Self {
+        self.zip_with(other, |a, b| a && !b)
+    }
+
+    fn zip_with(&self, other: &Self, f: impl Fn(bool, bool) -> bool) -> Self {
+        assert_eq!(self.dims, other.dims, "mask shape mismatch");
+        let flags = self
+            .flags
+            .iter()
+            .zip(&other.flags)
+            .map(|(a, b)| a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect())
+            .collect();
+        Self { dims: self.dims.clone(), flags }
+    }
+
+    /// Dimensions `(rows, cols)` of table `t` as seen by this mask.
+    pub fn table_dims(&self, t: usize) -> (usize, usize) {
+        self.dims[t]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{Column, Table};
+
+    fn lake() -> Lake {
+        Lake::new(vec![
+            Table::new("a", vec![Column::new("x", ["1", "2"]), Column::new("y", ["3", "4"])]),
+            Table::new("b", vec![Column::new("z", ["5", "6", "7"])]),
+        ])
+    }
+
+    #[test]
+    fn set_get_count() {
+        let l = lake();
+        let mut m = CellMask::empty(&l);
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.n_cells(), 7);
+        m.set(CellId::new(0, 1, 0), true);
+        m.set(CellId::new(1, 2, 0), true);
+        assert!(m.get(CellId::new(0, 1, 0)));
+        assert!(!m.get(CellId::new(0, 0, 0)));
+        assert_eq!(m.count(), 2);
+        assert!((m.rate() - 2.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_set_round_trips() {
+        let l = lake();
+        let cells = [CellId::new(0, 0, 1), CellId::new(1, 1, 0)];
+        let m = CellMask::from_cells(&l, cells);
+        let got: Vec<_> = m.iter_set().collect();
+        assert_eq!(got, cells);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let l = lake();
+        let a = CellMask::from_cells(&l, [CellId::new(0, 0, 0), CellId::new(0, 1, 1)]);
+        let b = CellMask::from_cells(&l, [CellId::new(0, 1, 1), CellId::new(1, 0, 0)]);
+        assert_eq!(a.and(&b).count(), 1);
+        assert_eq!(a.or(&b).count(), 3);
+        assert_eq!(a.minus(&b).count(), 1);
+        assert!(a.minus(&b).get(CellId::new(0, 0, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "mask shape mismatch")]
+    fn shape_mismatch_panics() {
+        let l1 = lake();
+        let l2 = Lake::new(vec![Table::new("a", vec![Column::new("x", ["1"])])]);
+        let _ = CellMask::empty(&l1).and(&CellMask::empty(&l2));
+    }
+
+    #[test]
+    fn empty_lake_mask() {
+        let l = Lake::default();
+        let m = CellMask::empty(&l);
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.rate(), 0.0);
+        assert_eq!(m.iter_set().count(), 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Cell-level evaluation: confusion counts, precision / recall / F1, and
+//! per-error-type recall (paper Tables 2 & 3, Figures 3–9).
+
+use crate::mask::CellMask;
+
+/// Cell-level confusion counts of a prediction against ground truth.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// Predicted error, is error.
+    pub tp: usize,
+    /// Predicted error, is clean.
+    pub fp: usize,
+    /// Predicted clean, is error.
+    pub fn_: usize,
+    /// Predicted clean, is clean.
+    pub tn: usize,
+}
+
+impl Confusion {
+    /// Compares a predicted error mask against the ground-truth error mask.
+    pub fn from_masks(predicted: &CellMask, truth: &CellMask) -> Self {
+        let tp = predicted.and(truth).count();
+        let fp = predicted.minus(truth).count();
+        let fn_ = truth.minus(predicted).count();
+        let total = truth.n_cells();
+        let tn = total - tp - fp - fn_;
+        Self { tp, fp, fn_, tn }
+    }
+
+    /// `TP / (TP + FP)`; defined as 0 when nothing was predicted.
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// `TP / (TP + FN)`; defined as 0 when there are no true errors.
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// Harmonic mean of precision and recall; 0 when either is 0.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Recall broken down by error type, given one ground-truth mask per type
+/// (paper Table 3: MV / REP / SEM / TYP).
+#[derive(Debug, Clone)]
+pub struct PerTypeRecall {
+    /// `(type name, recall, #errors of that type)` triples in input order.
+    pub recalls: Vec<(String, f64, usize)>,
+}
+
+impl PerTypeRecall {
+    /// Computes per-type recall: the fraction of each type's ground-truth
+    /// errors that the prediction covers.
+    pub fn compute(predicted: &CellMask, typed_truth: &[(String, CellMask)]) -> Self {
+        let recalls = typed_truth
+            .iter()
+            .map(|(name, mask)| {
+                let total = mask.count();
+                let hit = predicted.and(mask).count();
+                (name.clone(), ratio(hit, total), total)
+            })
+            .collect();
+        Self { recalls }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lake::{CellId, Lake};
+    use crate::table::{Column, Table};
+
+    fn lake() -> Lake {
+        Lake::new(vec![Table::new(
+            "t",
+            vec![Column::new("a", ["1", "2", "3", "4"]), Column::new("b", ["w", "x", "y", "z"])],
+        )])
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let l = lake();
+        let truth = CellMask::from_cells(&l, [CellId::new(0, 0, 0), CellId::new(0, 3, 1)]);
+        let c = Confusion::from_masks(&truth, &truth);
+        assert_eq!((c.tp, c.fp, c.fn_, c.tn), (2, 0, 0, 6));
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+    }
+
+    #[test]
+    fn partial_prediction() {
+        let l = lake();
+        let truth = CellMask::from_cells(&l, [CellId::new(0, 0, 0), CellId::new(0, 1, 0)]);
+        let pred = CellMask::from_cells(&l, [CellId::new(0, 0, 0), CellId::new(0, 2, 1)]);
+        let c = Confusion::from_masks(&pred, &truth);
+        assert_eq!((c.tp, c.fp, c.fn_), (1, 1, 1));
+        assert!((c.precision() - 0.5).abs() < 1e-12);
+        assert!((c.recall() - 0.5).abs() < 1e-12);
+        assert!((c.f1() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases_return_zero() {
+        let l = lake();
+        let nothing = CellMask::empty(&l);
+        let c = Confusion::from_masks(&nothing, &nothing);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.tn, 8);
+    }
+
+    #[test]
+    fn per_type_recall() {
+        let l = lake();
+        let mv = CellMask::from_cells(&l, [CellId::new(0, 0, 0)]);
+        let typo = CellMask::from_cells(&l, [CellId::new(0, 1, 0), CellId::new(0, 2, 0)]);
+        let pred = CellMask::from_cells(&l, [CellId::new(0, 0, 0), CellId::new(0, 1, 0)]);
+        let per = PerTypeRecall::compute(&pred, &[("MV".into(), mv), ("TYP".into(), typo)]);
+        assert_eq!(per.recalls[0], ("MV".to_string(), 1.0, 1));
+        assert_eq!(per.recalls[1].1, 0.5);
+        assert_eq!(per.recalls[1].2, 2);
+    }
+}

@@ -1,0 +1,56 @@
+//! The labeling interface: the paper's "user" who answers
+//! is-this-cell-erroneous questions, simulated from ground truth exactly
+//! as the paper's experiments simulate it.
+
+use crate::lake::CellId;
+use crate::mask::CellMask;
+
+/// Something that can label cells (a user, or a ground-truth oracle).
+pub trait Labeler {
+    /// `true` iff the cell is erroneous.
+    fn label(&mut self, id: CellId) -> bool;
+    /// Number of labels handed out so far.
+    fn labels_used(&self) -> usize;
+}
+
+/// Ground-truth oracle: answers from the error mask and counts labels.
+#[derive(Debug)]
+pub struct Oracle<'a> {
+    truth: &'a CellMask,
+    used: usize,
+}
+
+impl<'a> Oracle<'a> {
+    /// Creates an oracle over a ground-truth error mask.
+    pub fn new(truth: &'a CellMask) -> Self {
+        Self { truth, used: 0 }
+    }
+}
+
+impl Labeler for Oracle<'_> {
+    fn label(&mut self, id: CellId) -> bool {
+        self.used += 1;
+        self.truth.get(id)
+    }
+
+    fn labels_used(&self) -> usize {
+        self.used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lake::Lake;
+use crate::table::{Column, Table};
+
+    #[test]
+    fn oracle_answers_and_counts() {
+        let lake = Lake::new(vec![Table::new("t", vec![Column::new("a", ["1", "2"])])]);
+        let truth = CellMask::from_cells(&lake, [CellId::new(0, 1, 0)]);
+        let mut o = Oracle::new(&truth);
+        assert!(!o.label(CellId::new(0, 0, 0)));
+        assert!(o.label(CellId::new(0, 1, 0)));
+        assert_eq!(o.labels_used(), 2);
+    }
+}

@@ -1,0 +1,218 @@
+//! Cell value helpers: null conventions, numeric parsing and data type
+//! inference.
+//!
+//! The paper treats cells as opaque strings; detectors decide per column
+//! whether a numeric interpretation exists (Gaussian outliers, Eq. 3) or
+//! whether the value is "missing". These conventions are centralized here so
+//! every detector, baseline and generator agrees on them.
+
+/// Inferred syntactic type of a cell value or a whole column.
+///
+/// Used by the `+SF` syntactic-folding variant (paper §4.5.1) and by the
+/// Deequ-style constraint suggester, both of which branch on column types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Empty / NULL-like values.
+    Null,
+    /// Parses as a signed integer.
+    Integer,
+    /// Parses as a float but not an integer.
+    Float,
+    /// Matches one of the recognized date shapes (e.g. `1994-07-05`,
+    /// `Dec 21, 1937`, `13/11/1940`).
+    Date,
+    /// Everything else.
+    Text,
+}
+
+/// Strings that the whole system treats as a missing value.
+///
+/// BART (the paper's error generator) injects empty strings and literal
+/// `NULL` tokens; the Quintet datasets additionally contain `N/A` style
+/// markers.
+pub const NULL_TOKENS: &[&str] = &["", "null", "NULL", "Null", "N/A", "n/a", "NA", "nan", "NaN", "?"];
+
+/// Returns `true` if `s` is one of the recognized missing-value tokens.
+pub fn is_null(s: &str) -> bool {
+    let t = s.trim();
+    NULL_TOKENS.iter().any(|n| *n == t)
+}
+
+/// Attempts to parse a cell as `f64`, tolerating surrounding whitespace and
+/// thousands separators (`1,234.5`) but *not* stray currency symbols — a
+/// `$4,360,000` in a numeric column is precisely the kind of formatting
+/// error the paper's detectors must be able to see.
+pub fn as_f64(s: &str) -> Option<f64> {
+    let t = s.trim();
+    if t.is_empty() {
+        return None;
+    }
+    // Fast path: plain parse.
+    if let Ok(v) = t.parse::<f64>() {
+        return v.is_finite().then_some(v);
+    }
+    // Tolerate `1,234,567.8` style separators: strip commas that sit
+    // between digits, then retry.
+    if t.contains(',') {
+        let stripped: String = t.chars().filter(|c| *c != ',').collect();
+        let looks_numeric = stripped
+            .chars()
+            .all(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'));
+        if looks_numeric {
+            if let Ok(v) = stripped.parse::<f64>() {
+                return v.is_finite().then_some(v);
+            }
+        }
+    }
+    None
+}
+
+/// Returns `true` if the value parses as a signed integer (after trimming).
+pub fn is_integer(s: &str) -> bool {
+    s.trim().parse::<i64>().is_ok()
+}
+
+/// Crude date-shape recognizer covering the formats that appear in the
+/// paper's running example and in the lake generators:
+/// `YYYY-MM-DD`, `DD/MM/YYYY`, `MM/DD/YYYY`, and `Mon DD, YYYY`.
+pub fn looks_like_date(s: &str) -> bool {
+    let t = s.trim();
+    if t.is_empty() {
+        return false;
+    }
+    let bytes = t.as_bytes();
+    let all_digits = |r: &str| !r.is_empty() && r.bytes().all(|b| b.is_ascii_digit());
+    // YYYY-MM-DD
+    if t.len() == 10 && bytes[4] == b'-' && bytes[7] == b'-' {
+        let (y, m, d) = (&t[0..4], &t[5..7], &t[8..10]);
+        return all_digits(y) && all_digits(m) && all_digits(d);
+    }
+    // DD/MM/YYYY or MM/DD/YYYY
+    if t.len() == 10 && bytes[2] == b'/' && bytes[5] == b'/' {
+        let (a, b, c) = (&t[0..2], &t[3..5], &t[6..10]);
+        return all_digits(a) && all_digits(b) && all_digits(c);
+    }
+    // `Mon DD, YYYY` e.g. "Dec 21, 1937"
+    const MONTHS: &[&str] = &[
+        "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+    ];
+    if let Some(rest) = MONTHS.iter().find_map(|m| t.strip_prefix(m)) {
+        let rest = rest.trim_start();
+        if let Some((day, year)) = rest.split_once(", ") {
+            return all_digits(day) && all_digits(year) && year.len() == 4;
+        }
+    }
+    false
+}
+
+/// Infers the [`DataType`] of a single value.
+pub fn infer_type(s: &str) -> DataType {
+    if is_null(s) {
+        DataType::Null
+    } else if is_integer(s) {
+        DataType::Integer
+    } else if as_f64(s).is_some() {
+        DataType::Float
+    } else if looks_like_date(s) {
+        DataType::Date
+    } else {
+        DataType::Text
+    }
+}
+
+/// Infers the dominant type of a column: the most frequent non-null value
+/// type, falling back to [`DataType::Text`] for all-null columns.
+///
+/// Majority (rather than unanimous) typing is what lets a numeric column
+/// with a few injected typos still be treated as numeric by the Gaussian
+/// outlier detectors — exactly the situation error detection cares about.
+pub fn infer_column_type<'a>(values: impl IntoIterator<Item = &'a str>) -> DataType {
+    let mut counts = [0usize; 4]; // Integer, Float, Date, Text
+    for v in values {
+        match infer_type(v) {
+            DataType::Null => {}
+            DataType::Integer => counts[0] += 1,
+            DataType::Float => counts[1] += 1,
+            DataType::Date => counts[2] += 1,
+            DataType::Text => counts[3] += 1,
+        }
+    }
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return DataType::Text;
+    }
+    let (best, &n) = counts.iter().enumerate().max_by_key(|(_, n)| **n).expect("non-empty");
+    // Integers mixed with floats read as a float column.
+    if best == 0 && counts[1] > 0 && counts[0] + counts[1] > total / 2 {
+        return DataType::Float;
+    }
+    let _ = n;
+    match best {
+        0 => DataType::Integer,
+        1 => DataType::Float,
+        2 => DataType::Date,
+        _ => DataType::Text,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_tokens_recognized() {
+        for t in ["", "  ", "NULL", "null", "N/A", "nan"] {
+            assert!(is_null(t), "{t:?} should be null");
+        }
+        assert!(!is_null("0"));
+        assert!(!is_null("none at all"));
+    }
+
+    #[test]
+    fn numeric_parsing_handles_thousands_separators() {
+        assert_eq!(as_f64("1,234.5"), Some(1234.5));
+        assert_eq!(as_f64(" 42 "), Some(42.0));
+        assert_eq!(as_f64("-3e2"), Some(-300.0));
+        assert_eq!(as_f64("28,341,469"), Some(28_341_469.0));
+    }
+
+    #[test]
+    fn numeric_parsing_rejects_currency_and_text() {
+        assert_eq!(as_f64("$4,360,000"), None);
+        assert_eq!(as_f64("abc"), None);
+        assert_eq!(as_f64(""), None);
+        assert_eq!(as_f64("NaN"), None, "non-finite values are not numbers");
+        assert_eq!(as_f64("inf"), None);
+    }
+
+    #[test]
+    fn date_shapes() {
+        assert!(looks_like_date("1994-07-05"));
+        assert!(looks_like_date("13/11/1940"));
+        assert!(looks_like_date("Dec 21, 1937"));
+        assert!(!looks_like_date("21 December 1937"));
+        assert!(!looks_like_date("1994"));
+        assert!(!looks_like_date(""));
+    }
+
+    #[test]
+    fn scalar_type_inference() {
+        assert_eq!(infer_type("12"), DataType::Integer);
+        assert_eq!(infer_type("12.5"), DataType::Float);
+        assert_eq!(infer_type("Dec 21, 1937"), DataType::Date);
+        assert_eq!(infer_type("Chelsea FC"), DataType::Text);
+        assert_eq!(infer_type("NULL"), DataType::Null);
+    }
+
+    #[test]
+    fn column_type_is_majority_not_unanimous() {
+        let col = ["24", "23", "30", "1995", "thirty", "31"];
+        assert_eq!(infer_column_type(col.iter().copied()), DataType::Integer);
+        let mixed = ["1.5", "2", "3.25", "4"];
+        assert_eq!(infer_column_type(mixed.iter().copied()), DataType::Float);
+        let empty: [&str; 0] = [];
+        assert_eq!(infer_column_type(empty.iter().copied()), DataType::Text);
+        let nulls = ["", "NULL"];
+        assert_eq!(infer_column_type(nulls.iter().copied()), DataType::Text);
+    }
+}

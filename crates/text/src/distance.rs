@@ -1,0 +1,114 @@
+//! String distances: Levenshtein, Damerau-Levenshtein (optimal string
+//! alignment) and token Jaccard similarity.
+
+/// Classic Levenshtein edit distance (insert / delete / substitute), O(n·m)
+/// with a two-row rolling buffer.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j + 1] + 1).min(cur[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Damerau-Levenshtein distance in the *optimal string alignment* variant:
+/// like Levenshtein plus adjacent transposition. This is what spell
+/// checkers (including Aspell's typo model) use to rank suggestions, since
+/// swapped letters are the most common typing error.
+pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (n, m) = (a.len(), b.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    // Three rolling rows: i-2, i-1, i.
+    let mut row2: Vec<usize> = vec![0; m + 1];
+    let mut row1: Vec<usize> = (0..=m).collect();
+    let mut row0: Vec<usize> = vec![0; m + 1];
+    for i in 1..=n {
+        row0[0] = i;
+        for j in 1..=m {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let mut d = (row1[j] + 1).min(row0[j - 1] + 1).min(row1[j - 1] + cost);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                d = d.min(row2[j - 2] + 1);
+            }
+            row0[j] = d;
+        }
+        std::mem::swap(&mut row2, &mut row1);
+        std::mem::swap(&mut row1, &mut row0);
+    }
+    row1[m]
+}
+
+/// Jaccard similarity of two token sets: `|A ∩ B| / |A ∪ B|`, with the
+/// convention that two empty sets are perfectly similar (1.0).
+pub fn jaccard<T: std::hash::Hash + Eq>(a: &[T], b: &[T]) -> f64 {
+    use std::collections::HashSet;
+    let sa: HashSet<&T> = a.iter().collect();
+    let sb: HashSet<&T> = b.iter().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.union(&sb).count();
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn damerau_counts_transpositions_as_one() {
+        assert_eq!(levenshtein("ca", "ac"), 2);
+        assert_eq!(damerau_levenshtein("ca", "ac"), 1);
+        assert_eq!(damerau_levenshtein("drama", "derama"), 1);
+        assert_eq!(damerau_levenshtein("abcdef", "abcdef"), 0);
+        assert_eq!(damerau_levenshtein("", "xy"), 2);
+    }
+
+    #[test]
+    fn damerau_never_exceeds_levenshtein() {
+        let pairs = [("monday", "mnoday"), ("france", "franke"), ("a", "b"), ("xy", "yx")];
+        for (a, b) in pairs {
+            assert!(damerau_levenshtein(a, b) <= levenshtein(a, b), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        assert_eq!(jaccard::<u8>(&[], &[]), 1.0);
+        assert_eq!(jaccard(&[1, 2], &[3, 4]), 0.0);
+        assert_eq!(jaccard(&[1, 2, 3], &[2, 3, 4]), 0.5);
+        assert_eq!(jaccard(&[1, 1, 2], &[2, 1]), 1.0, "multisets collapse to sets");
+    }
+}

@@ -1,0 +1,73 @@
+//! Stable string hashing and n-gram utilities.
+//!
+//! `std::collections::hash_map::DefaultHasher` is not guaranteed stable
+//! across releases, and embeddings must be reproducible, so we ship FNV-1a
+//! here and use it everywhere a hashed feature index is needed.
+
+/// 64-bit FNV-1a hash of a byte string — stable across platforms and Rust
+/// versions, which keeps embeddings and experiments reproducible.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Hashes a string token into a bucket index in `[0, dim)` plus a ±1 sign,
+/// the classic signed feature-hashing trick (Weinberger et al.): the sign
+/// bit makes colliding tokens cancel in expectation instead of piling up.
+pub fn signed_bucket(token: &str, dim: usize) -> (usize, f32) {
+    debug_assert!(dim > 0);
+    let h = fnv1a64(token.as_bytes());
+    let bucket = (h % dim as u64) as usize;
+    let sign = if (h >> 63) & 1 == 0 { 1.0 } else { -1.0 };
+    (bucket, sign)
+}
+
+/// Word n-grams (n = 1..=max_n) over a token slice, joined with `_`.
+pub fn word_ngrams(tokens: &[String], max_n: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    for n in 1..=max_n {
+        if tokens.len() < n {
+            break;
+        }
+        for w in tokens.windows(n) {
+            out.push(w.join("_"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_deterministic_and_spreads() {
+        assert_eq!(fnv1a64(b"abc"), fnv1a64(b"abc"));
+        assert_ne!(fnv1a64(b"abc"), fnv1a64(b"abd"));
+        assert_ne!(fnv1a64(b""), fnv1a64(b"a"));
+    }
+
+    #[test]
+    fn signed_bucket_in_range() {
+        for t in ["a", "hello", "FRANCE", "1994", ""] {
+            let (b, s) = signed_bucket(t, 64);
+            assert!(b < 64);
+            assert!(s == 1.0 || s == -1.0);
+        }
+    }
+
+    #[test]
+    fn word_ngrams_enumerate() {
+        let toks: Vec<String> = ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
+        let g = word_ngrams(&toks, 2);
+        assert_eq!(g, vec!["a", "b", "c", "a_b", "b_c"]);
+        assert_eq!(word_ngrams(&toks[..0], 2), Vec::<String>::new());
+        assert_eq!(word_ngrams(&toks[..1], 3), vec!["a"]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Cleaning a lake that lives on disk as CSV files.
+//!
+//! Demonstrates the I/O path a downstream user follows for their own
+//! data: a directory of CSVs → `Lake` → Matelda → per-table error report.
+//! For a self-contained run the example first *writes* a generated lake
+//! to a temp directory, then pretends it only has those files.
+//!
+//! ```sh
+//! cargo run --release --example clean_a_lake
+//! ```
+
+use matelda::core::{Matelda, MateldaConfig, Oracle};
+use matelda::lakegen::WdcLake;
+use matelda::table::{csv, Lake};
+use std::fs;
+use std::path::Path;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Setup: materialize a lake as CSV files (stand-in for "your data").
+    let generated = WdcLake { n_tables: 12, ..WdcLake::default() }.generate(3);
+    let dir = std::env::temp_dir().join("matelda_example_lake");
+    fs::create_dir_all(&dir)?;
+    for table in &generated.dirty.tables {
+        fs::write(dir.join(format!("{}.csv", table.name)), csv::write_table(table))?;
+    }
+    println!("wrote {} CSVs to {}", generated.dirty.n_tables(), dir.display());
+
+    // --- The actual user workflow starts here: load CSVs into a Lake.
+    let lake = load_lake(&dir)?;
+    println!("loaded lake: {} tables, {} cells", lake.n_tables(), lake.n_cells());
+
+    // A real deployment would plug a human labeler into the `Labeler`
+    // trait; here the generator's ground truth stands in. Note the
+    // *loaded* lake must align with the mask's table order, so we match
+    // by the generation order (names are unique).
+    let mut ordered = Vec::new();
+    for t in &generated.dirty.tables {
+        ordered.push(lake.table_by_name(&t.name).expect("table present").clone());
+    }
+    let lake = Lake::new(ordered);
+    let mut oracle = Oracle::new(&generated.errors);
+
+    let budget = lake.n_tables() * 4; // a handful of cell labels per table
+    let result = Matelda::new(MateldaConfig::default()).detect(&lake, &mut oracle, budget);
+
+    // --- Report: errors per table.
+    println!("\nper-table detections ({} labels used):", result.labels_used);
+    for (t, table) in lake.tables.iter().enumerate() {
+        let hits = result.predicted.iter_set().filter(|id| id.table == t).count();
+        println!("  {:<24} {:>4} suspicious cells of {}", table.name, hits, table.n_cells());
+    }
+
+    fs::remove_dir_all(&dir)?;
+    Ok(())
+}
+
+/// Loads every `*.csv` in a directory into a [`Lake`] (sorted by name for
+/// determinism).
+fn load_lake(dir: &Path) -> Result<Lake, Box<dyn std::error::Error>> {
+    let mut paths: Vec<_> = fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "csv"))
+        .collect();
+    paths.sort();
+    let mut tables = Vec::new();
+    for path in paths {
+        let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("table").to_string();
+        let text = fs::read_to_string(&path)?;
+        tables.push(csv::parse_table(&name, &text)?);
+    }
+    Ok(Lake::new(tables))
+}

@@ -1,0 +1,60 @@
+//! Detect errors, then propose repairs — the paper's §6 future-work
+//! direction, implemented as `matelda::core::suggest_repairs`.
+//!
+//! ```sh
+//! cargo run --release --example detect_and_repair
+//! ```
+
+use matelda::core::{suggest_repairs, Matelda, MateldaConfig, Oracle};
+use matelda::lakegen::QuintetLake;
+use matelda::text::SpellChecker;
+
+fn main() {
+    let lake = QuintetLake::default().generate(5);
+    let mut oracle = Oracle::new(&lake.errors);
+    let result = Matelda::new(MateldaConfig::default())
+        .detect(&lake.dirty, &mut oracle, 3 * lake.dirty.n_columns());
+
+    let spell = SpellChecker::english();
+    let repairs = suggest_repairs(&lake.dirty, &result.predicted, &spell);
+
+    // Grade against ground truth: a repair is correct when it restores
+    // the clean value exactly.
+    let mut correct = 0usize;
+    println!("{:<14} {:<22} {:<22} {:<12} conf", "strategy", "current", "proposed", "truth?");
+    for r in repairs.iter().take(20) {
+        let truth = lake.clean.cell(r.cell);
+        let ok = r.proposed == truth;
+        println!(
+            "{:<14} {:<22} {:<22} {:<12} {:.2}",
+            format!("{:?}", r.strategy),
+            truncate(&r.current),
+            truncate(&r.proposed),
+            if ok { "restored" } else { "different" },
+            r.confidence
+        );
+    }
+    for r in &repairs {
+        if r.proposed == lake.clean.cell(r.cell) {
+            correct += 1;
+        }
+    }
+    println!(
+        "\n{} repairs proposed for {} detections; {} ({:.0}%) restore the exact clean value",
+        repairs.len(),
+        result.predicted.count(),
+        correct,
+        100.0 * correct as f64 / repairs.len().max(1) as f64
+    );
+}
+
+fn truncate(s: &str) -> String {
+    if s.chars().count() > 20 {
+        let t: String = s.chars().take(17).collect();
+        format!("{t}...")
+    } else if s.is_empty() {
+        "(empty)".to_string()
+    } else {
+        s.to_string()
+    }
+}

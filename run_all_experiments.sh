@@ -1,0 +1,12 @@
+#!/bin/sh
+# Runs the full experiment suite sequentially, teeing per-experiment logs
+# into results/logs/. MATELDA_SCALE defaults to full.
+cd /root/repo
+export MATELDA_SCALE="${MATELDA_SCALE:-full}"
+BIN=target/release
+for exp in table1 table3 table2 fig4 fig5 fig6 fig7 fig8 ablation_deviations ablation_classifier ablation_labeling fig3 fig9; do
+  echo "=== running $exp (scale $MATELDA_SCALE) at $(date +%H:%M:%S) ==="
+  $BIN/$exp > results/logs/$exp.txt 2>&1
+  echo "=== $exp done (exit $?) at $(date +%H:%M:%S) ==="
+done
+echo ALL-DONE

@@ -1,0 +1,222 @@
+//! `matelda-cli` — run multi-table error detection from the command line.
+//!
+//! ```text
+//! matelda-cli generate <dir> [--lake quintet|rein|dgov-ntr|wdc|gittables] [--seed N] [--tables N]
+//!     Write a synthetic benchmark lake: <dir>/dirty/*.csv + <dir>/clean/*.csv
+//!
+//! matelda-cli detect <dirty-dir> --clean <clean-dir> [--budget-cells N] [--variant <v>] [--repair yes]
+//!     Load the dirty lake, answer Matelda's label requests from the clean
+//!     lake (the oracle protocol of the paper's experiments), print the
+//!     detection report and, because ground truth is available, P/R/F1.
+//!     Variants: standard (default), edf, rs, santos, sf, tpdf, tucf.
+//!
+//! matelda-cli profile <dir>
+//!     Table/column statistics and approximate FDs of a lake directory.
+//! ```
+
+use matelda::core::{DomainFolding, Matelda, MateldaConfig, Oracle, TrainingStrategy};
+use matelda::fd::mine_approximate;
+use matelda::lakegen::{DGovLake, GitTablesLake, QuintetLake, ReinLake, WdcLake};
+use matelda::table::{diff_lakes, Confusion, Lake};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("detect") => cmd_detect(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
+        _ => {
+            eprintln!("usage: matelda-cli <generate|detect|profile> ... (see --help in source)");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+/// Splits positional args from `--key value` flags.
+fn parse_flags(args: &[String]) -> (Vec<&str>, HashMap<&str, &str>) {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            if i + 1 < args.len() {
+                flags.insert(key, args[i + 1].as_str());
+                i += 2;
+            } else {
+                flags.insert(key, "");
+                i += 1;
+            }
+        } else {
+            positional.push(args[i].as_str());
+            i += 1;
+        }
+    }
+    (positional, flags)
+}
+
+fn cmd_generate(args: &[String]) -> CliResult {
+    let (pos, flags) = parse_flags(args);
+    let dir = PathBuf::from(pos.first().ok_or("generate: missing <dir>")?);
+    let seed: u64 = flags.get("seed").map_or(Ok(1), |s| s.parse())?;
+    let kind = flags.get("lake").copied().unwrap_or("quintet");
+    let tables: Option<usize> = flags.get("tables").map(|s| s.parse()).transpose()?;
+
+    let lake = match kind {
+        "quintet" => QuintetLake::default().generate(seed),
+        "rein" => ReinLake::default().generate(seed),
+        "dgov-ntr" => DGovLake::ntr().with_n_tables(tables.unwrap_or(24)).generate(seed),
+        "dgov-nt" => DGovLake::nt().with_n_tables(tables.unwrap_or(24)).generate(seed),
+        "wdc" => WdcLake { n_tables: tables.unwrap_or(20), ..WdcLake::default() }.generate(seed),
+        "gittables" => GitTablesLake::default().with_n_tables(tables.unwrap_or(50)).generate(seed),
+        other => return Err(format!("unknown lake kind {other:?}").into()),
+    };
+
+    for (sub, side) in [("dirty", &lake.dirty), ("clean", &lake.clean)] {
+        matelda::table::write_lake_to_dir(side, &dir.join(sub))?;
+    }
+    println!(
+        "wrote {} tables ({} cells, {:.1}% erroneous) to {}/{{dirty,clean}}/",
+        lake.dirty.n_tables(),
+        lake.dirty.n_cells(),
+        100.0 * lake.error_rate(),
+        dir.display()
+    );
+    Ok(())
+}
+
+/// Loads every CSV of a directory into a lake, sorted by file name.
+fn load_lake(dir: &Path) -> Result<Lake, Box<dyn std::error::Error>> {
+    Ok(matelda::table::read_lake_from_dir(dir)?)
+}
+
+fn cmd_detect(args: &[String]) -> CliResult {
+    let (pos, flags) = parse_flags(args);
+    let dirty_dir = PathBuf::from(pos.first().ok_or("detect: missing <dirty-dir>")?);
+    let clean_dir =
+        PathBuf::from(flags.get("clean").ok_or("detect: --clean <dir> is required (labels + evaluation)")?);
+    let dirty = load_lake(&dirty_dir)?;
+    let clean = load_lake(&clean_dir)?;
+    if dirty.n_tables() != clean.n_tables() {
+        return Err("dirty and clean lakes have different table counts".into());
+    }
+    let budget: usize =
+        flags.get("budget-cells").map(|s| s.parse()).transpose()?.unwrap_or(2 * dirty.n_columns());
+
+    let mut config = MateldaConfig::default();
+    match flags.get("variant").copied().unwrap_or("standard") {
+        "standard" => {}
+        "edf" => config.domain_folding = DomainFolding::ExtremeDomainFolding,
+        "rs" => config.domain_folding = DomainFolding::RowSampling(0.1),
+        "santos" => config.domain_folding = DomainFolding::SantosLike,
+        "sf" => config.syntactic_refinement = true,
+        "tpdf" => config.training = TrainingStrategy::PerDomainFold,
+        "tucf" => config.training = TrainingStrategy::UnlabeledCellFolds,
+        other => return Err(format!("unknown variant {other:?}").into()),
+    }
+
+    let truth = diff_lakes(&dirty, &clean);
+    let mut oracle = Oracle::new(&truth);
+    let start = std::time::Instant::now();
+    let result = Matelda::new(config).detect(&dirty, &mut oracle, budget);
+    let elapsed = start.elapsed();
+
+    println!(
+        "detected in {:.2}s — {} labels over {} domain folds / {} quality folds",
+        elapsed.as_secs_f64(),
+        result.labels_used,
+        result.n_domain_folds,
+        result.n_quality_folds
+    );
+    println!("\nper-table report:");
+    for (t, table) in dirty.tables.iter().enumerate() {
+        let hits = result.predicted.iter_set().filter(|id| id.table == t).count();
+        println!("  {:<28} {:>5} suspicious / {:>6} cells", table.name, hits, table.n_cells());
+    }
+    let conf = Confusion::from_masks(&result.predicted, &truth);
+    println!(
+        "\nevaluation vs clean: precision {:.1}%  recall {:.1}%  f1 {:.1}%",
+        100.0 * conf.precision(),
+        100.0 * conf.recall(),
+        100.0 * conf.f1()
+    );
+
+    if flags.contains_key("repair") {
+        let spell = matelda::text::SpellChecker::english();
+        let repairs = matelda::core::suggest_repairs(&dirty, &result.predicted, &spell);
+        let restored = repairs.iter().filter(|r| r.proposed == clean.cell(r.cell)).count();
+        println!(
+            "\nrepair suggestions: {} proposed, {} ({:.0}%) restore the clean value exactly",
+            repairs.len(),
+            restored,
+            100.0 * restored as f64 / repairs.len().max(1) as f64
+        );
+        for r in repairs.iter().take(10) {
+            println!(
+                "  [{:?} conf {:.2}] {}[{}][{}]: {:?} -> {:?}",
+                r.strategy,
+                r.confidence,
+                dirty[r.cell.table].name,
+                r.cell.row,
+                dirty[r.cell.table].columns[r.cell.col].name,
+                r.current,
+                r.proposed
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_profile(args: &[String]) -> CliResult {
+    let (pos, _) = parse_flags(args);
+    let dir = PathBuf::from(pos.first().ok_or("profile: missing <dir>")?);
+    let lake = load_lake(&dir)?;
+    println!(
+        "{}: {} tables, {} columns, {} cells",
+        dir.display(),
+        lake.n_tables(),
+        lake.n_columns(),
+        lake.n_cells()
+    );
+    for table in &lake.tables {
+        println!("\n{} ({} rows):", table.name, table.n_rows());
+        for profile in matelda::table::profile_table(table) {
+            let extra = match &profile.numeric {
+                Some(s) => format!("range [{:.4}, {:.4}] mean {:.4}", s.min, s.max, s.mean),
+                None => format!(
+                    "top {:?}",
+                    profile.top_values.iter().map(|(v, _)| v.as_str()).take(3).collect::<Vec<_>>()
+                ),
+            };
+            println!(
+                "  {:<24} {:?} distinct {} complete {:.0}% {}",
+                profile.name,
+                profile.data_type,
+                profile.n_distinct,
+                100.0 * profile.completeness(),
+                extra
+            );
+        }
+        let fds = mine_approximate(table, 0.05);
+        if !fds.is_empty() {
+            let named: Vec<String> = fds
+                .iter()
+                .take(8)
+                .map(|fd| format!("{}→{}", table.columns[fd.lhs].name, table.columns[fd.rhs].name))
+                .collect();
+            println!("  FDs (≤5% error): {}{}", named.join(", "), if fds.len() > 8 { ", …" } else { "" });
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! # matelda
+//!
+//! Umbrella crate for **MaTElDa-rs**, a from-scratch Rust reproduction of
+//! *"MaTElDa: Multi-Table Error Detection"* (Ahmadi, Kuhlmann, Speckmann,
+//! Abedjan — EDBT 2025).
+//!
+//! This crate simply re-exports the workspace members under stable module
+//! names so downstream users can depend on a single crate:
+//!
+//! ```
+//! use matelda::core::{Matelda, MateldaConfig};
+//! use matelda::lakegen::quintet;
+//!
+//! let gen = quintet::QuintetLake::default().generate(7);
+//! let result = Matelda::new(MateldaConfig::default())
+//!     .detect(&gen.dirty, &mut matelda::core::Oracle::new(&gen.errors), 40);
+//! assert!(result.predicted.count() > 0);
+//! ```
+//!
+//! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for
+//! the paper-vs-measured experiment log.
+
+pub use matelda_baselines as baselines;
+pub use matelda_cluster as cluster;
+pub use matelda_core as core;
+pub use matelda_detect as detect;
+pub use matelda_embed as embed;
+pub use matelda_errorgen as errorgen;
+pub use matelda_fd as fd;
+pub use matelda_lakegen as lakegen;
+pub use matelda_ml as ml;
+pub use matelda_table as table;
+pub use matelda_text as text;

@@ -1,0 +1,128 @@
+//! Integration tests for the baseline systems on shared generated lakes:
+//! the qualitative profiles the paper reports must hold.
+
+use matelda::baselines::aspell::Aspell;
+use matelda::baselines::deequ::Deequ;
+use matelda::baselines::gx::Gx;
+use matelda::baselines::holodetect::HoloDetect;
+use matelda::baselines::raha::{Raha, RahaVariant};
+use matelda::baselines::unidetect::UniDetect;
+use matelda::baselines::{Budget, ErrorDetector};
+use matelda::lakegen::{DGovLake, QuintetLake};
+use matelda::table::{Confusion, Labeler, Oracle};
+
+fn eval(system: &dyn ErrorDetector, lake: &matelda::lakegen::GeneratedLake, b: f64) -> Confusion {
+    let mut oracle = Oracle::new(&lake.errors);
+    let predicted = system.detect(&lake.dirty, &mut oracle, Budget::per_table(b));
+    Confusion::from_masks(&predicted, &lake.errors)
+}
+
+#[test]
+fn raha_standard_improves_with_budget() {
+    let lake = QuintetLake { rows_per_table: 60, ..Default::default() }.generate(21);
+    let low = eval(&Raha::new(RahaVariant::Standard), &lake, 2.0);
+    let high = eval(&Raha::new(RahaVariant::Standard), &lake, 10.0);
+    assert!(high.f1() > low.f1(), "raha {} -> {}", low.f1(), high.f1());
+    assert!(high.f1() > 0.4, "raha at 10 tuples should be strong: {}", high.f1());
+}
+
+#[test]
+fn lpc_variants_trade_recall_for_precision() {
+    // §4.2: "Raha-2LPC and Raha-20LPC achieve generally high precision …
+    // the overall recall suffers significantly."
+    let lake = DGovLake::ntr().with_n_tables(24).generate(13);
+    let c20 = eval(&Raha::new(RahaVariant::TwentyLabelsPerCol), &lake, 2.0);
+    assert!(
+        c20.recall() < 0.4,
+        "20LPC recall should collapse (few columns treated): {}",
+        c20.recall()
+    );
+}
+
+#[test]
+fn unsupervised_systems_use_no_labels() {
+    let lake = QuintetLake { rows_per_table: 40, ..Default::default() }.generate(2);
+    for system in [&Aspell::new() as &dyn ErrorDetector, &UniDetect::default(), &Deequ::new(), &Gx::new()] {
+        let mut oracle = Oracle::new(&lake.errors);
+        let _ = system.detect(&lake.dirty, &mut oracle, Budget::per_table(5.0));
+        assert_eq!(oracle.labels_used(), 0, "{} drew labels", system.name());
+    }
+}
+
+#[test]
+fn unidetect_precision_exceeds_recall() {
+    // §4.2: Uni-Detect is precision-oriented with very low recall.
+    let lake = DGovLake::ntr().with_n_tables(24).generate(17);
+    let c = eval(&UniDetect::default(), &lake, 0.0);
+    assert!(c.precision() > c.recall(), "p {} <= r {}", c.precision(), c.recall());
+    assert!(c.recall() < 0.5, "recall should be low: {}", c.recall());
+}
+
+#[test]
+fn gx_is_near_zero_and_oracle_catches_only_mvs() {
+    let lake = QuintetLake { rows_per_table: 60, ..Default::default() }.generate(19);
+    let dirty_profile = eval(&Gx::new(), &lake, 0.0);
+    assert!(dirty_profile.f1() < 0.1, "GX near-zero expected: {}", dirty_profile.f1());
+
+    let oracle_sys = Gx::oracle(lake.clean.clone());
+    let mut oracle = Oracle::new(&lake.errors);
+    let predicted = oracle_sys.detect(&lake.dirty, &mut oracle, Budget::per_table(0.0));
+    // Everything GX-Oracle catches must be a missing-value error.
+    let mv_mask = lake
+        .typed_errors
+        .iter()
+        .find(|(n, _)| n == "MV")
+        .map(|(_, m)| m.clone())
+        .expect("Quintet has MVs");
+    let outside_mv = predicted.minus(&mv_mask).count();
+    let total = predicted.count();
+    assert!(
+        (outside_mv as f64) < 0.2 * total as f64,
+        "GX-Oracle should mostly catch MVs: {outside_mv} of {total} outside"
+    );
+}
+
+#[test]
+fn deequ_oracle_beats_deequ_dirty() {
+    let lake = QuintetLake { rows_per_table: 60, ..Default::default() }.generate(23);
+    let dirty_profile = eval(&Deequ::new(), &lake, 0.0);
+    let clean_profile = eval(&Deequ::oracle(lake.clean.clone()), &lake, 0.0);
+    assert!(
+        clean_profile.f1() > dirty_profile.f1(),
+        "oracle {} <= dirty {}",
+        clean_profile.f1(),
+        dirty_profile.f1()
+    );
+}
+
+#[test]
+fn holodetect_is_the_slowest_supervised_system() {
+    // §4.2's resource notes: HoloDetect is the heavyweight. Compare
+    // wall-clock against Raha on the same lake and budget.
+    let lake = QuintetLake { rows_per_table: 80, ..Default::default() }.generate(29);
+    let clock = |sys: &dyn ErrorDetector| {
+        let mut oracle = Oracle::new(&lake.errors);
+        let start = std::time::Instant::now();
+        let _ = sys.detect(&lake.dirty, &mut oracle, Budget::per_table(5.0));
+        start.elapsed().as_secs_f64()
+    };
+    let holo = clock(&HoloDetect::default());
+    let aspell = clock(&Aspell::new());
+    assert!(holo > aspell, "HoloDetect {holo}s should dwarf ASPELL {aspell}s");
+}
+
+#[test]
+fn aspell_profile_on_typo_heavy_lake() {
+    // §4.4: ASPELL is a reasonable alternative when only typos are
+    // expected — DGov-Typo is its best case.
+    let typo_lake = DGovLake::typo().with_n_tables(16).generate(3);
+    let rv_lake = DGovLake::rv().with_n_tables(16).generate(3);
+    let on_typo = eval(&Aspell::new(), &typo_lake, 0.0);
+    let on_rv = eval(&Aspell::new(), &rv_lake, 0.0);
+    assert!(
+        on_typo.f1() > on_rv.f1() + 0.1,
+        "ASPELL typo-lake {} vs rv-lake {}",
+        on_typo.f1(),
+        on_rv.f1()
+    );
+}

@@ -1,0 +1,91 @@
+//! End-to-end test of the `matelda-cli` binary: generate → profile →
+//! detect → repair over a real temp directory, driving the compiled
+//! binary through `std::process::Command` (the way a user would).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    // Cargo exposes the path of sibling binaries to integration tests.
+    Command::new(env!("CARGO_BIN_EXE_matelda-cli"))
+}
+
+fn tmp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("matelda_cli_it_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn generate_profile_detect_repair_round_trip() {
+    let dir = tmp_dir();
+    let dir_s = dir.to_string_lossy().to_string();
+
+    // generate
+    let out = cli()
+        .args(["generate", &dir_s, "--lake", "dgov-ntr", "--tables", "6", "--seed", "3"])
+        .output()
+        .expect("spawn generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("wrote 6 tables"), "{stdout}");
+    assert!(dir.join("dirty").exists() && dir.join("clean").exists());
+
+    // profile
+    let dirty = dir.join("dirty").to_string_lossy().to_string();
+    let out = cli().args(["profile", &dirty]).output().expect("spawn profile");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("6 tables"), "{stdout}");
+    assert!(stdout.contains("distinct"), "{stdout}");
+    assert!(stdout.contains("FDs"), "profile should mine FDs: {stdout}");
+
+    // detect + repair
+    let clean = dir.join("clean").to_string_lossy().to_string();
+    let out = cli()
+        .args(["detect", &dirty, "--clean", &clean, "--repair", "yes"])
+        .output()
+        .expect("spawn detect");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("evaluation vs clean"), "{stdout}");
+    assert!(stdout.contains("repair suggestions"), "{stdout}");
+    // The f1 line should report a percentage (sanity that metrics printed).
+    assert!(stdout.contains("f1 "), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = cli().arg("frobnicate").output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn detect_requires_clean_dir() {
+    let out = cli().args(["detect", "/tmp/nowhere"]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--clean"));
+}
+
+#[test]
+fn variant_flag_is_validated() {
+    let dir = tmp_dir();
+    let dir_s = dir.to_string_lossy().to_string();
+    let out = cli()
+        .args(["generate", &dir_s, "--lake", "quintet", "--seed", "1"])
+        .output()
+        .expect("generate");
+    assert!(out.status.success());
+    let dirty = dir.join("dirty").to_string_lossy().to_string();
+    let clean = dir.join("clean").to_string_lossy().to_string();
+    let out = cli()
+        .args(["detect", &dirty, "--clean", &clean, "--variant", "bogus"])
+        .output()
+        .expect("detect");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown variant"));
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

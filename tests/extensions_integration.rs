@@ -1,0 +1,105 @@
+//! Integration tests for the extension modules: repair suggestion,
+//! composite FD mining, the random-forest learner and the
+//! uncertainty-labeling strategy — all exercised end-to-end on generated
+//! lakes.
+
+use matelda::core::{
+    suggest_repairs, LabelingStrategy, Matelda, MateldaConfig, Oracle, RepairStrategy,
+};
+use matelda::fd::tane::partition_product;
+use matelda::fd::{mine_composite, CompositeFd, Partition};
+use matelda::lakegen::{DGovLake, QuintetLake};
+use matelda::ml::{ClassifierKind, RandomForestConfig};
+use matelda::table::{Confusion, Table};
+use matelda::text::SpellChecker;
+
+#[test]
+fn repairs_restore_a_meaningful_fraction_of_clean_values() {
+    let lake = QuintetLake::default().generate(5);
+    let mut oracle = Oracle::new(&lake.errors);
+    let result = Matelda::new(MateldaConfig::default())
+        .detect(&lake.dirty, &mut oracle, 3 * lake.dirty.n_columns());
+    let spell = SpellChecker::english();
+    let repairs = suggest_repairs(&lake.dirty, &result.predicted, &spell);
+    assert!(!repairs.is_empty(), "repairs should be proposed");
+    let restored = repairs.iter().filter(|r| r.proposed == lake.clean.cell(r.cell)).count();
+    let rate = restored as f64 / repairs.len() as f64;
+    assert!(rate > 0.4, "only {rate:.2} of repairs restore the clean value");
+    // Every strategy should appear somewhere on a mixed-error lake.
+    let strategies: std::collections::HashSet<_> =
+        repairs.iter().map(|r| format!("{:?}", r.strategy)).collect();
+    assert!(strategies.len() >= 2, "{strategies:?}");
+    // Confidence stays in range.
+    assert!(repairs.iter().all(|r| r.confidence > 0.0 && r.confidence <= 1.0));
+    let _ = RepairStrategy::FdMajority; // used via Debug above
+}
+
+#[test]
+fn composite_fds_found_on_generated_domain_tables() {
+    // Generated domain tables carry entity->attribute FDs; the composite
+    // miner must agree with the unary miner at level 1 on those and never
+    // produce a violated dependency.
+    let lake = DGovLake::ntr().with_n_tables(6).generate(3);
+    for table in &lake.clean.tables {
+        let fds = mine_composite(table, 2);
+        for fd in &fds {
+            assert!(holds(table, fd), "{:?} does not hold on {}", fd, table.name);
+        }
+    }
+}
+
+fn holds(table: &Table, fd: &CompositeFd) -> bool {
+    use std::collections::HashMap;
+    let mut seen: HashMap<Vec<&str>, &str> = HashMap::new();
+    for r in 0..table.n_rows() {
+        let key: Vec<&str> = fd.lhs.iter().map(|&c| table.cell(r, c)).collect();
+        let value = table.cell(r, fd.rhs);
+        if let Some(prev) = seen.insert(key, value) {
+            if prev != value {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[test]
+fn partition_product_is_commutative() {
+    let lake = QuintetLake { rows_per_table: 40, ..Default::default() }.generate(2);
+    let t = &lake.clean.tables[2];
+    let pa = Partition::of_column(t, 1);
+    let pb = Partition::of_column(t, 2);
+    let ab = partition_product(&pa, &pb, t.n_rows());
+    let ba = partition_product(&pb, &pa, t.n_rows());
+    assert_eq!(ab.groups, ba.groups);
+}
+
+#[test]
+fn random_forest_pipeline_is_competitive() {
+    let lake = QuintetLake { rows_per_table: 60, ..Default::default() }.generate(9);
+    let budget = 3 * lake.dirty.n_columns();
+    let run = |kind: ClassifierKind| {
+        let mut oracle = Oracle::new(&lake.errors);
+        let cfg = MateldaConfig { classifier: kind, ..Default::default() };
+        let r = Matelda::new(cfg).detect(&lake.dirty, &mut oracle, budget);
+        Confusion::from_masks(&r.predicted, &lake.errors).f1()
+    };
+    let gbm = run(ClassifierKind::default());
+    let rf = run(ClassifierKind::RandomForest(RandomForestConfig::default()));
+    assert!(rf > 0.25, "forest f1 {rf}");
+    // Close race: the features dominate the learner choice.
+    assert!((gbm - rf).abs() < 0.25, "gbm {gbm} vs rf {rf}");
+}
+
+#[test]
+fn uncertainty_labeling_stays_within_budget_slack() {
+    let lake = DGovLake::ntr().with_n_tables(12).generate(4);
+    let budget = 2 * lake.dirty.n_columns();
+    let cfg =
+        MateldaConfig { labeling: LabelingStrategy::UncertaintyRefinement, ..Default::default() };
+    let mut oracle = Oracle::new(&lake.errors);
+    let r = Matelda::new(cfg).detect(&lake.dirty, &mut oracle, budget);
+    assert!(r.labels_used <= budget + 2 * r.n_domain_folds);
+    let conf = Confusion::from_masks(&r.predicted, &lake.errors);
+    assert!(conf.f1() > 0.2, "adaptive f1 {}", conf.f1());
+}

@@ -1,0 +1,105 @@
+//! Cross-crate integration tests: the full Matelda pipeline over generated
+//! lakes, exercising every layer (lakegen → errorgen → detect → cluster →
+//! ml → core) together.
+
+use matelda::core::{DomainFolding, Matelda, MateldaConfig, Oracle, TrainingStrategy};
+use matelda::detect::FeatureConfig;
+use matelda::lakegen::{DGovLake, QuintetLake, ReinLake};
+use matelda::table::Confusion;
+
+fn f1_of(config: MateldaConfig, lake: &matelda::lakegen::GeneratedLake, budget: usize) -> f64 {
+    let mut oracle = Oracle::new(&lake.errors);
+    let result = Matelda::new(config).detect(&lake.dirty, &mut oracle, budget);
+    Confusion::from_masks(&result.predicted, &lake.errors).f1()
+}
+
+#[test]
+fn quintet_end_to_end_beats_random_guessing() {
+    let lake = QuintetLake { rows_per_table: 80, ..Default::default() }.generate(11);
+    let budget = 2 * lake.dirty.n_columns();
+    let f1 = f1_of(MateldaConfig::default(), &lake, budget);
+    // Random guessing at the 9% error rate yields F1 ≈ 0.16 at best.
+    assert!(f1 > 0.35, "end-to-end f1 {f1} too low");
+}
+
+#[test]
+fn more_labels_do_not_hurt_much() {
+    // F1 at 5 tuples/table should comfortably exceed F1 at a half tuple.
+    let lake = QuintetLake { rows_per_table: 80, ..Default::default() }.generate(3);
+    let small = f1_of(MateldaConfig::default(), &lake, lake.dirty.n_columns() / 2);
+    let large = f1_of(MateldaConfig::default(), &lake, 5 * lake.dirty.n_columns());
+    assert!(
+        large > small,
+        "budget increase should help: {small} -> {large}"
+    );
+}
+
+#[test]
+fn rein_lake_detection_works() {
+    let lake = ReinLake { rows_per_table: 60, ..Default::default() }.generate(5);
+    let f1 = f1_of(MateldaConfig::default(), &lake, 2 * lake.dirty.n_columns());
+    assert!(f1 > 0.4, "REIN f1 {f1}");
+}
+
+#[test]
+fn multi_domain_lake_forms_multiple_folds() {
+    let lake = DGovLake::ntr().with_n_tables(24).generate(9);
+    let mut oracle = Oracle::new(&lake.errors);
+    let result =
+        Matelda::new(MateldaConfig::default()).detect(&lake.dirty, &mut oracle, 2 * lake.dirty.n_columns());
+    assert!(result.n_domain_folds > 1, "24 tables over many domains should fold");
+    assert!(result.n_domain_folds < 24, "identical-domain tables should share folds");
+}
+
+#[test]
+fn edf_variant_is_close_to_standard_in_f1() {
+    // Paper §4.5.1: dropping domain folding barely changes effectiveness
+    // (it changes runtime).
+    let lake = DGovLake::ntr().with_n_tables(16).generate(2);
+    let budget = 2 * lake.dirty.n_columns();
+    let standard = f1_of(MateldaConfig::default(), &lake, budget);
+    let edf = f1_of(
+        MateldaConfig { domain_folding: DomainFolding::ExtremeDomainFolding, ..Default::default() },
+        &lake,
+        budget,
+    );
+    assert!((standard - edf).abs() < 0.25, "standard {standard} vs EDF {edf}");
+}
+
+#[test]
+fn ablations_run_and_nod_hurts_on_outlier_lake() {
+    // On an outlier-only lake, removing the outlier detectors must hurt.
+    let lake = DGovLake::no().with_n_tables(16).generate(4);
+    let budget = 3 * lake.dirty.n_columns();
+    let full = f1_of(MateldaConfig::default(), &lake, budget);
+    let nod = f1_of(
+        MateldaConfig { features: FeatureConfig::no_outliers(), ..Default::default() },
+        &lake,
+        budget,
+    );
+    assert!(full > nod, "full {full} should beat NOD {nod} on DGov-NO");
+}
+
+#[test]
+fn training_strategies_all_produce_reasonable_results() {
+    let lake = QuintetLake { rows_per_table: 60, ..Default::default() }.generate(8);
+    let budget = 3 * lake.dirty.n_columns();
+    for strategy in [
+        TrainingStrategy::PerColumn,
+        TrainingStrategy::PerDomainFold,
+        TrainingStrategy::UnlabeledCellFolds,
+    ] {
+        let f1 = f1_of(MateldaConfig { training: strategy, ..Default::default() }, &lake, budget);
+        assert!(f1 > 0.2, "strategy {strategy:?} f1 {f1}");
+    }
+}
+
+#[test]
+fn labels_never_exceed_reasonable_bound() {
+    // The fold floor can exceed the requested budget, but not wildly.
+    let lake = QuintetLake { rows_per_table: 40, ..Default::default() }.generate(1);
+    let budget = 2 * lake.dirty.n_columns();
+    let mut oracle = Oracle::new(&lake.errors);
+    let result = Matelda::new(MateldaConfig::default()).detect(&lake.dirty, &mut oracle, budget);
+    assert!(result.labels_used <= budget + 2 * result.n_domain_folds);
+}

@@ -1,0 +1,191 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning crates (proptest).
+
+use matelda::cluster::{agglomerative, Hdbscan, MiniBatchKMeans, NOISE};
+use matelda::cluster::kmeans::MiniBatchKMeansConfig;
+use matelda::errorgen::{inject, ErrorSpec};
+use matelda::ml::{GradientBoostingClassifier, GradientBoostingConfig};
+use matelda::embed::MinHashSketch;
+use matelda::table::{csv, diff_lakes, CellId, CellMask, Column, Lake, Table};
+use matelda::table::profile::ColumnProfile;
+use matelda::text::{damerau_levenshtein, levenshtein};
+use proptest::prelude::*;
+
+/// Strategy: a small table of printable cells.
+fn arb_table() -> impl Strategy<Value = Table> {
+    let cell = "[ -~]{0,12}"; // printable ASCII, short
+    (2usize..6, 2usize..20).prop_flat_map(move |(cols, rows)| {
+        proptest::collection::vec(proptest::collection::vec(cell, rows), cols).prop_map(
+            move |columns| {
+                Table::new(
+                    "t",
+                    columns
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, values)| Column::new(format!("c{i}"), values))
+                        .collect(),
+                )
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csv_round_trips_any_table(table in arb_table()) {
+        let text = csv::write_table(&table);
+        let back = csv::parse_table("t", &text).expect("own output parses");
+        prop_assert_eq!(table, back);
+    }
+
+    #[test]
+    fn levenshtein_is_a_metric(a in "[a-z]{0,10}", b in "[a-z]{0,10}", c in "[a-z]{0,10}") {
+        // Symmetry, identity, triangle inequality.
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        // Damerau never exceeds Levenshtein.
+        prop_assert!(damerau_levenshtein(&a, &b) <= levenshtein(&a, &b));
+    }
+
+    #[test]
+    fn mask_algebra_laws(cells_a in proptest::collection::vec((0usize..4, 0usize..8), 0..16),
+                         cells_b in proptest::collection::vec((0usize..4, 0usize..8), 0..16)) {
+        let table = Table::new("t", (0..4).map(|i| Column::new(format!("c{i}"), vec!["x"; 8])).collect());
+        let lake = Lake::new(vec![table]);
+        let a = CellMask::from_cells(&lake, cells_a.iter().map(|&(c, r)| CellId::new(0, r, c)));
+        let b = CellMask::from_cells(&lake, cells_b.iter().map(|&(c, r)| CellId::new(0, r, c)));
+        // |A| = |A∧B| + |A∖B|
+        prop_assert_eq!(a.count(), a.and(&b).count() + a.minus(&b).count());
+        // |A∨B| = |A| + |B| - |A∧B|
+        prop_assert_eq!(a.or(&b).count(), a.count() + b.count() - a.and(&b).count());
+        // Idempotence and commutativity.
+        prop_assert_eq!(a.and(&a).count(), a.count());
+        prop_assert_eq!(a.or(&b).count(), b.or(&a).count());
+    }
+
+    #[test]
+    fn injection_report_matches_diff(seed in 0u64..500, rate in 0.01f64..0.4) {
+        let clean = Table::new(
+            "t",
+            vec![
+                Column::new("id", (0..30).map(|i| i.to_string())),
+                Column::new("city", (0..30).map(|i| ["Paris", "Rome", "Oslo"][i % 3].to_string())),
+                Column::new("country", (0..30).map(|i| ["France", "Italy", "Norway"][i % 3].to_string())),
+                Column::new("n", (0..30).map(|i| (100 + 7 * i).to_string())),
+            ],
+        );
+        let (dirty, report) = inject(&clean, &ErrorSpec::all_types(rate, seed));
+        let lake_dirty = Lake::new(vec![dirty]);
+        let lake_clean = Lake::new(vec![clean]);
+        let mask = diff_lakes(&lake_dirty, &lake_clean);
+        // The report and the diff agree exactly.
+        prop_assert_eq!(mask.count(), report.len());
+        for &(r, c, _) in &report.injected {
+            prop_assert!(mask.get(CellId::new(0, r, c)));
+        }
+    }
+
+    #[test]
+    fn kmeans_assignments_are_valid(points in proptest::collection::vec(
+        proptest::collection::vec(-100.0f32..100.0, 3), 1..40), k in 1usize..8, seed in 0u64..100) {
+        let fit = MiniBatchKMeans::new(MiniBatchKMeansConfig { k, seed, ..Default::default() })
+            .fit(&points);
+        prop_assert_eq!(fit.assignments.len(), points.len());
+        let n_centers = fit.centers.len();
+        prop_assert!(n_centers <= k.max(1));
+        for &a in &fit.assignments {
+            prop_assert!(a < n_centers);
+        }
+    }
+
+    #[test]
+    fn hdbscan_labels_are_dense_or_noise(points in proptest::collection::vec(
+        proptest::collection::vec(-50.0f32..50.0, 2), 0..30)) {
+        let labels = Hdbscan::default().fit_points(&points);
+        prop_assert_eq!(labels.len(), points.len());
+        let max = labels.iter().copied().max().unwrap_or(NOISE);
+        for l in &labels {
+            prop_assert!(*l == NOISE || (0..=max).contains(l));
+        }
+        // Every non-noise label in 0..=max actually occurs (dense).
+        for want in 0..=max.max(0) {
+            if max >= 0 {
+                prop_assert!(labels.contains(&want));
+            }
+        }
+    }
+
+    #[test]
+    fn agglomerative_respects_k(n in 1usize..25, k in 1usize..10, seed in 0u64..50) {
+        // Pseudo-random but deterministic positions derived from the seed.
+        let pos: Vec<f64> = (0..n).map(|i| {
+            let h = (seed.wrapping_mul(31).wrapping_add(i as u64)).wrapping_mul(2654435761);
+            (h % 1000) as f64 / 10.0
+        }).collect();
+        let labels = agglomerative(n, k, |a, b| (pos[a] - pos[b]).abs());
+        let distinct: std::collections::HashSet<_> = labels.iter().collect();
+        prop_assert!(distinct.len() <= k.clamp(1, n));
+        prop_assert_eq!(labels.len(), n);
+    }
+
+    #[test]
+    fn gbm_fits_its_training_data_when_separable(split in 1usize..19) {
+        // Linearly separable by construction -> boosting must fit it.
+        let x: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32]).collect();
+        let y: Vec<bool> = (0..20).map(|i| i >= split).collect();
+        let m = GradientBoostingClassifier::fit(&x, &y, &GradientBoostingConfig::default());
+        for (xi, &yi) in x.iter().zip(&y) {
+            prop_assert_eq!(m.predict(xi), yi);
+        }
+    }
+
+    #[test]
+    fn minhash_estimates_stay_in_unit_interval_and_bound_error(
+        a_size in 1usize..60, overlap in 0usize..40, seed in 0u64..50) {
+        let overlap = overlap.min(a_size);
+        let a: Vec<String> = (0..a_size).map(|i| format!("s{seed}_{i}")).collect();
+        let b: Vec<String> = (a_size - overlap..a_size + 30)
+            .map(|i| format!("s{seed}_{i}"))
+            .collect();
+        let sa = MinHashSketch::of(&a, 256);
+        let sb = MinHashSketch::of(&b, 256);
+        let est = sa.jaccard(&sb);
+        prop_assert!((0.0..=1.0).contains(&est));
+        // True Jaccard.
+        let union = a_size + 30;
+        let truth = overlap as f64 / union as f64;
+        // 256 slots: allow a generous 5-sigma band (~0.16).
+        prop_assert!((est - truth).abs() < 0.2, "est {est} vs true {truth}");
+    }
+
+    #[test]
+    fn column_profile_invariants(values in proptest::collection::vec("[ -~]{0,8}", 0..40)) {
+        let p = ColumnProfile::of(&Column::new("c", values.clone()));
+        prop_assert_eq!(p.n_rows, values.len());
+        prop_assert!(p.n_nulls <= p.n_rows);
+        prop_assert!(p.n_distinct <= p.n_rows.max(1) || p.n_rows == 0);
+        prop_assert!((0.0..=1.0).contains(&p.completeness()));
+        prop_assert!(p.entropy_bits >= 0.0);
+        let max_entropy = if p.n_rows == 0 { 0.0 } else { (p.n_rows as f64).log2() };
+        prop_assert!(p.entropy_bits <= max_entropy + 1e-9);
+        prop_assert!(p.top_values.len() <= 5);
+        if let Some(s) = p.numeric {
+            prop_assert!(s.min <= s.mean && s.mean <= s.max);
+            prop_assert!(s.quartiles[0] <= s.quartiles[1] && s.quartiles[1] <= s.quartiles[2]);
+        }
+    }
+
+    #[test]
+    fn confusion_counts_partition_the_lake(cells_t in proptest::collection::vec((0usize..3, 0usize..6), 0..10),
+                                           cells_p in proptest::collection::vec((0usize..3, 0usize..6), 0..10)) {
+        let table = Table::new("t", (0..3).map(|i| Column::new(format!("c{i}"), vec!["v"; 6])).collect());
+        let lake = Lake::new(vec![table]);
+        let truth = CellMask::from_cells(&lake, cells_t.iter().map(|&(c, r)| CellId::new(0, r, c)));
+        let pred = CellMask::from_cells(&lake, cells_p.iter().map(|&(c, r)| CellId::new(0, r, c)));
+        let conf = matelda::table::Confusion::from_masks(&pred, &truth);
+        prop_assert_eq!(conf.tp + conf.fp + conf.fn_ + conf.tn, lake.n_cells());
+    }
+}
