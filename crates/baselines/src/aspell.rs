@@ -4,7 +4,7 @@
 //! paper reports.
 
 use crate::{Budget, ErrorDetector};
-use matelda_table::{CellId, CellMask, Lake, Labeler};
+use matelda_table::{CellId, CellMask, Labeler, Lake};
 use matelda_text::SpellChecker;
 
 /// The spell-checker baseline.

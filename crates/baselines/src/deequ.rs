@@ -15,7 +15,7 @@
 
 use crate::{Budget, ErrorDetector};
 use matelda_table::value::{as_f64, infer_type, is_null};
-use matelda_table::{CellId, CellMask, DataType, Lake, Labeler, Table};
+use matelda_table::{CellId, CellMask, DataType, Labeler, Lake, Table};
 
 /// Suggested constraints for one column.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,10 +54,7 @@ impl Deequ {
         };
         let len_range = if dtype.is_none() && !non_null.is_empty() {
             let lens: Vec<usize> = non_null.iter().map(|v| v.chars().count()).collect();
-            Some((
-                *lens.iter().min().expect("non-empty"),
-                *lens.iter().max().expect("non-empty"),
-            ))
+            Some((*lens.iter().min().expect("non-empty"), *lens.iter().max().expect("non-empty")))
         } else {
             None
         };
@@ -68,8 +65,8 @@ impl Deequ {
                     None
                 } else {
                     let mean = nums.iter().sum::<f64>() / nums.len() as f64;
-                    let var =
-                        nums.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / nums.len() as f64;
+                    let var = nums.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+                        / nums.len() as f64;
                     let sd = var.sqrt();
                     Some((mean - 4.0 * sd, mean + 4.0 * sd))
                 }
@@ -114,7 +111,11 @@ impl Deequ {
 
 impl ErrorDetector for Deequ {
     fn name(&self) -> String {
-        if self.clean_reference.is_some() { "Deequ-Oracle".to_string() } else { "Deequ".to_string() }
+        if self.clean_reference.is_some() {
+            "Deequ-Oracle".to_string()
+        } else {
+            "Deequ".to_string()
+        }
     }
 
     fn detect(&self, lake: &Lake, _labeler: &mut dyn Labeler, _budget: Budget) -> CellMask {

@@ -16,7 +16,7 @@
 
 use crate::{Budget, ErrorDetector};
 use matelda_table::value::is_null;
-use matelda_table::{CellId, CellMask, Lake, Labeler, Table};
+use matelda_table::{CellId, CellMask, Labeler, Lake, Table};
 
 /// The GX-style baseline.
 #[derive(Debug, Clone, Default)]
@@ -60,7 +60,11 @@ impl Gx {
 
 impl ErrorDetector for Gx {
     fn name(&self) -> String {
-        if self.clean_reference.is_some() { "GX-Oracle".to_string() } else { "GX".to_string() }
+        if self.clean_reference.is_some() {
+            "GX-Oracle".to_string()
+        } else {
+            "GX".to_string()
+        }
     }
 
     fn detect(&self, lake: &Lake, _labeler: &mut dyn Labeler, _budget: Budget) -> CellMask {

@@ -14,9 +14,9 @@
 //! scale) reproducible in relative terms.
 
 use crate::{Budget, ErrorDetector};
-use matelda_table::value::as_f64;
-use matelda_table::{CellId, CellMask, Lake, Labeler, Table};
 use matelda_ml::{GradientBoostingClassifier, GradientBoostingConfig};
+use matelda_table::value::as_f64;
+use matelda_table::{CellId, CellMask, Labeler, Lake, Table};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;

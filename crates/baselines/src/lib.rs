@@ -30,7 +30,8 @@ pub mod holodetect;
 pub mod raha;
 pub mod unidetect;
 
-use matelda_table::{CellMask, Lake, Labeler};
+use matelda_exec::RunReport;
+use matelda_table::{CellMask, Labeler, Lake};
 
 /// Budget handed to a detection system, in the units the paper's x-axes
 /// use: labeled tuples per table (fractions allowed — 0.5 means one tuple
@@ -73,6 +74,18 @@ pub trait ErrorDetector {
     /// Detects errors in `lake` within `budget`, drawing labels from
     /// `labeler`. Unsupervised systems ignore both.
     fn detect(&self, lake: &Lake, labeler: &mut dyn Labeler, budget: Budget) -> CellMask;
+
+    /// Like [`ErrorDetector::detect`] but also returns per-stage
+    /// instrumentation. Systems without staged internals return an empty
+    /// report; Matelda and Raha return real per-stage timings.
+    fn detect_with_report(
+        &self,
+        lake: &Lake,
+        labeler: &mut dyn Labeler,
+        budget: Budget,
+    ) -> (CellMask, RunReport) {
+        (self.detect(lake, labeler, budget), RunReport::default())
+    }
 
     /// Whether the system can run at the given budget (Raha-Standard and
     /// HoloDetect need at least one labeled tuple per table).

@@ -17,13 +17,15 @@
 use crate::{Budget, ErrorDetector};
 use matelda_cluster::agglomerative;
 use matelda_detect::outlier::{gaussian_flags, histogram_flags};
+use matelda_exec::{Executor, RunReport, StageReport};
 use matelda_fd::violating_rows;
 use matelda_ml::{GradientBoostingClassifier, GradientBoostingConfig};
-use matelda_table::{CellId, CellMask, Lake, Labeler, Table};
+use matelda_table::{CellId, CellMask, Labeler, Lake, Table};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::{BTreeMap, HashSet};
+use std::time::Instant;
 
 /// The paper's Raha budget-distribution schemes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,12 +56,37 @@ pub struct Raha {
     /// Cap on bag-of-characters checkers per column (the most frequent
     /// characters; Raha instantiates one per character).
     pub max_char_checkers: usize,
+    /// Executor worker threads for the per-column featurize/cluster and
+    /// train/predict paths; `0` means available parallelism. Labeling is
+    /// always sequential, and the mask is identical at every value.
+    pub threads: usize,
 }
 
 impl Raha {
     /// Creates the given variant with default hyperparameters.
     pub fn new(variant: RahaVariant) -> Self {
-        Self { variant, seed: 0, gbm: GradientBoostingConfig::default(), max_char_checkers: 24 }
+        Self {
+            variant,
+            seed: 0,
+            gbm: GradientBoostingConfig::default(),
+            max_char_checkers: 24,
+            threads: 0,
+        }
+    }
+}
+
+/// Adds `secs`/`items` to the report's stage `name`, creating it on
+/// first use — Raha runs per table, so stage timings accumulate across
+/// tables instead of appearing once per table.
+fn accumulate(report: &mut RunReport, name: &str, secs: f64, items: u64) {
+    if let Some(s) = report.stages.iter_mut().find(|s| s.name == name) {
+        s.wall_secs += secs;
+        s.items += items;
+    } else {
+        let mut s = StageReport::new(name);
+        s.wall_secs = secs;
+        s.items = items;
+        report.stages.push(s);
     }
 }
 
@@ -112,6 +139,12 @@ pub fn column_strategy_features(table: &Table, col: usize, max_chars: usize) -> 
 /// Per-table Raha: clusters each column's cells, labels `tuple_budget`
 /// tuples chosen for cluster coverage, propagates within clusters, trains
 /// one model per column and predicts every cell. Marks hits into `mask`.
+///
+/// The per-column featurize/cluster and train/predict paths run on
+/// `exec` with results merged in column order, so the mask is identical
+/// at every thread count; labeling is sequential. Stage timings
+/// accumulate into `report`.
+#[allow(clippy::too_many_arguments)]
 pub fn detect_table(
     lake: &Lake,
     t: usize,
@@ -119,6 +152,8 @@ pub fn detect_table(
     labeler: &mut dyn Labeler,
     gbm: &GradientBoostingConfig,
     max_chars: usize,
+    exec: &Executor,
+    report: &mut RunReport,
     mask: &mut CellMask,
 ) {
     let table = &lake[t];
@@ -126,37 +161,38 @@ pub fn detect_table(
     if n == 0 || m == 0 || tuple_budget == 0 {
         return;
     }
-    let features: Vec<Vec<Vec<f32>>> =
-        (0..m).map(|c| column_strategy_features(table, c, max_chars)).collect();
 
-    // Per-column clustering; cluster count grows with the budget (Raha
-    // refines its clustering one level per labeled tuple; finer clusters
-    // keep propagation pure — labeled tuples cover several clusters each
-    // because every tuple labels one cell in every column).
+    // Per-column strategy features and clustering; cluster count grows
+    // with the budget (Raha refines its clustering one level per labeled
+    // tuple; finer clusters keep propagation pure — labeled tuples cover
+    // several clusters each because every tuple labels one cell in every
+    // column).
     let k = (2 * tuple_budget + 1).clamp(2, n);
-    let clusters: Vec<Vec<usize>> = (0..m)
-        .map(|c| {
-            agglomerative(n, k, |a, b| {
-                features[c][a]
-                    .iter()
-                    .zip(&features[c][b])
-                    .map(|(x, y)| f64::from((x - y) * (x - y)))
-                    .sum::<f64>()
-                    .sqrt()
-            })
-        })
-        .collect();
+    let start = Instant::now();
+    let per_column: Vec<(Vec<Vec<f32>>, Vec<usize>)> = exec.map_n(m, |c| {
+        let features = column_strategy_features(table, c, max_chars);
+        let clusters = agglomerative(n, k, |a, b| {
+            features[a]
+                .iter()
+                .zip(&features[b])
+                .map(|(x, y)| f64::from((x - y) * (x - y)))
+                .sum::<f64>()
+                .sqrt()
+        });
+        (features, clusters)
+    });
+    let (features, clusters): (Vec<_>, Vec<_>) = per_column.into_iter().unzip();
+    accumulate(report, "features+cluster", start.elapsed().as_secs_f64(), (n * m) as u64);
 
     // Tuple sampling: greedily pick the tuple covering the most
     // still-unlabeled (column, cluster) pairs.
+    let start = Instant::now();
     let mut covered: HashSet<(usize, usize)> = HashSet::new();
     let mut labeled_rows: Vec<usize> = Vec::new();
     for _ in 0..tuple_budget.min(n) {
         let best_row = (0..n)
             .filter(|r| !labeled_rows.contains(r))
-            .max_by_key(|&r| {
-                (0..m).filter(|&c| !covered.contains(&(c, clusters[c][r]))).count()
-            });
+            .max_by_key(|&r| (0..m).filter(|&c| !covered.contains(&(c, clusters[c][r]))).count());
         let Some(row) = best_row else { break };
         labeled_rows.push(row);
         for c in 0..m {
@@ -177,8 +213,11 @@ pub fn detect_table(
             }
         }
     }
+    accumulate(report, "label", start.elapsed().as_secs_f64(), (labeled_rows.len() * m) as u64);
 
-    for c in 0..m {
+    // Per-column training and prediction, merged in column order.
+    let start = Instant::now();
+    let flagged: Vec<Vec<usize>> = exec.map_n(m, |c| {
         let mut x = Vec::new();
         let mut y = Vec::new();
         for r in 0..n {
@@ -188,17 +227,21 @@ pub fn detect_table(
             }
         }
         let model = GradientBoostingClassifier::fit(&x, &y, gbm);
-        for r in 0..n {
-            if model.predict(&features[c][r]) {
-                mask.set(CellId::new(t, r, c), true);
-            }
+        (0..n).filter(|&r| model.predict(&features[c][r])).collect()
+    });
+    for (c, rows) in flagged.into_iter().enumerate() {
+        for r in rows {
+            mask.set(CellId::new(t, r, c), true);
         }
     }
+    accumulate(report, "train", start.elapsed().as_secs_f64(), (n * m) as u64);
 }
 
 /// Column-level Raha used by the 2LPC/20LPC variants: clusters the cells
 /// of one column into `n_labels` folds, labels each fold representative,
-/// propagates and classifies that column only.
+/// propagates and classifies that column only. Stage timings accumulate
+/// into `report`.
+#[allow(clippy::too_many_arguments)]
 pub fn detect_column(
     lake: &Lake,
     t: usize,
@@ -207,6 +250,7 @@ pub fn detect_column(
     labeler: &mut dyn Labeler,
     gbm: &GradientBoostingConfig,
     max_chars: usize,
+    report: &mut RunReport,
     mask: &mut CellMask,
 ) {
     let table = &lake[t];
@@ -214,6 +258,7 @@ pub fn detect_column(
     if n == 0 || n_labels == 0 {
         return;
     }
+    let start = Instant::now();
     let features = column_strategy_features(table, c, max_chars);
     let k = n_labels.clamp(1, n);
     let clusters = agglomerative(n, k, |a, b| {
@@ -225,20 +270,26 @@ pub fn detect_column(
             .sqrt()
     });
     let n_clusters = clusters.iter().copied().max().unwrap_or(0) + 1;
+    accumulate(report, "features+cluster", start.elapsed().as_secs_f64(), n as u64);
 
     // Representative per cluster: the first member (deterministic); label
     // it and propagate to the cluster.
+    let start = Instant::now();
     let mut labels: Vec<Option<bool>> = vec![None; n];
+    let mut spent = 0u64;
     for cl in 0..n_clusters {
         let Some(rep) = (0..n).find(|&r| clusters[r] == cl) else { continue };
         let verdict = labeler.label(CellId::new(t, rep, c));
+        spent += 1;
         for r in 0..n {
             if clusters[r] == cl {
                 labels[r] = Some(verdict);
             }
         }
     }
+    accumulate(report, "label", start.elapsed().as_secs_f64(), spent);
 
+    let start = Instant::now();
     let mut x = Vec::new();
     let mut y = Vec::new();
     for r in 0..n {
@@ -253,6 +304,7 @@ pub fn detect_column(
             mask.set(CellId::new(t, r, c), true);
         }
     }
+    accumulate(report, "train", start.elapsed().as_secs_f64(), n as u64);
 }
 
 impl ErrorDetector for Raha {
@@ -274,13 +326,34 @@ impl ErrorDetector for Raha {
     }
 
     fn detect(&self, lake: &Lake, labeler: &mut dyn Labeler, budget: Budget) -> CellMask {
+        self.detect_with_report(lake, labeler, budget).0
+    }
+
+    fn detect_with_report(
+        &self,
+        lake: &Lake,
+        labeler: &mut dyn Labeler,
+        budget: Budget,
+    ) -> (CellMask, RunReport) {
+        let exec = Executor::new(self.threads);
+        let mut report = RunReport::new(exec.threads());
         let mut mask = CellMask::empty(lake);
         let mut rng = StdRng::seed_from_u64(self.seed);
         match self.variant {
             RahaVariant::Standard => {
                 let per_table = budget.tuples_per_table.floor().max(1.0) as usize;
                 for t in 0..lake.n_tables() {
-                    detect_table(lake, t, per_table, labeler, &self.gbm, self.max_char_checkers, &mut mask);
+                    detect_table(
+                        lake,
+                        t,
+                        per_table,
+                        labeler,
+                        &self.gbm,
+                        self.max_char_checkers,
+                        &exec,
+                        &mut report,
+                        &mut mask,
+                    );
                 }
             }
             RahaVariant::RandomTables => {
@@ -315,7 +388,17 @@ impl ErrorDetector for Raha {
                 }
                 for (t, &n_tuples) in tuples.iter().enumerate() {
                     if n_tuples > 0 {
-                        detect_table(lake, t, n_tuples, labeler, &self.gbm, self.max_char_checkers, &mut mask);
+                        detect_table(
+                            lake,
+                            t,
+                            n_tuples,
+                            labeler,
+                            &self.gbm,
+                            self.max_char_checkers,
+                            &exec,
+                            &mut report,
+                            &mut mask,
+                        );
                     }
                 }
             }
@@ -331,12 +414,22 @@ impl ErrorDetector for Raha {
                     if remaining < per_col {
                         break;
                     }
-                    detect_column(lake, t, c, per_col, labeler, &self.gbm, self.max_char_checkers, &mut mask);
+                    detect_column(
+                        lake,
+                        t,
+                        c,
+                        per_col,
+                        labeler,
+                        &self.gbm,
+                        self.max_char_checkers,
+                        &mut report,
+                        &mut mask,
+                    );
                     remaining -= per_col;
                 }
             }
         }
-        mask
+        (mask, report)
     }
 }
 
@@ -410,7 +503,12 @@ mod tests {
         // column) -> typically lower recall.
         let c2 = Confusion::from_masks(&m2, &lake.errors);
         let c20 = Confusion::from_masks(&m20, &lake.errors);
-        assert!(c20.recall() <= c2.recall() + 0.05, "20LPC recall {} vs 2LPC {}", c20.recall(), c2.recall());
+        assert!(
+            c20.recall() <= c2.recall() + 0.05,
+            "20LPC recall {} vs 2LPC {}",
+            c20.recall(),
+            c2.recall()
+        );
     }
 
     #[test]
@@ -418,9 +516,30 @@ mod tests {
         let lake = small_lake();
         let run = || {
             let mut oracle = Oracle::new(&lake.errors);
-            Raha::new(RahaVariant::RandomTables).detect(&lake.dirty, &mut oracle, Budget::per_table(1.0))
+            Raha::new(RahaVariant::RandomTables).detect(
+                &lake.dirty,
+                &mut oracle,
+                Budget::per_table(1.0),
+            )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn identical_mask_across_thread_counts_with_report() {
+        let lake = small_lake();
+        let run = |threads: usize| {
+            let mut oracle = Oracle::new(&lake.errors);
+            let raha = Raha { threads, ..Raha::new(RahaVariant::Standard) };
+            raha.detect_with_report(&lake.dirty, &mut oracle, Budget::per_table(3.0))
+        };
+        let (base, report) = run(1);
+        let names: Vec<&str> = report.stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["features+cluster", "label", "train"]);
+        assert!(report.stages.iter().all(|s| s.items > 0 && s.wall_secs > 0.0));
+        for threads in [2, 4] {
+            assert_eq!(run(threads).0, base, "threads={threads}");
+        }
     }
 
     #[test]

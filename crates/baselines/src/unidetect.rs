@@ -20,7 +20,7 @@
 
 use crate::{Budget, ErrorDetector};
 use matelda_table::value::as_f64;
-use matelda_table::{CellId, CellMask, DataType, Lake, Labeler};
+use matelda_table::{CellId, CellMask, DataType, Labeler, Lake};
 use matelda_text::SpellChecker;
 
 /// The Uni-Detect baseline.
@@ -126,7 +126,9 @@ impl ErrorDetector for UniDetect {
                                     let var_wo = ((var + mean * mean) * n_f - x * x) / (n_f - 1.0)
                                         - mean_wo * mean_wo;
                                     let sd_wo = var_wo.max(0.0).sqrt();
-                                    if sd_wo > 0.0 && ((x - mean_wo).abs() / sd_wo) > self.z_threshold {
+                                    if sd_wo > 0.0
+                                        && ((x - mean_wo).abs() / sd_wo) > self.z_threshold
+                                    {
                                         mask.set(CellId::new(t, r, c), true);
                                     }
                                 }
@@ -141,12 +143,10 @@ impl ErrorDetector for UniDetect {
                 // repeated word is ordinary, an id column with one
                 // repeated id is not (Uni-Detect gates this test on
                 // corpus priors about key-like columns).
-                let id_like = col
-                    .values
-                    .iter()
-                    .filter(|v| v.chars().any(|ch| ch.is_ascii_digit()))
-                    .count() as f64
-                    >= 0.9 * n as f64;
+                let id_like =
+                    col.values.iter().filter(|v| v.chars().any(|ch| ch.is_ascii_digit())).count()
+                        as f64
+                        >= 0.9 * n as f64;
                 if id_like {
                     let partition =
                         matelda_fd::Partition::from_values(col.values.iter().map(String::as_str));
@@ -175,8 +175,10 @@ mod tests {
     fn spelling_test_requires_clean_context() {
         // 40 clean genre values + 1 typo: 97.5% clean context, so the
         // what-if spelling test trusts the column and the typo fires.
-        let genres = ["drama", "crime", "comedy", "action", "horror", "romance", "musical", "western"];
-        let mut col_a: Vec<String> = (0..40).map(|i| genres[i % genres.len()].to_string()).collect();
+        let genres =
+            ["drama", "crime", "comedy", "action", "horror", "romance", "musical", "western"];
+        let mut col_a: Vec<String> =
+            (0..40).map(|i| genres[i % genres.len()].to_string()).collect();
         col_a.push("derama".to_string());
         // A name-like column full of unknown words: never trusted.
         let col_b: Vec<String> = (0..41).map(|i| format!("Qzx{}", "w".repeat(i % 5 + 1))).collect();

@@ -37,7 +37,7 @@ fn bench_hdbscan(c: &mut Criterion) {
     let points: Vec<Vec<f32>> = (0..200)
         .map(|i| {
             let cx = (i % 4) as f32 * 10.0;
-            vec![cx + rng.random_range(-0.5..0.5), rng.random_range(-0.5..0.5)]
+            vec![cx + rng.random_range(-0.5f32..0.5), rng.random_range(-0.5..0.5)]
         })
         .collect();
     c.bench_function("hdbscan_200points", |b| {
@@ -95,9 +95,11 @@ fn bench_pipeline(c: &mut Criterion) {
         b.iter_batched(
             || Oracle::new(&lake.errors),
             |mut oracle| {
-                black_box(
-                    Matelda::new(MateldaConfig::default()).detect(&lake.dirty, &mut oracle, 60),
-                )
+                black_box(Matelda::new(MateldaConfig::default()).detect(
+                    &lake.dirty,
+                    &mut oracle,
+                    60,
+                ))
             },
             BatchSize::SmallInput,
         )

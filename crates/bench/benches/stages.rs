@@ -1,0 +1,140 @@
+//! Per-stage throughput of the staged pipeline engine at 1 vs N worker
+//! threads, for the four parallel hot paths: per-table embedding,
+//! per-table featurization, per-domain-fold mini-batch k-means and
+//! per-column gradient-boosting training.
+//!
+//! Besides the criterion console output, the bench records raw
+//! measurements (median seconds, items/s, speedup) into
+//! `BENCH_stages.json` at the repository root, so the numbers are
+//! machine-readable. The stage outputs are bit-identical across thread
+//! counts (asserted here as a guard); only wall time may differ.
+
+use criterion::{black_box, criterion_group, Criterion};
+use matelda_core::{
+    ClassifyStage, DomainFoldStage, EmbedStage, FeaturizeStage, LabelStage, Matelda, MateldaConfig,
+    Oracle, QualityFoldStage, Stage, StageContext,
+};
+use matelda_lakegen::{GeneratedLake, QuintetLake};
+
+const BUDGET: usize = 40;
+
+fn bench_lake() -> GeneratedLake {
+    let rows = match std::env::var("MATELDA_SCALE").unwrap_or_default().as_str() {
+        "quick" => 40,
+        "small" => 80,
+        _ => 160,
+    };
+    QuintetLake { rows_per_table: rows, error_rate: 0.08 }.generate(1)
+}
+
+/// Runs the full staged pipeline at `threads`, returning per-stage wall
+/// seconds and the flagged-cell count (for the determinism guard).
+fn staged_run(lake: &GeneratedLake, threads: usize) -> (Vec<(String, f64, u64)>, usize, usize) {
+    let cfg = MateldaConfig { threads, ..Default::default() };
+    let mut oracle = Oracle::new(&lake.errors);
+    let result = Matelda::new(cfg).detect(&lake.dirty, &mut oracle, BUDGET);
+    let stages =
+        result.report.stages.iter().map(|s| (s.name.clone(), s.wall_secs, s.items)).collect();
+    (stages, result.predicted.count(), result.labels_used)
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs[xs.len() / 2]
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let lake = bench_lake();
+    let n_threads = std::thread::available_parallelism().map_or(4, |n| n.get()).max(2);
+
+    // Criterion timings for the individual parallel hot paths.
+    for threads in [1usize, n_threads] {
+        let cfg = MateldaConfig { threads, ..Default::default() };
+        let mut ctx = StageContext::new(&lake.dirty, &cfg);
+        let embedded = EmbedStage::from_config(&cfg).run(&mut ctx, ());
+        let domain = DomainFoldStage.run(&mut ctx, &embedded);
+        let featurized = FeaturizeStage::default().run(&mut ctx, ());
+        let quality = QualityFoldStage { budget: BUDGET }.run(&mut ctx, (&domain, &featurized));
+        let mut oracle = Oracle::new(&lake.errors);
+        let propagated = LabelStage { labeler: &mut oracle, budget: BUDGET }
+            .run(&mut ctx, (&quality, &featurized));
+
+        c.bench_function(&format!("embed/t{threads}"), |b| {
+            b.iter(|| EmbedStage::from_config(&cfg).run(black_box(&mut ctx), ()))
+        });
+        c.bench_function(&format!("featurize/t{threads}"), |b| {
+            b.iter(|| FeaturizeStage::default().run(black_box(&mut ctx), ()))
+        });
+        c.bench_function(&format!("quality_folds/t{threads}"), |b| {
+            b.iter(|| QualityFoldStage { budget: BUDGET }.run(&mut ctx, (&domain, &featurized)))
+        });
+        c.bench_function(&format!("classify/t{threads}"), |b| {
+            b.iter(|| ClassifyStage.run(&mut ctx, (&domain, &featurized, &propagated)))
+        });
+    }
+}
+
+/// End-to-end per-stage measurement and the JSON record.
+fn emit_json() {
+    let lake = bench_lake();
+    let n_threads = std::thread::available_parallelism().map_or(4, |n| n.get()).max(2);
+    let reps = 3;
+
+    // Determinism guard: the mask must be identical at both counts.
+    let (_, flagged_1, labels_1) = staged_run(&lake, 1);
+    let (_, flagged_n, labels_n) = staged_run(&lake, n_threads);
+    assert_eq!(flagged_1, flagged_n, "stage outputs must not depend on thread count");
+    assert_eq!(labels_1, labels_n);
+
+    let measure = |threads: usize| -> Vec<(String, f64, u64)> {
+        let runs: Vec<Vec<(String, f64, u64)>> =
+            (0..reps).map(|_| staged_run(&lake, threads).0).collect();
+        (0..runs[0].len())
+            .map(|si| {
+                let name = runs[0][si].0.clone();
+                let secs = median(runs.iter().map(|r| r[si].1).collect());
+                (name, secs, runs[0][si].2)
+            })
+            .collect()
+    };
+    let single = measure(1);
+    let multi = measure(n_threads);
+
+    let mut stages_json = String::new();
+    for (i, ((name, s1, items), (_, sn, _))) in single.iter().zip(&multi).enumerate() {
+        if i > 0 {
+            stages_json.push(',');
+        }
+        let speedup = if *sn > 0.0 { s1 / sn } else { 1.0 };
+        let thr1 = if *s1 > 0.0 { *items as f64 / s1 } else { 0.0 };
+        let thrn = if *sn > 0.0 { *items as f64 / sn } else { 0.0 };
+        stages_json.push_str(&format!(
+            "{{\"stage\":\"{name}\",\"items\":{items},\"secs_1t\":{s1:.6},\"secs_{n}t\":{sn:.6},\"items_per_sec_1t\":{thr1:.1},\"items_per_sec_{n}t\":{thrn:.1},\"speedup\":{speedup:.3}}}",
+            n = n_threads
+        ));
+    }
+    let total_1: f64 = single.iter().map(|s| s.1).sum();
+    let total_n: f64 = multi.iter().map(|s| s.1).sum();
+    let scale = std::env::var("MATELDA_SCALE").unwrap_or_else(|_| "full".to_string());
+    let json = format!(
+        "{{\"bench\":\"stages\",\"scale\":\"{scale}\",\"host_parallelism\":{host},\"threads_compared\":[1,{n}],\"reps\":{reps},\"total_secs_1t\":{total_1:.6},\"total_secs_{n}t\":{total_n:.6},\"end_to_end_speedup\":{sp:.3},\"flagged_cells\":{flagged_1},\"deterministic_across_threads\":true,\"stages\":[{stages_json}]}}\n",
+        host = std::thread::available_parallelism().map_or(1, |v| v.get()),
+        n = n_threads,
+        sp = if total_n > 0.0 { total_1 / total_n } else { 1.0 },
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stages.json");
+    std::fs::write(path, &json).expect("write BENCH_stages.json");
+    println!("\nwrote {path}");
+    print!("{json}");
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group!(name = benches; config = config(); targets = bench_stages);
+
+fn main() {
+    benches();
+    emit_json();
+}

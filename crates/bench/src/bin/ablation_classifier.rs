@@ -6,10 +6,13 @@
 //! explored before settling on boosting.
 
 use matelda_baselines::Budget;
-use matelda_bench::{budget_axis, pct, run_once, secs, MateldaSystem, Scale, TextTable};
+use matelda_bench::{
+    budget_axis, pct, print_stage_report, run_once, secs, MateldaSystem, RunReport, Scale,
+    TextTable,
+};
 use matelda_core::MateldaConfig;
-use matelda_ml::{ClassifierKind, RandomForestConfig};
 use matelda_lakegen::{DGovLake, GeneratedLake, QuintetLake};
+use matelda_ml::{ClassifierKind, RandomForestConfig};
 use std::collections::BTreeMap;
 
 fn variants() -> Vec<MateldaSystem> {
@@ -36,6 +39,8 @@ fn main() {
         ("DGov-NTR", Box::new(move |s| DGovLake::ntr().with_n_tables(n).generate(s))),
     ];
     let budgets = budget_axis(scale);
+    // Last per-stage report per variant, printed once at the end.
+    let mut reports: BTreeMap<String, RunReport> = BTreeMap::new();
 
     for (lake_name, generate) in &lakes {
         let mut acc: BTreeMap<(String, usize), (f64, f64, usize)> = BTreeMap::new();
@@ -44,6 +49,7 @@ fn main() {
             for (bi, &b) in budgets.iter().enumerate() {
                 for sys in variants() {
                     let r = run_once(&sys, &lake, Budget::per_table(b));
+                    reports.insert(sys.label.clone(), r.report);
                     let e = acc.entry((sys.label.clone(), bi)).or_insert((0.0, 0.0, 0));
                     e.0 += r.f1;
                     e.1 += r.seconds;
@@ -75,6 +81,11 @@ fn main() {
             lake_name.to_lowercase().replace('-', "_")
         ));
     }
+    for (name, report) in &reports {
+        print_stage_report(name, report);
+    }
+    println!();
+
     println!("expected: the two learners land close in F1 (the features and the");
     println!("propagated labels dominate), with boosting usually a touch ahead —");
     println!("consistent with the paper's 'robust performance' justification.");

@@ -15,7 +15,9 @@
 //! literal alternative on Quintet and DGov-NTR at 2 labeled tuples/table.
 
 use matelda_baselines::Budget;
-use matelda_bench::{pct, run_once, MateldaSystem, Scale, TextTable};
+use matelda_bench::{
+    pct, print_stage_report, run_once, MateldaSystem, RunReport, Scale, TextTable,
+};
 use matelda_core::MateldaConfig;
 use matelda_detect::FeatureConfig;
 use matelda_lakegen::{DGovLake, GeneratedLake, QuintetLake};
@@ -55,12 +57,16 @@ fn main() {
     };
 
     let mut table = TextTable::new(&["lake", "variant", "precision", "recall", "f1"]);
+    // Last per-stage report per variant, printed once at the end.
+    let mut reports: std::collections::BTreeMap<String, RunReport> =
+        std::collections::BTreeMap::new();
     for (lake_name, generate) in &lakes {
         for sys in variants() {
             let (mut p, mut r, mut f1) = (0.0, 0.0, 0.0);
             for seed in 1..=seeds {
                 let lake = generate(seed);
                 let res = run_once(&sys, &lake, budget);
+                reports.insert(sys.label.clone(), res.report);
                 p += res.precision;
                 r += res.recall;
                 f1 += res.f1;
@@ -77,6 +83,11 @@ fn main() {
     }
     println!("{}", table.render());
     let _ = table.write_csv("ablation_deviations");
+
+    for (name, report) in &reports {
+        print_stage_report(name, report);
+    }
+    println!();
 
     println!("expected: Eq.2-literal TF and no-null-flag cost F1 outright.");
     println!("whole-group FD marking is close (sometimes ahead) in *total* F1 but");

@@ -12,7 +12,9 @@
 //! paper's design of tying cluster count to the labeling budget.
 
 use matelda_baselines::Budget;
-use matelda_bench::{budget_axis, pct, run_once, MateldaSystem, Scale, TextTable};
+use matelda_bench::{
+    budget_axis, pct, print_stage_report, run_once, MateldaSystem, RunReport, Scale, TextTable,
+};
 use matelda_core::{LabelingStrategy, MateldaConfig};
 use matelda_lakegen::{DGovLake, GeneratedLake, QuintetLake};
 use std::collections::BTreeMap;
@@ -41,6 +43,8 @@ fn main() {
         ("DGov-NTR", Box::new(move |s| DGovLake::ntr().with_n_tables(n).generate(s))),
     ];
     let budgets = budget_axis(scale);
+    // Last per-stage report per variant, printed once at the end.
+    let mut reports: BTreeMap<String, RunReport> = BTreeMap::new();
 
     for (lake_name, generate) in &lakes {
         let mut acc: BTreeMap<(String, usize), (f64, usize, usize)> = BTreeMap::new();
@@ -49,6 +53,7 @@ fn main() {
             for (bi, &b) in budgets.iter().enumerate() {
                 for sys in variants() {
                     let r = run_once(&sys, &lake, Budget::per_table(b));
+                    reports.insert(sys.label.clone(), r.report);
                     let e = acc.entry((sys.label.clone(), bi)).or_insert((0.0, 0, 0));
                     e.0 += r.f1;
                     e.1 += r.labels;
@@ -80,6 +85,11 @@ fn main() {
             lake_name.to_lowercase().replace('-', "_")
         ));
     }
+    for (name, report) in &reports {
+        print_stage_report(name, report);
+    }
+    println!();
+
     println!("expected: the paper's protocol leads at every budget — fold");
     println!("granularity beats targeted refinement (a negative result for the");
     println!("natural active-learning extension).");

@@ -16,7 +16,9 @@ use matelda_baselines::holodetect::HoloDetect;
 use matelda_baselines::raha::{Raha, RahaVariant};
 use matelda_baselines::unidetect::UniDetect;
 use matelda_baselines::{Budget, ErrorDetector};
-use matelda_bench::{budget_axis, pct, run_once, MateldaSystem, Scale, TextTable};
+use matelda_bench::{
+    budget_axis, pct, print_stage_report, run_once, MateldaSystem, RunReport, Scale, TextTable,
+};
 use matelda_lakegen::{DGovLake, GeneratedLake, QuintetLake, ReinLake, WdcLake};
 use std::collections::BTreeMap;
 
@@ -51,6 +53,8 @@ fn main() {
     ];
 
     let budgets = budget_axis(scale);
+    // Last non-empty per-stage report per system, printed once at the end.
+    let mut reports: BTreeMap<String, RunReport> = BTreeMap::new();
 
     for (lake_name, generate) in &lakes {
         // (system, budget-index) -> (f1 sum, p sum, r sum, count)
@@ -90,6 +94,9 @@ fn main() {
                         }
                     }
                     let r = run_once(system.as_ref(), &lake, budget);
+                    if !r.report.stages.is_empty() {
+                        reports.insert(name.clone(), r.report);
+                    }
                     let e = acc.entry((name, bi)).or_insert((0.0, 0.0, 0.0, 0));
                     e.0 += r.f1;
                     e.1 += r.precision;
@@ -135,6 +142,11 @@ fn main() {
             println!("{}", detail.render());
         }
     }
+
+    for (name, report) in &reports {
+        print_stage_report(name, report);
+    }
+    println!();
 
     println!("shape checks (paper expectations):");
     println!("  * Matelda should lead every lake for budgets < 10 tuples/table;");

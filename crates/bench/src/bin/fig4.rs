@@ -8,7 +8,9 @@
 use matelda_baselines::aspell::Aspell;
 use matelda_baselines::raha::{Raha, RahaVariant};
 use matelda_baselines::{Budget, ErrorDetector};
-use matelda_bench::{budget_axis, pct, run_once, MateldaSystem, Scale, TextTable};
+use matelda_bench::{
+    budget_axis, pct, print_stage_report, run_once, MateldaSystem, RunReport, Scale, TextTable,
+};
 use matelda_lakegen::{DGovLake, GeneratedLake};
 use std::collections::BTreeMap;
 
@@ -24,6 +26,8 @@ fn main() {
         ("DGov-RV", Box::new(move |s| DGovLake::rv().with_n_tables(n).generate(s))),
     ];
     let budgets = budget_axis(scale);
+    // Last non-empty per-stage report per system, printed once at the end.
+    let mut reports: BTreeMap<String, RunReport> = BTreeMap::new();
 
     for (lake_name, generate) in &lakes {
         let mut acc: BTreeMap<(String, usize), (f64, usize)> = BTreeMap::new();
@@ -48,6 +52,9 @@ fn main() {
                         continue;
                     }
                     let r = run_once(system.as_ref(), &lake, budget);
+                    if !r.report.stages.is_empty() {
+                        reports.insert(system.name(), r.report);
+                    }
                     let e = acc.entry((system.name(), bi)).or_insert((0.0, 0));
                     e.0 += r.f1;
                     e.1 += 1;
@@ -72,6 +79,11 @@ fn main() {
         println!("{}", table.render());
         let _ = table.write_csv(&format!("fig4_{}", lake_name.to_lowercase().replace('-', "_")));
     }
+
+    for (name, report) in &reports {
+        print_stage_report(name, report);
+    }
+    println!();
 
     println!("shape checks (paper §4.4):");
     println!("  * DGov-NO: Matelda above all baselines at every budget;");

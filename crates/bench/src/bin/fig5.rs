@@ -6,7 +6,10 @@
 //! ~8× slower on DGov-NTR).
 
 use matelda_baselines::Budget;
-use matelda_bench::{budget_axis, pct, run_once, secs, MateldaSystem, Scale, TextTable};
+use matelda_bench::{
+    budget_axis, pct, print_stage_report, run_once, secs, MateldaSystem, RunReport, Scale,
+    TextTable,
+};
 use matelda_core::{DomainFolding, MateldaConfig};
 use matelda_lakegen::{DGovLake, GeneratedLake, QuintetLake};
 use std::collections::BTreeMap;
@@ -16,7 +19,10 @@ fn variants() -> Vec<MateldaSystem> {
         MateldaSystem::standard(),
         MateldaSystem::variant(
             "Matelda-EDF",
-            MateldaConfig { domain_folding: DomainFolding::ExtremeDomainFolding, ..Default::default() },
+            MateldaConfig {
+                domain_folding: DomainFolding::ExtremeDomainFolding,
+                ..Default::default()
+            },
         ),
         MateldaSystem::variant(
             "Matelda+SF",
@@ -36,6 +42,8 @@ fn main() {
         ("DGov-NTR", Box::new(move |s| DGovLake::ntr().with_n_tables(n).generate(s))),
     ];
     let budgets = budget_axis(scale);
+    // Last non-empty per-stage report per variant, printed once at the end.
+    let mut reports: BTreeMap<String, RunReport> = BTreeMap::new();
 
     for (lake_name, generate) in &lakes {
         let mut acc: BTreeMap<(String, usize), (f64, f64, usize)> = BTreeMap::new();
@@ -44,6 +52,7 @@ fn main() {
             for (bi, &b) in budgets.iter().enumerate() {
                 for sys in variants() {
                     let r = run_once(&sys, &lake, Budget::per_table(b));
+                    reports.insert(sys.label.clone(), r.report);
                     let e = acc.entry((sys.label.clone(), bi)).or_insert((0.0, 0.0, 0));
                     e.0 += r.f1;
                     e.1 += r.seconds;
@@ -72,6 +81,11 @@ fn main() {
         println!("{}", table.render());
         let _ = table.write_csv(&format!("fig5_{}", lake_name.to_lowercase().replace('-', "_")));
     }
+
+    for (name, report) in &reports {
+        print_stage_report(name, report);
+    }
+    println!();
 
     println!("shape checks (paper §4.5.1): on Quintet the three variants are close;");
     println!("on DGov-NTR Standard ≈ EDF in F1 and both beat +SF; EDF runtime is a");

@@ -8,7 +8,10 @@
 //! same folds as the standard method; we verify that too.
 
 use matelda_baselines::Budget;
-use matelda_bench::{budget_axis, pct, run_once, secs, MateldaSystem, Scale, TextTable};
+use matelda_bench::{
+    budget_axis, pct, print_stage_report, run_once, secs, MateldaSystem, RunReport, Scale,
+    TextTable,
+};
 use matelda_core::{domain_folds, DomainFolding, MateldaConfig};
 use matelda_embed::encoder::HashedEncoder;
 use matelda_lakegen::{DGovLake, QuintetLake};
@@ -71,11 +74,14 @@ fn main() {
     let n = scale.tables(143);
     let budgets = budget_axis(scale);
     let mut acc: BTreeMap<(String, usize), (f64, f64, usize)> = BTreeMap::new();
+    // Last per-stage report per variant, printed once at the end.
+    let mut reports: BTreeMap<String, RunReport> = BTreeMap::new();
     for seed in 1..=seeds {
         let lake = DGovLake::ntr().with_n_tables(n).generate(seed);
         for (bi, &b) in budgets.iter().enumerate() {
             for sys in variants() {
                 let r = run_once(&sys, &lake, Budget::per_table(b));
+                reports.insert(sys.label.clone(), r.report);
                 let e = acc.entry((sys.label.clone(), bi)).or_insert((0.0, 0.0, 0));
                 e.0 += r.f1;
                 e.1 += r.seconds;
@@ -113,6 +119,10 @@ fn main() {
     for (name, (s, k)) in &avg_time {
         println!("  {name}: {}", secs(s / *k as f64));
     }
+    for (name, report) in &reports {
+        print_stage_report(name, report);
+    }
+
     println!("\nshape checks (paper §4.5.2): Santos ≈ Standard ≈ RS in F1;");
     println!("runtime Santos > Standard > RS. Extension: SantosMH (MinHash-");
     println!("sketched unionability) should match Santos's F1 at a fraction of");

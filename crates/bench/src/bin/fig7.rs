@@ -5,7 +5,9 @@
 //! and DGov-NTR.
 
 use matelda_baselines::Budget;
-use matelda_bench::{budget_axis, pct, run_once, MateldaSystem, Scale, TextTable};
+use matelda_bench::{
+    budget_axis, pct, print_stage_report, run_once, MateldaSystem, RunReport, Scale, TextTable,
+};
 use matelda_core::MateldaConfig;
 use matelda_detect::FeatureConfig;
 use matelda_lakegen::{DGovLake, GeneratedLake, QuintetLake};
@@ -40,6 +42,8 @@ fn main() {
         ("DGov-NTR", Box::new(move |s| DGovLake::ntr().with_n_tables(n).generate(s))),
     ];
     let budgets = budget_axis(scale);
+    // Last per-stage report per variant, printed once at the end.
+    let mut reports: BTreeMap<String, RunReport> = BTreeMap::new();
 
     for (lake_name, generate) in &lakes {
         let mut acc: BTreeMap<(String, usize), (f64, usize)> = BTreeMap::new();
@@ -48,6 +52,7 @@ fn main() {
             for (bi, &b) in budgets.iter().enumerate() {
                 for sys in variants() {
                     let r = run_once(&sys, &lake, Budget::per_table(b));
+                    reports.insert(sys.label.clone(), r.report);
                     let e = acc.entry((sys.label.clone(), bi)).or_insert((0.0, 0));
                     e.0 += r.f1;
                     e.1 += 1;
@@ -70,6 +75,11 @@ fn main() {
         println!("{}", table.render());
         let _ = table.write_csv(&format!("fig7_{}", lake_name.to_lowercase().replace('-', "_")));
     }
+
+    for (name, report) in &reports {
+        print_stage_report(name, report);
+    }
+    println!();
 
     println!("shape checks (paper §4.5.3): full features win for most budgets;");
     println!("NOD is consistently the worst ablation; the typo/rule detectors'");

@@ -5,7 +5,10 @@
 //! unlabeled) on Quintet and DGov-NTR — F1 and runtime.
 
 use matelda_baselines::Budget;
-use matelda_bench::{budget_axis, pct, run_once, secs, MateldaSystem, Scale, TextTable};
+use matelda_bench::{
+    budget_axis, pct, print_stage_report, run_once, secs, MateldaSystem, RunReport, Scale,
+    TextTable,
+};
 use matelda_core::{MateldaConfig, TrainingStrategy};
 use matelda_lakegen::{DGovLake, GeneratedLake, QuintetLake};
 use std::collections::BTreeMap;
@@ -35,6 +38,8 @@ fn main() {
         ("DGov-NTR", Box::new(move |s| DGovLake::ntr().with_n_tables(n).generate(s))),
     ];
     let budgets = budget_axis(scale);
+    // Last per-stage report per variant, printed once at the end.
+    let mut reports: BTreeMap<String, RunReport> = BTreeMap::new();
 
     for (lake_name, generate) in &lakes {
         let mut acc: BTreeMap<(String, usize), (f64, f64, usize)> = BTreeMap::new();
@@ -43,6 +48,7 @@ fn main() {
             for (bi, &b) in budgets.iter().enumerate() {
                 for sys in variants() {
                     let r = run_once(&sys, &lake, Budget::per_table(b));
+                    reports.insert(sys.label.clone(), r.report);
                     let e = acc.entry((sys.label.clone(), bi)).or_insert((0.0, 0.0, 0));
                     e.0 += r.f1;
                     e.1 += r.seconds;
@@ -71,6 +77,11 @@ fn main() {
         println!("{}", table.render());
         let _ = table.write_csv(&format!("fig8_{}", lake_name.to_lowercase().replace('-', "_")));
     }
+
+    for (name, report) in &reports {
+        print_stage_report(name, report);
+    }
+    println!();
 
     println!("shape checks (paper §4.5.4): Matelda and TPDF deliver the best F1;");
     println!("the standard per-column training is the most runtime-efficient of the");

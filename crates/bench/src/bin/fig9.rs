@@ -14,9 +14,12 @@
 
 use matelda_baselines::raha::{Raha, RahaVariant};
 use matelda_baselines::{Budget, ErrorDetector};
-use matelda_bench::{run_once, secs, MateldaSystem, Scale, TextTable};
+use matelda_bench::{
+    print_stage_report, run_once, secs, MateldaSystem, RunReport, Scale, TextTable,
+};
 use matelda_core::{DomainFolding, MateldaConfig};
 use matelda_lakegen::{DGovLake, GitTablesLake};
+use std::collections::BTreeMap;
 
 fn main() {
     let scale = Scale::from_env();
@@ -34,6 +37,10 @@ fn main() {
         Scale::Small => vec![100, 250, 400],
         Scale::Full => vec![250, 500, 750, 1000, 1173],
     };
+
+    // Per-stage report from the largest sweep point per system, printed at
+    // the end — this is where the per-stage runtime split matters most.
+    let mut reports: BTreeMap<String, RunReport> = BTreeMap::new();
 
     // --- GitTables sweep: all three systems. ---
     let mut t = TextTable::new(&["#tables", "Matelda", "Matelda-EDF", "Raha"]);
@@ -53,7 +60,11 @@ fn main() {
                 Box::new(Raha::new(RahaVariant::Standard)),
             ];
             for (i, sys) in systems.iter().enumerate() {
-                times[i] += run_once(sys.as_ref(), &lake, budget).seconds;
+                let r = run_once(sys.as_ref(), &lake, budget);
+                times[i] += r.seconds;
+                if !r.report.stages.is_empty() {
+                    reports.insert(format!("{} (GitTables)", sys.name()), r.report);
+                }
             }
         }
         t.row(vec![
@@ -76,8 +87,12 @@ fn main() {
             let lake = DGovLake::dgov_1k().with_n_tables(n).generate(run);
             let matelda = MateldaSystem::standard();
             let raha = Raha::new(RahaVariant::Standard);
-            times[0] += run_once(&matelda, &lake, budget).seconds;
-            times[1] += run_once(&raha, &lake, budget).seconds;
+            let rm = run_once(&matelda, &lake, budget);
+            let rr = run_once(&raha, &lake, budget);
+            times[0] += rm.seconds;
+            times[1] += rr.seconds;
+            reports.insert("Matelda (DGov-1K)".to_string(), rm.report);
+            reports.insert("Raha (DGov-1K)".to_string(), rr.report);
         }
         t.row(vec![
             n.to_string(),
@@ -106,27 +121,23 @@ fn main() {
     for &rows in &row_sizes {
         let mut times = [0.0f64; 2];
         for run in 1..=runs {
-            let lake = DGovLake {
-                n_tables: 20,
-                rows: (rows, rows),
-                ..DGovLake::ntr()
-            }
-            .generate(run);
+            let lake =
+                DGovLake { n_tables: 20, rows: (rows, rows), ..DGovLake::ntr() }.generate(run);
             let matelda = MateldaSystem::standard();
             let raha = Raha::new(RahaVariant::Standard);
             times[0] += run_once(&matelda, &lake, budget).seconds;
             times[1] += run_once(&raha, &lake, budget).seconds;
         }
-        t.row(vec![
-            rows.to_string(),
-            secs(times[0] / runs as f64),
-            secs(times[1] / runs as f64),
-        ]);
+        t.row(vec![rows.to_string(), secs(times[0] / runs as f64), secs(times[1] / runs as f64)]);
         println!("rows sweep {rows} done");
     }
     println!("\n--- DGov-style, 20 tables: runtime vs rows per table ---");
     println!("{}", t.render());
     let _ = t.write_csv("fig9_rows_sweep");
+
+    for (name, report) in &reports {
+        print_stage_report(name, report);
+    }
 
     println!("\nshape checks (paper §4.6): Matelda scales better than Matelda-EDF on");
     println!("GitTables (domain folds bound the clustering); Matelda-EDF does not");

@@ -6,7 +6,8 @@
 //! (DESIGN.md), so `#Cells` is smaller than the paper's; table counts,
 //! error rates and type mixes match.
 
-use matelda_bench::{Scale, TextTable};
+use matelda_baselines::Budget;
+use matelda_bench::{print_stage_report, run_once, MateldaSystem, Scale, TextTable};
 use matelda_lakegen::{DGovLake, GeneratedLake, GitTablesLake, QuintetLake, ReinLake, WdcLake};
 
 fn describe(table: &mut TextTable, name: &str, lake: &GeneratedLake) {
@@ -33,7 +34,11 @@ fn main() {
     describe(&mut t, "DGov-Typo", &DGovLake::typo().with_n_tables(scale.tables(96)).generate(1));
     describe(&mut t, "DGov-RV", &DGovLake::rv().with_n_tables(scale.tables(96)).generate(1));
     describe(&mut t, "DGov-1K", &DGovLake::dgov_1k().with_n_tables(scale.tables(1173)).generate(1));
-    describe(&mut t, "WDC", &WdcLake { n_tables: scale.tables(100), ..WdcLake::default() }.generate(1));
+    describe(
+        &mut t,
+        "WDC",
+        &WdcLake { n_tables: scale.tables(100), ..WdcLake::default() }.generate(1),
+    );
     describe(
         &mut t,
         "GitTables",
@@ -42,6 +47,14 @@ fn main() {
 
     println!("{}", t.render());
     let _ = t.write_csv("table1_datasets");
+
+    // One instrumented pipeline run on the smallest lake, so the dataset
+    // table also records what the stages cost on it.
+    let quintet = QuintetLake::default().generate(1);
+    let r = run_once(&MateldaSystem::standard(), &quintet, Budget::per_table(2.0));
+    print_stage_report("Matelda on Quintet (2 tuples/table)", &r.report);
+    println!();
+
     println!("paper Table 1 (for comparison): Quintet 5 tables/9%; REIN 8/13%;");
     println!("DGov-NTR 143/16%; DGov-NT 159/15%; DGov-NO 96/2%; DGov-Typo 96/9%;");
     println!("DGov-RV 96/8%; DGov-1K 1173/unknown; WDC 100/unknown; GitTables 1000/unknown.");

@@ -12,7 +12,7 @@ use matelda_baselines::aspell::Aspell;
 use matelda_baselines::holodetect::HoloDetect;
 use matelda_baselines::raha::{Raha, RahaVariant};
 use matelda_baselines::{Budget, ErrorDetector};
-use matelda_bench::{pct, MateldaSystem, Scale, TextTable};
+use matelda_bench::{pct, print_stage_report, MateldaSystem, Scale, TextTable};
 use matelda_lakegen::WdcLake;
 use matelda_table::{CellId, CellMask, Oracle};
 use rand::rngs::StdRng;
@@ -40,13 +40,15 @@ fn main() {
     let mut detections: Vec<(String, CellMask, Vec<CellId>)> = Vec::new();
     for system in &systems {
         let mut oracle = Oracle::new(&lake.errors);
-        let mask = system.detect(&lake.dirty, &mut oracle, budget);
+        let (mask, report) = system.detect_with_report(&lake.dirty, &mut oracle, budget);
+        print_stage_report(&system.name(), &report);
         let mut detected: Vec<CellId> = mask.iter_set().collect();
         detected.shuffle(&mut rng);
         detected.truncate(100);
         detected.sort_unstable();
         detections.push((system.name(), mask, detected));
     }
+    println!();
 
     // Ground-truth errors sampled into the evaluation pool (for FN/recall,
     // the paper grades the sample cells of the other systems too — the
@@ -60,10 +62,7 @@ fn main() {
         let tp = sample.iter().filter(|&&id| lake.errors.get(id)).count();
         let fp = sample.len() - tp;
         // FN: pooled cells that are true errors, missed by this system.
-        let fn_ = pool
-            .iter()
-            .filter(|&&id| lake.errors.get(id) && !mask.get(id))
-            .count();
+        let fn_ = pool.iter().filter(|&&id| lake.errors.get(id) && !mask.get(id)).count();
         let p = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
         let r = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
         let f1 = if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };

@@ -9,7 +9,7 @@
 use matelda_baselines::holodetect::HoloDetect;
 use matelda_baselines::raha::{Raha, RahaVariant};
 use matelda_baselines::{Budget, ErrorDetector};
-use matelda_bench::{pct, MateldaSystem, Scale, TextTable};
+use matelda_bench::{pct, print_stage_report, MateldaSystem, RunReport, Scale, TextTable};
 use matelda_lakegen::QuintetLake;
 use matelda_table::{Confusion, Oracle, PerTypeRecall};
 
@@ -43,6 +43,8 @@ fn main() {
 
     let mut table =
         TextTable::new(&["System", "MV", "REP", "SEM", "TYP", "Total Precision", "Total Recall"]);
+    // Last per-stage report per system, printed once at the end.
+    let mut last_report: Vec<(String, RunReport)> = Vec::new();
     for system in &systems {
         let mut recall_sums = [0.0f64; 4];
         let mut recall_counts = [0usize; 4];
@@ -50,7 +52,10 @@ fn main() {
         for seed in 1..=seeds {
             let lake = QuintetLake::default().generate(seed);
             let mut oracle = Oracle::new(&lake.errors);
-            let predicted = system.detect(&lake.dirty, &mut oracle, budget);
+            let (predicted, report) = system.detect_with_report(&lake.dirty, &mut oracle, budget);
+            if seed == seeds {
+                last_report.push((system.name(), report));
+            }
             let conf = Confusion::from_masks(&predicted, &lake.errors);
             p_sum += conf.precision();
             r_sum += conf.recall();
@@ -85,6 +90,11 @@ fn main() {
     }
     println!("{}", table.render());
     let _ = table.write_csv("table3_quintet_error_types");
+
+    for (name, report) in &last_report {
+        print_stage_report(name, report);
+    }
+    println!();
 
     println!("shape checks (paper Table 3):");
     println!("  * Matelda leads every column; MV recall highest (~95%), REP high (~84%),");

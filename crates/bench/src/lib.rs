@@ -17,8 +17,9 @@
 
 use matelda_baselines::{Budget, ErrorDetector};
 use matelda_core::{Matelda, MateldaConfig};
+pub use matelda_exec::RunReport;
 use matelda_lakegen::GeneratedLake;
-use matelda_table::{CellMask, Confusion, Lake, Labeler, Oracle};
+use matelda_table::{CellMask, Confusion, Labeler, Lake, Oracle};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -98,10 +99,21 @@ impl ErrorDetector for MateldaSystem {
     fn detect(&self, lake: &Lake, labeler: &mut dyn Labeler, budget: Budget) -> CellMask {
         Matelda::new(self.config.clone()).detect(lake, labeler, budget.total_cells(lake)).predicted
     }
+
+    fn detect_with_report(
+        &self,
+        lake: &Lake,
+        labeler: &mut dyn Labeler,
+        budget: Budget,
+    ) -> (CellMask, RunReport) {
+        let result =
+            Matelda::new(self.config.clone()).detect(lake, labeler, budget.total_cells(lake));
+        (result.predicted, result.report)
+    }
 }
 
 /// One measured run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RunResult {
     /// Cell-level precision.
     pub precision: f64,
@@ -113,13 +125,16 @@ pub struct RunResult {
     pub seconds: f64,
     /// Labels drawn from the oracle.
     pub labels: usize,
+    /// Per-stage instrumentation of the (last) run; empty for systems
+    /// without staged internals.
+    pub report: RunReport,
 }
 
 /// Runs one system once on a generated lake.
 pub fn run_once(system: &dyn ErrorDetector, lake: &GeneratedLake, budget: Budget) -> RunResult {
     let mut oracle = Oracle::new(&lake.errors);
     let start = Instant::now();
-    let predicted = system.detect(&lake.dirty, &mut oracle, budget);
+    let (predicted, report) = system.detect_with_report(&lake.dirty, &mut oracle, budget);
     let seconds = start.elapsed().as_secs_f64();
     let conf = Confusion::from_masks(&predicted, &lake.errors);
     RunResult {
@@ -128,17 +143,27 @@ pub fn run_once(system: &dyn ErrorDetector, lake: &GeneratedLake, budget: Budget
         f1: conf.f1(),
         seconds,
         labels: oracle.labels_used(),
+        report,
     }
 }
 
-/// Averages runs over lakes generated from several seeds.
+/// Averages runs over lakes generated from several seeds. The returned
+/// report is the last seed's (stage proportions are stable across
+/// seeds; metrics stay attributable to one concrete run).
 pub fn run_averaged(
     system: &dyn ErrorDetector,
     generate: &dyn Fn(u64) -> GeneratedLake,
     budget: Budget,
     seeds: u64,
 ) -> RunResult {
-    let mut acc = RunResult { precision: 0.0, recall: 0.0, f1: 0.0, seconds: 0.0, labels: 0 };
+    let mut acc = RunResult {
+        precision: 0.0,
+        recall: 0.0,
+        f1: 0.0,
+        seconds: 0.0,
+        labels: 0,
+        report: RunReport::default(),
+    };
     for seed in 0..seeds {
         let lake = generate(seed + 1);
         let r = run_once(system, &lake, budget);
@@ -147,6 +172,7 @@ pub fn run_averaged(
         acc.f1 += r.f1;
         acc.seconds += r.seconds;
         acc.labels += r.labels;
+        acc.report = r.report;
     }
     let k = seeds as f64;
     RunResult {
@@ -155,7 +181,19 @@ pub fn run_averaged(
         f1: acc.f1 / k,
         seconds: acc.seconds / k,
         labels: (acc.labels as f64 / k).round() as usize,
+        report: acc.report,
     }
+}
+
+/// Prints one system's per-stage report (used by every bench binary to
+/// surface stage timings for its headline runs). Systems without staged
+/// internals produce no output.
+pub fn print_stage_report(label: &str, report: &RunReport) {
+    if report.stages.is_empty() {
+        return;
+    }
+    println!("\n[stages] {label}");
+    print!("{}", report.render());
 }
 
 /// An aligned text table builder for harness output.

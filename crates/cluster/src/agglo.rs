@@ -18,9 +18,8 @@ pub fn agglomerative(n: usize, k: usize, dist: impl Fn(usize, usize) -> f64) -> 
     // Active cluster list: member indices per cluster.
     let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
     // Pairwise item distances, cached once.
-    let d: Vec<Vec<f64>> = (0..n)
-        .map(|i| (0..n).map(|j| if i == j { 0.0 } else { dist(i, j) }).collect())
-        .collect();
+    let d: Vec<Vec<f64>> =
+        (0..n).map(|i| (0..n).map(|j| if i == j { 0.0 } else { dist(i, j) }).collect()).collect();
 
     let avg = |a: &[usize], b: &[usize]| -> f64 {
         let mut s = 0.0;

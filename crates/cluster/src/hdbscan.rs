@@ -101,8 +101,7 @@ impl Hdbscan {
         let condensed = condense(n, &merges, mcs);
 
         // 6. Stability + EOM extraction.
-        let labels = extract_eom(n, &condensed, self.config.allow_single_cluster);
-        labels
+        extract_eom(n, &condensed, self.config.allow_single_cluster)
     }
 
     /// Clusters points under Euclidean distance.
@@ -438,7 +437,7 @@ mod tests {
         // Distance on a line given by index gaps.
         let d = |a: usize, b: usize| {
             let pos: [f64; 6] = [0.0, 0.2, 0.4, 10.0, 10.2, 10.4];
-            (pos[a] - pos[b]) as f64
+            pos[a] - pos[b]
         };
         let labels = Hdbscan::new(HdbscanConfig { min_cluster_size: 3, ..Default::default() })
             .fit_with(6, |a, b| d(a, b).abs());

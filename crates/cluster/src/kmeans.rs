@@ -169,8 +169,9 @@ mod tests {
 
     #[test]
     fn separates_two_blobs() {
-        let fit = MiniBatchKMeans::new(MiniBatchKMeansConfig { k: 2, seed: 3, ..Default::default() })
-            .fit(&two_blobs());
+        let fit =
+            MiniBatchKMeans::new(MiniBatchKMeansConfig { k: 2, seed: 3, ..Default::default() })
+                .fit(&two_blobs());
         assert_eq!(fit.centers.len(), 2);
         // Points alternate blob A / blob B; assignments must too.
         let a = fit.assignments[0];
@@ -194,7 +195,8 @@ mod tests {
     #[test]
     fn k_clamped_to_n_points() {
         let pts = vec![vec![0.0], vec![1.0]];
-        let fit = MiniBatchKMeans::new(MiniBatchKMeansConfig { k: 10, ..Default::default() }).fit(&pts);
+        let fit =
+            MiniBatchKMeans::new(MiniBatchKMeansConfig { k: 10, ..Default::default() }).fit(&pts);
         assert_eq!(fit.centers.len(), 2);
         assert_ne!(fit.assignments[0], fit.assignments[1]);
     }
@@ -209,7 +211,8 @@ mod tests {
     #[test]
     fn identical_points_do_not_crash_kmeanspp() {
         let pts = vec![vec![5.0, 5.0]; 10];
-        let fit = MiniBatchKMeans::new(MiniBatchKMeansConfig { k: 3, ..Default::default() }).fit(&pts);
+        let fit =
+            MiniBatchKMeans::new(MiniBatchKMeansConfig { k: 3, ..Default::default() }).fit(&pts);
         assert_eq!(fit.centers.len(), 3);
         assert!(fit.assignments.iter().all(|&a| a < 3));
     }
@@ -217,8 +220,9 @@ mod tests {
     #[test]
     fn assignments_point_to_nearest_center() {
         let pts = two_blobs();
-        let fit = MiniBatchKMeans::new(MiniBatchKMeansConfig { k: 3, seed: 7, ..Default::default() })
-            .fit(&pts);
+        let fit =
+            MiniBatchKMeans::new(MiniBatchKMeansConfig { k: 3, seed: 7, ..Default::default() })
+                .fit(&pts);
         for (p, &a) in pts.iter().zip(&fit.assignments) {
             assert_eq!(a, nearest_center(p, &fit.centers));
         }

@@ -4,6 +4,7 @@ use matelda_cluster::{Hdbscan, HdbscanConfig, NOISE};
 use matelda_detect::column_syntactic_features;
 use matelda_embed::encoder::{embed_table, embed_table_sampled, HashedEncoder};
 use matelda_embed::vector::cosine_distance;
+use matelda_exec::Executor;
 use matelda_table::Lake;
 use matelda_text::jaccard;
 use rand::rngs::StdRng;
@@ -63,49 +64,72 @@ impl Fold {
     }
 }
 
-/// Groups the lake's tables into domain folds according to `strategy`.
-/// Every table lands in exactly one fold; every fold carries all columns
-/// of its tables (apply [`refine_syntactic`] afterwards for `+SF`).
-pub fn domain_folds(
+/// The Step-1 embedding artifact: whatever representation the chosen
+/// [`DomainFolding`] strategy clusters on. Produced by [`embed_lake`]
+/// (the engine's first stage) and consumed by [`folds_from_embedding`],
+/// so callers can persist, inspect or swap the representation between
+/// the two halves of domain folding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EmbeddedLake {
+    /// One hashed-embedding vector per table (Hdbscan / RowSampling).
+    Vectors(Vec<Vec<f32>>),
+    /// Pairwise unionability similarities (SantosLike / SantosSketch).
+    Unionability(Vec<Vec<f64>>),
+    /// No representation needed (ExtremeDomainFolding skips Step 1).
+    Trivial,
+}
+
+/// Builds the embedding artifact for `strategy`, computing per-table
+/// embeddings in parallel on `exec` (results merged in table order, so
+/// the artifact is identical at every thread count; the RowSampling
+/// variant draws its row sample from a per-table RNG for the same
+/// reason).
+pub fn embed_lake(
     lake: &Lake,
     strategy: DomainFolding,
     encoder: &HashedEncoder,
     seed: u64,
-) -> Vec<Fold> {
+    exec: &Executor,
+) -> EmbeddedLake {
+    match strategy {
+        DomainFolding::ExtremeDomainFolding => EmbeddedLake::Trivial,
+        DomainFolding::Hdbscan => {
+            EmbeddedLake::Vectors(exec.map(&lake.tables, |_, t| embed_table(encoder, t)))
+        }
+        DomainFolding::RowSampling(frac) => {
+            EmbeddedLake::Vectors(exec.map(&lake.tables, |ti, t| {
+                let rows = t.n_rows();
+                let k = ((rows as f64 * frac).ceil() as usize).clamp(1, rows.max(1));
+                if rows == 0 {
+                    embed_table(encoder, t)
+                } else {
+                    let mut rng = StdRng::seed_from_u64(
+                        seed ^ (ti as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    let mut idx: Vec<usize> = sample(&mut rng, rows, k).into_iter().collect();
+                    idx.sort_unstable();
+                    embed_table_sampled(encoder, t, &idx)
+                }
+            }))
+        }
+        DomainFolding::SantosLike => EmbeddedLake::Unionability(unionability_matrix(lake)),
+        DomainFolding::SantosSketch(k) => {
+            EmbeddedLake::Unionability(unionability_matrix_sketched(lake, k.max(16)))
+        }
+    }
+}
+
+/// Clusters an [`EmbeddedLake`] into domain folds (the second half of
+/// Step 1).
+pub fn folds_from_embedding(lake: &Lake, embedded: &EmbeddedLake) -> Vec<Fold> {
     let n = lake.n_tables();
     if n == 0 {
         return Vec::new();
     }
-    let table_groups: Vec<Vec<usize>> = match strategy {
-        DomainFolding::ExtremeDomainFolding => vec![(0..n).collect()],
-        DomainFolding::Hdbscan => cluster_tables(lake, &embeddings(lake, encoder)),
-        DomainFolding::RowSampling(frac) => {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let vecs: Vec<Vec<f32>> = lake
-                .tables
-                .iter()
-                .map(|t| {
-                    let rows = t.n_rows();
-                    let k = ((rows as f64 * frac).ceil() as usize).clamp(1, rows.max(1));
-                    if rows == 0 {
-                        embed_table(encoder, t)
-                    } else {
-                        let mut idx: Vec<usize> = sample(&mut rng, rows, k).into_iter().collect();
-                        idx.sort_unstable();
-                        embed_table_sampled(encoder, t, &idx)
-                    }
-                })
-                .collect();
-            cluster_tables(lake, &vecs)
-        }
-        DomainFolding::SantosLike => {
-            let sims = unionability_matrix(lake);
-            let labels = Hdbscan::new(HdbscanConfig::default())
-                .fit_with(n, |a, b| (1.0 - sims[a][b]).max(0.0));
-            groups_from_labels(&labels, n)
-        }
-        DomainFolding::SantosSketch(k) => {
-            let sims = unionability_matrix_sketched(lake, k.max(16));
+    let table_groups: Vec<Vec<usize>> = match embedded {
+        EmbeddedLake::Trivial => vec![(0..n).collect()],
+        EmbeddedLake::Vectors(vecs) => cluster_tables(lake, vecs),
+        EmbeddedLake::Unionability(sims) => {
             let labels = Hdbscan::new(HdbscanConfig::default())
                 .fit_with(n, |a, b| (1.0 - sims[a][b]).max(0.0));
             groups_from_labels(&labels, n)
@@ -122,8 +146,21 @@ pub fn domain_folds(
         .collect()
 }
 
-fn embeddings(lake: &Lake, encoder: &HashedEncoder) -> Vec<Vec<f32>> {
-    lake.tables.iter().map(|t| embed_table(encoder, t)).collect()
+/// Groups the lake's tables into domain folds according to `strategy`.
+/// Every table lands in exactly one fold; every fold carries all columns
+/// of its tables (apply [`refine_syntactic`] afterwards for `+SF`).
+///
+/// Single-threaded convenience over [`embed_lake`] +
+/// [`folds_from_embedding`]; the staged engine calls the two halves
+/// separately.
+pub fn domain_folds(
+    lake: &Lake,
+    strategy: DomainFolding,
+    encoder: &HashedEncoder,
+    seed: u64,
+) -> Vec<Fold> {
+    let embedded = embed_lake(lake, strategy, encoder, seed, &Executor::single());
+    folds_from_embedding(lake, &embedded)
 }
 
 fn cluster_tables(lake: &Lake, vecs: &[Vec<f32>]) -> Vec<Vec<usize>> {
@@ -170,8 +207,7 @@ pub fn unionability_matrix(lake: &Lake) -> Vec<Vec<f64>> {
             t.columns
                 .iter()
                 .map(|c| {
-                    let mut vals: Vec<String> =
-                        c.values.iter().map(|v| v.to_lowercase()).collect();
+                    let mut vals: Vec<String> = c.values.iter().map(|v| v.to_lowercase()).collect();
                     vals.sort_unstable();
                     vals.dedup();
                     vals
@@ -188,10 +224,7 @@ pub fn unionability_matrix(lake: &Lake) -> Vec<Vec<f64>> {
         }
         let mut total = 0.0;
         for ca in cols_a {
-            let best = cols_b
-                .iter()
-                .map(|cb| jaccard(ca, cb))
-                .fold(0.0f64, f64::max);
+            let best = cols_b.iter().map(|cb| jaccard(ca, cb)).fold(0.0f64, f64::max);
             total += best;
         }
         total / cols_a.len() as f64
@@ -220,11 +253,8 @@ pub fn refine_syntactic(lake: &Lake, folds: Vec<Fold>, groups_per_fold: usize) -
             refined.push(fold);
             continue;
         }
-        let profiles: Vec<Vec<f32>> = fold
-            .columns
-            .iter()
-            .map(|&(t, c)| column_syntactic_features(&lake[t], c))
-            .collect();
+        let profiles: Vec<Vec<f32>> =
+            fold.columns.iter().map(|&(t, c)| column_syntactic_features(&lake[t], c)).collect();
         let k = groups_per_fold.min(fold.columns.len());
         let labels = matelda_cluster::agglomerative(fold.columns.len(), k, |a, b| {
             profiles[a]
@@ -295,8 +325,14 @@ mod tests {
             Table::new(
                 name,
                 vec![
-                    Column::new("club", ["Liverpool", "Chelsea", "Arsenal", "Barcelona", "Madrid", "Bayern"]),
-                    Column::new("country", ["England", "England", "England", "Spain", "Spain", "Germany"]),
+                    Column::new(
+                        "club",
+                        ["Liverpool", "Chelsea", "Arsenal", "Barcelona", "Madrid", "Bayern"],
+                    ),
+                    Column::new(
+                        "country",
+                        ["England", "England", "England", "Spain", "Spain", "Germany"],
+                    ),
                     Column::new("league points", ["82", "74", "71", "88", "86", "79"]),
                 ],
             )
@@ -305,8 +341,14 @@ mod tests {
             Table::new(
                 name,
                 vec![
-                    Column::new("genre", ["Drama", "Comedy", "Thriller", "Horror", "Romance", "Western"]),
-                    Column::new("director", ["Frank", "Sidney", "Francis", "Steven", "Martin", "Sofia"]),
+                    Column::new(
+                        "genre",
+                        ["Drama", "Comedy", "Thriller", "Horror", "Romance", "Western"],
+                    ),
+                    Column::new(
+                        "director",
+                        ["Frank", "Sidney", "Francis", "Steven", "Martin", "Sofia"],
+                    ),
                     Column::new("rating", ["9.3", "8.1", "7.7", "6.9", "7.2", "8.4"]),
                 ],
             )
@@ -318,7 +360,13 @@ mod tests {
                 Column::new("moisture", ["0.1", "0.2", "0.3", "0.4", "0.5", "0.45"]),
             ],
         );
-        Lake::new(vec![soccer("clubs_a"), movies("films_a"), soccer("clubs_b"), movies("films_b"), loner])
+        Lake::new(vec![
+            soccer("clubs_a"),
+            movies("films_a"),
+            soccer("clubs_b"),
+            movies("films_b"),
+            loner,
+        ])
     }
 
     fn encoder() -> HashedEncoder {
@@ -334,7 +382,8 @@ mod tests {
         seen.sort_unstable();
         assert_eq!(seen, vec![0, 1, 2, 3, 4]);
         // The two soccer tables fold together, as do the two movie tables.
-        let fold_of = |t: usize| folds.iter().position(|f| f.tables().contains(&t)).expect("covered");
+        let fold_of =
+            |t: usize| folds.iter().position(|f| f.tables().contains(&t)).expect("covered");
         assert_eq!(fold_of(0), fold_of(2), "{folds:?}");
         assert_eq!(fold_of(1), fold_of(3), "{folds:?}");
         assert_ne!(fold_of(0), fold_of(1), "{folds:?}");
@@ -369,7 +418,8 @@ mod tests {
     fn santos_like_also_groups_domains() {
         let lake = mixed_lake();
         let folds = domain_folds(&lake, DomainFolding::SantosLike, &encoder(), 0);
-        let fold_of = |t: usize| folds.iter().position(|f| f.tables().contains(&t)).expect("covered");
+        let fold_of =
+            |t: usize| folds.iter().position(|f| f.tables().contains(&t)).expect("covered");
         assert_eq!(fold_of(0), fold_of(2), "{folds:?}");
         assert_eq!(fold_of(1), fold_of(3), "{folds:?}");
     }
@@ -416,10 +466,8 @@ mod tests {
         let refined = refine_syntactic(&lake, folds, 2);
         assert_eq!(refined.len(), 2);
         // Numeric columns ((0,2), (4,0), (4,1)) split from text columns.
-        let numeric_fold = refined
-            .iter()
-            .find(|f| f.columns.contains(&(0, 2)))
-            .expect("numeric fold exists");
+        let numeric_fold =
+            refined.iter().find(|f| f.columns.contains(&(0, 2))).expect("numeric fold exists");
         assert!(numeric_fold.columns.contains(&(4, 0)), "{refined:?}");
         assert!(!numeric_fold.columns.contains(&(0, 0)), "{refined:?}");
     }

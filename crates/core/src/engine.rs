@@ -1,0 +1,731 @@
+//! The staged pipeline engine.
+//!
+//! [`Matelda::detect`](crate::Matelda::detect) used to be a monolith; it
+//! is now a composition of six typed stages, each consuming and
+//! producing an explicit artifact:
+//!
+//! ```text
+//! EmbedStage        ()                                → EmbeddedLake
+//! DomainFoldStage   &EmbeddedLake                     → DomainFolds
+//! FeaturizeStage    ()                                → FeaturizedLake
+//! QualityFoldStage  (&DomainFolds, &FeaturizedLake)   → QualityFolds
+//! LabelStage        (&QualityFolds, &FeaturizedLake)  → PropagatedLabels
+//! ClassifyStage     (&DomainFolds, &FeaturizedLake, &PropagatedLabels) → Predictions
+//! ```
+//!
+//! Every stage implements [`Stage`] and runs inside a [`StageContext`]
+//! carrying the lake, the configuration (which holds the seed), the
+//! deterministic [`Executor`] and the accumulating [`RunReport`].
+//! Callers can run the stages end-to-end (what `detect` does), resume
+//! from any persisted artifact, or swap one stage for a custom
+//! implementation — the artifacts are the contract.
+//!
+//! ## Determinism
+//!
+//! Four hot paths run on the executor: per-table embedding, per-table
+//! featurization, per-domain-fold mini-batch k-means and per-column (or
+//! per-fold) classifier training. The executor merges results in index
+//! order and every stochastic stage derives a per-index seed, so the
+//! output of every stage — and hence of the whole pipeline — is
+//! bit-identical at any thread count.
+
+use crate::domain_fold::{folds_from_embedding, refine_syntactic, Fold};
+use crate::pipeline::{LabelingStrategy, MateldaConfig, TrainingStrategy};
+use crate::quality_fold::{budget_per_fold, quality_folds, QualityFold};
+use matelda_detect::{featurize_table, CellFeatures};
+use matelda_embed::encoder::HashedEncoder;
+use matelda_exec::{Executor, RunReport, StageReport};
+use matelda_ml::FittedClassifier;
+use matelda_table::oracle::Labeler;
+use matelda_table::{CellId, CellMask, Lake};
+use matelda_text::SpellChecker;
+
+pub use crate::domain_fold::EmbeddedLake;
+
+/// Everything a stage needs besides its input artifact: the lake, the
+/// configuration slice (strategy knobs and the seed), the deterministic
+/// executor, and the run-wide instrumentation the stage appends to.
+pub struct StageContext<'a> {
+    /// The dirty lake under detection.
+    pub lake: &'a Lake,
+    /// The full pipeline configuration (stages read their slice of it).
+    pub config: &'a MateldaConfig,
+    /// The deterministic parallel executor every hot path maps on.
+    pub executor: Executor,
+    /// Accumulated per-stage instrumentation.
+    pub report: RunReport,
+}
+
+impl<'a> StageContext<'a> {
+    /// Builds a context for one run; the executor honours
+    /// [`MateldaConfig::threads`] (`0` = available parallelism).
+    pub fn new(lake: &'a Lake, config: &'a MateldaConfig) -> Self {
+        let executor = Executor::new(config.threads);
+        let report = RunReport::new(executor.threads());
+        StageContext { lake, config, executor, report }
+    }
+
+    /// The per-index seed for parallel stochastic work: mixes `index`
+    /// into the configured seed so results are independent of execution
+    /// order.
+    pub fn seed_for(&self, index: usize) -> u64 {
+        self.config.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+/// One pipeline stage: a named transformation from an input artifact to
+/// an output artifact. `Input` is a generic associated type so stages
+/// can borrow earlier artifacts without taking ownership.
+pub trait Stage {
+    /// What the stage consumes (typically references to prior artifacts).
+    type Input<'i>;
+    /// The artifact the stage produces.
+    type Output;
+
+    /// Stage name as it appears in the [`RunReport`].
+    fn name(&self) -> &'static str;
+
+    /// The stage body. Annotate `stage` with items processed and any
+    /// named metrics; wall time is recorded by [`Stage::run`].
+    fn execute<'i>(
+        &mut self,
+        ctx: &mut StageContext<'_>,
+        input: Self::Input<'i>,
+        stage: &mut StageReport,
+    ) -> Self::Output;
+
+    /// Runs the stage under the context's timer and appends its report.
+    fn run<'i>(&mut self, ctx: &mut StageContext<'_>, input: Self::Input<'i>) -> Self::Output {
+        let mut stage = StageReport::new(self.name());
+        let start = std::time::Instant::now();
+        let out = self.execute(ctx, input, &mut stage);
+        stage.wall_secs = start.elapsed().as_secs_f64();
+        ctx.report.stages.push(stage);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Artifacts
+// ---------------------------------------------------------------------
+
+/// Step-1 output: the domain folds (after any `+SF` refinement).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainFolds {
+    /// The folds; every table's columns appear in exactly one fold.
+    pub folds: Vec<Fold>,
+}
+
+/// The unified detector feature space, one matrix per table.
+#[derive(Debug, Clone)]
+pub struct FeaturizedLake {
+    /// Per-table cell features, indexed like `lake.tables`.
+    pub features: Vec<CellFeatures>,
+}
+
+impl FeaturizedLake {
+    /// The feature vector of one cell.
+    pub fn of(&self, id: CellId) -> &[f32] {
+        self.features[id.table].get(id.row, id.col)
+    }
+}
+
+/// One quality fold plus its provenance and labeling eligibility.
+#[derive(Debug, Clone)]
+pub struct QualityFoldEntry {
+    /// Index of the domain fold this quality fold was carved from.
+    pub domain_fold: usize,
+    /// The fold itself.
+    pub fold: QualityFold,
+    /// Whether Step 3 spends a label on this fold (TUCF leaves the
+    /// smaller half of each domain fold's quality folds unlabeled).
+    pub labeled: bool,
+}
+
+/// Step-2 output: all quality folds plus the per-domain-fold budget
+/// split that shaped them.
+#[derive(Debug, Clone)]
+pub struct QualityFolds {
+    /// Quality folds in deterministic (domain fold, cluster) order.
+    pub entries: Vec<QualityFoldEntry>,
+    /// Labels allocated to each domain fold (clamped to the budget).
+    pub budgets: Vec<usize>,
+}
+
+impl QualityFolds {
+    /// Total quality folds formed.
+    pub fn n_total(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// One labeled quality fold: the anchor cell that was shown to the
+/// labeler and the verdict that was propagated to the members.
+#[derive(Debug, Clone)]
+pub struct LabeledFold {
+    /// The quality fold.
+    pub fold: QualityFold,
+    /// The cell nearest the centroid, which was labeled.
+    pub anchor: CellId,
+    /// The labeler's verdict for the anchor.
+    pub verdict: bool,
+}
+
+/// Steps 3+4 output: per-cell propagated labels and the labeled folds.
+#[derive(Debug, Clone)]
+pub struct PropagatedLabels {
+    /// Row-major per-table label grid; `None` = unlabeled cell.
+    pub labels: Vec<Vec<Option<bool>>>,
+    /// The folds that received a label, with their anchors.
+    pub labeled_folds: Vec<LabeledFold>,
+    /// Labels actually drawn from the labeler.
+    pub labels_used: usize,
+}
+
+/// Step-5 output: the predicted error mask.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Predictions {
+    /// Cells predicted erroneous.
+    pub mask: CellMask,
+}
+
+// ---------------------------------------------------------------------
+// Stages
+// ---------------------------------------------------------------------
+
+/// Embeds the lake for domain folding (parallel per table).
+pub struct EmbedStage {
+    /// The hashed table encoder.
+    pub encoder: HashedEncoder,
+}
+
+impl EmbedStage {
+    /// Builds the stage from the run configuration.
+    pub fn from_config(config: &MateldaConfig) -> Self {
+        EmbedStage { encoder: HashedEncoder::new(config.encoder.clone()) }
+    }
+}
+
+impl Stage for EmbedStage {
+    type Input<'i> = ();
+    type Output = EmbeddedLake;
+
+    fn name(&self) -> &'static str {
+        "embed"
+    }
+
+    fn execute<'i>(
+        &mut self,
+        ctx: &mut StageContext<'_>,
+        _input: (),
+        stage: &mut StageReport,
+    ) -> EmbeddedLake {
+        let cfg = ctx.config;
+        let out = crate::domain_fold::embed_lake(
+            ctx.lake,
+            cfg.domain_folding,
+            &self.encoder,
+            cfg.seed,
+            &ctx.executor,
+        );
+        stage.items = ctx.lake.n_tables() as u64;
+        if let EmbeddedLake::Vectors(v) = &out {
+            stage.metrics.push(("dims".into(), v.first().map_or(0.0, |e| e.len() as f64)));
+        }
+        out
+    }
+}
+
+/// Clusters the embedding into domain folds and applies the optional
+/// `+SF` syntactic refinement.
+pub struct DomainFoldStage;
+
+impl Stage for DomainFoldStage {
+    type Input<'i> = &'i EmbeddedLake;
+    type Output = DomainFolds;
+
+    fn name(&self) -> &'static str {
+        "domain_folds"
+    }
+
+    fn execute<'i>(
+        &mut self,
+        ctx: &mut StageContext<'_>,
+        embedded: &EmbeddedLake,
+        stage: &mut StageReport,
+    ) -> DomainFolds {
+        let cfg = ctx.config;
+        let mut folds = folds_from_embedding(ctx.lake, embedded);
+        if cfg.syntactic_refinement {
+            folds = refine_syntactic(ctx.lake, folds, cfg.syntactic_groups);
+        }
+        stage.items = ctx.lake.n_tables() as u64;
+        stage.metrics.push(("folds".into(), folds.len() as f64));
+        DomainFolds { folds }
+    }
+}
+
+/// Computes the unified detector features (parallel per table).
+pub struct FeaturizeStage {
+    /// The dictionary the typo detectors consult.
+    pub spell: SpellChecker,
+}
+
+impl Default for FeaturizeStage {
+    fn default() -> Self {
+        FeaturizeStage { spell: SpellChecker::english() }
+    }
+}
+
+impl Stage for FeaturizeStage {
+    type Input<'i> = ();
+    type Output = FeaturizedLake;
+
+    fn name(&self) -> &'static str {
+        "featurize"
+    }
+
+    fn execute<'i>(
+        &mut self,
+        ctx: &mut StageContext<'_>,
+        _input: (),
+        stage: &mut StageReport,
+    ) -> FeaturizedLake {
+        let spell = &self.spell;
+        let cfg = &ctx.config.features;
+        let features = ctx.executor.map(&ctx.lake.tables, |_, t| featurize_table(t, spell, cfg));
+        stage.items = ctx.lake.n_cells() as u64;
+        FeaturizedLake { features }
+    }
+}
+
+/// Splits the budget over domain folds and clusters each fold's cells
+/// into quality folds (parallel per domain fold).
+pub struct QualityFoldStage {
+    /// The labeling budget this stage may allocate (Step 2's share).
+    pub budget: usize,
+}
+
+impl Stage for QualityFoldStage {
+    type Input<'i> = (&'i DomainFolds, &'i FeaturizedLake);
+    type Output = QualityFolds;
+
+    fn name(&self) -> &'static str {
+        "quality_folds"
+    }
+
+    fn execute<'i>(
+        &mut self,
+        ctx: &mut StageContext<'_>,
+        (domain, featurized): (&DomainFolds, &FeaturizedLake),
+        stage: &mut StageReport,
+    ) -> QualityFolds {
+        let cfg = ctx.config;
+        let budgets = budget_per_fold(&domain.folds, self.budget);
+        let tucf = cfg.training == TrainingStrategy::UnlabeledCellFolds;
+        let fold_multiplier = if tucf { 2 } else { 1 };
+
+        // Per-domain-fold clustering, parallel with per-fold seeds.
+        // Zero-budget folds (the clamp can starve them) are skipped:
+        // they may spend no labels, so clustering them buys nothing.
+        let per_fold: Vec<Vec<QualityFoldEntry>> = ctx.executor.map_n(domain.folds.len(), |fi| {
+            let k = budgets[fi] * fold_multiplier;
+            if k == 0 {
+                return Vec::new();
+            }
+            let seed = cfg.seed ^ (fi as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut qfolds = quality_folds(
+                ctx.lake,
+                &domain.folds[fi],
+                &featurized.features,
+                k,
+                cfg.kmeans_batch,
+                cfg.kmeans_iterations,
+                seed,
+            );
+            // TUCF labels only the `budgets[fi]` largest folds;
+            // otherwise every fold is labeled.
+            let labeled: Vec<bool> = if tucf {
+                let mut order: Vec<usize> = (0..qfolds.len()).collect();
+                order.sort_by_key(|&i| std::cmp::Reverse(qfolds[i].cells.len()));
+                let mut flag = vec![false; qfolds.len()];
+                for &i in order.iter().take(budgets[fi]) {
+                    flag[i] = true;
+                }
+                flag
+            } else {
+                vec![true; qfolds.len()]
+            };
+            qfolds
+                .drain(..)
+                .zip(labeled)
+                .map(|(fold, labeled)| QualityFoldEntry { domain_fold: fi, fold, labeled })
+                .collect()
+        });
+        let entries: Vec<QualityFoldEntry> = per_fold.into_iter().flatten().collect();
+
+        stage.items = entries.iter().map(|e| e.fold.cells.len() as u64).sum();
+        stage.metrics.push(("folds_formed".into(), entries.len() as f64));
+        stage.metrics.push(("budget".into(), budgets.iter().sum::<usize>() as f64));
+        QualityFolds { entries, budgets }
+    }
+}
+
+/// Samples each labeled quality fold's anchor, queries the labeler and
+/// propagates the verdict (Steps 3+4), then optionally spends the
+/// remaining budget on uncertainty refinement. Anchor selection runs on
+/// the executor; the labeler itself is queried sequentially in fold
+/// order (it is a `&mut` oracle or human).
+pub struct LabelStage<'l> {
+    /// The label source.
+    pub labeler: &'l mut dyn Labeler,
+    /// The total labeling budget for the run.
+    pub budget: usize,
+}
+
+impl Stage for LabelStage<'_> {
+    type Input<'i> = (&'i QualityFolds, &'i FeaturizedLake);
+    type Output = PropagatedLabels;
+
+    fn name(&self) -> &'static str {
+        "label"
+    }
+
+    fn execute<'i>(
+        &mut self,
+        ctx: &mut StageContext<'_>,
+        (quality, featurized): (&QualityFolds, &FeaturizedLake),
+        stage: &mut StageReport,
+    ) -> PropagatedLabels {
+        let lake = ctx.lake;
+        let cfg = ctx.config;
+        let mut labels: Vec<Vec<Option<bool>>> =
+            lake.tables.iter().map(|t| vec![None; t.n_rows() * t.n_cols()]).collect();
+
+        // Anchor selection is pure — run it on the executor.
+        let labeled_entries: Vec<&QualityFoldEntry> =
+            quality.entries.iter().filter(|e| e.labeled).collect();
+        let anchors: Vec<CellId> = ctx
+            .executor
+            .map(&labeled_entries, |_, e| e.fold.sample(&|id: CellId| featurized.of(id).to_vec()));
+
+        let mut labeled_folds: Vec<LabeledFold> = Vec::new();
+        for (entry, &anchor) in labeled_entries.iter().zip(&anchors) {
+            let verdict = self.labeler.label(anchor);
+            for &id in &entry.fold.cells {
+                labels[id.table][id.row * lake[id.table].n_cols() + id.col] = Some(verdict);
+            }
+            labeled_folds.push(LabeledFold { fold: entry.fold.clone(), anchor, verdict });
+        }
+        let phase1 = self.labeler.labels_used();
+
+        // Extension: uncertainty-driven refinement with the rest of the
+        // budget (only reachable when the config reserved it).
+        let adaptive = cfg.labeling == LabelingStrategy::UncertaintyRefinement
+            && cfg.training == TrainingStrategy::PerColumn
+            && self.budget >= 4;
+        if adaptive {
+            let remaining = self.budget.saturating_sub(phase1);
+            refine_with_uncertainty(
+                ctx,
+                featurized,
+                &mut labels,
+                &labeled_folds,
+                self.labeler,
+                remaining,
+            );
+        }
+
+        let labels_used = self.labeler.labels_used();
+        stage.items = labels_used as u64;
+        stage.metrics.push(("folds_labeled".into(), labeled_folds.len() as f64));
+        stage.metrics.push(("labels_refine".into(), (labels_used - phase1) as f64));
+        PropagatedLabels { labels, labeled_folds, labels_used }
+    }
+}
+
+/// Trains the Step-5 classifiers (parallel per column or per domain
+/// fold) and merges their predictions in index order.
+pub struct ClassifyStage;
+
+impl Stage for ClassifyStage {
+    type Input<'i> = (&'i DomainFolds, &'i FeaturizedLake, &'i PropagatedLabels);
+    type Output = Predictions;
+
+    fn name(&self) -> &'static str {
+        "classify"
+    }
+
+    fn execute<'i>(
+        &mut self,
+        ctx: &mut StageContext<'_>,
+        (domain, featurized, propagated): (&DomainFolds, &FeaturizedLake, &PropagatedLabels),
+        stage: &mut StageReport,
+    ) -> Predictions {
+        let mask = match ctx.config.training {
+            TrainingStrategy::PerColumn => {
+                train_per_column(ctx, featurized, &propagated.labels, stage)
+            }
+            TrainingStrategy::PerDomainFold | TrainingStrategy::UnlabeledCellFolds => {
+                train_per_fold(ctx, featurized, &propagated.labels, &domain.folds, stage)
+            }
+        };
+        stage.items = ctx.lake.n_cells() as u64;
+        stage.metrics.push(("flagged".into(), mask.count() as f64));
+        Predictions { mask }
+    }
+}
+
+/// Fits the per-column models on the current propagated labels
+/// (parallel over the flattened `(table, column)` index space).
+pub(crate) fn fit_column_models(
+    ctx: &StageContext<'_>,
+    featurized: &FeaturizedLake,
+    labels: &[Vec<Option<bool>>],
+) -> Vec<Vec<FittedClassifier>> {
+    let lake = ctx.lake;
+    let columns: Vec<(usize, usize)> = lake
+        .tables
+        .iter()
+        .enumerate()
+        .flat_map(|(t, table)| (0..table.n_cols()).map(move |c| (t, c)))
+        .collect();
+    let models = ctx.executor.map(&columns, |_, &(t, c)| {
+        let table = &lake.tables[t];
+        let m = table.n_cols();
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for r in 0..table.n_rows() {
+            if let Some(lab) = labels[t][r * m + c] {
+                x.push(featurized.features[t].get(r, c).to_vec());
+                y.push(lab);
+            }
+        }
+        FittedClassifier::fit(&ctx.config.classifier, &x, &y)
+    });
+    // Re-nest the flat, index-ordered model list per table.
+    let mut nested: Vec<Vec<FittedClassifier>> = lake.tables.iter().map(|_| Vec::new()).collect();
+    for ((t, _), model) in columns.into_iter().zip(models) {
+        nested[t].push(model);
+    }
+    nested
+}
+
+/// One classifier per column (the paper's default), trained in parallel
+/// with predictions merged in `(table, column)` order.
+fn train_per_column(
+    ctx: &StageContext<'_>,
+    featurized: &FeaturizedLake,
+    labels: &[Vec<Option<bool>>],
+    stage: &mut StageReport,
+) -> CellMask {
+    let lake = ctx.lake;
+    let columns: Vec<(usize, usize)> = lake
+        .tables
+        .iter()
+        .enumerate()
+        .flat_map(|(t, table)| (0..table.n_cols()).map(move |c| (t, c)))
+        .collect();
+    stage.metrics.push(("models".into(), columns.len() as f64));
+    let flagged: Vec<Vec<usize>> = ctx.executor.map(&columns, |_, &(t, c)| {
+        let table = &lake.tables[t];
+        let m = table.n_cols();
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for r in 0..table.n_rows() {
+            if let Some(lab) = labels[t][r * m + c] {
+                x.push(featurized.features[t].get(r, c).to_vec());
+                y.push(lab);
+            }
+        }
+        let model = FittedClassifier::fit(&ctx.config.classifier, &x, &y);
+        (0..table.n_rows()).filter(|&r| model.predict(featurized.features[t].get(r, c))).collect()
+    });
+    let mut predicted = CellMask::empty(lake);
+    for (&(t, c), rows) in columns.iter().zip(&flagged) {
+        for &r in rows {
+            predicted.set(CellId::new(t, r, c), true);
+        }
+    }
+    predicted
+}
+
+/// One classifier per domain fold (TPDF / TUCF), trained in parallel
+/// with predictions merged in fold order.
+fn train_per_fold(
+    ctx: &StageContext<'_>,
+    featurized: &FeaturizedLake,
+    labels: &[Vec<Option<bool>>],
+    folds: &[Fold],
+    stage: &mut StageReport,
+) -> CellMask {
+    let lake = ctx.lake;
+    stage.metrics.push(("models".into(), folds.len() as f64));
+    let flagged: Vec<Vec<CellId>> = ctx.executor.map_n(folds.len(), |fi| {
+        let fold = &folds[fi];
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for &(t, c) in &fold.columns {
+            let m = lake[t].n_cols();
+            for r in 0..lake[t].n_rows() {
+                if let Some(lab) = labels[t][r * m + c] {
+                    x.push(featurized.features[t].get(r, c).to_vec());
+                    y.push(lab);
+                }
+            }
+        }
+        let model = FittedClassifier::fit(&ctx.config.classifier, &x, &y);
+        let mut ids = Vec::new();
+        for &(t, c) in &fold.columns {
+            for r in 0..lake[t].n_rows() {
+                if model.predict(featurized.features[t].get(r, c)) {
+                    ids.push(CellId::new(t, r, c));
+                }
+            }
+        }
+        ids
+    });
+    let mut predicted = CellMask::empty(lake);
+    for ids in flagged {
+        for id in ids {
+            predicted.set(id, true);
+        }
+    }
+    predicted
+}
+
+/// The uncertainty-refinement phase (see
+/// [`LabelingStrategy::UncertaintyRefinement`]): fit preliminary
+/// per-column models on the propagated labels, rank labeled folds by the
+/// mean ambiguity of their members' predictions, and spend the remaining
+/// budget labeling each ambiguous fold's most uncertain member. A
+/// contradicting label splits the fold: members re-adopt the label of
+/// the nearer anchor cell in feature space.
+fn refine_with_uncertainty(
+    ctx: &StageContext<'_>,
+    featurized: &FeaturizedLake,
+    labels: &mut [Vec<Option<bool>>],
+    labeled_folds: &[LabeledFold],
+    labeler: &mut dyn Labeler,
+    remaining: usize,
+) {
+    if remaining == 0 || labeled_folds.is_empty() {
+        return;
+    }
+    let lake = ctx.lake;
+    let models = fit_column_models(ctx, featurized, labels);
+    let proba = |id: CellId| models[id.table][id.col].predict_proba(featurized.of(id));
+    // Ambiguity of a prediction: 1 at p = 0.5, 0 at p in {0, 1}.
+    let ambiguity = |id: CellId| 1.0 - 2.0 * (proba(id) - 0.5).abs();
+
+    let mut ranked: Vec<(f64, usize)> = labeled_folds
+        .iter()
+        .enumerate()
+        .map(|(i, lf)| {
+            let mean: f64 = lf.fold.cells.iter().map(|&id| ambiguity(id)).sum::<f64>()
+                / lf.fold.cells.len() as f64;
+            (mean, i)
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
+
+    let sq =
+        |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum() };
+    for &(_, fi) in ranked.iter().take(remaining) {
+        let LabeledFold { fold, anchor, verdict: anchor_verdict } = &labeled_folds[fi];
+        // Most ambiguous member that is not the anchor itself.
+        let Some(&probe) = fold
+            .cells
+            .iter()
+            .filter(|&&id| id != *anchor)
+            .max_by(|&&a, &&b| ambiguity(a).partial_cmp(&ambiguity(b)).expect("finite"))
+        else {
+            continue;
+        };
+        let probe_verdict = labeler.label(probe);
+        if probe_verdict == *anchor_verdict {
+            continue; // confirmation: propagation stands
+        }
+        // Contradiction: split the fold between the two anchors.
+        let av = featurized.of(*anchor).to_vec();
+        let pv = featurized.of(probe).to_vec();
+        for &id in &fold.cells {
+            let fv = featurized.of(id);
+            let v = if sq(fv, &pv) < sq(fv, &av) { probe_verdict } else { *anchor_verdict };
+            labels[id.table][id.row * lake[id.table].n_cols() + id.col] = Some(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matelda_lakegen::QuintetLake;
+    use matelda_table::oracle::Oracle;
+
+    fn cfg_with_threads(threads: usize) -> MateldaConfig {
+        MateldaConfig { threads, ..Default::default() }
+    }
+
+    #[test]
+    fn stages_compose_like_detect() {
+        let lake = QuintetLake { rows_per_table: 30, error_rate: 0.1 }.generate(7);
+        let cfg = cfg_with_threads(1);
+        let budget = 25;
+
+        // Staged, by hand.
+        let mut ctx = StageContext::new(&lake.dirty, &cfg);
+        let embedded = EmbedStage::from_config(&cfg).run(&mut ctx, ());
+        let domain = DomainFoldStage.run(&mut ctx, &embedded);
+        let featurized = FeaturizeStage::default().run(&mut ctx, ());
+        let quality = QualityFoldStage { budget }.run(&mut ctx, (&domain, &featurized));
+        let mut oracle = Oracle::new(&lake.errors);
+        let propagated =
+            LabelStage { labeler: &mut oracle, budget }.run(&mut ctx, (&quality, &featurized));
+        let predictions = ClassifyStage.run(&mut ctx, (&domain, &featurized, &propagated));
+
+        // Through the facade.
+        let mut oracle2 = Oracle::new(&lake.errors);
+        let result = crate::Matelda::new(cfg.clone()).detect(&lake.dirty, &mut oracle2, budget);
+
+        assert_eq!(predictions.mask, result.predicted);
+        assert_eq!(propagated.labels_used, result.labels_used);
+        assert_eq!(ctx.report.stages.len(), result.report.stages.len());
+    }
+
+    #[test]
+    fn swapped_stage_changes_only_downstream() {
+        // Swapping the embed stage for a trivial one must still produce a
+        // full-lake prediction mask — the artifact contract holds.
+        let lake = QuintetLake { rows_per_table: 20, error_rate: 0.1 }.generate(3);
+        let cfg = cfg_with_threads(1);
+        let mut ctx = StageContext::new(&lake.dirty, &cfg);
+        let embedded = EmbeddedLake::Trivial; // caller-supplied artifact
+        let domain = DomainFoldStage.run(&mut ctx, &embedded);
+        assert_eq!(domain.folds.len(), 1, "trivial embedding folds everything together");
+        let featurized = FeaturizeStage::default().run(&mut ctx, ());
+        let quality = QualityFoldStage { budget: 10 }.run(&mut ctx, (&domain, &featurized));
+        let mut oracle = Oracle::new(&lake.errors);
+        let propagated =
+            LabelStage { labeler: &mut oracle, budget: 10 }.run(&mut ctx, (&quality, &featurized));
+        assert!(propagated.labels_used <= 10);
+        let predictions = ClassifyStage.run(&mut ctx, (&domain, &featurized, &propagated));
+        assert_eq!(predictions.mask.n_cells(), lake.dirty.n_cells());
+    }
+
+    #[test]
+    fn report_covers_every_stage_with_nonzero_items() {
+        let lake = QuintetLake { rows_per_table: 20, error_rate: 0.1 }.generate(1);
+        let mut oracle = Oracle::new(&lake.errors);
+        let result = crate::Matelda::new(cfg_with_threads(2)).detect(&lake.dirty, &mut oracle, 20);
+        let names: Vec<&str> = result.report.stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["embed", "domain_folds", "featurize", "quality_folds", "label", "classify"]
+        );
+        assert!(result.report.stages.iter().all(|s| s.wall_secs >= 0.0));
+        assert!(result.report.stage("featurize").expect("exists").items > 0);
+        assert!(result.report.stage("label").expect("exists").items > 0);
+        assert_eq!(result.report.threads, 2);
+    }
+}

@@ -37,11 +37,18 @@
 //! ```
 
 pub mod domain_fold;
+pub mod engine;
 pub mod pipeline;
 pub mod quality_fold;
 pub mod repair;
 
-pub use domain_fold::{domain_folds, DomainFolding, Fold};
+pub use domain_fold::{domain_folds, DomainFolding, EmbeddedLake, Fold};
+pub use engine::{
+    ClassifyStage, DomainFoldStage, DomainFolds, EmbedStage, FeaturizeStage, FeaturizedLake,
+    LabelStage, LabeledFold, Predictions, PropagatedLabels, QualityFoldEntry, QualityFoldStage,
+    QualityFolds, Stage, StageContext,
+};
+pub use matelda_exec::{Executor, RunReport, StageReport};
 pub use matelda_table::oracle::{Labeler, Oracle};
 pub use pipeline::{DetectionResult, LabelingStrategy, Matelda, MateldaConfig, TrainingStrategy};
 pub use repair::{suggest_repairs, Repair, RepairStrategy};

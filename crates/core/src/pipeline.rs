@@ -1,13 +1,20 @@
 //! The Matelda pipeline orchestrator (paper Alg. 1, Steps 1–5).
+//!
+//! [`Matelda::detect`] composes the typed stages of [`crate::engine`];
+//! this module holds the run configuration, the result type and the
+//! facade. See the engine module for the stage and artifact types.
 
-use crate::domain_fold::{domain_folds, refine_syntactic, DomainFolding, Fold};
+use crate::domain_fold::DomainFolding;
+use crate::engine::{
+    ClassifyStage, DomainFoldStage, EmbedStage, FeaturizeStage, LabelStage, QualityFoldStage,
+    Stage, StageContext,
+};
+use matelda_detect::FeatureConfig;
+use matelda_embed::encoder::EncoderConfig;
+use matelda_exec::RunReport;
+use matelda_ml::ClassifierKind;
 use matelda_table::oracle::Labeler;
-use crate::quality_fold::{budget_per_fold, quality_folds, QualityFold};
-use matelda_detect::{featurize_table, CellFeatures, FeatureConfig};
-use matelda_embed::encoder::{EncoderConfig, HashedEncoder};
-use matelda_ml::{ClassifierKind, FittedClassifier};
-use matelda_table::{CellId, CellMask, Lake};
-use matelda_text::SpellChecker;
+use matelda_table::{CellMask, Lake};
 
 /// How the labeling budget is spent in Step 3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +75,11 @@ pub struct MateldaConfig {
     pub labeling: LabelingStrategy,
     /// Seed for all stochastic components.
     pub seed: u64,
+    /// Executor worker threads for the parallel stages; `0` means the
+    /// host's available parallelism. Output is bit-identical at every
+    /// value — the executor merges in index order and all stochastic
+    /// work derives per-index seeds.
+    pub threads: usize,
 }
 
 impl Default for MateldaConfig {
@@ -87,6 +99,7 @@ impl Default for MateldaConfig {
             classifier: ClassifierKind::default(),
             labeling: LabelingStrategy::CentroidPerFold,
             seed: 0,
+            threads: 0,
         }
     }
 }
@@ -102,6 +115,8 @@ pub struct DetectionResult {
     pub n_domain_folds: usize,
     /// Total quality folds formed in Step 2.
     pub n_quality_folds: usize,
+    /// Per-stage wall time and work counters for the run.
+    pub report: RunReport,
 }
 
 /// The Matelda estimator.
@@ -116,278 +131,52 @@ impl Matelda {
         Self { config }
     }
 
-    /// Runs the full pipeline on `lake` with a total labeling budget of
-    /// `budget` cells, asking `labeler` for each sampled cell's label.
+    /// Runs the full staged pipeline on `lake` with a total labeling
+    /// budget of `budget` cells, asking `labeler` for each sampled
+    /// cell's label. The labeler is never asked for more than `budget`
+    /// labels.
     pub fn detect(&self, lake: &Lake, labeler: &mut dyn Labeler, budget: usize) -> DetectionResult {
         let cfg = &self.config;
-        let encoder = HashedEncoder::new(cfg.encoder.clone());
+        let mut ctx = StageContext::new(lake, cfg);
 
-        // Step 1: domain-based cell folding.
-        let mut folds = domain_folds(lake, cfg.domain_folding, &encoder, cfg.seed);
-        if cfg.syntactic_refinement {
-            folds = refine_syntactic(lake, folds, cfg.syntactic_groups);
-        }
-        let n_domain_folds = folds.len();
+        // Step 1: domain-based cell folding (embed, then cluster).
+        let embedded = EmbedStage::from_config(cfg).run(&mut ctx, ());
+        let domain = DomainFoldStage.run(&mut ctx, &embedded);
 
         // Unified featurization, once per table.
-        let spell = SpellChecker::english();
-        let features: Vec<CellFeatures> =
-            lake.tables.iter().map(|t| featurize_table(t, &spell, &cfg.features)).collect();
+        let featurized = FeaturizeStage::default().run(&mut ctx, ());
 
-        // Step 2: quality-based cell folding with the budget split. The
-        // uncertainty extension reserves half the budget for refinement.
+        // Step 2: quality-based cell folding. The uncertainty extension
+        // reserves half the budget for refinement.
         let adaptive = cfg.labeling == LabelingStrategy::UncertaintyRefinement
             && cfg.training == TrainingStrategy::PerColumn
             && budget >= 4;
         let phase1_budget = if adaptive { budget.div_ceil(2) } else { budget };
-        let budgets = budget_per_fold(&folds, phase1_budget);
-        let fold_multiplier = if cfg.training == TrainingStrategy::UnlabeledCellFolds { 2 } else { 1 };
-        let mut all_quality_folds: Vec<(usize, QualityFold, bool)> = Vec::new(); // (domain fold, fold, labeled?)
-        let mut n_quality_folds = 0usize;
-        for (fi, fold) in folds.iter().enumerate() {
-            let k = budgets[fi] * fold_multiplier;
-            let mut qfolds = quality_folds(
-                lake,
-                fold,
-                &features,
-                k,
-                cfg.kmeans_batch,
-                cfg.kmeans_iterations,
-                cfg.seed ^ (fi as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            );
-            n_quality_folds += qfolds.len();
-            // TUCF labels only the k largest folds; otherwise all folds.
-            let labeled: Vec<bool> = if fold_multiplier == 2 {
-                let mut order: Vec<usize> = (0..qfolds.len()).collect();
-                order.sort_by_key(|&i| std::cmp::Reverse(qfolds[i].cells.len()));
-                let mut flag = vec![false; qfolds.len()];
-                for &i in order.iter().take(budgets[fi]) {
-                    flag[i] = true;
-                }
-                flag
-            } else {
-                vec![true; qfolds.len()]
-            };
-            for (qf, lab) in qfolds.drain(..).zip(labeled) {
-                all_quality_folds.push((fi, qf, lab));
-            }
-        }
+        let quality =
+            QualityFoldStage { budget: phase1_budget }.run(&mut ctx, (&domain, &featurized));
 
-        // Steps 3 + 4: sampling, labeling and propagation.
-        let feat_of = |id: CellId| features[id.table].get(id.row, id.col).to_vec();
-        let mut labels: Vec<Vec<Option<bool>>> = lake
-            .tables
-            .iter()
-            .map(|t| vec![None; t.n_rows() * t.n_cols()])
-            .collect();
-        let mut labeled_folds: Vec<(QualityFold, CellId, bool)> = Vec::new();
-        for (_, qf, labeled) in &all_quality_folds {
-            if !labeled {
-                continue;
-            }
-            let sample = qf.sample(&feat_of);
-            let verdict = labeler.label(sample);
-            for &id in &qf.cells {
-                labels[id.table][id.row * lake[id.table].n_cols() + id.col] = Some(verdict);
-            }
-            labeled_folds.push((qf.clone(), sample, verdict));
-        }
-
-        // Extension: uncertainty-driven refinement of the most ambiguous
-        // quality folds with the second half of the budget.
-        if adaptive {
-            let remaining = budget.saturating_sub(labeler.labels_used());
-            self.refine_with_uncertainty(
-                lake,
-                &features,
-                &mut labels,
-                &labeled_folds,
-                labeler,
-                remaining,
-            );
-        }
+        // Steps 3 + 4: sampling, labeling and propagation (plus the
+        // optional uncertainty refinement).
+        let propagated = LabelStage { labeler, budget }.run(&mut ctx, (&quality, &featurized));
 
         // Step 5: classification.
-        let predicted = match cfg.training {
-            TrainingStrategy::PerColumn => self.train_per_column(lake, &features, &labels),
-            TrainingStrategy::PerDomainFold | TrainingStrategy::UnlabeledCellFolds => {
-                self.train_per_fold(lake, &features, &labels, &folds)
-            }
-        };
+        let predictions = ClassifyStage.run(&mut ctx, (&domain, &featurized, &propagated));
 
         DetectionResult {
-            predicted,
-            labels_used: labeler.labels_used(),
-            n_domain_folds,
-            n_quality_folds,
+            predicted: predictions.mask,
+            labels_used: propagated.labels_used,
+            n_domain_folds: domain.folds.len(),
+            n_quality_folds: quality.n_total(),
+            report: ctx.report,
         }
-    }
-
-    /// The uncertainty-refinement phase (see
-    /// [`LabelingStrategy::UncertaintyRefinement`]): fit preliminary
-    /// per-column models on the propagated labels, rank labeled folds by
-    /// the mean ambiguity of their members' predictions, and spend the
-    /// remaining budget labeling each ambiguous fold's most uncertain
-    /// member. A contradicting label splits the fold: members re-adopt
-    /// the label of the nearer anchor cell in feature space.
-    fn refine_with_uncertainty(
-        &self,
-        lake: &Lake,
-        features: &[CellFeatures],
-        labels: &mut [Vec<Option<bool>>],
-        labeled_folds: &[(QualityFold, CellId, bool)],
-        labeler: &mut dyn Labeler,
-        remaining: usize,
-    ) {
-        if remaining == 0 || labeled_folds.is_empty() {
-            return;
-        }
-        let models = self.fit_column_models(lake, features, labels);
-        let proba = |id: CellId| {
-            models[id.table][id.col].predict_proba(features[id.table].get(id.row, id.col))
-        };
-        // Ambiguity of a prediction: 1 at p = 0.5, 0 at p in {0, 1}.
-        let ambiguity = |id: CellId| 1.0 - 2.0 * (proba(id) - 0.5).abs();
-
-        let mut ranked: Vec<(f64, usize)> = labeled_folds
-            .iter()
-            .enumerate()
-            .map(|(i, (qf, _, _))| {
-                let mean: f64 =
-                    qf.cells.iter().map(|&id| ambiguity(id)).sum::<f64>() / qf.cells.len() as f64;
-                (mean, i)
-            })
-            .collect();
-        ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
-
-        let sq = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
-        };
-        for &(_, fi) in ranked.iter().take(remaining) {
-            let (qf, anchor, anchor_verdict) = &labeled_folds[fi];
-            // Most ambiguous member that is not the anchor itself.
-            let Some(&probe) = qf
-                .cells
-                .iter()
-                .filter(|&&id| id != *anchor)
-                .max_by(|&&a, &&b| ambiguity(a).partial_cmp(&ambiguity(b)).expect("finite"))
-            else {
-                continue;
-            };
-            let probe_verdict = labeler.label(probe);
-            if probe_verdict == *anchor_verdict {
-                continue; // confirmation: propagation stands
-            }
-            // Contradiction: split the fold between the two anchors.
-            let av = features[anchor.table].get(anchor.row, anchor.col).to_vec();
-            let pv = features[probe.table].get(probe.row, probe.col).to_vec();
-            for &id in &qf.cells {
-                let fv = features[id.table].get(id.row, id.col);
-                let verdict =
-                    if sq(fv, &pv) < sq(fv, &av) { probe_verdict } else { *anchor_verdict };
-                labels[id.table][id.row * lake[id.table].n_cols() + id.col] = Some(verdict);
-            }
-        }
-    }
-
-    /// Fits the per-column models on the current propagated labels.
-    fn fit_column_models(
-        &self,
-        lake: &Lake,
-        features: &[CellFeatures],
-        labels: &[Vec<Option<bool>>],
-    ) -> Vec<Vec<FittedClassifier>> {
-        lake.tables
-            .iter()
-            .enumerate()
-            .map(|(t, table)| {
-                let m = table.n_cols();
-                (0..m)
-                    .map(|c| {
-                        let mut x = Vec::new();
-                        let mut y = Vec::new();
-                        for r in 0..table.n_rows() {
-                            if let Some(lab) = labels[t][r * m + c] {
-                                x.push(features[t].get(r, c).to_vec());
-                                y.push(lab);
-                            }
-                        }
-                        FittedClassifier::fit(&self.config.classifier, &x, &y)
-                    })
-                    .collect()
-            })
-            .collect()
-    }
-
-    /// One classifier per column (the paper's default).
-    fn train_per_column(
-        &self,
-        lake: &Lake,
-        features: &[CellFeatures],
-        labels: &[Vec<Option<bool>>],
-    ) -> CellMask {
-        let mut predicted = CellMask::empty(lake);
-        for (t, table) in lake.tables.iter().enumerate() {
-            let m = table.n_cols();
-            for c in 0..m {
-                let mut x = Vec::new();
-                let mut y = Vec::new();
-                for r in 0..table.n_rows() {
-                    if let Some(lab) = labels[t][r * m + c] {
-                        x.push(features[t].get(r, c).to_vec());
-                        y.push(lab);
-                    }
-                }
-                let model = FittedClassifier::fit(&self.config.classifier, &x, &y);
-                for r in 0..table.n_rows() {
-                    if model.predict(features[t].get(r, c)) {
-                        predicted.set(CellId::new(t, r, c), true);
-                    }
-                }
-            }
-        }
-        predicted
-    }
-
-    /// One classifier per domain fold (TPDF / TUCF).
-    fn train_per_fold(
-        &self,
-        lake: &Lake,
-        features: &[CellFeatures],
-        labels: &[Vec<Option<bool>>],
-        folds: &[Fold],
-    ) -> CellMask {
-        let mut predicted = CellMask::empty(lake);
-        for fold in folds {
-            let mut x = Vec::new();
-            let mut y = Vec::new();
-            for &(t, c) in &fold.columns {
-                let m = lake[t].n_cols();
-                for r in 0..lake[t].n_rows() {
-                    if let Some(lab) = labels[t][r * m + c] {
-                        x.push(features[t].get(r, c).to_vec());
-                        y.push(lab);
-                    }
-                }
-            }
-            let model = FittedClassifier::fit(&self.config.classifier, &x, &y);
-            for &(t, c) in &fold.columns {
-                for r in 0..lake[t].n_rows() {
-                    if model.predict(features[t].get(r, c)) {
-                        predicted.set(CellId::new(t, r, c), true);
-                    }
-                }
-            }
-        }
-        predicted
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use matelda_table::oracle::Oracle;
     use matelda_lakegen::QuintetLake;
+    use matelda_table::oracle::Oracle;
     use matelda_table::Confusion;
 
     fn small_quintet() -> matelda_lakegen::GeneratedLake {
@@ -431,16 +220,20 @@ mod tests {
         let mut o2 = Oracle::new(&lake.errors);
         let large = Matelda::new(MateldaConfig::default()).detect(&lake.dirty, &mut o2, 120);
         assert!(large.labels_used > small.labels_used);
-        // Label use tracks the requested budget within the fold-floor slack.
+        // The budget is a hard ceiling.
+        assert!(small.labels_used <= 12, "{}", small.labels_used);
+        assert!(large.labels_used <= 120, "{}", large.labels_used);
         assert!(small.labels_used >= 2);
-        assert!(large.labels_used <= 150, "{}", large.labels_used);
     }
 
     #[test]
     fn all_variants_run() {
         let lake = QuintetLake { rows_per_table: 30, error_rate: 0.1 }.generate(5);
         let variants = vec![
-            MateldaConfig { domain_folding: DomainFolding::ExtremeDomainFolding, ..Default::default() },
+            MateldaConfig {
+                domain_folding: DomainFolding::ExtremeDomainFolding,
+                ..Default::default()
+            },
             MateldaConfig { domain_folding: DomainFolding::RowSampling(0.3), ..Default::default() },
             MateldaConfig { domain_folding: DomainFolding::SantosLike, ..Default::default() },
             MateldaConfig { syntactic_refinement: true, ..Default::default() },
@@ -454,6 +247,7 @@ mod tests {
             let mut oracle = Oracle::new(&lake.errors);
             let r = Matelda::new(cfg.clone()).detect(&lake.dirty, &mut oracle, 20);
             assert_eq!(r.predicted.n_cells(), lake.dirty.n_cells(), "variant {cfg:?}");
+            assert!(r.labels_used <= 20, "variant {cfg:?} overspent: {}", r.labels_used);
         }
     }
 
@@ -467,10 +261,9 @@ mod tests {
         };
         let mut oracle = Oracle::new(&lake.errors);
         let r = Matelda::new(cfg).detect(&lake.dirty, &mut oracle, budget);
-        // Phase 1 uses half the budget (plus fold floors); phase 2 spends
-        // at most the remainder — total stays within the same slack as
-        // the standard protocol.
-        assert!(r.labels_used <= budget + 2 * r.n_domain_folds, "{}", r.labels_used);
+        // Phase 1 spends at most half the budget; phase 2 at most the
+        // remainder — the total never exceeds the grant.
+        assert!(r.labels_used <= budget, "{}", r.labels_used);
         let conf = Confusion::from_masks(&r.predicted, &lake.errors);
         assert!(conf.f1() > 0.2, "adaptive f1 {}", conf.f1());
     }
@@ -483,15 +276,36 @@ mod tests {
         let r = Matelda::default().detect(&lake, &mut oracle, 10);
         assert_eq!(r.labels_used, 0);
         assert_eq!(r.n_domain_folds, 0);
+        assert_eq!(r.report.stages.len(), 6, "all stages report even on an empty lake");
     }
 
     #[test]
-    fn zero_budget_still_respects_fold_floor() {
-        // The paper enforces >= 2 labels per domain fold even when the
-        // proportional share rounds to zero.
+    fn zero_budget_spends_no_labels() {
+        // The paper's 2-per-fold floor is clamped to the grant: with no
+        // budget the pipeline must not ask the labeler for anything.
         let lake = small_quintet();
         let mut oracle = Oracle::new(&lake.errors);
         let r = Matelda::default().detect(&lake.dirty, &mut oracle, 0);
-        assert!(r.labels_used >= 2 * r.n_domain_folds.min(5));
+        assert_eq!(r.labels_used, 0);
+    }
+
+    #[test]
+    fn identical_predictions_across_thread_counts() {
+        let lake = QuintetLake { rows_per_table: 40, error_rate: 0.1 }.generate(11);
+        let run = |threads: usize| {
+            let mut oracle = Oracle::new(&lake.errors);
+            Matelda::new(MateldaConfig { threads, ..Default::default() }).detect(
+                &lake.dirty,
+                &mut oracle,
+                30,
+            )
+        };
+        let base = run(1);
+        for threads in [2, 4] {
+            let r = run(threads);
+            assert_eq!(r.predicted, base.predicted, "threads={threads}");
+            assert_eq!(r.labels_used, base.labels_used, "threads={threads}");
+            assert_eq!(r.n_quality_folds, base.n_quality_folds, "threads={threads}");
+        }
     }
 }

@@ -36,10 +36,15 @@ impl QualityFold {
 
 /// Splits the labeling budget over domain folds proportional to their
 /// column counts, with the paper's floor of two labels per fold
-/// (Alg. 1 line 12: `k = max(2, Λ · |cols(df)| / |cols(S)|)`).
+/// (Alg. 1 line 12: `k = max(2, Λ · |cols(df)| / |cols(S)|)`), clamped
+/// so the allocations never sum past `total_budget`: the floor (and
+/// proportional rounding) can overspend when the budget is smaller than
+/// `2 · |folds|`, in which case the largest allocations are shrunk —
+/// possibly to zero, leaving some folds unlabeled — until the sum fits.
+/// The pipeline therefore never draws more labels than granted.
 pub fn budget_per_fold(folds: &[Fold], total_budget: usize) -> Vec<usize> {
     let total_cols: usize = folds.iter().map(Fold::n_columns).sum();
-    folds
+    let mut budgets: Vec<usize> = folds
         .iter()
         .map(|f| {
             if total_cols == 0 {
@@ -49,7 +54,18 @@ pub fn budget_per_fold(folds: &[Fold], total_budget: usize) -> Vec<usize> {
                 (share.round() as usize).max(2)
             }
         })
-        .collect()
+        .collect();
+    let mut sum: usize = budgets.iter().sum();
+    while sum > total_budget {
+        // Shrink the largest allocation; ties break to the later fold so
+        // earlier (conventionally larger) folds keep their labels longest.
+        let i = (0..budgets.len())
+            .max_by_key(|&i| (budgets[i], i))
+            .expect("sum > 0 implies at least one fold");
+        budgets[i] -= 1;
+        sum -= 1;
+    }
+    budgets
 }
 
 /// Clusters one domain fold's cells into `k` quality folds with
@@ -76,13 +92,9 @@ pub fn quality_folds(
     let points: Vec<Vec<f32>> =
         ids.iter().map(|id| features[id.table].get(id.row, id.col).to_vec()).collect();
 
-    let fit = MiniBatchKMeans::new(MiniBatchKMeansConfig {
-        k: k.max(1),
-        batch_size,
-        iterations,
-        seed,
-    })
-    .fit(&points);
+    let fit =
+        MiniBatchKMeans::new(MiniBatchKMeansConfig { k: k.max(1), batch_size, iterations, seed })
+            .fit(&points);
 
     let n_centers = fit.centers.len();
     let mut folds: Vec<QualityFold> = (0..n_centers)
@@ -120,16 +132,31 @@ mod tests {
 
     #[test]
     fn budget_split_proportional_with_floor() {
+        let folds = vec![Fold { columns: vec![(0, 0); 8] }, Fold { columns: vec![(0, 0); 2] }];
+        let b = budget_per_fold(&folds, 20);
+        assert_eq!(b, vec![16, 4]);
+        // Tiny share still gets the floor of two — and the larger fold's
+        // rounded share is clamped so the total stays within budget.
+        let b = budget_per_fold(&folds, 4);
+        assert_eq!(b, vec![2, 2]);
+        assert!(budget_per_fold(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn budget_split_never_overspends() {
         let folds = vec![
             Fold { columns: vec![(0, 0); 8] },
             Fold { columns: vec![(0, 0); 2] },
+            Fold { columns: vec![(0, 0); 1] },
         ];
-        let b = budget_per_fold(&folds, 20);
-        assert_eq!(b, vec![16, 4]);
-        // Tiny share still gets the floor of two.
-        let b = budget_per_fold(&folds, 4);
-        assert_eq!(b, vec![3, 2]);
-        assert!(budget_per_fold(&[], 10).is_empty());
+        for budget in 0..30 {
+            let b = budget_per_fold(&folds, budget);
+            assert!(b.iter().sum::<usize>() <= budget, "budget {budget}: {b:?}");
+        }
+        // Below the 2-per-fold floor the shrinking equalizes: repeatedly
+        // decrementing the largest allocation spreads the loss.
+        assert_eq!(budget_per_fold(&folds, 3), vec![1, 1, 1]);
+        assert_eq!(budget_per_fold(&folds, 0), vec![0, 0, 0]);
     }
 
     #[test]
@@ -155,7 +182,8 @@ mod tests {
         assert_eq!(qf.len(), 2);
         // The 9000 outlier should sit alone (or at least apart from the
         // typical ages).
-        let outlier_fold = qf.iter().find(|q| q.cells.contains(&CellId::new(0, 3, 0))).expect("exists");
+        let outlier_fold =
+            qf.iter().find(|q| q.cells.contains(&CellId::new(0, 3, 0))).expect("exists");
         assert!(
             outlier_fold.cells.len() < 6,
             "outlier should not share a fold with all cells: {outlier_fold:?}"

@@ -109,7 +109,9 @@ fn repair_cell(
                 }
             }
             let total: usize = counts.values().sum();
-            if let Some((&majority, &count)) = counts.iter().max_by_key(|(v, c)| (**c, std::cmp::Reverse(*v))) {
+            if let Some((&majority, &count)) =
+                counts.iter().max_by_key(|(v, c)| (**c, std::cmp::Reverse(*v)))
+            {
                 if total >= 2 && count >= 2 && count * 4 >= total * 3 && majority != current {
                     return Some((
                         majority.to_string(),
@@ -128,7 +130,9 @@ fn repair_cell(
         for v in values.iter().filter(|v| !is_null(v)) {
             *counts.entry(v.as_str()).or_insert(0) += 1;
         }
-        if let Some((&best, &count)) = counts.iter().max_by_key(|(v, c)| (**c, std::cmp::Reverse(*v))) {
+        if let Some((&best, &count)) =
+            counts.iter().max_by_key(|(v, c)| (**c, std::cmp::Reverse(*v)))
+        {
             if count * 3 >= values.len() {
                 return Some((
                     best.to_string(),
@@ -240,10 +244,16 @@ mod tests {
         let table = Table::new(
             "clubs",
             vec![
-                Column::new("club", ["Real", "Real", "Real", "Real", "City", "City", "City", "City"]),
+                Column::new(
+                    "club",
+                    ["Real", "Real", "Real", "Real", "City", "City", "City", "City"],
+                ),
                 Column::new(
                     "country",
-                    ["Spain", "Spain", "France", "Spain", "England", "England", "England", "England"],
+                    [
+                        "Spain", "Spain", "France", "Spain", "England", "England", "England",
+                        "England",
+                    ],
                 ),
             ],
         );
@@ -272,10 +282,8 @@ mod tests {
 
     #[test]
     fn numeric_repair_rescales_magnitude_artifacts() {
-        let table = Table::new(
-            "ages",
-            vec![Column::new("age", ["24", "23", "30", "2800", "31", "26"])],
-        );
+        let table =
+            Table::new("ages", vec![Column::new("age", ["24", "23", "30", "2800", "31", "26"])]);
         let lake = Lake::new(vec![table]);
         let predicted = CellMask::from_cells(&lake, [CellId::new(0, 3, 0)]);
         let repairs = suggest_repairs(&lake, &predicted, &spell());
@@ -297,10 +305,8 @@ mod tests {
         assert_eq!(repairs[0].proposed, "Active");
 
         // No dominant value -> refuse to guess.
-        let scattered = Table::new(
-            "t",
-            vec![Column::new("name", ["Ann", "Bob", "Cid", "Dee", "", "Eve"])],
-        );
+        let scattered =
+            Table::new("t", vec![Column::new("name", ["Ann", "Bob", "Cid", "Dee", "", "Eve"])]);
         let lake = Lake::new(vec![scattered]);
         let predicted = CellMask::from_cells(&lake, [CellId::new(0, 4, 0)]);
         assert!(suggest_repairs(&lake, &predicted, &spell()).is_empty());
@@ -308,10 +314,7 @@ mod tests {
 
     #[test]
     fn unflagged_cells_are_never_touched() {
-        let table = Table::new(
-            "t",
-            vec![Column::new("v", ["Derama", "Drama", "Drama"])],
-        );
+        let table = Table::new("t", vec![Column::new("v", ["Derama", "Drama", "Drama"])]);
         let lake = Lake::new(vec![table]);
         let predicted = CellMask::empty(&lake);
         assert!(suggest_repairs(&lake, &predicted, &spell()).is_empty());

@@ -112,7 +112,11 @@ impl CellFeatures {
 }
 
 /// Featurizes every cell of `table` into the unified space.
-pub fn featurize_table(table: &Table, spell: &SpellChecker, config: &FeatureConfig) -> CellFeatures {
+pub fn featurize_table(
+    table: &Table,
+    spell: &SpellChecker,
+    config: &FeatureConfig,
+) -> CellFeatures {
     let (n, m) = (table.n_rows(), table.n_cols());
     let mut vectors = vec![vec![0.0f32; FEATURE_DIM]; n * m];
 
@@ -251,10 +255,7 @@ mod tests {
 
     #[test]
     fn typo_block_fires_on_unknown_words() {
-        let t = Table::new(
-            "t",
-            vec![Column::new("genre", ["drama", "derama", "crime"])],
-        );
+        let t = Table::new("t", vec![Column::new("genre", ["drama", "derama", "crime"])]);
         let f = featurize_table(&t, &spell(), &FeatureConfig::default());
         assert_eq!(f.get(0, 0)[layout::TYPO], 0.0);
         assert_eq!(f.get(1, 0)[layout::TYPO], 1.0);
@@ -272,10 +273,8 @@ mod tests {
         // The whole point of the unified space: equivalent dirtiness in
         // different tables should produce nearby vectors. Two tables with
         // disjoint schemata, each containing one numeric outlier.
-        let t1 = Table::new(
-            "players",
-            vec![Column::new("age", ["24", "23", "30", "1995", "31", "26"])],
-        );
+        let t1 =
+            Table::new("players", vec![Column::new("age", ["24", "23", "30", "1995", "31", "26"])]);
         let t2 = Table::new(
             "cities",
             vec![Column::new(

@@ -40,8 +40,7 @@ pub fn histogram_flags(values: &[String]) -> Vec<[bool; 9]> {
     let max_count = counts.values().copied().max().unwrap_or(0);
     let mut out = Vec::with_capacity(n);
     for v in values {
-        let ratio =
-            if max_count == 0 { 1.0 } else { counts[v.as_str()] as f64 / max_count as f64 };
+        let ratio = if max_count == 0 { 1.0 } else { counts[v.as_str()] as f64 / max_count as f64 };
         let mut flags = [false; 9];
         for (k, &theta) in TF_THRESHOLDS.iter().enumerate() {
             flags[k] = ratio < theta;
@@ -67,13 +66,7 @@ pub fn gaussian_flags(values: &[String], column_type: DataType) -> Vec<[bool; 9]
     if column_type == DataType::Date {
         return values
             .iter()
-            .map(|v| {
-                if matelda_table::value::looks_like_date(v) {
-                    [false; 9]
-                } else {
-                    [true; 9]
-                }
-            })
+            .map(|v| if matelda_table::value::looks_like_date(v) { [false; 9] } else { [true; 9] })
             .collect();
     }
     let numeric_column = matches!(column_type, DataType::Integer | DataType::Float);

@@ -79,9 +79,7 @@ mod tests {
         let age = column_syntactic_features(&t, 0);
         let name = column_syntactic_features(&t, 1);
         let score = column_syntactic_features(&t, 2);
-        let d = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
-        };
+        let d = |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum() };
         assert!(d(&age, &score) < d(&age, &name));
         assert_eq!(age[0], 1.0, "all-integer column");
         assert_eq!(name[3], 1.0, "all-text column");

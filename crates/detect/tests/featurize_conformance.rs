@@ -19,7 +19,10 @@ fn messy_table() -> Table {
             Column::new("id", ["1", "2", "3", "4", "5", "6"]),
             Column::new("name", ["Paris", "", "NULL", "Par1s", "Lyon", "Paris"]),
             Column::new("amount", ["10", "12", "$14", "11", "9000", ""]),
-            Column::new("when", ["2020-01-02", "2020-02-03", "03/04/2020", "2020-03-01", "", "2020-05-05"]),
+            Column::new(
+                "when",
+                ["2020-01-02", "2020-02-03", "03/04/2020", "2020-03-01", "", "2020-05-05"],
+            ),
         ],
     )
 }

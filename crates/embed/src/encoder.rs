@@ -110,9 +110,11 @@ mod tests {
     #[test]
     fn same_domain_more_similar_than_cross_domain() {
         let e = enc();
-        let football1 = e.encode("liverpool chelsea arsenal goals league season club striker england");
+        let football1 =
+            e.encode("liverpool chelsea arsenal goals league season club striker england");
         let football2 = e.encode("manchester club league bayern goals season striker spain madrid");
-        let movies = e.encode("director genre release screenplay studio drama thriller actor oscar");
+        let movies =
+            e.encode("director genre release screenplay studio drama thriller actor oscar");
         let within = cosine(&football1, &football2);
         let across = cosine(&football1, &movies);
         assert!(

@@ -137,8 +137,17 @@ pub fn inject(clean: &Table, spec: &ErrorSpec) -> (Table, InjectionReport) {
     let mut leftover: usize = 0;
     for (ti, &ty) in spec.types.iter().enumerate() {
         let want = quotas[ti];
-        let got =
-            inject_type(clean, &mut dirty, ty, want, &fds, &partitions, &mut used, &mut report, &mut rng);
+        let got = inject_type(
+            clean,
+            &mut dirty,
+            ty,
+            want,
+            &fds,
+            &partitions,
+            &mut used,
+            &mut report,
+            &mut rng,
+        );
         leftover += want - got;
     }
     while leftover > 0 {
@@ -148,7 +157,15 @@ pub fn inject(clean: &Table, spec: &ErrorSpec) -> (Table, InjectionReport) {
                 break;
             }
             let got = inject_type(
-                clean, &mut dirty, ty, leftover, &fds, &partitions, &mut used, &mut report, &mut rng,
+                clean,
+                &mut dirty,
+                ty,
+                leftover,
+                &fds,
+                &partitions,
+                &mut used,
+                &mut report,
+                &mut rng,
             );
             leftover -= got;
         }
@@ -279,8 +296,7 @@ fn make_fd_violation(
     let mut applicable: Vec<&matelda_fd::Fd> = fds
         .iter()
         .filter(|fd| {
-            (fd.rhs == c || fd.lhs == c)
-                && partitions[fd.lhs].groups.iter().any(|g| g.contains(&r))
+            (fd.rhs == c || fd.lhs == c) && partitions[fd.lhs].groups.iter().any(|g| g.contains(&r))
         })
         .collect();
     if applicable.is_empty() {
@@ -355,12 +371,7 @@ mod tests {
         let (_, report) = inject(&clean(), &spec);
         for ty in &spec.types {
             let count = report.of_type(*ty).len();
-            assert!(
-                count >= 3,
-                "type {:?} got only {count} of {} errors",
-                ty,
-                report.len()
-            );
+            assert!(count >= 3, "type {:?} got only {count} of {} errors", ty, report.len());
         }
     }
 

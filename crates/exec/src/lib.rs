@@ -1,0 +1,320 @@
+//! # matelda-exec
+//!
+//! The deterministic parallel substrate of the staged pipeline engine:
+//!
+//! * [`Executor`] — a scoped-thread ordered map over an index space. Work
+//!   is claimed dynamically (atomic counter) for balance, but results are
+//!   always merged **in index order**, so output is bit-identical at any
+//!   thread count. Built on `std::thread::scope` only — no dependencies,
+//!   per the workspace crate policy.
+//! * [`RunReport`] / [`StageReport`] — per-stage wall time plus work
+//!   counters, threaded through every stage of a pipeline run and
+//!   rendered as aligned text or JSON.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// A deterministic parallel executor.
+///
+/// The contract: `map_n(n, f)` returns `[f(0), f(1), …, f(n-1)]` — the
+/// same vector at every thread count. `f` runs concurrently across
+/// threads, so it must not rely on call order; every stochastic stage in
+/// the workspace derives a per-index seed instead.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::new(0)
+    }
+}
+
+impl Executor {
+    /// Creates an executor with `threads` worker threads; `0` means the
+    /// host's available parallelism.
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        };
+        Executor { threads }
+    }
+
+    /// A single-threaded executor (runs everything inline).
+    pub fn single() -> Self {
+        Executor { threads: 1 }
+    }
+
+    /// The worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `0..n`, merging results in index order.
+    pub fn map_n<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if self.threads <= 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let workers = self.threads.min(n);
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut mine: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            mine.push((i, f(i)));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, r) in handle.join().expect("executor worker panicked") {
+                    slots[i] = Some(r);
+                }
+            }
+        });
+
+        slots.into_iter().map(|s| s.expect("every index produced exactly once")).collect()
+    }
+
+    /// Maps `f` over a slice, merging results in item order.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.map_n(items.len(), |i| f(i, &items[i]))
+    }
+}
+
+/// Instrumentation for one pipeline stage.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageReport {
+    /// Stage name (e.g. `embed`, `quality_folds`).
+    pub name: String,
+    /// Wall-clock seconds spent in the stage.
+    pub wall_secs: f64,
+    /// Work units processed (cells, tables, folds, columns — per stage).
+    pub items: u64,
+    /// Extra named measurements (fold counts, labels spent, …).
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl StageReport {
+    /// Creates an empty report for `name`.
+    pub fn new(name: &str) -> Self {
+        StageReport { name: name.to_string(), ..Default::default() }
+    }
+
+    /// Looks up a metric by name.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+}
+
+/// Instrumentation for a whole pipeline run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    /// Executor thread count the run used.
+    pub threads: usize,
+    /// Per-stage reports, in execution order.
+    pub stages: Vec<StageReport>,
+}
+
+impl RunReport {
+    /// Creates an empty report for a run at `threads` threads.
+    pub fn new(threads: usize) -> Self {
+        RunReport { threads, stages: Vec::new() }
+    }
+
+    /// Total wall time across stages.
+    pub fn total_secs(&self) -> f64 {
+        self.stages.iter().map(|s| s.wall_secs).sum()
+    }
+
+    /// Looks up a stage by name.
+    pub fn stage(&self, name: &str) -> Option<&StageReport> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Times `f`, records it as stage `name`, and returns its output.
+    /// The closure receives a handle to annotate items/metrics.
+    pub fn time<R>(&mut self, name: &str, f: impl FnOnce(&mut StageReport) -> R) -> R {
+        let mut stage = StageReport::new(name);
+        let start = Instant::now();
+        let out = f(&mut stage);
+        stage.wall_secs = start.elapsed().as_secs_f64();
+        self.stages.push(stage);
+        out
+    }
+
+    /// Renders as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<16} {:>10} {:>10}  metrics ({} thread{})\n",
+            "stage",
+            "wall",
+            "items",
+            self.threads,
+            if self.threads == 1 { "" } else { "s" }
+        ));
+        for s in &self.stages {
+            let metrics =
+                s.metrics.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join(" ");
+            out.push_str(&format!(
+                "{:<16} {:>9.4}s {:>10}  {}\n",
+                s.name, s.wall_secs, s.items, metrics
+            ));
+        }
+        out.push_str(&format!("{:<16} {:>9.4}s\n", "total", self.total_secs()));
+        out
+    }
+
+    /// Serializes as JSON (hand-rolled; stage names and metric keys are
+    /// plain identifiers, values are finite numbers).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"threads\":{},\"total_secs\":{:.6},\"stages\":[",
+            self.threads,
+            self.total_secs()
+        ));
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"wall_secs\":{:.6},\"items\":{}",
+                json_escape(&s.name),
+                s.wall_secs,
+                s.items
+            ));
+            if !s.metrics.is_empty() {
+                out.push_str(",\"metrics\":{");
+                for (j, (k, v)) in s.metrics.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("\"{}\":{}", json_escape(k), json_number(*v)));
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping.
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// JSON-safe number formatting (no NaN/Inf in JSON).
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        if v == v.trunc() && v.abs() < 1e15 {
+            format!("{}", v as i64)
+        } else {
+            format!("{v:.6}")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_n_is_ordered_and_complete() {
+        for threads in [1, 2, 4, 7] {
+            let exec = Executor::new(threads);
+            let out = exec.map_n(100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_results_identical_across_thread_counts() {
+        let items: Vec<usize> = (0..57).collect();
+        let expensive = |_, &x: &usize| {
+            // Uneven work to exercise dynamic claiming.
+            (0..(x % 7) * 1000).fold(x as u64, |acc, _| acc.wrapping_mul(31).wrapping_add(7))
+        };
+        let base = Executor::single().map(&items, expensive);
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(Executor::new(threads).map(&items, expensive), base);
+        }
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_host_parallelism() {
+        assert!(Executor::new(0).threads() >= 1);
+        assert_eq!(Executor::single().threads(), 1);
+    }
+
+    #[test]
+    fn empty_and_singleton_maps() {
+        let exec = Executor::new(4);
+        assert!(exec.map_n(0, |i| i).is_empty());
+        assert_eq!(exec.map_n(1, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn report_records_and_renders() {
+        let mut report = RunReport::new(2);
+        let out = report.time("embed", |s| {
+            s.items = 5;
+            s.metrics.push(("dims".into(), 128.0));
+            "done"
+        });
+        assert_eq!(out, "done");
+        report.time("train", |s| s.items = 33);
+        assert_eq!(report.stages.len(), 2);
+        assert!(report.stage("embed").expect("exists").wall_secs >= 0.0);
+        assert_eq!(report.stage("embed").expect("exists").metric("dims"), Some(128.0));
+        let text = report.render();
+        assert!(text.contains("embed") && text.contains("train") && text.contains("total"));
+        let json = report.to_json();
+        assert!(json.contains("\"threads\":2"));
+        assert!(json.contains("\"name\":\"embed\""));
+        assert!(json.contains("\"dims\":128"));
+    }
+
+    #[test]
+    fn json_number_formats() {
+        assert_eq!(json_number(3.0), "3");
+        assert_eq!(json_number(0.5), "0.500000");
+        assert_eq!(json_number(f64::NAN), "null");
+    }
+}

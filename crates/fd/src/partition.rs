@@ -30,8 +30,7 @@ impl Partition {
             by_value.entry(v).or_default().push(i);
             n_rows += 1;
         }
-        let mut groups: Vec<Vec<usize>> =
-            by_value.into_values().filter(|g| g.len() >= 2).collect();
+        let mut groups: Vec<Vec<usize>> = by_value.into_values().filter(|g| g.len() >= 2).collect();
         groups.sort_by_key(|g| g[0]);
         Self { groups, n_rows }
     }

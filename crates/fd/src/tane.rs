@@ -174,10 +174,7 @@ mod tests {
         assert!(!unary.iter().any(|fd| fd.rhs == 2), "{unary:?}");
         // The composite miner finds {city, street} -> zip.
         let fds = mine_composite(&t, 2);
-        assert!(
-            fds.contains(&CompositeFd { lhs: vec![0, 1], rhs: 2 }),
-            "{fds:?}"
-        );
+        assert!(fds.contains(&CompositeFd { lhs: vec![0, 1], rhs: 2 }), "{fds:?}");
         // And zip -> city (unary, exact) appears too.
         assert!(fds.contains(&CompositeFd { lhs: vec![2], rhs: 0 }));
     }

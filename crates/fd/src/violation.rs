@@ -76,7 +76,13 @@ mod tests {
             vec![
                 Column::new(
                     "Club Name",
-                    ["Manchester City", "Liverpool MC", "Manchester City", "Real Madrid", "Real Madrid"],
+                    [
+                        "Manchester City",
+                        "Liverpool MC",
+                        "Manchester City",
+                        "Real Madrid",
+                        "Real Madrid",
+                    ],
                 ),
                 Column::new("Country", ["Germany", "England", "England", "France", "Spain"]),
             ],
@@ -113,10 +119,7 @@ mod tests {
     fn clear_majority_flags_only_minority() {
         let t = Table::new(
             "t",
-            vec![
-                Column::new("k", ["a", "a", "a", "a"]),
-                Column::new("v", ["1", "1", "1", "2"]),
-            ],
+            vec![Column::new("k", ["a", "a", "a", "a"]), Column::new("v", ["1", "1", "1", "2"])],
         );
         let stats = violation_stats(&t, 0, 1);
         assert_eq!(stats.violating_rows, vec![0, 1, 2, 3]);
@@ -135,7 +138,10 @@ mod tests {
 
     #[test]
     fn empty_table() {
-        let t = Table::new("t", vec![Column::new("a", Vec::<String>::new()), Column::new("b", Vec::<String>::new())]);
+        let t = Table::new(
+            "t",
+            vec![Column::new("a", Vec::<String>::new()), Column::new("b", Vec::<String>::new())],
+        );
         let stats = violation_stats(&t, 0, 1);
         assert!(stats.violating_rows.is_empty());
         assert_eq!(stats.g3_error, 0.0);

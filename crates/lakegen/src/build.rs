@@ -81,19 +81,14 @@ mod tests {
     #[test]
     fn assemble_produces_consistent_masks() {
         let mut rng = StdRng::seed_from_u64(1);
-        let tables = vec![
-            PLAYERS.generate("a", 40, &mut rng),
-            PLAYERS.generate("b", 40, &mut rng),
-        ];
+        let tables = vec![PLAYERS.generate("a", 40, &mut rng), PLAYERS.generate("b", 40, &mut rng)];
         let specs = vec![ErrorSpec::all_types(0.1, 1), ErrorSpec::all_types(0.1, 2)];
         let lake = assemble(tables, &specs);
         assert_eq!(lake.dirty.n_tables(), 2);
         assert!(lake.error_rate() > 0.05 && lake.error_rate() < 0.15, "{}", lake.error_rate());
         // Typed masks partition the error mask.
-        let union = lake
-            .typed_errors
-            .iter()
-            .fold(CellMask::empty(&lake.dirty), |acc, (_, m)| acc.or(m));
+        let union =
+            lake.typed_errors.iter().fold(CellMask::empty(&lake.dirty), |acc, (_, m)| acc.or(m));
         assert_eq!(union.count(), lake.errors.count());
         for (name, m) in &lake.typed_errors {
             assert!(m.count() > 0, "type {name} has no errors");

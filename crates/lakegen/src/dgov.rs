@@ -79,12 +79,7 @@ impl DGovLake {
     /// the paper's 8% because tables without injectable FDs absorb no
     /// quota — 0.14 realizes ≈8% of cells across the lake.
     pub fn rv() -> Self {
-        Self {
-            n_tables: 96,
-            rows: (25, 55),
-            error_rate: 0.14,
-            types: vec![ErrorType::FdViolation],
-        }
+        Self { n_tables: 96, rows: (25, 55), error_rate: 0.14, types: vec![ErrorType::FdViolation] }
     }
 
     /// DGov-1K: the 1173-table scalability lake. The paper reports ~3.1k
@@ -228,5 +223,4 @@ mod tests {
             assert_eq!(m.and(&sub.errors).count(), m.count());
         }
     }
-
 }

@@ -105,14 +105,12 @@ impl DomainSpec {
                     format!("{prefix}_id"),
                     (0..n_rows).map(|i| format!("{prefix}-{i}")),
                 ),
-                ColumnSpec::Entity { name, pool } => Column::new(
-                    *name,
-                    entities.iter().map(|&e| pool[e].to_string()),
-                ),
-                ColumnSpec::Determined { name, map } => Column::new(
-                    *name,
-                    entities.iter().map(|&e| map[e % map.len()].to_string()),
-                ),
+                ColumnSpec::Entity { name, pool } => {
+                    Column::new(*name, entities.iter().map(|&e| pool[e].to_string()))
+                }
+                ColumnSpec::Determined { name, map } => {
+                    Column::new(*name, entities.iter().map(|&e| map[e % map.len()].to_string()))
+                }
                 ColumnSpec::Cat { name, pool } => Column::new(
                     *name,
                     (0..n_rows).map(|_| pool[rng.random_range(0..pool.len())].to_string()),
@@ -174,108 +172,274 @@ impl DomainSpec {
 // ---------------------------------------------------------------------
 
 const CITIES: &[&str] = &[
-    "Paris", "London", "Berlin", "Madrid", "Rome", "Lisbon", "Amsterdam", "Vienna", "Warsaw",
-    "Prague", "Dublin", "Athens", "Oslo", "Helsinki", "Stockholm", "Copenhagen",
+    "Paris",
+    "London",
+    "Berlin",
+    "Madrid",
+    "Rome",
+    "Lisbon",
+    "Amsterdam",
+    "Vienna",
+    "Warsaw",
+    "Prague",
+    "Dublin",
+    "Athens",
+    "Oslo",
+    "Helsinki",
+    "Stockholm",
+    "Copenhagen",
 ];
 const CITY_COUNTRY: &[&str] = &[
-    "France", "England", "Germany", "Spain", "Italy", "Portugal", "Netherlands", "Austria",
-    "Poland", "Czechia", "Ireland", "Greece", "Norway", "Finland", "Sweden", "Denmark",
+    "France",
+    "England",
+    "Germany",
+    "Spain",
+    "Italy",
+    "Portugal",
+    "Netherlands",
+    "Austria",
+    "Poland",
+    "Czechia",
+    "Ireland",
+    "Greece",
+    "Norway",
+    "Finland",
+    "Sweden",
+    "Denmark",
 ];
 const CLUBS: &[&str] = &[
-    "Manchester City", "Liverpool", "Chelsea", "Arsenal", "Real Madrid", "Barcelona",
-    "Bayern Munich", "Dortmund", "Milan", "Turin", "Porto", "Lyon", "Marseille", "Monaco",
+    "Manchester City",
+    "Liverpool",
+    "Chelsea",
+    "Arsenal",
+    "Real Madrid",
+    "Barcelona",
+    "Bayern Munich",
+    "Dortmund",
+    "Milan",
+    "Turin",
+    "Porto",
+    "Lyon",
+    "Marseille",
+    "Monaco",
 ];
 const CLUB_COUNTRY: &[&str] = &[
-    "England", "England", "England", "England", "Spain", "Spain", "Germany", "Germany",
-    "Italy", "Italy", "Portugal", "France", "France", "France",
+    "England", "England", "England", "England", "Spain", "Spain", "Germany", "Germany", "Italy",
+    "Italy", "Portugal", "France", "France", "France",
 ];
 /// Out-of-dictionary player surnames (see [`ColumnSpec::Proper`]).
 const PLAYER_SURNAMES: &[&str] = &[
-    "Mbappe", "Haaland", "Szoboszlai", "Vinicius", "Bellingham", "Gyokeres", "Osimhen",
-    "Kvaratskhelia", "Musiala", "Wirtz", "Odegaard", "Gundogan", "Kudus", "Isak", "Hojlund",
-    "Zirkzee", "Yamal", "Doku", "Mainoo", "Sesko",
+    "Mbappe",
+    "Haaland",
+    "Szoboszlai",
+    "Vinicius",
+    "Bellingham",
+    "Gyokeres",
+    "Osimhen",
+    "Kvaratskhelia",
+    "Musiala",
+    "Wirtz",
+    "Odegaard",
+    "Gundogan",
+    "Kudus",
+    "Isak",
+    "Hojlund",
+    "Zirkzee",
+    "Yamal",
+    "Doku",
+    "Mainoo",
+    "Sesko",
 ];
 /// Out-of-dictionary movie titles.
 const MOVIE_TITLES: &[&str] = &[
-    "Shawshank", "Godfather", "Inception", "Interstellar", "Gladiator", "Casablanca",
-    "Vertigo", "Chinatown", "Goodfellas", "Amadeus", "Rashomon", "Oldboy", "Parasite",
-    "Whiplash", "Memento", "Alien",
+    "Shawshank",
+    "Godfather",
+    "Inception",
+    "Interstellar",
+    "Gladiator",
+    "Casablanca",
+    "Vertigo",
+    "Chinatown",
+    "Goodfellas",
+    "Amadeus",
+    "Rashomon",
+    "Oldboy",
+    "Parasite",
+    "Whiplash",
+    "Memento",
+    "Alien",
 ];
 /// Out-of-dictionary author surnames.
 const AUTHOR_NAMES: &[&str] = &[
-    "Abedjan", "Mahdavi", "Rekatsinas", "Papotti", "Ouzzani", "Ilyas", "Stonebraker",
-    "Neutatz", "Khatiwada", "Nargesian", "Hulsebos", "Papenbrock", "Esmailoghli", "Schelter",
+    "Abedjan",
+    "Mahdavi",
+    "Rekatsinas",
+    "Papotti",
+    "Ouzzani",
+    "Ilyas",
+    "Stonebraker",
+    "Neutatz",
+    "Khatiwada",
+    "Nargesian",
+    "Hulsebos",
+    "Papenbrock",
+    "Esmailoghli",
+    "Schelter",
 ];
-const GENRES: &[&str] =
-    &["Drama", "Comedy", "Action", "Crime", "Thriller", "Horror", "Romance", "Adventure", "Musical", "Fantasy", "Western", "Mystery"];
+const GENRES: &[&str] = &[
+    "Drama",
+    "Comedy",
+    "Action",
+    "Crime",
+    "Thriller",
+    "Horror",
+    "Romance",
+    "Adventure",
+    "Musical",
+    "Fantasy",
+    "Western",
+    "Mystery",
+];
 const DIRECTORS: &[&str] = &[
-    "Frank", "Francis", "Sidney", "Steven", "Martin", "Christopher", "Peter", "Ridley", "James",
-    "George", "Sofia", "Kathryn",
+    "Frank",
+    "Francis",
+    "Sidney",
+    "Steven",
+    "Martin",
+    "Christopher",
+    "Peter",
+    "Ridley",
+    "James",
+    "George",
+    "Sofia",
+    "Kathryn",
 ];
 const STUDIOS: &[&str] =
     &["Paramount", "Universal", "Columbia", "Warner", "Disney", "Fox", "Lionsgate", "Orion"];
 const BEER_STYLES: &[&str] =
     &["Pale Ale", "India Pale Ale", "Lager", "Stout", "Porter", "Wheat", "Amber", "Blonde"];
 const BREWERIES: &[&str] = &[
-    "Ayinger Brewery", "Deschutes Brewery", "Karbach Brewery", "Weihenstephaner",
-    "Rochefort Brewery", "Unibroue", "Tripel Karmeliet", "Westvleteren",
+    "Ayinger Brewery",
+    "Deschutes Brewery",
+    "Karbach Brewery",
+    "Weihenstephaner",
+    "Rochefort Brewery",
+    "Unibroue",
+    "Tripel Karmeliet",
+    "Westvleteren",
 ];
 const AIRLINES: &[&str] =
     &["United", "Delta", "JetBlue", "Southwest", "Lufthansa", "Wizzair", "Ryanair"];
-const AIRPORTS: &[&str] =
-    &["Boston", "Chicago", "Denver", "Seattle", "Austin", "Dallas", "Houston", "Phoenix", "Portland", "Detroit", "Atlanta", "Miami"];
+const AIRPORTS: &[&str] = &[
+    "Boston", "Chicago", "Denver", "Seattle", "Austin", "Dallas", "Houston", "Phoenix", "Portland",
+    "Detroit", "Atlanta", "Miami",
+];
 const HOSPITAL_NAMES: &[&str] = &[
-    "Ascension Mercy", "Gundersen Clinic", "Sentara General", "Intermountain Care",
-    "Providence Regional", "Geisinger Clinic", "Montefiore Hospital", "Ochsner Medical",
+    "Ascension Mercy",
+    "Gundersen Clinic",
+    "Sentara General",
+    "Intermountain Care",
+    "Providence Regional",
+    "Geisinger Clinic",
+    "Montefiore Hospital",
+    "Ochsner Medical",
 ];
 const CONDITIONS: &[&str] = &[
-    "Heart Failure", "Pneumonia", "Heart Attack", "Surgical Care", "Asthma", "Diabetes",
-    "Stroke", "Infection",
+    "Heart Failure",
+    "Pneumonia",
+    "Heart Attack",
+    "Surgical Care",
+    "Asthma",
+    "Diabetes",
+    "Stroke",
+    "Infection",
 ];
-const STATES: &[&str] =
-    &["Alabama", "Alaska", "Arizona", "Colorado", "Georgia", "Kansas", "Montana", "Nevada", "Oregon", "Texas", "Utah", "Vermont"];
+const STATES: &[&str] = &[
+    "Alabama", "Alaska", "Arizona", "Colorado", "Georgia", "Kansas", "Montana", "Nevada", "Oregon",
+    "Texas", "Utah", "Vermont",
+];
 const STATE_CODES: &[&str] =
     &["AL", "AK", "AZ", "CO", "GA", "KS", "MT", "NV", "OR", "TX", "UT", "VT"];
 const JOURNALS: &[&str] = &[
-    "Nature Medicine", "Science Reports", "Health Review", "Data Journal", "Systems Review",
-    "Medical Letters", "Clinical Notes", "Open Science",
+    "Nature Medicine",
+    "Science Reports",
+    "Health Review",
+    "Data Journal",
+    "Systems Review",
+    "Medical Letters",
+    "Clinical Notes",
+    "Open Science",
 ];
 const LANGUAGES: &[&str] =
     &["English", "German", "French", "Spanish", "Italian", "Dutch", "Polish", "Greek"];
 const OCCUPATIONS: &[&str] = &[
-    "Sales", "Craft Repair", "Exec Managerial", "Prof Specialty", "Handlers Cleaners",
-    "Machine Op", "Adm Clerical", "Farming Fishing", "Transport Moving", "Tech Support",
+    "Sales",
+    "Craft Repair",
+    "Exec Managerial",
+    "Prof Specialty",
+    "Handlers Cleaners",
+    "Machine Op",
+    "Adm Clerical",
+    "Farming Fishing",
+    "Transport Moving",
+    "Tech Support",
 ];
 const EDUCATION: &[&str] =
     &["Bachelors", "Masters", "Doctorate", "College", "School", "Vocational"];
-const WORKCLASS: &[&str] =
-    &["Private", "State Gov", "Federal Gov", "Local Gov", "Self Employed"];
+const WORKCLASS: &[&str] = &["Private", "State Gov", "Federal Gov", "Local Gov", "Self Employed"];
 const MACHINE_STATUS: &[&str] = &["Running", "Idle", "Maintenance", "Fault", "Offline"];
 const WEATHER: &[&str] = &["Clear", "Cloudy", "Rain", "Snow", "Mist", "Storm"];
 const DEPARTMENTS: &[&str] = &[
-    "Finance", "Health", "Education", "Transit", "Parks", "Housing", "Water", "Energy",
-    "Police", "Fire", "Library", "Sanitation",
+    "Finance",
+    "Health",
+    "Education",
+    "Transit",
+    "Parks",
+    "Housing",
+    "Water",
+    "Energy",
+    "Police",
+    "Fire",
+    "Library",
+    "Sanitation",
 ];
 const CUISINES: &[&str] =
     &["American", "Chinese", "Italian", "Mexican", "Japanese", "Thai", "French", "Indian"];
-const BOROUGHS: &[&str] =
-    &["Manhattan", "Brooklyn", "Queens", "Bronx", "Richmond"];
+const BOROUGHS: &[&str] = &["Manhattan", "Brooklyn", "Queens", "Bronx", "Richmond"];
 const GRADES: &[&str] = &["A", "B", "C"];
 const PRODUCTS: &[&str] = &[
-    "Laptop", "Monitor", "Keyboard", "Printer", "Camera", "Speaker", "Tablet", "Router",
-    "Charger", "Headset",
+    "Laptop", "Monitor", "Keyboard", "Printer", "Camera", "Speaker", "Tablet", "Router", "Charger",
+    "Headset",
 ];
 const SUPPLIERS: &[&str] = &[
-    "Initech Supply", "Globex Parts", "Vandelay Goods", "Wernham Trade", "Cyberdyne Retail",
-    "Dunder Depot", "Hooli Wholesale", "Umbrella Imports",
+    "Initech Supply",
+    "Globex Parts",
+    "Vandelay Goods",
+    "Wernham Trade",
+    "Cyberdyne Retail",
+    "Dunder Depot",
+    "Hooli Wholesale",
+    "Umbrella Imports",
 ];
 const SONG_ARTISTS: &[&str] = &[
-    "Khruangbin", "Alvvays", "Phoebe Rodrigo", "Bastille Echo", "Wilco Harbor", "Sufjan Canyon",
-    "Bonobo Valley", "Tame Rivers",
+    "Khruangbin",
+    "Alvvays",
+    "Phoebe Rodrigo",
+    "Bastille Echo",
+    "Wilco Harbor",
+    "Sufjan Canyon",
+    "Bonobo Valley",
+    "Tame Rivers",
 ];
 const SCHOOL_NAMES: &[&str] = &[
-    "Lincoln High", "Washington Middle", "Jefferson Elementary", "Roosevelt High",
-    "Franklin Academy", "Madison Prep", "Kennedy High", "Monroe Elementary",
+    "Lincoln High",
+    "Washington Middle",
+    "Jefferson Elementary",
+    "Roosevelt High",
+    "Franklin Academy",
+    "Madison Prep",
+    "Kennedy High",
+    "Monroe Elementary",
 ];
 
 // ---------------------------------------------------------------------
@@ -329,7 +493,12 @@ pub const BOX_OFFICE: DomainSpec = DomainSpec {
         ColumnSpec::Entity { name: "studio", pool: STUDIOS },
         ColumnSpec::Date { name: "release_date", start_year: 1950, end_year: 2023 },
         ColumnSpec::Cat { name: "genre", pool: GENRES },
-        ColumnSpec::Num { name: "total_gross", min: 1_000_000.0, max: 900_000_000.0, integer: true },
+        ColumnSpec::Num {
+            name: "total_gross",
+            min: 1_000_000.0,
+            max: 900_000_000.0,
+            integer: true,
+        },
     ],
 };
 
@@ -431,7 +600,10 @@ pub const SMART_FACTORY: DomainSpec = DomainSpec {
     name: "factory",
     columns: &[
         ColumnSpec::Id { prefix: "SF" },
-        ColumnSpec::Entity { name: "machine", pool: &["Press", "Lathe", "Mill", "Welder", "Cutter", "Drill"] },
+        ColumnSpec::Entity {
+            name: "machine",
+            pool: &["Press", "Lathe", "Mill", "Welder", "Cutter", "Drill"],
+        },
         ColumnSpec::Determined { name: "status", map: MACHINE_STATUS },
         ColumnSpec::Num { name: "temperature", min: 18.0, max: 95.0, integer: false },
         ColumnSpec::Num { name: "pressure", min: 0.8, max: 6.5, integer: false },
@@ -482,8 +654,14 @@ pub const MERCEDES: DomainSpec = DomainSpec {
     name: "vehicles",
     columns: &[
         ColumnSpec::Id { prefix: "MB" },
-        ColumnSpec::Entity { name: "model", pool: &["Class A", "Class B", "Class C", "Class E", "Class S", "Class G"] },
-        ColumnSpec::Determined { name: "fuel", map: &["Petrol", "Petrol", "Diesel", "Diesel", "Petrol", "Diesel"] },
+        ColumnSpec::Entity {
+            name: "model",
+            pool: &["Class A", "Class B", "Class C", "Class E", "Class S", "Class G"],
+        },
+        ColumnSpec::Determined {
+            name: "fuel",
+            map: &["Petrol", "Petrol", "Diesel", "Diesel", "Petrol", "Diesel"],
+        },
         ColumnSpec::Num { name: "mileage", min: 500.0, max: 180_000.0, integer: true },
         ColumnSpec::Num { name: "horsepower", min: 90.0, max: 620.0, integer: true },
         ColumnSpec::Num { name: "price", min: 9_000.0, max: 160_000.0, integer: true },
@@ -495,7 +673,10 @@ pub const HAR: DomainSpec = DomainSpec {
     name: "wearables",
     columns: &[
         ColumnSpec::Id { prefix: "HR" },
-        ColumnSpec::Cat { name: "activity", pool: &["Walking", "Sitting", "Standing", "Running", "Cycling"] },
+        ColumnSpec::Cat {
+            name: "activity",
+            pool: &["Walking", "Sitting", "Standing", "Running", "Cycling"],
+        },
         ColumnSpec::Num { name: "accelerometer", min: -20.0, max: 20.0, integer: false },
         ColumnSpec::Num { name: "gyroscope", min: -10.0, max: 10.0, integer: false },
         ColumnSpec::Num { name: "subject", min: 1.0, max: 30.0, integer: true },

@@ -56,7 +56,11 @@ impl GitTablesLake {
             ErrorType::FdViolation,
         ];
         let specs: Vec<ErrorSpec> = (0..self.n_tables)
-            .map(|i| ErrorSpec { rate: self.error_rate, types: types.clone(), seed: seed ^ (0x617 + i as u64) })
+            .map(|i| ErrorSpec {
+                rate: self.error_rate,
+                types: types.clone(),
+                seed: seed ^ (0x617 + i as u64),
+            })
             .collect();
         assemble(tables, &specs)
     }

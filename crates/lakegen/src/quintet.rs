@@ -42,7 +42,11 @@ impl QuintetLake {
             ErrorType::FdViolation,
         ];
         let specs: Vec<ErrorSpec> = (0..tables.len())
-            .map(|i| ErrorSpec { rate: self.error_rate, types: types.clone(), seed: seed ^ (i as u64 + 1) })
+            .map(|i| ErrorSpec {
+                rate: self.error_rate,
+                types: types.clone(),
+                seed: seed ^ (i as u64 + 1),
+            })
             .collect();
         assemble(tables, &specs)
     }

@@ -53,7 +53,11 @@ impl ReinLake {
             ErrorType::Typo,
         ];
         let specs: Vec<ErrorSpec> = (0..tables.len())
-            .map(|i| ErrorSpec { rate: self.error_rate, types: types.clone(), seed: seed ^ (0x9E37 + i as u64) })
+            .map(|i| ErrorSpec {
+                rate: self.error_rate,
+                types: types.clone(),
+                seed: seed ^ (0x9E37 + i as u64),
+            })
             .collect();
         assemble(tables, &specs)
     }

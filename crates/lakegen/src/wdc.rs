@@ -66,7 +66,11 @@ impl WdcLake {
             ErrorType::Typo,
         ];
         let specs: Vec<ErrorSpec> = (0..self.n_tables)
-            .map(|i| ErrorSpec { rate: self.error_rate, types: types.clone(), seed: seed ^ (0x57DC + i as u64) })
+            .map(|i| ErrorSpec {
+                rate: self.error_rate,
+                types: types.clone(),
+                seed: seed ^ (0x57DC + i as u64),
+            })
             .collect();
         assemble(tables, &specs)
     }

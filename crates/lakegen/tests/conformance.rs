@@ -7,7 +7,10 @@ use matelda_table::diff_lakes;
 
 fn all_generators() -> Vec<(&'static str, Box<dyn Fn(u64) -> GeneratedLake>)> {
     vec![
-        ("quintet", Box::new(|s| QuintetLake { rows_per_table: 40, ..Default::default() }.generate(s))),
+        (
+            "quintet",
+            Box::new(|s| QuintetLake { rows_per_table: 40, ..Default::default() }.generate(s)),
+        ),
         ("rein", Box::new(|s| ReinLake { rows_per_table: 40, ..Default::default() }.generate(s))),
         ("dgov-ntr", Box::new(|s| DGovLake::ntr().with_n_tables(10).generate(s))),
         ("dgov-nt", Box::new(|s| DGovLake::nt().with_n_tables(10).generate(s))),

@@ -64,10 +64,9 @@ mod tests {
     fn both_kinds_fit_and_agree_on_easy_data() {
         let x: Vec<Vec<f32>> = (0..30).map(|i| vec![i as f32]).collect();
         let y: Vec<bool> = (0..30).map(|i| i >= 15).collect();
-        for kind in [
-            ClassifierKind::default(),
-            ClassifierKind::RandomForest(RandomForestConfig::default()),
-        ] {
+        for kind in
+            [ClassifierKind::default(), ClassifierKind::RandomForest(RandomForestConfig::default())]
+        {
             let m = FittedClassifier::fit(&kind, &x, &y);
             assert!(!m.predict(&[2.0]), "{kind:?}");
             assert!(m.predict(&[28.0]), "{kind:?}");

@@ -51,7 +51,8 @@ impl RandomForestClassifier {
             return model; // constant predictor
         }
         let d = x[0].len();
-        let k = config.max_features.unwrap_or_else(|| (d as f64).sqrt().ceil() as usize).clamp(1, d);
+        let k =
+            config.max_features.unwrap_or_else(|| (d as f64).sqrt().ceil() as usize).clamp(1, d);
         let tree_config =
             TreeConfig { max_depth: config.max_depth, min_samples_leaf: config.min_samples_leaf };
         let mut rng = StdRng::seed_from_u64(config.seed);

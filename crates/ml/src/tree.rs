@@ -92,7 +92,11 @@ impl RegressionTree {
             let first = targets[idx[0]];
             idx.iter().all(|&i| (targets[i] - first).abs() < 1e-12)
         };
-        if pure || depth >= config.max_depth || idx.len() < 2 * config.min_samples_leaf || idx.len() < 2 {
+        if pure
+            || depth >= config.max_depth
+            || idx.len() < 2 * config.min_samples_leaf
+            || idx.len() < 2
+        {
             let id = self.nodes.len();
             self.nodes.push(Node::Leaf { value: leaf_value(idx) });
             return id;
@@ -164,7 +168,7 @@ fn best_split(
             // (a + b) / 2 can round up to `b` in f32 when the two values
             // are adjacent, which would leave the right child empty.
             let threshold = a;
-            if best.map_or(true, |(_, _, s)| score > s) {
+            if best.is_none_or(|(_, _, s)| score > s) {
                 best = Some((f, threshold, score));
             }
         }
@@ -209,7 +213,12 @@ mod tests {
     fn respects_max_depth() {
         let x: Vec<Vec<f32>> = (0..64).map(|i| vec![i as f32]).collect();
         let y: Vec<f64> = (0..64).map(|i| i as f64).collect();
-        let t = RegressionTree::fit(&x, &y, &ones(64), &TreeConfig { max_depth: 1, min_samples_leaf: 1 });
+        let t = RegressionTree::fit(
+            &x,
+            &y,
+            &ones(64),
+            &TreeConfig { max_depth: 1, min_samples_leaf: 1 },
+        );
         // Depth 1 => at most one split and two leaves.
         assert!(t.n_nodes() <= 3);
     }

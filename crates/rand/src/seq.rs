@@ -1,0 +1,139 @@
+//! Sequence helpers: slice shuffling and index sampling.
+
+use crate::{below, RngCore};
+
+/// Shuffling for slices.
+pub trait SliceRandom {
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = below(rng, i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+}
+
+/// Sampling distinct indices without replacement.
+pub mod index {
+    use crate::{below, RngCore};
+
+    /// A sampled set of distinct indices in `0..length`.
+    #[derive(Debug, Clone)]
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// Number of sampled indices.
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// Whether the sample is empty.
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+
+        /// Iterates the indices by value, in sample order.
+        pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+            self.0.iter().copied()
+        }
+
+        /// Consumes into the underlying vector.
+        pub fn into_vec(self) -> Vec<usize> {
+            self.0
+        }
+    }
+
+    impl IntoIterator for IndexVec {
+        type Item = usize;
+        type IntoIter = std::vec::IntoIter<usize>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Samples `amount` distinct indices uniformly from `0..length`.
+    /// Panics if `amount > length`, like the real crate.
+    ///
+    /// Uses Floyd's algorithm when the sample is sparse (O(amount²) worst
+    /// case from the membership scan, fine at mini-batch sizes) and a
+    /// partial Fisher–Yates otherwise.
+    pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+        assert!(amount <= length, "cannot sample {amount} distinct indices from 0..{length}");
+        if amount * 8 <= length {
+            // Floyd's combination sampling.
+            let mut chosen: Vec<usize> = Vec::with_capacity(amount);
+            for j in (length - amount)..length {
+                let t = below(rng, j as u64 + 1) as usize;
+                if chosen.contains(&t) {
+                    chosen.push(j);
+                } else {
+                    chosen.push(t);
+                }
+            }
+            IndexVec(chosen)
+        } else {
+            let mut pool: Vec<usize> = (0..length).collect();
+            for i in 0..amount {
+                let j = i + below(rng, (length - i) as u64) as usize;
+                pool.swap(i, j);
+            }
+            pool.truncate(amount);
+            IndexVec(pool)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::rngs::StdRng;
+        use crate::SeedableRng;
+
+        #[test]
+        fn samples_are_distinct_and_in_range() {
+            let mut rng = StdRng::seed_from_u64(5);
+            for (n, k) in [(100, 7), (100, 90), (10, 10), (1, 1), (5, 0)] {
+                let s = sample(&mut rng, n, k);
+                let mut v = s.clone().into_vec();
+                assert_eq!(v.len(), k);
+                v.sort_unstable();
+                v.dedup();
+                assert_eq!(v.len(), k, "duplicates for n={n} k={k}");
+                assert!(v.iter().all(|&i| i < n));
+            }
+        }
+
+        #[test]
+        fn every_index_reachable() {
+            let mut rng = StdRng::seed_from_u64(6);
+            let mut seen = [false; 20];
+            for _ in 0..400 {
+                for i in sample(&mut rng, 20, 2).iter() {
+                    seen[i] = true;
+                }
+            }
+            assert!(seen.iter().all(|&b| b), "{seen:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+}

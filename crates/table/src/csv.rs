@@ -150,10 +150,7 @@ mod tests {
 
     #[test]
     fn simple_round_trip() {
-        let t = Table::new(
-            "t",
-            vec![Column::new("a", ["1", "2"]), Column::new("b", ["x", "y"])],
-        );
+        let t = Table::new("t", vec![Column::new("a", ["1", "2"]), Column::new("b", ["x", "y"])]);
         let text = write_table(&t);
         let back = parse_table("t", &text).unwrap();
         assert_eq!(t, back);
@@ -182,7 +179,10 @@ mod tests {
     #[test]
     fn errors_reported() {
         assert_eq!(parse_table("t", ""), Err(CsvError::Empty));
-        assert_eq!(parse_table("t", "a,b\n1\n"), Err(CsvError::RaggedRow { record: 1, found: 1, expected: 2 }));
+        assert_eq!(
+            parse_table("t", "a,b\n1\n"),
+            Err(CsvError::RaggedRow { record: 1, found: 1, expected: 2 })
+        );
         assert_eq!(parse_table("t", "a\n\"unclosed\n"), Err(CsvError::UnterminatedQuote));
     }
 

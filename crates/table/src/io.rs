@@ -84,7 +84,8 @@ mod tests {
     use crate::table::{Column, Table};
 
     fn tmp(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("matelda_io_test_{name}_{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("matelda_io_test_{name}_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }

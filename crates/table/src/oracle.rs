@@ -42,7 +42,7 @@ impl Labeler for Oracle<'_> {
 mod tests {
     use super::*;
     use crate::lake::Lake;
-use crate::table::{Column, Table};
+    use crate::table::{Column, Table};
 
     #[test]
     fn oracle_answers_and_counts() {

@@ -190,10 +190,7 @@ mod tests {
 
     #[test]
     fn profile_table_covers_all_columns() {
-        let t = Table::new(
-            "t",
-            vec![Column::new("a", ["1", "2"]), Column::new("b", ["x", "y"])],
-        );
+        let t = Table::new("t", vec![Column::new("a", ["1", "2"]), Column::new("b", ["x", "y"])]);
         let profiles = profile_table(&t);
         assert_eq!(profiles.len(), 2);
         assert_eq!(profiles[0].name, "a");

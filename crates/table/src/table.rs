@@ -13,7 +13,10 @@ pub struct Column {
 
 impl Column {
     /// Creates a column from anything convertible to strings.
-    pub fn new(name: impl Into<String>, values: impl IntoIterator<Item = impl Into<String>>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        values: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
         Self { name: name.into(), values: values.into_iter().map(Into::into).collect() }
     }
 
@@ -70,11 +73,7 @@ impl Table {
     }
 
     /// Builds a table from a header and row-major string data.
-    pub fn from_rows(
-        name: impl Into<String>,
-        header: &[&str],
-        rows: &[Vec<String>],
-    ) -> Self {
+    pub fn from_rows(name: impl Into<String>, header: &[&str], rows: &[Vec<String>]) -> Self {
         let mut columns: Vec<Column> = header
             .iter()
             .map(|h| Column { name: (*h).to_string(), values: Vec::with_capacity(rows.len()) })
@@ -196,18 +195,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "ragged table")]
     fn ragged_columns_rejected() {
-        Table::new(
-            "bad",
-            vec![Column::new("a", ["1", "2"]), Column::new("b", ["x"])],
-        );
+        Table::new("bad", vec![Column::new("a", ["1", "2"]), Column::new("b", ["x"])]);
     }
 
     #[test]
     fn from_rows_round_trip() {
-        let rows = vec![
-            vec!["a".to_string(), "1".to_string()],
-            vec!["b".to_string(), "2".to_string()],
-        ];
+        let rows =
+            vec![vec!["a".to_string(), "1".to_string()], vec!["b".to_string(), "2".to_string()]];
         let t = Table::from_rows("t", &["k", "v"], &rows);
         assert_eq!(t.n_rows(), 2);
         assert_eq!(t.cell(1, 1), "2");
@@ -215,10 +209,7 @@ mod tests {
 
     #[test]
     fn serialization_concatenates_row_major() {
-        let t = Table::new(
-            "t",
-            vec![Column::new("a", ["1", "3"]), Column::new("b", ["2", "4"])],
-        );
+        let t = Table::new("t", vec![Column::new("a", ["1", "3"]), Column::new("b", ["2", "4"])]);
         assert_eq!(t.serialize(), "1 2 3 4");
         assert_eq!(t.serialize_rows(&[1]), "3 4");
         assert_eq!(t.serialize_rows(&[]), "");

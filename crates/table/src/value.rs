@@ -30,12 +30,13 @@ pub enum DataType {
 /// BART (the paper's error generator) injects empty strings and literal
 /// `NULL` tokens; the Quintet datasets additionally contain `N/A` style
 /// markers.
-pub const NULL_TOKENS: &[&str] = &["", "null", "NULL", "Null", "N/A", "n/a", "NA", "nan", "NaN", "?"];
+pub const NULL_TOKENS: &[&str] =
+    &["", "null", "NULL", "Null", "N/A", "n/a", "NA", "nan", "NaN", "?"];
 
 /// Returns `true` if `s` is one of the recognized missing-value tokens.
 pub fn is_null(s: &str) -> bool {
     let t = s.trim();
-    NULL_TOKENS.iter().any(|n| *n == t)
+    NULL_TOKENS.contains(&t)
 }
 
 /// Attempts to parse a cell as `f64`, tolerating surrounding whitespace and
@@ -93,9 +94,8 @@ pub fn looks_like_date(s: &str) -> bool {
         return all_digits(a) && all_digits(b) && all_digits(c);
     }
     // `Mon DD, YYYY` e.g. "Dec 21, 1937"
-    const MONTHS: &[&str] = &[
-        "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
-    ];
+    const MONTHS: &[&str] =
+        &["Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"];
     if let Some(rest) = MONTHS.iter().find_map(|m| t.strip_prefix(m)) {
         let rest = rest.trim_start();
         if let Some((day, year)) = rest.split_once(", ") {

@@ -45,7 +45,11 @@ impl Default for SpellChecker {
 impl SpellChecker {
     /// Builds a checker over the embedded English + domain dictionary.
     pub fn english() -> Self {
-        let dict = EMBEDDED_WORDS.lines().map(|w| w.trim().to_string()).filter(|w| !w.is_empty()).collect();
+        let dict = EMBEDDED_WORDS
+            .lines()
+            .map(|w| w.trim().to_string())
+            .filter(|w| !w.is_empty())
+            .collect();
         Self { dict }
     }
 

@@ -28,10 +28,8 @@ pub fn tokens(s: &str) -> Vec<String> {
 /// vocabulary.
 pub fn char_trigrams(s: &str) -> Vec<String> {
     let lowered = s.to_lowercase();
-    let padded: Vec<char> = std::iter::once('^')
-        .chain(lowered.chars())
-        .chain(std::iter::once('$'))
-        .collect();
+    let padded: Vec<char> =
+        std::iter::once('^').chain(lowered.chars()).chain(std::iter::once('$')).collect();
     if padded.len() < 3 {
         return vec![padded.iter().collect()];
     }

@@ -13,7 +13,7 @@ use matelda::baselines::unidetect::UniDetect;
 use matelda::baselines::{Budget, ErrorDetector};
 use matelda::core::{Matelda, MateldaConfig};
 use matelda::lakegen::DGovLake;
-use matelda::table::{CellMask, Confusion, Lake, Labeler, Oracle};
+use matelda::table::{CellMask, Confusion, Labeler, Lake, Oracle};
 
 /// Matelda behind the shared `ErrorDetector` interface.
 struct MateldaSystem;

@@ -12,8 +12,11 @@ use matelda::text::SpellChecker;
 fn main() {
     let lake = QuintetLake::default().generate(5);
     let mut oracle = Oracle::new(&lake.errors);
-    let result = Matelda::new(MateldaConfig::default())
-        .detect(&lake.dirty, &mut oracle, 3 * lake.dirty.n_columns());
+    let result = Matelda::new(MateldaConfig::default()).detect(
+        &lake.dirty,
+        &mut oracle,
+        3 * lake.dirty.n_columns(),
+    );
 
     let spell = SpellChecker::english();
     let repairs = suggest_repairs(&lake.dirty, &result.predicted, &spell);

@@ -16,7 +16,13 @@ fn main() {
         vec![
             Column::new(
                 "club_name",
-                ["Manchester City", "Liverpool MC", "Manchester City", "Real Madrid", "Real Madrid"],
+                [
+                    "Manchester City",
+                    "Liverpool MC",
+                    "Manchester City",
+                    "Real Madrid",
+                    "Real Madrid",
+                ],
             ),
             Column::new("country", ["Germany", "England", "England", "France", "Spain"]),
             Column::new("score", ["2045", "2043", "2010", "1957", "1957"]),

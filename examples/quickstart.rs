@@ -28,7 +28,8 @@ fn main() {
     // Budget: the cell equivalent of two labeled tuples per table — far
     // less than single-table tools need for 5 tables.
     let budget_cells = 2 * lake.dirty.n_columns();
-    let result = Matelda::new(MateldaConfig::default()).detect(&lake.dirty, &mut oracle, budget_cells);
+    let result =
+        Matelda::new(MateldaConfig::default()).detect(&lake.dirty, &mut oracle, budget_cells);
 
     let conf = Confusion::from_masks(&result.predicted, &lake.errors);
     println!("labels used:   {}", result.labels_used);

@@ -4,11 +4,15 @@
 //! matelda-cli generate <dir> [--lake quintet|rein|dgov-ntr|wdc|gittables] [--seed N] [--tables N]
 //!     Write a synthetic benchmark lake: <dir>/dirty/*.csv + <dir>/clean/*.csv
 //!
-//! matelda-cli detect <dirty-dir> --clean <clean-dir> [--budget-cells N] [--variant <v>] [--repair yes]
+//! matelda-cli detect <dirty-dir> --clean <clean-dir> [--budget-cells N] [--variant <v>]
+//!                    [--threads N] [--report] [--repair yes]
 //!     Load the dirty lake, answer Matelda's label requests from the clean
 //!     lake (the oracle protocol of the paper's experiments), print the
 //!     detection report and, because ground truth is available, P/R/F1.
 //!     Variants: standard (default), edf, rs, santos, sf, tpdf, tucf.
+//!     --threads N sets the executor's worker count (default: available
+//!     parallelism); output is bit-identical at any thread count.
+//!     --report prints the per-stage RunReport as JSON on stdout.
 //!
 //! matelda-cli profile <dir>
 //!     Table/column statistics and approximate FDs of a lake directory.
@@ -104,8 +108,9 @@ fn load_lake(dir: &Path) -> Result<Lake, Box<dyn std::error::Error>> {
 fn cmd_detect(args: &[String]) -> CliResult {
     let (pos, flags) = parse_flags(args);
     let dirty_dir = PathBuf::from(pos.first().ok_or("detect: missing <dirty-dir>")?);
-    let clean_dir =
-        PathBuf::from(flags.get("clean").ok_or("detect: --clean <dir> is required (labels + evaluation)")?);
+    let clean_dir = PathBuf::from(
+        flags.get("clean").ok_or("detect: --clean <dir> is required (labels + evaluation)")?,
+    );
     let dirty = load_lake(&dirty_dir)?;
     let clean = load_lake(&clean_dir)?;
     if dirty.n_tables() != clean.n_tables() {
@@ -114,7 +119,9 @@ fn cmd_detect(args: &[String]) -> CliResult {
     let budget: usize =
         flags.get("budget-cells").map(|s| s.parse()).transpose()?.unwrap_or(2 * dirty.n_columns());
 
-    let mut config = MateldaConfig::default();
+    // threads = 0 means "available parallelism" (the executor's default).
+    let threads: usize = flags.get("threads").map(|s| s.parse()).transpose()?.unwrap_or(0);
+    let mut config = MateldaConfig { threads, ..Default::default() };
     match flags.get("variant").copied().unwrap_or("standard") {
         "standard" => {}
         "edf" => config.domain_folding = DomainFolding::ExtremeDomainFolding,
@@ -133,12 +140,16 @@ fn cmd_detect(args: &[String]) -> CliResult {
     let elapsed = start.elapsed();
 
     println!(
-        "detected in {:.2}s — {} labels over {} domain folds / {} quality folds",
+        "detected in {:.2}s — {} labels over {} domain folds / {} quality folds ({} threads)",
         elapsed.as_secs_f64(),
         result.labels_used,
         result.n_domain_folds,
-        result.n_quality_folds
+        result.n_quality_folds,
+        result.report.threads
     );
+    if flags.contains_key("report") {
+        println!("{}", result.report.to_json());
+    }
     println!("\nper-table report:");
     for (t, table) in dirty.tables.iter().enumerate() {
         let hits = result.predicted.iter_set().filter(|id| id.table == t).count();
@@ -215,7 +226,11 @@ fn cmd_profile(args: &[String]) -> CliResult {
                 .take(8)
                 .map(|fd| format!("{}→{}", table.columns[fd.lhs].name, table.columns[fd.rhs].name))
                 .collect();
-            println!("  FDs (≤5% error): {}{}", named.join(", "), if fds.len() > 8 { ", …" } else { "" });
+            println!(
+                "  FDs (≤5% error): {}{}",
+                named.join(", "),
+                if fds.len() > 8 { ", …" } else { "" }
+            );
         }
     }
     Ok(())

@@ -42,7 +42,9 @@ fn lpc_variants_trade_recall_for_precision() {
 #[test]
 fn unsupervised_systems_use_no_labels() {
     let lake = QuintetLake { rows_per_table: 40, ..Default::default() }.generate(2);
-    for system in [&Aspell::new() as &dyn ErrorDetector, &UniDetect::default(), &Deequ::new(), &Gx::new()] {
+    for system in
+        [&Aspell::new() as &dyn ErrorDetector, &UniDetect::default(), &Deequ::new(), &Gx::new()]
+    {
         let mut oracle = Oracle::new(&lake.errors);
         let _ = system.detect(&lake.dirty, &mut oracle, Budget::per_table(5.0));
         assert_eq!(oracle.labels_used(), 0, "{} drew labels", system.name());

@@ -28,10 +28,7 @@ fn more_labels_do_not_hurt_much() {
     let lake = QuintetLake { rows_per_table: 80, ..Default::default() }.generate(3);
     let small = f1_of(MateldaConfig::default(), &lake, lake.dirty.n_columns() / 2);
     let large = f1_of(MateldaConfig::default(), &lake, 5 * lake.dirty.n_columns());
-    assert!(
-        large > small,
-        "budget increase should help: {small} -> {large}"
-    );
+    assert!(large > small, "budget increase should help: {small} -> {large}");
 }
 
 #[test]
@@ -45,8 +42,11 @@ fn rein_lake_detection_works() {
 fn multi_domain_lake_forms_multiple_folds() {
     let lake = DGovLake::ntr().with_n_tables(24).generate(9);
     let mut oracle = Oracle::new(&lake.errors);
-    let result =
-        Matelda::new(MateldaConfig::default()).detect(&lake.dirty, &mut oracle, 2 * lake.dirty.n_columns());
+    let result = Matelda::new(MateldaConfig::default()).detect(
+        &lake.dirty,
+        &mut oracle,
+        2 * lake.dirty.n_columns(),
+    );
     assert!(result.n_domain_folds > 1, "24 tables over many domains should fold");
     assert!(result.n_domain_folds < 24, "identical-domain tables should share folds");
 }
@@ -95,11 +95,45 @@ fn training_strategies_all_produce_reasonable_results() {
 }
 
 #[test]
-fn labels_never_exceed_reasonable_bound() {
-    // The fold floor can exceed the requested budget, but not wildly.
+fn labels_never_exceed_budget() {
+    // Since the per-fold floor was clamped, the budget is a hard ceiling.
     let lake = QuintetLake { rows_per_table: 40, ..Default::default() }.generate(1);
     let budget = 2 * lake.dirty.n_columns();
     let mut oracle = Oracle::new(&lake.errors);
     let result = Matelda::new(MateldaConfig::default()).detect(&lake.dirty, &mut oracle, budget);
-    assert!(result.labels_used <= budget + 2 * result.n_domain_folds);
+    assert!(result.labels_used <= budget);
+}
+
+/// Snapshot of the single-threaded staged run on `QuintetLake { rows: 40 }
+/// .generate(7)` at 2 tuples/table, equal to the pre-refactor monolith's
+/// output on the same lake. Guards both the refactor (stage composition
+/// changes nothing) and the determinism contract (thread count changes
+/// nothing).
+#[test]
+fn staged_engine_is_bit_identical_across_thread_counts() {
+    let lake = QuintetLake { rows_per_table: 40, ..Default::default() }.generate(7);
+    let budget = 2 * lake.dirty.n_columns();
+    let run = |threads: usize| {
+        let mut oracle = Oracle::new(&lake.errors);
+        Matelda::new(MateldaConfig { threads, ..Default::default() }).detect(
+            &lake.dirty,
+            &mut oracle,
+            budget,
+        )
+    };
+
+    let single = run(1);
+    assert_eq!(single.predicted.count(), 115);
+    assert_eq!(single.labels_used, 66);
+    assert_eq!(single.n_domain_folds, 5);
+    assert_eq!(single.n_quality_folds, 66);
+
+    for threads in [2, 4] {
+        let multi = run(threads);
+        assert_eq!(multi.predicted, single.predicted, "mask differs at {threads} threads");
+        assert_eq!(multi.labels_used, single.labels_used);
+        assert_eq!(multi.n_domain_folds, single.n_domain_folds);
+        assert_eq!(multi.n_quality_folds, single.n_quality_folds);
+        assert_eq!(multi.report.threads, threads);
+    }
 }

@@ -1,13 +1,15 @@
 //! Property-based tests over the core data structures and invariants,
 //! spanning crates (proptest).
 
-use matelda::cluster::{agglomerative, Hdbscan, MiniBatchKMeans, NOISE};
 use matelda::cluster::kmeans::MiniBatchKMeansConfig;
-use matelda::errorgen::{inject, ErrorSpec};
-use matelda::ml::{GradientBoostingClassifier, GradientBoostingConfig};
+use matelda::cluster::{agglomerative, Hdbscan, MiniBatchKMeans, NOISE};
+use matelda::core::{LabelingStrategy, Matelda, MateldaConfig, Oracle, TrainingStrategy};
 use matelda::embed::MinHashSketch;
-use matelda::table::{csv, diff_lakes, CellId, CellMask, Column, Lake, Table};
+use matelda::errorgen::{inject, ErrorSpec};
+use matelda::lakegen::QuintetLake;
+use matelda::ml::{GradientBoostingClassifier, GradientBoostingConfig};
 use matelda::table::profile::ColumnProfile;
+use matelda::table::{csv, diff_lakes, CellId, CellMask, Column, Labeler, Lake, Table};
 use matelda::text::{damerau_levenshtein, levenshtein};
 use proptest::prelude::*;
 
@@ -187,5 +189,43 @@ proptest! {
         let pred = CellMask::from_cells(&lake, cells_p.iter().map(|&(c, r)| CellId::new(0, r, c)));
         let conf = matelda::table::Confusion::from_masks(&pred, &truth);
         prop_assert_eq!(conf.tp + conf.fp + conf.fn_ + conf.tn, lake.n_cells());
+    }
+}
+
+// Each case below runs the whole pipeline, so this block uses a reduced
+// case count; the grid of strategies × budgets × threads still covers the
+// clamp's edge cases (budget < 2 × n_folds, budget 0).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn budget_is_a_hard_ceiling_on_labels(
+        budget in 0usize..50,
+        seed in 1u64..20,
+        labeling in 0usize..2,
+        training in 0usize..3,
+        threads in 1usize..4,
+    ) {
+        // Full-pipeline invariant behind the budget_per_fold clamp: no
+        // configuration may spend more oracle labels than the budget,
+        // including budget < 2 × n_folds (where the old per-fold floor
+        // overspent) and budget 0.
+        let lake = QuintetLake { rows_per_table: 12, ..Default::default() }.generate(seed);
+        let config = MateldaConfig {
+            labeling: [LabelingStrategy::CentroidPerFold,
+                       LabelingStrategy::UncertaintyRefinement][labeling],
+            training: [TrainingStrategy::PerColumn,
+                       TrainingStrategy::PerDomainFold,
+                       TrainingStrategy::UnlabeledCellFolds][training],
+            threads,
+            ..Default::default()
+        };
+        let mut oracle = Oracle::new(&lake.errors);
+        let result = Matelda::new(config).detect(&lake.dirty, &mut oracle, budget);
+        prop_assert!(
+            result.labels_used <= budget,
+            "spent {} labels with budget {budget}", result.labels_used
+        );
+        prop_assert!(oracle.labels_used() <= budget);
     }
 }
