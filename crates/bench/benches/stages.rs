@@ -39,8 +39,40 @@ fn staged_run(lake: &GeneratedLake, threads: usize) -> (Vec<(String, f64, u64)>,
 }
 
 fn median(mut xs: Vec<f64>) -> f64 {
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs.sort_by(f64::total_cmp);
     xs[xs.len() / 2]
+}
+
+/// Measures what fault isolation costs: the same per-table featurization
+/// workload through `Executor::map` (no isolation) vs `Executor::try_map`
+/// (one `catch_unwind` per item), single-threaded so per-item overhead is
+/// not hidden by parallel slack. Returns (map_secs, try_map_secs).
+fn fault_isolation_secs(lake: &GeneratedLake, reps: usize) -> (f64, f64) {
+    let exec = matelda_exec::Executor::new(1);
+    let spell = matelda_text::SpellChecker::english();
+    let cfg = matelda_detect::FeatureConfig::default();
+    let time = |isolated: bool| -> f64 {
+        median(
+            (0..reps)
+                .map(|_| {
+                    let start = std::time::Instant::now();
+                    if isolated {
+                        let r = exec.try_map("bench", &lake.dirty.tables, |_, t| {
+                            matelda_detect::featurize_table(t, &spell, &cfg)
+                        });
+                        black_box(r);
+                    } else {
+                        let r = exec.map(&lake.dirty.tables, |_, t| {
+                            matelda_detect::featurize_table(t, &spell, &cfg)
+                        });
+                        black_box(r);
+                    }
+                    start.elapsed().as_secs_f64()
+                })
+                .collect(),
+        )
+    };
+    (time(false), time(true))
 }
 
 fn bench_stages(c: &mut Criterion) {
@@ -115,9 +147,13 @@ fn emit_json() {
     }
     let total_1: f64 = single.iter().map(|s| s.1).sum();
     let total_n: f64 = multi.iter().map(|s| s.1).sum();
+    // Fault-isolation overhead: try_map vs map on the same workload.
+    // Target: < 5% (the per-item catch_unwind must be nearly free).
+    let (map_secs, try_secs) = fault_isolation_secs(&lake, 5);
+    let overhead_pct = if map_secs > 0.0 { 100.0 * (try_secs - map_secs) / map_secs } else { 0.0 };
     let scale = std::env::var("MATELDA_SCALE").unwrap_or_else(|_| "full".to_string());
     let json = format!(
-        "{{\"bench\":\"stages\",\"scale\":\"{scale}\",\"host_parallelism\":{host},\"threads_compared\":[1,{n}],\"reps\":{reps},\"total_secs_1t\":{total_1:.6},\"total_secs_{n}t\":{total_n:.6},\"end_to_end_speedup\":{sp:.3},\"flagged_cells\":{flagged_1},\"deterministic_across_threads\":true,\"stages\":[{stages_json}]}}\n",
+        "{{\"bench\":\"stages\",\"scale\":\"{scale}\",\"host_parallelism\":{host},\"threads_compared\":[1,{n}],\"reps\":{reps},\"total_secs_1t\":{total_1:.6},\"total_secs_{n}t\":{total_n:.6},\"end_to_end_speedup\":{sp:.3},\"flagged_cells\":{flagged_1},\"deterministic_across_threads\":true,\"fault_isolation\":{{\"map_secs\":{map_secs:.6},\"try_map_secs\":{try_secs:.6},\"overhead_pct\":{overhead_pct:.2},\"target_pct\":5.0}},\"stages\":[{stages_json}]}}\n",
         host = std::thread::available_parallelism().map_or(1, |v| v.get()),
         n = n_threads,
         sp = if total_n > 0.0 { total_1 / total_n } else { 1.0 },

@@ -1,0 +1,243 @@
+//! # matelda-chaos
+//!
+//! A seed-deterministic chaos harness for the fault-isolated pipeline.
+//!
+//! Robustness claims are only testable if the faults themselves are
+//! reproducible, so everything here derives from a single [`FaultPlan`]
+//! seed:
+//!
+//! * **File-level** — [`FaultPlan::corrupt_dir`] picks victim CSV files
+//!   in a lake directory and applies a [`Corruption`] (truncate mid-byte,
+//!   garble with invalid UTF-8, raggedize rows). Running the same plan on
+//!   two identical directories produces byte-identical corruption, so
+//!   ingestion tests can assert exact outcomes.
+//! * **Stage-level** — [`FaultPlan::stage_points`] picks victim
+//!   `(stage, index)` work items; arm them with
+//!   [`faultpoint::arm`](matelda_exec::faultpoint::arm) and the executor
+//!   converts each injected panic into a per-item fault that the engine
+//!   quarantines under `FaultPolicy::Skip`.
+//!
+//! The integration suite (`tests/chaos.rs`) uses both layers to assert
+//! the tentpole contract: a run with k killed tables completes,
+//! quarantines exactly those k, and scores the survivors bit-identically
+//! to a faultless run on the survivor-only lake — at any thread count.
+
+use rand::rngs::StdRng;
+use rand::seq::index::sample;
+use rand::{Rng, SeedableRng};
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use matelda_exec::faultpoint;
+
+/// The kinds of file corruption the harness can inflict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corruption {
+    /// Cut the file at a random byte offset (possibly mid-record,
+    /// mid-field or mid-quote).
+    Truncate,
+    /// Overwrite ~10% of the bytes with values from `0x80..=0xFF`,
+    /// which are never valid single-byte UTF-8.
+    Garble,
+    /// Add or remove trailing fields on random data rows, so row widths
+    /// disagree with the header.
+    Raggedize,
+}
+
+/// One applied corruption: which file, which kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorruptionRecord {
+    /// The corrupted file.
+    pub path: PathBuf,
+    /// What was done to it.
+    pub kind: Corruption,
+}
+
+/// A reproducible plan of faults. Every decision — victim choice,
+/// corruption kind, byte offsets — is a pure function of the plan seed
+/// and a domain string (stage name or file name), so two plans with the
+/// same seed inflict identical damage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The master seed.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// A plan with the given master seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed }
+    }
+
+    /// The RNG for one decision domain: the master seed mixed with an
+    /// FNV-1a hash of the domain string, so choices for different
+    /// stages/files are independent but individually reproducible.
+    fn rng(&self, domain: &str) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ fnv1a(domain))
+    }
+
+    /// Picks `k` distinct victims among `n` items (ascending). `k` is
+    /// clamped to `n`.
+    pub fn victims(&self, domain: &str, n: usize, k: usize) -> Vec<usize> {
+        let k = k.min(n);
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut rng = self.rng(domain);
+        let mut idx: Vec<usize> = sample(&mut rng, n, k).into_iter().collect();
+        idx.sort_unstable();
+        idx
+    }
+
+    /// Stage-level injection points: kill `k` of the stage's `n_items`
+    /// work items. Feed the result to
+    /// [`faultpoint::arm`](matelda_exec::faultpoint::arm).
+    pub fn stage_points(&self, stage: &str, n_items: usize, k: usize) -> Vec<(String, usize)> {
+        self.victims(stage, n_items, k).into_iter().map(|i| (stage.to_string(), i)).collect()
+    }
+
+    /// Corrupts `k` of the `*.csv` files under `dir` in place (victims
+    /// chosen over the sorted file list, corruption kind and bytes
+    /// derived per file name). Returns what was done to which file.
+    pub fn corrupt_dir(&self, dir: &Path, k: usize) -> io::Result<Vec<CorruptionRecord>> {
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "csv"))
+            .collect();
+        paths.sort();
+        let victims = self.victims("files", paths.len(), k);
+        let mut records = Vec::with_capacity(victims.len());
+        for &v in &victims {
+            let path = &paths[v];
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("file");
+            let mut rng = self.rng(&format!("corrupt:{name}"));
+            let kind = match rng.random_range(0..3usize) {
+                0 => Corruption::Truncate,
+                1 => Corruption::Garble,
+                _ => Corruption::Raggedize,
+            };
+            let bytes = std::fs::read(path)?;
+            std::fs::write(path, corrupt_bytes(&bytes, kind, &mut rng))?;
+            records.push(CorruptionRecord { path: path.clone(), kind });
+        }
+        Ok(records)
+    }
+}
+
+/// Applies one corruption to a byte buffer (pure; exposed so tests can
+/// corrupt in memory without touching disk).
+pub fn corrupt_bytes(bytes: &[u8], kind: Corruption, rng: &mut StdRng) -> Vec<u8> {
+    match kind {
+        Corruption::Truncate => {
+            if bytes.len() < 2 {
+                return bytes.to_vec();
+            }
+            let cut = rng.random_range(1..bytes.len());
+            bytes[..cut].to_vec()
+        }
+        Corruption::Garble => {
+            let mut out = bytes.to_vec();
+            if out.is_empty() {
+                return out;
+            }
+            let hits = (out.len() / 10).max(1);
+            for _ in 0..hits {
+                let i = rng.random_range(0..out.len());
+                out[i] = rng.random_range(0x80u8..=0xFF);
+            }
+            out
+        }
+        Corruption::Raggedize => {
+            let mut lines: Vec<Vec<u8>> =
+                bytes.split(|&b| b == b'\n').map(<[u8]>::to_vec).collect();
+            // Skip the header (line 0); damage each data row with
+            // probability 1/2: half the damaged rows grow a field, half
+            // lose their last one.
+            for line in lines.iter_mut().skip(1).filter(|l| !l.is_empty()) {
+                match rng.random_range(0..4usize) {
+                    0 => line.extend_from_slice(b",__chaos__"),
+                    1 => {
+                        if let Some(p) = line.iter().rposition(|&b| b == b',') {
+                            line.truncate(p);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            lines.join(&b'\n')
+        }
+    }
+}
+
+/// FNV-1a over a string, used to derive per-domain seeds.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn victims_are_deterministic_distinct_and_bounded() {
+        let plan = FaultPlan::new(42);
+        let v = plan.victims("embed", 10, 3);
+        assert_eq!(v, FaultPlan::new(42).victims("embed", 10, 3));
+        assert_eq!(v.len(), 3);
+        let mut d = v.clone();
+        d.dedup();
+        assert_eq!(d, v, "victims are distinct and sorted");
+        assert!(v.iter().all(|&i| i < 10));
+        // k clamps to n; k = 0 picks nobody.
+        assert_eq!(plan.victims("embed", 2, 5).len(), 2);
+        assert!(plan.victims("embed", 10, 0).is_empty());
+        assert!(plan.victims("embed", 0, 3).is_empty());
+    }
+
+    #[test]
+    fn stage_points_name_the_stage() {
+        let plan = FaultPlan::new(7);
+        let points = plan.stage_points("featurize", 6, 2);
+        assert_eq!(points.len(), 2);
+        assert!(points.iter().all(|(s, i)| s == "featurize" && *i < 6));
+    }
+
+    #[test]
+    fn garble_introduces_invalid_utf8() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = corrupt_bytes(b"a,b\n1,2\n3,4\n", Corruption::Garble, &mut rng);
+        assert!(std::str::from_utf8(&out).is_err());
+        assert_eq!(out.len(), 12, "garbling preserves length");
+    }
+
+    #[test]
+    fn truncate_shortens_without_growing() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let input = b"a,b\n1,2\n3,4\n";
+        let out = corrupt_bytes(input, Corruption::Truncate, &mut rng);
+        assert!(!out.is_empty() && out.len() < input.len());
+        assert!(input.starts_with(&out));
+    }
+
+    #[test]
+    fn raggedize_keeps_the_header_line() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = corrupt_bytes(b"a,b\n1,2\n3,4\n5,6\n7,8\n", Corruption::Raggedize, &mut rng);
+        assert!(out.starts_with(b"a,b\n"), "header untouched: {:?}", String::from_utf8_lossy(&out));
+    }
+
+    #[test]
+    fn corruption_is_byte_deterministic() {
+        for kind in [Corruption::Truncate, Corruption::Garble, Corruption::Raggedize] {
+            let a = corrupt_bytes(b"x,y\n1,2\n3,4\n", kind, &mut StdRng::seed_from_u64(9));
+            let b = corrupt_bytes(b"x,y\n1,2\n3,4\n", kind, &mut StdRng::seed_from_u64(9));
+            assert_eq!(a, b, "{kind:?}");
+        }
+    }
+}

@@ -5,7 +5,7 @@ use matelda_detect::column_syntactic_features;
 use matelda_embed::encoder::{embed_table, embed_table_sampled, HashedEncoder};
 use matelda_embed::vector::cosine_distance;
 use matelda_exec::Executor;
-use matelda_table::Lake;
+use matelda_table::{Lake, Table};
 use matelda_text::jaccard;
 use rand::rngs::StdRng;
 use rand::seq::index::sample;
@@ -93,25 +93,9 @@ pub fn embed_lake(
 ) -> EmbeddedLake {
     match strategy {
         DomainFolding::ExtremeDomainFolding => EmbeddedLake::Trivial,
-        DomainFolding::Hdbscan => {
-            EmbeddedLake::Vectors(exec.map(&lake.tables, |_, t| embed_table(encoder, t)))
-        }
-        DomainFolding::RowSampling(frac) => {
-            EmbeddedLake::Vectors(exec.map(&lake.tables, |ti, t| {
-                let rows = t.n_rows();
-                let k = ((rows as f64 * frac).ceil() as usize).clamp(1, rows.max(1));
-                if rows == 0 {
-                    embed_table(encoder, t)
-                } else {
-                    let mut rng = StdRng::seed_from_u64(
-                        seed ^ (ti as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                    );
-                    let mut idx: Vec<usize> = sample(&mut rng, rows, k).into_iter().collect();
-                    idx.sort_unstable();
-                    embed_table_sampled(encoder, t, &idx)
-                }
-            }))
-        }
+        DomainFolding::Hdbscan | DomainFolding::RowSampling(_) => EmbeddedLake::Vectors(
+            exec.map(&lake.tables, |ti, t| embed_table_for(strategy, encoder, seed, ti, t)),
+        ),
         DomainFolding::SantosLike => EmbeddedLake::Unionability(unionability_matrix(lake)),
         DomainFolding::SantosSketch(k) => {
             EmbeddedLake::Unionability(unionability_matrix_sketched(lake, k.max(16)))
@@ -119,28 +103,85 @@ pub fn embed_lake(
     }
 }
 
+/// Embeds one table for the vector-based folding strategies — the unit
+/// of work [`embed_lake`] parallelizes and the engine fault-isolates.
+/// The result depends only on `(strategy, encoder, seed, ti, table)` —
+/// never on other tables or execution order — which is what makes a
+/// quarantined table's removal invisible to the survivors' embeddings.
+pub fn embed_table_for(
+    strategy: DomainFolding,
+    encoder: &HashedEncoder,
+    seed: u64,
+    ti: usize,
+    table: &Table,
+) -> Vec<f32> {
+    match strategy {
+        DomainFolding::RowSampling(frac) => {
+            let rows = table.n_rows();
+            let k = ((rows as f64 * frac).ceil() as usize).clamp(1, rows.max(1));
+            if rows == 0 {
+                embed_table(encoder, table)
+            } else {
+                let mut rng =
+                    StdRng::seed_from_u64(seed ^ (ti as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut idx: Vec<usize> = sample(&mut rng, rows, k).into_iter().collect();
+                idx.sort_unstable();
+                embed_table_sampled(encoder, table, &idx)
+            }
+        }
+        _ => embed_table(encoder, table),
+    }
+}
+
 /// Clusters an [`EmbeddedLake`] into domain folds (the second half of
 /// Step 1).
 pub fn folds_from_embedding(lake: &Lake, embedded: &EmbeddedLake) -> Vec<Fold> {
-    let n = lake.n_tables();
+    folds_from_embedding_excluding(lake, embedded, &[])
+}
+
+/// Like [`folds_from_embedding`] but with some tables excluded
+/// (quarantined by the engine's fault isolation). The survivors are
+/// clustered exactly as if the lake contained only them — pairwise
+/// distances and iteration order match a lake with the excluded tables
+/// deleted, so fold assignments do too — and the returned folds carry
+/// the survivors' *original* table indices.
+pub fn folds_from_embedding_excluding(
+    lake: &Lake,
+    embedded: &EmbeddedLake,
+    excluded: &[usize],
+) -> Vec<Fold> {
+    let survivors: Vec<usize> = (0..lake.n_tables()).filter(|t| !excluded.contains(t)).collect();
+    let n = survivors.len();
     if n == 0 {
         return Vec::new();
     }
-    let table_groups: Vec<Vec<usize>> = match embedded {
+    let local_groups: Vec<Vec<usize>> = match embedded {
         EmbeddedLake::Trivial => vec![(0..n).collect()],
-        EmbeddedLake::Vectors(vecs) => cluster_tables(lake, vecs),
+        EmbeddedLake::Vectors(vecs) => {
+            if n == 1 {
+                vec![vec![0]]
+            } else {
+                let labels = Hdbscan::new(HdbscanConfig::default()).fit_with(n, |a, b| {
+                    f64::from(cosine_distance(&vecs[survivors[a]], &vecs[survivors[b]]))
+                });
+                groups_from_labels(&labels, n)
+            }
+        }
         EmbeddedLake::Unionability(sims) => {
             let labels = Hdbscan::new(HdbscanConfig::default())
-                .fit_with(n, |a, b| (1.0 - sims[a][b]).max(0.0));
+                .fit_with(n, |a, b| (1.0 - sims[survivors[a]][survivors[b]]).max(0.0));
             groups_from_labels(&labels, n)
         }
     };
-    table_groups
+    local_groups
         .into_iter()
         .map(|tables| Fold {
             columns: tables
                 .iter()
-                .flat_map(|&t| (0..lake[t].n_cols()).map(move |c| (t, c)))
+                .flat_map(|&local| {
+                    let t = survivors[local];
+                    (0..lake[t].n_cols()).map(move |c| (t, c))
+                })
                 .collect(),
         })
         .collect()
@@ -161,16 +202,6 @@ pub fn domain_folds(
 ) -> Vec<Fold> {
     let embedded = embed_lake(lake, strategy, encoder, seed, &Executor::single());
     folds_from_embedding(lake, &embedded)
-}
-
-fn cluster_tables(lake: &Lake, vecs: &[Vec<f32>]) -> Vec<Vec<usize>> {
-    let n = lake.n_tables();
-    if n == 1 {
-        return vec![vec![0]];
-    }
-    let labels = Hdbscan::new(HdbscanConfig::default())
-        .fit_with(n, |a, b| f64::from(cosine_distance(&vecs[a], &vecs[b])));
-    groups_from_labels(&labels, n)
 }
 
 /// Converts HDBSCAN labels to table groups; noise tables become singleton
@@ -475,6 +506,42 @@ mod tests {
     #[test]
     fn empty_lake_no_folds() {
         assert!(domain_folds(&Lake::default(), DomainFolding::Hdbscan, &encoder(), 0).is_empty());
+    }
+
+    #[test]
+    fn excluding_tables_folds_like_the_projected_lake() {
+        let lake = mixed_lake();
+        let enc = encoder();
+        let exec = Executor::single();
+        let embedded = embed_lake(&lake, DomainFolding::Hdbscan, &enc, 0, &exec);
+        let excluded = [0usize, 3];
+        let folds = folds_from_embedding_excluding(&lake, &embedded, &excluded);
+
+        // The same clustering on a lake with those tables deleted.
+        let projected =
+            Lake::new(vec![lake.tables[1].clone(), lake.tables[2].clone(), lake.tables[4].clone()]);
+        let proj_embedded = embed_lake(&projected, DomainFolding::Hdbscan, &enc, 0, &exec);
+        let proj_folds = folds_from_embedding(&projected, &proj_embedded);
+
+        // Remap the projected indices back to the original lake's.
+        let back = [1usize, 2, 4];
+        let remapped: Vec<Fold> = proj_folds
+            .into_iter()
+            .map(|f| Fold { columns: f.columns.into_iter().map(|(t, c)| (back[t], c)).collect() })
+            .collect();
+        assert_eq!(folds, remapped);
+    }
+
+    #[test]
+    fn excluding_down_to_one_or_zero_survivors() {
+        let lake = mixed_lake();
+        let enc = encoder();
+        let embedded = embed_lake(&lake, DomainFolding::Hdbscan, &enc, 0, &Executor::single());
+        let one = folds_from_embedding_excluding(&lake, &embedded, &[0, 1, 2, 3]);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].tables(), vec![4]);
+        let none = folds_from_embedding_excluding(&lake, &embedded, &[0, 1, 2, 3, 4]);
+        assert!(none.is_empty());
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //!
 //! ```text
 //! EmbedStage        ()                                → EmbeddedLake
-//! DomainFoldStage   &EmbeddedLake                     → DomainFolds
 //! FeaturizeStage    ()                                → FeaturizedLake
+//! DomainFoldStage   &EmbeddedLake                     → DomainFolds
 //! QualityFoldStage  (&DomainFolds, &FeaturizedLake)   → QualityFolds
 //! LabelStage        (&QualityFolds, &FeaturizedLake)  → PropagatedLabels
 //! ClassifyStage     (&DomainFolds, &FeaturizedLake, &PropagatedLabels) → Predictions
@@ -28,19 +28,86 @@
 //! order and every stochastic stage derives a per-index seed, so the
 //! output of every stage — and hence of the whole pipeline — is
 //! bit-identical at any thread count.
+//!
+//! ## Fault isolation
+//!
+//! Under [`FaultPolicy::Skip`](crate::pipeline::FaultPolicy::Skip) the
+//! four hot paths run on [`Executor::try_map`], which converts a panic in
+//! one work item into a per-index fault instead of killing the run. Each
+//! stage then degrades by its contract:
+//!
+//! * **embed / featurize** — the faulted *table* is quarantined: removed
+//!   from domain folding and classification, its cells left unscored.
+//!   The two per-table stages run *before* cross-table clustering, so a
+//!   quarantined table never influences the folds — survivor predictions
+//!   are bit-identical to a faultless run on the lake minus the
+//!   quarantined tables.
+//! * **quality_folds** — the faulted *domain fold* falls back to a single
+//!   quality fold around the mean feature vector (one label instead of
+//!   its budget share).
+//! * **classify** — the faulted *column* (or fold) falls back to its
+//!   propagated labels as predictions.
+//!
+//! Every fault is logged in the [`RunReport`]; what was quarantined or
+//! degraded is summarized in the [`QuarantineReport`].
 
-use crate::domain_fold::{folds_from_embedding, refine_syntactic, Fold};
-use crate::pipeline::{LabelingStrategy, MateldaConfig, TrainingStrategy};
-use crate::quality_fold::{budget_per_fold, quality_folds, QualityFold};
+use crate::domain_fold::{
+    embed_table_for, folds_from_embedding_excluding, refine_syntactic, DomainFolding, Fold,
+};
+use crate::pipeline::{FaultPolicy, LabelingStrategy, MateldaConfig, TrainingStrategy};
+use crate::quality_fold::{budget_per_fold, quality_folds, single_quality_fold, QualityFold};
 use matelda_detect::{featurize_table, CellFeatures};
 use matelda_embed::encoder::HashedEncoder;
-use matelda_exec::{Executor, RunReport, StageReport};
+use matelda_exec::{faultpoint, Executor, ItemFault, RunReport, StageReport};
 use matelda_ml::FittedClassifier;
 use matelda_table::oracle::Labeler;
 use matelda_table::{CellId, CellMask, Lake};
 use matelda_text::SpellChecker;
 
 pub use crate::domain_fold::EmbeddedLake;
+
+/// What a degraded run gave up on: the units that faulted under
+/// [`FaultPolicy::Skip`] and the fallback each one took. Empty for a
+/// faultless run (and always empty under [`FaultPolicy::Fail`], which
+/// aborts instead). All lists are sorted and duplicate-free once
+/// [`QuarantineReport::normalize`] has run (`detect` calls it).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuarantineReport {
+    /// Tables whose embedding or featurization faulted: excluded from
+    /// domain folding and classification, their cells unscored (never
+    /// flagged in the prediction mask).
+    pub tables: Vec<usize>,
+    /// Columns `(table, column)` whose classifier faulted: their
+    /// predictions fell back to the propagated labels.
+    pub columns: Vec<(usize, usize)>,
+    /// Domain folds whose quality-fold clustering faulted: degraded to a
+    /// single quality fold around the mean feature vector.
+    pub fold_fallbacks: Vec<usize>,
+}
+
+impl QuarantineReport {
+    /// `true` when nothing was quarantined or degraded.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty() && self.columns.is_empty() && self.fold_fallbacks.is_empty()
+    }
+
+    /// Sorts and deduplicates every list (stage bodies push in merge
+    /// order, which is already sorted, but fallback columns of one fold
+    /// can interleave with another's).
+    pub fn normalize(&mut self) {
+        self.tables.sort_unstable();
+        self.tables.dedup();
+        self.columns.sort_unstable();
+        self.columns.dedup();
+        self.fold_fallbacks.sort_unstable();
+        self.fold_fallbacks.dedup();
+    }
+
+    /// Whether `table` is quarantined.
+    pub fn table_quarantined(&self, table: usize) -> bool {
+        self.tables.contains(&table)
+    }
+}
 
 /// Everything a stage needs besides its input artifact: the lake, the
 /// configuration slice (strategy knobs and the seed), the deterministic
@@ -54,6 +121,8 @@ pub struct StageContext<'a> {
     pub executor: Executor,
     /// Accumulated per-stage instrumentation.
     pub report: RunReport,
+    /// Accumulated degradation decisions (see [`QuarantineReport`]).
+    pub quarantine: QuarantineReport,
 }
 
 impl<'a> StageContext<'a> {
@@ -62,7 +131,7 @@ impl<'a> StageContext<'a> {
     pub fn new(lake: &'a Lake, config: &'a MateldaConfig) -> Self {
         let executor = Executor::new(config.threads);
         let report = RunReport::new(executor.threads());
-        StageContext { lake, config, executor, report }
+        StageContext { lake, config, executor, report, quarantine: QuarantineReport::default() }
     }
 
     /// The per-index seed for parallel stochastic work: mixes `index`
@@ -70,6 +139,27 @@ impl<'a> StageContext<'a> {
     /// order.
     pub fn seed_for(&self, index: usize) -> u64 {
         self.config.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Applies the configured [`FaultPolicy`] to a stage's fault batch:
+    /// under `Fail` the first fault is re-raised as a panic (the
+    /// historical all-or-nothing behavior), under `Skip` the faults are
+    /// appended to the run's fault log and the caller degrades.
+    pub fn note_faults(&mut self, faults: Vec<ItemFault>) {
+        if faults.is_empty() {
+            return;
+        }
+        if self.config.on_error == FaultPolicy::Fail {
+            panic!("{}", faults[0]);
+        }
+        self.report.faults.extend(faults);
+    }
+
+    /// Marks a table quarantined (idempotent).
+    pub fn quarantine_table(&mut self, table: usize) {
+        if !self.quarantine.tables.contains(&table) {
+            self.quarantine.tables.push(table);
+        }
     }
 }
 
@@ -221,16 +311,45 @@ impl Stage for EmbedStage {
         stage: &mut StageReport,
     ) -> EmbeddedLake {
         let cfg = ctx.config;
-        let out = crate::domain_fold::embed_lake(
-            ctx.lake,
-            cfg.domain_folding,
-            &self.encoder,
-            cfg.seed,
-            &ctx.executor,
-        );
+        let out = match cfg.domain_folding {
+            // Per-table strategies are fault-isolated: a table whose
+            // embedding panics is quarantined (empty placeholder vector,
+            // never clustered) and the run continues.
+            DomainFolding::Hdbscan | DomainFolding::RowSampling(_) => {
+                let encoder = &self.encoder;
+                let results = ctx.executor.try_map(self.name(), &ctx.lake.tables, |ti, t| {
+                    faultpoint::hit("embed", ti);
+                    embed_table_for(cfg.domain_folding, encoder, cfg.seed, ti, t)
+                });
+                let mut vecs = Vec::with_capacity(results.len());
+                let mut faults = Vec::new();
+                for (ti, r) in results.into_iter().enumerate() {
+                    match r {
+                        Ok(v) => vecs.push(v),
+                        Err(fault) => {
+                            vecs.push(Vec::new());
+                            faults.push(fault);
+                            ctx.quarantine_table(ti);
+                        }
+                    }
+                }
+                ctx.note_faults(faults);
+                EmbeddedLake::Vectors(vecs)
+            }
+            // Whole-lake strategies (EDF, Santos) have no per-table unit
+            // of work to isolate; they run unguarded.
+            _ => crate::domain_fold::embed_lake(
+                ctx.lake,
+                cfg.domain_folding,
+                &self.encoder,
+                cfg.seed,
+                &ctx.executor,
+            ),
+        };
         stage.items = ctx.lake.n_tables() as u64;
         if let EmbeddedLake::Vectors(v) = &out {
-            stage.metrics.push(("dims".into(), v.first().map_or(0.0, |e| e.len() as f64)));
+            let dims = v.iter().find(|e| !e.is_empty()).map_or(0.0, |e| e.len() as f64);
+            stage.metrics.push(("dims".into(), dims));
         }
         out
     }
@@ -255,7 +374,10 @@ impl Stage for DomainFoldStage {
         stage: &mut StageReport,
     ) -> DomainFolds {
         let cfg = ctx.config;
-        let mut folds = folds_from_embedding(ctx.lake, embedded);
+        // Quarantined tables are excluded *before* clustering, so the
+        // survivors fold exactly as they would in a lake without the
+        // quarantined tables.
+        let mut folds = folds_from_embedding_excluding(ctx.lake, embedded, &ctx.quarantine.tables);
         if cfg.syntactic_refinement {
             folds = refine_syntactic(ctx.lake, folds, cfg.syntactic_groups);
         }
@@ -293,7 +415,41 @@ impl Stage for FeaturizeStage {
     ) -> FeaturizedLake {
         let spell = &self.spell;
         let cfg = &ctx.config.features;
-        let features = ctx.executor.map(&ctx.lake.tables, |_, t| featurize_table(t, spell, cfg));
+        // Tables already quarantined (embed faults) get an empty
+        // placeholder; any accidental feature access on one is an
+        // out-of-bounds panic rather than silent garbage.
+        let placeholder = |t: &matelda_table::Table| CellFeatures {
+            n_cols: t.n_cols(),
+            n_rows: 0,
+            vectors: Vec::new(),
+        };
+        let quarantined: Vec<bool> = {
+            let mut q = vec![false; ctx.lake.n_tables()];
+            for &t in &ctx.quarantine.tables {
+                q[t] = true;
+            }
+            q
+        };
+        let results = ctx.executor.try_map(self.name(), &ctx.lake.tables, |ti, t| {
+            if quarantined[ti] {
+                return placeholder(t);
+            }
+            faultpoint::hit("featurize", ti);
+            featurize_table(t, spell, cfg)
+        });
+        let mut features = Vec::with_capacity(results.len());
+        let mut faults = Vec::new();
+        for (ti, r) in results.into_iter().enumerate() {
+            match r {
+                Ok(f) => features.push(f),
+                Err(fault) => {
+                    features.push(placeholder(&ctx.lake.tables[ti]));
+                    faults.push(fault);
+                    ctx.quarantine_table(ti);
+                }
+            }
+        }
+        ctx.note_faults(faults);
         stage.items = ctx.lake.n_cells() as u64;
         FeaturizedLake { features }
     }
@@ -327,42 +483,67 @@ impl Stage for QualityFoldStage {
 
         // Per-domain-fold clustering, parallel with per-fold seeds.
         // Zero-budget folds (the clamp can starve them) are skipped:
-        // they may spend no labels, so clustering them buys nothing.
-        let per_fold: Vec<Vec<QualityFoldEntry>> = ctx.executor.map_n(domain.folds.len(), |fi| {
-            let k = budgets[fi] * fold_multiplier;
-            if k == 0 {
-                return Vec::new();
-            }
-            let seed = cfg.seed ^ (fi as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            let mut qfolds = quality_folds(
-                ctx.lake,
-                &domain.folds[fi],
-                &featurized.features,
-                k,
-                cfg.kmeans_batch,
-                cfg.kmeans_iterations,
-                seed,
-            );
-            // TUCF labels only the `budgets[fi]` largest folds;
-            // otherwise every fold is labeled.
-            let labeled: Vec<bool> = if tucf {
-                let mut order: Vec<usize> = (0..qfolds.len()).collect();
-                order.sort_by_key(|&i| std::cmp::Reverse(qfolds[i].cells.len()));
-                let mut flag = vec![false; qfolds.len()];
-                for &i in order.iter().take(budgets[fi]) {
-                    flag[i] = true;
+        // they may spend no labels, so clustering them buys nothing —
+        // and since they spend nothing, they have no fault point either
+        // (a fallback fold would overspend the budget).
+        let per_fold: Vec<Result<Vec<QualityFoldEntry>, ItemFault>> =
+            ctx.executor.try_map_n(self.name(), domain.folds.len(), |fi| {
+                let k = budgets[fi] * fold_multiplier;
+                if k == 0 {
+                    return Vec::new();
                 }
-                flag
-            } else {
-                vec![true; qfolds.len()]
-            };
-            qfolds
-                .drain(..)
-                .zip(labeled)
-                .map(|(fold, labeled)| QualityFoldEntry { domain_fold: fi, fold, labeled })
-                .collect()
-        });
-        let entries: Vec<QualityFoldEntry> = per_fold.into_iter().flatten().collect();
+                faultpoint::hit("quality_folds", fi);
+                let seed = cfg.seed ^ (fi as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let mut qfolds = quality_folds(
+                    ctx.lake,
+                    &domain.folds[fi],
+                    &featurized.features,
+                    k,
+                    cfg.kmeans_batch,
+                    cfg.kmeans_iterations,
+                    seed,
+                );
+                // TUCF labels only the `budgets[fi]` largest folds;
+                // otherwise every fold is labeled.
+                let labeled: Vec<bool> = if tucf {
+                    let mut order: Vec<usize> = (0..qfolds.len()).collect();
+                    order.sort_by_key(|&i| std::cmp::Reverse(qfolds[i].cells.len()));
+                    let mut flag = vec![false; qfolds.len()];
+                    for &i in order.iter().take(budgets[fi]) {
+                        flag[i] = true;
+                    }
+                    flag
+                } else {
+                    vec![true; qfolds.len()]
+                };
+                qfolds
+                    .drain(..)
+                    .zip(labeled)
+                    .map(|(fold, labeled)| QualityFoldEntry { domain_fold: fi, fold, labeled })
+                    .collect()
+            });
+        let mut entries: Vec<QualityFoldEntry> = Vec::new();
+        let mut faults = Vec::new();
+        for (fi, r) in per_fold.into_iter().enumerate() {
+            match r {
+                Ok(v) => entries.extend(v),
+                Err(fault) => {
+                    faults.push(fault);
+                    // Degrade: the whole domain fold as one labeled
+                    // quality fold around the mean feature vector. The
+                    // fault point sits after the zero-budget check, so
+                    // `budgets[fi] >= 1` and the single label is within
+                    // this fold's allocation.
+                    if let Some(fold) =
+                        single_quality_fold(ctx.lake, &domain.folds[fi], &featurized.features)
+                    {
+                        entries.push(QualityFoldEntry { domain_fold: fi, fold, labeled: true });
+                    }
+                    ctx.quarantine.fold_fallbacks.push(fi);
+                }
+            }
+        }
+        ctx.note_faults(faults);
 
         stage.items = entries.iter().map(|e| e.fold.cells.len() as u64).sum();
         stage.metrics.push(("folds_formed".into(), entries.len() as f64));
@@ -462,7 +643,7 @@ impl Stage for ClassifyStage {
         (domain, featurized, propagated): (&DomainFolds, &FeaturizedLake, &PropagatedLabels),
         stage: &mut StageReport,
     ) -> Predictions {
-        let mask = match ctx.config.training {
+        let (mask, faults, fallback_cols) = match ctx.config.training {
             TrainingStrategy::PerColumn => {
                 train_per_column(ctx, featurized, &propagated.labels, stage)
             }
@@ -470,6 +651,8 @@ impl Stage for ClassifyStage {
                 train_per_fold(ctx, featurized, &propagated.labels, &domain.folds, stage)
             }
         };
+        ctx.quarantine.columns.extend(fallback_cols);
+        ctx.note_faults(faults);
         stage.items = ctx.lake.n_cells() as u64;
         stage.metrics.push(("flagged".into(), mask.count() as f64));
         Predictions { mask }
@@ -512,86 +695,142 @@ pub(crate) fn fit_column_models(
 }
 
 /// One classifier per column (the paper's default), trained in parallel
-/// with predictions merged in `(table, column)` order.
+/// with predictions merged in `(table, column)` order. Quarantined
+/// tables' columns get no model and stay unflagged; a column whose
+/// training or prediction faults falls back to its propagated labels.
+/// Returns the mask plus the faults and fallback columns for the caller
+/// to apply to the context.
 fn train_per_column(
     ctx: &StageContext<'_>,
     featurized: &FeaturizedLake,
     labels: &[Vec<Option<bool>>],
     stage: &mut StageReport,
-) -> CellMask {
+) -> (CellMask, Vec<ItemFault>, Vec<(usize, usize)>) {
     let lake = ctx.lake;
     let columns: Vec<(usize, usize)> = lake
         .tables
         .iter()
         .enumerate()
+        .filter(|&(t, _)| !ctx.quarantine.table_quarantined(t))
         .flat_map(|(t, table)| (0..table.n_cols()).map(move |c| (t, c)))
         .collect();
     stage.metrics.push(("models".into(), columns.len() as f64));
-    let flagged: Vec<Vec<usize>> = ctx.executor.map(&columns, |_, &(t, c)| {
-        let table = &lake.tables[t];
-        let m = table.n_cols();
-        let mut x = Vec::new();
-        let mut y = Vec::new();
-        for r in 0..table.n_rows() {
-            if let Some(lab) = labels[t][r * m + c] {
-                x.push(featurized.features[t].get(r, c).to_vec());
-                y.push(lab);
+    let flagged: Vec<Result<Vec<usize>, ItemFault>> =
+        ctx.executor.try_map("classify", &columns, |i, &(t, c)| {
+            faultpoint::hit("classify", i);
+            let table = &lake.tables[t];
+            let m = table.n_cols();
+            let mut x = Vec::new();
+            let mut y = Vec::new();
+            for r in 0..table.n_rows() {
+                if let Some(lab) = labels[t][r * m + c] {
+                    x.push(featurized.features[t].get(r, c).to_vec());
+                    y.push(lab);
+                }
+            }
+            let model = FittedClassifier::fit(&ctx.config.classifier, &x, &y);
+            (0..table.n_rows())
+                .filter(|&r| model.predict(featurized.features[t].get(r, c)))
+                .collect()
+        });
+    let mut predicted = CellMask::empty(lake);
+    let mut faults = Vec::new();
+    let mut fallback_cols = Vec::new();
+    for (&(t, c), result) in columns.iter().zip(flagged) {
+        match result {
+            Ok(rows) => {
+                for r in rows {
+                    predicted.set(CellId::new(t, r, c), true);
+                }
+            }
+            Err(fault) => {
+                faults.push(fault);
+                fallback_cols.push((t, c));
+                flag_propagated(lake, labels, t, c, &mut predicted);
             }
         }
-        let model = FittedClassifier::fit(&ctx.config.classifier, &x, &y);
-        (0..table.n_rows()).filter(|&r| model.predict(featurized.features[t].get(r, c))).collect()
-    });
-    let mut predicted = CellMask::empty(lake);
-    for (&(t, c), rows) in columns.iter().zip(&flagged) {
-        for &r in rows {
+    }
+    (predicted, faults, fallback_cols)
+}
+
+/// The classifier fallback: flag exactly the cells of `(t, c)` whose
+/// propagated label says "erroneous" — the label-propagation verdict
+/// stands in for the model that could not be trained.
+fn flag_propagated(
+    lake: &Lake,
+    labels: &[Vec<Option<bool>>],
+    t: usize,
+    c: usize,
+    predicted: &mut CellMask,
+) {
+    let m = lake[t].n_cols();
+    for r in 0..lake[t].n_rows() {
+        if labels[t][r * m + c] == Some(true) {
             predicted.set(CellId::new(t, r, c), true);
         }
     }
-    predicted
 }
 
 /// One classifier per domain fold (TPDF / TUCF), trained in parallel
-/// with predictions merged in fold order.
+/// with predictions merged in fold order. Folds never contain
+/// quarantined tables (they were excluded before clustering); a fold
+/// whose model faults falls back to propagated labels for all its
+/// columns.
 fn train_per_fold(
     ctx: &StageContext<'_>,
     featurized: &FeaturizedLake,
     labels: &[Vec<Option<bool>>],
     folds: &[Fold],
     stage: &mut StageReport,
-) -> CellMask {
+) -> (CellMask, Vec<ItemFault>, Vec<(usize, usize)>) {
     let lake = ctx.lake;
     stage.metrics.push(("models".into(), folds.len() as f64));
-    let flagged: Vec<Vec<CellId>> = ctx.executor.map_n(folds.len(), |fi| {
-        let fold = &folds[fi];
-        let mut x = Vec::new();
-        let mut y = Vec::new();
-        for &(t, c) in &fold.columns {
-            let m = lake[t].n_cols();
-            for r in 0..lake[t].n_rows() {
-                if let Some(lab) = labels[t][r * m + c] {
-                    x.push(featurized.features[t].get(r, c).to_vec());
-                    y.push(lab);
+    let flagged: Vec<Result<Vec<CellId>, ItemFault>> =
+        ctx.executor.try_map_n("classify", folds.len(), |fi| {
+            faultpoint::hit("classify", fi);
+            let fold = &folds[fi];
+            let mut x = Vec::new();
+            let mut y = Vec::new();
+            for &(t, c) in &fold.columns {
+                let m = lake[t].n_cols();
+                for r in 0..lake[t].n_rows() {
+                    if let Some(lab) = labels[t][r * m + c] {
+                        x.push(featurized.features[t].get(r, c).to_vec());
+                        y.push(lab);
+                    }
                 }
             }
-        }
-        let model = FittedClassifier::fit(&ctx.config.classifier, &x, &y);
-        let mut ids = Vec::new();
-        for &(t, c) in &fold.columns {
-            for r in 0..lake[t].n_rows() {
-                if model.predict(featurized.features[t].get(r, c)) {
-                    ids.push(CellId::new(t, r, c));
+            let model = FittedClassifier::fit(&ctx.config.classifier, &x, &y);
+            let mut ids = Vec::new();
+            for &(t, c) in &fold.columns {
+                for r in 0..lake[t].n_rows() {
+                    if model.predict(featurized.features[t].get(r, c)) {
+                        ids.push(CellId::new(t, r, c));
+                    }
                 }
             }
-        }
-        ids
-    });
+            ids
+        });
     let mut predicted = CellMask::empty(lake);
-    for ids in flagged {
-        for id in ids {
-            predicted.set(id, true);
+    let mut faults = Vec::new();
+    let mut fallback_cols = Vec::new();
+    for (fi, result) in flagged.into_iter().enumerate() {
+        match result {
+            Ok(ids) => {
+                for id in ids {
+                    predicted.set(id, true);
+                }
+            }
+            Err(fault) => {
+                faults.push(fault);
+                for &(t, c) in &folds[fi].columns {
+                    fallback_cols.push((t, c));
+                    flag_propagated(lake, labels, t, c, &mut predicted);
+                }
+            }
         }
     }
-    predicted
+    (predicted, faults, fallback_cols)
 }
 
 /// The uncertainty-refinement phase (see
@@ -627,7 +866,9 @@ fn refine_with_uncertainty(
             (mean, i)
         })
         .collect();
-    ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
+    // total_cmp: a NaN ambiguity (e.g. a degenerate model emitting NaN
+    // probabilities) must rank, not panic.
+    ranked.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
 
     let sq =
         |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum() };
@@ -638,7 +879,7 @@ fn refine_with_uncertainty(
             .cells
             .iter()
             .filter(|&&id| id != *anchor)
-            .max_by(|&&a, &&b| ambiguity(a).partial_cmp(&ambiguity(b)).expect("finite"))
+            .max_by(|&&a, &&b| ambiguity(a).total_cmp(&ambiguity(b)))
         else {
             continue;
         };
@@ -676,8 +917,8 @@ mod tests {
         // Staged, by hand.
         let mut ctx = StageContext::new(&lake.dirty, &cfg);
         let embedded = EmbedStage::from_config(&cfg).run(&mut ctx, ());
-        let domain = DomainFoldStage.run(&mut ctx, &embedded);
         let featurized = FeaturizeStage::default().run(&mut ctx, ());
+        let domain = DomainFoldStage.run(&mut ctx, &embedded);
         let quality = QualityFoldStage { budget }.run(&mut ctx, (&domain, &featurized));
         let mut oracle = Oracle::new(&lake.errors);
         let propagated =
@@ -701,9 +942,9 @@ mod tests {
         let cfg = cfg_with_threads(1);
         let mut ctx = StageContext::new(&lake.dirty, &cfg);
         let embedded = EmbeddedLake::Trivial; // caller-supplied artifact
+        let featurized = FeaturizeStage::default().run(&mut ctx, ());
         let domain = DomainFoldStage.run(&mut ctx, &embedded);
         assert_eq!(domain.folds.len(), 1, "trivial embedding folds everything together");
-        let featurized = FeaturizeStage::default().run(&mut ctx, ());
         let quality = QualityFoldStage { budget: 10 }.run(&mut ctx, (&domain, &featurized));
         let mut oracle = Oracle::new(&lake.errors);
         let propagated =
@@ -721,11 +962,77 @@ mod tests {
         let names: Vec<&str> = result.report.stages.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(
             names,
-            vec!["embed", "domain_folds", "featurize", "quality_folds", "label", "classify"]
+            vec!["embed", "featurize", "domain_folds", "quality_folds", "label", "classify"]
         );
         assert!(result.report.stages.iter().all(|s| s.wall_secs >= 0.0));
         assert!(result.report.stage("featurize").expect("exists").items > 0);
         assert!(result.report.stage("label").expect("exists").items > 0);
         assert_eq!(result.report.threads, 2);
+    }
+
+    #[test]
+    fn skip_policy_quarantines_faulted_table_and_completes() {
+        use crate::pipeline::FaultPolicy;
+        let lake = QuintetLake { rows_per_table: 25, error_rate: 0.1 }.generate(9);
+        let cfg = MateldaConfig { on_error: FaultPolicy::Skip, threads: 2, ..Default::default() };
+        let _guard = faultpoint::arm([("embed".to_string(), 1)]);
+        let mut oracle = Oracle::new(&lake.errors);
+        let result = crate::Matelda::new(cfg).detect(&lake.dirty, &mut oracle, 20);
+        assert_eq!(result.quarantine.tables, vec![1]);
+        assert_eq!(result.report.faults.len(), 1);
+        assert_eq!(result.report.faults[0].stage, "embed");
+        assert_eq!(result.report.faults[0].index, 1);
+        // Quarantined cells are unscored: nothing in table 1 is flagged.
+        let (rows, cols) = (lake.dirty[1].n_rows(), lake.dirty[1].n_cols());
+        for r in 0..rows {
+            for c in 0..cols {
+                assert!(!result.predicted.get(matelda_table::CellId::new(1, r, c)));
+            }
+        }
+        // The rest of the lake still gets predictions.
+        assert_eq!(result.predicted.n_cells(), lake.dirty.n_cells());
+    }
+
+    #[test]
+    fn fail_policy_panics_on_injected_fault() {
+        let lake = QuintetLake { rows_per_table: 20, error_rate: 0.1 }.generate(3);
+        let cfg = MateldaConfig { threads: 1, ..Default::default() }; // Fail is the default
+        let _guard = faultpoint::arm([("featurize".to_string(), 0)]);
+        let mut oracle = Oracle::new(&lake.errors);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::Matelda::new(cfg).detect(&lake.dirty, &mut oracle, 10)
+        }));
+        let payload = caught.expect_err("fault must abort under Fail");
+        let msg = matelda_exec::panic_message(payload.as_ref());
+        assert!(msg.contains("featurize[0]"), "unexpected panic message: {msg}");
+    }
+
+    #[test]
+    fn quality_fold_fault_degrades_to_single_fold() {
+        use crate::pipeline::FaultPolicy;
+        let lake = QuintetLake { rows_per_table: 25, error_rate: 0.1 }.generate(4);
+        let cfg = MateldaConfig { on_error: FaultPolicy::Skip, threads: 1, ..Default::default() };
+        let budget = 20;
+        let _guard = faultpoint::arm([("quality_folds".to_string(), 0)]);
+        let mut oracle = Oracle::new(&lake.errors);
+        let result = crate::Matelda::new(cfg).detect(&lake.dirty, &mut oracle, budget);
+        assert_eq!(result.quarantine.fold_fallbacks, vec![0]);
+        assert!(result.quarantine.tables.is_empty());
+        assert!(result.labels_used <= budget, "budget overspent: {}", result.labels_used);
+        assert!(result.n_quality_folds >= 1);
+    }
+
+    #[test]
+    fn classify_fault_falls_back_to_propagated_labels() {
+        use crate::pipeline::FaultPolicy;
+        let lake = QuintetLake { rows_per_table: 25, error_rate: 0.1 }.generate(6);
+        let cfg = MateldaConfig { on_error: FaultPolicy::Skip, threads: 2, ..Default::default() };
+        let _guard = faultpoint::arm([("classify".to_string(), 0)]);
+        let mut oracle = Oracle::new(&lake.errors);
+        let result = crate::Matelda::new(cfg).detect(&lake.dirty, &mut oracle, 30);
+        assert_eq!(result.quarantine.columns.len(), 1);
+        assert_eq!(result.report.faults.len(), 1);
+        assert_eq!(result.report.faults[0].stage, "classify");
+        assert_eq!(result.predicted.n_cells(), lake.dirty.n_cells());
     }
 }

@@ -46,9 +46,11 @@ pub use domain_fold::{domain_folds, DomainFolding, EmbeddedLake, Fold};
 pub use engine::{
     ClassifyStage, DomainFoldStage, DomainFolds, EmbedStage, FeaturizeStage, FeaturizedLake,
     LabelStage, LabeledFold, Predictions, PropagatedLabels, QualityFoldEntry, QualityFoldStage,
-    QualityFolds, Stage, StageContext,
+    QualityFolds, QuarantineReport, Stage, StageContext,
 };
-pub use matelda_exec::{Executor, RunReport, StageReport};
+pub use matelda_exec::{Executor, ItemFault, RunReport, StageReport};
 pub use matelda_table::oracle::{Labeler, Oracle};
-pub use pipeline::{DetectionResult, LabelingStrategy, Matelda, MateldaConfig, TrainingStrategy};
+pub use pipeline::{
+    DetectionResult, FaultPolicy, LabelingStrategy, Matelda, MateldaConfig, TrainingStrategy,
+};
 pub use repair::{suggest_repairs, Repair, RepairStrategy};

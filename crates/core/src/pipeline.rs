@@ -16,6 +16,23 @@ use matelda_ml::ClassifierKind;
 use matelda_table::oracle::Labeler;
 use matelda_table::{CellMask, Lake};
 
+/// How the pipeline reacts to a faulted work item (a panic or error in
+/// one table's embedding/featurization, one fold's clustering, or one
+/// column's classifier).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FaultPolicy {
+    /// Abort the run on the first fault (the historical behavior): the
+    /// fault is re-raised as a panic naming the stage and item.
+    #[default]
+    Fail,
+    /// Quarantine-and-continue: the faulted unit is removed from the run
+    /// (table quarantined, fold degraded to a single quality fold, column
+    /// falls back to propagated labels), the fault is logged in the
+    /// [`matelda_exec::RunReport`], and everything else proceeds —
+    /// deterministically, at any thread count.
+    Skip,
+}
+
 /// How the labeling budget is spent in Step 3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LabelingStrategy {
@@ -80,6 +97,8 @@ pub struct MateldaConfig {
     /// value — the executor merges in index order and all stochastic
     /// work derives per-index seeds.
     pub threads: usize,
+    /// What to do when a work item faults (see [`FaultPolicy`]).
+    pub on_error: FaultPolicy,
 }
 
 impl Default for MateldaConfig {
@@ -100,6 +119,7 @@ impl Default for MateldaConfig {
             labeling: LabelingStrategy::CentroidPerFold,
             seed: 0,
             threads: 0,
+            on_error: FaultPolicy::Fail,
         }
     }
 }
@@ -107,7 +127,9 @@ impl Default for MateldaConfig {
 /// Output of a detection run.
 #[derive(Debug, Clone)]
 pub struct DetectionResult {
-    /// Cells predicted erroneous.
+    /// Cells predicted erroneous. Cells of quarantined tables are never
+    /// flagged — they are unscored, not "clean"; consult
+    /// [`DetectionResult::quarantine`] before computing metrics.
     pub predicted: CellMask,
     /// Labels actually drawn from the user/oracle.
     pub labels_used: usize,
@@ -115,8 +137,12 @@ pub struct DetectionResult {
     pub n_domain_folds: usize,
     /// Total quality folds formed in Step 2.
     pub n_quality_folds: usize,
-    /// Per-stage wall time and work counters for the run.
+    /// Per-stage wall time and work counters for the run, including the
+    /// structured fault log under [`FaultPolicy::Skip`].
     pub report: RunReport,
+    /// What was quarantined or degraded during the run (empty unless
+    /// faults occurred under [`FaultPolicy::Skip`]).
+    pub quarantine: crate::engine::QuarantineReport,
 }
 
 /// The Matelda estimator.
@@ -139,12 +165,15 @@ impl Matelda {
         let cfg = &self.config;
         let mut ctx = StageContext::new(lake, cfg);
 
-        // Step 1: domain-based cell folding (embed, then cluster).
+        // The two per-table stages run first so that any table faulting
+        // under FaultPolicy::Skip is quarantined *before* cross-table
+        // clustering — survivors then fold, label and classify exactly
+        // as they would in a lake without the quarantined tables.
         let embedded = EmbedStage::from_config(cfg).run(&mut ctx, ());
-        let domain = DomainFoldStage.run(&mut ctx, &embedded);
-
-        // Unified featurization, once per table.
         let featurized = FeaturizeStage::default().run(&mut ctx, ());
+
+        // Step 1: domain-based cell folding (cluster the embedding).
+        let domain = DomainFoldStage.run(&mut ctx, &embedded);
 
         // Step 2: quality-based cell folding. The uncertainty extension
         // reserves half the budget for refinement.
@@ -162,12 +191,14 @@ impl Matelda {
         // Step 5: classification.
         let predictions = ClassifyStage.run(&mut ctx, (&domain, &featurized, &propagated));
 
+        ctx.quarantine.normalize();
         DetectionResult {
             predicted: predictions.mask,
             labels_used: propagated.labels_used,
             n_domain_folds: domain.folds.len(),
             n_quality_folds: quality.n_total(),
             report: ctx.report,
+            quarantine: ctx.quarantine,
         }
     }
 }
@@ -277,6 +308,54 @@ mod tests {
         assert_eq!(r.labels_used, 0);
         assert_eq!(r.n_domain_folds, 0);
         assert_eq!(r.report.stages.len(), 6, "all stages report even on an empty lake");
+    }
+
+    #[test]
+    fn single_table_lake_forms_a_singleton_fold() {
+        // One table: HDBSCAN has a single point to cluster; the pipeline
+        // must form the singleton fold rather than panic or drop it.
+        let gl = QuintetLake { rows_per_table: 20, error_rate: 0.1 }.generate(2);
+        let lake = Lake::new(vec![gl.dirty.tables[0].clone()]);
+        let truth = CellMask::from_cells(
+            &lake,
+            gl.errors.iter_set().filter(|id| id.table == 0).collect::<Vec<_>>(),
+        );
+        let mut oracle = Oracle::new(&truth);
+        let r = Matelda::default().detect(&lake, &mut oracle, 10);
+        assert_eq!(r.n_domain_folds, 1);
+        assert!(r.labels_used <= 10);
+        assert_eq!(r.predicted.n_cells(), lake.n_cells());
+        assert!(r.quarantine.is_empty());
+    }
+
+    #[test]
+    fn zero_row_and_zero_column_tables_flow_through_every_stage() {
+        use matelda_table::{Column, Table};
+        // A normal table plus two degenerate ones: a table whose columns
+        // hold no values, and a table with no columns at all. Every
+        // stage must pass them through under both fault policies.
+        let gl = QuintetLake { rows_per_table: 15, error_rate: 0.1 }.generate(9);
+        let zero_rows = Table::new(
+            "zero_rows",
+            vec![Column::new("a", Vec::<String>::new()), Column::new("b", Vec::<String>::new())],
+        );
+        let zero_cols = Table::new("zero_cols", Vec::new());
+        let mut tables = gl.dirty.tables.clone();
+        tables.push(zero_rows);
+        tables.push(zero_cols);
+        let lake = Lake::new(tables);
+        let truth = CellMask::from_cells(&lake, gl.errors.iter_set().collect::<Vec<_>>());
+        for on_error in [FaultPolicy::Fail, FaultPolicy::Skip] {
+            let mut oracle = Oracle::new(&truth);
+            let cfg = MateldaConfig { on_error, ..Default::default() };
+            let r = Matelda::new(cfg).detect(&lake, &mut oracle, 15);
+            assert_eq!(r.report.stages.len(), 6, "{on_error:?}");
+            assert!(r.labels_used <= 15, "{on_error:?}");
+            assert_eq!(r.predicted.n_cells(), lake.n_cells(), "{on_error:?}");
+            // Degenerate tables have no cells, so nothing to flag there;
+            // and they must not be quarantined — empty is not faulty.
+            assert!(r.quarantine.tables.is_empty(), "{on_error:?}: {:?}", r.quarantine);
+        }
     }
 
     #[test]

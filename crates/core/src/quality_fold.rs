@@ -107,6 +107,41 @@ pub fn quality_folds(
     folds
 }
 
+/// The degraded form of [`quality_folds`]: the whole domain fold as one
+/// quality fold around the mean feature vector. The engine falls back to
+/// this when a fold's k-means faults under
+/// [`FaultPolicy::Skip`](crate::pipeline::FaultPolicy::Skip) — a single
+/// fold still lets the label stage spend one label and propagate it,
+/// instead of dropping the domain fold entirely. Returns `None` for a
+/// cell-less fold.
+pub fn single_quality_fold(
+    lake: &Lake,
+    fold: &Fold,
+    features: &[CellFeatures],
+) -> Option<QualityFold> {
+    let mut cells: Vec<CellId> = Vec::new();
+    for &(t, c) in &fold.columns {
+        for r in 0..lake[t].n_rows() {
+            cells.push(CellId::new(t, r, c));
+        }
+    }
+    if cells.is_empty() {
+        return None;
+    }
+    let dim = features[cells[0].table].get(cells[0].row, cells[0].col).len();
+    // f64 accumulators: the mean must not depend on summation overflow
+    // or f32 cancellation for large folds.
+    let mut acc = vec![0.0f64; dim];
+    for &id in &cells {
+        for (a, &v) in acc.iter_mut().zip(features[id.table].get(id.row, id.col)) {
+            *a += f64::from(v);
+        }
+    }
+    let n = cells.len() as f64;
+    let centroid: Vec<f32> = acc.into_iter().map(|a| (a / n) as f32).collect();
+    Some(QualityFold { cells, centroid })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,5 +244,29 @@ mod tests {
         let fold = Fold { columns: vec![] };
         let f = features(&l);
         assert!(quality_folds(&l, &fold, &f, 2, 64, 10, 0).is_empty());
+    }
+
+    #[test]
+    fn single_fold_fallback_covers_all_cells_with_mean_centroid() {
+        let l = lake();
+        let fold = Fold { columns: vec![(0, 0), (0, 1)] };
+        let f = features(&l);
+        let qf = single_quality_fold(&l, &fold, &f).expect("non-empty fold");
+        assert_eq!(qf.cells.len(), 12);
+        // Centroid is the elementwise mean of the member vectors.
+        let dim = qf.centroid.len();
+        for d in 0..dim {
+            let mean: f64 = qf
+                .cells
+                .iter()
+                .map(|&id| f64::from(f[id.table].get(id.row, id.col)[d]))
+                .sum::<f64>()
+                / 12.0;
+            assert!((f64::from(qf.centroid[d]) - mean).abs() < 1e-6, "dim {d}");
+        }
+        // The sample is still a member cell.
+        let get = |id: CellId| f[id.table].get(id.row, id.col).to_vec();
+        assert!(qf.cells.contains(&qf.sample(&get)));
+        assert!(single_quality_fold(&l, &Fold { columns: vec![] }, &f).is_none());
     }
 }

@@ -156,7 +156,9 @@ fn repair_cell(
                 .filter_map(|(_, v)| as_f64(v))
                 .collect();
             if others.len() >= 4 {
-                others.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                // total_cmp: a NaN among the parsed values (e.g. a "nan"
+                // cell) must never panic repair suggestion.
+                others.sort_by(f64::total_cmp);
                 let median = others[others.len() / 2];
                 let max_abs = others.iter().fold(0.0f64, |m, v| m.max(v.abs()));
                 if x.abs() > 10.0 * max_abs.max(1e-9) {

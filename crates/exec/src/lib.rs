@@ -7,12 +7,58 @@
 //!   always merged **in index order**, so output is bit-identical at any
 //!   thread count. Built on `std::thread::scope` only — no dependencies,
 //!   per the workspace crate policy.
+//! * [`Executor::try_map`] / [`Executor::try_map_n`] — the fault-isolated
+//!   variants: each work item runs under `catch_unwind`, a panic becomes
+//!   an [`ItemFault`] for that index only, and the index-ordered merge is
+//!   preserved, so degradation is as deterministic as success.
 //! * [`RunReport`] / [`StageReport`] — per-stage wall time plus work
-//!   counters, threaded through every stage of a pipeline run and
-//!   rendered as aligned text or JSON.
+//!   counters and the structured fault log, threaded through every stage
+//!   of a pipeline run and rendered as aligned text or JSON.
+//! * [`faultpoint`] — a test-only injection hook the chaos harness arms
+//!   to panic chosen `(stage, index)` work items.
 
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
+
+/// One isolated work-item failure: the stage it happened in, the item
+/// index within the stage's index space, and the panic payload (or error
+/// rendering) that killed it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemFault {
+    /// Stage name the faulted item belonged to (e.g. `embed`).
+    pub stage: String,
+    /// Index of the work item within the stage's map.
+    pub index: usize,
+    /// Human-readable panic payload or error message.
+    pub message: String,
+}
+
+impl ItemFault {
+    /// Creates a fault record.
+    pub fn new(stage: &str, index: usize, message: impl Into<String>) -> Self {
+        ItemFault { stage: stage.to_string(), index, message: message.into() }
+    }
+}
+
+impl fmt::Display for ItemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.stage, self.index, self.message)
+    }
+}
+
+/// Renders a caught panic payload as a message (`&str` and `String`
+/// payloads pass through; anything else becomes a placeholder).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
 
 /// A deterministic parallel executor.
 ///
@@ -104,6 +150,69 @@ impl Executor {
     {
         self.map_n(items.len(), |i| f(i, &items[i]))
     }
+
+    /// Fault-isolated [`Executor::map_n`]: each `f(i)` runs under
+    /// `catch_unwind`, so a panic in one work item becomes
+    /// `Err(ItemFault)` at that index instead of tearing down the run.
+    /// Results still merge in index order — `try_map_n` at any thread
+    /// count returns the same vector, faults included, which is what
+    /// keeps degraded runs bit-identical.
+    ///
+    /// `stage` names the stage in the fault records.
+    pub fn try_map_n<R, F>(&self, stage: &str, n: usize, f: F) -> Vec<Result<R, ItemFault>>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let guarded = |i: usize| -> Result<R, ItemFault> {
+            catch_unwind(AssertUnwindSafe(|| f(i)))
+                .map_err(|payload| ItemFault::new(stage, i, panic_message(payload.as_ref())))
+        };
+        if self.threads <= 1 || n <= 1 {
+            return (0..n).map(guarded).collect();
+        }
+        let workers = self.threads.min(n);
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<Result<R, ItemFault>>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    let guarded = &guarded;
+                    scope.spawn(move || {
+                        let mut mine: Vec<(usize, Result<R, ItemFault>)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            mine.push((i, guarded(i)));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, r) in handle.join().expect("executor worker panicked") {
+                    slots[i] = Some(r);
+                }
+            }
+        });
+
+        slots.into_iter().map(|s| s.expect("every index produced exactly once")).collect()
+    }
+
+    /// Fault-isolated [`Executor::map`] (see [`Executor::try_map_n`]).
+    pub fn try_map<T, R, F>(&self, stage: &str, items: &[T], f: F) -> Vec<Result<R, ItemFault>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.try_map_n(stage, items.len(), |i| f(i, &items[i]))
+    }
 }
 
 /// Instrumentation for one pipeline stage.
@@ -138,12 +247,14 @@ pub struct RunReport {
     pub threads: usize,
     /// Per-stage reports, in execution order.
     pub stages: Vec<StageReport>,
+    /// Isolated work-item failures, in (stage execution, index) order.
+    pub faults: Vec<ItemFault>,
 }
 
 impl RunReport {
     /// Creates an empty report for a run at `threads` threads.
     pub fn new(threads: usize) -> Self {
-        RunReport { threads, stages: Vec::new() }
+        RunReport { threads, stages: Vec::new(), faults: Vec::new() }
     }
 
     /// Total wall time across stages.
@@ -187,6 +298,9 @@ impl RunReport {
             ));
         }
         out.push_str(&format!("{:<16} {:>9.4}s\n", "total", self.total_secs()));
+        for fault in &self.faults {
+            out.push_str(&format!("fault: {fault}\n"));
+        }
         out
     }
 
@@ -221,7 +335,23 @@ impl RunReport {
             }
             out.push('}');
         }
-        out.push_str("]}");
+        out.push(']');
+        if !self.faults.is_empty() {
+            out.push_str(",\"faults\":[");
+            for (i, fault) in self.faults.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"stage\":\"{}\",\"index\":{},\"message\":\"{}\"}}",
+                    json_escape(&fault.stage),
+                    fault.index,
+                    json_escape(&fault.message)
+                ));
+            }
+            out.push(']');
+        }
+        out.push('}');
         out
     }
 }
@@ -236,6 +366,95 @@ fn json_escape(s: &str) -> String {
             c => vec![c],
         })
         .collect()
+}
+
+/// Test-only fault injection.
+///
+/// The chaos harness arms a set of `(stage, index)` points; stage bodies
+/// call [`hit`] at the top of each work item and panic when their point
+/// is armed. Disarmed, the hook is a single relaxed atomic load, so the
+/// production path pays (almost) nothing. Injected panics carry a
+/// recognizable [`INJECTED_PREFIX`] payload and are suppressed from the
+/// default panic report, so chaos runs don't spray backtraces.
+///
+/// Arming is globally exclusive: [`arm`] holds a process-wide lock until
+/// the returned guard drops, which serializes concurrently running chaos
+/// tests instead of cross-contaminating them.
+pub mod faultpoint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+    /// Payload prefix of injected panics (lets hooks and asserts
+    /// distinguish planned faults from real bugs).
+    pub const INJECTED_PREFIX: &str = "injected fault at ";
+
+    static ARMED: AtomicBool = AtomicBool::new(false);
+
+    fn plan() -> &'static Mutex<Vec<(String, usize)>> {
+        static PLAN: OnceLock<Mutex<Vec<(String, usize)>>> = OnceLock::new();
+        PLAN.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    fn exclusivity() -> &'static Mutex<()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+    }
+
+    /// Installs (once) a panic hook that silences injected-fault panics
+    /// and delegates everything else to the previous hook.
+    fn silence_injected_panics() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            let default = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let injected = info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .is_some_and(|s| s.starts_with(INJECTED_PREFIX));
+                if !injected {
+                    default(info);
+                }
+            }));
+        });
+    }
+
+    /// Keeps the injection plan armed; dropping disarms and releases the
+    /// exclusivity lock.
+    pub struct ArmedGuard {
+        _lock: MutexGuard<'static, ()>,
+    }
+
+    impl Drop for ArmedGuard {
+        fn drop(&mut self) {
+            ARMED.store(false, Ordering::SeqCst);
+            plan().lock().unwrap_or_else(PoisonError::into_inner).clear();
+        }
+    }
+
+    /// Arms the given `(stage, index)` points until the guard drops.
+    pub fn arm(points: impl IntoIterator<Item = (String, usize)>) -> ArmedGuard {
+        // A failed assertion in a previous chaos test poisons the lock;
+        // the plan is reset on every arm, so poisoning is harmless.
+        let lock = exclusivity().lock().unwrap_or_else(PoisonError::into_inner);
+        silence_injected_panics();
+        *plan().lock().unwrap_or_else(PoisonError::into_inner) = points.into_iter().collect();
+        ARMED.store(true, Ordering::SeqCst);
+        ArmedGuard { _lock: lock }
+    }
+
+    /// Panics iff `(stage, index)` is armed. Stage bodies call this at
+    /// the top of each work item.
+    #[inline]
+    pub fn hit(stage: &str, index: usize) {
+        if !ARMED.load(Ordering::Relaxed) {
+            return;
+        }
+        let armed = plan().lock().unwrap_or_else(PoisonError::into_inner);
+        if armed.iter().any(|(s, i)| s == stage && *i == index) {
+            drop(armed);
+            std::panic::panic_any(format!("{INJECTED_PREFIX}{stage}[{index}]"));
+        }
+    }
 }
 
 /// JSON-safe number formatting (no NaN/Inf in JSON).
@@ -316,5 +535,76 @@ mod tests {
         assert_eq!(json_number(3.0), "3");
         assert_eq!(json_number(0.5), "0.500000");
         assert_eq!(json_number(f64::NAN), "null");
+    }
+
+    #[test]
+    fn try_map_isolates_panics_per_index() {
+        let _armed = faultpoint::arm(Vec::new()); // silence hook + exclusivity
+        for threads in [1, 2, 4] {
+            let exec = Executor::new(threads);
+            let out = exec.try_map_n("stage", 10, |i| {
+                if i % 3 == 0 {
+                    panic!("boom {i}");
+                }
+                i * 2
+            });
+            assert_eq!(out.len(), 10, "threads={threads}");
+            for (i, r) in out.iter().enumerate() {
+                if i % 3 == 0 {
+                    let fault = r.as_ref().expect_err("panicked index must fault");
+                    assert_eq!(fault.stage, "stage");
+                    assert_eq!(fault.index, i);
+                    assert_eq!(fault.message, format!("boom {i}"));
+                } else {
+                    assert_eq!(*r.as_ref().expect("survivor"), i * 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_matches_map_when_nothing_faults() {
+        let items: Vec<usize> = (0..23).collect();
+        let exec = Executor::new(3);
+        let plain = exec.map(&items, |_, &x| x + 1);
+        let tried: Vec<usize> = exec
+            .try_map("s", &items, |_, &x| x + 1)
+            .into_iter()
+            .map(|r| r.expect("no faults"))
+            .collect();
+        assert_eq!(plain, tried);
+    }
+
+    #[test]
+    fn faultpoint_injects_only_armed_points_and_disarms_on_drop() {
+        let exec = Executor::new(2);
+        {
+            let _armed = faultpoint::arm(vec![("s".to_string(), 3), ("s".to_string(), 5)]);
+            let out = exec.try_map_n("s", 8, |i| {
+                faultpoint::hit("s", i);
+                faultpoint::hit("other", i); // not armed for this stage
+                i
+            });
+            let faulted: Vec<usize> =
+                out.iter().enumerate().filter(|(_, r)| r.is_err()).map(|(i, _)| i).collect();
+            assert_eq!(faulted, vec![3, 5]);
+            assert!(out[3].as_ref().is_err_and(|f| f.message.contains("injected fault")));
+        }
+        // Guard dropped: the same run is fault-free.
+        let out = exec.try_map_n("s", 8, |i| {
+            faultpoint::hit("s", i);
+            i
+        });
+        assert!(out.iter().all(Result::is_ok));
+    }
+
+    #[test]
+    fn report_renders_and_serializes_faults() {
+        let mut report = RunReport::new(1);
+        report.time("embed", |s| s.items = 3);
+        report.faults.push(ItemFault::new("embed", 2, "injected fault at embed[2]"));
+        assert!(report.render().contains("fault: embed[2]"));
+        let json = report.to_json();
+        assert!(json.contains("\"faults\":[{\"stage\":\"embed\",\"index\":2"), "{json}");
     }
 }

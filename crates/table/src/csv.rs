@@ -39,8 +39,28 @@ impl fmt::Display for CsvError {
 
 impl std::error::Error for CsvError {}
 
-/// Splits CSV text into records of fields.
-pub fn parse_records(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
+/// What [`parse_table_repair`] had to do to make malformed input parse.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairSummary {
+    /// Records narrower than the header, padded with empty fields.
+    pub padded_rows: usize,
+    /// Records wider than the header, truncated to the header width.
+    pub truncated_rows: usize,
+    /// An unterminated quoted field was closed at end of input.
+    pub closed_quote: bool,
+}
+
+impl RepairSummary {
+    /// Whether anything was actually repaired.
+    pub fn is_clean(&self) -> bool {
+        *self == RepairSummary::default()
+    }
+}
+
+/// The record splitter behind both parse modes. In repair mode an
+/// unterminated quote is closed at end of input (reported via the flag)
+/// instead of erroring.
+fn split_records(input: &str, repair: bool) -> Result<(Vec<Vec<String>>, bool), CsvError> {
     let mut records = Vec::new();
     let mut record: Vec<String> = Vec::new();
     let mut field = String::new();
@@ -79,7 +99,8 @@ pub fn parse_records(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
             }
         }
     }
-    if in_quotes {
+    let closed_quote = in_quotes;
+    if in_quotes && !repair {
         return Err(CsvError::UnterminatedQuote);
     }
     if !field.is_empty() || !record.is_empty() {
@@ -89,7 +110,12 @@ pub fn parse_records(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
     if !any || records.is_empty() {
         return Err(CsvError::Empty);
     }
-    Ok(records)
+    Ok((records, closed_quote))
+}
+
+/// Splits CSV text into records of fields.
+pub fn parse_records(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    split_records(input, false).map(|(records, _)| records)
 }
 
 /// Parses CSV text (header + data records) into a [`Table`].
@@ -110,6 +136,33 @@ pub fn parse_table(name: &str, input: &str) -> Result<Table, CsvError> {
         }
     }
     Ok(Table { name: name.to_string(), columns })
+}
+
+/// Parses CSV text into a [`Table`] tolerantly: ragged records are padded
+/// or truncated to the header width and an unterminated quote is closed
+/// at end of input, with every intervention recorded in the summary. The
+/// output table's row widths therefore always agree with its header. Only
+/// input with no header record at all (`CsvError::Empty`) still fails.
+pub fn parse_table_repair(name: &str, input: &str) -> Result<(Table, RepairSummary), CsvError> {
+    let (records, closed_quote) = split_records(input, true)?;
+    let mut summary = RepairSummary { closed_quote, ..Default::default() };
+    let header = &records[0];
+    let width = header.len();
+    let mut columns: Vec<Column> = header
+        .iter()
+        .map(|h| Column { name: h.clone(), values: Vec::with_capacity(records.len() - 1) })
+        .collect();
+    for rec in records.iter().skip(1) {
+        match rec.len().cmp(&width) {
+            std::cmp::Ordering::Less => summary.padded_rows += 1,
+            std::cmp::Ordering::Greater => summary.truncated_rows += 1,
+            std::cmp::Ordering::Equal => {}
+        }
+        for (c, col) in columns.iter_mut().enumerate() {
+            col.values.push(rec.get(c).cloned().unwrap_or_default());
+        }
+    }
+    Ok((Table { name: name.to_string(), columns }, summary))
 }
 
 /// Escapes one field per RFC 4180.
@@ -198,5 +251,39 @@ mod tests {
         let t = parse_table("t", "a,b\n").unwrap();
         assert_eq!(t.n_rows(), 0);
         assert_eq!(t.n_cols(), 2);
+    }
+
+    #[test]
+    fn repair_pads_and_truncates_ragged_rows() {
+        let (t, s) = parse_table_repair("t", "a,b\n1\n2,3,4\n5,6\n").unwrap();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.n_cols(), 2);
+        assert_eq!(t.cell(0, 0), "1");
+        assert_eq!(t.cell(0, 1), "", "short row padded with empty fields");
+        assert_eq!(t.cell(1, 1), "3", "long row truncated to header width");
+        assert_eq!(s, RepairSummary { padded_rows: 1, truncated_rows: 1, closed_quote: false });
+        assert!(!s.is_clean());
+    }
+
+    #[test]
+    fn repair_closes_unterminated_quote() {
+        let (t, s) = parse_table_repair("t", "a\n\"unclosed\n").unwrap();
+        assert!(s.closed_quote);
+        assert_eq!(t.n_rows(), 1);
+        assert_eq!(t.cell(0, 0), "unclosed\n", "quoted newline kept, quote closed at EOF");
+    }
+
+    #[test]
+    fn repair_of_well_formed_input_is_clean_and_identical() {
+        let text = "a,b\n1,2\n\"x,y\",z\n";
+        let strict = parse_table("t", text).unwrap();
+        let (repaired, s) = parse_table_repair("t", text).unwrap();
+        assert_eq!(strict, repaired);
+        assert!(s.is_clean());
+    }
+
+    #[test]
+    fn repair_still_rejects_headerless_input() {
+        assert_eq!(parse_table_repair("t", ""), Err(CsvError::Empty));
     }
 }

@@ -55,9 +55,113 @@ pub fn write_lake_to_dir(lake: &Lake, dir: &Path) -> Result<(), IoError> {
     Ok(())
 }
 
+/// How lake ingestion treats malformed files.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ReadMode {
+    /// Fail the whole read on the first malformed file (the historical
+    /// behavior).
+    #[default]
+    Strict,
+    /// Salvage what parses: invalid UTF-8 is scrubbed (lossy decode),
+    /// ragged rows are padded/truncated to the header width and
+    /// unterminated quotes are closed at end of input. Files that still
+    /// don't yield a table (no header at all) are skipped.
+    Repair,
+    /// Parse strictly but skip malformed files instead of failing.
+    Skip,
+}
+
+/// Options for [`read_lake_from_dir_with`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadOptions {
+    /// Malformed-file policy.
+    pub mode: ReadMode,
+}
+
+impl ReadOptions {
+    /// Strict (fail-fast) options.
+    pub fn strict() -> Self {
+        ReadOptions { mode: ReadMode::Strict }
+    }
+
+    /// Repair (salvage) options.
+    pub fn repair() -> Self {
+        ReadOptions { mode: ReadMode::Repair }
+    }
+
+    /// Skip (quarantine whole files) options.
+    pub fn skip() -> Self {
+        ReadOptions { mode: ReadMode::Skip }
+    }
+}
+
+/// What happened to one CSV file during ingestion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileOutcome {
+    /// Parsed cleanly.
+    Loaded,
+    /// Parsed after repairs (ragged rows, quote closure, UTF-8 scrub).
+    Repaired {
+        /// Field-level repairs applied by the CSV parser.
+        summary: csv::RepairSummary,
+        /// Whether invalid UTF-8 bytes were replaced during decoding.
+        utf8_scrubbed: bool,
+    },
+    /// Could not be parsed under the active mode; no table was produced.
+    Skipped {
+        /// Why the file was skipped.
+        reason: String,
+    },
+}
+
+/// Per-file ingestion record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileIngest {
+    /// The source file.
+    pub path: PathBuf,
+    /// Index of the produced table within the returned lake (`None` when
+    /// the file was skipped).
+    pub table: Option<usize>,
+    /// What happened.
+    pub outcome: FileOutcome,
+}
+
+/// The per-file ingestion log of one directory read.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// One entry per `*.csv` file considered, in file-name order.
+    pub files: Vec<FileIngest>,
+}
+
+impl IngestReport {
+    /// Files that produced no table.
+    pub fn skipped(&self) -> impl Iterator<Item = &FileIngest> {
+        self.files.iter().filter(|f| f.table.is_none())
+    }
+
+    /// Files that needed repairs to parse.
+    pub fn repaired(&self) -> impl Iterator<Item = &FileIngest> {
+        self.files.iter().filter(|f| matches!(f.outcome, FileOutcome::Repaired { .. }))
+    }
+}
+
 /// Loads every `*.csv` in `dir` into a [`Lake`], in file-name order.
-/// Table names are the file stems.
+/// Table names are the file stems. Strict mode: the first malformed file
+/// fails the read (see [`read_lake_from_dir_with`] for the tolerant
+/// modes).
 pub fn read_lake_from_dir(dir: &Path) -> Result<Lake, IoError> {
+    read_lake_from_dir_with(dir, &ReadOptions::strict()).map(|(lake, _)| lake)
+}
+
+/// Loads every `*.csv` in `dir` into a [`Lake`] under the given options,
+/// returning the lake together with a per-file [`IngestReport`]. In
+/// `Repair` and `Skip` modes a malformed file never aborts the read; it
+/// is salvaged or skipped and the report says which and why. A directory
+/// with no `*.csv` files at all is still an error in every mode.
+pub fn read_lake_from_dir_with(
+    dir: &Path,
+    options: &ReadOptions,
+) -> Result<(Lake, IngestReport), IoError> {
     let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
         .filter_map(Result::ok)
         .map(|e| e.path())
@@ -68,14 +172,67 @@ pub fn read_lake_from_dir(dir: &Path) -> Result<Lake, IoError> {
         return Err(IoError::EmptyDirectory(dir.to_path_buf()));
     }
     let mut tables = Vec::new();
+    let mut report = IngestReport::default();
     for path in paths {
         let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("table").to_string();
-        let text = std::fs::read_to_string(&path)?;
-        let table =
-            csv::parse_table(&name, &text).map_err(|source| IoError::Csv { path, source })?;
-        tables.push(table);
+        if options.mode == ReadMode::Strict {
+            // Fail-fast path, byte-compatible with the historical API:
+            // invalid UTF-8 is an Io error, a parse failure a Csv error.
+            let text = std::fs::read_to_string(&path)?;
+            let table = csv::parse_table(&name, &text)
+                .map_err(|source| IoError::Csv { path: path.clone(), source })?;
+            report.files.push(FileIngest {
+                path,
+                table: Some(tables.len()),
+                outcome: FileOutcome::Loaded,
+            });
+            tables.push(table);
+            continue;
+        }
+        let bytes = std::fs::read(&path)?;
+        match ingest_tolerant(&name, &bytes, options.mode) {
+            (outcome, Some(table)) => {
+                report.files.push(FileIngest { path, table: Some(tables.len()), outcome });
+                tables.push(table);
+            }
+            (outcome, None) => {
+                report.files.push(FileIngest { path, table: None, outcome });
+            }
+        }
     }
-    Ok(Lake::new(tables))
+    Ok((Lake::new(tables), report))
+}
+
+/// Parses one file's bytes under a tolerant mode (`Repair` or `Skip`)
+/// into an outcome and maybe a table.
+fn ingest_tolerant(
+    name: &str,
+    bytes: &[u8],
+    mode: ReadMode,
+) -> (FileOutcome, Option<crate::Table>) {
+    match mode {
+        ReadMode::Strict => unreachable!("strict mode handled by the caller"),
+        ReadMode::Skip => match std::str::from_utf8(bytes) {
+            Err(e) => (FileOutcome::Skipped { reason: format!("invalid utf-8: {e}") }, None),
+            Ok(text) => match csv::parse_table(name, text) {
+                Ok(table) => (FileOutcome::Loaded, Some(table)),
+                Err(e) => (FileOutcome::Skipped { reason: e.to_string() }, None),
+            },
+        },
+        ReadMode::Repair => {
+            let text = String::from_utf8_lossy(bytes);
+            let utf8_scrubbed = matches!(text, std::borrow::Cow::Owned(_));
+            match csv::parse_table_repair(name, &text) {
+                Ok((table, summary)) if summary.is_clean() && !utf8_scrubbed => {
+                    (FileOutcome::Loaded, Some(table))
+                }
+                Ok((table, summary)) => {
+                    (FileOutcome::Repaired { summary, utf8_scrubbed }, Some(table))
+                }
+                Err(e) => (FileOutcome::Skipped { reason: e.to_string() }, None),
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -134,5 +291,69 @@ mod tests {
             Err(IoError::Io(_)) => {}
             other => panic!("expected Io error, got {other:?}"),
         }
+    }
+
+    /// A directory with one clean file, one ragged file, one invalid-UTF-8
+    /// file and one empty file.
+    fn hostile_dir(name: &str) -> PathBuf {
+        let dir = tmp(name);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(dir.join("a_clean.csv"), "x,y\n1,2\n").expect("write");
+        std::fs::write(dir.join("b_ragged.csv"), "x,y\n1\n2,3,4\n").expect("write");
+        std::fs::write(dir.join("c_binary.csv"), [b'x', b',', b'y', b'\n', 0xFF, 0xFE, b'\n'])
+            .expect("write");
+        std::fs::write(dir.join("d_empty.csv"), "").expect("write");
+        dir
+    }
+
+    #[test]
+    fn skip_mode_loads_only_well_formed_files() {
+        let dir = hostile_dir("skipmode");
+        let (lake, report) = read_lake_from_dir_with(&dir, &ReadOptions::skip()).expect("read");
+        assert_eq!(lake.n_tables(), 1);
+        assert_eq!(lake[0].name, "a_clean");
+        assert_eq!(report.files.len(), 4);
+        assert_eq!(report.skipped().count(), 3);
+        let skipped: Vec<&str> = report
+            .skipped()
+            .map(|f| f.path.file_name().and_then(|n| n.to_str()).expect("name"))
+            .collect();
+        assert_eq!(skipped, vec!["b_ragged.csv", "c_binary.csv", "d_empty.csv"]);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn repair_mode_salvages_ragged_and_binary_files() {
+        let dir = hostile_dir("repairmode");
+        let (lake, report) = read_lake_from_dir_with(&dir, &ReadOptions::repair()).expect("read");
+        // Clean + ragged (padded/truncated) + binary (scrubbed); only the
+        // headerless empty file is skipped.
+        assert_eq!(lake.n_tables(), 3);
+        assert_eq!(report.repaired().count(), 2);
+        assert_eq!(report.skipped().count(), 1);
+        // Every salvaged table is rectangular: widths agree with header.
+        for t in &lake.tables {
+            for col in &t.columns {
+                assert_eq!(col.values.len(), t.n_rows(), "{}", t.name);
+            }
+        }
+        // The report's table indices address the right lake slots.
+        for f in &report.files {
+            if let Some(i) = f.table {
+                let stem = f.path.file_stem().and_then(|s| s.to_str()).expect("stem");
+                assert_eq!(lake[i].name, stem);
+            }
+        }
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn strict_mode_through_options_still_fails_fast() {
+        let dir = hostile_dir("strictmode");
+        match read_lake_from_dir_with(&dir, &ReadOptions::strict()) {
+            Err(IoError::Csv { path, .. }) => assert!(path.ends_with("b_ragged.csv")),
+            other => panic!("expected Csv error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 }

@@ -33,7 +33,10 @@ pub mod table;
 pub mod value;
 
 pub use diff::{diff_lakes, diff_tables};
-pub use io::{read_lake_from_dir, write_lake_to_dir};
+pub use io::{
+    read_lake_from_dir, read_lake_from_dir_with, write_lake_to_dir, FileIngest, FileOutcome,
+    IngestReport, ReadMode, ReadOptions,
+};
 pub use lake::{CellId, Lake};
 pub use mask::CellMask;
 pub use metrics::{Confusion, PerTypeRecall};

@@ -112,6 +112,17 @@ impl CellMask {
     pub fn table_dims(&self, t: usize) -> (usize, usize) {
         self.dims[t]
     }
+
+    /// Returns a copy with every flag of the given tables cleared — how
+    /// the evaluation restricts itself to the scored (non-quarantined)
+    /// subset of a degraded run.
+    pub fn without_tables(&self, tables: &[usize]) -> Self {
+        let mut out = self.clone();
+        for &t in tables {
+            out.flags[t].fill(false);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -166,6 +177,17 @@ mod tests {
         let l1 = lake();
         let l2 = Lake::new(vec![Table::new("a", vec![Column::new("x", ["1"])])]);
         let _ = CellMask::empty(&l1).and(&CellMask::empty(&l2));
+    }
+
+    #[test]
+    fn without_tables_clears_whole_tables_only() {
+        let l = lake();
+        let m = CellMask::from_cells(&l, [CellId::new(0, 0, 0), CellId::new(1, 1, 0)]);
+        let cleared = m.without_tables(&[1]);
+        assert_eq!(cleared.count(), 1);
+        assert!(cleared.get(CellId::new(0, 0, 0)));
+        assert!(!cleared.get(CellId::new(1, 1, 0)));
+        assert_eq!(m.count(), 2, "source mask untouched");
     }
 
     #[test]

@@ -81,7 +81,8 @@ impl ColumnProfile {
             if nums.is_empty() {
                 None
             } else {
-                nums.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                // total_cmp: a NaN cell value must never panic profiling.
+                nums.sort_by(f64::total_cmp);
                 let mean = nums.iter().sum::<f64>() / nums.len() as f64;
                 let var =
                     nums.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / nums.len() as f64;

@@ -6,22 +6,32 @@
 //!
 //! matelda-cli detect <dirty-dir> --clean <clean-dir> [--budget-cells N] [--variant <v>]
 //!                    [--threads N] [--report] [--repair yes]
+//!                    [--read strict|repair|skip] [--on-error fail|skip]
+//!                    [--max-quarantined N]
 //!     Load the dirty lake, answer Matelda's label requests from the clean
 //!     lake (the oracle protocol of the paper's experiments), print the
 //!     detection report and, because ground truth is available, P/R/F1.
 //!     Variants: standard (default), edf, rs, santos, sf, tpdf, tucf.
 //!     --threads N sets the executor's worker count (default: available
 //!     parallelism); output is bit-identical at any thread count.
-//!     --report prints the per-stage RunReport as JSON on stdout.
+//!     --report prints the per-stage RunReport as JSON on stdout,
+//!     including the structured fault log of a degraded run.
+//!     --read chooses the ingestion mode: strict fails on the first
+//!     malformed CSV (default), repair salvages ragged rows / bad UTF-8,
+//!     skip quarantines unparseable files.
+//!     --on-error skip quarantines faulted tables/folds/columns and
+//!     completes the run instead of aborting (default: fail).
+//!     --max-quarantined N exits non-zero when a degraded run quarantines
+//!     more than N tables.
 //!
-//! matelda-cli profile <dir>
+//! matelda-cli profile <dir> [--read strict|repair|skip]
 //!     Table/column statistics and approximate FDs of a lake directory.
 //! ```
 
-use matelda::core::{DomainFolding, Matelda, MateldaConfig, Oracle, TrainingStrategy};
+use matelda::core::{DomainFolding, FaultPolicy, Matelda, MateldaConfig, Oracle, TrainingStrategy};
 use matelda::fd::mine_approximate;
 use matelda::lakegen::{DGovLake, GitTablesLake, QuintetLake, ReinLake, WdcLake};
-use matelda::table::{diff_lakes, Confusion, Lake};
+use matelda::table::{diff_lakes, Confusion, IngestReport, Lake, ReadOptions};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -100,9 +110,33 @@ fn cmd_generate(args: &[String]) -> CliResult {
     Ok(())
 }
 
-/// Loads every CSV of a directory into a lake, sorted by file name.
-fn load_lake(dir: &Path) -> Result<Lake, Box<dyn std::error::Error>> {
-    Ok(matelda::table::read_lake_from_dir(dir)?)
+/// The `--read` flag: how malformed CSV files are treated on ingest.
+fn read_options(flags: &HashMap<&str, &str>) -> Result<ReadOptions, Box<dyn std::error::Error>> {
+    match flags.get("read").copied().unwrap_or("strict") {
+        "strict" => Ok(ReadOptions::strict()),
+        "repair" => Ok(ReadOptions::repair()),
+        "skip" => Ok(ReadOptions::skip()),
+        other => Err(format!("unknown --read mode {other:?} (strict|repair|skip)").into()),
+    }
+}
+
+/// Loads every CSV of a directory into a lake, sorted by file name, under
+/// the given ingestion options.
+fn load_lake(
+    dir: &Path,
+    options: &ReadOptions,
+) -> Result<(Lake, IngestReport), Box<dyn std::error::Error>> {
+    Ok(matelda::table::read_lake_from_dir_with(dir, options)?)
+}
+
+/// Prints what tolerant ingestion had to do, if anything.
+fn print_ingest_notes(label: &str, report: &IngestReport) {
+    for f in report.repaired() {
+        println!("note: {label} {} loaded after repairs", f.path.display());
+    }
+    for f in report.skipped() {
+        println!("note: {label} {} skipped (unparseable)", f.path.display());
+    }
 }
 
 fn cmd_detect(args: &[String]) -> CliResult {
@@ -111,8 +145,17 @@ fn cmd_detect(args: &[String]) -> CliResult {
     let clean_dir = PathBuf::from(
         flags.get("clean").ok_or("detect: --clean <dir> is required (labels + evaluation)")?,
     );
-    let dirty = load_lake(&dirty_dir)?;
-    let clean = load_lake(&clean_dir)?;
+    let read = read_options(&flags)?;
+    let on_error = match flags.get("on-error").copied().unwrap_or("fail") {
+        "fail" => FaultPolicy::Fail,
+        "skip" => FaultPolicy::Skip,
+        other => return Err(format!("unknown --on-error policy {other:?} (fail|skip)").into()),
+    };
+    let max_quarantined: usize =
+        flags.get("max-quarantined").map(|s| s.parse()).transpose()?.unwrap_or(usize::MAX);
+    let (dirty, dirty_ingest) = load_lake(&dirty_dir, &read)?;
+    let (clean, _clean_ingest) = load_lake(&clean_dir, &read)?;
+    print_ingest_notes("dirty", &dirty_ingest);
     if dirty.n_tables() != clean.n_tables() {
         return Err("dirty and clean lakes have different table counts".into());
     }
@@ -121,7 +164,7 @@ fn cmd_detect(args: &[String]) -> CliResult {
 
     // threads = 0 means "available parallelism" (the executor's default).
     let threads: usize = flags.get("threads").map(|s| s.parse()).transpose()?.unwrap_or(0);
-    let mut config = MateldaConfig { threads, ..Default::default() };
+    let mut config = MateldaConfig { threads, on_error, ..Default::default() };
     match flags.get("variant").copied().unwrap_or("standard") {
         "standard" => {}
         "edf" => config.domain_folding = DomainFolding::ExtremeDomainFolding,
@@ -150,18 +193,47 @@ fn cmd_detect(args: &[String]) -> CliResult {
     if flags.contains_key("report") {
         println!("{}", result.report.to_json());
     }
+    let quarantine = &result.quarantine;
+    if !quarantine.is_empty() {
+        println!(
+            "degraded run: {} table(s) quarantined, {} column fallback(s), {} fold fallback(s)",
+            quarantine.tables.len(),
+            quarantine.columns.len(),
+            quarantine.fold_fallbacks.len()
+        );
+    }
     println!("\nper-table report:");
     for (t, table) in dirty.tables.iter().enumerate() {
         let hits = result.predicted.iter_set().filter(|id| id.table == t).count();
-        println!("  {:<28} {:>5} suspicious / {:>6} cells", table.name, hits, table.n_cells());
+        let mark = if quarantine.table_quarantined(t) { "  [quarantined]" } else { "" };
+        println!(
+            "  {:<28} {:>5} suspicious / {:>6} cells{mark}",
+            table.name,
+            hits,
+            table.n_cells()
+        );
     }
-    let conf = Confusion::from_masks(&result.predicted, &truth);
+    // Quarantined tables are unscored, not clean — evaluate only over
+    // the tables the run actually scored.
+    let (predicted, truth_scored) = (
+        result.predicted.without_tables(&quarantine.tables),
+        truth.without_tables(&quarantine.tables),
+    );
+    let conf = Confusion::from_masks(&predicted, &truth_scored);
+    let scope = if quarantine.tables.is_empty() { "" } else { " (scored tables only)" };
     println!(
-        "\nevaluation vs clean: precision {:.1}%  recall {:.1}%  f1 {:.1}%",
+        "\nevaluation vs clean{scope}: precision {:.1}%  recall {:.1}%  f1 {:.1}%",
         100.0 * conf.precision(),
         100.0 * conf.recall(),
         100.0 * conf.f1()
     );
+    if quarantine.tables.len() > max_quarantined {
+        return Err(format!(
+            "{} tables quarantined, more than --max-quarantined {max_quarantined}",
+            quarantine.tables.len()
+        )
+        .into());
+    }
 
     if flags.contains_key("repair") {
         let spell = matelda::text::SpellChecker::english();
@@ -190,9 +262,10 @@ fn cmd_detect(args: &[String]) -> CliResult {
 }
 
 fn cmd_profile(args: &[String]) -> CliResult {
-    let (pos, _) = parse_flags(args);
+    let (pos, flags) = parse_flags(args);
     let dir = PathBuf::from(pos.first().ok_or("profile: missing <dir>")?);
-    let lake = load_lake(&dir)?;
+    let (lake, ingest) = load_lake(&dir, &read_options(&flags)?)?;
+    print_ingest_notes("profile", &ingest);
     println!(
         "{}: {} tables, {} columns, {} cells",
         dir.display(),

@@ -71,6 +71,60 @@ fn detect_requires_clean_dir() {
 }
 
 #[test]
+fn tolerant_read_modes_survive_a_corrupted_file() {
+    let dir = tmp_dir();
+    let dir_s = dir.to_string_lossy().to_string();
+    let out = cli()
+        .args(["generate", &dir_s, "--lake", "quintet", "--seed", "5"])
+        .output()
+        .expect("generate");
+    assert!(out.status.success());
+    let dirty = dir.join("dirty").to_string_lossy().to_string();
+    let clean = dir.join("clean").to_string_lossy().to_string();
+
+    // Make one dirty file ragged: an extra trailing field on the first
+    // data row. Repair truncates it back to the header width, so the
+    // dirty/clean cell alignment survives.
+    let victim = std::fs::read_dir(dir.join("dirty"))
+        .expect("read dirty dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|e| e == "csv"))
+        .expect("a csv file");
+    let contents = std::fs::read_to_string(&victim).expect("read victim");
+    let ragged: Vec<String> = contents
+        .lines()
+        .enumerate()
+        .map(|(i, l)| if i == 1 { format!("{l},__extra__") } else { l.to_string() })
+        .collect();
+    std::fs::write(&victim, ragged.join("\n") + "\n").expect("write victim");
+
+    // Strict (the default) refuses the lake.
+    let out = cli().args(["detect", &dirty, "--clean", &clean]).output().expect("strict");
+    assert!(!out.status.success(), "strict mode must fail on a ragged file");
+
+    // Repair mode loads it, notes the repair, and completes detection.
+    let out = cli()
+        .args(["detect", &dirty, "--clean", &clean, "--read", "repair", "--on-error", "skip"])
+        .output()
+        .expect("repair");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("loaded after repairs"), "{stdout}");
+    assert!(stdout.contains("evaluation vs clean"), "{stdout}");
+
+    // Unknown policies are rejected up front.
+    let out = cli()
+        .args(["detect", &dirty, "--clean", &clean, "--on-error", "bogus"])
+        .output()
+        .expect("bad policy");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown --on-error"));
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
 fn variant_flag_is_validated() {
     let dir = tmp_dir();
     let dir_s = dir.to_string_lossy().to_string();

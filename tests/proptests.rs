@@ -181,6 +181,23 @@ proptest! {
     }
 
     #[test]
+    fn garbage_csv_never_panics_and_repair_stays_rectangular(
+        bytes in proptest::collection::vec((0usize..256).prop_map(|b| b as u8), 0..300)) {
+        // Arbitrary bytes — control characters, stray quotes, invalid
+        // UTF-8 turned into replacement chars, half-records.
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        // Strict parsing may reject the input but must never panic.
+        let _ = csv::parse_table("t", &text);
+        // Repair parsing: whatever it salvages is rectangular — every
+        // row width agrees with the header.
+        if let Ok((table, _)) = csv::parse_table_repair("t", &text) {
+            for col in &table.columns {
+                prop_assert_eq!(col.values.len(), table.n_rows());
+            }
+        }
+    }
+
+    #[test]
     fn confusion_counts_partition_the_lake(cells_t in proptest::collection::vec((0usize..3, 0usize..6), 0..10),
                                            cells_p in proptest::collection::vec((0usize..3, 0usize..6), 0..10)) {
         let table = Table::new("t", (0..3).map(|i| Column::new(format!("c{i}"), vec!["v"; 6])).collect());
@@ -189,6 +206,43 @@ proptest! {
         let pred = CellMask::from_cells(&lake, cells_p.iter().map(|&(c, r)| CellId::new(0, r, c)));
         let conf = matelda::table::Confusion::from_masks(&pred, &truth);
         prop_assert_eq!(conf.tp + conf.fp + conf.fn_ + conf.tn, lake.n_cells());
+    }
+}
+
+// Directory-level ingestion robustness: each case touches the file
+// system, so the block runs a reduced case count.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn garbage_files_never_break_tolerant_lake_ingestion(
+        bytes in proptest::collection::vec((0usize..256).prop_map(|b| b as u8), 0..300)) {
+        use matelda::table::{read_lake_from_dir_with, ReadOptions};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "matelda_prop_ingest_{}_{}",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(dir.join("garbage.csv"), &bytes).expect("write garbage");
+        std::fs::write(dir.join("good.csv"), "a,b\n1,2\n3,4\n").expect("write good");
+        for options in [ReadOptions::repair(), ReadOptions::skip()] {
+            let loaded = read_lake_from_dir_with(&dir, &options);
+            prop_assert!(loaded.is_ok(), "tolerant mode failed: {loaded:?}");
+            let (lake, report) = loaded.unwrap();
+            prop_assert_eq!(report.files.len(), 2);
+            // The well-formed file always loads; every loaded table is
+            // rectangular regardless of what the garbage parsed into.
+            prop_assert!(lake.tables.iter().any(|t| t.name == "good"));
+            for t in &lake.tables {
+                for col in &t.columns {
+                    prop_assert_eq!(col.values.len(), t.n_rows(), "{} ragged", t.name);
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
 
