@@ -11,8 +11,8 @@
 
 use criterion::{black_box, criterion_group, Criterion};
 use matelda_core::{
-    ClassifyStage, DomainFoldStage, EmbedStage, FeaturizeStage, LabelStage, Matelda, MateldaConfig,
-    Oracle, QualityFoldStage, Stage, StageContext,
+    ClassifyStage, DomainFoldStage, Durability, EmbedStage, FeaturizeStage, LabelStage, Matelda,
+    MateldaConfig, Oracle, QualityFoldStage, Stage, StageContext,
 };
 use matelda_lakegen::{GeneratedLake, QuintetLake};
 
@@ -73,6 +73,52 @@ fn fault_isolation_secs(lake: &GeneratedLake, reps: usize) -> (f64, f64) {
         )
     };
     (time(false), time(true))
+}
+
+/// Rows per table of the lake the checkpoint overhead is measured on.
+///
+/// Deliberately larger than the per-stage bench lake: stage-level
+/// durability exists for runs long enough that losing them hurts, so
+/// its cost is quoted against a workload of that size. On a tiny lake
+/// the fixed price of seven fsync'd commits (~tens of ms on ext4)
+/// dwarfs a sub-100ms pipeline and says nothing about real overhead.
+const CKPT_ROWS: usize = 1280;
+
+/// Measures what durability costs: the full pipeline uncheckpointed vs
+/// committing every stage snapshot (atomic tmp+fsync+rename), plus a
+/// warm resume that restores all six stages from disk instead of
+/// recomputing. Single-threaded so the I/O is not hidden by parallel
+/// slack; plain/durable reps interleave so host drift cancels instead
+/// of biasing one side. Returns (plain_secs, durable_secs, resume_secs).
+fn checkpoint_secs(reps: usize) -> (f64, f64, f64) {
+    let lake = QuintetLake { rows_per_table: CKPT_ROWS, error_rate: 0.08 }.generate(2);
+    let dir = std::env::temp_dir().join(format!("matelda-bench-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let pipeline = Matelda::new(MateldaConfig { threads: 1, ..Default::default() });
+    let run = |durability: Option<&Durability>| -> f64 {
+        let mut oracle = Oracle::new(&lake.errors);
+        let start = std::time::Instant::now();
+        let result = match durability {
+            Some(d) => pipeline
+                .detect_durable(&lake.dirty, &mut oracle, BUDGET, d)
+                .expect("durable bench run"),
+            None => pipeline.detect(&lake.dirty, &mut oracle, BUDGET),
+        };
+        black_box(result);
+        start.elapsed().as_secs_f64()
+    };
+    let write = Durability { checkpoint_dir: Some(dir.clone()), resume: false };
+    let (mut plains, mut durables) = (Vec::new(), Vec::new());
+    for _ in 0..reps {
+        plains.push(run(None));
+        durables.push(run(Some(&write)));
+    }
+    // The snapshots of the last write run are still on disk: every
+    // resume rep restores all six stages without recomputation.
+    let resume = Durability { checkpoint_dir: Some(dir.clone()), resume: true };
+    let resumed = median((0..reps).map(|_| run(Some(&resume))).collect());
+    let _ = std::fs::remove_dir_all(&dir);
+    (median(plains), median(durables), resumed)
 }
 
 fn bench_stages(c: &mut Criterion) {
@@ -151,11 +197,20 @@ fn emit_json() {
     // Target: < 5% (the per-item catch_unwind must be nearly free).
     let (map_secs, try_secs) = fault_isolation_secs(&lake, 5);
     let overhead_pct = if map_secs > 0.0 { 100.0 * (try_secs - map_secs) / map_secs } else { 0.0 };
+    // Checkpoint overhead: snapshot write+read on every stage vs an
+    // uncheckpointed run. Target: < 5% end-to-end. More reps than the
+    // stage timings: the signal is a few percent, so the median needs a
+    // deeper sample to beat scheduler noise on small hosts.
+    let (plain_secs, durable_secs, resume_secs) = checkpoint_secs(9);
+    let ckpt_pct =
+        if plain_secs > 0.0 { 100.0 * (durable_secs - plain_secs) / plain_secs } else { 0.0 };
+    let resume_speedup = if resume_secs > 0.0 { plain_secs / resume_secs } else { 1.0 };
     let scale = std::env::var("MATELDA_SCALE").unwrap_or_else(|_| "full".to_string());
     let json = format!(
-        "{{\"bench\":\"stages\",\"scale\":\"{scale}\",\"host_parallelism\":{host},\"threads_compared\":[1,{n}],\"reps\":{reps},\"total_secs_1t\":{total_1:.6},\"total_secs_{n}t\":{total_n:.6},\"end_to_end_speedup\":{sp:.3},\"flagged_cells\":{flagged_1},\"deterministic_across_threads\":true,\"fault_isolation\":{{\"map_secs\":{map_secs:.6},\"try_map_secs\":{try_secs:.6},\"overhead_pct\":{overhead_pct:.2},\"target_pct\":5.0}},\"stages\":[{stages_json}]}}\n",
+        "{{\"bench\":\"stages\",\"scale\":\"{scale}\",\"host_parallelism\":{host},\"threads_compared\":[1,{n}],\"reps\":{reps},\"total_secs_1t\":{total_1:.6},\"total_secs_{n}t\":{total_n:.6},\"end_to_end_speedup\":{sp:.3},\"flagged_cells\":{flagged_1},\"deterministic_across_threads\":true,\"fault_isolation\":{{\"map_secs\":{map_secs:.6},\"try_map_secs\":{try_secs:.6},\"overhead_pct\":{overhead_pct:.2},\"target_pct\":5.0}},\"checkpoint\":{{\"rows_per_table\":{ckpt_rows},\"plain_secs\":{plain_secs:.6},\"durable_secs\":{durable_secs:.6},\"overhead_pct\":{ckpt_pct:.2},\"target_pct\":5.0,\"resume_secs\":{resume_secs:.6},\"resume_speedup\":{resume_speedup:.2}}},\"stages\":[{stages_json}]}}\n",
         host = std::thread::available_parallelism().map_or(1, |v| v.get()),
         n = n_threads,
+        ckpt_rows = CKPT_ROWS,
         sp = if total_n > 0.0 { total_1 / total_n } else { 1.0 },
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stages.json");

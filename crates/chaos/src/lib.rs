@@ -16,11 +16,20 @@
 //!   [`faultpoint::arm`](matelda_exec::faultpoint::arm) and the executor
 //!   converts each injected panic into a per-item fault that the engine
 //!   quarantines under `FaultPolicy::Skip`.
+//! * **Process-level** — [`FaultPlan::crash_directive`] picks the stage
+//!   boundary at which a *subprocess* run dies: exported through the
+//!   [`CRASH_ENV`] environment variable, the checkpoint store aborts the
+//!   process right after committing that stage's snapshot
+//!   ([`CrashMode::AfterCommit`]) or after planting a truncated snapshot
+//!   under the final name ([`CrashMode::TornWrite`]). The crash-recovery
+//!   suites then resume and assert bit-identity with a clean run.
 //!
-//! The integration suite (`tests/chaos.rs`) uses both layers to assert
-//! the tentpole contract: a run with k killed tables completes,
-//! quarantines exactly those k, and scores the survivors bit-identically
-//! to a faultless run on the survivor-only lake — at any thread count.
+//! The integration suites (`tests/chaos.rs`, `tests/durability.rs`) use
+//! these layers to assert the robustness contracts: a run with k killed
+//! tables completes, quarantines exactly those k, and scores the
+//! survivors bit-identically to a faultless run on the survivor-only
+//! lake; a run killed at any checkpoint boundary resumes bit-identically
+//! to an uninterrupted one — at any thread count.
 
 use rand::rngs::StdRng;
 use rand::seq::index::sample;
@@ -28,7 +37,13 @@ use rand::{Rng, SeedableRng};
 use std::io;
 use std::path::{Path, PathBuf};
 
+pub use matelda_ckpt::{CrashDirective, CrashMode, CRASH_ENV};
 pub use matelda_exec::faultpoint;
+
+/// The pipeline's stage names in execution order — the checkpoint
+/// boundaries a [`FaultPlan::crash_directive`] can pick from.
+pub const STAGE_NAMES: [&str; 6] =
+    ["embed", "featurize", "domain_folds", "quality_folds", "label", "classify"];
 
 /// The kinds of file corruption the harness can inflict.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,16 +111,27 @@ impl FaultPlan {
         self.victims(stage, n_items, k).into_iter().map(|i| (stage.to_string(), i)).collect()
     }
 
+    /// Picks the checkpoint boundary at which a subprocess run should
+    /// die, deterministically from the plan seed and the crash mode.
+    /// Export [`CrashDirective::env_value`] under [`CRASH_ENV`] in the
+    /// child's environment; the checkpoint store does the killing.
+    pub fn crash_directive(&self, mode: CrashMode) -> CrashDirective {
+        let domain = match mode {
+            CrashMode::AfterCommit => "crash:after",
+            CrashMode::TornWrite => "crash:torn",
+        };
+        let mut rng = self.rng(domain);
+        let stage = STAGE_NAMES[rng.random_range(0..STAGE_NAMES.len())];
+        CrashDirective { mode, stage: stage.to_string() }
+    }
+
     /// Corrupts `k` of the `*.csv` files under `dir` in place (victims
     /// chosen over the sorted file list, corruption kind and bytes
     /// derived per file name). Returns what was done to which file.
     pub fn corrupt_dir(&self, dir: &Path, k: usize) -> io::Result<Vec<CorruptionRecord>> {
-        let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
-            .filter_map(Result::ok)
-            .map(|e| e.path())
-            .filter(|p| p.extension().is_some_and(|e| e == "csv"))
-            .collect();
-        paths.sort();
+        // The same file-name ordering ingestion uses, so victim indices
+        // line up with table indices regardless of readdir order.
+        let paths: Vec<PathBuf> = matelda_table::csv_paths_sorted(dir)?;
         let victims = self.victims("files", paths.len(), k);
         let mut records = Vec::with_capacity(victims.len());
         for &v in &victims {
@@ -206,6 +232,23 @@ mod tests {
         let points = plan.stage_points("featurize", 6, 2);
         assert_eq!(points.len(), 2);
         assert!(points.iter().all(|(s, i)| s == "featurize" && *i < 6));
+    }
+
+    #[test]
+    fn crash_directive_is_deterministic_and_names_a_real_stage() {
+        for mode in [CrashMode::AfterCommit, CrashMode::TornWrite] {
+            let d = FaultPlan::new(11).crash_directive(mode);
+            assert_eq!(d, FaultPlan::new(11).crash_directive(mode));
+            assert!(STAGE_NAMES.contains(&d.stage.as_str()), "{d:?}");
+            assert_eq!(d.mode, mode);
+            // The env round trip the subprocess harness relies on.
+            assert_eq!(CrashDirective::parse(&d.env_value()).unwrap(), d);
+        }
+        // Different seeds eventually pick different boundaries.
+        let picks: std::collections::BTreeSet<String> = (0..32)
+            .map(|s| FaultPlan::new(s).crash_directive(CrashMode::AfterCommit).stage)
+            .collect();
+        assert!(picks.len() > 1, "crash boundary must vary with the seed");
     }
 
     #[test]

@@ -78,6 +78,8 @@ fn killed_tables_quarantine_and_survivors_match_a_projected_run() {
         Lake::new(survivors.iter().map(|&t| gl.dirty.tables[t].clone()).collect::<Vec<_>>());
     let proj_errors = project_errors(&gl.errors, &survivors, &projected);
     let mut oracle = Oracle::new(&proj_errors);
+    // Quiesced: under a parallel test runner another test may be armed.
+    let _fp = faultpoint::quiesce();
     let faultless = Matelda::new(skip_config(2)).detect(&projected, &mut oracle, budget);
     assert!(faultless.quarantine.is_empty());
     assert_eq!(chaos.labels_used, faultless.labels_used);

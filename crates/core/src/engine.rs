@@ -50,6 +50,21 @@
 //!
 //! Every fault is logged in the [`RunReport`]; what was quarantined or
 //! degraded is summarized in the [`QuarantineReport`].
+//!
+//! ## Watchdog deadlines
+//!
+//! With [`MateldaConfig::stage_timeout`] set, [`Stage::run`] arms a
+//! [`Deadline`] for the duration of the stage body. Work items claimed
+//! past the deadline are not run — they fault with
+//! [`matelda_exec::DEADLINE_FAULT`] and take exactly the degradation
+//! paths above under [`FaultPolicy::Skip`], or abort the run under
+//! [`FaultPolicy::Fail`] (with any checkpoints already committed left
+//! intact). Items already running are never interrupted, and the
+//! `domain_folds` and `label` stages are unguarded (whole-lake
+//! clustering has no per-item unit to skip; the labeler is a
+//! sequential, possibly-human oracle). Deterministic tests arm the
+//! `timeout:<stage>` faultpoint instead of relying on wall-clock
+//! sleeps.
 
 use crate::domain_fold::{
     embed_table_for, folds_from_embedding_excluding, refine_syntactic, DomainFolding, Fold,
@@ -58,7 +73,7 @@ use crate::pipeline::{FaultPolicy, LabelingStrategy, MateldaConfig, TrainingStra
 use crate::quality_fold::{budget_per_fold, quality_folds, single_quality_fold, QualityFold};
 use matelda_detect::{featurize_table, CellFeatures};
 use matelda_embed::encoder::HashedEncoder;
-use matelda_exec::{faultpoint, Executor, ItemFault, RunReport, StageReport};
+use matelda_exec::{faultpoint, Deadline, Executor, ItemFault, RunReport, StageReport};
 use matelda_ml::FittedClassifier;
 use matelda_table::oracle::Labeler;
 use matelda_table::{CellId, CellMask, Lake};
@@ -123,6 +138,12 @@ pub struct StageContext<'a> {
     pub report: RunReport,
     /// Accumulated degradation decisions (see [`QuarantineReport`]).
     pub quarantine: QuarantineReport,
+    /// The watchdog deadline of the stage currently executing, set by
+    /// [`Stage::run`] from [`MateldaConfig::stage_timeout`]. Work items
+    /// claimed past the deadline fault with
+    /// [`matelda_exec::DEADLINE_FAULT`] and take the same degradation
+    /// paths as a panicked item.
+    pub deadline: Option<Deadline>,
 }
 
 impl<'a> StageContext<'a> {
@@ -131,7 +152,14 @@ impl<'a> StageContext<'a> {
     pub fn new(lake: &'a Lake, config: &'a MateldaConfig) -> Self {
         let executor = Executor::new(config.threads);
         let report = RunReport::new(executor.threads());
-        StageContext { lake, config, executor, report, quarantine: QuarantineReport::default() }
+        StageContext {
+            lake,
+            config,
+            executor,
+            report,
+            quarantine: QuarantineReport::default(),
+            deadline: None,
+        }
     }
 
     /// The per-index seed for parallel stochastic work: mixes `index`
@@ -184,11 +212,14 @@ pub trait Stage {
         stage: &mut StageReport,
     ) -> Self::Output;
 
-    /// Runs the stage under the context's timer and appends its report.
+    /// Runs the stage under the context's timer and the configured
+    /// watchdog deadline, then appends its report.
     fn run<'i>(&mut self, ctx: &mut StageContext<'_>, input: Self::Input<'i>) -> Self::Output {
         let mut stage = StageReport::new(self.name());
         let start = std::time::Instant::now();
+        ctx.deadline = ctx.config.stage_timeout.map(Deadline::after);
         let out = self.execute(ctx, input, &mut stage);
+        ctx.deadline = None;
         stage.wall_secs = start.elapsed().as_secs_f64();
         ctx.report.stages.push(stage);
         out
@@ -317,10 +348,15 @@ impl Stage for EmbedStage {
             // never clustered) and the run continues.
             DomainFolding::Hdbscan | DomainFolding::RowSampling(_) => {
                 let encoder = &self.encoder;
-                let results = ctx.executor.try_map(self.name(), &ctx.lake.tables, |ti, t| {
-                    faultpoint::hit("embed", ti);
-                    embed_table_for(cfg.domain_folding, encoder, cfg.seed, ti, t)
-                });
+                let results = ctx.executor.try_map_within(
+                    self.name(),
+                    &ctx.lake.tables,
+                    ctx.deadline,
+                    |ti, t| {
+                        faultpoint::hit("embed", ti);
+                        embed_table_for(cfg.domain_folding, encoder, cfg.seed, ti, t)
+                    },
+                );
                 let mut vecs = Vec::with_capacity(results.len());
                 let mut faults = Vec::new();
                 for (ti, r) in results.into_iter().enumerate() {
@@ -430,13 +466,14 @@ impl Stage for FeaturizeStage {
             }
             q
         };
-        let results = ctx.executor.try_map(self.name(), &ctx.lake.tables, |ti, t| {
-            if quarantined[ti] {
-                return placeholder(t);
-            }
-            faultpoint::hit("featurize", ti);
-            featurize_table(t, spell, cfg)
-        });
+        let results =
+            ctx.executor.try_map_within(self.name(), &ctx.lake.tables, ctx.deadline, |ti, t| {
+                if quarantined[ti] {
+                    return placeholder(t);
+                }
+                faultpoint::hit("featurize", ti);
+                featurize_table(t, spell, cfg)
+            });
         let mut features = Vec::with_capacity(results.len());
         let mut faults = Vec::new();
         for (ti, r) in results.into_iter().enumerate() {
@@ -487,7 +524,7 @@ impl Stage for QualityFoldStage {
         // and since they spend nothing, they have no fault point either
         // (a fallback fold would overspend the budget).
         let per_fold: Vec<Result<Vec<QualityFoldEntry>, ItemFault>> =
-            ctx.executor.try_map_n(self.name(), domain.folds.len(), |fi| {
+            ctx.executor.try_map_n_within(self.name(), domain.folds.len(), ctx.deadline, |fi| {
                 let k = budgets[fi] * fold_multiplier;
                 if k == 0 {
                     return Vec::new();
@@ -530,14 +567,18 @@ impl Stage for QualityFoldStage {
                 Err(fault) => {
                     faults.push(fault);
                     // Degrade: the whole domain fold as one labeled
-                    // quality fold around the mean feature vector. The
-                    // fault point sits after the zero-budget check, so
-                    // `budgets[fi] >= 1` and the single label is within
-                    // this fold's allocation.
-                    if let Some(fold) =
-                        single_quality_fold(ctx.lake, &domain.folds[fi], &featurized.features)
-                    {
-                        entries.push(QualityFoldEntry { domain_fold: fi, fold, labeled: true });
+                    // quality fold around the mean feature vector — but
+                    // only when this fold may spend a label. A panic
+                    // fault implies `budgets[fi] >= 1` (the fault point
+                    // sits after the zero-budget check); a watchdog
+                    // deadline can pre-empt a zero-budget item too, and
+                    // a fallback fold there would overspend the budget.
+                    if budgets[fi] > 0 {
+                        if let Some(fold) =
+                            single_quality_fold(ctx.lake, &domain.folds[fi], &featurized.features)
+                        {
+                            entries.push(QualityFoldEntry { domain_fold: fi, fold, labeled: true });
+                        }
                     }
                     ctx.quarantine.fold_fallbacks.push(fi);
                 }
@@ -716,7 +757,7 @@ fn train_per_column(
         .collect();
     stage.metrics.push(("models".into(), columns.len() as f64));
     let flagged: Vec<Result<Vec<usize>, ItemFault>> =
-        ctx.executor.try_map("classify", &columns, |i, &(t, c)| {
+        ctx.executor.try_map_within("classify", &columns, ctx.deadline, |i, &(t, c)| {
             faultpoint::hit("classify", i);
             let table = &lake.tables[t];
             let m = table.n_cols();
@@ -786,7 +827,7 @@ fn train_per_fold(
     let lake = ctx.lake;
     stage.metrics.push(("models".into(), folds.len() as f64));
     let flagged: Vec<Result<Vec<CellId>, ItemFault>> =
-        ctx.executor.try_map_n("classify", folds.len(), |fi| {
+        ctx.executor.try_map_n_within("classify", folds.len(), ctx.deadline, |fi| {
             faultpoint::hit("classify", fi);
             let fold = &folds[fi];
             let mut x = Vec::new();

@@ -41,6 +41,7 @@ pub mod engine;
 pub mod pipeline;
 pub mod quality_fold;
 pub mod repair;
+pub mod snapshot;
 
 pub use domain_fold::{domain_folds, DomainFolding, EmbeddedLake, Fold};
 pub use engine::{
@@ -48,9 +49,12 @@ pub use engine::{
     LabelStage, LabeledFold, Predictions, PropagatedLabels, QualityFoldEntry, QualityFoldStage,
     QualityFolds, QuarantineReport, Stage, StageContext,
 };
+pub use matelda_ckpt::{CheckpointStore, CkptError, Manifest};
 pub use matelda_exec::{Executor, ItemFault, RunReport, StageReport};
 pub use matelda_table::oracle::{Labeler, Oracle};
 pub use pipeline::{
-    DetectionResult, FaultPolicy, LabelingStrategy, Matelda, MateldaConfig, TrainingStrategy,
+    DetectionResult, Durability, FaultPolicy, LabelingStrategy, Matelda, MateldaConfig,
+    TrainingStrategy,
 };
 pub use repair::{suggest_repairs, Repair, RepairStrategy};
+pub use snapshot::{decode_snapshot, encode_snapshot, ArtifactCodec, CtxState};

@@ -2,19 +2,26 @@
 //!
 //! [`Matelda::detect`] composes the typed stages of [`crate::engine`];
 //! this module holds the run configuration, the result type and the
-//! facade. See the engine module for the stage and artifact types.
+//! facade. See the engine module for the stage and artifact types, and
+//! [`Matelda::detect_durable`] for the checkpoint/resume entry point.
+
+use std::path::PathBuf;
+use std::time::Duration;
 
 use crate::domain_fold::DomainFolding;
 use crate::engine::{
     ClassifyStage, DomainFoldStage, EmbedStage, FeaturizeStage, LabelStage, QualityFoldStage,
     Stage, StageContext,
 };
+use crate::snapshot::{decode_snapshot, encode_snapshot, ArtifactCodec, CtxState};
+use matelda_ckpt::{CheckpointStore, CkptError, Manifest};
 use matelda_detect::FeatureConfig;
 use matelda_embed::encoder::EncoderConfig;
-use matelda_exec::RunReport;
+use matelda_exec::{faultpoint, RunReport};
 use matelda_ml::ClassifierKind;
+use matelda_table::fingerprint::Fnv1a;
 use matelda_table::oracle::Labeler;
-use matelda_table::{CellMask, Lake};
+use matelda_table::{lake_fingerprint, CellMask, Lake};
 
 /// How the pipeline reacts to a faulted work item (a panic or error in
 /// one table's embedding/featurization, one fold's clustering, or one
@@ -99,6 +106,13 @@ pub struct MateldaConfig {
     pub threads: usize,
     /// What to do when a work item faults (see [`FaultPolicy`]).
     pub on_error: FaultPolicy,
+    /// Watchdog deadline per stage: work items claimed after a stage
+    /// has run this long are not started — they fault with
+    /// [`matelda_exec::DEADLINE_FAULT`] and degrade (or abort) per
+    /// [`MateldaConfig::on_error`]. `None` (the default) disables the
+    /// watchdog. Wall-clock deadlines are inherently nondeterministic;
+    /// tests arm the `timeout:<stage>` faultpoint instead.
+    pub stage_timeout: Option<Duration>,
 }
 
 impl Default for MateldaConfig {
@@ -120,6 +134,7 @@ impl Default for MateldaConfig {
             seed: 0,
             threads: 0,
             on_error: FaultPolicy::Fail,
+            stage_timeout: None,
         }
     }
 }
@@ -145,6 +160,90 @@ pub struct DetectionResult {
     pub quarantine: crate::engine::QuarantineReport,
 }
 
+/// Checkpoint/resume options for [`Matelda::detect_durable`].
+#[derive(Debug, Clone, Default)]
+pub struct Durability {
+    /// Directory to persist stage snapshots into; `None` disables
+    /// checkpointing entirely (and makes `detect_durable` infallible).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume from snapshots found in `checkpoint_dir`: stages whose
+    /// snapshot verifies are restored instead of recomputed. Requires
+    /// the on-disk manifest to match the live run's determinism inputs
+    /// (config, lake fingerprint, seed, budget — thread count exempt).
+    pub resume: bool,
+}
+
+/// FNV-1a digest of every configuration field that shapes output bits.
+/// `threads` is excluded (it only changes wall-clock), so snapshots
+/// survive a thread-count change, and `seed` is excluded only because
+/// the [`Manifest`] carries it as its own field (a seed change is then
+/// reported as a *seed* mismatch, not an opaque config-hash one);
+/// everything else — strategies, feature families, encoder, classifier,
+/// even the watchdog timeout — participates, so a resumed run can never
+/// silently mix artifacts from differently-configured runs.
+fn config_hash(cfg: &MateldaConfig) -> u64 {
+    let mut h = Fnv1a::new();
+    for part in [
+        format!("{:?}", cfg.domain_folding),
+        format!("{:?}", cfg.syntactic_refinement),
+        format!("{:?}", cfg.syntactic_groups),
+        format!("{:?}", cfg.features),
+        format!("{:?}", cfg.training),
+        format!("{:?}", cfg.encoder),
+        format!("{:?}", cfg.kmeans_batch),
+        format!("{:?}", cfg.kmeans_iterations),
+        format!("{:?}", cfg.classifier),
+        format!("{:?}", cfg.labeling),
+        format!("{:?}", cfg.on_error),
+        format!("{:?}", cfg.stage_timeout),
+    ] {
+        h.write_str(&part);
+    }
+    h.finish()
+}
+
+/// Runs a stage, or restores its snapshot when resuming.
+///
+/// While `*resume_ok` holds, a verified snapshot short-circuits the
+/// stage: the stored [`CtxState`] replaces the context's accumulated
+/// state and the artifact is returned without recomputation. The first
+/// *missing* snapshot flips `resume_ok` off — that is where the
+/// interrupted run died, so everything from here on recomputes (and
+/// re-checkpoints). A corrupt or foreign snapshot is a hard error, per
+/// the durability contract: never silently reused, never silently
+/// recomputed either, because the caller asked to resume *this* run.
+fn run_or_restore<A, F>(
+    ctx: &mut StageContext<'_>,
+    store: Option<&CheckpointStore>,
+    resume_ok: &mut bool,
+    name: &str,
+    run: F,
+) -> Result<A, CkptError>
+where
+    A: ArtifactCodec,
+    F: FnOnce(&mut StageContext<'_>) -> A,
+{
+    if let Some(s) = store {
+        if *resume_ok {
+            match s.load_stage(name)? {
+                Some(payload) => {
+                    let (state, artifact) = decode_snapshot::<A>(&payload).map_err(|reason| {
+                        CkptError::Corrupt { path: s.dir().join(format!("{name}.ckpt")), reason }
+                    })?;
+                    state.restore(ctx);
+                    return Ok(artifact);
+                }
+                None => *resume_ok = false,
+            }
+        }
+        let artifact = run(ctx);
+        s.save_stage(name, &encode_snapshot(&CtxState::capture(ctx), &artifact))?;
+        Ok(artifact)
+    } else {
+        Ok(run(ctx))
+    }
+}
+
 /// The Matelda estimator.
 #[derive(Debug, Clone, Default)]
 pub struct Matelda {
@@ -162,18 +261,77 @@ impl Matelda {
     /// cell's label. The labeler is never asked for more than `budget`
     /// labels.
     pub fn detect(&self, lake: &Lake, labeler: &mut dyn Labeler, budget: usize) -> DetectionResult {
+        self.detect_durable(lake, labeler, budget, &Durability::default())
+            .expect("detection without a checkpoint store is infallible")
+    }
+
+    /// [`Matelda::detect`] with stage-level checkpointing and crash-safe
+    /// resume.
+    ///
+    /// With [`Durability::checkpoint_dir`] set, every completed stage's
+    /// artifact (plus the cumulative run state) is committed atomically
+    /// before the next stage starts. With [`Durability::resume`] also
+    /// set, stages whose snapshot verifies are restored instead of
+    /// recomputed — and because the pipeline is bit-deterministic, the
+    /// resumed run's [`DetectionResult`] is bit-identical to an
+    /// uninterrupted run, at any thread count (stage wall times
+    /// excepted: restored stages report the original run's timings).
+    ///
+    /// The caveat: the contract covers the pipeline, not the labeler.
+    /// Resume replays *recorded* labels for restored stages but queries
+    /// `labeler` live for recomputed ones, so the labeler must be a
+    /// deterministic function of the cell identity (an [`crate::Oracle`]
+    /// is; a human is, for the cells they already answered).
+    ///
+    /// Errors are structured and conservative: a snapshot that is
+    /// corrupt ([`CkptError::Corrupt`]) or stamped by a run with
+    /// different determinism inputs ([`CkptError::Mismatch`]) fails the
+    /// call rather than being silently reused or recomputed.
+    pub fn detect_durable(
+        &self,
+        lake: &Lake,
+        labeler: &mut dyn Labeler,
+        budget: usize,
+        opts: &Durability,
+    ) -> Result<DetectionResult, CkptError> {
         let cfg = &self.config;
         let mut ctx = StageContext::new(lake, cfg);
+
+        let store = match &opts.checkpoint_dir {
+            Some(dir) => {
+                let manifest = Manifest {
+                    config_hash: config_hash(cfg),
+                    lake_fingerprint: lake_fingerprint(lake),
+                    seed: cfg.seed,
+                    budget: budget as u64,
+                    threads: ctx.executor.threads() as u64,
+                };
+                Some(CheckpointStore::open(dir, manifest, opts.resume)?)
+            }
+            None => None,
+        };
+        let store = store.as_ref();
+        // Restoration stops at the first missing snapshot; from there the
+        // interrupted run is recomputed (and re-checkpointed) stage by
+        // stage.
+        let mut resume_ok = opts.resume && store.is_some();
+        let ok = &mut resume_ok;
 
         // The two per-table stages run first so that any table faulting
         // under FaultPolicy::Skip is quarantined *before* cross-table
         // clustering — survivors then fold, label and classify exactly
         // as they would in a lake without the quarantined tables.
-        let embedded = EmbedStage::from_config(cfg).run(&mut ctx, ());
-        let featurized = FeaturizeStage::default().run(&mut ctx, ());
+        let embedded = run_or_restore(&mut ctx, store, ok, "embed", |ctx| {
+            EmbedStage::from_config(cfg).run(ctx, ())
+        })?;
+        let featurized = run_or_restore(&mut ctx, store, ok, "featurize", |ctx| {
+            FeaturizeStage::default().run(ctx, ())
+        })?;
 
         // Step 1: domain-based cell folding (cluster the embedding).
-        let domain = DomainFoldStage.run(&mut ctx, &embedded);
+        let domain = run_or_restore(&mut ctx, store, ok, "domain_folds", |ctx| {
+            DomainFoldStage.run(ctx, &embedded)
+        })?;
 
         // Step 2: quality-based cell folding. The uncertainty extension
         // reserves half the budget for refinement.
@@ -181,25 +339,34 @@ impl Matelda {
             && cfg.training == TrainingStrategy::PerColumn
             && budget >= 4;
         let phase1_budget = if adaptive { budget.div_ceil(2) } else { budget };
-        let quality =
-            QualityFoldStage { budget: phase1_budget }.run(&mut ctx, (&domain, &featurized));
+        let quality = run_or_restore(&mut ctx, store, ok, "quality_folds", |ctx| {
+            QualityFoldStage { budget: phase1_budget }.run(ctx, (&domain, &featurized))
+        })?;
 
         // Steps 3 + 4: sampling, labeling and propagation (plus the
         // optional uncertainty refinement).
-        let propagated = LabelStage { labeler, budget }.run(&mut ctx, (&quality, &featurized));
+        let propagated = run_or_restore(&mut ctx, store, ok, "label", |ctx| {
+            LabelStage { labeler, budget }.run(ctx, (&quality, &featurized))
+        })?;
 
         // Step 5: classification.
-        let predictions = ClassifyStage.run(&mut ctx, (&domain, &featurized, &propagated));
+        let predictions = run_or_restore(&mut ctx, store, ok, "classify", |ctx| {
+            ClassifyStage.run(ctx, (&domain, &featurized, &propagated))
+        })?;
+
+        // Crash-test hook for "killed after the last stage boundary":
+        // fires between the final snapshot commit and result assembly.
+        faultpoint::hit("finalize", 0);
 
         ctx.quarantine.normalize();
-        DetectionResult {
+        Ok(DetectionResult {
             predicted: predictions.mask,
             labels_used: propagated.labels_used,
             n_domain_folds: domain.folds.len(),
             n_quality_folds: quality.n_total(),
             report: ctx.report,
             quarantine: ctx.quarantine,
-        }
+        })
     }
 }
 
@@ -366,6 +533,106 @@ mod tests {
         let mut oracle = Oracle::new(&lake.errors);
         let r = Matelda::default().detect(&lake.dirty, &mut oracle, 0);
         assert_eq!(r.labels_used, 0);
+    }
+
+    fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("matelda-core-{tag}-{}-{n}", std::process::id()))
+    }
+
+    #[test]
+    fn durable_run_without_resume_matches_plain_detect() {
+        let lake = QuintetLake { rows_per_table: 30, error_rate: 0.1 }.generate(3);
+        let dir = ckpt_dir("plain");
+        let mut o1 = Oracle::new(&lake.errors);
+        let plain = Matelda::default().detect(&lake.dirty, &mut o1, 20);
+        let mut o2 = Oracle::new(&lake.errors);
+        let opts = Durability { checkpoint_dir: Some(dir.clone()), resume: false };
+        let durable = Matelda::default().detect_durable(&lake.dirty, &mut o2, 20, &opts).unwrap();
+        assert_eq!(durable.predicted, plain.predicted);
+        assert_eq!(durable.labels_used, plain.labels_used);
+        // All six stage snapshots plus the manifest are on disk.
+        for stage in ["embed", "featurize", "domain_folds", "quality_folds", "label", "classify"] {
+            assert!(dir.join(format!("{stage}.ckpt")).is_file(), "{stage}");
+        }
+        assert!(dir.join("manifest.ckpt").is_file());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_restores_everything_without_querying_the_labeler() {
+        let lake = QuintetLake { rows_per_table: 30, error_rate: 0.1 }.generate(4);
+        let dir = ckpt_dir("resume");
+        let mut o1 = Oracle::new(&lake.errors);
+        let opts = Durability { checkpoint_dir: Some(dir.clone()), resume: false };
+        let first = Matelda::default().detect_durable(&lake.dirty, &mut o1, 20, &opts).unwrap();
+        // Second run resumes off the completed snapshots: bit-identical
+        // result, and the labeler is never consulted.
+        let mut o2 = Oracle::new(&lake.errors);
+        let opts = Durability { checkpoint_dir: Some(dir.clone()), resume: true };
+        let second = Matelda::default().detect_durable(&lake.dirty, &mut o2, 20, &opts).unwrap();
+        assert_eq!(second.predicted, first.predicted);
+        assert_eq!(second.labels_used, first.labels_used);
+        assert_eq!(o2.labels_used(), 0, "restored run must not spend labels");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_with_different_inputs_is_rejected_not_reused() {
+        let lake = QuintetLake { rows_per_table: 25, error_rate: 0.1 }.generate(5);
+        let dir = ckpt_dir("mismatch");
+        let mut o1 = Oracle::new(&lake.errors);
+        let opts = Durability { checkpoint_dir: Some(dir.clone()), resume: false };
+        Matelda::default().detect_durable(&lake.dirty, &mut o1, 20, &opts).unwrap();
+        let resume = Durability { checkpoint_dir: Some(dir.clone()), resume: true };
+        // Different seed.
+        let mut o2 = Oracle::new(&lake.errors);
+        let other = Matelda::new(MateldaConfig { seed: 99, ..Default::default() });
+        let err = other.detect_durable(&lake.dirty, &mut o2, 20, &resume).unwrap_err();
+        assert!(err.to_string().contains("seed"), "got: {err}");
+        // Different budget.
+        let mut o3 = Oracle::new(&lake.errors);
+        let err = Matelda::default().detect_durable(&lake.dirty, &mut o3, 21, &resume).unwrap_err();
+        assert!(err.to_string().contains("budget"), "got: {err}");
+        // Different lake content.
+        let mut dirty = lake.dirty.clone();
+        dirty.tables[0].columns[0].values[0] = "mutated".into();
+        let mut o4 = Oracle::new(&lake.errors);
+        let err = Matelda::default().detect_durable(&dirty, &mut o4, 20, &resume).unwrap_err();
+        assert!(err.to_string().contains("lake fingerprint"), "got: {err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn armed_stage_timeout_degrades_like_a_fault() {
+        use matelda_exec::{faultpoint, DEADLINE_FAULT};
+        let lake = QuintetLake { rows_per_table: 25, error_rate: 0.1 }.generate(6);
+        let cfg = MateldaConfig { on_error: FaultPolicy::Skip, threads: 2, ..Default::default() };
+        let _guard = faultpoint::arm([("timeout:classify".to_string(), 0)]);
+        let mut oracle = Oracle::new(&lake.errors);
+        let r = Matelda::new(cfg).detect(&lake.dirty, &mut oracle, 30);
+        assert_eq!(r.quarantine.columns.len(), 1, "deadline fault must degrade one column");
+        assert_eq!(r.report.faults.len(), 1);
+        assert_eq!(r.report.faults[0].stage, "classify");
+        assert_eq!(r.report.faults[0].message, DEADLINE_FAULT);
+        assert_eq!(r.predicted.n_cells(), lake.dirty.n_cells());
+    }
+
+    #[test]
+    fn armed_stage_timeout_aborts_under_fail_policy() {
+        use matelda_exec::{faultpoint, DEADLINE_FAULT};
+        let lake = QuintetLake { rows_per_table: 20, error_rate: 0.1 }.generate(7);
+        let cfg = MateldaConfig { threads: 1, ..Default::default() }; // Fail is default
+        let _guard = faultpoint::arm([("timeout:embed".to_string(), 0)]);
+        let mut oracle = Oracle::new(&lake.errors);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Matelda::new(cfg).detect(&lake.dirty, &mut oracle, 10)
+        }));
+        let payload = caught.expect_err("deadline fault must abort under Fail");
+        let msg = matelda_exec::panic_message(payload.as_ref());
+        assert!(msg.contains(DEADLINE_FAULT), "unexpected panic message: {msg}");
     }
 
     #[test]

@@ -1,0 +1,663 @@
+//! Stage-artifact snapshot codecs.
+//!
+//! Each pipeline stage's checkpoint payload is a [`CtxState`] — the
+//! *cumulative* run state at the moment the stage finished (quarantine
+//! decisions, fault log, per-stage reports) — followed by the stage's
+//! artifact. Restoring stage *k*'s snapshot therefore reinstates
+//! everything the first *k* stages did; resume never replays partial
+//! history.
+//!
+//! Codecs are exact: floats travel as IEEE-754 bit patterns (an `f32`
+//! feature value or `f64` metric re-decodes to the same bits), cell
+//! masks are bit-packed, and decoding consumes the payload completely.
+//! That is what backs the durability contract — a restored artifact is
+//! indistinguishable from a recomputed one, so a resumed run's output
+//! is bit-identical to an uninterrupted run (`DESIGN.md §6`).
+//!
+//! Byte-level framing (length prefixes, bounds checks, structured
+//! [`DecodeError`]s on truncated or garbled input) comes from
+//! [`matelda_ckpt::wire`]; this module only knows the artifact shapes.
+//! The codecs live here rather than in `matelda-ckpt` so the dependency
+//! points the right way: the generic store knows nothing about folds,
+//! features or masks.
+
+use crate::domain_fold::{EmbeddedLake, Fold};
+use crate::engine::{
+    DomainFolds, FeaturizedLake, LabeledFold, Predictions, PropagatedLabels, QualityFoldEntry,
+    QualityFolds, QuarantineReport,
+};
+use crate::quality_fold::QualityFold;
+use matelda_ckpt::wire::{DecodeError, Reader, Writer};
+use matelda_detect::CellFeatures;
+use matelda_exec::{ItemFault, StageReport};
+use matelda_table::{CellId, CellMask};
+
+/// The run state a stage snapshot carries alongside its artifact: the
+/// quarantine ledger, the fault log and the stage reports accumulated
+/// up to and including the snapshotted stage.
+#[derive(Debug, Clone, Default)]
+pub struct CtxState {
+    /// Quarantine and degradation decisions so far.
+    pub quarantine: QuarantineReport,
+    /// Isolated work-item faults so far.
+    pub faults: Vec<ItemFault>,
+    /// Per-stage instrumentation so far (wall times are the *original*
+    /// run's — a restored stage reports the time it actually took when
+    /// it ran, not the time it took to load).
+    pub stages: Vec<StageReport>,
+}
+
+impl CtxState {
+    /// Captures the snapshot-relevant state of a live context.
+    pub fn capture(ctx: &crate::engine::StageContext<'_>) -> Self {
+        CtxState {
+            quarantine: ctx.quarantine.clone(),
+            faults: ctx.report.faults.clone(),
+            stages: ctx.report.stages.clone(),
+        }
+    }
+
+    /// Reinstates this state into a live context, replacing whatever the
+    /// context accumulated so far (snapshots are cumulative, so the
+    /// latest restored state is always the whole history).
+    pub fn restore(self, ctx: &mut crate::engine::StageContext<'_>) {
+        ctx.quarantine = self.quarantine;
+        ctx.report.faults = self.faults;
+        ctx.report.stages = self.stages;
+    }
+}
+
+/// An artifact that can be persisted in a stage snapshot.
+pub trait ArtifactCodec: Sized {
+    /// Appends the artifact's exact encoding to `w`.
+    fn encode_into(&self, w: &mut Writer);
+    /// Decodes one artifact, consuming exactly what `encode_into` wrote.
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, DecodeError>;
+}
+
+/// Encodes a full stage snapshot payload: context state, then artifact.
+pub fn encode_snapshot<A: ArtifactCodec>(state: &CtxState, artifact: &A) -> Vec<u8> {
+    let mut w = Writer::new();
+    encode_state(state, &mut w);
+    artifact.encode_into(&mut w);
+    w.into_bytes()
+}
+
+/// Decodes a full stage snapshot payload, requiring exact consumption.
+pub fn decode_snapshot<A: ArtifactCodec>(bytes: &[u8]) -> Result<(CtxState, A), DecodeError> {
+    let mut r = Reader::new(bytes);
+    let state = decode_state(&mut r)?;
+    let artifact = A::decode_from(&mut r)?;
+    r.finish()?;
+    Ok((state, artifact))
+}
+
+// ---------------------------------------------------------------------
+// Context state
+// ---------------------------------------------------------------------
+
+fn encode_state(state: &CtxState, w: &mut Writer) {
+    let q = &state.quarantine;
+    w.write_varint(q.tables.len() as u64);
+    for &t in &q.tables {
+        w.write_varint(t as u64);
+    }
+    w.write_varint(q.columns.len() as u64);
+    for &(t, c) in &q.columns {
+        w.write_varint(t as u64);
+        w.write_varint(c as u64);
+    }
+    w.write_varint(q.fold_fallbacks.len() as u64);
+    for &f in &q.fold_fallbacks {
+        w.write_varint(f as u64);
+    }
+    w.write_varint(state.faults.len() as u64);
+    for fault in &state.faults {
+        w.write_str(&fault.stage);
+        w.write_varint(fault.index as u64);
+        w.write_str(&fault.message);
+    }
+    w.write_varint(state.stages.len() as u64);
+    for s in &state.stages {
+        w.write_str(&s.name);
+        w.write_f64(s.wall_secs);
+        w.write_varint(s.items);
+        w.write_varint(s.metrics.len() as u64);
+        for (name, value) in &s.metrics {
+            w.write_str(name);
+            w.write_f64(*value);
+        }
+    }
+}
+
+fn decode_state(r: &mut Reader<'_>) -> Result<CtxState, DecodeError> {
+    let mut quarantine = QuarantineReport::default();
+    for _ in 0..r.read_varint_len()? {
+        quarantine.tables.push(r.read_varint()? as usize);
+    }
+    for _ in 0..r.read_varint_len()? {
+        let t = r.read_varint()? as usize;
+        let c = r.read_varint()? as usize;
+        quarantine.columns.push((t, c));
+    }
+    for _ in 0..r.read_varint_len()? {
+        quarantine.fold_fallbacks.push(r.read_varint()? as usize);
+    }
+    let mut faults = Vec::new();
+    for _ in 0..r.read_varint_len()? {
+        let stage = r.read_str()?;
+        let index = r.read_varint()? as usize;
+        let message = r.read_str()?;
+        faults.push(ItemFault { stage, index, message });
+    }
+    let mut stages = Vec::new();
+    for _ in 0..r.read_varint_len()? {
+        let mut s = StageReport::new(&r.read_str()?);
+        s.wall_secs = r.read_f64()?;
+        s.items = r.read_varint()?;
+        for _ in 0..r.read_varint_len()? {
+            let name = r.read_str()?;
+            let value = r.read_f64()?;
+            s.metrics.push((name, value));
+        }
+        stages.push(s);
+    }
+    Ok(CtxState { quarantine, faults, stages })
+}
+
+// ---------------------------------------------------------------------
+// Shared shapes
+// ---------------------------------------------------------------------
+
+const ONE_BITS: u32 = 0x3F80_0000; // 1.0f32
+
+/// `f32` slices travel in one of two lossless forms, chosen by the
+/// encoder and enforced canonical by the decoder:
+///
+/// * `1` — every value is exactly `+0.0` or `1.0` (the shape of the
+///   histogram-flag feature vectors, which dominate snapshot volume):
+///   one bit per value, LSB first. Empty slices use this form.
+/// * `0` — raw IEEE-754 bit patterns, 4 bytes each, used only when at
+///   least one value is outside `{+0.0, 1.0}`.
+///
+/// A raw run whose values are all `{+0.0, 1.0}` is rejected on decode:
+/// any bytes that decode must re-encode to exactly themselves.
+fn encode_f32s(v: &[f32], w: &mut Writer) {
+    let packable = v.iter().all(|x| matches!(x.to_bits(), 0 | ONE_BITS));
+    if packable {
+        w.write_u8(1);
+        w.write_varint(v.len() as u64);
+        // Feature vectors are short (tens of values), so the packed run
+        // fits a stack buffer; one heap allocation per cell would
+        // dominate the encode cost of a large lake.
+        let mut stack = [0u8; 64];
+        let n_bytes = v.len().div_ceil(8);
+        let mut heap;
+        let packed: &mut [u8] = if n_bytes <= stack.len() {
+            &mut stack[..n_bytes]
+        } else {
+            heap = vec![0u8; n_bytes];
+            &mut heap
+        };
+        for (i, x) in v.iter().enumerate() {
+            if x.to_bits() == ONE_BITS {
+                packed[i / 8] |= 1 << (i % 8);
+            }
+        }
+        w.write_raw(packed);
+    } else {
+        w.write_u8(0);
+        w.write_varint(v.len() as u64);
+        w.reserve(v.len() * 4);
+        for &x in v {
+            w.write_u32(x.to_bits());
+        }
+    }
+}
+
+fn decode_f32s(r: &mut Reader<'_>) -> Result<Vec<f32>, DecodeError> {
+    match r.read_u8()? {
+        1 => {
+            let n = r.read_varint()? as usize;
+            let n_bytes = n.div_ceil(8);
+            if n_bytes > r.remaining() {
+                return Err(DecodeError::LengthOverflow {
+                    len: n as u64,
+                    remaining: r.remaining(),
+                });
+            }
+            let packed = r.read_raw(n_bytes)?;
+            // Unused bits past `n` in the last byte must be zero, or the
+            // same values would have a second valid encoding.
+            if !n.is_multiple_of(8) && packed[n_bytes - 1] >> (n % 8) != 0 {
+                return Err(DecodeError::Malformed("nonzero padding in packed f32 run".into()));
+            }
+            Ok((0..n)
+                .map(|i| if packed[i / 8] & (1 << (i % 8)) != 0 { 1.0 } else { 0.0 })
+                .collect())
+        }
+        0 => {
+            let n = r.read_varint_len()?;
+            let mut out = Vec::with_capacity(n.min(r.remaining()));
+            let mut packable = true;
+            for _ in 0..n {
+                let bits = r.read_u32()?;
+                packable &= matches!(bits, 0 | ONE_BITS);
+                out.push(f32::from_bits(bits));
+            }
+            if packable {
+                // Includes the empty slice: the encoder always packs it.
+                return Err(DecodeError::Malformed("non-canonical raw f32 run".into()));
+            }
+            Ok(out)
+        }
+        tag => Err(DecodeError::Malformed(format!("f32 run tag {tag}"))),
+    }
+}
+
+fn encode_cell_id(id: CellId, w: &mut Writer) {
+    w.write_varint(id.table as u64);
+    w.write_varint(id.row as u64);
+    w.write_varint(id.col as u64);
+}
+
+fn decode_cell_id(r: &mut Reader<'_>) -> Result<CellId, DecodeError> {
+    let table = r.read_varint()? as usize;
+    let row = r.read_varint()? as usize;
+    let col = r.read_varint()? as usize;
+    Ok(CellId::new(table, row, col))
+}
+
+fn encode_quality_fold(fold: &QualityFold, w: &mut Writer) {
+    w.write_varint(fold.cells.len() as u64);
+    for &id in &fold.cells {
+        encode_cell_id(id, w);
+    }
+    encode_f32s(&fold.centroid, w);
+}
+
+fn decode_quality_fold(r: &mut Reader<'_>) -> Result<QualityFold, DecodeError> {
+    let mut cells = Vec::new();
+    for _ in 0..r.read_varint_len()? {
+        cells.push(decode_cell_id(r)?);
+    }
+    let centroid = decode_f32s(r)?;
+    Ok(QualityFold { cells, centroid })
+}
+
+// ---------------------------------------------------------------------
+// Artifacts
+// ---------------------------------------------------------------------
+
+impl ArtifactCodec for EmbeddedLake {
+    fn encode_into(&self, w: &mut Writer) {
+        match self {
+            EmbeddedLake::Vectors(vecs) => {
+                w.write_u8(0);
+                w.write_varint(vecs.len() as u64);
+                for v in vecs {
+                    encode_f32s(v, w);
+                }
+            }
+            EmbeddedLake::Unionability(rows) => {
+                w.write_u8(1);
+                w.write_varint(rows.len() as u64);
+                for row in rows {
+                    w.write_varint(row.len() as u64);
+                    for &x in row {
+                        w.write_f64(x);
+                    }
+                }
+            }
+            EmbeddedLake::Trivial => w.write_u8(2),
+        }
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.read_u8()? {
+            0 => {
+                let mut vecs = Vec::new();
+                for _ in 0..r.read_varint_len()? {
+                    vecs.push(decode_f32s(r)?);
+                }
+                Ok(EmbeddedLake::Vectors(vecs))
+            }
+            1 => {
+                let mut rows = Vec::new();
+                for _ in 0..r.read_varint_len()? {
+                    let n = r.read_varint_len()?;
+                    let mut row = Vec::with_capacity(n.min(r.remaining()));
+                    for _ in 0..n {
+                        row.push(r.read_f64()?);
+                    }
+                    rows.push(row);
+                }
+                Ok(EmbeddedLake::Unionability(rows))
+            }
+            2 => Ok(EmbeddedLake::Trivial),
+            tag => Err(DecodeError::Malformed(format!("EmbeddedLake tag {tag}"))),
+        }
+    }
+}
+
+impl ArtifactCodec for FeaturizedLake {
+    fn encode_into(&self, w: &mut Writer) {
+        w.write_varint(self.features.len() as u64);
+        for f in &self.features {
+            w.write_varint(f.n_cols as u64);
+            w.write_varint(f.n_rows as u64);
+            w.write_varint(f.vectors.len() as u64);
+            for v in &f.vectors {
+                encode_f32s(v, w);
+            }
+        }
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let mut features = Vec::new();
+        for _ in 0..r.read_varint_len()? {
+            let n_cols = r.read_varint()? as usize;
+            let n_rows = r.read_varint()? as usize;
+            let n = r.read_varint_len()?;
+            let mut vectors = Vec::with_capacity(n.min(r.remaining()));
+            for _ in 0..n {
+                vectors.push(decode_f32s(r)?);
+            }
+            features.push(CellFeatures { n_cols, n_rows, vectors });
+        }
+        Ok(FeaturizedLake { features })
+    }
+}
+
+impl ArtifactCodec for DomainFolds {
+    fn encode_into(&self, w: &mut Writer) {
+        w.write_varint(self.folds.len() as u64);
+        for fold in &self.folds {
+            w.write_varint(fold.columns.len() as u64);
+            for &(t, c) in &fold.columns {
+                w.write_varint(t as u64);
+                w.write_varint(c as u64);
+            }
+        }
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let mut folds = Vec::new();
+        for _ in 0..r.read_varint_len()? {
+            let mut columns = Vec::new();
+            for _ in 0..r.read_varint_len()? {
+                let t = r.read_varint()? as usize;
+                let c = r.read_varint()? as usize;
+                columns.push((t, c));
+            }
+            folds.push(Fold { columns });
+        }
+        Ok(DomainFolds { folds })
+    }
+}
+
+impl ArtifactCodec for QualityFolds {
+    fn encode_into(&self, w: &mut Writer) {
+        w.write_varint(self.entries.len() as u64);
+        for e in &self.entries {
+            w.write_varint(e.domain_fold as u64);
+            encode_quality_fold(&e.fold, w);
+            w.write_bool(e.labeled);
+        }
+        w.write_varint(self.budgets.len() as u64);
+        for &b in &self.budgets {
+            w.write_varint(b as u64);
+        }
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let mut entries = Vec::new();
+        for _ in 0..r.read_varint_len()? {
+            let domain_fold = r.read_varint()? as usize;
+            let fold = decode_quality_fold(r)?;
+            let labeled = r.read_bool()?;
+            entries.push(QualityFoldEntry { domain_fold, fold, labeled });
+        }
+        let mut budgets = Vec::new();
+        for _ in 0..r.read_varint_len()? {
+            budgets.push(r.read_varint()? as usize);
+        }
+        Ok(QualityFolds { entries, budgets })
+    }
+}
+
+impl ArtifactCodec for PropagatedLabels {
+    fn encode_into(&self, w: &mut Writer) {
+        w.write_varint(self.labels.len() as u64);
+        for table in &self.labels {
+            w.write_varint(table.len() as u64);
+            for lab in table {
+                // None / Some(false) / Some(true) as one byte.
+                w.write_u8(match lab {
+                    None => 0,
+                    Some(false) => 1,
+                    Some(true) => 2,
+                });
+            }
+        }
+        w.write_varint(self.labeled_folds.len() as u64);
+        for lf in &self.labeled_folds {
+            encode_quality_fold(&lf.fold, w);
+            encode_cell_id(lf.anchor, w);
+            w.write_bool(lf.verdict);
+        }
+        w.write_varint(self.labels_used as u64);
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let mut labels = Vec::new();
+        for _ in 0..r.read_varint_len()? {
+            let n = r.read_varint_len()?;
+            let mut table = Vec::with_capacity(n.min(r.remaining()));
+            for _ in 0..n {
+                table.push(match r.read_u8()? {
+                    0 => None,
+                    1 => Some(false),
+                    2 => Some(true),
+                    b => return Err(DecodeError::Malformed(format!("label byte {b}"))),
+                });
+            }
+            labels.push(table);
+        }
+        let mut labeled_folds = Vec::new();
+        for _ in 0..r.read_varint_len()? {
+            let fold = decode_quality_fold(r)?;
+            let anchor = decode_cell_id(r)?;
+            let verdict = r.read_bool()?;
+            labeled_folds.push(LabeledFold { fold, anchor, verdict });
+        }
+        let labels_used = r.read_varint()? as usize;
+        Ok(PropagatedLabels { labels, labeled_folds, labels_used })
+    }
+}
+
+impl ArtifactCodec for Predictions {
+    fn encode_into(&self, w: &mut Writer) {
+        let dims = self.mask.dims();
+        w.write_varint(dims.len() as u64);
+        for &(rows, cols) in dims {
+            w.write_varint(rows as u64);
+            w.write_varint(cols as u64);
+        }
+        // Bit-packed flags, one run of ceil(rows*cols / 8) bytes per
+        // table, row-major, LSB first. No length prefix: the byte count
+        // is determined by the dims.
+        for (t, &(rows, cols)) in dims.iter().enumerate() {
+            let n = rows * cols;
+            let mut packed = vec![0u8; n.div_ceil(8)];
+            for o in 0..n {
+                // n > 0 implies cols > 0, so the divisions are safe.
+                if self.mask.get(CellId::new(t, o / cols, o % cols)) {
+                    packed[o / 8] |= 1 << (o % 8);
+                }
+            }
+            w.write_raw(&packed);
+        }
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let mut dims = Vec::new();
+        let mut total_bytes = 0u64;
+        for _ in 0..r.read_varint_len()? {
+            let rows = r.read_varint()? as usize;
+            let cols = r.read_varint()? as usize;
+            let n = rows.checked_mul(cols).ok_or_else(|| {
+                DecodeError::Malformed(format!("mask dims {rows}x{cols} overflow"))
+            })?;
+            total_bytes += n.div_ceil(8) as u64;
+            dims.push((rows, cols));
+        }
+        // Validate the claimed mask size against the input before the
+        // mask (which is sized from the dims) is allocated.
+        if total_bytes > r.remaining() as u64 {
+            return Err(DecodeError::LengthOverflow { len: total_bytes, remaining: r.remaining() });
+        }
+        let mut mask = CellMask::from_dims(dims.clone());
+        for (t, &(rows, cols)) in dims.iter().enumerate() {
+            let n = rows.checked_mul(cols).ok_or_else(|| {
+                DecodeError::Malformed(format!("mask table {t}: {rows}x{cols} overflows"))
+            })?;
+            let packed = r.read_raw(n.div_ceil(8))?;
+            // Unused bits past `n` in the last byte must be zero — a set
+            // stray bit would vanish on re-encode.
+            if n % 8 != 0 && packed[packed.len() - 1] >> (n % 8) != 0 {
+                return Err(DecodeError::Malformed(format!(
+                    "mask table {t}: nonzero padding bits"
+                )));
+            }
+            for o in 0..n {
+                if packed[o / 8] & (1 << (o % 8)) != 0 {
+                    mask.set(CellId::new(t, o / cols, o % cols), true);
+                }
+            }
+        }
+        Ok(Predictions { mask })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> CtxState {
+        let mut s = CtxState::default();
+        s.quarantine.tables = vec![1, 3];
+        s.quarantine.columns = vec![(0, 2)];
+        s.quarantine.fold_fallbacks = vec![5];
+        s.faults.push(ItemFault::new("embed", 1, "boom"));
+        let mut r = StageReport::new("embed");
+        r.wall_secs = 0.125;
+        r.items = 7;
+        r.metrics.push(("dims".into(), 64.0));
+        s.stages.push(r);
+        s
+    }
+
+    fn round_trip<A: ArtifactCodec>(artifact: &A) -> (CtxState, A) {
+        let bytes = encode_snapshot(&state(), artifact);
+        let decoded = decode_snapshot::<A>(&bytes).expect("decode");
+        // Re-encode: must be byte-identical, which also proves the
+        // artifact itself round-tripped exactly.
+        assert_eq!(encode_snapshot(&decoded.0, &decoded.1), bytes);
+        decoded
+    }
+
+    #[test]
+    fn embedded_lake_round_trips_every_variant() {
+        round_trip(&EmbeddedLake::Vectors(vec![vec![1.5, -0.0, f32::MIN], vec![]]));
+        round_trip(&EmbeddedLake::Unionability(vec![vec![0.25, 1.0e-300], vec![]]));
+        round_trip(&EmbeddedLake::Trivial);
+    }
+
+    #[test]
+    fn featurized_lake_round_trips() {
+        let f = FeaturizedLake {
+            features: vec![
+                CellFeatures { n_cols: 2, n_rows: 1, vectors: vec![vec![0.5; 3], vec![-1.0; 3]] },
+                CellFeatures { n_cols: 0, n_rows: 0, vectors: vec![] },
+            ],
+        };
+        let (_, got) = round_trip(&f);
+        assert_eq!(got.features[0].get(0, 1), &[-1.0; 3]);
+    }
+
+    #[test]
+    fn quality_and_domain_folds_round_trip() {
+        round_trip(&DomainFolds { folds: vec![Fold { columns: vec![(0, 0), (2, 1)] }] });
+        let q = QualityFolds {
+            entries: vec![QualityFoldEntry {
+                domain_fold: 1,
+                fold: QualityFold {
+                    cells: vec![CellId::new(0, 1, 1), CellId::new(2, 0, 0)],
+                    centroid: vec![0.25, 0.75],
+                },
+                labeled: true,
+            }],
+            budgets: vec![0, 3],
+        };
+        let (st, got) = round_trip(&q);
+        assert_eq!(got.budgets, vec![0, 3]);
+        assert_eq!(st.quarantine.tables, vec![1, 3]);
+    }
+
+    #[test]
+    fn propagated_labels_round_trip() {
+        let p = PropagatedLabels {
+            labels: vec![vec![None, Some(true), Some(false)], vec![]],
+            labeled_folds: vec![LabeledFold {
+                fold: QualityFold { cells: vec![CellId::new(0, 0, 1)], centroid: vec![1.0] },
+                anchor: CellId::new(0, 0, 1),
+                verdict: true,
+            }],
+            labels_used: 4,
+        };
+        let (_, got) = round_trip(&p);
+        assert_eq!(got.labels[0], vec![None, Some(true), Some(false)]);
+        assert_eq!(got.labels_used, 4);
+    }
+
+    #[test]
+    fn predictions_round_trip_bit_packed() {
+        use matelda_table::{Column, Lake, Table};
+        let lake = Lake::new(vec![
+            Table::new(
+                "a",
+                vec![Column::new("x", ["1", "2", "3"]), Column::new("y", ["4", "5", "6"])],
+            ),
+            Table::new("b", vec![Column::new("z", ["7"])]),
+        ]);
+        let mask = CellMask::from_cells(
+            &lake,
+            [CellId::new(0, 0, 1), CellId::new(0, 2, 0), CellId::new(1, 0, 0)],
+        );
+        let (_, got) = round_trip(&Predictions { mask: mask.clone() });
+        assert_eq!(got.mask, mask);
+    }
+
+    #[test]
+    fn truncated_and_garbled_payloads_error_not_panic() {
+        let bytes = encode_snapshot(&state(), &EmbeddedLake::Vectors(vec![vec![1.0; 8]; 4]));
+        for cut in 0..bytes.len() {
+            // Every strict prefix must fail (the full payload decodes).
+            assert!(decode_snapshot::<EmbeddedLake>(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        let mut garbled = bytes.clone();
+        garbled[0] ^= 0xFF; // first state length prefix becomes absurd
+        assert!(decode_snapshot::<EmbeddedLake>(&garbled).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_snapshot(&state(), &EmbeddedLake::Trivial);
+        bytes.push(0);
+        assert!(matches!(
+            decode_snapshot::<EmbeddedLake>(&bytes),
+            Err(DecodeError::TrailingBytes { count: 1 })
+        ));
+    }
+}

@@ -20,7 +20,7 @@
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One isolated work-item failure: the stage it happened in, the item
 /// index within the stage's index space, and the panic payload (or error
@@ -45,6 +45,34 @@ impl ItemFault {
 impl fmt::Display for ItemFault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}[{}]: {}", self.stage, self.index, self.message)
+    }
+}
+
+/// The fault message of a work item pre-empted by a stage deadline. A
+/// constant string (never interpolating the measured time) so that a
+/// timed-out run is bit-identical however the deadline was detected.
+pub const DEADLINE_FAULT: &str = "stage deadline exceeded";
+
+/// A per-stage watchdog deadline for [`Executor::try_map_within`]: work
+/// items claimed after the deadline are not run — they fault with
+/// [`DEADLINE_FAULT`] and flow through the same degradation paths as a
+/// panicked item. Items already running are never interrupted (the
+/// executor has no pre-emption), so a deadline bounds *scheduling* of
+/// new work, not the slowest single item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `timeout` from now.
+    pub fn after(timeout: Duration) -> Self {
+        Deadline { at: Instant::now() + timeout }
+    }
+
+    /// Whether the deadline has passed.
+    pub fn exceeded(&self) -> bool {
+        Instant::now() >= self.at
     }
 }
 
@@ -164,7 +192,29 @@ impl Executor {
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
+        self.try_map_n_within(stage, n, None, f)
+    }
+
+    /// [`Executor::try_map_n`] under a watchdog [`Deadline`]: an item
+    /// claimed after the deadline has passed (or whose
+    /// `timeout:<stage>` faultpoint is armed — the deterministic test
+    /// hook) is not run and faults with [`DEADLINE_FAULT`]. With
+    /// `deadline = None` this is exactly `try_map_n`.
+    pub fn try_map_n_within<R, F>(
+        &self,
+        stage: &str,
+        n: usize,
+        deadline: Option<Deadline>,
+        f: F,
+    ) -> Vec<Result<R, ItemFault>>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
         let guarded = |i: usize| -> Result<R, ItemFault> {
+            if faultpoint::timeout_armed(stage, i) || deadline.is_some_and(|d| d.exceeded()) {
+                return Err(ItemFault::new(stage, i, DEADLINE_FAULT));
+            }
             catch_unwind(AssertUnwindSafe(|| f(i)))
                 .map_err(|payload| ItemFault::new(stage, i, panic_message(payload.as_ref())))
         };
@@ -212,6 +262,23 @@ impl Executor {
         F: Fn(usize, &T) -> R + Sync,
     {
         self.try_map_n(stage, items.len(), |i| f(i, &items[i]))
+    }
+
+    /// Fault-isolated slice map under a watchdog [`Deadline`] (see
+    /// [`Executor::try_map_n_within`]).
+    pub fn try_map_within<T, R, F>(
+        &self,
+        stage: &str,
+        items: &[T],
+        deadline: Option<Deadline>,
+        f: F,
+    ) -> Vec<Result<R, ItemFault>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.try_map_n_within(stage, items.len(), deadline, |i| f(i, &items[i]))
     }
 }
 
@@ -431,6 +498,16 @@ pub mod faultpoint {
         }
     }
 
+    /// Takes the faultpoint exclusivity lock without arming anything.
+    ///
+    /// The plan is process-global, so a *control* run in a test binary
+    /// whose other tests inject faults must hold this guard: otherwise,
+    /// under a parallel test runner, it can trip a point some other
+    /// test armed and report phantom faults.
+    pub fn quiesce() -> ArmedGuard {
+        arm(std::iter::empty::<(String, usize)>())
+    }
+
     /// Arms the given `(stage, index)` points until the guard drops.
     pub fn arm(points: impl IntoIterator<Item = (String, usize)>) -> ArmedGuard {
         // A failed assertion in a previous chaos test poisons the lock;
@@ -453,6 +530,58 @@ pub mod faultpoint {
         if armed.iter().any(|(s, i)| s == stage && *i == index) {
             drop(armed);
             std::panic::panic_any(format!("{INJECTED_PREFIX}{stage}[{index}]"));
+        }
+    }
+
+    /// Non-panicking query: is `(stage, index)` armed? Used by callers
+    /// that degrade on an armed point instead of panicking (the
+    /// deadline hook below).
+    #[inline]
+    pub fn is_armed(stage: &str, index: usize) -> bool {
+        if !ARMED.load(Ordering::Relaxed) {
+            return false;
+        }
+        let armed = plan().lock().unwrap_or_else(PoisonError::into_inner);
+        armed.iter().any(|(s, i)| s == stage && *i == index)
+    }
+
+    /// The deterministic stage-timeout hook: arming `("timeout:<stage>",
+    /// index)` makes the executor treat that work item as
+    /// deadline-exceeded without any wall-clock sleep — the item is
+    /// skipped and faults with
+    /// [`DEADLINE_FAULT`](crate::DEADLINE_FAULT), identically at any
+    /// thread count. Disarmed, this is one relaxed atomic load.
+    #[inline]
+    pub fn timeout_armed(stage: &str, index: usize) -> bool {
+        if !ARMED.load(Ordering::Relaxed) {
+            return false;
+        }
+        is_armed(&format!("timeout:{stage}"), index)
+    }
+
+    /// The environment variable subprocess chaos tests arm faults
+    /// through: comma-separated `stage:index` points, where the stage
+    /// may itself contain colons (`timeout:classify:2` parses as
+    /// `("timeout:classify", 2)` — the split is on the *last* colon).
+    pub const FAULTPOINT_ENV: &str = "MATELDA_FAULTPOINTS";
+
+    /// Arms faultpoints from [`FAULTPOINT_ENV`] for the life of the
+    /// process. Binaries call this once at startup; with the variable
+    /// unset (or holding no parseable point) nothing is armed. Unlike
+    /// [`arm`] there is no guard to drop — a subprocess's plan never
+    /// changes, so the guard (and the exclusivity lock it holds) is
+    /// deliberately leaked.
+    pub fn arm_from_env() {
+        let Ok(raw) = std::env::var(FAULTPOINT_ENV) else { return };
+        let points: Vec<(String, usize)> = raw
+            .split(',')
+            .filter_map(|p| {
+                let (stage, idx) = p.trim().rsplit_once(':')?;
+                Some((stage.to_string(), idx.parse().ok()?))
+            })
+            .collect();
+        if !points.is_empty() {
+            std::mem::forget(arm(points));
         }
     }
 }
@@ -596,6 +725,51 @@ mod tests {
             i
         });
         assert!(out.iter().all(Result::is_ok));
+    }
+
+    #[test]
+    fn armed_timeout_point_faults_without_running_the_item() {
+        let _armed = faultpoint::arm(vec![("timeout:slow".to_string(), 2)]);
+        for threads in [1, 2, 4] {
+            let exec = Executor::new(threads);
+            let ran = AtomicUsize::new(0);
+            let out = exec.try_map_n_within("slow", 5, None, |i| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                i
+            });
+            assert_eq!(ran.load(Ordering::SeqCst), 4, "threads={threads}: item 2 must not run");
+            for (i, r) in out.iter().enumerate() {
+                if i == 2 {
+                    let fault = r.as_ref().expect_err("armed timeout must fault");
+                    assert_eq!(fault.message, DEADLINE_FAULT);
+                    assert_eq!(fault.stage, "slow");
+                } else {
+                    assert_eq!(*r.as_ref().expect("survivor"), i, "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expired_deadline_faults_every_item_and_fresh_deadline_none() {
+        let exec = Executor::new(2);
+        let expired = Deadline::after(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(1));
+        let out = exec.try_map_n_within("s", 6, Some(expired), |i| i);
+        assert!(out.iter().all(|r| r.as_ref().is_err_and(|f| f.message == DEADLINE_FAULT)));
+
+        let roomy = Deadline::after(Duration::from_secs(3600));
+        let out = exec.try_map_n_within("s", 6, Some(roomy), |i| i);
+        assert!(out.iter().all(Result::is_ok));
+    }
+
+    #[test]
+    fn try_map_within_none_matches_try_map() {
+        let items: Vec<usize> = (0..17).collect();
+        let exec = Executor::new(3);
+        let a = exec.try_map("s", &items, |_, &x| x * 3);
+        let b = exec.try_map_within("s", &items, None, |_, &x| x * 3);
+        assert_eq!(a, b);
     }
 
     #[test]

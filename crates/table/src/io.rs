@@ -153,6 +153,21 @@ pub fn read_lake_from_dir(dir: &Path) -> Result<Lake, IoError> {
     read_lake_from_dir_with(dir, &ReadOptions::strict()).map(|(lake, _)| lake)
 }
 
+/// The `*.csv` files of `dir`, sorted by **file name** (byte order of
+/// the name, not the full path). Table indices, quarantine reports,
+/// ingest logs and the lake fingerprint all key off this order, so it
+/// must not depend on `readdir` order (which varies by filesystem and
+/// platform) or on the spelling of the directory prefix.
+pub fn csv_paths_sorted(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "csv"))
+        .collect();
+    paths.sort_by(|a, b| a.file_name().cmp(&b.file_name()));
+    Ok(paths)
+}
+
 /// Loads every `*.csv` in `dir` into a [`Lake`] under the given options,
 /// returning the lake together with a per-file [`IngestReport`]. In
 /// `Repair` and `Skip` modes a malformed file never aborts the read; it
@@ -162,12 +177,7 @@ pub fn read_lake_from_dir_with(
     dir: &Path,
     options: &ReadOptions,
 ) -> Result<(Lake, IngestReport), IoError> {
-    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
-        .filter_map(Result::ok)
-        .map(|e| e.path())
-        .filter(|p| p.extension().is_some_and(|e| e == "csv"))
-        .collect();
-    paths.sort();
+    let paths = csv_paths_sorted(dir)?;
     if paths.is_empty() {
         return Err(IoError::EmptyDirectory(dir.to_path_buf()));
     }
@@ -257,6 +267,36 @@ mod tests {
         write_lake_to_dir(&lake, &dir).expect("write");
         let back = read_lake_from_dir(&dir).expect("read");
         assert_eq!(lake, back, "file-name order matches insertion order here");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn tables_load_in_file_name_order_not_creation_order() {
+        // Regression (ISSUE 3 satellite): table indices must be a pure
+        // function of the file *names*, never of readdir order. Files
+        // are created in reverse name order and interleaved with
+        // non-CSV noise; the lake must still come back name-sorted.
+        let dir = tmp("name_order");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        for name in ["zeta.csv", "mid.csv", "alpha.csv", "ignore.txt", "beta.csv"] {
+            std::fs::write(dir.join(name), "c\n1\n").expect("write");
+        }
+        let sorted = csv_paths_sorted(&dir).expect("list");
+        let names: Vec<&str> =
+            sorted.iter().map(|p| p.file_name().and_then(|n| n.to_str()).expect("name")).collect();
+        assert_eq!(names, vec!["alpha.csv", "beta.csv", "mid.csv", "zeta.csv"]);
+        let lake = read_lake_from_dir(&dir).expect("read");
+        let table_names: Vec<&str> = lake.tables.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(table_names, vec!["alpha", "beta", "mid", "zeta"]);
+        // The tolerant reader sees the identical order.
+        let (lake2, report) = read_lake_from_dir_with(&dir, &ReadOptions::repair()).expect("read");
+        assert_eq!(lake, lake2);
+        let report_names: Vec<&str> = report
+            .files
+            .iter()
+            .map(|f| f.path.file_name().and_then(|n| n.to_str()).expect("name"))
+            .collect();
+        assert_eq!(report_names, vec!["alpha.csv", "beta.csv", "mid.csv", "zeta.csv"]);
         std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 

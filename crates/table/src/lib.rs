@@ -23,6 +23,7 @@
 
 pub mod csv;
 pub mod diff;
+pub mod fingerprint;
 pub mod io;
 pub mod lake;
 pub mod mask;
@@ -33,9 +34,10 @@ pub mod table;
 pub mod value;
 
 pub use diff::{diff_lakes, diff_tables};
+pub use fingerprint::lake_fingerprint;
 pub use io::{
-    read_lake_from_dir, read_lake_from_dir_with, write_lake_to_dir, FileIngest, FileOutcome,
-    IngestReport, ReadMode, ReadOptions,
+    csv_paths_sorted, read_lake_from_dir, read_lake_from_dir_with, write_lake_to_dir, FileIngest,
+    FileOutcome, IngestReport, ReadMode, ReadOptions,
 };
 pub use lake::{CellId, Lake};
 pub use mask::CellMask;

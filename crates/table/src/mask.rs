@@ -31,6 +31,19 @@ impl CellMask {
         m
     }
 
+    /// An all-false mask with explicit per-table `(rows, cols)` shapes —
+    /// the decode-side constructor for persisted masks, where the shape
+    /// comes from the snapshot rather than a live [`Lake`].
+    pub fn from_dims(dims: Vec<(usize, usize)>) -> Self {
+        let flags = dims.iter().map(|&(r, c)| vec![false; r * c]).collect();
+        Self { dims, flags }
+    }
+
+    /// The per-table `(rows, cols)` shapes the mask covers.
+    pub fn dims(&self) -> &[(usize, usize)] {
+        &self.dims
+    }
+
     fn offset(&self, id: CellId) -> usize {
         let (_, cols) = self.dims[id.table];
         id.row * cols + id.col

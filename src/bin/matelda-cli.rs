@@ -5,9 +5,10 @@
 //!     Write a synthetic benchmark lake: <dir>/dirty/*.csv + <dir>/clean/*.csv
 //!
 //! matelda-cli detect <dirty-dir> --clean <clean-dir> [--budget-cells N] [--variant <v>]
-//!                    [--threads N] [--report] [--repair yes]
+//!                    [--threads N] [--report] [--repair]
 //!                    [--read strict|repair|skip] [--on-error fail|skip]
 //!                    [--max-quarantined N]
+//!                    [--checkpoint-dir <dir>] [--resume] [--stage-timeout-ms N]
 //!     Load the dirty lake, answer Matelda's label requests from the clean
 //!     lake (the oracle protocol of the paper's experiments), print the
 //!     detection report and, because ground truth is available, P/R/F1.
@@ -23,49 +24,157 @@
 //!     completes the run instead of aborting (default: fail).
 //!     --max-quarantined N exits non-zero when a degraded run quarantines
 //!     more than N tables.
+//!     --checkpoint-dir <dir> commits an atomic snapshot of every
+//!     completed stage; --resume validates the manifest there and skips
+//!     stages with intact snapshots (bit-identical to an uninterrupted
+//!     run); --stage-timeout-ms N arms a per-stage watchdog deadline.
 //!
 //! matelda-cli profile <dir> [--read strict|repair|skip]
 //!     Table/column statistics and approximate FDs of a lake directory.
 //! ```
+//!
+//! Exit codes are part of the contract (see [`CliError`] and `--help`):
+//! 0 success, 1 runtime failure, 2 bad arguments, 3 ingest failure,
+//! 4 quarantine ceiling exceeded, 5 checkpoint rejected.
 
-use matelda::core::{DomainFolding, FaultPolicy, Matelda, MateldaConfig, Oracle, TrainingStrategy};
+use matelda::core::{
+    CkptError, DetectionResult, DomainFolding, Durability, FaultPolicy, Matelda, MateldaConfig,
+    Oracle, TrainingStrategy,
+};
 use matelda::fd::mine_approximate;
 use matelda::lakegen::{DGovLake, GitTablesLake, QuintetLake, ReinLake, WdcLake};
+use matelda::table::fingerprint::Fnv1a;
 use matelda::table::{diff_lakes, Confusion, IngestReport, Lake, ReadOptions};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
+
+/// A failure carrying the process exit code scripts rely on. The mapping
+/// is documented in `--help` and asserted by `tests/cli_integration.rs`.
+#[derive(Debug)]
+enum CliError {
+    /// Malformed invocation: unknown subcommand, flag value or number.
+    /// Exit 2.
+    Usage(String),
+    /// The lake could not be loaded (or dirty/clean disagree). Exit 3.
+    Ingest(String),
+    /// A degraded run quarantined more tables than `--max-quarantined`
+    /// allows. Exit 4.
+    Quarantine(String),
+    /// A checkpoint was corrupt or written under different inputs —
+    /// rejected, never silently reused. Exit 5.
+    Checkpoint(CkptError),
+    /// Any other runtime failure. Exit 1.
+    Runtime(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Runtime(_) => 1,
+            CliError::Usage(_) => 2,
+            CliError::Ingest(_) => 3,
+            CliError::Quarantine(_) => 4,
+            CliError::Checkpoint(_) => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m)
+            | CliError::Ingest(m)
+            | CliError::Quarantine(m)
+            | CliError::Runtime(m) => f.write_str(m),
+            CliError::Checkpoint(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<CkptError> for CliError {
+    fn from(e: CkptError) -> Self {
+        CliError::Checkpoint(e)
+    }
+}
+
+const HELP: &str = "\
+matelda-cli — multi-table error detection (MaTElDa reproduction)
+
+usage:
+  matelda-cli generate <dir> [--lake quintet|rein|dgov-ntr|dgov-nt|wdc|gittables]
+                             [--seed N] [--tables N]
+  matelda-cli detect <dirty-dir> --clean <clean-dir> [--budget-cells N]
+                     [--variant standard|edf|rs|santos|sf|tpdf|tucf]
+                     [--threads N] [--report] [--repair]
+                     [--read strict|repair|skip] [--on-error fail|skip]
+                     [--max-quarantined N]
+                     [--checkpoint-dir <dir>] [--resume] [--stage-timeout-ms N]
+  matelda-cli profile <dir> [--read strict|repair|skip]
+
+durability flags (detect):
+  --checkpoint-dir <dir>  commit a snapshot of every completed stage into
+                          <dir> (atomic tmp+fsync+rename), plus a manifest
+                          binding the run's config, lake fingerprint, seed
+                          and label budget
+  --resume                validate the manifest in --checkpoint-dir and
+                          skip every stage with an intact snapshot; the
+                          resumed output is bit-identical to an
+                          uninterrupted run, at any --threads value
+  --stage-timeout-ms N    per-stage watchdog deadline: items past it become
+                          per-item faults (degrade under --on-error skip,
+                          abort under fail; committed checkpoints survive)
+
+exit codes:
+  0  success
+  1  runtime failure
+  2  bad arguments (unknown subcommand, flag or value)
+  3  lake ingestion failed
+  4  degraded run quarantined more tables than --max-quarantined
+  5  checkpoint rejected: corrupt snapshot or manifest mismatch
+     (a stale or foreign checkpoint is never silently reused)
+";
 
 fn main() -> ExitCode {
+    // Chaos-test hook: MATELDA_FAULTPOINTS arms deterministic stage
+    // faults in this process (no-op when unset).
+    matelda::exec::faultpoint::arm_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{HELP}");
+        return ExitCode::SUCCESS;
+    }
     let result = match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
         Some("detect") => cmd_detect(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
-        _ => {
-            eprintln!("usage: matelda-cli <generate|detect|profile> ... (see --help in source)");
-            return ExitCode::FAILURE;
-        }
+        other => Err(CliError::Usage(format!(
+            "usage: matelda-cli <generate|detect|profile> ... (--help for details){}",
+            other.map_or(String::new(), |o| format!("; got {o:?}"))
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
-type CliResult = Result<(), Box<dyn std::error::Error>>;
+type CliResult = Result<(), CliError>;
 
-/// Splits positional args from `--key value` flags.
+/// Splits positional args from `--key value` flags. A flag followed by
+/// another `--flag` (or by nothing) is boolean and maps to `""`, so
+/// `--resume --report` parses as two flags, not one flag with a value.
 fn parse_flags(args: &[String]) -> (Vec<&str>, HashMap<&str, &str>) {
     let mut positional = Vec::new();
     let mut flags = HashMap::new();
     let mut i = 0;
     while i < args.len() {
         if let Some(key) = args[i].strip_prefix("--") {
-            if i + 1 < args.len() {
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
                 flags.insert(key, args[i + 1].as_str());
                 i += 2;
             } else {
@@ -80,12 +189,47 @@ fn parse_flags(args: &[String]) -> (Vec<&str>, HashMap<&str, &str>) {
     (positional, flags)
 }
 
+/// Rejects any flag a subcommand does not know (exit 2): a typo like
+/// `--thread 4` must fail loudly, not silently run with the default.
+fn check_flags(flags: &HashMap<&str, &str>, known: &[&str]) -> Result<(), CliError> {
+    let mut unknown: Vec<&str> = flags.keys().filter(|k| !known.contains(*k)).copied().collect();
+    unknown.sort_unstable();
+    match unknown.first() {
+        None => Ok(()),
+        Some(flag) => Err(CliError::Usage(format!(
+            "unknown flag --{flag} (known: {})",
+            known.iter().map(|k| format!("--{k}")).collect::<Vec<_>>().join(", ")
+        ))),
+    }
+}
+
+/// Parses an optional `--key value` flag, mapping a parse failure to a
+/// [`CliError::Usage`] that names the flag.
+fn parse_flag<T: std::str::FromStr>(
+    flags: &HashMap<&str, &str>,
+    key: &str,
+) -> Result<Option<T>, CliError>
+where
+    T::Err: std::fmt::Display,
+{
+    match flags.get(key) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse()
+            .map(Some)
+            .map_err(|e| CliError::Usage(format!("bad value for --{key} {raw:?}: {e}"))),
+    }
+}
+
 fn cmd_generate(args: &[String]) -> CliResult {
     let (pos, flags) = parse_flags(args);
-    let dir = PathBuf::from(pos.first().ok_or("generate: missing <dir>")?);
-    let seed: u64 = flags.get("seed").map_or(Ok(1), |s| s.parse())?;
+    check_flags(&flags, &["lake", "seed", "tables"])?;
+    let dir = PathBuf::from(
+        pos.first().ok_or_else(|| CliError::Usage("generate: missing <dir>".into()))?,
+    );
+    let seed: u64 = parse_flag(&flags, "seed")?.unwrap_or(1);
     let kind = flags.get("lake").copied().unwrap_or("quintet");
-    let tables: Option<usize> = flags.get("tables").map(|s| s.parse()).transpose()?;
+    let tables: Option<usize> = parse_flag(&flags, "tables")?;
 
     let lake = match kind {
         "quintet" => QuintetLake::default().generate(seed),
@@ -94,11 +238,12 @@ fn cmd_generate(args: &[String]) -> CliResult {
         "dgov-nt" => DGovLake::nt().with_n_tables(tables.unwrap_or(24)).generate(seed),
         "wdc" => WdcLake { n_tables: tables.unwrap_or(20), ..WdcLake::default() }.generate(seed),
         "gittables" => GitTablesLake::default().with_n_tables(tables.unwrap_or(50)).generate(seed),
-        other => return Err(format!("unknown lake kind {other:?}").into()),
+        other => return Err(CliError::Usage(format!("unknown lake kind {other:?}"))),
     };
 
     for (sub, side) in [("dirty", &lake.dirty), ("clean", &lake.clean)] {
-        matelda::table::write_lake_to_dir(side, &dir.join(sub))?;
+        matelda::table::write_lake_to_dir(side, &dir.join(sub))
+            .map_err(|e| CliError::Runtime(format!("writing {}: {e}", dir.join(sub).display())))?;
     }
     println!(
         "wrote {} tables ({} cells, {:.1}% erroneous) to {}/{{dirty,clean}}/",
@@ -111,22 +256,22 @@ fn cmd_generate(args: &[String]) -> CliResult {
 }
 
 /// The `--read` flag: how malformed CSV files are treated on ingest.
-fn read_options(flags: &HashMap<&str, &str>) -> Result<ReadOptions, Box<dyn std::error::Error>> {
+fn read_options(flags: &HashMap<&str, &str>) -> Result<ReadOptions, CliError> {
     match flags.get("read").copied().unwrap_or("strict") {
         "strict" => Ok(ReadOptions::strict()),
         "repair" => Ok(ReadOptions::repair()),
         "skip" => Ok(ReadOptions::skip()),
-        other => Err(format!("unknown --read mode {other:?} (strict|repair|skip)").into()),
+        other => {
+            Err(CliError::Usage(format!("unknown --read mode {other:?} (strict|repair|skip)")))
+        }
     }
 }
 
 /// Loads every CSV of a directory into a lake, sorted by file name, under
-/// the given ingestion options.
-fn load_lake(
-    dir: &Path,
-    options: &ReadOptions,
-) -> Result<(Lake, IngestReport), Box<dyn std::error::Error>> {
-    Ok(matelda::table::read_lake_from_dir_with(dir, options)?)
+/// the given ingestion options. Failures exit with the ingest code (3).
+fn load_lake(dir: &Path, options: &ReadOptions) -> Result<(Lake, IngestReport), CliError> {
+    matelda::table::read_lake_from_dir_with(dir, options)
+        .map_err(|e| CliError::Ingest(format!("ingest {}: {e}", dir.display())))
 }
 
 /// Prints what tolerant ingestion had to do, if anything.
@@ -139,32 +284,98 @@ fn print_ingest_notes(label: &str, report: &IngestReport) {
     }
 }
 
+/// An order-stable FNV-1a digest of everything the durability contract
+/// promises to reproduce: predictions, label spend, fold counts and the
+/// quarantine record (stage wall times are excluded on purpose). The
+/// subprocess crash-recovery suite compares this line between a clean run
+/// and a crashed-then-resumed one.
+fn result_digest(result: &DetectionResult) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(result.predicted.count() as u64);
+    for id in result.predicted.iter_set() {
+        h.write_u64(id.table as u64);
+        h.write_u64(id.row as u64);
+        h.write_u64(id.col as u64);
+    }
+    h.write_u64(result.labels_used as u64);
+    h.write_u64(result.n_domain_folds as u64);
+    h.write_u64(result.n_quality_folds as u64);
+    let q = &result.quarantine;
+    h.write_u64(q.tables.len() as u64);
+    for &t in &q.tables {
+        h.write_u64(t as u64);
+    }
+    h.write_u64(q.columns.len() as u64);
+    for &(t, c) in &q.columns {
+        h.write_u64(t as u64);
+        h.write_u64(c as u64);
+    }
+    h.write_u64(q.fold_fallbacks.len() as u64);
+    for &f in &q.fold_fallbacks {
+        h.write_u64(f as u64);
+    }
+    h.finish()
+}
+
 fn cmd_detect(args: &[String]) -> CliResult {
     let (pos, flags) = parse_flags(args);
-    let dirty_dir = PathBuf::from(pos.first().ok_or("detect: missing <dirty-dir>")?);
-    let clean_dir = PathBuf::from(
-        flags.get("clean").ok_or("detect: --clean <dir> is required (labels + evaluation)")?,
+    check_flags(
+        &flags,
+        &[
+            "clean",
+            "read",
+            "on-error",
+            "max-quarantined",
+            "checkpoint-dir",
+            "resume",
+            "stage-timeout-ms",
+            "budget-cells",
+            "threads",
+            "variant",
+            "report",
+            "repair",
+        ],
+    )?;
+    let dirty_dir = PathBuf::from(
+        pos.first().ok_or_else(|| CliError::Usage("detect: missing <dirty-dir>".into()))?,
     );
+    let clean_dir =
+        PathBuf::from(flags.get("clean").filter(|d| !d.is_empty()).ok_or_else(|| {
+            CliError::Usage("detect: --clean <dir> is required (labels + evaluation)".into())
+        })?);
     let read = read_options(&flags)?;
     let on_error = match flags.get("on-error").copied().unwrap_or("fail") {
         "fail" => FaultPolicy::Fail,
         "skip" => FaultPolicy::Skip,
-        other => return Err(format!("unknown --on-error policy {other:?} (fail|skip)").into()),
+        other => {
+            return Err(CliError::Usage(format!("unknown --on-error policy {other:?} (fail|skip)")))
+        }
     };
-    let max_quarantined: usize =
-        flags.get("max-quarantined").map(|s| s.parse()).transpose()?.unwrap_or(usize::MAX);
+    let max_quarantined: usize = parse_flag(&flags, "max-quarantined")?.unwrap_or(usize::MAX);
+    let checkpoint_dir = match flags.get("checkpoint-dir").copied() {
+        Some("") => {
+            return Err(CliError::Usage("--checkpoint-dir requires a directory path".into()))
+        }
+        Some(d) => Some(PathBuf::from(d)),
+        None => None,
+    };
+    let resume = flags.contains_key("resume");
+    if resume && checkpoint_dir.is_none() {
+        return Err(CliError::Usage("--resume requires --checkpoint-dir <dir>".into()));
+    }
+    let stage_timeout = parse_flag::<u64>(&flags, "stage-timeout-ms")?.map(Duration::from_millis);
+
     let (dirty, dirty_ingest) = load_lake(&dirty_dir, &read)?;
     let (clean, _clean_ingest) = load_lake(&clean_dir, &read)?;
     print_ingest_notes("dirty", &dirty_ingest);
     if dirty.n_tables() != clean.n_tables() {
-        return Err("dirty and clean lakes have different table counts".into());
+        return Err(CliError::Ingest("dirty and clean lakes have different table counts".into()));
     }
-    let budget: usize =
-        flags.get("budget-cells").map(|s| s.parse()).transpose()?.unwrap_or(2 * dirty.n_columns());
+    let budget: usize = parse_flag(&flags, "budget-cells")?.unwrap_or(2 * dirty.n_columns());
 
     // threads = 0 means "available parallelism" (the executor's default).
-    let threads: usize = flags.get("threads").map(|s| s.parse()).transpose()?.unwrap_or(0);
-    let mut config = MateldaConfig { threads, on_error, ..Default::default() };
+    let threads: usize = parse_flag(&flags, "threads")?.unwrap_or(0);
+    let mut config = MateldaConfig { threads, on_error, stage_timeout, ..Default::default() };
     match flags.get("variant").copied().unwrap_or("standard") {
         "standard" => {}
         "edf" => config.domain_folding = DomainFolding::ExtremeDomainFolding,
@@ -173,13 +384,29 @@ fn cmd_detect(args: &[String]) -> CliResult {
         "sf" => config.syntactic_refinement = true,
         "tpdf" => config.training = TrainingStrategy::PerDomainFold,
         "tucf" => config.training = TrainingStrategy::UnlabeledCellFolds,
-        other => return Err(format!("unknown variant {other:?}").into()),
+        other => return Err(CliError::Usage(format!("unknown variant {other:?}"))),
     }
 
     let truth = diff_lakes(&dirty, &clean);
     let mut oracle = Oracle::new(&truth);
+    let durability = Durability { checkpoint_dir, resume };
     let start = std::time::Instant::now();
-    let result = Matelda::new(config).detect(&dirty, &mut oracle, budget);
+    // Under `--on-error fail` the engine aborts by panicking at the first
+    // fault (incl. a blown --stage-timeout-ms deadline). That is the
+    // documented runtime-failure class: map it to exit 1, not a raw
+    // panic trace with exit 101.
+    let pipeline = Matelda::new(config);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pipeline.detect_durable(&dirty, &mut oracle, budget, &durability)
+    }))
+    .map_err(|payload| {
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("stage fault");
+        CliError::Runtime(format!("run aborted (--on-error fail): {msg}"))
+    })??;
     let elapsed = start.elapsed();
 
     println!(
@@ -190,6 +417,7 @@ fn cmd_detect(args: &[String]) -> CliResult {
         result.n_quality_folds,
         result.report.threads
     );
+    println!("digest: {:016x}", result_digest(&result));
     if flags.contains_key("report") {
         println!("{}", result.report.to_json());
     }
@@ -228,11 +456,10 @@ fn cmd_detect(args: &[String]) -> CliResult {
         100.0 * conf.f1()
     );
     if quarantine.tables.len() > max_quarantined {
-        return Err(format!(
+        return Err(CliError::Quarantine(format!(
             "{} tables quarantined, more than --max-quarantined {max_quarantined}",
             quarantine.tables.len()
-        )
-        .into());
+        )));
     }
 
     if flags.contains_key("repair") {
@@ -263,7 +490,9 @@ fn cmd_detect(args: &[String]) -> CliResult {
 
 fn cmd_profile(args: &[String]) -> CliResult {
     let (pos, flags) = parse_flags(args);
-    let dir = PathBuf::from(pos.first().ok_or("profile: missing <dir>")?);
+    check_flags(&flags, &["read"])?;
+    let dir =
+        PathBuf::from(pos.first().ok_or_else(|| CliError::Usage("profile: missing <dir>".into()))?);
     let (lake, ingest) = load_lake(&dir, &read_options(&flags)?)?;
     print_ingest_notes("profile", &ingest);
     println!(

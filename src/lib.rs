@@ -21,11 +21,13 @@
 //! the paper-vs-measured experiment log.
 
 pub use matelda_baselines as baselines;
+pub use matelda_ckpt as ckpt;
 pub use matelda_cluster as cluster;
 pub use matelda_core as core;
 pub use matelda_detect as detect;
 pub use matelda_embed as embed;
 pub use matelda_errorgen as errorgen;
+pub use matelda_exec as exec;
 pub use matelda_fd as fd;
 pub use matelda_lakegen as lakegen;
 pub use matelda_ml as ml;

@@ -59,15 +59,131 @@ fn generate_profile_detect_repair_round_trip() {
 #[test]
 fn unknown_subcommand_fails_with_usage() {
     let out = cli().arg("frobnicate").output().expect("spawn");
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2), "bad arguments exit 2");
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
 }
 
 #[test]
 fn detect_requires_clean_dir() {
     let out = cli().args(["detect", "/tmp/nowhere"]).output().expect("spawn");
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2), "bad arguments exit 2");
     assert!(String::from_utf8_lossy(&out.stderr).contains("--clean"));
+}
+
+#[test]
+fn help_documents_flags_and_exit_codes() {
+    let out = cli().arg("--help").output().expect("spawn");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "exit codes",
+        "--checkpoint-dir",
+        "--resume",
+        "--stage-timeout-ms",
+        "--max-quarantined",
+        "never silently reused",
+    ] {
+        assert!(stdout.contains(needle), "--help must mention {needle:?}: {stdout}");
+    }
+}
+
+/// The exit-code contract documented in `--help`: each failure class has
+/// its own code, so scripts can tell a typo (2) from a broken lake (3),
+/// an over-degraded run (4) or a rejected checkpoint (5).
+#[test]
+fn exit_codes_distinguish_failure_classes() {
+    let dir = tmp_dir();
+    let dir_s = dir.to_string_lossy().to_string();
+    let out =
+        cli().args(["generate", &dir_s, "--lake", "quintet", "--seed", "9"]).output().expect("gen");
+    assert_eq!(out.status.code(), Some(0));
+    let dirty = dir.join("dirty").to_string_lossy().to_string();
+    let clean = dir.join("clean").to_string_lossy().to_string();
+
+    // 2 — unparseable flag value.
+    let out = cli()
+        .args(["detect", &dirty, "--clean", &clean, "--budget-cells", "lots"])
+        .output()
+        .expect("bad number");
+    assert_eq!(out.status.code(), Some(2), "bad numeric flag exits 2");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--budget-cells"));
+
+    // 2 — --resume without a checkpoint directory.
+    let out =
+        cli().args(["detect", &dirty, "--clean", &clean, "--resume"]).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2), "--resume without --checkpoint-dir exits 2");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--checkpoint-dir"));
+
+    // 2 — an unknown flag (a typo must not silently run with defaults).
+    let out =
+        cli().args(["detect", &dirty, "--clean", &clean, "--thread", "4"]).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2), "unknown flag exits 2");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--thread"));
+
+    // 1 — a blown stage deadline under --on-error fail aborts as a
+    // runtime failure, not a raw panic trace (exit 101).
+    let out = cli()
+        .args(["detect", &dirty, "--clean", &clean, "--stage-timeout-ms", "0"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1), "fail-policy deadline exits 1");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("run aborted"));
+
+    // 3 — the lake cannot be ingested.
+    let out = cli()
+        .args(["detect", dir.join("absent").to_str().unwrap(), "--clean", &clean])
+        .output()
+        .expect("missing dir");
+    assert_eq!(out.status.code(), Some(3), "ingest failure exits 3");
+
+    // 4 — degraded run over the quarantine ceiling: an injected embed
+    // fault under --on-error skip quarantines one table.
+    let out = cli()
+        .env("MATELDA_FAULTPOINTS", "embed:1")
+        .args(["detect", &dirty, "--clean", &clean, "--on-error", "skip", "--max-quarantined", "0"])
+        .output()
+        .expect("quarantine ceiling");
+    assert_eq!(out.status.code(), Some(4), "quarantine ceiling exits 4");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--max-quarantined"));
+
+    // 5 — resuming a checkpoint written under a different label budget.
+    let ckpt = dir.join("ckpt").to_string_lossy().to_string();
+    let out = cli()
+        .args([
+            "detect",
+            &dirty,
+            "--clean",
+            &clean,
+            "--budget-cells",
+            "20",
+            "--checkpoint-dir",
+            &ckpt,
+        ])
+        .output()
+        .expect("checkpointed run");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = cli()
+        .args([
+            "detect",
+            &dirty,
+            "--clean",
+            &clean,
+            "--budget-cells",
+            "10",
+            "--checkpoint-dir",
+            &ckpt,
+            "--resume",
+        ])
+        .output()
+        .expect("mismatched resume");
+    assert_eq!(out.status.code(), Some(5), "checkpoint mismatch exits 5");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("label budget"),
+        "mismatch names the differing field: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
 }
 
 #[test]
@@ -99,9 +215,9 @@ fn tolerant_read_modes_survive_a_corrupted_file() {
         .collect();
     std::fs::write(&victim, ragged.join("\n") + "\n").expect("write victim");
 
-    // Strict (the default) refuses the lake.
+    // Strict (the default) refuses the lake: ingest failure, exit 3.
     let out = cli().args(["detect", &dirty, "--clean", &clean]).output().expect("strict");
-    assert!(!out.status.success(), "strict mode must fail on a ragged file");
+    assert_eq!(out.status.code(), Some(3), "strict mode must fail on a ragged file with exit 3");
 
     // Repair mode loads it, notes the repair, and completes detection.
     let out = cli()
@@ -118,7 +234,7 @@ fn tolerant_read_modes_survive_a_corrupted_file() {
         .args(["detect", &dirty, "--clean", &clean, "--on-error", "bogus"])
         .output()
         .expect("bad policy");
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2), "unknown policy exits 2");
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown --on-error"));
 
     std::fs::remove_dir_all(&dir).expect("cleanup");
@@ -139,7 +255,7 @@ fn variant_flag_is_validated() {
         .args(["detect", &dirty, "--clean", &clean, "--variant", "bogus"])
         .output()
         .expect("detect");
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2), "unknown variant exits 2");
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown variant"));
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }

@@ -1,0 +1,171 @@
+//! Subprocess crash-recovery suite: the acceptance test for the
+//! durability tentpole at the process level.
+//!
+//! Where `crates/chaos/tests/durability.rs` simulates interruptions
+//! in-process, this suite actually kills the compiled `matelda-cli`
+//! binary mid-run via the `MATELDA_CKPT_CRASH` hook — right after a
+//! chosen stage's snapshot commits, or halfway through writing one
+//! (a torn snapshot planted under the final name). The contract:
+//!
+//! * a run killed at *every* checkpoint boundary, then resumed with
+//!   `--resume`, prints the exact result digest of an uninterrupted
+//!   run — including when the resume uses a different `--threads`;
+//! * a torn snapshot is rejected with exit code 5 (never silently
+//!   reused), and a fresh non-resume run over the same directory
+//!   recovers by sweeping and recomputing.
+
+use matelda::lakegen::QuintetLake;
+use matelda::table::write_lake_to_dir;
+use matelda_chaos::{CrashMode, FaultPlan, CRASH_ENV, STAGE_NAMES};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const BUDGET: &str = "20";
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_matelda-cli"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("matelda_durability_cli_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Writes a small dirty/clean lake pair under a fresh temp root.
+fn write_lake(tag: &str) -> (PathBuf, PathBuf, PathBuf) {
+    let root = tmp_dir(tag);
+    let lake = QuintetLake { rows_per_table: 25, error_rate: 0.1 }.generate(41);
+    let dirty = root.join("dirty");
+    let clean = root.join("clean");
+    write_lake_to_dir(&lake.dirty, &dirty).expect("write dirty lake");
+    write_lake_to_dir(&lake.clean, &clean).expect("write clean lake");
+    (root, dirty, clean)
+}
+
+/// One `detect` invocation; `crash` is a `MATELDA_CKPT_CRASH` directive
+/// for the child process.
+fn detect(
+    dirty: &Path,
+    clean: &Path,
+    ckpt: Option<(&Path, bool)>,
+    threads: usize,
+    crash: Option<&str>,
+) -> Output {
+    let mut cmd = cli();
+    cmd.args(["detect", dirty.to_str().unwrap(), "--clean", clean.to_str().unwrap()]).args([
+        "--budget-cells",
+        BUDGET,
+        "--threads",
+        &threads.to_string(),
+    ]);
+    if let Some((dir, resume)) = ckpt {
+        cmd.args(["--checkpoint-dir", dir.to_str().unwrap()]);
+        if resume {
+            cmd.arg("--resume");
+        }
+    }
+    if let Some(directive) = crash {
+        cmd.env(CRASH_ENV, directive);
+    }
+    cmd.output().expect("spawn matelda-cli detect")
+}
+
+/// The `digest: <hex>` line: an order-stable FNV-1a over everything the
+/// durability contract promises to reproduce.
+fn digest_of(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "run failed ({:?}): {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("digest: "))
+        .unwrap_or_else(|| panic!("no digest line in: {stdout}"))
+        .to_string()
+}
+
+#[test]
+fn killed_at_every_boundary_then_resumed_prints_the_clean_digest() {
+    let (root, dirty, clean) = write_lake("boundaries");
+    let reference = digest_of(&detect(&dirty, &clean, None, 2, None));
+
+    for (k, stage) in STAGE_NAMES.iter().enumerate() {
+        let ckpt = root.join(format!("ckpt_{stage}"));
+        // Kill a 4-thread run right after this stage's snapshot commits.
+        let crashed =
+            detect(&dirty, &clean, Some((&ckpt, false)), 4, Some(&format!("after:{stage}")));
+        assert!(!crashed.status.success(), "{stage}: the crash directive must abort the child");
+        assert!(ckpt.join(format!("{stage}.ckpt")).is_file(), "{stage}: snapshot must survive");
+        if let Some(next) = STAGE_NAMES.get(k + 1) {
+            assert!(
+                !ckpt.join(format!("{next}.ckpt")).exists(),
+                "{stage}: no snapshot past the crash point"
+            );
+        }
+        // Resume — cycling the thread count, which is outside the
+        // manifest — and compare the result digest with the clean run.
+        let threads = [1, 2, 4][k % 3];
+        let resumed = digest_of(&detect(&dirty, &clean, Some((&ckpt, true)), threads, None));
+        assert_eq!(resumed, reference, "boundary {stage}, resumed at {threads} threads");
+    }
+    std::fs::remove_dir_all(&root).expect("cleanup");
+}
+
+#[test]
+fn one_boundary_resumes_identically_at_one_two_and_four_threads() {
+    let (root, dirty, clean) = write_lake("threads");
+    let reference = digest_of(&detect(&dirty, &clean, None, 1, None));
+
+    // Crash once, mid-pipeline, then resume the same wreckage at each
+    // thread count (fresh copies — resume re-commits missing snapshots,
+    // and each copy must start from the genuine crash state).
+    let master = root.join("ckpt_master");
+    let crashed = detect(&dirty, &clean, Some((&master, false)), 4, Some("after:domain_folds"));
+    assert!(!crashed.status.success());
+    for threads in [1usize, 2, 4] {
+        let copy = root.join(format!("ckpt_t{threads}"));
+        std::fs::create_dir_all(&copy).expect("mkdir");
+        for entry in std::fs::read_dir(&master).expect("read master") {
+            let p = entry.expect("entry").path();
+            std::fs::copy(&p, copy.join(p.file_name().unwrap())).expect("copy snapshot");
+        }
+        let resumed = digest_of(&detect(&dirty, &clean, Some((&copy, true)), threads, None));
+        assert_eq!(resumed, reference, "resume at {threads} threads");
+    }
+    std::fs::remove_dir_all(&root).expect("cleanup");
+}
+
+#[test]
+fn torn_mid_write_snapshot_is_rejected_then_recoverable() {
+    let (root, dirty, clean) = write_lake("torn");
+    let reference = digest_of(&detect(&dirty, &clean, None, 2, None));
+
+    // The chaos plan picks the boundary seed-deterministically; the
+    // store then plants a half-written snapshot under the final name
+    // (the corruption class atomic rename cannot prevent) and aborts.
+    let directive = FaultPlan::new(9).crash_directive(CrashMode::TornWrite);
+    let ckpt = root.join("ckpt");
+    let crashed = detect(&dirty, &clean, Some((&ckpt, false)), 2, Some(&directive.env_value()));
+    assert!(!crashed.status.success(), "torn-write directive must abort the child");
+    let torn = ckpt.join(format!("{}.ckpt", directive.stage));
+    assert!(torn.is_file(), "the torn snapshot must exist under the final name");
+
+    // Resume must reject it: exit code 5, structured corruption report.
+    let rejected = detect(&dirty, &clean, Some((&ckpt, true)), 2, None);
+    assert_eq!(rejected.status.code(), Some(5), "corrupt snapshot exits 5");
+    let stderr = String::from_utf8_lossy(&rejected.stderr);
+    assert!(stderr.contains("corrupt checkpoint"), "stderr must name the corruption: {stderr}");
+
+    // A fresh (non-resume) run sweeps the directory and recomputes …
+    let fresh = digest_of(&detect(&dirty, &clean, Some((&ckpt, false)), 2, None));
+    assert_eq!(fresh, reference, "recovery run");
+    // … after which resume works again, restoring every stage.
+    let resumed = digest_of(&detect(&dirty, &clean, Some((&ckpt, true)), 2, None));
+    assert_eq!(resumed, reference, "post-recovery resume");
+    std::fs::remove_dir_all(&root).expect("cleanup");
+}

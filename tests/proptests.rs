@@ -246,6 +246,80 @@ proptest! {
     }
 }
 
+// Snapshot durability (DESIGN.md §6): encode → decode round-trips
+// bit-identically for arbitrary stage artifacts, and decoding arbitrary
+// truncated or garbled bytes is a structured error, never a panic or a
+// bogus allocation.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn snapshot_round_trips_arbitrary_artifacts_bit_identically(
+        vecs in proptest::collection::vec(
+            proptest::collection::vec((0u64..u64::MAX).prop_map(|b| f32::from_bits(b as u32)), 0..8),
+            0..6),
+        tables in proptest::collection::vec(0usize..32, 0..4),
+        faults in proptest::collection::vec(("[a-z]{1,8}", 0usize..64, "[ -~]{0,16}"), 0..4),
+        cut in 0.0f64..1.0,
+    ) {
+        use matelda::core::{decode_snapshot, encode_snapshot, CtxState, EmbeddedLake, ItemFault};
+        let mut state = CtxState::default();
+        state.quarantine.tables = tables;
+        for (stage, index, message) in faults {
+            state.faults.push(ItemFault { stage, index, message });
+        }
+        // f32s come from arbitrary bit patterns, so NaNs, infinities and
+        // subnormals are all on the table — the codec must carry the
+        // exact bits, not a formatted value.
+        let artifact = EmbeddedLake::Vectors(vecs);
+        let bytes = encode_snapshot(&state, &artifact);
+        let (state2, artifact2) =
+            decode_snapshot::<EmbeddedLake>(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(encode_snapshot(&state2, &artifact2), bytes.clone());
+        // Any strict prefix (a torn write) must fail to decode.
+        let cut = ((bytes.len() as f64) * cut) as usize;
+        if cut < bytes.len() {
+            prop_assert!(decode_snapshot::<EmbeddedLake>(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn prediction_mask_snapshots_round_trip_bit_identically(
+        dims in proptest::collection::vec((1usize..5, 1usize..6), 1..4),
+        picks in proptest::collection::vec((0usize..4, 0usize..8, 0usize..8), 0..20),
+    ) {
+        use matelda::core::{decode_snapshot, encode_snapshot, CtxState, Predictions};
+        let mut mask = CellMask::from_dims(dims.clone());
+        for (t, r, c) in picks {
+            let t = t % dims.len();
+            let (rows, cols) = dims[t];
+            mask.set(CellId::new(t, r % rows, c % cols), true);
+        }
+        let bytes = encode_snapshot(&CtxState::default(), &Predictions { mask });
+        let (state, predictions) = decode_snapshot::<Predictions>(&bytes).expect("decodes");
+        prop_assert_eq!(encode_snapshot(&state, &predictions), bytes);
+    }
+
+    #[test]
+    fn snapshot_decode_of_arbitrary_bytes_is_an_error_never_a_panic(
+        bytes in proptest::collection::vec((0usize..256).prop_map(|b| b as u8), 0..256),
+    ) {
+        use matelda::ckpt::store::decode_envelope;
+        use matelda::ckpt::Manifest;
+        use matelda::core::{decode_snapshot, encode_snapshot, EmbeddedLake};
+        // If random bytes happen to decode, they must re-encode to
+        // themselves; in every other case the error is structured. No
+        // input may panic or trigger a length-prefix-sized allocation.
+        if let Ok((state, artifact)) = decode_snapshot::<EmbeddedLake>(&bytes) {
+            prop_assert_eq!(encode_snapshot(&state, &artifact), bytes.clone());
+        }
+        // Envelope and manifest share the contract; random bytes lack
+        // the magic tags, so these always fail — structuredly.
+        prop_assert!(decode_envelope(&bytes).is_err());
+        prop_assert!(Manifest::decode(&bytes).is_err());
+    }
+}
+
 // Each case below runs the whole pipeline, so this block uses a reduced
 // case count; the grid of strategies × budgets × threads still covers the
 // clamp's edge cases (budget < 2 × n_folds, budget 0).
