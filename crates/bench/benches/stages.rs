@@ -121,6 +121,31 @@ fn checkpoint_secs(reps: usize) -> (f64, f64, f64) {
     (median(plains), median(durables), resumed)
 }
 
+/// Measures what observability costs: the full pipeline with tracing off
+/// (a disabled handle — the shipped default) vs on (spans, events and
+/// metrics recorded). Single-threaded, off/on reps interleaved so host
+/// drift cancels. Returns (off_secs, on_secs, spans, events) with the
+/// span/event counts of one traced run as a volume record.
+fn observability_secs(lake: &GeneratedLake, reps: usize) -> (f64, f64, usize, usize) {
+    let run = |obs: matelda_obs::Obs| -> f64 {
+        let pipeline =
+            Matelda::new(MateldaConfig { threads: 1, ..Default::default() }).with_obs(obs);
+        let mut oracle = Oracle::new(&lake.errors);
+        let start = std::time::Instant::now();
+        let result = pipeline.detect(&lake.dirty, &mut oracle, BUDGET);
+        black_box(result);
+        start.elapsed().as_secs_f64()
+    };
+    let (mut offs, mut ons) = (Vec::new(), Vec::new());
+    for _ in 0..reps {
+        offs.push(run(matelda_obs::Obs::disabled()));
+        ons.push(run(matelda_obs::Obs::enabled()));
+    }
+    let probe = matelda_obs::Obs::enabled();
+    run(probe.clone());
+    (median(offs), median(ons), probe.spans().len(), probe.events().len())
+}
+
 fn bench_stages(c: &mut Criterion) {
     let lake = bench_lake();
     let n_threads = std::thread::available_parallelism().map_or(4, |n| n.get()).max(2);
@@ -205,9 +230,15 @@ fn emit_json() {
     let ckpt_pct =
         if plain_secs > 0.0 { 100.0 * (durable_secs - plain_secs) / plain_secs } else { 0.0 };
     let resume_speedup = if resume_secs > 0.0 { plain_secs / resume_secs } else { 1.0 };
+    // Observability overhead: tracing on vs off on the full pipeline.
+    // Target: < 5% with tracing enabled; a disabled handle is the
+    // default and must stay at ~0% (an Option branch per record call).
+    let (obs_off_secs, obs_on_secs, obs_spans, obs_events) = observability_secs(&lake, 9);
+    let obs_pct =
+        if obs_off_secs > 0.0 { 100.0 * (obs_on_secs - obs_off_secs) / obs_off_secs } else { 0.0 };
     let scale = std::env::var("MATELDA_SCALE").unwrap_or_else(|_| "full".to_string());
     let json = format!(
-        "{{\"bench\":\"stages\",\"scale\":\"{scale}\",\"host_parallelism\":{host},\"threads_compared\":[1,{n}],\"reps\":{reps},\"total_secs_1t\":{total_1:.6},\"total_secs_{n}t\":{total_n:.6},\"end_to_end_speedup\":{sp:.3},\"flagged_cells\":{flagged_1},\"deterministic_across_threads\":true,\"fault_isolation\":{{\"map_secs\":{map_secs:.6},\"try_map_secs\":{try_secs:.6},\"overhead_pct\":{overhead_pct:.2},\"target_pct\":5.0}},\"checkpoint\":{{\"rows_per_table\":{ckpt_rows},\"plain_secs\":{plain_secs:.6},\"durable_secs\":{durable_secs:.6},\"overhead_pct\":{ckpt_pct:.2},\"target_pct\":5.0,\"resume_secs\":{resume_secs:.6},\"resume_speedup\":{resume_speedup:.2}}},\"stages\":[{stages_json}]}}\n",
+        "{{\"bench\":\"stages\",\"scale\":\"{scale}\",\"host_parallelism\":{host},\"threads_compared\":[1,{n}],\"reps\":{reps},\"total_secs_1t\":{total_1:.6},\"total_secs_{n}t\":{total_n:.6},\"end_to_end_speedup\":{sp:.3},\"flagged_cells\":{flagged_1},\"deterministic_across_threads\":true,\"fault_isolation\":{{\"map_secs\":{map_secs:.6},\"try_map_secs\":{try_secs:.6},\"overhead_pct\":{overhead_pct:.2},\"target_pct\":5.0}},\"checkpoint\":{{\"rows_per_table\":{ckpt_rows},\"plain_secs\":{plain_secs:.6},\"durable_secs\":{durable_secs:.6},\"overhead_pct\":{ckpt_pct:.2},\"target_pct\":5.0,\"resume_secs\":{resume_secs:.6},\"resume_speedup\":{resume_speedup:.2}}},\"observability\":{{\"off_secs\":{obs_off_secs:.6},\"on_secs\":{obs_on_secs:.6},\"overhead_pct\":{obs_pct:.2},\"target_pct\":5.0,\"spans\":{obs_spans},\"events\":{obs_events}}},\"stages\":[{stages_json}]}}\n",
         host = std::thread::available_parallelism().map_or(1, |v| v.get()),
         n = n_threads,
         ckpt_rows = CKPT_ROWS,

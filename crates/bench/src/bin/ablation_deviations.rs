@@ -1,6 +1,6 @@
 //! Deviation ablation — empirical justification of the three places this
 //! reproduction deliberately departs from the paper's letter (all
-//! documented in DESIGN.md §8 and in the module docs):
+//! documented in DESIGN.md §9 and in the module docs):
 //!
 //! 1. **TF normalization** — Eq. 2 normalizes a value's count by the sum
 //!    of all rows' counts; at realistic row counts every ratio collapses

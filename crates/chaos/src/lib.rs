@@ -149,6 +149,38 @@ impl FaultPlan {
         }
         Ok(records)
     }
+
+    /// [`Self::corrupt_dir`] with the inflicted damage recorded in an
+    /// observability handle: one `chaos.corrupt` event per victim file
+    /// plus a `chaos.corruptions` counter, so a traced chaos run's event
+    /// log shows which faults were *planned* next to the `fault.item`
+    /// events the pipeline emits when it hits them.
+    pub fn corrupt_dir_logged(
+        &self,
+        dir: &Path,
+        k: usize,
+        obs: &matelda_obs::Obs,
+    ) -> io::Result<Vec<CorruptionRecord>> {
+        let records = self.corrupt_dir(dir, k)?;
+        for rec in &records {
+            let name = rec.path.file_name().and_then(|n| n.to_str()).unwrap_or("file");
+            let kind = match rec.kind {
+                Corruption::Truncate => "truncate",
+                Corruption::Garble => "garble",
+                Corruption::Raggedize => "raggedize",
+            };
+            obs.event(
+                "chaos.corrupt",
+                &[
+                    ("file", matelda_obs::Val::S(name)),
+                    ("kind", matelda_obs::Val::S(kind)),
+                    ("seed", matelda_obs::Val::U(self.seed)),
+                ],
+            );
+        }
+        obs.counter_add("chaos.corruptions", records.len() as u64);
+        Ok(records)
+    }
 }
 
 /// Applies one corruption to a byte buffer (pure; exposed so tests can

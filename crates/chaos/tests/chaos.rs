@@ -11,7 +11,7 @@
 //! 4. produces bit-identical results at 1/2/4 threads under injection.
 
 use matelda_chaos::{faultpoint, FaultPlan};
-use matelda_core::{FaultPolicy, Matelda, MateldaConfig, Oracle};
+use matelda_core::{FaultPolicy, Matelda, MateldaConfig, Obs, Oracle};
 use matelda_lakegen::QuintetLake;
 use matelda_table::{
     read_lake_from_dir_with, write_lake_to_dir, CellId, CellMask, Lake, ReadOptions,
@@ -120,6 +120,70 @@ fn bit_identical_across_thread_counts_under_injection() {
         assert_eq!(r.labels_used, base.labels_used, "threads={threads}");
         assert_eq!(r.report.faults, base.report.faults, "threads={threads}");
     }
+}
+
+#[test]
+fn injected_faults_surface_in_the_event_log_without_changing_results() {
+    let gl = QuintetLake { rows_per_table: 25, error_rate: 0.1 }.generate(7);
+    let plan = FaultPlan::new(5);
+    let mut points = plan.stage_points("featurize", gl.dirty.n_tables(), 1);
+    points.extend(plan.stage_points("classify", 6, 1));
+
+    let run = |obs: Obs| {
+        let _guard = faultpoint::arm(points.clone());
+        let mut oracle = Oracle::new(&gl.errors);
+        Matelda::new(skip_config(2)).with_obs(obs).detect(&gl.dirty, &mut oracle, 20)
+    };
+    let untraced = run(Obs::disabled());
+    let obs = Obs::enabled();
+    let traced = run(obs.clone());
+
+    // Observability is read-only: tracing a chaotic run changes nothing.
+    assert_eq!(traced.predicted, untraced.predicted);
+    assert_eq!(traced.quarantine, untraced.quarantine);
+    assert_eq!(traced.report.faults, untraced.report.faults);
+
+    // Every fault the engine recorded has a matching `fault.item` event,
+    // all marked as injected (these are faultpoint panics, not organic).
+    let fault_events = obs.events_named("fault.item");
+    assert_eq!(fault_events.len(), traced.report.faults.len());
+    assert!(!fault_events.is_empty(), "the armed faultpoints must fire");
+    for ev in &fault_events {
+        let injected = ev
+            .fields
+            .iter()
+            .any(|(k, v)| k == "injected" && matches!(v, matelda_obs::OwnedVal::U(1)));
+        assert!(injected, "fault event not marked injected: {ev:?}");
+    }
+    assert_eq!(obs.counter("faults.items"), Some(traced.report.faults.len() as u64));
+}
+
+#[test]
+fn logged_corruption_matches_the_unlogged_plan() {
+    let gl = QuintetLake { rows_per_table: 15, error_rate: 0.05 }.generate(9);
+    let (dir_a, dir_b) = (tmp_dir("logged_a"), tmp_dir("logged_b"));
+    write_lake_to_dir(&gl.dirty, &dir_a).expect("write a");
+    write_lake_to_dir(&gl.dirty, &dir_b).expect("write b");
+
+    let obs = Obs::enabled();
+    let rec_logged = FaultPlan::new(31).corrupt_dir_logged(&dir_a, 2, &obs).expect("logged");
+    let rec_plain = FaultPlan::new(31).corrupt_dir(&dir_b, 2).expect("plain");
+
+    // The logging wrapper inflicts byte-identical damage...
+    assert_eq!(rec_logged.len(), rec_plain.len());
+    for (a, b) in rec_logged.iter().zip(&rec_plain) {
+        assert_eq!(a.kind, b.kind);
+        assert_eq!(a.path.file_name(), b.path.file_name());
+        assert_eq!(
+            std::fs::read(&a.path).expect("read a"),
+            std::fs::read(&b.path).expect("read b")
+        );
+    }
+    // ...and records one event per victim plus the counter.
+    assert_eq!(obs.events_named("chaos.corrupt").len(), rec_logged.len());
+    assert_eq!(obs.counter("chaos.corruptions"), Some(rec_logged.len() as u64));
+    std::fs::remove_dir_all(&dir_a).expect("cleanup a");
+    std::fs::remove_dir_all(&dir_b).expect("cleanup b");
 }
 
 #[test]

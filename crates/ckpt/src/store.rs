@@ -44,6 +44,7 @@ use std::sync::OnceLock;
 
 use crate::manifest::{Manifest, FORMAT_VERSION};
 use crate::wire::{DecodeError, Reader, Writer};
+use matelda_obs::{Obs, Val};
 use matelda_table::fingerprint::Fnv1a;
 
 const ENVELOPE_MAGIC: &[u8; 8] = b"MTLDCKPT";
@@ -154,6 +155,7 @@ impl CrashDirective {
 pub struct CheckpointStore {
     dir: PathBuf,
     manifest: Manifest,
+    obs: Obs,
 }
 
 impl CheckpointStore {
@@ -199,7 +201,16 @@ impl CheckpointStore {
                     .map_err(|source| CkptError::Io { path: manifest_path, source })?;
             }
         }
-        Ok(CheckpointStore { dir: dir.to_path_buf(), manifest })
+        Ok(CheckpointStore { dir: dir.to_path_buf(), manifest, obs: Obs::disabled() })
+    }
+
+    /// Attaches an observability handle: commits and restores then
+    /// land in the run event log (`ckpt.commit` / `ckpt.load`) with
+    /// matching counters. Events describe I/O only — snapshot bytes,
+    /// checksums and the manifest never depend on the handle.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Deletes every regular file in `dir` with the given extension.
@@ -255,7 +266,15 @@ impl CheckpointStore {
                 }
             }
         }
-        write_atomic(&path, &bytes).map_err(io_err)
+        write_atomic(&path, &bytes).map_err(io_err)?;
+        if self.obs.is_enabled() {
+            self.obs.event(
+                "ckpt.commit",
+                &[("stage", Val::S(stage)), ("bytes", Val::U(bytes.len() as u64))],
+            );
+            self.obs.counter_add("ckpt.commits", 1);
+        }
+        Ok(())
     }
 
     /// Loads and fully verifies one stage snapshot.
@@ -286,6 +305,13 @@ impl CheckpointStore {
                 expected: format!("{:#018x}", self.manifest.hash()),
                 found: format!("{manifest_hash:#018x}"),
             });
+        }
+        if self.obs.is_enabled() {
+            self.obs.event(
+                "ckpt.load",
+                &[("stage", Val::S(stage)), ("bytes", Val::U(payload.len() as u64))],
+            );
+            self.obs.counter_add("ckpt.loads", 1);
         }
         Ok(Some(payload))
     }

@@ -112,9 +112,12 @@ pub fn nearest_center(point: &[f32], centers: &[Vec<f32>]) -> usize {
     best
 }
 
-/// Squared Euclidean distance.
+/// Squared Euclidean distance. The vectors must have equal dimension —
+/// enforced in every build profile, because a `debug_assert!` would let
+/// release builds silently `zip`-truncate a mismatched pair and return
+/// a wrong (too small) distance.
 pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), b.len(), "sq_dist: dimension mismatch ({} vs {})", a.len(), b.len());
     a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 
@@ -126,9 +129,12 @@ fn kmeanspp_init(points: &[Vec<f32>], k: usize, rng: &mut StdRng) -> Vec<Vec<f32
     let mut d2: Vec<f32> = points.iter().map(|p| sq_dist(p, &centers[0])).collect();
     while centers.len() < k {
         let total: f32 = d2.iter().sum();
-        let next = if total <= 0.0 {
-            // All remaining points coincide with existing centers; pick
-            // uniformly to still reach k centers.
+        let next = if total <= 0.0 || !total.is_finite() {
+            // All remaining points coincide with existing centers — or a
+            // huge/NaN feature value pushed the distance mass out of f32
+            // range, where `random_range(0.0..total)` would panic and
+            // the weights are meaningless anyway. Pick uniformly to
+            // still reach k centers.
             rng.random_range(0..n)
         } else {
             let mut target = rng.random_range(0.0..total);
@@ -225,6 +231,85 @@ mod tests {
                 .fit(&pts);
         for (p, &a) in pts.iter().zip(&fit.assignments) {
             assert_eq!(a, nearest_center(p, &fit.centers));
+        }
+    }
+
+    /// Regression: `sq_dist` used to check dimensions only with a
+    /// `debug_assert!`, so release builds silently zip-truncated and
+    /// returned a too-small distance. The contract must hold in every
+    /// build profile.
+    #[test]
+    fn sq_dist_rejects_mismatched_dimensions() {
+        let caught = std::panic::catch_unwind(|| sq_dist(&[1.0, 2.0, 3.0], &[1.0, 2.0]));
+        assert!(caught.is_err(), "mismatched dimensions must panic, not truncate");
+    }
+
+    /// Regression: a NaN feature poisons the k-means++ distance sum, and
+    /// `random_range(0.0..NaN)` used to panic. The seeding must fall back
+    /// to the uniform pick instead.
+    #[test]
+    fn nan_features_fall_back_to_uniform_seeding() {
+        let pts = vec![vec![f32::NAN, 0.0], vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]];
+        let fit = MiniBatchKMeans::new(MiniBatchKMeansConfig {
+            k: 2,
+            iterations: 5,
+            seed: 0,
+            ..Default::default()
+        })
+        .fit(&pts);
+        assert_eq!(fit.centers.len(), 2);
+        assert!(fit.assignments.iter().all(|&a| a < 2));
+    }
+
+    /// Regression: `f32::MAX`-magnitude features square to `+inf`, so the
+    /// weighted-sampling total overflows. Seeding must survive and still
+    /// produce k centers with valid assignments.
+    #[test]
+    fn extreme_magnitudes_do_not_break_seeding() {
+        let pts = vec![
+            vec![f32::MAX, 0.0],
+            vec![-f32::MAX, 0.0],
+            vec![0.0, f32::MAX],
+            vec![0.0, -f32::MAX],
+            vec![1.0, 1.0],
+        ];
+        let fit = MiniBatchKMeans::new(MiniBatchKMeansConfig {
+            k: 3,
+            iterations: 10,
+            seed: 11,
+            ..Default::default()
+        })
+        .fit(&pts);
+        assert_eq!(fit.centers.len(), 3);
+        assert!(fit.assignments.iter().all(|&a| a < 3));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        // Seeding and fitting never panic for feature values anywhere in
+        // the f32 range, including magnitudes whose squared distances
+        // overflow to +inf.
+        #[test]
+        fn kmeanspp_survives_extreme_feature_values(
+            raw in proptest::collection::vec(
+                proptest::collection::vec(-3.4e38f32..3.4e38f32, 2),
+                1..24,
+            ),
+            k in 1usize..6,
+            seed in 0u64..1000,
+        ) {
+            let fit = MiniBatchKMeans::new(MiniBatchKMeansConfig {
+                k,
+                batch_size: 8,
+                iterations: 5,
+                seed,
+            })
+            .fit(&raw);
+            let want_k = k.min(raw.len());
+            proptest::prop_assert_eq!(fit.centers.len(), want_k);
+            proptest::prop_assert_eq!(fit.assignments.len(), raw.len());
+            proptest::prop_assert!(fit.assignments.iter().all(|&a| a < want_k));
         }
     }
 }

@@ -75,6 +75,7 @@ use matelda_detect::{featurize_table, CellFeatures};
 use matelda_embed::encoder::HashedEncoder;
 use matelda_exec::{faultpoint, Deadline, Executor, ItemFault, RunReport, StageReport};
 use matelda_ml::FittedClassifier;
+use matelda_obs::{Buckets, Obs, Val};
 use matelda_table::oracle::Labeler;
 use matelda_table::{CellId, CellMask, Lake};
 use matelda_text::SpellChecker;
@@ -144,13 +145,23 @@ pub struct StageContext<'a> {
     /// [`matelda_exec::DEADLINE_FAULT`] and take the same degradation
     /// paths as a panicked item.
     pub deadline: Option<Deadline>,
+    /// The run's observability handle: stage spans, the metrics
+    /// registry and the event log all append here. Disabled by default
+    /// — recording never influences results (DESIGN.md §7).
+    pub obs: Obs,
 }
 
 impl<'a> StageContext<'a> {
     /// Builds a context for one run; the executor honours
     /// [`MateldaConfig::threads`] (`0` = available parallelism).
     pub fn new(lake: &'a Lake, config: &'a MateldaConfig) -> Self {
-        let executor = Executor::new(config.threads);
+        Self::with_obs(lake, config, Obs::disabled())
+    }
+
+    /// [`StageContext::new`] with a recording observability handle; the
+    /// executor shares it, so worker spans nest under the stage spans.
+    pub fn with_obs(lake: &'a Lake, config: &'a MateldaConfig, obs: Obs) -> Self {
+        let executor = Executor::new(config.threads).with_obs(obs.clone());
         let report = RunReport::new(executor.threads());
         StageContext {
             lake,
@@ -159,6 +170,7 @@ impl<'a> StageContext<'a> {
             report,
             quarantine: QuarantineReport::default(),
             deadline: None,
+            obs,
         }
     }
 
@@ -176,6 +188,23 @@ impl<'a> StageContext<'a> {
     pub fn note_faults(&mut self, faults: Vec<ItemFault>) {
         if faults.is_empty() {
             return;
+        }
+        if self.obs.is_enabled() {
+            // Logged before any `Fail` panic so an aborted run's trace
+            // still shows what killed it.
+            for f in &faults {
+                let injected = f.message.starts_with(faultpoint::INJECTED_PREFIX);
+                self.obs.event(
+                    "fault.item",
+                    &[
+                        ("stage", Val::S(&f.stage)),
+                        ("index", Val::U(f.index as u64)),
+                        ("injected", Val::U(u64::from(injected))),
+                        ("message", Val::S(&f.message)),
+                    ],
+                );
+            }
+            self.obs.counter_add("faults.items", faults.len() as u64);
         }
         if self.config.on_error == FaultPolicy::Fail {
             panic!("{}", faults[0]);
@@ -213,14 +242,32 @@ pub trait Stage {
     ) -> Self::Output;
 
     /// Runs the stage under the context's timer and the configured
-    /// watchdog deadline, then appends its report.
+    /// watchdog deadline, then appends its report. The stage span is
+    /// also the report's timer (one monotonic source); with a recording
+    /// handle the stage's counters and metrics land in the registry and
+    /// a `stage.end` event marks the boundary in the run log.
     fn run<'i>(&mut self, ctx: &mut StageContext<'_>, input: Self::Input<'i>) -> Self::Output {
-        let mut stage = StageReport::new(self.name());
-        let start = std::time::Instant::now();
+        let name = self.name();
+        let mut stage = StageReport::new(name);
+        let mut span = ctx.obs.span_scope("stage", name);
         ctx.deadline = ctx.config.stage_timeout.map(Deadline::after);
         let out = self.execute(ctx, input, &mut stage);
         ctx.deadline = None;
-        stage.wall_secs = start.elapsed().as_secs_f64();
+        span.arg("items", stage.items as f64);
+        stage.wall_secs = span.finish_secs();
+        if ctx.obs.is_enabled() {
+            ctx.obs.counter_add(&format!("stage.items.{name}"), stage.items);
+            if stage.wall_secs > 0.0 {
+                ctx.obs.gauge_set(
+                    &format!("stage.items_per_sec.{name}"),
+                    stage.items as f64 / stage.wall_secs,
+                );
+            }
+            for (k, v) in &stage.metrics {
+                ctx.obs.gauge_set(&format!("stage.{name}.{k}"), *v);
+            }
+            ctx.obs.event("stage.end", &[("stage", Val::S(name)), ("items", Val::U(stage.items))]);
+        }
         ctx.report.stages.push(stage);
         out
     }
@@ -589,6 +636,12 @@ impl Stage for QualityFoldStage {
         stage.items = entries.iter().map(|e| e.fold.cells.len() as u64).sum();
         stage.metrics.push(("folds_formed".into(), entries.len() as f64));
         stage.metrics.push(("budget".into(), budgets.iter().sum::<usize>() as f64));
+        if ctx.obs.is_enabled() {
+            for e in &entries {
+                ctx.obs.record("quality_folds.fold_size", e.fold.cells.len() as f64, Buckets::Size);
+            }
+            ctx.obs.counter_add("quality_folds.budget", budgets.iter().sum::<usize>() as u64);
+        }
         QualityFolds { entries, budgets }
     }
 }
@@ -624,12 +677,14 @@ impl Stage for LabelStage<'_> {
         let mut labels: Vec<Vec<Option<bool>>> =
             lake.tables.iter().map(|t| vec![None; t.n_rows() * t.n_cols()]).collect();
 
-        // Anchor selection is pure — run it on the executor.
+        // Anchor selection is pure — run it on the executor. The
+        // accessor hands `sample` borrowed feature slices: scanning a
+        // fold's members allocates nothing.
         let labeled_entries: Vec<&QualityFoldEntry> =
             quality.entries.iter().filter(|e| e.labeled).collect();
         let anchors: Vec<CellId> = ctx
             .executor
-            .map(&labeled_entries, |_, e| e.fold.sample(&|id: CellId| featurized.of(id).to_vec()));
+            .map(&labeled_entries, |_, e| e.fold.sample(&|id: CellId| featurized.of(id)));
 
         let mut labeled_folds: Vec<LabeledFold> = Vec::new();
         for (entry, &anchor) in labeled_entries.iter().zip(&anchors) {
@@ -662,6 +717,16 @@ impl Stage for LabelStage<'_> {
         stage.items = labels_used as u64;
         stage.metrics.push(("folds_labeled".into(), labeled_folds.len() as f64));
         stage.metrics.push(("labels_refine".into(), (labels_used - phase1) as f64));
+        if ctx.obs.is_enabled() {
+            // Each anchor lookup is one member-cell feature access; all
+            // of them borrow straight from the featurized lake (the
+            // counter records how many per-cell copies the borrowing
+            // accessor saved).
+            let lookups: u64 = labeled_entries.iter().map(|e| e.fold.cells.len() as u64).sum();
+            ctx.obs.counter_add("label.anchor_feature_lookups", lookups);
+            ctx.obs.counter_add("label.labels_used", labels_used as u64);
+            ctx.obs.counter_add("label.budget", self.budget as u64);
+        }
         PropagatedLabels { labels, labeled_folds, labels_used }
     }
 }

@@ -51,6 +51,7 @@ pub use engine::{
 };
 pub use matelda_ckpt::{CheckpointStore, CkptError, Manifest};
 pub use matelda_exec::{Executor, ItemFault, RunReport, StageReport};
+pub use matelda_obs::Obs;
 pub use matelda_table::oracle::{Labeler, Oracle};
 pub use pipeline::{
     DetectionResult, Durability, FaultPolicy, LabelingStrategy, Matelda, MateldaConfig,

@@ -19,6 +19,7 @@ use matelda_detect::FeatureConfig;
 use matelda_embed::encoder::EncoderConfig;
 use matelda_exec::{faultpoint, RunReport};
 use matelda_ml::ClassifierKind;
+use matelda_obs::{Obs, Val};
 use matelda_table::fingerprint::Fnv1a;
 use matelda_table::oracle::Labeler;
 use matelda_table::{lake_fingerprint, CellMask, Lake};
@@ -231,9 +232,14 @@ where
                         CkptError::Corrupt { path: s.dir().join(format!("{name}.ckpt")), reason }
                     })?;
                     state.restore(ctx);
+                    ctx.obs.event("ckpt.restore", &[("stage", Val::S(name))]);
+                    ctx.obs.counter_add("ckpt.restored_stages", 1);
                     return Ok(artifact);
                 }
-                None => *resume_ok = false,
+                None => {
+                    *resume_ok = false;
+                    ctx.obs.event("ckpt.resume_frontier", &[("stage", Val::S(name))]);
+                }
             }
         }
         let artifact = run(ctx);
@@ -248,12 +254,29 @@ where
 #[derive(Debug, Clone, Default)]
 pub struct Matelda {
     config: MateldaConfig,
+    obs: Obs,
 }
 
 impl Matelda {
-    /// Creates a pipeline with the given configuration.
+    /// Creates a pipeline with the given configuration (observability
+    /// disabled — recording costs nothing until a handle is attached).
     pub fn new(config: MateldaConfig) -> Self {
-        Self { config }
+        Self { config, obs: Obs::disabled() }
+    }
+
+    /// Attaches an observability handle: the run emits a `run` span,
+    /// per-stage spans and metrics, executor worker spans, checkpoint
+    /// and fault events. Recording never changes results, checkpoints
+    /// or their checksums (DESIGN.md §7) — keep a clone of the handle
+    /// to export the trace after the run.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The attached observability handle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Runs the full staged pipeline on `lake` with a total labeling
@@ -295,7 +318,12 @@ impl Matelda {
         opts: &Durability,
     ) -> Result<DetectionResult, CkptError> {
         let cfg = &self.config;
-        let mut ctx = StageContext::new(lake, cfg);
+        let mut ctx = StageContext::with_obs(lake, cfg, self.obs.clone());
+        // The run span scopes the whole pipeline: stage spans nest under
+        // it, and an error path still records it on drop.
+        let mut run_span = self.obs.span_scope("run", "detect");
+        run_span.arg("budget", budget as f64);
+        run_span.arg("threads", ctx.executor.threads() as f64);
 
         let store = match &opts.checkpoint_dir {
             Some(dir) => {
@@ -306,7 +334,7 @@ impl Matelda {
                     budget: budget as u64,
                     threads: ctx.executor.threads() as u64,
                 };
-                Some(CheckpointStore::open(dir, manifest, opts.resume)?)
+                Some(CheckpointStore::open(dir, manifest, opts.resume)?.with_obs(self.obs.clone()))
             }
             None => None,
         };
@@ -359,6 +387,15 @@ impl Matelda {
         faultpoint::hit("finalize", 0);
 
         ctx.quarantine.normalize();
+        if self.obs.is_enabled() {
+            self.obs.counter_add("quarantine.tables", ctx.quarantine.tables.len() as u64);
+            self.obs.counter_add("quarantine.columns", ctx.quarantine.columns.len() as u64);
+            self.obs.counter_add(
+                "quarantine.fold_fallbacks",
+                ctx.quarantine.fold_fallbacks.len() as u64,
+            );
+        }
+        run_span.finish_secs();
         Ok(DetectionResult {
             predicted: predictions.mask,
             labels_used: propagated.labels_used,

@@ -19,12 +19,14 @@ pub struct QualityFold {
 impl QualityFold {
     /// The member cell nearest the centroid — the labeling sample
     /// (Alg. 1 line 15). Ties break to the smallest `CellId` for
-    /// determinism.
-    pub fn sample(&self, features: &impl Fn(CellId) -> Vec<f32>) -> CellId {
+    /// determinism. The accessor returns *borrowed* feature slices:
+    /// this sits on the labeling hot path and scanning a fold's members
+    /// must not clone a vector per cell.
+    pub fn sample<'f>(&self, features: &impl Fn(CellId) -> &'f [f32]) -> CellId {
         let mut best = self.cells[0];
         let mut best_d = f32::INFINITY;
         for &id in &self.cells {
-            let d = sq_dist(&features(id), &self.centroid);
+            let d = sq_dist(features(id), &self.centroid);
             if d < best_d || (d == best_d && id < best) {
                 best_d = d;
                 best = id;
@@ -231,7 +233,7 @@ mod tests {
         let fold = Fold { columns: vec![(0, 0), (0, 1)] };
         let f = features(&l);
         let qf = quality_folds(&l, &fold, &f, 3, 64, 50, 2);
-        let get = |id: CellId| f[id.table].get(id.row, id.col).to_vec();
+        let get = |id: CellId| f[id.table].get(id.row, id.col);
         for q in &qf {
             let s = q.sample(&get);
             assert!(q.cells.contains(&s));
@@ -265,7 +267,7 @@ mod tests {
             assert!((f64::from(qf.centroid[d]) - mean).abs() < 1e-6, "dim {d}");
         }
         // The sample is still a member cell.
-        let get = |id: CellId| f[id.table].get(id.row, id.col).to_vec();
+        let get = |id: CellId| f[id.table].get(id.row, id.col);
         assert!(qf.cells.contains(&qf.sample(&get)));
         assert!(single_quality_fold(&l, &Fold { columns: vec![] }, &f).is_none());
     }

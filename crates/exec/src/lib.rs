@@ -17,6 +17,7 @@
 //! * [`faultpoint`] — a test-only injection hook the chaos harness arms
 //!   to panic chosen `(stage, index)` work items.
 
+use matelda_obs::{Buckets, Obs, Stopwatch};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -97,6 +98,7 @@ pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 #[derive(Debug, Clone)]
 pub struct Executor {
     threads: usize,
+    obs: Obs,
 }
 
 impl Default for Executor {
@@ -114,12 +116,26 @@ impl Executor {
         } else {
             threads
         };
-        Executor { threads }
+        Executor { threads, obs: Obs::disabled() }
     }
 
     /// A single-threaded executor (runs everything inline).
     pub fn single() -> Self {
-        Executor { threads: 1 }
+        Executor { threads: 1, obs: Obs::disabled() }
+    }
+
+    /// Attaches an observability handle: fault-isolated maps then emit
+    /// one `exec` span per worker (items claimed, busy time) and a
+    /// per-item latency histogram keyed by stage name. Disabled handles
+    /// cost nothing on the per-item path.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The attached observability handle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The worker-thread count.
@@ -218,8 +234,25 @@ impl Executor {
             catch_unwind(AssertUnwindSafe(|| f(i)))
                 .map_err(|payload| ItemFault::new(stage, i, panic_message(payload.as_ref())))
         };
+        // Per-item latency histogram, keyed once per call — the per-item
+        // path pays a single `Option` branch when tracing is off.
+        let hist = self.obs.is_enabled().then(|| format!("exec.item_us.{stage}"));
         if self.threads <= 1 || n <= 1 {
-            return (0..n).map(guarded).collect();
+            let mut span = self.obs.span("exec", stage);
+            let out = match &hist {
+                Some(h) => (0..n)
+                    .map(|i| {
+                        let watch = Stopwatch::start();
+                        let r = guarded(i);
+                        self.obs.record(h, watch.elapsed_secs() * 1e6, Buckets::LatencyUs);
+                        r
+                    })
+                    .collect(),
+                None => (0..n).map(guarded).collect(),
+            };
+            span.arg("items", n as f64);
+            span.finish_secs();
+            return out;
         }
         let workers = self.threads.min(n);
         let next = AtomicUsize::new(0);
@@ -228,17 +261,47 @@ impl Executor {
 
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
+                .map(|w| {
                     let next = &next;
                     let guarded = &guarded;
+                    let obs = &self.obs;
+                    let hist = &hist;
                     scope.spawn(move || {
+                        let mut span = obs.span("exec", stage).with_tid(w as u64 + 1);
+                        let mut busy_us = 0.0f64;
                         let mut mine: Vec<(usize, Result<R, ItemFault>)> = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= n {
                                 break;
                             }
-                            mine.push((i, guarded(i)));
+                            match hist {
+                                Some(h) => {
+                                    let watch = Stopwatch::start();
+                                    let r = guarded(i);
+                                    let us = watch.elapsed_secs() * 1e6;
+                                    busy_us += us;
+                                    obs.record(h, us, Buckets::LatencyUs);
+                                    mine.push((i, r));
+                                }
+                                None => mine.push((i, guarded(i))),
+                            }
+                        }
+                        let items = mine.len();
+                        span.arg("items", items as f64);
+                        span.arg("busy_us", busy_us);
+                        let wall = span.finish_secs();
+                        if hist.is_some() {
+                            obs.counter_add(
+                                &format!("exec.worker_items.{stage}.w{w}"),
+                                items as u64,
+                            );
+                            if wall > 0.0 {
+                                obs.gauge_set(
+                                    &format!("exec.worker_util.{stage}.w{w}"),
+                                    (busy_us / 1e6) / wall,
+                                );
+                            }
                         }
                         mine
                     })
@@ -335,12 +398,15 @@ impl RunReport {
     }
 
     /// Times `f`, records it as stage `name`, and returns its output.
-    /// The closure receives a handle to annotate items/metrics.
+    /// The closure receives a handle to annotate items/metrics. Timing
+    /// goes through the obs [`Stopwatch`] — the workspace's single
+    /// monotonic-timing primitive — rather than an ad-hoc `Instant`
+    /// pair.
     pub fn time<R>(&mut self, name: &str, f: impl FnOnce(&mut StageReport) -> R) -> R {
         let mut stage = StageReport::new(name);
-        let start = Instant::now();
+        let watch = Stopwatch::start();
         let out = f(&mut stage);
-        stage.wall_secs = start.elapsed().as_secs_f64();
+        stage.wall_secs = watch.elapsed_secs();
         self.stages.push(stage);
         out
     }
@@ -780,5 +846,42 @@ mod tests {
         assert!(report.render().contains("fault: embed[2]"));
         let json = report.to_json();
         assert!(json.contains("\"faults\":[{\"stage\":\"embed\",\"index\":2"), "{json}");
+    }
+
+    #[test]
+    fn instrumented_try_map_records_spans_histograms_and_same_output() {
+        for threads in [1usize, 3] {
+            let obs = matelda_obs::Obs::enabled();
+            let plain = Executor::new(threads);
+            let traced = Executor::new(threads).with_obs(obs.clone());
+            let a = plain.try_map_n("s", 16, |i| i * i);
+            let b = traced.try_map_n("s", 16, |i| i * i);
+            assert_eq!(a, b, "tracing must not change results (threads={threads})");
+
+            let hist = obs.histogram("exec.item_us.s").expect("per-item latency histogram");
+            assert_eq!(hist.count, 16, "one sample per work item");
+            let spans = obs.spans();
+            assert!(!spans.is_empty() && spans.iter().all(|s| s.cat == "exec" && s.name == "s"));
+            let claimed: f64 = spans
+                .iter()
+                .map(|s| s.args.iter().find(|(k, _)| k == "items").map_or(0.0, |&(_, v)| v))
+                .sum();
+            assert_eq!(claimed as u64, 16, "worker spans account for every item");
+            if threads > 1 {
+                let workers: u64 = (0..threads)
+                    .map(|w| obs.counter(&format!("exec.worker_items.s.w{w}")).unwrap_or(0))
+                    .sum();
+                assert_eq!(workers, 16, "per-worker counters account for every item");
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_obs_records_nothing_on_the_executor() {
+        let exec = Executor::new(2);
+        let _ = exec.try_map_n("s", 8, |i| i);
+        assert!(!exec.obs().is_enabled());
+        assert!(exec.obs().spans().is_empty());
+        assert!(exec.obs().histogram("exec.item_us.s").is_none());
     }
 }

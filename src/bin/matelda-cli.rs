@@ -9,6 +9,7 @@
 //!                    [--read strict|repair|skip] [--on-error fail|skip]
 //!                    [--max-quarantined N]
 //!                    [--checkpoint-dir <dir>] [--resume] [--stage-timeout-ms N]
+//!                    [--trace <dir>] [--metrics]
 //!     Load the dirty lake, answer Matelda's label requests from the clean
 //!     lake (the oracle protocol of the paper's experiments), print the
 //!     detection report and, because ground truth is available, P/R/F1.
@@ -28,6 +29,12 @@
 //!     completed stage; --resume validates the manifest there and skips
 //!     stages with intact snapshots (bit-identical to an uninterrupted
 //!     run); --stage-timeout-ms N arms a per-stage watchdog deadline.
+//!     --trace <dir> writes trace.json (chrome://tracing), events.jsonl
+//!     and metrics.json into <dir> — even when the run fails, so a
+//!     degraded or aborted run leaves its diagnostics behind; exit codes
+//!     are unchanged. --metrics prints the metrics registry as JSON.
+//!     Tracing never changes results: output is bit-identical with and
+//!     without it, at any thread count.
 //!
 //! matelda-cli profile <dir> [--read strict|repair|skip]
 //!     Table/column statistics and approximate FDs of a lake directory.
@@ -39,7 +46,7 @@
 
 use matelda::core::{
     CkptError, DetectionResult, DomainFolding, Durability, FaultPolicy, Matelda, MateldaConfig,
-    Oracle, TrainingStrategy,
+    Obs, Oracle, TrainingStrategy,
 };
 use matelda::fd::mine_approximate;
 use matelda::lakegen::{DGovLake, GitTablesLake, QuintetLake, ReinLake, WdcLake};
@@ -111,6 +118,7 @@ usage:
                      [--read strict|repair|skip] [--on-error fail|skip]
                      [--max-quarantined N]
                      [--checkpoint-dir <dir>] [--resume] [--stage-timeout-ms N]
+                     [--trace <dir>] [--metrics]
   matelda-cli profile <dir> [--read strict|repair|skip]
 
 durability flags (detect):
@@ -125,6 +133,15 @@ durability flags (detect):
   --stage-timeout-ms N    per-stage watchdog deadline: items past it become
                           per-item faults (degrade under --on-error skip,
                           abort under fail; committed checkpoints survive)
+
+observability flags (detect):
+  --trace <dir>           write trace.json (chrome://tracing span tree),
+                          events.jsonl (run event log) and metrics.json
+                          (counters/gauges/histograms) into <dir>; written
+                          best-effort even when the run fails, without
+                          changing the exit code. Tracing never changes
+                          results: bit-identical output at any --threads.
+  --metrics               print the metrics registry as JSON on stdout
 
 exit codes:
   0  success
@@ -334,6 +351,8 @@ fn cmd_detect(args: &[String]) -> CliResult {
             "variant",
             "report",
             "repair",
+            "trace",
+            "metrics",
         ],
     )?;
     let dirty_dir = PathBuf::from(
@@ -364,6 +383,12 @@ fn cmd_detect(args: &[String]) -> CliResult {
         return Err(CliError::Usage("--resume requires --checkpoint-dir <dir>".into()));
     }
     let stage_timeout = parse_flag::<u64>(&flags, "stage-timeout-ms")?.map(Duration::from_millis);
+    let trace_dir = match flags.get("trace").copied() {
+        Some("") => return Err(CliError::Usage("--trace requires a directory path".into())),
+        Some(d) => Some(PathBuf::from(d)),
+        None => None,
+    };
+    let want_metrics = flags.contains_key("metrics");
 
     let (dirty, dirty_ingest) = load_lake(&dirty_dir, &read)?;
     let (clean, _clean_ingest) = load_lake(&clean_dir, &read)?;
@@ -395,8 +420,9 @@ fn cmd_detect(args: &[String]) -> CliResult {
     // fault (incl. a blown --stage-timeout-ms deadline). That is the
     // documented runtime-failure class: map it to exit 1, not a raw
     // panic trace with exit 101.
-    let pipeline = Matelda::new(config);
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+    let obs = if trace_dir.is_some() || want_metrics { Obs::enabled() } else { Obs::disabled() };
+    let pipeline = Matelda::new(config).with_obs(obs.clone());
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         pipeline.detect_durable(&dirty, &mut oracle, budget, &durability)
     }))
     .map_err(|payload| {
@@ -406,7 +432,18 @@ fn cmd_detect(args: &[String]) -> CliResult {
             .or_else(|| payload.downcast_ref::<&str>().copied())
             .unwrap_or("stage fault");
         CliError::Runtime(format!("run aborted (--on-error fail): {msg}"))
-    })??;
+    });
+    // Export the trace before propagating any failure: a degraded or
+    // aborted run leaves its diagnostics behind (spans up to the fault
+    // are closed by unwinding). Best-effort — an unwritable trace dir
+    // warns but never masks the run's own exit code.
+    if let Some(dir) = &trace_dir {
+        match obs.write_dir(dir) {
+            Ok(()) => println!("trace written to {}", dir.display()),
+            Err(e) => eprintln!("warning: writing trace to {}: {e}", dir.display()),
+        }
+    }
+    let result = outcome??;
     let elapsed = start.elapsed();
 
     println!(
@@ -420,6 +457,9 @@ fn cmd_detect(args: &[String]) -> CliResult {
     println!("digest: {:016x}", result_digest(&result));
     if flags.contains_key("report") {
         println!("{}", result.report.to_json());
+    }
+    if want_metrics {
+        println!("{}", obs.metrics_json());
     }
     let quarantine = &result.quarantine;
     if !quarantine.is_empty() {

@@ -81,10 +81,89 @@ fn help_documents_flags_and_exit_codes() {
         "--resume",
         "--stage-timeout-ms",
         "--max-quarantined",
+        "--trace",
+        "--metrics",
         "never silently reused",
     ] {
         assert!(stdout.contains(needle), "--help must mention {needle:?}: {stdout}");
     }
+}
+
+/// The `--trace` / `--metrics` contract: the trace directory gets all
+/// three artifacts, `--metrics` prints the registry, the run's digest is
+/// identical with and without tracing, and a failing run still writes
+/// its trace while keeping its own exit code.
+#[test]
+fn trace_and_metrics_flags_export_diagnostics_without_changing_results() {
+    let dir = tmp_dir();
+    let dir_s = dir.to_string_lossy().to_string();
+    let out =
+        cli().args(["generate", &dir_s, "--lake", "quintet", "--seed", "5"]).output().expect("gen");
+    assert_eq!(out.status.code(), Some(0));
+    let dirty = dir.join("dirty").to_string_lossy().to_string();
+    let clean = dir.join("clean").to_string_lossy().to_string();
+    let digest_of = |stdout: &str| {
+        stdout.lines().find_map(|l| l.strip_prefix("digest: ")).expect("digest line").to_string()
+    };
+
+    // Untraced reference run.
+    let out = cli()
+        .args(["detect", &dirty, "--clean", &clean, "--budget-cells", "20", "--threads", "2"])
+        .output()
+        .expect("plain detect");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let plain_digest = digest_of(&String::from_utf8_lossy(&out.stdout));
+
+    // Traced run: same digest, artifacts present, metrics printed.
+    let trace = dir.join("trace").to_string_lossy().to_string();
+    let out = cli()
+        .args([
+            "detect",
+            &dirty,
+            "--clean",
+            &clean,
+            "--budget-cells",
+            "20",
+            "--threads",
+            "2",
+            "--trace",
+            &trace,
+            "--metrics",
+        ])
+        .output()
+        .expect("traced detect");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(digest_of(&stdout), plain_digest, "tracing must not change results");
+    assert!(stdout.contains("\"counters\""), "--metrics must print the registry: {stdout}");
+    for file in ["trace.json", "events.jsonl", "metrics.json"] {
+        let path = dir.join("trace").join(file);
+        assert!(path.exists(), "--trace must write {file}");
+        assert!(std::fs::metadata(&path).expect("stat").len() > 0, "{file} empty");
+    }
+    let trace_json =
+        std::fs::read_to_string(dir.join("trace").join("trace.json")).expect("read trace");
+    assert!(trace_json.contains("\"traceEvents\""), "chrome://tracing shape");
+    assert!(trace_json.contains("\"name\":\"detect\""), "run span present");
+
+    // A failing run (ingest error: dirty dir with no CSVs) keeps its
+    // own exit code — --trace never masks the failure class.
+    let empty = dir.join("empty");
+    std::fs::create_dir_all(&empty).expect("mkdir");
+    let trace2 = dir.join("trace2").to_string_lossy().to_string();
+    let out = cli()
+        .args(["detect", &empty.to_string_lossy(), "--clean", &clean, "--trace", &trace2])
+        .output()
+        .expect("failing detect");
+    assert_eq!(out.status.code(), Some(3), "ingest failure stays exit 3 under --trace");
+
+    // --trace without a value is a usage error.
+    let out = cli()
+        .args(["detect", &dirty, "--clean", &clean, "--trace", "--metrics"])
+        .output()
+        .expect("bad trace flag");
+    assert_eq!(out.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).expect("cleanup");
 }
 
 /// The exit-code contract documented in `--help`: each failure class has

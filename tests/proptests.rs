@@ -320,6 +320,113 @@ proptest! {
     }
 }
 
+// Quality-based cell folding (paper §3.3, Alg. 1 line 13): clustering a
+// domain fold must *partition* its cells — every cell in exactly one
+// quality fold — for any k / batch size / iteration count, and the
+// centroid-nearest sample must not depend on the order the member cells
+// were inserted in.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn quality_folds_exactly_partition_the_cells(
+        cols in 1usize..4,
+        rows in 1usize..12,
+        k in 1usize..12,
+        batch_size in 1usize..128,
+        iterations in 0usize..40,
+        seed in 0u64..1000,
+    ) {
+        use matelda::core::quality_fold::quality_folds;
+        use matelda::core::Fold;
+        use matelda::detect::CellFeatures;
+
+        let table = Table::new(
+            "t",
+            (0..cols).map(|c| Column::new(format!("c{c}"), vec!["v"; rows])).collect(),
+        );
+        let lake = Lake::new(vec![table]);
+        // Synthetic 2-dim features derived from the seed: clustering must
+        // partition regardless of the geometry, so arbitrary values are
+        // fine (and cheaper than running the real featurizer per case).
+        let feat = |r: usize, c: usize, d: u64| {
+            let h = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(((r * cols + c) as u64) << 8 | d)
+                .wrapping_mul(0x2545_F491_4F6C_DD1D);
+            (h % 1024) as f32 / 64.0
+        };
+        let vectors: Vec<Vec<f32>> = (0..rows)
+            .flat_map(|r| (0..cols).map(move |c| vec![feat(r, c, 0), feat(r, c, 1)]))
+            .collect();
+        let features = vec![CellFeatures { n_cols: cols, n_rows: rows, vectors }];
+        let fold = Fold { columns: (0..cols).map(|c| (0, c)).collect() };
+
+        let qf = quality_folds(&lake, &fold, &features, k, batch_size, iterations, seed);
+        prop_assert!(!qf.is_empty());
+        prop_assert!(qf.len() <= k.max(1));
+        prop_assert!(qf.iter().all(|q| !q.cells.is_empty()), "no empty folds survive");
+        // Exact partition: the union of the folds' members is the fold's
+        // cell set, each cell exactly once.
+        let mut got: Vec<CellId> = qf.iter().flat_map(|q| q.cells.iter().copied()).collect();
+        got.sort_unstable();
+        let mut want: Vec<CellId> = (0..rows)
+            .flat_map(|r| (0..cols).map(move |c| CellId::new(0, r, c)))
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sample_is_invariant_under_cell_insertion_order(
+        n in 1usize..24,
+        perm_seed in 0u64..1000,
+        n_distinct in 1usize..5,
+    ) {
+        use matelda::core::quality_fold::QualityFold;
+
+        // Each cell gets one of a few shared feature vectors, so ties —
+        // several members equidistant from the centroid — are common by
+        // construction. The documented tie-break is "smallest CellId".
+        let palette: Vec<Vec<f32>> =
+            (0..n_distinct).map(|i| vec![i as f32, (i * i) as f32 * 0.5]).collect();
+        let which = |id: CellId| (id.row * 7 + id.col * 13 + id.table) % n_distinct;
+        let get = |id: CellId| palette[which(id)].as_slice();
+
+        let cells: Vec<CellId> =
+            (0..n).map(|i| CellId::new(i % 2, i / 3, i % 5)).collect();
+        let centroid = vec![0.6, 0.4];
+        let fold = QualityFold { cells: cells.clone(), centroid: centroid.clone() };
+        let picked = fold.sample(&get);
+
+        // The winner is the min-distance member, ties to the smallest id
+        // — computed independently here, order-free.
+        let dist = |id: CellId| {
+            let f = get(id);
+            (f[0] - centroid[0]).powi(2) + (f[1] - centroid[1]).powi(2)
+        };
+        let expected = *cells
+            .iter()
+            .min_by(|a, b| {
+                dist(**a).partial_cmp(&dist(**b)).unwrap().then(a.cmp(b))
+            })
+            .expect("non-empty");
+        prop_assert_eq!(picked, expected);
+
+        // Fisher–Yates with a seed-derived LCG: any insertion order of
+        // the same member set yields the same sample.
+        let mut shuffled = cells.clone();
+        let mut state = perm_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let reordered = QualityFold { cells: shuffled, centroid };
+        prop_assert_eq!(reordered.sample(&get), picked);
+    }
+}
+
 // Each case below runs the whole pipeline, so this block uses a reduced
 // case count; the grid of strategies × budgets × threads still covers the
 // clamp's edge cases (budget < 2 × n_folds, budget 0).
