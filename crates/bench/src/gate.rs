@@ -1,0 +1,441 @@
+//! The bench-regression gate: compares a freshly produced
+//! `BENCH_stages.json` against the committed baseline and reports every
+//! violated performance-contract clause (see `DESIGN.md`, "Performance
+//! contract"). CI runs this after the stages bench via the `bench_gate`
+//! binary; an empty violation list is a pass.
+//!
+//! Gate clauses:
+//!
+//! * every baseline stage must still be present in the fresh results,
+//!   and its single-thread throughput (`items_per_sec_1t`) must not
+//!   drop by more than [`GateConfig::max_drop_pct`] percent;
+//! * every overhead section (`fault_isolation`, `checkpoint`,
+//!   `observability`) must stay within its own `target_pct` budget in
+//!   the fresh results;
+//! * the two files must have been produced at the same `MATELDA_SCALE`
+//!   (throughput at different scales is not comparable).
+//!
+//! Only single-thread throughput is gated: multi-thread speedups on
+//! shared CI runners are noise-dominated, while `items_per_sec_1t` on
+//! the same runner class is stable enough for a 25% band. The JSON
+//! parsing is hand-rolled like everything else in the workspace — the
+//! bench emits a small, known shape and the crate policy is no
+//! third-party dependencies.
+
+/// A parsed JSON value (just enough of the grammar for bench files).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string (escape sequences decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a complete JSON document.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (`None` on non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii number chars");
+    text.parse::<f64>().map(Json::Num).map_err(|_| format!("bad number `{text}` at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = Vec::new();
+    while let Some(&b) = bytes.get(*pos) {
+        *pos += 1;
+        match b {
+            b'"' => {
+                return String::from_utf8(out).map_err(|_| "invalid UTF-8 in string".to_string())
+            }
+            b'\\' => {
+                let esc = *bytes.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' | b'\\' | b'/' => out.push(esc),
+                    b'n' => out.push(b'\n'),
+                    b't' => out.push(b'\t'),
+                    b'r' => out.push(b'\r'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| "bad \\u escape".to_string())?;
+                        *pos += 4;
+                        let c = char::from_u32(code).ok_or("non-scalar \\u escape")?;
+                        out.extend_from_slice(c.to_string().as_bytes());
+                    }
+                    _ => return Err(format!("unsupported escape \\{}", esc as char)),
+                }
+            }
+            _ => out.push(b),
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    debug_assert_eq!(bytes[*pos], b'[');
+    *pos += 1;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    debug_assert_eq!(bytes[*pos], b'{');
+    *pos += 1;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}", pos = *pos));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected `:` at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        fields.push((key, parse_value(bytes, pos)?));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+/// Gate thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct GateConfig {
+    /// Maximum tolerated single-thread throughput drop, in percent of
+    /// the baseline's `items_per_sec_1t`.
+    pub max_drop_pct: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        // 25%: wide enough for shared-runner noise on sub-100ms stages,
+        // tight enough to catch an accidental algorithmic regression
+        // (the fallback paths this PR replaces were 2×+ slower).
+        GateConfig { max_drop_pct: 25.0 }
+    }
+}
+
+/// The overhead sections the gate checks against their own budgets.
+const OVERHEAD_SECTIONS: [&str; 3] = ["fault_isolation", "checkpoint", "observability"];
+
+/// Compares fresh bench results against the committed baseline and
+/// returns every violation as a human-readable line. Empty = pass.
+pub fn compare(baseline: &Json, fresh: &Json, cfg: GateConfig) -> Vec<String> {
+    let mut violations = Vec::new();
+
+    let b_scale = baseline.get("scale").and_then(Json::as_str).unwrap_or("?");
+    let f_scale = fresh.get("scale").and_then(Json::as_str).unwrap_or("?");
+    if b_scale != f_scale {
+        violations.push(format!(
+            "scale mismatch: baseline ran at `{b_scale}`, fresh at `{f_scale}` — throughput not comparable"
+        ));
+        return violations;
+    }
+
+    let empty: [Json; 0] = [];
+    let fresh_stages = fresh.get("stages").and_then(Json::as_arr).unwrap_or(&empty);
+    for stage in baseline.get("stages").and_then(Json::as_arr).unwrap_or(&empty) {
+        let name = stage.get("stage").and_then(Json::as_str).unwrap_or("?");
+        let Some(base_ips) = stage.get("items_per_sec_1t").and_then(Json::as_num) else {
+            continue;
+        };
+        let found =
+            fresh_stages.iter().find(|s| s.get("stage").and_then(Json::as_str) == Some(name));
+        let Some(found) = found else {
+            violations
+                .push(format!("stage `{name}` present in baseline but missing from fresh results"));
+            continue;
+        };
+        let fresh_ips = found.get("items_per_sec_1t").and_then(Json::as_num).unwrap_or(0.0);
+        if base_ips > 0.0 {
+            let drop_pct = 100.0 * (base_ips - fresh_ips) / base_ips;
+            if drop_pct > cfg.max_drop_pct {
+                violations.push(format!(
+                    "stage `{name}`: items_per_sec_1t dropped {drop_pct:.1}% \
+                     ({base_ips:.1}/s -> {fresh_ips:.1}/s, limit {limit:.0}%)",
+                    limit = cfg.max_drop_pct
+                ));
+            }
+        }
+    }
+
+    for section in OVERHEAD_SECTIONS {
+        if baseline.get(section).is_none() {
+            continue;
+        }
+        let Some(s) = fresh.get(section) else {
+            violations.push(format!("overhead section `{section}` missing from fresh results"));
+            continue;
+        };
+        let overhead = s.get("overhead_pct").and_then(Json::as_num).unwrap_or(f64::INFINITY);
+        let target = s.get("target_pct").and_then(Json::as_num).unwrap_or(0.0);
+        if overhead > target {
+            violations.push(format!(
+                "overhead `{section}`: {overhead:.2}% exceeds its {target:.1}% budget"
+            ));
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn committed_baseline() -> Json {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stages.json");
+        let text = std::fs::read_to_string(path).expect("committed BENCH_stages.json");
+        Json::parse(&text).expect("baseline parses")
+    }
+
+    /// Rebuilds the baseline with one stage's throughput scaled.
+    fn with_scaled_stage(doc: &Json, stage_name: &str, factor: f64) -> Json {
+        let Json::Obj(fields) = doc else { panic!("doc is an object") };
+        let fields = fields
+            .iter()
+            .map(|(k, v)| {
+                if k != "stages" {
+                    return (k.clone(), v.clone());
+                }
+                let stages = v
+                    .as_arr()
+                    .expect("stages array")
+                    .iter()
+                    .map(|s| {
+                        if s.get("stage").and_then(Json::as_str) != Some(stage_name) {
+                            return s.clone();
+                        }
+                        let Json::Obj(sf) = s else { panic!("stage is an object") };
+                        Json::Obj(
+                            sf.iter()
+                                .map(|(sk, sv)| {
+                                    let sv = if sk == "items_per_sec_1t" {
+                                        Json::Num(sv.as_num().unwrap() * factor)
+                                    } else {
+                                        sv.clone()
+                                    };
+                                    (sk.clone(), sv)
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect();
+                (k.clone(), Json::Arr(stages))
+            })
+            .collect();
+        Json::Obj(fields)
+    }
+
+    #[test]
+    fn parser_handles_the_bench_shape() {
+        let doc = Json::parse(
+            r#"{"bench":"stages","scale":"full","neg":-4.28e0,"flag":true,
+                "stages":[{"stage":"classify","items_per_sec_1t":128044.9}],
+                "none":null,"esc":"a\"b\\cA"}"#,
+        )
+        .expect("parses");
+        assert_eq!(doc.get("bench").and_then(Json::as_str), Some("stages"));
+        assert_eq!(doc.get("neg").and_then(Json::as_num), Some(-4.28));
+        assert_eq!(doc.get("flag"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("none"), Some(&Json::Null));
+        assert_eq!(doc.get("esc").and_then(Json::as_str), Some("a\"b\\cA"));
+        let stages = doc.get("stages").and_then(Json::as_arr).expect("array");
+        assert_eq!(stages[0].get("items_per_sec_1t").and_then(Json::as_num), Some(128044.9));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in ["", "{", "{\"a\":}", "[1,]", "{\"a\":1}x", "\"unterminated"] {
+            assert!(Json::parse(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn committed_baseline_parses_and_passes_against_itself() {
+        let doc = committed_baseline();
+        assert_eq!(doc.get("bench").and_then(Json::as_str), Some("stages"));
+        assert!(!doc.get("stages").and_then(Json::as_arr).unwrap_or(&[]).is_empty());
+        let violations = compare(&doc, &doc, GateConfig::default());
+        assert!(violations.is_empty(), "self-comparison must pass: {violations:?}");
+    }
+
+    #[test]
+    fn gate_rejects_a_thirty_percent_regression() {
+        // The negative control the CI job relies on: a synthetic 30%
+        // single-thread throughput drop on the classify stage must trip
+        // the 25% gate.
+        let baseline = committed_baseline();
+        let regressed = with_scaled_stage(&baseline, "classify", 0.70);
+        let violations = compare(&baseline, &regressed, GateConfig::default());
+        assert_eq!(violations.len(), 1, "exactly the classify clause: {violations:?}");
+        assert!(violations[0].contains("classify") && violations[0].contains("30.0%"));
+        // A 20% drop stays inside the band.
+        let ok = with_scaled_stage(&baseline, "classify", 0.80);
+        assert!(compare(&baseline, &ok, GateConfig::default()).is_empty());
+        // A tighter configured limit catches it.
+        let tight = compare(&baseline, &ok, GateConfig { max_drop_pct: 10.0 });
+        assert_eq!(tight.len(), 1);
+    }
+
+    #[test]
+    fn gate_flags_missing_stage_and_scale_mismatch() {
+        let baseline = Json::parse(
+            r#"{"scale":"full","stages":[{"stage":"embed","items_per_sec_1t":100.0}]}"#,
+        )
+        .unwrap();
+        let empty = Json::parse(r#"{"scale":"full","stages":[]}"#).unwrap();
+        let v = compare(&baseline, &empty, GateConfig::default());
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("missing"));
+
+        let quick = Json::parse(r#"{"scale":"quick","stages":[]}"#).unwrap();
+        let v = compare(&baseline, &quick, GateConfig::default());
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("scale mismatch"));
+    }
+
+    #[test]
+    fn gate_flags_blown_overhead_budget() {
+        let baseline = Json::parse(
+            r#"{"scale":"full","stages":[],
+                "observability":{"overhead_pct":1.0,"target_pct":5.0}}"#,
+        )
+        .unwrap();
+        let blown = Json::parse(
+            r#"{"scale":"full","stages":[],
+                "observability":{"overhead_pct":7.5,"target_pct":5.0}}"#,
+        )
+        .unwrap();
+        assert!(compare(&baseline, &baseline, GateConfig::default()).is_empty());
+        let v = compare(&baseline, &blown, GateConfig::default());
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("observability") && v[0].contains("7.50%"));
+        // Section disappearing entirely is also a violation.
+        let gone = Json::parse(r#"{"scale":"full","stages":[]}"#).unwrap();
+        let v = compare(&baseline, &gone, GateConfig::default());
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("missing"));
+    }
+}

@@ -15,6 +15,8 @@
 //!   `quick` (sanity), `small` (reduced lakes), or `full` (paper-shaped
 //!   lakes; the default).
 
+pub mod gate;
+
 use matelda_baselines::{Budget, ErrorDetector};
 use matelda_core::{Matelda, MateldaConfig};
 pub use matelda_exec::RunReport;

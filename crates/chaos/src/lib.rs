@@ -13,7 +13,7 @@
 //!   ingestion tests can assert exact outcomes.
 //! * **Stage-level** — [`FaultPlan::stage_points`] picks victim
 //!   `(stage, index)` work items; arm them with
-//!   [`faultpoint::arm`](matelda_exec::faultpoint::arm) and the executor
+//!   [`matelda_exec::faultpoint::arm`] and the executor
 //!   converts each injected panic into a per-item fault that the engine
 //!   quarantines under `FaultPolicy::Skip`.
 //! * **Process-level** — [`FaultPlan::crash_directive`] picks the stage
@@ -106,7 +106,7 @@ impl FaultPlan {
 
     /// Stage-level injection points: kill `k` of the stage's `n_items`
     /// work items. Feed the result to
-    /// [`faultpoint::arm`](matelda_exec::faultpoint::arm).
+    /// [`matelda_exec::faultpoint::arm`].
     pub fn stage_points(&self, stage: &str, n_items: usize, k: usize) -> Vec<(String, usize)> {
         self.victims(stage, n_items, k).into_iter().map(|i| (stage.to_string(), i)).collect()
     }

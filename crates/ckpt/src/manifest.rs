@@ -16,7 +16,10 @@ use matelda_table::fingerprint::Fnv1a;
 /// envelope layout, the manifest layout, or a stage payload codec —
 /// old snapshots are then rejected with `BadVersion` instead of being
 /// misread.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// v2: `CellFeatures` switched from per-cell vectors to one flat f32
+/// matrix, changing the featurize-stage payload codec.
+pub const FORMAT_VERSION: u32 = 2;
 
 const MANIFEST_MAGIC: &[u8; 8] = b"MTLDMANI";
 

@@ -15,6 +15,7 @@
 //! singleton domain folds by the pipeline.
 
 use crate::linkage::{single_linkage, Merge};
+use crate::matrix::{pairwise_euclidean, PointMatrix};
 
 /// Label for points not assigned to any cluster.
 pub const NOISE: isize = -1;
@@ -105,19 +106,15 @@ impl Hdbscan {
     }
 
     /// Clusters points under Euclidean distance.
+    ///
+    /// The full pairwise matrix is materialized once up front (same
+    /// per-pair arithmetic as before, each pair computed a single time)
+    /// instead of re-deriving distances on the fly inside core-distance
+    /// and MST construction, which visits every pair more than once.
     pub fn fit_points(&self, points: &[Vec<f32>]) -> Vec<isize> {
-        let d = |a: usize, b: usize| {
-            points[a]
-                .iter()
-                .zip(&points[b])
-                .map(|(x, y)| {
-                    let d = (*x - *y) as f64;
-                    d * d
-                })
-                .sum::<f64>()
-                .sqrt()
-        };
-        self.fit_with(points.len(), d)
+        let n = points.len();
+        let pd = pairwise_euclidean(&PointMatrix::from_rows(points));
+        self.fit_with(n, |a, b| pd[a * n + b])
     }
 }
 

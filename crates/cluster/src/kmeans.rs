@@ -7,6 +7,7 @@
 //! over the hierarchical clustering of prior work for efficiency (§3.3.2)
 //! and sets the batch size to `256 × cores` (§4.1.3).
 
+use crate::matrix::{nearest_centers_blocked, PointMatrix};
 use rand::rngs::StdRng;
 use rand::seq::index::sample;
 use rand::{Rng, SeedableRng};
@@ -65,8 +66,21 @@ impl MiniBatchKMeans {
     /// Fits on `points` (row-major, equal dims). Returns centers and
     /// assignments. With fewer points than `k`, every point becomes its
     /// own center.
+    ///
+    /// Convenience wrapper that copies the rows into a contiguous
+    /// [`PointMatrix`] and delegates to [`MiniBatchKMeans::fit_matrix`].
     pub fn fit(&self, points: &[Vec<f32>]) -> KMeansFit {
-        let n = points.len();
+        self.fit_matrix(&PointMatrix::from_rows(points))
+    }
+
+    /// Fits on a contiguous feature matrix — the zero-copy entry point
+    /// used by the pipeline's quality-folding stage. Bit-identical to
+    /// [`MiniBatchKMeans::fit`] on the same rows: the RNG call sequence
+    /// (seeding, k-means++ picks, per-iteration batch sampling) and every
+    /// float operation are unchanged; only the distance kernel iterates
+    /// in cache blocks over contiguous storage.
+    pub fn fit_matrix(&self, points: &PointMatrix) -> KMeansFit {
+        let n = points.n();
         if n == 0 {
             return KMeansFit { centers: Vec::new(), assignments: Vec::new() };
         }
@@ -77,22 +91,25 @@ impl MiniBatchKMeans {
         // Sculley's algorithm: per-center counts give decaying step sizes.
         let mut counts = vec![0usize; k];
         let batch = self.config.batch_size.min(n).max(1);
+        let mut batch_rows: Vec<usize> = Vec::with_capacity(batch);
         for _ in 0..self.config.iterations {
             let idx = sample(&mut rng, n, batch);
+            batch_rows.clear();
+            batch_rows.extend(idx.iter());
             // Cache nearest centers for the whole batch first (the paper's
             // algorithm caches before updating).
-            let nearest: Vec<usize> =
-                idx.iter().map(|i| nearest_center(&points[i], &centers)).collect();
-            for (i, &c) in idx.iter().zip(&nearest) {
+            let nearest = nearest_centers_blocked(points, &batch_rows, &centers);
+            for (&i, &c) in batch_rows.iter().zip(&nearest) {
                 counts[c] += 1;
                 let eta = 1.0 / counts[c] as f32;
-                for (cv, pv) in centers[c].iter_mut().zip(&points[i]) {
+                for (cv, pv) in centers[c].iter_mut().zip(points.row(i)) {
                     *cv += eta * (*pv - *cv);
                 }
             }
         }
 
-        let assignments = points.iter().map(|p| nearest_center(p, &centers)).collect();
+        let all_rows: Vec<usize> = (0..n).collect();
+        let assignments = nearest_centers_blocked(points, &all_rows, &centers);
         KMeansFit { centers, assignments }
     }
 }
@@ -122,11 +139,11 @@ pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
 }
 
 /// k-means++ seeding (Arthur & Vassilvitskii 2007).
-fn kmeanspp_init(points: &[Vec<f32>], k: usize, rng: &mut StdRng) -> Vec<Vec<f32>> {
-    let n = points.len();
+fn kmeanspp_init(points: &PointMatrix, k: usize, rng: &mut StdRng) -> Vec<Vec<f32>> {
+    let n = points.n();
     let mut centers: Vec<Vec<f32>> = Vec::with_capacity(k);
-    centers.push(points[rng.random_range(0..n)].clone());
-    let mut d2: Vec<f32> = points.iter().map(|p| sq_dist(p, &centers[0])).collect();
+    centers.push(points.row(rng.random_range(0..n)).to_vec());
+    let mut d2: Vec<f32> = (0..n).map(|i| sq_dist(points.row(i), &centers[0])).collect();
     while centers.len() < k {
         let total: f32 = d2.iter().sum();
         let next = if total <= 0.0 || !total.is_finite() {
@@ -148,12 +165,12 @@ fn kmeanspp_init(points: &[Vec<f32>], k: usize, rng: &mut StdRng) -> Vec<Vec<f32
             }
             chosen
         };
-        centers.push(points[next].clone());
+        centers.push(points.row(next).to_vec());
         let latest = centers.last().expect("just pushed").clone();
-        for (i, p) in points.iter().enumerate() {
-            let d = sq_dist(p, &latest);
-            if d < d2[i] {
-                d2[i] = d;
+        for (i, d2i) in d2.iter_mut().enumerate() {
+            let d = sq_dist(points.row(i), &latest);
+            if d < *d2i {
+                *d2i = d;
             }
         }
     }
@@ -284,8 +301,103 @@ mod tests {
         assert!(fit.assignments.iter().all(|&a| a < 3));
     }
 
+    /// The pre-matrix implementation, kept verbatim as the equivalence
+    /// reference: per-point `nearest_center` calls over slice-of-rows
+    /// storage. The production path must match it bit for bit.
+    fn naive_fit(config: &MiniBatchKMeansConfig, points: &[Vec<f32>]) -> KMeansFit {
+        fn naive_kmeanspp(points: &[Vec<f32>], k: usize, rng: &mut StdRng) -> Vec<Vec<f32>> {
+            let n = points.len();
+            let mut centers: Vec<Vec<f32>> = Vec::with_capacity(k);
+            centers.push(points[rng.random_range(0..n)].clone());
+            let mut d2: Vec<f32> = points.iter().map(|p| sq_dist(p, &centers[0])).collect();
+            while centers.len() < k {
+                let total: f32 = d2.iter().sum();
+                let next = if total <= 0.0 || !total.is_finite() {
+                    rng.random_range(0..n)
+                } else {
+                    let mut target = rng.random_range(0.0..total);
+                    let mut chosen = n - 1;
+                    for (i, &d) in d2.iter().enumerate() {
+                        if target < d {
+                            chosen = i;
+                            break;
+                        }
+                        target -= d;
+                    }
+                    chosen
+                };
+                centers.push(points[next].clone());
+                let latest = centers.last().expect("just pushed").clone();
+                for (i, p) in points.iter().enumerate() {
+                    let d = sq_dist(p, &latest);
+                    if d < d2[i] {
+                        d2[i] = d;
+                    }
+                }
+            }
+            centers
+        }
+
+        let n = points.len();
+        if n == 0 {
+            return KMeansFit { centers: Vec::new(), assignments: Vec::new() };
+        }
+        let k = config.k.clamp(1, n);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut centers = naive_kmeanspp(points, k, &mut rng);
+        let mut counts = vec![0usize; k];
+        let batch = config.batch_size.min(n).max(1);
+        for _ in 0..config.iterations {
+            let idx = sample(&mut rng, n, batch);
+            let nearest: Vec<usize> =
+                idx.iter().map(|i| nearest_center(&points[i], &centers)).collect();
+            for (i, &c) in idx.iter().zip(&nearest) {
+                counts[c] += 1;
+                let eta = 1.0 / counts[c] as f32;
+                for (cv, pv) in centers[c].iter_mut().zip(&points[i]) {
+                    *cv += eta * (*pv - *cv);
+                }
+            }
+        }
+        let assignments = points.iter().map(|p| nearest_center(p, &centers)).collect();
+        KMeansFit { centers, assignments }
+    }
+
+    #[test]
+    fn matrix_fit_equals_naive_fit_on_blobs() {
+        let pts = two_blobs();
+        for seed in 0..8 {
+            let cfg = MiniBatchKMeansConfig { k: 3, seed, ..Default::default() };
+            let fast = MiniBatchKMeans::new(cfg.clone()).fit(&pts);
+            let slow = naive_fit(&cfg, &pts);
+            assert_eq!(fast.assignments, slow.assignments, "seed {seed}");
+            assert_eq!(fast.centers, slow.centers, "seed {seed}");
+        }
+    }
+
     proptest::proptest! {
         #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        // The blocked/matrix fit is pinned to the pre-matrix reference
+        // implementation: identical centers (bit for bit) and identical
+        // assignments for arbitrary inputs, seeds, and batch shapes.
+        #[test]
+        fn matrix_fit_equals_naive_fit(
+            raw in proptest::collection::vec(
+                proptest::collection::vec(-100.0f32..100.0, 3),
+                1..40,
+            ),
+            k in 1usize..7,
+            seed in 0u64..1000,
+            batch in 1usize..12,
+            iterations in 0usize..12,
+        ) {
+            let cfg = MiniBatchKMeansConfig { k, batch_size: batch, iterations, seed };
+            let fast = MiniBatchKMeans::new(cfg.clone()).fit(&raw);
+            let slow = naive_fit(&cfg, &raw);
+            proptest::prop_assert_eq!(fast.assignments, slow.assignments);
+            proptest::prop_assert_eq!(fast.centers, slow.centers);
+        }
 
         // Seeding and fitting never panic for feature values anywhere in
         // the f32 range, including magnitudes whose squared distances

@@ -14,6 +14,9 @@
 //!   as the hierarchical alternative the paper mentions in §3.3.2.
 //! * [`linkage`] — the shared single-linkage dendrogram machinery
 //!   (union-find, merge list).
+//! * [`matrix`] — the contiguous row-major [`PointMatrix`] and the
+//!   cache-blocked distance kernels shared by k-means assignment and
+//!   HDBSCAN's pairwise construction (bit-identical to the naive paths).
 //!
 //! All entry points are deterministic given their seed.
 
@@ -21,7 +24,9 @@ pub mod agglo;
 pub mod hdbscan;
 pub mod kmeans;
 pub mod linkage;
+pub mod matrix;
 
 pub use agglo::agglomerative;
 pub use hdbscan::{Hdbscan, HdbscanConfig, NOISE};
 pub use kmeans::{MiniBatchKMeans, MiniBatchKMeansConfig};
+pub use matrix::PointMatrix;

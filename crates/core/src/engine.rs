@@ -31,7 +31,7 @@
 //!
 //! ## Fault isolation
 //!
-//! Under [`FaultPolicy::Skip`](crate::pipeline::FaultPolicy::Skip) the
+//! Under [`crate::pipeline::FaultPolicy::Skip`] the
 //! four hot paths run on [`Executor::try_map`], which converts a panic in
 //! one work item into a per-index fault instead of killing the run. Each
 //! stage then degrades by its contract:
@@ -501,10 +501,8 @@ impl Stage for FeaturizeStage {
         // Tables already quarantined (embed faults) get an empty
         // placeholder; any accidental feature access on one is an
         // out-of-bounds panic rather than silent garbage.
-        let placeholder = |t: &matelda_table::Table| CellFeatures {
-            n_cols: t.n_cols(),
-            n_rows: 0,
-            vectors: Vec::new(),
+        let placeholder = |t: &matelda_table::Table| {
+            CellFeatures::zeros(t.n_cols(), 0, matelda_detect::FEATURE_DIM)
         };
         let quarantined: Vec<bool> = {
             let mut q = vec![false; ctx.lake.n_tables()];
@@ -646,6 +644,12 @@ impl Stage for QualityFoldStage {
     }
 }
 
+/// Below this many anchor-selection items *per thread*, the label
+/// stage's executor map runs inline instead of spawning workers (see
+/// [`Executor::with_inline_threshold`]): at the bench scale the stage
+/// maps ~38 folds and parallel scheduling overhead outweighs the work.
+const LABEL_INLINE_THRESHOLD: usize = 32;
+
 /// Samples each labeled quality fold's anchor, queries the labeler and
 /// propagates the verdict (Steps 3+4), then optionally spends the
 /// remaining budget on uncertainty refinement. Anchor selection runs on
@@ -679,11 +683,17 @@ impl Stage for LabelStage<'_> {
 
         // Anchor selection is pure — run it on the executor. The
         // accessor hands `sample` borrowed feature slices: scanning a
-        // fold's members allocates nothing.
+        // fold's members allocates nothing. The map is tiny (one item
+        // per labeled fold — tens of items, each microseconds of work),
+        // so thread spawn/join overhead dominates: opt in to the
+        // small-batch serial fallback below `LABEL_INLINE_THRESHOLD`
+        // items per thread. Output is bit-identical either way.
         let labeled_entries: Vec<&QualityFoldEntry> =
             quality.entries.iter().filter(|e| e.labeled).collect();
         let anchors: Vec<CellId> = ctx
             .executor
+            .clone()
+            .with_inline_threshold(LABEL_INLINE_THRESHOLD)
             .map(&labeled_entries, |_, e| e.fold.sample(&|id: CellId| featurized.of(id)));
 
         let mut labeled_folds: Vec<LabeledFold> = Vec::new();
@@ -821,7 +831,7 @@ fn train_per_column(
         .flat_map(|(t, table)| (0..table.n_cols()).map(move |c| (t, c)))
         .collect();
     stage.metrics.push(("models".into(), columns.len() as f64));
-    let flagged: Vec<Result<Vec<usize>, ItemFault>> =
+    let flagged: Vec<Result<(Vec<usize>, bool), ItemFault>> =
         ctx.executor.try_map_within("classify", &columns, ctx.deadline, |i, &(t, c)| {
             faultpoint::hit("classify", i);
             let table = &lake.tables[t];
@@ -835,16 +845,18 @@ fn train_per_column(
                 }
             }
             let model = FittedClassifier::fit(&ctx.config.classifier, &x, &y);
-            (0..table.n_rows())
+            let rows = (0..table.n_rows())
                 .filter(|&r| model.predict(featurized.features[t].get(r, c)))
-                .collect()
+                .collect();
+            (rows, model.used_binned())
         });
     let mut predicted = CellMask::empty(lake);
     let mut faults = Vec::new();
     let mut fallback_cols = Vec::new();
     for (&(t, c), result) in columns.iter().zip(flagged) {
         match result {
-            Ok(rows) => {
+            Ok((rows, used_binned)) => {
+                record_fit_kernel(ctx, used_binned);
                 for r in rows {
                     predicted.set(CellId::new(t, r, c), true);
                 }
@@ -857,6 +869,19 @@ fn train_per_column(
         }
     }
     (predicted, faults, fallback_cols)
+}
+
+/// Records which GBM training kernel one classify work item used:
+/// `classify.binned_fits` counts histogram-kernel fits,
+/// `classify.exact_fits` counts exact-path fallbacks (high-cardinality
+/// or NaN features — see [`matelda_ml::BinnedDataset::build`]). The
+/// split makes a silent wholesale fallback to the slow path visible in
+/// the metrics dump. No-op when tracing is off.
+fn record_fit_kernel(ctx: &StageContext<'_>, used_binned: bool) {
+    if ctx.obs.is_enabled() {
+        let key = if used_binned { "classify.binned_fits" } else { "classify.exact_fits" };
+        ctx.obs.counter_add(key, 1);
+    }
 }
 
 /// The classifier fallback: flag exactly the cells of `(t, c)` whose
@@ -891,7 +916,7 @@ fn train_per_fold(
 ) -> (CellMask, Vec<ItemFault>, Vec<(usize, usize)>) {
     let lake = ctx.lake;
     stage.metrics.push(("models".into(), folds.len() as f64));
-    let flagged: Vec<Result<Vec<CellId>, ItemFault>> =
+    let flagged: Vec<Result<(Vec<CellId>, bool), ItemFault>> =
         ctx.executor.try_map_n_within("classify", folds.len(), ctx.deadline, |fi| {
             faultpoint::hit("classify", fi);
             let fold = &folds[fi];
@@ -915,14 +940,15 @@ fn train_per_fold(
                     }
                 }
             }
-            ids
+            (ids, model.used_binned())
         });
     let mut predicted = CellMask::empty(lake);
     let mut faults = Vec::new();
     let mut fallback_cols = Vec::new();
     for (fi, result) in flagged.into_iter().enumerate() {
         match result {
-            Ok(ids) => {
+            Ok((ids, used_binned)) => {
+                record_fit_kernel(ctx, used_binned);
                 for id in ids {
                     predicted.set(id, true);
                 }

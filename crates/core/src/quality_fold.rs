@@ -4,6 +4,7 @@
 
 use crate::domain_fold::Fold;
 use matelda_cluster::kmeans::{sq_dist, MiniBatchKMeans, MiniBatchKMeansConfig};
+use matelda_cluster::PointMatrix;
 use matelda_detect::CellFeatures;
 use matelda_table::{CellId, Lake};
 
@@ -91,12 +92,18 @@ pub fn quality_folds(
     if ids.is_empty() {
         return Vec::new();
     }
-    let points: Vec<Vec<f32>> =
-        ids.iter().map(|id| features[id.table].get(id.row, id.col).to_vec()).collect();
+    // Gather into one contiguous matrix (a single allocation, borrowed
+    // slices copied in place) — the layout the blocked k-means kernel
+    // consumes directly.
+    let dim = features[ids[0].table].dim;
+    let mut points = PointMatrix::with_capacity(ids.len(), dim);
+    for id in &ids {
+        points.push_row(features[id.table].get(id.row, id.col));
+    }
 
     let fit =
         MiniBatchKMeans::new(MiniBatchKMeansConfig { k: k.max(1), batch_size, iterations, seed })
-            .fit(&points);
+            .fit_matrix(&points);
 
     let n_centers = fit.centers.len();
     let mut folds: Vec<QualityFold> = (0..n_centers)

@@ -346,10 +346,10 @@ impl ArtifactCodec for FeaturizedLake {
         for f in &self.features {
             w.write_varint(f.n_cols as u64);
             w.write_varint(f.n_rows as u64);
-            w.write_varint(f.vectors.len() as u64);
-            for v in &f.vectors {
-                encode_f32s(v, w);
-            }
+            w.write_varint(f.dim as u64);
+            // The flat matrix encodes as one f32 run — long {0,1} spans
+            // bit-pack across cell boundaries now, not per cell.
+            encode_f32s(&f.data, w);
         }
     }
 
@@ -358,12 +358,15 @@ impl ArtifactCodec for FeaturizedLake {
         for _ in 0..r.read_varint_len()? {
             let n_cols = r.read_varint()? as usize;
             let n_rows = r.read_varint()? as usize;
-            let n = r.read_varint_len()?;
-            let mut vectors = Vec::with_capacity(n.min(r.remaining()));
-            for _ in 0..n {
-                vectors.push(decode_f32s(r)?);
+            let dim = r.read_varint()? as usize;
+            let data = decode_f32s(r)?;
+            if data.len() != n_cols.saturating_mul(n_rows).saturating_mul(dim) {
+                return Err(DecodeError::Malformed(format!(
+                    "CellFeatures payload {} != {n_rows}x{n_cols}x{dim}",
+                    data.len()
+                )));
             }
-            features.push(CellFeatures { n_cols, n_rows, vectors });
+            features.push(CellFeatures { n_cols, n_rows, dim, data });
         }
         Ok(FeaturizedLake { features })
     }
@@ -578,8 +581,8 @@ mod tests {
     fn featurized_lake_round_trips() {
         let f = FeaturizedLake {
             features: vec![
-                CellFeatures { n_cols: 2, n_rows: 1, vectors: vec![vec![0.5; 3], vec![-1.0; 3]] },
-                CellFeatures { n_cols: 0, n_rows: 0, vectors: vec![] },
+                CellFeatures::from_vectors(2, 1, &[vec![0.5; 3], vec![-1.0; 3]]),
+                CellFeatures::zeros(0, 0, 0),
             ],
         };
         let (_, got) = round_trip(&f);

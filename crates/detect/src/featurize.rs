@@ -1,8 +1,10 @@
 //! Assembly of the unified 32-dim cell feature vector (Alg. 1 line 10).
 
-use crate::outlier::{gaussian_flags, histogram_flags, histogram_flags_eq2_literal};
+use crate::intern::InternedTable;
+use crate::outlier::{
+    gaussian_flags_distinct, histogram_flags_distinct, histogram_flags_eq2_literal_distinct,
+};
 use crate::rules::{rule_signals_with, RuleSignals};
-use crate::typo::typo_flags;
 use matelda_table::Table;
 use matelda_text::SpellChecker;
 
@@ -92,57 +94,122 @@ impl FeatureConfig {
     }
 }
 
-/// The feature vectors of every cell of one table, row-major
-/// (`index = row * n_cols + col`).
+/// The feature vectors of every cell of one table, stored as one
+/// contiguous row-major `f32` matrix (`n_rows * n_cols` cells of `dim`
+/// values each, cell index = `row * n_cols + col`) — the layout the
+/// cluster and ML kernels consume directly, with no per-cell allocation.
 #[derive(Debug, Clone)]
 pub struct CellFeatures {
     /// Number of columns (for indexing).
     pub n_cols: usize,
     /// Number of rows.
     pub n_rows: usize,
-    /// Flattened `n_rows * n_cols` vectors of [`FEATURE_DIM`] values.
-    pub vectors: Vec<Vec<f32>>,
+    /// Values per cell ([`FEATURE_DIM`] for pipeline-produced features).
+    pub dim: usize,
+    /// Flat backing storage, `n_rows * n_cols * dim` values.
+    pub data: Vec<f32>,
 }
 
 impl CellFeatures {
+    /// An all-zero feature matrix of the given shape.
+    pub fn zeros(n_cols: usize, n_rows: usize, dim: usize) -> Self {
+        Self { n_cols, n_rows, dim, data: vec![0.0; n_rows * n_cols * dim] }
+    }
+
+    /// Builds from one vector per cell (row-major cells). Convenience for
+    /// tests and fixtures; the pipeline writes into the flat storage
+    /// directly.
+    ///
+    /// # Panics
+    /// Panics if the number of vectors is not `n_rows * n_cols` or their
+    /// dimensions disagree.
+    pub fn from_vectors(n_cols: usize, n_rows: usize, vectors: &[Vec<f32>]) -> Self {
+        assert_eq!(vectors.len(), n_rows * n_cols, "cell count mismatch");
+        let dim = vectors.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(vectors.len() * dim);
+        for v in vectors {
+            assert_eq!(v.len(), dim, "cell vector dimension mismatch");
+            data.extend_from_slice(v);
+        }
+        Self { n_cols, n_rows, dim, data }
+    }
+
     /// The vector of cell `(row, col)`.
     pub fn get(&self, row: usize, col: usize) -> &[f32] {
-        &self.vectors[row * self.n_cols + col]
+        let at = (row * self.n_cols + col) * self.dim;
+        &self.data[at..at + self.dim]
+    }
+
+    /// Mutable view of cell `(row, col)`.
+    pub fn get_mut(&mut self, row: usize, col: usize) -> &mut [f32] {
+        let at = (row * self.n_cols + col) * self.dim;
+        &mut self.data[at..at + self.dim]
+    }
+
+    /// Number of cells (`n_rows * n_cols`).
+    pub fn n_cells(&self) -> usize {
+        self.n_rows * self.n_cols
+    }
+
+    /// Whether the table holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.n_cells() == 0
+    }
+
+    /// Iterates the cells row-major as `dim`-length slices.
+    pub fn cells(&self) -> impl Iterator<Item = &[f32]> {
+        // `max(1)` keeps `chunks_exact` legal for dim == 0 (no cells can
+        // exist then, so the iterator is empty either way).
+        self.data.chunks_exact(self.dim.max(1))
     }
 }
 
 /// Featurizes every cell of `table` into the unified space.
+///
+/// Zero-copy path: the table's columns are interned once (distinct
+/// values plus per-row codes, borrowing the table's own strings), the
+/// per-value detectors — TF-histogram ratios, numeric parsing and
+/// z-tests, the spellchecker, the nullness test — run once per
+/// *distinct* value, and
+/// the flags are scattered through the codes straight into the flat
+/// [`CellFeatures`] matrix. Bit-identical to featurizing each cell
+/// independently (pinned by the equivalence proptest below): interning
+/// preserves the value multiset, per-value counts, and row order, and the
+/// only order-sensitive accumulations (the Gaussian detector's f64
+/// moments) still run in row order through the codes.
 pub fn featurize_table(
     table: &Table,
     spell: &SpellChecker,
     config: &FeatureConfig,
 ) -> CellFeatures {
     let (n, m) = (table.n_rows(), table.n_cols());
-    let mut vectors = vec![vec![0.0f32; FEATURE_DIM]; n * m];
+    let mut out = CellFeatures::zeros(m, n, FEATURE_DIM);
+    let interned = InternedTable::build(table);
 
     if config.outliers {
-        for (j, col) in table.columns.iter().enumerate() {
+        for (j, (col, icol)) in table.columns.iter().zip(&interned.columns).enumerate() {
             let hist = if config.tf_eq2_literal {
-                histogram_flags_eq2_literal(&col.values)
+                histogram_flags_eq2_literal_distinct(&icol.counts)
             } else {
-                histogram_flags(&col.values)
+                histogram_flags_distinct(&icol.counts)
             };
-            let gauss = gaussian_flags(&col.values, col.data_type());
-            for r in 0..n {
-                let v = &mut vectors[r * m + j];
+            let gauss = gaussian_flags_distinct(&icol.distinct, &icol.codes, col.data_type());
+            for (r, &code) in icol.codes.iter().enumerate() {
+                let v = out.get_mut(r, j);
+                let (h, g) = (&hist[code as usize], &gauss[code as usize]);
                 for k in 0..9 {
-                    v[layout::HISTOGRAM + k] = f32::from(u8::from(hist[r][k]));
-                    v[layout::GAUSSIAN + k] = f32::from(u8::from(gauss[r][k]));
+                    v[layout::HISTOGRAM + k] = f32::from(u8::from(h[k]));
+                    v[layout::GAUSSIAN + k] = f32::from(u8::from(g[k]));
                 }
             }
         }
     }
 
     if config.typos {
-        for (j, col) in table.columns.iter().enumerate() {
-            let flags = typo_flags(&col.values, spell);
-            for (r, &flag) in flags.iter().enumerate() {
-                vectors[r * m + j][layout::TYPO] = f32::from(u8::from(flag));
+        for (j, icol) in interned.columns.iter().enumerate() {
+            let flags: Vec<bool> = icol.distinct.iter().map(|v| spell.flags_cell(v)).collect();
+            for (r, &code) in icol.codes.iter().enumerate() {
+                out.get_mut(r, j)[layout::TYPO] = f32::from(u8::from(flags[code as usize]));
             }
         }
     }
@@ -151,10 +218,12 @@ pub fn featurize_table(
     // paper's NOD/NTD/NRVD variants each keep it); only the deviation
     // ablation drops it.
     if !config.no_null_flag {
-        for (j, col) in table.columns.iter().enumerate() {
-            for (r, v) in col.values.iter().enumerate() {
-                if matelda_table::value::is_null(v) {
-                    vectors[r * m + j][layout::NULL_FLAG] = 1.0;
+        for (j, icol) in interned.columns.iter().enumerate() {
+            let nulls: Vec<bool> =
+                icol.distinct.iter().map(|v| matelda_table::value::is_null(v)).collect();
+            for (r, &code) in icol.codes.iter().enumerate() {
+                if nulls[code as usize] {
+                    out.get_mut(r, j)[layout::NULL_FLAG] = 1.0;
                 }
             }
         }
@@ -165,7 +234,7 @@ pub fn featurize_table(
             rule_signals_with(table, config.rule_g3_threshold, config.fd_whole_group);
         for j in 0..m {
             for r in 0..n {
-                let v = &mut vectors[r * m + j];
+                let v = out.get_mut(r, j);
                 for k in 0..3 {
                     v[layout::STRUCTURAL_FD + k] = f32::from(u8::from(structural[j][r][k]));
                 }
@@ -175,7 +244,7 @@ pub fn featurize_table(
         }
     }
 
-    CellFeatures { n_cols: m, n_rows: n, vectors }
+    out
 }
 
 #[cfg(test)]
@@ -203,10 +272,11 @@ mod tests {
         let f = featurize_table(&demo_table(), &spell(), &FeatureConfig::default());
         assert_eq!(f.n_rows, 4);
         assert_eq!(f.n_cols, 3);
-        assert_eq!(f.vectors.len(), 12);
-        assert!(f.vectors.iter().all(|v| v.len() == FEATURE_DIM));
+        assert_eq!(f.n_cells(), 12);
+        assert_eq!(f.dim, FEATURE_DIM);
+        assert_eq!(f.data.len(), 12 * FEATURE_DIM);
         // Every cell has exactly one nv bucket per side set.
-        for v in &f.vectors {
+        for v in f.cells() {
             let lhs: f32 = v[layout::NV_LHS..layout::NV_LHS + 5].iter().sum();
             let rhs: f32 = v[layout::NV_RHS..layout::NV_RHS + 5].iter().sum();
             assert_eq!(lhs, 1.0);
@@ -240,15 +310,15 @@ mod tests {
         let t = demo_table();
         let sp = spell();
         let nod = featurize_table(&t, &sp, &FeatureConfig::no_outliers());
-        for v in &nod.vectors {
+        for v in nod.cells() {
             assert!(v[layout::HISTOGRAM..layout::TYPO].iter().all(|x| *x == 0.0));
         }
         let ntd = featurize_table(&t, &sp, &FeatureConfig::no_typos());
-        for v in &ntd.vectors {
+        for v in ntd.cells() {
             assert_eq!(v[layout::TYPO], 0.0);
         }
         let nrvd = featurize_table(&t, &sp, &FeatureConfig::no_rules());
-        for v in &nrvd.vectors {
+        for v in nrvd.cells() {
             assert!(v[layout::STRUCTURAL_FD..layout::NULL_FLAG].iter().all(|x| *x == 0.0));
         }
     }
@@ -265,7 +335,8 @@ mod tests {
     fn empty_table_yields_no_vectors() {
         let t = Table::new("t", vec![]);
         let f = featurize_table(&t, &spell(), &FeatureConfig::default());
-        assert!(f.vectors.is_empty());
+        assert!(f.is_empty());
+        assert!(f.data.is_empty());
     }
 
     #[test]
@@ -296,5 +367,140 @@ mod tests {
             cross_outlier < outlier_vs_inlier,
             "cross-table outliers {cross_outlier} vs within-table contrast {outlier_vs_inlier}"
         );
+    }
+
+    /// The pre-interning featurizer, kept verbatim as the equivalence
+    /// reference: every detector runs per cell over the raw column
+    /// values. The arena path must reproduce it bit for bit.
+    fn reference_featurize(
+        table: &Table,
+        spell: &SpellChecker,
+        config: &FeatureConfig,
+    ) -> Vec<Vec<f32>> {
+        use crate::outlier::{gaussian_flags, histogram_flags, histogram_flags_eq2_literal};
+        use crate::typo::typo_flags;
+        let (n, m) = (table.n_rows(), table.n_cols());
+        let mut vectors = vec![vec![0.0f32; FEATURE_DIM]; n * m];
+        if config.outliers {
+            for (j, col) in table.columns.iter().enumerate() {
+                let hist = if config.tf_eq2_literal {
+                    histogram_flags_eq2_literal(&col.values)
+                } else {
+                    histogram_flags(&col.values)
+                };
+                let gauss = gaussian_flags(&col.values, col.data_type());
+                for r in 0..n {
+                    let v = &mut vectors[r * m + j];
+                    for k in 0..9 {
+                        v[layout::HISTOGRAM + k] = f32::from(u8::from(hist[r][k]));
+                        v[layout::GAUSSIAN + k] = f32::from(u8::from(gauss[r][k]));
+                    }
+                }
+            }
+        }
+        if config.typos {
+            for (j, col) in table.columns.iter().enumerate() {
+                let flags = typo_flags(&col.values, spell);
+                for (r, &flag) in flags.iter().enumerate() {
+                    vectors[r * m + j][layout::TYPO] = f32::from(u8::from(flag));
+                }
+            }
+        }
+        if !config.no_null_flag {
+            for (j, col) in table.columns.iter().enumerate() {
+                for (r, v) in col.values.iter().enumerate() {
+                    if matelda_table::value::is_null(v) {
+                        vectors[r * m + j][layout::NULL_FLAG] = 1.0;
+                    }
+                }
+            }
+        }
+        if config.rules && m > 0 {
+            let RuleSignals { structural, nv_lhs_bucket, nv_rhs_bucket } =
+                rule_signals_with(table, config.rule_g3_threshold, config.fd_whole_group);
+            for j in 0..m {
+                for r in 0..n {
+                    let v = &mut vectors[r * m + j];
+                    for k in 0..3 {
+                        v[layout::STRUCTURAL_FD + k] = f32::from(u8::from(structural[j][r][k]));
+                    }
+                    v[layout::NV_LHS + nv_lhs_bucket[j][r]] = 1.0;
+                    v[layout::NV_RHS + nv_rhs_bucket[j][r]] = 1.0;
+                }
+            }
+        }
+        vectors
+    }
+
+    fn assert_matches_reference(table: &Table, config: &FeatureConfig) {
+        let sp = spell();
+        let fast = featurize_table(table, &sp, config);
+        let slow = reference_featurize(table, &sp, config);
+        assert_eq!(fast.n_cells(), slow.len());
+        for (got, want) in fast.cells().zip(&slow) {
+            assert_eq!(got, want.as_slice());
+        }
+    }
+
+    #[test]
+    fn arena_featurize_matches_per_cell_reference_on_demo() {
+        for config in [
+            FeatureConfig::default(),
+            FeatureConfig::no_outliers(),
+            FeatureConfig::no_typos(),
+            FeatureConfig::no_rules(),
+            FeatureConfig { tf_eq2_literal: true, ..FeatureConfig::default() },
+            FeatureConfig { fd_whole_group: true, ..FeatureConfig::default() },
+            FeatureConfig { no_null_flag: true, ..FeatureConfig::default() },
+        ] {
+            assert_matches_reference(&demo_table(), &config);
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+
+        // The interned/arena featurizer is pinned to the per-cell
+        // reference: identical flat output for arbitrary small tables
+        // mixing repeated strings, numerics, nulls, and typos.
+        #[test]
+        fn arena_featurize_matches_per_cell_reference(
+            cols in proptest::collection::vec(
+                proptest::collection::vec(0usize..10, 2..12),
+                1..4,
+            ),
+            tf_eq2_raw in 0u8..2,
+        ) {
+            // A palette exercising every detector family: repeats, a
+            // numeric run, an unparsable money string, nulls, typos.
+            const PALETTE: [&str; 10] = [
+                "drama", "derama", "10", "12", "900", "$13", "", "NULL", "crime", "10",
+            ];
+            let n_rows = cols.iter().map(Vec::len).min().unwrap_or(0);
+            let table = Table::new(
+                "p",
+                cols.iter()
+                    .enumerate()
+                    .map(|(j, rows)| {
+                        Column::new(
+                            format!("c{j}"),
+                            rows[..n_rows].iter().map(|&v| PALETTE[v].to_string()),
+                        )
+                    })
+                    .collect(),
+            );
+            // Small dictionary: equivalence does not depend on dictionary
+            // contents, and skipping the full English load keeps the 48
+            // proptest cases fast.
+            let sp = SpellChecker::from_words(["drama", "crime"]);
+            let config =
+                FeatureConfig { tf_eq2_literal: tf_eq2_raw == 1, ..FeatureConfig::default() };
+            let fast = featurize_table(&table, &sp, &config);
+            let slow = reference_featurize(&table, &sp, &config);
+            proptest::prop_assert_eq!(fast.n_cells(), slow.len());
+            for (got, want) in fast.cells().zip(&slow) {
+                proptest::prop_assert_eq!(got, want.as_slice());
+            }
+        }
     }
 }

@@ -1,0 +1,117 @@
+//! Per-table string interning for zero-copy featurization.
+//!
+//! Every detector signal except the rule miner is a pure function of a
+//! cell's *string value* (plus column-level aggregates), yet the per-cell
+//! featurizer used to re-hash, re-spellcheck, and re-parse every row —
+//! even though real columns hold few distinct values. Interning builds,
+//! once per column, the list of distinct values in first-occurrence order
+//! (borrowed from the table's own string storage — the table *is* the
+//! arena, nothing is copied) plus a `u32` code per row and a count per
+//! distinct value. Detectors then run once per distinct value and scatter
+//! their flags through the codes.
+//!
+//! Exactness: codes are a pure re-indexing — the multiset of values, the
+//! per-value counts, and the row order all survive unchanged, so every
+//! detector computed through the intern is bit-identical to the per-cell
+//! reference (pinned by the equivalence proptest in
+//! [`crate::featurize`]).
+
+use matelda_table::Table;
+use std::collections::HashMap;
+
+/// One column's interned view: distinct values, per-row codes, and
+/// per-distinct occurrence counts.
+#[derive(Debug, Clone)]
+pub struct InternedColumn<'a> {
+    /// Distinct cell values in first-occurrence order.
+    pub distinct: Vec<&'a str>,
+    /// `codes[row]` indexes into `distinct`.
+    pub codes: Vec<u32>,
+    /// `counts[code]` = number of rows holding that value.
+    pub counts: Vec<usize>,
+}
+
+impl<'a> InternedColumn<'a> {
+    /// Interns one column's values.
+    pub fn build(values: &'a [String]) -> Self {
+        let mut lookup: HashMap<&str, u32> = HashMap::new();
+        let mut distinct: Vec<&'a str> = Vec::new();
+        let mut counts: Vec<usize> = Vec::new();
+        let mut codes: Vec<u32> = Vec::with_capacity(values.len());
+        for v in values {
+            let code = *lookup.entry(v.as_str()).or_insert_with(|| {
+                distinct.push(v.as_str());
+                counts.push(0);
+                (distinct.len() - 1) as u32
+            });
+            counts[code as usize] += 1;
+            codes.push(code);
+        }
+        Self { distinct, codes, counts }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Number of distinct values.
+    pub fn n_distinct(&self) -> usize {
+        self.distinct.len()
+    }
+
+    /// Maps a per-distinct table to a per-row iterator through the codes.
+    pub fn scatter<'s, T>(&'s self, per_distinct: &'s [T]) -> impl Iterator<Item = &'s T> + 's {
+        self.codes.iter().map(move |&c| &per_distinct[c as usize])
+    }
+}
+
+/// All columns of a table, interned.
+#[derive(Debug, Clone)]
+pub struct InternedTable<'a> {
+    /// One interned view per table column.
+    pub columns: Vec<InternedColumn<'a>>,
+}
+
+impl<'a> InternedTable<'a> {
+    /// Interns every column of `table`.
+    pub fn build(table: &'a Table) -> Self {
+        Self { columns: table.columns.iter().map(|c| InternedColumn::build(&c.values)).collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn codes_round_trip_the_column() {
+        let vals = strings(&["a", "b", "a", "c", "b", "a"]);
+        let ic = InternedColumn::build(&vals);
+        assert_eq!(ic.distinct, vec!["a", "b", "c"]);
+        assert_eq!(ic.codes, vec![0, 1, 0, 2, 1, 0]);
+        assert_eq!(ic.counts, vec![3, 2, 1]);
+        let back: Vec<&str> = ic.codes.iter().map(|&c| ic.distinct[c as usize]).collect();
+        assert_eq!(back, vals.iter().map(String::as_str).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scatter_follows_row_order() {
+        let vals = strings(&["x", "y", "x"]);
+        let ic = InternedColumn::build(&vals);
+        let per_distinct = vec![10, 20];
+        let rows: Vec<i32> = ic.scatter(&per_distinct).copied().collect();
+        assert_eq!(rows, vec![10, 20, 10]);
+    }
+
+    #[test]
+    fn empty_column() {
+        let ic = InternedColumn::build(&[]);
+        assert_eq!(ic.n_rows(), 0);
+        assert_eq!(ic.n_distinct(), 0);
+    }
+}

@@ -32,10 +32,12 @@
 //! syntactic-folding variant (§4.5.1).
 
 pub mod featurize;
+pub mod intern;
 pub mod outlier;
 pub mod rules;
 pub mod syntactic;
 pub mod typo;
 
 pub use featurize::{featurize_table, CellFeatures, FeatureConfig, FEATURE_DIM};
+pub use intern::{InternedColumn, InternedTable};
 pub use syntactic::column_syntactic_features;

@@ -101,6 +101,110 @@ pub fn gaussian_flags(values: &[String], column_type: DataType) -> Vec<[bool; 9]
     out
 }
 
+/// [`histogram_flags`] evaluated once per *distinct* value: entry `d` is
+/// the flag row every cell holding distinct value `d` receives. `counts`
+/// come from an [`crate::intern::InternedColumn`]; the ratio arithmetic
+/// is identical to the per-cell version (same counts, same `max_count`),
+/// so scattering through the codes is bit-exact.
+pub fn histogram_flags_distinct(counts: &[usize]) -> Vec<[bool; 9]> {
+    let max_count = counts.iter().copied().max().unwrap_or(0);
+    counts
+        .iter()
+        .map(|&c| {
+            let ratio = if max_count == 0 { 1.0 } else { c as f64 / max_count as f64 };
+            let mut flags = [false; 9];
+            for (k, &theta) in TF_THRESHOLDS.iter().enumerate() {
+                flags[k] = ratio < theta;
+            }
+            flags
+        })
+        .collect()
+}
+
+/// [`histogram_flags_eq2_literal`] per distinct value. The reference's
+/// denominator `Σ_rows counts[value(row)]` equals `Σ_distinct counts²`
+/// exactly (integer arithmetic, order-free).
+pub fn histogram_flags_eq2_literal_distinct(counts: &[usize]) -> Vec<[bool; 9]> {
+    let denom: usize = counts.iter().map(|&c| c * c).sum();
+    counts
+        .iter()
+        .map(|&c| {
+            let ratio = if denom == 0 { 0.0 } else { c as f64 / denom as f64 };
+            let mut flags = [false; 9];
+            for (k, &theta) in TF_THRESHOLDS.iter().enumerate() {
+                flags[k] = ratio < theta;
+            }
+            flags
+        })
+        .collect()
+}
+
+/// [`gaussian_flags`] evaluated once per distinct value.
+///
+/// The distribution moments still accumulate in *row order* over the
+/// parsed values (`codes` reconstructs the exact f64 addition sequence of
+/// the per-cell reference — f64 addition is not associative, so summing
+/// per-distinct would change bits). Only the per-value work — numeric
+/// parsing, date detection, the z-test per threshold — collapses to once
+/// per distinct value.
+pub fn gaussian_flags_distinct(
+    distinct: &[&str],
+    codes: &[u32],
+    column_type: DataType,
+) -> Vec<[bool; 9]> {
+    if column_type == DataType::Date {
+        return distinct
+            .iter()
+            .map(|v| if matelda_table::value::looks_like_date(v) { [false; 9] } else { [true; 9] })
+            .collect();
+    }
+    let numeric_column = matches!(column_type, DataType::Integer | DataType::Float);
+    if !numeric_column {
+        return vec![[false; 9]; distinct.len()];
+    }
+    let nums: Vec<Option<f64>> = distinct.iter().map(|v| as_f64(v)).collect();
+    let any_parsed = codes.iter().any(|&c| nums[c as usize].is_some());
+    if !any_parsed {
+        return vec![[true; 9]; distinct.len()];
+    }
+    // Row-order accumulation through the codes: identical f64 sequence to
+    // the reference's `values.iter().map(as_f64).flatten()` sums.
+    let mut sum = 0.0f64;
+    let mut n_parsed = 0usize;
+    for &c in codes {
+        if let Some(x) = nums[c as usize] {
+            sum += x;
+            n_parsed += 1;
+        }
+    }
+    let mean = sum / n_parsed as f64;
+    let mut var_sum = 0.0f64;
+    for &c in codes {
+        if let Some(x) = nums[c as usize] {
+            var_sum += (x - mean) * (x - mean);
+        }
+    }
+    let var = var_sum / n_parsed as f64;
+    let std = var.sqrt();
+    nums.iter()
+        .map(|num| {
+            let mut flags = [false; 9];
+            match num {
+                None => flags = [true; 9],
+                Some(x) => {
+                    if std > 0.0 {
+                        let z = (x - mean).abs() / std;
+                        for (k, &theta) in DIST_THRESHOLDS.iter().enumerate() {
+                            flags[k] = z > theta;
+                        }
+                    }
+                }
+            }
+            flags
+        })
+        .collect()
+}
+
 /// The *literal* Eq. 2 histogram detector, kept for the deviation
 /// ablation (`cargo run -p matelda-bench --bin ablation_deviations`):
 /// normalize a value's term count by `Σ_i' TF(t[i',j])` — the sum of every

@@ -30,8 +30,9 @@ fn messy_table() -> Table {
 #[test]
 fn vectors_are_finite_bounded_and_fixed_dim() {
     let f = featurize_table(&messy_table(), &spell(), &FeatureConfig::default());
-    assert_eq!(f.vectors.len(), 24);
-    for v in &f.vectors {
+    assert_eq!(f.n_cells(), 24);
+    assert_eq!(f.dim, FEATURE_DIM);
+    for v in f.cells() {
         assert_eq!(v.len(), FEATURE_DIM);
         for (i, x) in v.iter().enumerate() {
             assert!(x.is_finite(), "dim {i} not finite: {x}");
@@ -43,7 +44,7 @@ fn vectors_are_finite_bounded_and_fixed_dim() {
 #[test]
 fn exactly_one_nv_bucket_set_per_side() {
     let f = featurize_table(&messy_table(), &spell(), &FeatureConfig::default());
-    for v in &f.vectors {
+    for v in f.cells() {
         let lhs: f32 = v[layout::NV_LHS..layout::NV_LHS + 5].iter().sum();
         let rhs: f32 = v[layout::NV_RHS..layout::NV_RHS + 5].iter().sum();
         assert_eq!(lhs, 1.0);
@@ -110,7 +111,7 @@ fn ablated_configs_keep_dimensions_and_zero_their_blocks() {
         (FeatureConfig::no_rules(), layout::STRUCTURAL_FD, layout::NULL_FLAG),
     ] {
         let f = featurize_table(&t, &sp, &cfg);
-        for v in &f.vectors {
+        for v in f.cells() {
             assert_eq!(v.len(), FEATURE_DIM);
             assert!(
                 v[lo..hi].iter().all(|x| *x == 0.0),
@@ -125,9 +126,9 @@ fn empty_and_single_cell_tables() {
     let sp = spell();
     let cfg = FeatureConfig::default();
     let empty = Table::new("e", vec![]);
-    assert!(featurize_table(&empty, &sp, &cfg).vectors.is_empty());
+    assert!(featurize_table(&empty, &sp, &cfg).is_empty());
     let single = Table::new("s", vec![Column::new("a", ["x"])]);
     let f = featurize_table(&single, &sp, &cfg);
-    assert_eq!(f.vectors.len(), 1);
+    assert_eq!(f.n_cells(), 1);
     assert_eq!(f.get(0, 0).len(), FEATURE_DIM);
 }

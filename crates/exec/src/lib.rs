@@ -98,6 +98,7 @@ pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 #[derive(Debug, Clone)]
 pub struct Executor {
     threads: usize,
+    inline_threshold: usize,
     obs: Obs,
 }
 
@@ -116,12 +117,38 @@ impl Executor {
         } else {
             threads
         };
-        Executor { threads, obs: Obs::disabled() }
+        Executor { threads, inline_threshold: 0, obs: Obs::disabled() }
     }
 
     /// A single-threaded executor (runs everything inline).
     pub fn single() -> Self {
-        Executor { threads: 1, obs: Obs::disabled() }
+        Executor { threads: 1, inline_threshold: 0, obs: Obs::disabled() }
+    }
+
+    /// Sets the small-batch serial fallback: a map over fewer than
+    /// `threshold × threads` items runs inline on the calling thread
+    /// instead of spawning workers. Thread spawn/join overhead dominates
+    /// stages whose items are cheap and few (the label stage maps ~38
+    /// folds and *loses* time going parallel), so those stages opt in
+    /// per call site. `0` (the default) disables the fallback — the
+    /// executor's map item counts are stage-specific, so a global
+    /// threshold would serialize stages that do benefit from threads.
+    ///
+    /// The merged output is bit-identical either way; only scheduling
+    /// changes.
+    pub fn with_inline_threshold(mut self, threshold: usize) -> Self {
+        self.inline_threshold = threshold;
+        self
+    }
+
+    /// The small-batch serial-fallback threshold (`0` = disabled).
+    pub fn inline_threshold(&self) -> usize {
+        self.inline_threshold
+    }
+
+    /// Whether a map over `n` items takes the serial path.
+    fn runs_inline(&self, n: usize) -> bool {
+        self.threads <= 1 || n <= 1 || n < self.inline_threshold.saturating_mul(self.threads)
     }
 
     /// Attaches an observability handle: fault-isolated maps then emit
@@ -149,7 +176,7 @@ impl Executor {
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
-        if self.threads <= 1 || n <= 1 {
+        if self.runs_inline(n) {
             return (0..n).map(f).collect();
         }
         let workers = self.threads.min(n);
@@ -237,7 +264,7 @@ impl Executor {
         // Per-item latency histogram, keyed once per call — the per-item
         // path pays a single `Option` branch when tracing is off.
         let hist = self.obs.is_enabled().then(|| format!("exec.item_us.{stage}"));
-        if self.threads <= 1 || n <= 1 {
+        if self.runs_inline(n) {
             let mut span = self.obs.span("exec", stage);
             let out = match &hist {
                 Some(h) => (0..n)
@@ -504,15 +531,17 @@ fn json_escape(s: &str) -> String {
 /// Test-only fault injection.
 ///
 /// The chaos harness arms a set of `(stage, index)` points; stage bodies
-/// call [`hit`] at the top of each work item and panic when their point
-/// is armed. Disarmed, the hook is a single relaxed atomic load, so the
-/// production path pays (almost) nothing. Injected panics carry a
-/// recognizable [`INJECTED_PREFIX`] payload and are suppressed from the
-/// default panic report, so chaos runs don't spray backtraces.
+/// call [`hit`](faultpoint::hit) at the top of each work item and panic
+/// when their point is armed. Disarmed, the hook is a single relaxed
+/// atomic load, so the production path pays (almost) nothing. Injected
+/// panics carry a recognizable
+/// [`INJECTED_PREFIX`](faultpoint::INJECTED_PREFIX) payload and are
+/// suppressed from the default panic report, so chaos runs don't spray
+/// backtraces.
 ///
-/// Arming is globally exclusive: [`arm`] holds a process-wide lock until
-/// the returned guard drops, which serializes concurrently running chaos
-/// tests instead of cross-contaminating them.
+/// Arming is globally exclusive: [`arm`](faultpoint::arm) holds a
+/// process-wide lock until the returned guard drops, which serializes
+/// concurrently running chaos tests instead of cross-contaminating them.
 pub mod faultpoint {
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
@@ -702,6 +731,41 @@ mod tests {
         let exec = Executor::new(4);
         assert!(exec.map_n(0, |i| i).is_empty());
         assert_eq!(exec.map_n(1, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn inline_threshold_boundary_serial_below_parallel_at() {
+        // threshold 4 × 2 threads = 8: n = 7 must run inline on the
+        // calling thread, n = 8 must spawn workers. The worker spans
+        // make scheduling observable: the serial path emits exactly one
+        // span, the parallel path one per worker.
+        let threshold = 4;
+        let threads = 2;
+        for (n, expect_spans) in [(threshold * threads - 1, 1), (threshold * threads, threads)] {
+            let obs = matelda_obs::Obs::enabled();
+            let exec =
+                Executor::new(threads).with_inline_threshold(threshold).with_obs(obs.clone());
+            let out = exec.try_map_n("s", n, |i| i * 7);
+            assert_eq!(out.len(), n);
+            assert_eq!(obs.spans().len(), expect_spans, "n={n}");
+        }
+    }
+
+    #[test]
+    fn inline_threshold_output_identical_to_parallel() {
+        let items: Vec<usize> = (0..38).collect();
+        let work = |_, &x: &usize| {
+            (0..(x % 5) * 100).fold(x as u64, |acc, _| acc.wrapping_mul(31).wrapping_add(7))
+        };
+        let base = Executor::single().map(&items, work);
+        for threads in [2, 4] {
+            // Threshold 32 × threads > 38 items → serial fallback fires.
+            let exec = Executor::new(threads).with_inline_threshold(32);
+            assert_eq!(exec.inline_threshold(), 32);
+            assert_eq!(exec.map(&items, work), base, "threads={threads}");
+            // Disabled threshold (default) goes parallel; same bits.
+            assert_eq!(Executor::new(threads).map(&items, work), base);
+        }
     }
 
     #[test]

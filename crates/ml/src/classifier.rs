@@ -54,6 +54,15 @@ impl FittedClassifier {
     pub fn predict(&self, sample: &[f32]) -> bool {
         self.predict_proba(sample) >= 0.5
     }
+
+    /// Whether training ran on the binned histogram kernel (always
+    /// `false` for forests, which have no binned path).
+    pub fn used_binned(&self) -> bool {
+        match self {
+            FittedClassifier::Gbm(m) => m.used_binned(),
+            FittedClassifier::Forest(_) => false,
+        }
+    }
 }
 
 #[cfg(test)]

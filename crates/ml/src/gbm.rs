@@ -4,6 +4,7 @@
 //! baseline: given propagated labels over a column's cells (unified feature
 //! vectors), predict the error probability of every cell.
 
+use crate::binned::BinnedDataset;
 use crate::tree::{RegressionTree, TreeConfig};
 
 /// Gradient boosting hyperparameters. Defaults mirror the spirit of
@@ -42,6 +43,7 @@ pub struct GradientBoostingClassifier {
     base_score: f64,
     trees: Vec<RegressionTree>,
     learning_rate: f64,
+    used_binned: bool,
 }
 
 fn sigmoid(z: f64) -> f64 {
@@ -70,11 +72,24 @@ impl GradientBoostingClassifier {
             ((pos as f64 + 0.5) / (n as f64 + 1.0)).clamp(1e-6, 1.0 - 1e-6)
         };
         let base_score = (p0 / (1.0 - p0)).ln();
-        let mut model = Self { base_score, trees: Vec::new(), learning_rate: config.learning_rate };
+        let mut model = Self {
+            base_score,
+            trees: Vec::new(),
+            learning_rate: config.learning_rate,
+            used_binned: false,
+        };
         if n == 0 || pos == 0 || pos == n {
             // Constant predictor: nothing for boosting to learn.
             return model;
         }
+
+        // Bin the feature matrix once; every boosting stage reuses the
+        // codes, so per-node split search never re-sorts raw vectors.
+        // Columns that are not losslessly binnable (>256 distinct values,
+        // NaN) fall back to the exact reference path — both paths grow
+        // bit-identical trees (see crate::tree equivalence tests).
+        let binned = BinnedDataset::build(x);
+        model.used_binned = binned.is_some();
 
         let tree_config =
             TreeConfig { max_depth: config.max_depth, min_samples_leaf: config.min_samples_leaf };
@@ -87,7 +102,10 @@ impl GradientBoostingClassifier {
                 gradients[i] = f64::from(u8::from(y[i])) - p; // y - p
                 hessians[i] = (p * (1.0 - p)).max(1e-9);
             }
-            let tree = RegressionTree::fit(x, &gradients, &hessians, &tree_config);
+            let tree = match &binned {
+                Some(data) => RegressionTree::fit_binned(data, &gradients, &hessians, &tree_config),
+                None => RegressionTree::fit(x, &gradients, &hessians, &tree_config),
+            };
             if tree.n_nodes() == 1 && model.trees.len() > 1 {
                 // A stump-less tree means the gradients are no longer
                 // separable — further stages would add constant shifts.
@@ -119,6 +137,13 @@ impl GradientBoostingClassifier {
     /// Number of fitted boosting stages.
     pub fn n_stages(&self) -> usize {
         self.trees.len()
+    }
+
+    /// Whether training ran on the binned (histogram) kernel rather than
+    /// the exact-split fallback. Surfaced as an obs metric by the
+    /// classify stage.
+    pub fn used_binned(&self) -> bool {
+        self.used_binned
     }
 }
 
@@ -208,6 +233,24 @@ mod tests {
         let m = GradientBoostingClassifier::fit(&x, &y, &GradientBoostingConfig::default());
         assert!(m.predict(&[1.0, 3.0]));
         assert!(!m.predict(&[0.0, 3.0]));
+    }
+
+    #[test]
+    fn binnable_data_uses_histogram_kernel() {
+        let (x, y) = xor_data();
+        let m = GradientBoostingClassifier::fit(&x, &y, &GradientBoostingConfig::default());
+        assert!(m.used_binned(), "small-palette features must take the binned path");
+    }
+
+    #[test]
+    fn high_cardinality_data_falls_back_to_exact_path() {
+        // >256 distinct values in a column cannot be coded in u8 bins.
+        let x: Vec<Vec<f32>> = (0..600).map(|i| vec![i as f32]).collect();
+        let y: Vec<bool> = (0..600).map(|i| i >= 300).collect();
+        let m = GradientBoostingClassifier::fit(&x, &y, &GradientBoostingConfig::default());
+        assert!(!m.used_binned());
+        assert!(!m.predict(&[3.0]));
+        assert!(m.predict(&[500.0]));
     }
 
     #[test]

@@ -14,12 +14,14 @@
 //! `GradientBoostingClassifier` defaults in spirit (shallow trees, shrinkage)
 //! while staying dependency-free.
 
+pub mod binned;
 pub mod classifier;
 pub mod forest;
 pub mod gbm;
 pub mod metrics;
 pub mod tree;
 
+pub use binned::BinnedDataset;
 pub use classifier::{ClassifierKind, FittedClassifier};
 pub use forest::{RandomForestClassifier, RandomForestConfig};
 pub use gbm::{GradientBoostingClassifier, GradientBoostingConfig};

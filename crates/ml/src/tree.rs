@@ -1,5 +1,18 @@
 //! CART regression trees with variance-reduction splits and optional
 //! Newton leaf values (for use inside gradient boosting).
+//!
+//! Two training paths produce bit-identical trees:
+//!
+//! * [`RegressionTree::fit`] — the exact reference: per node, per feature,
+//!   stable comparison sort of the sample order, prefix-sum split scan.
+//! * [`RegressionTree::fit_binned`] — the histogram path over a
+//!   [`BinnedDataset`]: per-node bin-count histograms (with the sibling =
+//!   parent − child subtraction trick) drive a *stable counting sort*, so
+//!   the split scan visits samples in exactly the order the reference's
+//!   comparison sort would, and every f64 accumulation happens in the same
+//!   sequence. Equivalence is pinned by tests, not approximate.
+
+use crate::binned::BinnedDataset;
 
 /// Tree growth limits.
 #[derive(Debug, Clone)]
@@ -17,7 +30,7 @@ impl Default for TreeConfig {
 }
 
 /// A node of the regression tree, stored in a flat arena.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 enum Node {
     Leaf {
         value: f64,
@@ -32,7 +45,10 @@ enum Node {
 }
 
 /// A fitted CART regression tree.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares arena structure node for node — used by the
+/// equivalence tests that pin the binned path to the exact path.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegressionTree {
     nodes: Vec<Node>,
 }
@@ -51,6 +67,29 @@ impl RegressionTree {
         let mut tree = Self { nodes: Vec::new() };
         let idx: Vec<usize> = (0..x.len()).collect();
         tree.grow(x, targets, hessians, &idx, 0, config);
+        tree
+    }
+
+    /// Fits a tree on a pre-binned dataset — same contract and same result
+    /// as [`RegressionTree::fit`] on the raw samples the dataset was built
+    /// from, but split search scans bin histograms instead of re-sorting
+    /// raw feature vectors per node.
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty or lengths disagree.
+    pub fn fit_binned(
+        data: &BinnedDataset,
+        targets: &[f64],
+        hessians: &[f64],
+        config: &TreeConfig,
+    ) -> Self {
+        assert!(data.n_samples() > 0, "cannot fit a tree on zero samples");
+        assert_eq!(data.n_samples(), targets.len());
+        assert_eq!(data.n_samples(), hessians.len());
+        let mut tree = Self { nodes: Vec::new() };
+        let idx: Vec<usize> = (0..data.n_samples()).collect();
+        let hist = node_histogram(data, &idx);
+        tree.grow_binned(data, targets, hessians, &idx, &hist, 0, config);
         tree
     }
 
@@ -128,6 +167,170 @@ impl RegressionTree {
             }
         }
     }
+
+    /// Binned counterpart of [`RegressionTree::grow`]. `hist` is this
+    /// node's per-feature bin-count histogram (`n_features × max_bins`).
+    #[allow(clippy::too_many_arguments)]
+    fn grow_binned(
+        &mut self,
+        data: &BinnedDataset,
+        targets: &[f64],
+        hessians: &[f64],
+        idx: &[usize],
+        hist: &[u32],
+        depth: usize,
+        config: &TreeConfig,
+    ) -> usize {
+        let leaf_value = |ids: &[usize]| -> f64 {
+            let g: f64 = ids.iter().map(|&i| targets[i]).sum();
+            let h: f64 = ids.iter().map(|&i| hessians[i]).sum();
+            g / (h + 1e-9)
+        };
+
+        let pure = {
+            let first = targets[idx[0]];
+            idx.iter().all(|&i| (targets[i] - first).abs() < 1e-12)
+        };
+        if pure
+            || depth >= config.max_depth
+            || idx.len() < 2 * config.min_samples_leaf
+            || idx.len() < 2
+        {
+            let id = self.nodes.len();
+            self.nodes.push(Node::Leaf { value: leaf_value(idx) });
+            return id;
+        }
+
+        match best_split_binned(data, targets, idx, hist, config.min_samples_leaf) {
+            None => {
+                let id = self.nodes.len();
+                self.nodes.push(Node::Leaf { value: leaf_value(idx) });
+                id
+            }
+            Some((feature, split_bin)) => {
+                let codes = data.codes_of(feature);
+                // `code <= split_bin` ⟺ `value <= threshold` (codes are
+                // ranks of distinct values), so this partition matches the
+                // reference's exactly, in the same stable order.
+                let (l, r): (Vec<usize>, Vec<usize>) =
+                    idx.iter().partition(|&&i| codes[i] <= split_bin);
+                if l.is_empty() || r.is_empty() {
+                    let id = self.nodes.len();
+                    self.nodes.push(Node::Leaf { value: leaf_value(idx) });
+                    return id;
+                }
+                // Subtraction trick: count the smaller child directly and
+                // derive the sibling as parent − child. Counts are
+                // integers, so the subtraction is exact.
+                let small = if l.len() <= r.len() { &l } else { &r };
+                let small_hist = node_histogram(data, small);
+                let mut other_hist = hist.to_vec();
+                for (o, s) in other_hist.iter_mut().zip(&small_hist) {
+                    *o -= s;
+                }
+                let (l_hist, r_hist) = if l.len() <= r.len() {
+                    (small_hist, other_hist)
+                } else {
+                    (other_hist, small_hist)
+                };
+                let threshold = data.threshold(feature, split_bin);
+                let id = self.nodes.len();
+                self.nodes.push(Node::Leaf { value: 0.0 });
+                let left =
+                    self.grow_binned(data, targets, hessians, &l, &l_hist, depth + 1, config);
+                let right =
+                    self.grow_binned(data, targets, hessians, &r, &r_hist, depth + 1, config);
+                self.nodes[id] = Node::Split { feature, threshold, left, right };
+                id
+            }
+        }
+    }
+}
+
+/// Per-feature bin-count histogram over the samples in `idx`, laid out
+/// `hist[f * max_bins + bin]`.
+fn node_histogram(data: &BinnedDataset, idx: &[usize]) -> Vec<u32> {
+    let max_bins = data.max_bins();
+    let mut hist = vec![0u32; data.n_features() * max_bins];
+    for f in 0..data.n_features() {
+        let codes = data.codes_of(f);
+        let row = &mut hist[f * max_bins..(f + 1) * max_bins];
+        for &i in idx {
+            row[codes[i] as usize] += 1;
+        }
+    }
+    hist
+}
+
+/// Binned counterpart of [`best_split`], returning `(feature, split_bin)`.
+///
+/// Bit-exactness note: the reference reuses one `order` vector across
+/// features, so ties under feature `f`'s stable sort preserve the order
+/// left by feature `f − 1`. This function reproduces that by applying a
+/// *stable counting sort* (bucket offsets from the node histogram) to the
+/// same carried-over order, then accumulating the prefix sum point by
+/// point in that order — the f64 additions happen in the identical
+/// sequence, so scores (and thus the argmax under strict `>`) are
+/// bit-identical, not merely close.
+fn best_split_binned(
+    data: &BinnedDataset,
+    targets: &[f64],
+    idx: &[usize],
+    hist: &[u32],
+    min_leaf: usize,
+) -> Option<(usize, u8)> {
+    let n = idx.len() as f64;
+    let total_sum: f64 = idx.iter().map(|&i| targets[i]).sum();
+    let max_bins = data.max_bins();
+    let mut best: Option<(usize, u8, f64)> = None;
+
+    let mut order: Vec<usize> = idx.to_vec();
+    let mut sorted: Vec<usize> = vec![0; idx.len()];
+    let mut cursor: Vec<usize> = vec![0; max_bins + 1];
+    for f in 0..data.n_features() {
+        let nb = data.n_bins(f);
+        let counts = &hist[f * max_bins..f * max_bins + nb];
+        if counts.iter().filter(|&&c| c > 0).count() <= 1 {
+            // Feature is constant within this node: the reference's stable
+            // sort is the identity (order carries over unchanged) and no
+            // bin boundary exists, so it generates no candidates either.
+            continue;
+        }
+
+        // Stable counting sort of `order` by this feature's bin code.
+        cursor[0] = 0;
+        for b in 0..nb {
+            cursor[b + 1] = cursor[b] + counts[b] as usize;
+        }
+        let codes = data.codes_of(f);
+        for &i in &order {
+            let b = codes[i] as usize;
+            sorted[cursor[b]] = i;
+            cursor[b] += 1;
+        }
+        std::mem::swap(&mut order, &mut sorted);
+
+        let mut left_sum = 0.0f64;
+        for (pos, &i) in order.iter().enumerate().take(order.len() - 1) {
+            left_sum += targets[i];
+            let nl = (pos + 1) as f64;
+            let nr = n - nl;
+            let (a, b) = (codes[i], codes[order[pos + 1]]);
+            if a == b {
+                continue; // not a boundary between distinct values
+            }
+            if (pos + 1) < min_leaf || (order.len() - pos - 1) < min_leaf {
+                continue;
+            }
+            let right_sum = total_sum - left_sum;
+            let score = left_sum * left_sum / nl + right_sum * right_sum / nr;
+            if best.is_none_or(|(_, _, s)| score > s) {
+                best = Some((f, a, score));
+            }
+        }
+    }
+
+    best.map(|(f, b, _)| (f, b))
 }
 
 /// Finds the split (feature, threshold) with the largest weighted-variance
@@ -279,5 +482,92 @@ mod tests {
     #[should_panic(expected = "zero samples")]
     fn empty_input_panics() {
         let _ = RegressionTree::fit(&[], &[], &[], &TreeConfig::default());
+    }
+
+    fn assert_binned_equals_exact(
+        x: &[Vec<f32>],
+        targets: &[f64],
+        hessians: &[f64],
+        config: &TreeConfig,
+    ) {
+        let data = BinnedDataset::build(x).expect("binnable input");
+        let exact = RegressionTree::fit(x, targets, hessians, config);
+        let binned = RegressionTree::fit_binned(&data, targets, hessians, config);
+        assert_eq!(exact, binned, "binned tree must equal exact tree node for node");
+    }
+
+    #[test]
+    fn binned_equals_exact_on_step_function() {
+        let x: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32]).collect();
+        let y: Vec<f64> = (0..10).map(|i| if i < 5 { 0.0 } else { 1.0 }).collect();
+        assert_binned_equals_exact(&x, &y, &ones(10), &TreeConfig::default());
+    }
+
+    #[test]
+    fn binned_equals_exact_on_xor_with_tie_carryover() {
+        // XOR exercises the stable-sort tie-carryover: every top-level
+        // split has an identical (zero-improvement) score, so the winning
+        // split depends on the exact scan order across features.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for a in 0..2 {
+            for b in 0..2 {
+                for _ in 0..4 {
+                    x.push(vec![a as f32, b as f32]);
+                    y.push(f64::from(a ^ b));
+                }
+            }
+        }
+        let h = ones(x.len());
+        assert_binned_equals_exact(&x, &y, &h, &TreeConfig::default());
+    }
+
+    #[test]
+    fn binned_equals_exact_with_min_leaf_and_depth_limits() {
+        let x: Vec<Vec<f32>> = (0..16).map(|i| vec![(i % 4) as f32, (i / 4) as f32]).collect();
+        let y: Vec<f64> = (0..16).map(|i| f64::from(u8::from(i % 3 == 0))).collect();
+        for min_leaf in [1, 2, 4] {
+            for depth in [1, 2, 5] {
+                assert_binned_equals_exact(
+                    &x,
+                    &y,
+                    &ones(16),
+                    &TreeConfig { max_depth: depth, min_samples_leaf: min_leaf },
+                );
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(128))]
+
+        // The binned path is pinned to the exact-split reference: same
+        // arena, same split features, thresholds, and leaf values, bit
+        // for bit. Feature values come from a small palette so columns
+        // carry heavy ties (the hard case for stable-order carryover).
+        #[test]
+        fn binned_tree_equals_exact_tree(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(0u8..5, 3),
+                2usize..40,
+            ),
+            targets_raw in proptest::collection::vec(-4i8..4, 40),
+            max_depth in 1usize..4,
+            min_leaf in 1usize..3,
+        ) {
+            let x: Vec<Vec<f32>> = rows
+                .iter()
+                .map(|r| r.iter().map(|&v| f32::from(v) * 0.25 - 0.5).collect())
+                .collect();
+            let targets: Vec<f64> =
+                (0..x.len()).map(|i| f64::from(targets_raw[i]) * 0.125).collect();
+            let hessians: Vec<f64> =
+                (0..x.len()).map(|i| 0.5 + f64::from(targets_raw[i].unsigned_abs())).collect();
+            let config = TreeConfig { max_depth, min_samples_leaf: min_leaf };
+            let data = BinnedDataset::build(&x).expect("palette data is binnable");
+            let exact = RegressionTree::fit(&x, &targets, &hessians, &config);
+            let binned = RegressionTree::fit_binned(&data, &targets, &hessians, &config);
+            proptest::prop_assert_eq!(exact, binned);
+        }
     }
 }

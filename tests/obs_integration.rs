@@ -88,6 +88,17 @@ fn trace_covers_the_run_and_every_stage_and_agrees_with_the_report() {
     assert_eq!(fold_sizes.count, result.n_quality_folds as u64);
     assert_eq!(fold_sizes.sum as usize, gl.dirty.n_cells(), "folds partition the lake's cells");
 
+    // Every classify work item records which GBM kernel trained it;
+    // binned + exact must account for every fitted model.
+    let fits = obs.counter("classify.binned_fits").unwrap_or(0)
+        + obs.counter("classify.exact_fits").unwrap_or(0);
+    let models = result
+        .report
+        .stage("classify")
+        .and_then(|s| s.metric("models"))
+        .expect("classify model count") as u64;
+    assert_eq!(fits, models, "kernel counters must cover every classify fit");
+
     // The report's per-stage wall times come from the same spans.
     assert_eq!(result.report.stages.len(), STAGES.len());
     for st in &result.report.stages {

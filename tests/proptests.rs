@@ -359,7 +359,7 @@ proptest! {
         let vectors: Vec<Vec<f32>> = (0..rows)
             .flat_map(|r| (0..cols).map(move |c| vec![feat(r, c, 0), feat(r, c, 1)]))
             .collect();
-        let features = vec![CellFeatures { n_cols: cols, n_rows: rows, vectors }];
+        let features = vec![CellFeatures::from_vectors(cols, rows, &vectors)];
         let fold = Fold { columns: (0..cols).map(|c| (0, c)).collect() };
 
         let qf = quality_folds(&lake, &fold, &features, k, batch_size, iterations, seed);
