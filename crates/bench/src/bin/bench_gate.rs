@@ -1,7 +1,8 @@
 //! CI bench-regression gate (see `crates/bench/src/gate.rs`).
 //!
 //! ```text
-//! bench_gate --baseline BENCH_stages.json --fresh fresh.json [--max-drop-pct 25]
+//! bench_gate --baseline BENCH_stages.json --fresh fresh.json \
+//!     [--max-drop-pct 25] [--require-2t]
 //! ```
 //!
 //! Compares a freshly produced stages-bench JSON against the committed
@@ -32,6 +33,9 @@ fn run() -> Result<bool, String> {
                     .parse()
                     .map_err(|_| "--max-drop-pct needs a number".to_string())?;
             }
+            // Gate the per-thread-count baseline too: per-stage
+            // `items_per_sec_2t` and `speedup_2t` must hold their band.
+            "--require-2t" => cfg.require_2t = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -60,7 +64,8 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("bench_gate: {e}");
             eprintln!(
-                "usage: bench_gate --baseline <committed.json> --fresh <fresh.json> [--max-drop-pct N]"
+                "usage: bench_gate --baseline <committed.json> --fresh <fresh.json> \
+                 [--max-drop-pct N] [--require-2t]"
             );
             ExitCode::FAILURE
         }

@@ -15,12 +15,18 @@
 //! * the two files must have been produced at the same `MATELDA_SCALE`
 //!   (throughput at different scales is not comparable).
 //!
-//! Only single-thread throughput is gated: multi-thread speedups on
-//! shared CI runners are noise-dominated, while `items_per_sec_1t` on
-//! the same runner class is stable enough for a 25% band. The JSON
-//! parsing is hand-rolled like everything else in the workspace — the
-//! bench emits a small, known shape and the crate policy is no
-//! third-party dependencies.
+//! By default only single-thread throughput is gated: multi-thread
+//! speedups on shared CI runners are noise-dominated, while
+//! `items_per_sec_1t` on the same runner class is stable enough for a
+//! 25% band. A dedicated CI leg opts into the per-thread-count
+//! baseline with [`GateConfig::require_2t`] (the `--require-2t` flag):
+//! it additionally gates each stage's `items_per_sec_2t` and its
+//! 2-thread scaling ratio `speedup_2t`, so a change that quietly
+//! serializes a parallel stage (speedup collapses while 1-thread
+//! throughput is unchanged) fails the gate. The JSON parsing is
+//! hand-rolled like everything else in the workspace — the bench emits
+//! a small, known shape and the crate policy is no third-party
+//! dependencies.
 
 /// A parsed JSON value (just enough of the grammar for bench files).
 #[derive(Debug, Clone, PartialEq)]
@@ -223,8 +229,15 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
 #[derive(Debug, Clone, Copy)]
 pub struct GateConfig {
     /// Maximum tolerated single-thread throughput drop, in percent of
-    /// the baseline's `items_per_sec_1t`.
+    /// the baseline's `items_per_sec_1t`. With [`GateConfig::require_2t`]
+    /// the same band also applies to `items_per_sec_2t` and `speedup_2t`.
     pub max_drop_pct: f64,
+    /// Also gate the per-thread-count baseline: each baseline stage's
+    /// `items_per_sec_2t` and `speedup_2t` must be present in the fresh
+    /// results and must not drop by more than `max_drop_pct` percent.
+    /// Off by default — only the dedicated 2-thread CI leg (which pins
+    /// runner class and thread count) opts in via `--require-2t`.
+    pub require_2t: bool,
 }
 
 impl Default for GateConfig {
@@ -232,7 +245,7 @@ impl Default for GateConfig {
         // 25%: wide enough for shared-runner noise on sub-100ms stages,
         // tight enough to catch an accidental algorithmic regression
         // (the fallback paths this PR replaces were 2×+ slower).
-        GateConfig { max_drop_pct: 25.0 }
+        GateConfig { max_drop_pct: 25.0, require_2t: false }
     }
 }
 
@@ -278,6 +291,30 @@ pub fn compare(baseline: &Json, fresh: &Json, cfg: GateConfig) -> Vec<String> {
                 ));
             }
         }
+        if cfg.require_2t {
+            for key in ["items_per_sec_2t", "speedup_2t"] {
+                let Some(base) = stage.get(key).and_then(Json::as_num) else {
+                    continue;
+                };
+                let Some(fresh_val) = found.get(key).and_then(Json::as_num) else {
+                    violations.push(format!(
+                        "stage `{name}`: `{key}` in baseline but missing from fresh results \
+                         (per-thread baseline required)"
+                    ));
+                    continue;
+                };
+                if base > 0.0 {
+                    let drop_pct = 100.0 * (base - fresh_val) / base;
+                    if drop_pct > cfg.max_drop_pct {
+                        violations.push(format!(
+                            "stage `{name}`: {key} dropped {drop_pct:.1}% \
+                             ({base:.3} -> {fresh_val:.3}, limit {limit:.0}%)",
+                            limit = cfg.max_drop_pct
+                        ));
+                    }
+                }
+            }
+        }
     }
 
     for section in OVERHEAD_SECTIONS {
@@ -312,6 +349,11 @@ mod tests {
 
     /// Rebuilds the baseline with one stage's throughput scaled.
     fn with_scaled_stage(doc: &Json, stage_name: &str, factor: f64) -> Json {
+        with_scaled_stage_key(doc, stage_name, "items_per_sec_1t", factor)
+    }
+
+    /// Rebuilds the baseline with one numeric key of one stage scaled.
+    fn with_scaled_stage_key(doc: &Json, stage_name: &str, key: &str, factor: f64) -> Json {
         let Json::Obj(fields) = doc else { panic!("doc is an object") };
         let fields = fields
             .iter()
@@ -331,7 +373,7 @@ mod tests {
                         Json::Obj(
                             sf.iter()
                                 .map(|(sk, sv)| {
-                                    let sv = if sk == "items_per_sec_1t" {
+                                    let sv = if sk == key {
                                         Json::Num(sv.as_num().unwrap() * factor)
                                     } else {
                                         sv.clone()
@@ -395,8 +437,50 @@ mod tests {
         let ok = with_scaled_stage(&baseline, "classify", 0.80);
         assert!(compare(&baseline, &ok, GateConfig::default()).is_empty());
         // A tighter configured limit catches it.
-        let tight = compare(&baseline, &ok, GateConfig { max_drop_pct: 10.0 });
+        let tight =
+            compare(&baseline, &ok, GateConfig { max_drop_pct: 10.0, ..Default::default() });
         assert_eq!(tight.len(), 1);
+    }
+
+    #[test]
+    fn require_2t_rejects_a_scaling_regression() {
+        // The negative control for the per-thread baseline: halving a
+        // stage's 2-thread scaling ratio — a change that serializes the
+        // stage without touching its single-thread throughput — must
+        // trip the `--require-2t` gate and pass the default one.
+        let baseline = committed_baseline();
+        let regressed = with_scaled_stage_key(&baseline, "classify", "speedup_2t", 0.5);
+        assert!(
+            compare(&baseline, &regressed, GateConfig::default()).is_empty(),
+            "default gate does not watch scaling"
+        );
+        let strict = GateConfig { require_2t: true, ..Default::default() };
+        let v = compare(&baseline, &regressed, strict);
+        assert_eq!(v.len(), 1, "exactly the speedup_2t clause: {v:?}");
+        assert!(v[0].contains("classify") && v[0].contains("speedup_2t"));
+
+        // Dropping 2-thread throughput past the band also trips it.
+        let slow2 = with_scaled_stage_key(&baseline, "embed", "items_per_sec_2t", 0.5);
+        let v = compare(&baseline, &slow2, strict);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("embed") && v[0].contains("items_per_sec_2t"));
+
+        // A fresh file missing the per-thread keys entirely fails too.
+        let bare = Json::parse(
+            r#"{"scale":"full","stages":[{"stage":"embed","items_per_sec_1t":1e9,
+                "items_per_sec_2t":1e9,"speedup_2t":9.9}]}"#,
+        )
+        .unwrap();
+        let stripped =
+            Json::parse(r#"{"scale":"full","stages":[{"stage":"embed","items_per_sec_1t":1e9}]}"#)
+                .unwrap();
+        assert!(compare(&bare, &stripped, GateConfig::default()).is_empty());
+        let v = compare(&bare, &stripped, strict);
+        assert_eq!(v.len(), 2, "both per-thread keys reported missing: {v:?}");
+
+        // The committed baseline passes against itself under the strict
+        // gate — the keys it requires are present.
+        assert!(compare(&baseline, &baseline, strict).is_empty());
     }
 
     #[test]

@@ -268,3 +268,41 @@ fn end_to_end_chaos_run_completes() {
     assert!(result.labels_used <= 15);
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }
+
+#[test]
+fn workers_that_caught_item_panics_keep_serving_later_stages() {
+    // The pool's workers are long-lived (ISSUE 6): an item panic on one
+    // stage is caught on the worker via `catch_unwind`, and that same
+    // worker — not a respawned replacement — must execute subsequent
+    // stages' items. Two faulty maps followed by a clean one on the same
+    // executor, with the spawn count pinned throughout.
+    let exec = matelda_exec::Executor::new(4).with_inline_threshold(1);
+    let _guard =
+        faultpoint::arm(vec![("s1".to_string(), 3), ("s1".to_string(), 11), ("s2".to_string(), 0)]);
+
+    for stage in ["s1", "s2"] {
+        let out = exec.try_map_n(stage, 16, |i| {
+            faultpoint::hit(stage, i);
+            i * 2
+        });
+        let faults: Vec<usize> = (0..16).filter(|&i| out[i].is_err()).collect();
+        let expected: Vec<usize> = if stage == "s1" { vec![3, 11] } else { vec![0] };
+        assert_eq!(faults, expected, "stage {stage}");
+        for (i, r) in out.iter().enumerate() {
+            if let Ok(v) = r {
+                assert_eq!(*v, i * 2);
+            }
+        }
+    }
+    let spawned = exec.workers_spawned();
+    assert_eq!(spawned, 3, "4-thread pool = caller + 3 workers");
+
+    // A clean third stage runs on the very same workers.
+    let clean = exec.try_map_n("s3", 16, |i| i + 1);
+    assert!(clean.iter().all(|r| r.is_ok()));
+    assert_eq!(
+        exec.workers_spawned(),
+        spawned,
+        "no worker died or was respawned after the caught panics"
+    );
+}

@@ -15,7 +15,8 @@
 //! singleton domain folds by the pipeline.
 
 use crate::linkage::{single_linkage, Merge};
-use crate::matrix::{pairwise_euclidean, PointMatrix};
+use crate::matrix::{pairwise_euclidean_with, PointMatrix};
+use matelda_exec::Executor;
 
 /// Label for points not assigned to any cluster.
 pub const NOISE: isize = -1;
@@ -76,7 +77,22 @@ impl Hdbscan {
     /// Clusters `n` items given a pairwise distance function. Returns one
     /// label per item; unclustered items get [`NOISE`]. Cluster labels are
     /// dense `0..k` and deterministic.
-    pub fn fit_with(&self, n: usize, dist: impl Fn(usize, usize) -> f64) -> Vec<isize> {
+    pub fn fit_with(&self, n: usize, dist: impl Fn(usize, usize) -> f64 + Sync) -> Vec<isize> {
+        self.fit_with_exec(n, dist, &Executor::single())
+    }
+
+    /// [`Hdbscan::fit_with`] with the distance-construction hot spots —
+    /// core distances and the mutual-reachability matrix — built in
+    /// parallel over row blocks on `exec`. Per-row arithmetic is
+    /// untouched and rows merge in index order, so labels are
+    /// bit-identical at every thread count (Prim's edge selection itself
+    /// stays sequential: each step consumes the previous one's tree).
+    pub fn fit_with_exec(
+        &self,
+        n: usize,
+        dist: impl Fn(usize, usize) -> f64 + Sync,
+        exec: &Executor,
+    ) -> Vec<isize> {
         if n == 0 {
             return Vec::new();
         }
@@ -88,11 +104,14 @@ impl Hdbscan {
 
         // 1. Core distances: distance to the min_samples-th nearest
         // neighbor, counting the point itself at distance 0.
-        let core = core_distances(n, &dist, min_samples);
+        let core = core_distances(n, &dist, min_samples, exec);
 
-        // 2+3. MST over mutual reachability (computed on the fly).
-        let mreach = |a: usize, b: usize| dist(a, b).max(core[a]).max(core[b]);
-        let mut edges = prim_mst(n, mreach);
+        // 2+3. MST over mutual reachability. The n×n reachability matrix
+        // is materialized in parallel row blocks (each cell is
+        // `max(dist, core[a], core[b])` — exact, order-free), then Prim
+        // runs over cheap lookups.
+        let mreach = mutual_reachability(n, &dist, &core, exec);
+        let mut edges = prim_mst(n, |a, b| mreach[a * n + b]);
         edges.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite distances"));
 
         // 4. Single-linkage dendrogram.
@@ -112,25 +131,75 @@ impl Hdbscan {
     /// instead of re-deriving distances on the fly inside core-distance
     /// and MST construction, which visits every pair more than once.
     pub fn fit_points(&self, points: &[Vec<f32>]) -> Vec<isize> {
+        self.fit_points_with(points, &Executor::single())
+    }
+
+    /// [`Hdbscan::fit_points`] with the pairwise matrix, core distances
+    /// and mutual-reachability build scheduled over `PointMatrix` row
+    /// blocks on `exec`. Bit-identical to the serial path at every
+    /// thread count.
+    pub fn fit_points_with(&self, points: &[Vec<f32>], exec: &Executor) -> Vec<isize> {
         let n = points.len();
-        let pd = pairwise_euclidean(&PointMatrix::from_rows(points));
-        self.fit_with(n, |a, b| pd[a * n + b])
+        let pd = pairwise_euclidean_with(&PointMatrix::from_rows(points), exec);
+        self.fit_with_exec(n, |a, b| pd[a * n + b], exec)
     }
 }
 
-fn core_distances(n: usize, dist: &impl Fn(usize, usize) -> f64, k: usize) -> Vec<f64> {
-    let mut core = vec![0.0; n];
-    let mut row = vec![0.0f64; n];
-    for i in 0..n {
-        for (j, r) in row.iter_mut().enumerate() {
-            *r = if i == j { 0.0 } else { dist(i, j) };
+/// Row-block size for the parallel core-distance and mutual-reachability
+/// builds: each block's rows are independent, so results merge in row
+/// order and match the serial loop bit for bit.
+const HDBSCAN_ROW_BLOCK: usize = 32;
+
+fn core_distances(
+    n: usize,
+    dist: &(impl Fn(usize, usize) -> f64 + Sync),
+    k: usize,
+    exec: &Executor,
+) -> Vec<f64> {
+    let n_blocks = n.div_ceil(HDBSCAN_ROW_BLOCK);
+    let blocks = exec.map_n(n_blocks, |b| {
+        let lo = b * HDBSCAN_ROW_BLOCK;
+        let hi = (lo + HDBSCAN_ROW_BLOCK).min(n);
+        let mut out = Vec::with_capacity(hi - lo);
+        let mut row = vec![0.0f64; n];
+        for i in lo..hi {
+            for (j, r) in row.iter_mut().enumerate() {
+                *r = if i == j { 0.0 } else { dist(i, j) };
+            }
+            // k-th smallest including self (k >= 1).
+            let kth = k - 1;
+            row.select_nth_unstable_by(kth, |a, b| a.partial_cmp(b).expect("finite"));
+            out.push(row[kth]);
         }
-        // k-th smallest including self (k >= 1).
-        let kth = k - 1;
-        row.select_nth_unstable_by(kth, |a, b| a.partial_cmp(b).expect("finite"));
-        core[i] = row[kth];
-    }
-    core
+        out
+    });
+    blocks.concat()
+}
+
+/// Materializes the mutual-reachability matrix `max(dist(a,b), core[a],
+/// core[b])` in parallel row blocks. `max` over identical inputs is
+/// exact, so the matrix (and everything downstream) is thread-count
+/// independent.
+fn mutual_reachability(
+    n: usize,
+    dist: &(impl Fn(usize, usize) -> f64 + Sync),
+    core: &[f64],
+    exec: &Executor,
+) -> Vec<f64> {
+    let n_blocks = n.div_ceil(HDBSCAN_ROW_BLOCK);
+    let blocks = exec.map_n(n_blocks, |b| {
+        let lo = b * HDBSCAN_ROW_BLOCK;
+        let hi = (lo + HDBSCAN_ROW_BLOCK).min(n);
+        let mut rows = vec![0.0f64; (hi - lo) * n];
+        for i in lo..hi {
+            let row = &mut rows[(i - lo) * n..(i - lo + 1) * n];
+            for (j, r) in row.iter_mut().enumerate() {
+                *r = if i == j { 0.0 } else { dist(i, j).max(core[i]).max(core[j]) };
+            }
+        }
+        rows
+    });
+    blocks.concat()
 }
 
 /// Dense Prim's algorithm; returns the n-1 MST edges.
@@ -351,6 +420,22 @@ mod tests {
         let h = Hdbscan::default();
         assert!(h.fit_points(&[]).is_empty());
         assert_eq!(h.fit_points(&[vec![1.0, 2.0]]), vec![NOISE]);
+    }
+
+    #[test]
+    fn parallel_fit_is_bit_identical_to_serial_across_thread_counts() {
+        // Large enough to span several row blocks of the parallel core /
+        // reachability builds; includes noise points and two clusters.
+        let mut pts = blob((0.0, 0.0), 40, 0.05);
+        pts.extend(blob((10.0, 10.0), 40, 0.05));
+        pts.push(vec![100.0, -50.0]);
+        pts.push(vec![-80.0, 60.0]);
+        let h = Hdbscan::new(HdbscanConfig { min_cluster_size: 4, ..Default::default() });
+        let base = h.fit_points(&pts);
+        for threads in [2, 4, 8] {
+            let exec = Executor::new(threads);
+            assert_eq!(h.fit_points_with(&pts, &exec), base, "threads={threads}");
+        }
     }
 
     #[test]

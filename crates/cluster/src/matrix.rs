@@ -128,14 +128,50 @@ pub fn nearest_centers_blocked(
 /// squared, summed in dimension order, then `sqrt` — and mirrored
 /// (subtraction is sign-exact, so `d(a,b) == d(b,a)` bit for bit).
 pub fn pairwise_euclidean(points: &PointMatrix) -> Vec<f64> {
+    pairwise_euclidean_with(points, &matelda_exec::Executor::single())
+}
+
+/// Row-block size of the parallel pairwise build: big enough that a
+/// block's upper-triangle work dwarfs its merge cost, small enough that
+/// the executor's range stealing can rebalance the triangle's skew
+/// (early rows carry `n − i − 1` pairs, late rows almost none).
+const PAIRWISE_ROW_BLOCK: usize = 32;
+
+/// [`pairwise_euclidean`] scheduled over row blocks on `exec`.
+///
+/// Each block computes its rows' upper-triangle segments independently
+/// (per-pair arithmetic untouched), and the caller merges + mirrors in
+/// row order — so the matrix is bit-identical to the serial build at
+/// every thread count, which the proptests below pin.
+pub fn pairwise_euclidean_with(points: &PointMatrix, exec: &matelda_exec::Executor) -> Vec<f64> {
     let n = points.n();
+    if n == 0 {
+        return Vec::new();
+    }
+    let n_blocks = n.div_ceil(PAIRWISE_ROW_BLOCK);
+    let blocks = exec.map_n(n_blocks, |b| {
+        let lo = b * PAIRWISE_ROW_BLOCK;
+        let hi = (lo + PAIRWISE_ROW_BLOCK).min(n);
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(hi - lo);
+        for i in lo..hi {
+            let a = points.row(i);
+            let mut row = Vec::with_capacity(n - i - 1);
+            for j in (i + 1)..n {
+                row.push(euclidean(a, points.row(j)));
+            }
+            rows.push(row);
+        }
+        rows
+    });
     let mut out = vec![0.0f64; n * n];
-    for i in 0..n {
-        let a = points.row(i);
-        for j in (i + 1)..n {
-            let d = euclidean(a, points.row(j));
-            out[i * n + j] = d;
-            out[j * n + i] = d;
+    for (b, rows) in blocks.into_iter().enumerate() {
+        for (k, row) in rows.into_iter().enumerate() {
+            let i = b * PAIRWISE_ROW_BLOCK + k;
+            for (off, d) in row.into_iter().enumerate() {
+                let j = i + 1 + off;
+                out[i * n + j] = d;
+                out[j * n + i] = d;
+            }
         }
     }
     out
@@ -159,6 +195,21 @@ pub fn euclidean(a: &[f32], b: &[f32]) -> f64 {
 mod tests {
     use super::*;
     use crate::kmeans::nearest_center;
+
+    #[test]
+    fn parallel_pairwise_is_bit_identical_to_serial() {
+        // Spans several row blocks so the parallel build actually fans
+        // out; the matrix must match the single-thread build exactly.
+        let pts: Vec<Vec<f32>> = (0..70)
+            .map(|i| vec![(i as f32).sin() * 10.0, (i as f32 * 0.7).cos() * 5.0, i as f32])
+            .collect();
+        let m = PointMatrix::from_rows(&pts);
+        let base = pairwise_euclidean(&m);
+        for threads in [2, 4, 8] {
+            let exec = matelda_exec::Executor::new(threads);
+            assert_eq!(pairwise_euclidean_with(&m, &exec), base, "threads={threads}");
+        }
+    }
 
     #[test]
     fn rows_round_trip() {

@@ -150,6 +150,20 @@ pub fn folds_from_embedding_excluding(
     embedded: &EmbeddedLake,
     excluded: &[usize],
 ) -> Vec<Fold> {
+    folds_from_embedding_excluding_with(lake, embedded, excluded, &Executor::single())
+}
+
+/// [`folds_from_embedding_excluding`] with HDBSCAN's pairwise-distance
+/// and core-distance construction parallelized over row blocks on
+/// `exec`. The fold assignments are bit-identical at every thread count
+/// (see [`Hdbscan::fit_with_exec`]); the engine passes its per-run
+/// executor here so clustering shares the pool with the other stages.
+pub fn folds_from_embedding_excluding_with(
+    lake: &Lake,
+    embedded: &EmbeddedLake,
+    excluded: &[usize],
+    exec: &Executor,
+) -> Vec<Fold> {
     let survivors: Vec<usize> = (0..lake.n_tables()).filter(|t| !excluded.contains(t)).collect();
     let n = survivors.len();
     if n == 0 {
@@ -161,15 +175,20 @@ pub fn folds_from_embedding_excluding(
             if n == 1 {
                 vec![vec![0]]
             } else {
-                let labels = Hdbscan::new(HdbscanConfig::default()).fit_with(n, |a, b| {
-                    f64::from(cosine_distance(&vecs[survivors[a]], &vecs[survivors[b]]))
-                });
+                let labels = Hdbscan::new(HdbscanConfig::default()).fit_with_exec(
+                    n,
+                    |a, b| f64::from(cosine_distance(&vecs[survivors[a]], &vecs[survivors[b]])),
+                    exec,
+                );
                 groups_from_labels(&labels, n)
             }
         }
         EmbeddedLake::Unionability(sims) => {
-            let labels = Hdbscan::new(HdbscanConfig::default())
-                .fit_with(n, |a, b| (1.0 - sims[survivors[a]][survivors[b]]).max(0.0));
+            let labels = Hdbscan::new(HdbscanConfig::default()).fit_with_exec(
+                n,
+                |a, b| (1.0 - sims[survivors[a]][survivors[b]]).max(0.0),
+                exec,
+            );
             groups_from_labels(&labels, n)
         }
     };

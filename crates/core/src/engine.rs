@@ -67,7 +67,7 @@
 //! sleeps.
 
 use crate::domain_fold::{
-    embed_table_for, folds_from_embedding_excluding, refine_syntactic, DomainFolding, Fold,
+    embed_table_for, folds_from_embedding_excluding_with, refine_syntactic, DomainFolding, Fold,
 };
 use crate::pipeline::{FaultPolicy, LabelingStrategy, MateldaConfig, TrainingStrategy};
 use crate::quality_fold::{budget_per_fold, quality_folds, single_quality_fold, QualityFold};
@@ -161,6 +161,9 @@ impl<'a> StageContext<'a> {
     /// [`StageContext::new`] with a recording observability handle; the
     /// executor shares it, so worker spans nest under the stage spans.
     pub fn with_obs(lake: &'a Lake, config: &'a MateldaConfig, obs: Obs) -> Self {
+        // One persistent worker pool per run: the Executor owns it, every
+        // stage maps through this one instance (clones share the pool),
+        // and its threads wind down when the context drops.
         let executor = Executor::new(config.threads).with_obs(obs.clone());
         let report = RunReport::new(executor.threads());
         StageContext {
@@ -460,7 +463,12 @@ impl Stage for DomainFoldStage {
         // Quarantined tables are excluded *before* clustering, so the
         // survivors fold exactly as they would in a lake without the
         // quarantined tables.
-        let mut folds = folds_from_embedding_excluding(ctx.lake, embedded, &ctx.quarantine.tables);
+        let mut folds = folds_from_embedding_excluding_with(
+            ctx.lake,
+            embedded,
+            &ctx.quarantine.tables,
+            &ctx.executor,
+        );
         if cfg.syntactic_refinement {
             folds = refine_syntactic(ctx.lake, folds, cfg.syntactic_groups);
         }
@@ -800,7 +808,7 @@ pub(crate) fn fit_column_models(
                 y.push(lab);
             }
         }
-        FittedClassifier::fit(&ctx.config.classifier, &x, &y)
+        FittedClassifier::fit_with(&ctx.config.classifier, &x, &y, &ctx.executor)
     });
     // Re-nest the flat, index-ordered model list per table.
     let mut nested: Vec<Vec<FittedClassifier>> = lake.tables.iter().map(|_| Vec::new()).collect();
@@ -844,7 +852,7 @@ fn train_per_column(
                     y.push(lab);
                 }
             }
-            let model = FittedClassifier::fit(&ctx.config.classifier, &x, &y);
+            let model = FittedClassifier::fit_with(&ctx.config.classifier, &x, &y, &ctx.executor);
             let rows = (0..table.n_rows())
                 .filter(|&r| model.predict(featurized.features[t].get(r, c)))
                 .collect();
@@ -931,7 +939,7 @@ fn train_per_fold(
                     }
                 }
             }
-            let model = FittedClassifier::fit(&ctx.config.classifier, &x, &y);
+            let model = FittedClassifier::fit_with(&ctx.config.classifier, &x, &y, &ctx.executor);
             let mut ids = Vec::new();
             for &(t, c) in &fold.columns {
                 for r in 0..lake[t].n_rows() {

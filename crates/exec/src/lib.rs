@@ -2,25 +2,34 @@
 //!
 //! The deterministic parallel substrate of the staged pipeline engine:
 //!
-//! * [`Executor`] — a scoped-thread ordered map over an index space. Work
-//!   is claimed dynamically (atomic counter) for balance, but results are
-//!   always merged **in index order**, so output is bit-identical at any
-//!   thread count. Built on `std::thread::scope` only — no dependencies,
-//!   per the workspace crate policy.
+//! * [`Pool`] — a persistent work-stealing thread pool. Workers are
+//!   spawned lazily on the first parallel map and live for the pool's
+//!   lifetime (one pool per pipeline run), so per-map cost is a condvar
+//!   wake instead of a thread spawn/join. Built on `std` only, per the
+//!   workspace crate policy.
+//! * [`Executor`] — an ordered map over an index space, scheduled on the
+//!   pool. Work is claimed dynamically (chunked per-participant range
+//!   deques with stealing) for balance, but results are always merged
+//!   **in index order**, so output is bit-identical at any thread count.
 //! * [`Executor::try_map`] / [`Executor::try_map_n`] — the fault-isolated
 //!   variants: each work item runs under `catch_unwind`, a panic becomes
 //!   an [`ItemFault`] for that index only, and the index-ordered merge is
-//!   preserved, so degradation is as deterministic as success.
+//!   preserved, so degradation is as deterministic as success. Workers
+//!   are long-lived — an item panic never kills a pool thread.
 //! * [`RunReport`] / [`StageReport`] — per-stage wall time plus work
 //!   counters and the structured fault log, threaded through every stage
 //!   of a pipeline run and rendered as aligned text or JSON.
 //! * [`faultpoint`] — a test-only injection hook the chaos harness arms
 //!   to panic chosen `(stage, index)` work items.
 
+mod pool;
+
+pub use pool::Pool;
+
 use matelda_obs::{Buckets, Obs, Stopwatch};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// One isolated work-item failure: the stage it happened in, the item
@@ -89,17 +98,26 @@ pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// A deterministic parallel executor.
+/// A deterministic parallel executor over a persistent [`Pool`].
 ///
 /// The contract: `map_n(n, f)` returns `[f(0), f(1), …, f(n-1)]` — the
 /// same vector at every thread count. `f` runs concurrently across
 /// threads, so it must not rely on call order; every stochastic stage in
 /// the workspace derives a per-index seed instead.
+///
+/// Cloning shares the pool: the engine builds one executor per run and
+/// every stage (including clones re-tuned via
+/// [`Executor::with_inline_threshold`]) schedules onto the same
+/// lazily-spawned workers. The calling thread is always participant 0 of
+/// a parallel map, so `threads` means *total* parallelism: a 1-thread
+/// executor never wakes (or spawns) a pool thread, and a map issued from
+/// inside a pool task runs inline instead of re-entering the pool.
 #[derive(Debug, Clone)]
 pub struct Executor {
     threads: usize,
     inline_threshold: usize,
     obs: Obs,
+    pool: Arc<Pool>,
 }
 
 impl Default for Executor {
@@ -109,28 +127,43 @@ impl Default for Executor {
 }
 
 impl Executor {
-    /// Creates an executor with `threads` worker threads; `0` means the
-    /// host's available parallelism.
+    /// Creates an executor with `threads`-way parallelism; `0` means the
+    /// host's available parallelism, resolved once here — never per map.
+    /// No pool thread starts until the first parallel map needs one.
     pub fn new(threads: usize) -> Self {
         let threads = if threads == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
             threads
         };
-        Executor { threads, inline_threshold: 0, obs: Obs::disabled() }
+        Executor {
+            threads,
+            inline_threshold: 0,
+            obs: Obs::disabled(),
+            pool: Arc::new(Pool::new(threads)),
+        }
     }
 
-    /// A single-threaded executor (runs everything inline).
+    /// A single-threaded executor (runs everything inline; its pool
+    /// never spawns a thread).
     pub fn single() -> Self {
-        Executor { threads: 1, inline_threshold: 0, obs: Obs::disabled() }
+        Executor::new(1)
+    }
+
+    /// Number of pool threads actually started so far (0 until the
+    /// first parallel map — the lazy-startup contract, shared across
+    /// clones).
+    pub fn workers_spawned(&self) -> usize {
+        self.pool.workers_spawned()
     }
 
     /// Sets the small-batch serial fallback: a map over fewer than
     /// `threshold × threads` items runs inline on the calling thread
-    /// instead of spawning workers. Thread spawn/join overhead dominates
+    /// without waking (or spawning) pool workers. Even with persistent
+    /// workers, a parallel map costs a condvar round-trip per worker;
     /// stages whose items are cheap and few (the label stage maps ~38
-    /// folds and *loses* time going parallel), so those stages opt in
-    /// per call site. `0` (the default) disables the fallback — the
+    /// folds) opt in per call site — the clone shares the pool, so the
+    /// tuning is free. `0` (the default) disables the fallback — the
     /// executor's map item counts are stage-specific, so a global
     /// threshold would serialize stages that do benefit from threads.
     ///
@@ -146,9 +179,16 @@ impl Executor {
         self.inline_threshold
     }
 
-    /// Whether a map over `n` items takes the serial path.
+    /// Whether a map over `n` items takes the serial path. Maps issued
+    /// from inside a pool task always do: the pool's workers are busy
+    /// running the outer map, so nesting would deadlock-or-oversubscribe
+    /// for no benefit. (The merge order is index-driven either way, so
+    /// inlining never changes results.)
     fn runs_inline(&self, n: usize) -> bool {
-        self.threads <= 1 || n <= 1 || n < self.inline_threshold.saturating_mul(self.threads)
+        self.threads <= 1
+            || n <= 1
+            || n < self.inline_threshold.saturating_mul(self.threads)
+            || pool::in_pool_task()
     }
 
     /// Attaches an observability handle: fault-isolated maps then emit
@@ -179,36 +219,26 @@ impl Executor {
         if self.runs_inline(n) {
             return (0..n).map(f).collect();
         }
-        let workers = self.threads.min(n);
-        let next = AtomicUsize::new(0);
-        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
-        slots.resize_with(n, || None);
-
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    let next = &next;
-                    let f = &f;
-                    scope.spawn(move || {
-                        let mut mine: Vec<(usize, R)> = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= n {
-                                break;
-                            }
-                            mine.push((i, f(i)));
-                        }
-                        mine
-                    })
-                })
-                .collect();
-            for handle in handles {
-                for (i, r) in handle.join().expect("executor worker panicked") {
-                    slots[i] = Some(r);
+        let participants = self.threads.min(n);
+        let ranges = pool::Ranges::new(n, participants);
+        let gathered: Mutex<Vec<Vec<(usize, R)>>> = Mutex::new(Vec::with_capacity(participants));
+        self.pool.run(participants, &|pid| {
+            let mut mine: Vec<(usize, R)> = Vec::new();
+            while let Some((range, _stolen)) = ranges.claim(pid) {
+                for i in range {
+                    mine.push((i, f(i)));
                 }
             }
+            gathered.lock().unwrap_or_else(PoisonError::into_inner).push(mine);
         });
 
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        for batch in gathered.into_inner().unwrap_or_else(PoisonError::into_inner) {
+            for (i, r) in batch {
+                slots[i] = Some(r);
+            }
+        }
         slots.into_iter().map(|s| s.expect("every index produced exactly once")).collect()
     }
 
@@ -281,66 +311,62 @@ impl Executor {
             span.finish_secs();
             return out;
         }
-        let workers = self.threads.min(n);
-        let next = AtomicUsize::new(0);
-        let mut slots: Vec<Option<Result<R, ItemFault>>> = Vec::with_capacity(n);
-        slots.resize_with(n, || None);
-
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    let next = &next;
-                    let guarded = &guarded;
-                    let obs = &self.obs;
-                    let hist = &hist;
-                    scope.spawn(move || {
-                        let mut span = obs.span("exec", stage).with_tid(w as u64 + 1);
-                        let mut busy_us = 0.0f64;
-                        let mut mine: Vec<(usize, Result<R, ItemFault>)> = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= n {
-                                break;
-                            }
-                            match hist {
-                                Some(h) => {
-                                    let watch = Stopwatch::start();
-                                    let r = guarded(i);
-                                    let us = watch.elapsed_secs() * 1e6;
-                                    busy_us += us;
-                                    obs.record(h, us, Buckets::LatencyUs);
-                                    mine.push((i, r));
-                                }
-                                None => mine.push((i, guarded(i))),
-                            }
+        let participants = self.threads.min(n);
+        let ranges = pool::Ranges::new(n, participants);
+        let gathered: Mutex<Vec<Vec<(usize, Result<R, ItemFault>)>>> =
+            Mutex::new(Vec::with_capacity(participants));
+        let obs = &self.obs;
+        // One span per map *participation* (workers are persistent, so a
+        // span per thread lifetime would smear every stage together):
+        // participant `pid` traces on tid lane `pid + 1`, with the items
+        // it claimed, its busy time, and how many chunks it stole.
+        self.pool.run(participants, &|pid| {
+            let mut span = obs.span("exec", stage).with_tid(pid as u64 + 1);
+            let mut busy_us = 0.0f64;
+            let mut steals = 0u64;
+            let mut mine: Vec<(usize, Result<R, ItemFault>)> = Vec::new();
+            while let Some((range, stolen)) = ranges.claim(pid) {
+                steals += u64::from(stolen);
+                for i in range {
+                    match &hist {
+                        Some(h) => {
+                            let watch = Stopwatch::start();
+                            let r = guarded(i);
+                            let us = watch.elapsed_secs() * 1e6;
+                            busy_us += us;
+                            obs.record(h, us, Buckets::LatencyUs);
+                            mine.push((i, r));
                         }
-                        let items = mine.len();
-                        span.arg("items", items as f64);
-                        span.arg("busy_us", busy_us);
-                        let wall = span.finish_secs();
-                        if hist.is_some() {
-                            obs.counter_add(
-                                &format!("exec.worker_items.{stage}.w{w}"),
-                                items as u64,
-                            );
-                            if wall > 0.0 {
-                                obs.gauge_set(
-                                    &format!("exec.worker_util.{stage}.w{w}"),
-                                    (busy_us / 1e6) / wall,
-                                );
-                            }
-                        }
-                        mine
-                    })
-                })
-                .collect();
-            for handle in handles {
-                for (i, r) in handle.join().expect("executor worker panicked") {
-                    slots[i] = Some(r);
+                        None => mine.push((i, guarded(i))),
+                    }
                 }
             }
+            let items = mine.len();
+            span.arg("items", items as f64);
+            span.arg("busy_us", busy_us);
+            let wall = span.finish_secs();
+            if hist.is_some() {
+                obs.counter_add(&format!("exec.worker_items.{stage}.w{pid}"), items as u64);
+                if steals > 0 {
+                    obs.counter_add(&format!("exec.steals.{stage}"), steals);
+                }
+                if wall > 0.0 {
+                    obs.gauge_set(
+                        &format!("exec.worker_util.{stage}.w{pid}"),
+                        (busy_us / 1e6) / wall,
+                    );
+                }
+            }
+            gathered.lock().unwrap_or_else(PoisonError::into_inner).push(mine);
         });
 
+        let mut slots: Vec<Option<Result<R, ItemFault>>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        for batch in gathered.into_inner().unwrap_or_else(PoisonError::into_inner) {
+            for (i, r) in batch {
+                slots[i] = Some(r);
+            }
+        }
         slots.into_iter().map(|s| s.expect("every index produced exactly once")).collect()
     }
 
@@ -697,6 +723,7 @@ fn json_number(v: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn map_n_is_ordered_and_complete() {
@@ -947,5 +974,90 @@ mod tests {
         assert!(!exec.obs().is_enabled());
         assert!(exec.obs().spans().is_empty());
         assert!(exec.obs().histogram("exec.item_us.s").is_none());
+    }
+
+    #[test]
+    fn single_executor_never_spawns_pool_threads_or_worker_spans() {
+        let obs = matelda_obs::Obs::enabled();
+        let exec = Executor::single().with_obs(obs.clone());
+        let out = exec.try_map_n("s", 64, |i| i * 3);
+        assert!(out.iter().all(Result::is_ok));
+        assert_eq!(exec.workers_spawned(), 0, "threads=1 must not start a pool thread");
+        // Exactly the inline span — no worker lanes (tid >= 1).
+        let spans = obs.spans();
+        assert_eq!(spans.len(), 1);
+        assert!(spans.iter().all(|s| s.tid == 0), "no worker span may exist at threads=1");
+    }
+
+    #[test]
+    fn pool_threads_spawn_lazily_and_are_shared_by_clones() {
+        let exec = Executor::new(3);
+        assert_eq!(exec.workers_spawned(), 0, "construction must not spawn");
+        // Inline maps (small n, or an opted-in threshold) still spawn nothing.
+        let _ = exec.map_n(1, |i| i);
+        let _ = exec.clone().with_inline_threshold(64).map_n(100, |i| i);
+        assert_eq!(exec.workers_spawned(), 0, "inline maps must not wake the pool");
+        // The first parallel map spawns threads−1 workers (the caller is
+        // participant 0) — and a clone reuses them rather than spawning.
+        let out = exec.map_n(100, |i| i + 1);
+        assert_eq!(out[99], 100);
+        assert_eq!(exec.workers_spawned(), 2);
+        let clone = exec.clone();
+        let _ = clone.map_n(100, |i| i);
+        assert_eq!(clone.workers_spawned(), 2, "clones share the run's pool");
+    }
+
+    #[test]
+    fn nested_maps_run_inline_without_deadlock() {
+        let exec = Executor::new(4);
+        let inner = exec.clone();
+        let out = exec.map_n(8, |i| inner.map_n(4, |j| i * 10 + j).into_iter().sum::<usize>());
+        let expect: Vec<usize> = (0..8).map(|i| (0..4).map(|j| i * 10 + j).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn workers_survive_item_panics_and_serve_later_maps() {
+        let _armed = faultpoint::arm(Vec::new()); // silence hook + exclusivity
+        let exec = Executor::new(2);
+        let out = exec.try_map_n("first", 8, |i| {
+            if i == 5 {
+                panic!("item 5 dies");
+            }
+            i
+        });
+        assert!(out[5].is_err() && out.iter().filter(|r| r.is_ok()).count() == 7);
+        let spawned = exec.workers_spawned();
+        assert_eq!(spawned, 1);
+        // The same long-lived worker serves the next "stage" correctly.
+        let again = exec.try_map_n("second", 8, |i| i * 2);
+        assert!(again.iter().enumerate().all(|(i, r)| *r.as_ref().unwrap() == i * 2));
+        assert_eq!(exec.workers_spawned(), spawned, "no worker died or respawned");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+
+        // Satellite: pool-scheduled `try_map` is bit-identical to the
+        // serial path at 1/2/4/8 threads under injected faultpoint
+        // panics — faults included, in index order.
+        #[test]
+        fn pool_try_map_bit_identical_across_threads_under_injection(
+            n in 1usize..48,
+            fault_at in proptest::collection::vec(0usize..48, 0..6),
+        ) {
+            let points: Vec<(String, usize)> =
+                fault_at.iter().map(|&i| ("prop".to_string(), i)).collect();
+            let _armed = faultpoint::arm(points);
+            let work = |i: usize| {
+                faultpoint::hit("prop", i);
+                (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 7
+            };
+            let base = Executor::single().try_map_n("prop", n, work);
+            for threads in [2usize, 4, 8] {
+                let out = Executor::new(threads).try_map_n("prop", n, work);
+                proptest::prop_assert_eq!(&out, &base);
+            }
+        }
     }
 }

@@ -1,0 +1,465 @@
+//! The persistent work-stealing pool behind [`crate::Executor`].
+//!
+//! One [`Pool`] lives for a whole pipeline run (the engine builds one per
+//! run and threads it through every stage via `StageContext`), replacing
+//! the per-map `std::thread::scope` spawn/join of earlier revisions.
+//! Design points:
+//!
+//! * **Lazy workers.** No thread is spawned at construction; the first
+//!   parallel map spawns `threads − 1` workers (the *caller* is always
+//!   participant 0, so `--threads 1` never starts a pool thread at all).
+//! * **Chunked range deques with stealing.** A map over `0..n` is split
+//!   into one contiguous region per participant. Owners claim chunks from
+//!   the front of their region, thieves from the back of someone else's —
+//!   each claim is a single CAS on a packed `(head, tail)` word, instead
+//!   of one `fetch_add` per item. Scheduling is dynamic; *results are
+//!   not*: the caller merges in index order, so output is bit-identical
+//!   at every thread count.
+//! * **Fault isolation on long-lived workers.** Work items run under
+//!   `catch_unwind` *inside* the submitted task (see `Executor::try_map`),
+//!   and the pool additionally catches panics that escape a participant's
+//!   task body, re-raising them on the caller after the join barrier — a
+//!   worker thread never unwinds, so it keeps serving later stages after
+//!   an item panic.
+//! * **Clean shutdown.** Dropping the pool (the last `Executor` clone)
+//!   flags shutdown, wakes every worker and joins them.
+//!
+//! Safety: `run` publishes a borrowed task closure to the workers through
+//! a type-erased pointer. The lifetime transmute is sound because `run`
+//! returns only after every participant has checked back in — no worker
+//! can touch the closure (or anything it borrows) once `run` returns.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+thread_local! {
+    /// Set while a thread (worker *or* caller) executes a pool task.
+    /// `Executor` consults it to run nested maps inline — a work item
+    /// that itself maps over the same pool must not wait for workers
+    /// that are busy running *it* (and nesting would oversubscribe the
+    /// host anyway).
+    static IN_POOL_TASK: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the current thread is inside a pool task (any pool).
+pub(crate) fn in_pool_task() -> bool {
+    IN_POOL_TASK.with(Cell::get)
+}
+
+/// RAII task marker: restores the previous flag even on unwind.
+struct TaskFlag {
+    prev: bool,
+}
+
+impl TaskFlag {
+    fn enter() -> Self {
+        TaskFlag { prev: IN_POOL_TASK.with(|c| c.replace(true)) }
+    }
+}
+
+impl Drop for TaskFlag {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_POOL_TASK.with(|c| c.set(prev));
+    }
+}
+
+/// Type-erased pointer to the caller's borrowed task closure. Valid only
+/// between job publication and the last participant check-in; workers
+/// never hold it across jobs.
+#[derive(Clone, Copy)]
+struct TaskRef(*const (dyn Fn(usize) + Sync + 'static));
+
+// SAFETY: the pointee is `Sync` (shared calls from many threads are fine)
+// and outlives every dereference — `Pool::run` joins all participants
+// before returning, and only participants of the current job dereference.
+unsafe impl Send for TaskRef {}
+
+/// Coordination state behind the pool's mutex.
+struct PoolState {
+    /// Bumped once per job; workers compare against their last-seen value.
+    seq: u64,
+    /// The published task of the in-flight job, if any.
+    task: Option<TaskRef>,
+    /// Worker ids `1..participants` take part in the in-flight job.
+    participants: usize,
+    /// Worker participants that have not checked back in yet.
+    remaining: usize,
+    /// First panic payload that escaped a participant's task body.
+    panic: Option<Box<dyn Any + Send>>,
+    /// Set by `Drop`; workers exit their loop.
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Workers wait here for a new job (or shutdown).
+    work: Condvar,
+    /// The caller waits here for the last participant check-in.
+    done: Condvar,
+}
+
+/// A persistent work-stealing thread pool. See the module docs.
+pub struct Pool {
+    /// Pool-thread budget: `threads − 1` (participant 0 is the caller).
+    workers: usize,
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    /// How many pool threads have actually been spawned (0 until the
+    /// first parallel map; the lazy-startup contract is observable).
+    spawned: AtomicUsize,
+    /// Serializes `run` calls from concurrent `Executor` clones.
+    run_lock: Mutex<()>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("workers", &self.workers)
+            .field("spawned", &self.spawned.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Pool {
+    /// A pool that will lazily spawn `threads − 1` worker threads. With
+    /// `threads <= 1` it never spawns anything.
+    pub fn new(threads: usize) -> Self {
+        Pool {
+            workers: threads.saturating_sub(1),
+            shared: Arc::new(Shared {
+                state: Mutex::new(PoolState {
+                    seq: 0,
+                    task: None,
+                    participants: 0,
+                    remaining: 0,
+                    panic: None,
+                    shutdown: false,
+                }),
+                work: Condvar::new(),
+                done: Condvar::new(),
+            }),
+            handles: Mutex::new(Vec::new()),
+            spawned: AtomicUsize::new(0),
+            run_lock: Mutex::new(()),
+        }
+    }
+
+    /// Number of pool threads actually started so far.
+    pub fn workers_spawned(&self) -> usize {
+        self.spawned.load(Ordering::Relaxed)
+    }
+
+    /// Spawns the worker threads on first use.
+    fn ensure_spawned(&self) {
+        if self.workers == 0 || self.spawned.load(Ordering::Acquire) > 0 {
+            return;
+        }
+        let mut handles = self.handles.lock().unwrap_or_else(PoisonError::into_inner);
+        if !handles.is_empty() {
+            return;
+        }
+        for id in 1..=self.workers {
+            let shared = Arc::clone(&self.shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("matelda-pool-{id}"))
+                .spawn(move || worker_loop(&shared, id))
+                .expect("spawn pool worker");
+            handles.push(handle);
+        }
+        self.spawned.store(self.workers, Ordering::Release);
+    }
+
+    /// Runs `task(pid)` once per participant `pid` in `0..participants`:
+    /// participant 0 on the calling thread, the rest on pool workers.
+    /// Returns after *every* participant has finished — the task may
+    /// borrow locals. Panics escaping any participant are re-raised here
+    /// (caller's own panic takes precedence); pool workers survive.
+    ///
+    /// `participants` must be in `2..=threads` (below 2 there is nothing
+    /// to schedule — callers take their inline path instead).
+    pub fn run(&self, participants: usize, task: &(dyn Fn(usize) + Sync)) {
+        debug_assert!(participants >= 2, "single-participant jobs run inline");
+        debug_assert!(participants <= self.workers + 1, "participants exceed pool width");
+        debug_assert!(!in_pool_task(), "Pool::run is not re-entrant from a pool task");
+        self.ensure_spawned();
+        // SAFETY: only erases the lifetime; see module docs — the join
+        // barrier below outlives every dereference.
+        let task_ref = TaskRef(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(task)
+        });
+
+        let _serial = self.run_lock.lock().unwrap_or_else(PoisonError::into_inner);
+        {
+            let mut state = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+            debug_assert!(state.task.is_none(), "a job is already in flight");
+            state.seq += 1;
+            state.task = Some(task_ref);
+            state.participants = participants;
+            state.remaining = participants - 1;
+            state.panic = None;
+        }
+        self.shared.work.notify_all();
+
+        // Participant 0: the caller works too, so `threads = 2` costs one
+        // pool thread and a 1-thread run costs none.
+        let caller_result = catch_unwind(AssertUnwindSafe(|| {
+            let _flag = TaskFlag::enter();
+            task(0);
+        }));
+
+        let worker_panic = {
+            let mut state = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+            while state.remaining > 0 {
+                state = self.shared.done.wait(state).unwrap_or_else(PoisonError::into_inner);
+            }
+            state.task = None;
+            state.panic.take()
+        };
+        if let Err(payload) = caller_result {
+            resume_unwind(payload);
+        }
+        if let Some(payload) = worker_panic {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+            state.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for handle in self.handles.get_mut().unwrap_or_else(PoisonError::into_inner).drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The worker body: wait for a job, run the task if participating, check
+/// back in, repeat until shutdown. Panics from the task are stored for
+/// the caller — the loop itself never unwinds, which is what lets one
+/// worker serve every stage of a run (and survive item panics).
+fn worker_loop(shared: &Shared, id: usize) {
+    let mut last_seen = 0u64;
+    let mut state = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+    loop {
+        if state.shutdown {
+            return;
+        }
+        if state.seq != last_seen {
+            last_seen = state.seq;
+            if id < state.participants {
+                let task = state.task.expect("published job has a task");
+                drop(state);
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    let _flag = TaskFlag::enter();
+                    // SAFETY: the caller blocks in `run` until this
+                    // participant checks in below.
+                    unsafe { (*task.0)(id) }
+                }));
+                state = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+                if let Err(payload) = result {
+                    state.panic.get_or_insert(payload);
+                }
+                state.remaining -= 1;
+                if state.remaining == 0 {
+                    shared.done.notify_one();
+                }
+                continue;
+            }
+        }
+        state = shared.work.wait(state).unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// Per-participant chunked range deques over an index space `0..n`.
+///
+/// Each participant owns one contiguous region, packed into an
+/// `AtomicU64` as `(head << 32) | tail`. The owner claims `chunk`-sized
+/// runs from the front ([`Ranges::claim`] pops its own region first);
+/// when its region drains it steals from the *back* of the next
+/// non-empty region. Every index is claimed exactly once, whole chunks
+/// at a time — one CAS per chunk instead of one `fetch_add` per item.
+pub(crate) struct Ranges {
+    regions: Vec<AtomicU64>,
+    chunk: usize,
+}
+
+/// Aiming for ~8 chunks per participant keeps claims coarse while
+/// leaving enough granularity for stealing to rebalance skewed items.
+const CHUNKS_PER_PARTICIPANT: usize = 8;
+
+/// Chunks never exceed this many items, so late-discovered imbalance
+/// (one huge item at the end of a region) stays stealable.
+const MAX_CHUNK: usize = 1024;
+
+fn pack(head: usize, tail: usize) -> u64 {
+    ((head as u64) << 32) | tail as u64
+}
+
+fn unpack(word: u64) -> (usize, usize) {
+    ((word >> 32) as usize, (word & 0xFFFF_FFFF) as usize)
+}
+
+impl Ranges {
+    /// Splits `0..n` into `participants` near-equal contiguous regions.
+    pub(crate) fn new(n: usize, participants: usize) -> Self {
+        debug_assert!(n <= u32::MAX as usize, "index space exceeds packed range width");
+        let chunk = (n / (participants * CHUNKS_PER_PARTICIPANT).max(1)).clamp(1, MAX_CHUNK);
+        let per = n / participants;
+        let extra = n % participants;
+        let mut regions = Vec::with_capacity(participants);
+        let mut start = 0usize;
+        for p in 0..participants {
+            let len = per + usize::from(p < extra);
+            regions.push(AtomicU64::new(pack(start, start + len)));
+            start += len;
+        }
+        debug_assert_eq!(start, n);
+        Ranges { regions, chunk }
+    }
+
+    /// Claims the next chunk for participant `me`: front of its own
+    /// region, else stolen from the back of another. `None` means the
+    /// whole index space is exhausted (work never re-appears, so one
+    /// failed sweep over all regions is conclusive). The `bool` is
+    /// `true` when the chunk was stolen.
+    pub(crate) fn claim(&self, me: usize) -> Option<(Range<usize>, bool)> {
+        if let Some(range) = Self::pop_front(&self.regions[me], self.chunk) {
+            return Some((range, false));
+        }
+        let parts = self.regions.len();
+        for offset in 1..parts {
+            let victim = (me + offset) % parts;
+            if let Some(range) = Self::pop_back(&self.regions[victim], self.chunk) {
+                return Some((range, true));
+            }
+        }
+        None
+    }
+
+    fn pop_front(region: &AtomicU64, chunk: usize) -> Option<Range<usize>> {
+        let mut word = region.load(Ordering::Acquire);
+        loop {
+            let (head, tail) = unpack(word);
+            if head >= tail {
+                return None;
+            }
+            let new_head = (head + chunk).min(tail);
+            match region.compare_exchange_weak(
+                word,
+                pack(new_head, tail),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(head..new_head),
+                Err(cur) => word = cur,
+            }
+        }
+    }
+
+    fn pop_back(region: &AtomicU64, chunk: usize) -> Option<Range<usize>> {
+        let mut word = region.load(Ordering::Acquire);
+        loop {
+            let (head, tail) = unpack(word);
+            if head >= tail {
+                return None;
+            }
+            let new_tail = tail.saturating_sub(chunk).max(head);
+            match region.compare_exchange_weak(
+                word,
+                pack(head, new_tail),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(new_tail..tail),
+                Err(cur) => word = cur,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn ranges_cover_every_index_exactly_once_serially() {
+        for (n, parts) in [(0usize, 2usize), (1, 2), (7, 3), (100, 4), (1025, 2)] {
+            let ranges = Ranges::new(n, parts);
+            let mut seen = BTreeSet::new();
+            for me in 0..parts {
+                while let Some((range, _)) = ranges.claim(me) {
+                    for i in range {
+                        assert!(seen.insert(i), "index {i} claimed twice (n={n} parts={parts})");
+                    }
+                }
+            }
+            assert_eq!(seen.len(), n, "n={n} parts={parts}");
+        }
+    }
+
+    #[test]
+    fn a_thief_drains_a_region_its_owner_never_touches() {
+        let ranges = Ranges::new(64, 2);
+        let mut count = 0;
+        let mut stole = false;
+        // Participant 0 claims everything; region 1's items arrive stolen.
+        while let Some((range, stolen)) = ranges.claim(0) {
+            count += range.len();
+            stole |= stolen;
+        }
+        assert_eq!(count, 64);
+        assert!(stole, "second region must be reached by stealing");
+    }
+
+    #[test]
+    fn pool_runs_all_participants_and_survives_panics() {
+        let pool = Pool::new(3);
+        assert_eq!(pool.workers_spawned(), 0, "workers must be lazy");
+        let hits = Mutex::new(Vec::new());
+        pool.run(3, &|pid| {
+            hits.lock().unwrap().push(pid);
+        });
+        assert_eq!(pool.workers_spawned(), 2);
+        let mut got = hits.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2]);
+
+        // A panic escaping a worker participant re-raises on the caller…
+        let escaped = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(2, &|pid| {
+                if pid == 1 {
+                    panic!("escaped task panic");
+                }
+            });
+        }));
+        assert!(escaped.is_err());
+        // …and the worker keeps serving jobs afterwards.
+        let count = AtomicUsize::new(0);
+        pool.run(3, &|_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 3);
+        assert_eq!(pool.workers_spawned(), 2, "no respawn after an item panic");
+    }
+
+    #[test]
+    fn single_thread_pool_never_spawns() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.workers_spawned(), 0);
+        drop(pool); // clean shutdown with nothing to join
+    }
+}

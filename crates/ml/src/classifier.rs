@@ -4,6 +4,7 @@
 
 use crate::forest::{RandomForestClassifier, RandomForestConfig};
 use crate::gbm::{GradientBoostingClassifier, GradientBoostingConfig};
+use matelda_exec::Executor;
 
 /// Which learner to fit per column/fold.
 #[derive(Debug, Clone)]
@@ -32,9 +33,17 @@ pub enum FittedClassifier {
 impl FittedClassifier {
     /// Fits the configured learner.
     pub fn fit(kind: &ClassifierKind, x: &[Vec<f32>], y: &[bool]) -> Self {
+        Self::fit_with(kind, x, y, &Executor::single())
+    }
+
+    /// [`FittedClassifier::fit`] with the GBM's binned-histogram build
+    /// parallelized across features on `exec` (bit-identical; see
+    /// [`GradientBoostingClassifier::fit_with`]). Forests have no
+    /// histogram path and ignore the executor.
+    pub fn fit_with(kind: &ClassifierKind, x: &[Vec<f32>], y: &[bool], exec: &Executor) -> Self {
         match kind {
             ClassifierKind::GradientBoosting(cfg) => {
-                FittedClassifier::Gbm(GradientBoostingClassifier::fit(x, y, cfg))
+                FittedClassifier::Gbm(GradientBoostingClassifier::fit_with(x, y, cfg, exec))
             }
             ClassifierKind::RandomForest(cfg) => {
                 FittedClassifier::Forest(RandomForestClassifier::fit(x, y, cfg))

@@ -6,6 +6,7 @@
 
 use crate::binned::BinnedDataset;
 use crate::tree::{RegressionTree, TreeConfig};
+use matelda_exec::Executor;
 
 /// Gradient boosting hyperparameters. Defaults mirror the spirit of
 /// scikit-learn's `GradientBoostingClassifier` (shrinkage 0.1, shallow
@@ -58,6 +59,22 @@ impl GradientBoostingClassifier {
     /// be: with a single class (or no samples) the model collapses to a
     /// constant predictor at the empirical rate.
     pub fn fit(x: &[Vec<f32>], y: &[bool], config: &GradientBoostingConfig) -> Self {
+        Self::fit_with(x, y, config, &Executor::single())
+    }
+
+    /// [`GradientBoostingClassifier::fit`] with binned-histogram
+    /// construction parallelized across features on `exec`. Training is
+    /// bit-identical to the serial path at every thread count (integer
+    /// bin counts, unchanged f64 accumulation order); the parallelism
+    /// only engages for nodes large enough to beat the pool wake — and
+    /// never when the fit itself already runs inside a pool task (the
+    /// nested map inlines).
+    pub fn fit_with(
+        x: &[Vec<f32>],
+        y: &[bool],
+        config: &GradientBoostingConfig,
+        exec: &Executor,
+    ) -> Self {
         assert_eq!(x.len(), y.len(), "feature/label length mismatch");
         let n = x.len();
         let pos = y.iter().filter(|b| **b).count();
@@ -103,7 +120,9 @@ impl GradientBoostingClassifier {
                 hessians[i] = (p * (1.0 - p)).max(1e-9);
             }
             let tree = match &binned {
-                Some(data) => RegressionTree::fit_binned(data, &gradients, &hessians, &tree_config),
+                Some(data) => {
+                    RegressionTree::fit_binned_with(data, &gradients, &hessians, &tree_config, exec)
+                }
                 None => RegressionTree::fit(x, &gradients, &hessians, &tree_config),
             };
             if tree.n_nodes() == 1 && model.trees.len() > 1 {

@@ -13,6 +13,7 @@
 //!   sequence. Equivalence is pinned by tests, not approximate.
 
 use crate::binned::BinnedDataset;
+use matelda_exec::Executor;
 
 /// Tree growth limits.
 #[derive(Debug, Clone)]
@@ -83,13 +84,29 @@ impl RegressionTree {
         hessians: &[f64],
         config: &TreeConfig,
     ) -> Self {
+        Self::fit_binned_with(data, targets, hessians, config, &Executor::single())
+    }
+
+    /// [`RegressionTree::fit_binned`] with per-node histogram
+    /// construction parallelized across features on `exec` (bin counts
+    /// are integers and features are independent, so the histogram — and
+    /// therefore the tree — is bit-identical at every thread count).
+    /// Small nodes stay serial, below a cells threshold that keeps
+    /// the pool wake cheaper than the work it offloads.
+    pub fn fit_binned_with(
+        data: &BinnedDataset,
+        targets: &[f64],
+        hessians: &[f64],
+        config: &TreeConfig,
+        exec: &Executor,
+    ) -> Self {
         assert!(data.n_samples() > 0, "cannot fit a tree on zero samples");
         assert_eq!(data.n_samples(), targets.len());
         assert_eq!(data.n_samples(), hessians.len());
         let mut tree = Self { nodes: Vec::new() };
         let idx: Vec<usize> = (0..data.n_samples()).collect();
-        let hist = node_histogram(data, &idx);
-        tree.grow_binned(data, targets, hessians, &idx, &hist, 0, config);
+        let hist = node_histogram_with(data, &idx, exec);
+        tree.grow_binned(data, targets, hessians, &idx, &hist, 0, config, exec);
         tree
     }
 
@@ -180,6 +197,7 @@ impl RegressionTree {
         hist: &[u32],
         depth: usize,
         config: &TreeConfig,
+        exec: &Executor,
     ) -> usize {
         let leaf_value = |ids: &[usize]| -> f64 {
             let g: f64 = ids.iter().map(|&i| targets[i]).sum();
@@ -223,7 +241,7 @@ impl RegressionTree {
                 // derive the sibling as parent − child. Counts are
                 // integers, so the subtraction is exact.
                 let small = if l.len() <= r.len() { &l } else { &r };
-                let small_hist = node_histogram(data, small);
+                let small_hist = node_histogram_with(data, small, exec);
                 let mut other_hist = hist.to_vec();
                 for (o, s) in other_hist.iter_mut().zip(&small_hist) {
                     *o -= s;
@@ -237,9 +255,9 @@ impl RegressionTree {
                 let id = self.nodes.len();
                 self.nodes.push(Node::Leaf { value: 0.0 });
                 let left =
-                    self.grow_binned(data, targets, hessians, &l, &l_hist, depth + 1, config);
+                    self.grow_binned(data, targets, hessians, &l, &l_hist, depth + 1, config, exec);
                 let right =
-                    self.grow_binned(data, targets, hessians, &r, &r_hist, depth + 1, config);
+                    self.grow_binned(data, targets, hessians, &r, &r_hist, depth + 1, config, exec);
                 self.nodes[id] = Node::Split { feature, threshold, left, right };
                 id
             }
@@ -260,6 +278,32 @@ fn node_histogram(data: &BinnedDataset, idx: &[usize]) -> Vec<u32> {
         }
     }
     hist
+}
+
+/// A node below this many `samples × features` cells builds its
+/// histogram serially — per-feature scans of a small node are cheaper
+/// than a pool wake, and deep-tree nodes shrink geometrically.
+const PARALLEL_HIST_MIN_CELLS: usize = 1 << 16;
+
+/// [`node_histogram`] parallelized across features on `exec`: every
+/// feature's count row is independent and counts are integers, so the
+/// concatenated histogram equals the serial one exactly. Falls back to
+/// the serial scan for small nodes (and on 1-thread executors).
+fn node_histogram_with(data: &BinnedDataset, idx: &[usize], exec: &Executor) -> Vec<u32> {
+    let n_features = data.n_features();
+    if exec.threads() <= 1 || idx.len().saturating_mul(n_features) < PARALLEL_HIST_MIN_CELLS {
+        return node_histogram(data, idx);
+    }
+    let max_bins = data.max_bins();
+    let rows = exec.map_n(n_features, |f| {
+        let codes = data.codes_of(f);
+        let mut row = vec![0u32; max_bins];
+        for &i in idx {
+            row[codes[i] as usize] += 1;
+        }
+        row
+    });
+    rows.concat()
 }
 
 /// Binned counterpart of [`best_split`], returning `(feature, split_bin)`.
@@ -535,6 +579,28 @@ mod tests {
                     &TreeConfig { max_depth: depth, min_samples_leaf: min_leaf },
                 );
             }
+        }
+    }
+
+    #[test]
+    fn parallel_histogram_trees_are_bit_identical_to_serial() {
+        // 2200 samples × 33 features clears PARALLEL_HIST_MIN_CELLS, so
+        // the root histogram really fans out across features; the fitted
+        // trees must match the serial build arena-for-arena.
+        let n = 2200usize;
+        let nf = 33usize;
+        let x: Vec<Vec<f32>> =
+            (0..n).map(|i| (0..nf).map(|f| ((i * (f + 3)) % 7) as f32).collect()).collect();
+        let targets: Vec<f64> = (0..n).map(|i| ((i % 11) as f64 - 5.0) * 0.125).collect();
+        let hessians: Vec<f64> = (0..n).map(|i| 0.5 + (i % 3) as f64).collect();
+        let config = TreeConfig { max_depth: 4, min_samples_leaf: 1 };
+        let data = BinnedDataset::build(&x).expect("palette data is binnable");
+        let serial = RegressionTree::fit_binned(&data, &targets, &hessians, &config);
+        for threads in [2, 4, 8] {
+            let exec = Executor::new(threads);
+            let parallel =
+                RegressionTree::fit_binned_with(&data, &targets, &hessians, &config, &exec);
+            assert_eq!(serial, parallel, "threads={threads}");
         }
     }
 

@@ -14,8 +14,9 @@
 //!     lake (the oracle protocol of the paper's experiments), print the
 //!     detection report and, because ground truth is available, P/R/F1.
 //!     Variants: standard (default), edf, rs, santos, sf, tpdf, tucf.
-//!     --threads N sets the executor's worker count (default: available
-//!     parallelism); output is bit-identical at any thread count.
+//!     --threads N sizes the run's persistent work-stealing pool
+//!     (default: available parallelism; 1 = fully inline, no pool
+//!     threads); output is bit-identical at any thread count.
 //!     --report prints the per-stage RunReport as JSON on stdout,
 //!     including the structured fault log of a degraded run.
 //!     --read chooses the ingestion mode: strict fails on the first
