@@ -150,6 +150,79 @@ fn observability_secs(lake: &GeneratedLake, reps: usize) -> (f64, f64, usize, us
     (median(offs), median(ons), probe.spans().len(), probe.events().len())
 }
 
+/// Measures what serving costs: a full durable detection requested
+/// through a live `matelda-serve` daemon (loopback TCP, framing,
+/// admission, registry lookup, memo-cache key derivation) vs the same
+/// `detect_durable` called directly. A distinct seed per rep keeps every
+/// run a fresh full pipeline — no memo hits, no stage restores — so the
+/// delta is pure request overhead. Direct/served reps interleave so
+/// host drift cancels. Returns (direct_secs, served_secs).
+fn serve_secs(reps: usize) -> (f64, f64) {
+    use matelda_serve::{request, serve, DetectJob, Request, Response, ServeOptions};
+    let lake = bench_lake();
+    let root = std::env::temp_dir().join(format!("matelda-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let dirty_dir = root.join("dirty");
+    let clean_dir = root.join("clean");
+    matelda_table::write_lake_to_dir(&lake.dirty, &dirty_dir).expect("write dirty lake");
+    matelda_table::write_lake_to_dir(&lake.clean, &clean_dir).expect("write clean lake");
+    let handle =
+        serve(ServeOptions { state_dir: root.join("state"), threads: 1, ..Default::default() })
+            .expect("bench daemon");
+    let addr = handle.addr();
+    let template = DetectJob {
+        dirty_dir: dirty_dir.to_str().unwrap().to_string(),
+        clean_dir: clean_dir.to_str().unwrap().to_string(),
+        budget: BUDGET as u64,
+        seed: 999_999,
+        variant: "standard".to_string(),
+        deadline_ms: 0,
+        fresh: true,
+    };
+    // Warm the registry and the page cache before timing anything.
+    request(addr, &Request::Detect(template.clone())).expect("warm request");
+
+    // The direct side works on the same from-disk parse the daemon's
+    // registry holds, with the same derived truth, per-request tracing
+    // and per-stage checkpointing — only the service layer differs.
+    let opts = matelda_table::ReadOptions::strict();
+    let (dirty_lake, _) = matelda_table::read_lake_from_dir_with(&dirty_dir, &opts).expect("dirty");
+    let (clean_lake, _) = matelda_table::read_lake_from_dir_with(&clean_dir, &opts).expect("clean");
+    let truth = matelda_table::diff_lakes(&dirty_lake, &clean_lake);
+    let direct_run = |seed: u64| -> f64 {
+        let cfg = MateldaConfig { threads: 1, seed, ..Default::default() };
+        let durability =
+            Durability { checkpoint_dir: Some(root.join(format!("direct-{seed}"))), resume: true };
+        let mut oracle = Oracle::new(&truth);
+        let pipeline = Matelda::new(cfg).with_obs(matelda_obs::Obs::enabled());
+        let start = std::time::Instant::now();
+        let result = pipeline
+            .detect_durable(&dirty_lake, &mut oracle, BUDGET, &durability)
+            .expect("direct durable run");
+        black_box(result);
+        start.elapsed().as_secs_f64()
+    };
+    let served_run = |seed: u64| -> f64 {
+        let job = DetectJob { seed, ..template.clone() };
+        let start = std::time::Instant::now();
+        match request(addr, &Request::Detect(job)).expect("served run") {
+            Response::Result(r) => black_box(r),
+            other => panic!("bench request failed: {other:?}"),
+        };
+        start.elapsed().as_secs_f64()
+    };
+    let (mut directs, mut serveds) = (Vec::new(), Vec::new());
+    for rep in 0..reps {
+        let seed = 1_000 + rep as u64;
+        directs.push(direct_run(seed));
+        serveds.push(served_run(seed));
+    }
+    let _ = request(addr, &Request::Shutdown);
+    handle.join();
+    let _ = std::fs::remove_dir_all(&root);
+    (median(directs), median(serveds))
+}
+
 fn bench_stages(c: &mut Criterion) {
     let lake = bench_lake();
     let n_threads = std::thread::available_parallelism().map_or(4, |n| n.get()).max(2);
@@ -243,7 +316,9 @@ fn emit_json() {
     let total_n: f64 = multi.iter().map(|s| s.1).sum();
     // Fault-isolation overhead: try_map vs map on the same workload.
     // Target: < 5% (the per-item catch_unwind must be nearly free).
-    let (map_secs, try_secs) = fault_isolation_secs(&lake, 5);
+    // Deep sample: each rep is only ~10ms, so a 5-rep median wobbles
+    // past the budget on a busy 1-core host; 11 reps hold it steady.
+    let (map_secs, try_secs) = fault_isolation_secs(&lake, 11);
     let overhead_pct = if map_secs > 0.0 { 100.0 * (try_secs - map_secs) / map_secs } else { 0.0 };
     // Checkpoint overhead: snapshot write+read on every stage vs an
     // uncheckpointed run. Target: < 5% end-to-end. More reps than the
@@ -259,6 +334,16 @@ fn emit_json() {
     let (obs_off_secs, obs_on_secs, obs_spans, obs_events) = observability_secs(&lake, 9);
     let obs_pct =
         if obs_off_secs > 0.0 { 100.0 * (obs_on_secs - obs_off_secs) / obs_off_secs } else { 0.0 };
+    // Serving overhead: a full durable detection through the daemon vs
+    // direct detect_durable. Target: < 5% — the service layer (TCP,
+    // framing, admission, registry, cache keying) must be nearly free
+    // relative to the detection it wraps.
+    let (serve_direct_secs, serve_served_secs) = serve_secs(9);
+    let serve_pct = if serve_direct_secs > 0.0 {
+        100.0 * (serve_served_secs - serve_direct_secs) / serve_direct_secs
+    } else {
+        0.0
+    };
     let scale = std::env::var("MATELDA_SCALE").unwrap_or_else(|_| "full".to_string());
     let threads_compared =
         if n_threads == 2 { "[1,2]".to_string() } else { format!("[1,2,{n_threads}]") };
@@ -272,7 +357,7 @@ fn emit_json() {
         )
     };
     let json = format!(
-        "{{\"bench\":\"stages\",\"scale\":\"{scale}\",\"host_parallelism\":{host},\"threads_compared\":{threads_compared},\"determinism_thread_counts\":[1,2,4,8],\"reps\":{reps},\"total_secs_1t\":{total_1:.6},\"total_secs_2t\":{total_2:.6},\"end_to_end_speedup_2t\":{sp2:.3}{extra_totals},\"flagged_cells\":{flagged_1},\"deterministic_across_threads\":true,\"fault_isolation\":{{\"map_secs\":{map_secs:.6},\"try_map_secs\":{try_secs:.6},\"overhead_pct\":{overhead_pct:.2},\"target_pct\":5.0}},\"checkpoint\":{{\"rows_per_table\":{ckpt_rows},\"plain_secs\":{plain_secs:.6},\"durable_secs\":{durable_secs:.6},\"overhead_pct\":{ckpt_pct:.2},\"target_pct\":5.0,\"resume_secs\":{resume_secs:.6},\"resume_speedup\":{resume_speedup:.2}}},\"observability\":{{\"off_secs\":{obs_off_secs:.6},\"on_secs\":{obs_on_secs:.6},\"overhead_pct\":{obs_pct:.2},\"target_pct\":5.0,\"spans\":{obs_spans},\"events\":{obs_events}}},\"stages\":[{stages_json}]}}\n",
+        "{{\"bench\":\"stages\",\"scale\":\"{scale}\",\"host_parallelism\":{host},\"threads_compared\":{threads_compared},\"determinism_thread_counts\":[1,2,4,8],\"reps\":{reps},\"total_secs_1t\":{total_1:.6},\"total_secs_2t\":{total_2:.6},\"end_to_end_speedup_2t\":{sp2:.3}{extra_totals},\"flagged_cells\":{flagged_1},\"deterministic_across_threads\":true,\"fault_isolation\":{{\"map_secs\":{map_secs:.6},\"try_map_secs\":{try_secs:.6},\"overhead_pct\":{overhead_pct:.2},\"target_pct\":5.0}},\"checkpoint\":{{\"rows_per_table\":{ckpt_rows},\"plain_secs\":{plain_secs:.6},\"durable_secs\":{durable_secs:.6},\"overhead_pct\":{ckpt_pct:.2},\"target_pct\":5.0,\"resume_secs\":{resume_secs:.6},\"resume_speedup\":{resume_speedup:.2}}},\"observability\":{{\"off_secs\":{obs_off_secs:.6},\"on_secs\":{obs_on_secs:.6},\"overhead_pct\":{obs_pct:.2},\"target_pct\":5.0,\"spans\":{obs_spans},\"events\":{obs_events}}},\"serve\":{{\"direct_secs\":{serve_direct_secs:.6},\"served_secs\":{serve_served_secs:.6},\"overhead_pct\":{serve_pct:.2},\"target_pct\":5.0}},\"stages\":[{stages_json}]}}\n",
         host = std::thread::available_parallelism().map_or(1, |v| v.get()),
         ckpt_rows = CKPT_ROWS,
         sp2 = if total_2 > 0.0 { total_1 / total_2 } else { 1.0 },

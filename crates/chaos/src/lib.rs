@@ -183,6 +183,18 @@ impl FaultPlan {
     }
 }
 
+/// Corrupts one file in place, seed-deterministically: reads it, applies
+/// [`corrupt_bytes`] with an RNG derived from `seed` and the file name,
+/// writes the damage back. The serve memo-cache tests use this to prove
+/// a checksum-validated cache entry is recomputed, never served, after
+/// on-disk damage.
+pub fn corrupt_file(path: &Path, kind: Corruption, seed: u64) -> io::Result<()> {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("file");
+    let mut rng = StdRng::seed_from_u64(seed ^ fnv1a(name));
+    let bytes = std::fs::read(path)?;
+    std::fs::write(path, corrupt_bytes(&bytes, kind, &mut rng))
+}
+
 /// Applies one corruption to a byte buffer (pure; exposed so tests can
 /// corrupt in memory without touching disk).
 pub fn corrupt_bytes(bytes: &[u8], kind: Corruption, rng: &mut StdRng) -> Vec<u8> {

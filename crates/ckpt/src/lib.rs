@@ -37,5 +37,8 @@ pub mod store;
 pub mod wire;
 
 pub use manifest::{Manifest, FORMAT_VERSION};
-pub use store::{CheckpointStore, CkptError, CrashDirective, CrashMode, CRASH_ENV};
+pub use store::{
+    decode_envelope, encode_envelope, CheckpointStore, CkptError, CrashDirective, CrashMode,
+    CRASH_ENV,
+};
 pub use wire::{DecodeError, Reader, Writer};

@@ -103,6 +103,12 @@ impl Manifest {
 
     /// Checks a manifest read from disk against this (live) run,
     /// naming the first differing field. `threads` is exempt.
+    ///
+    /// Both sides carry their full identity ([`Manifest::identity`]) in
+    /// the error, so a foreign-checkpoint rejection is triageable from
+    /// the log line alone: which config hash and which lake fingerprint
+    /// the checkpoint was written for, and which ones the rejecting run
+    /// had.
     pub fn validate_against(&self, disk: &Manifest) -> Result<(), CkptError> {
         let fields: [(&str, u64, u64); 4] = [
             ("config", self.config_hash, disk.config_hash),
@@ -114,12 +120,25 @@ impl Manifest {
             if live != stored {
                 return Err(CkptError::Mismatch {
                     what,
-                    expected: format!("{stored:#018x}"),
-                    found: format!("{live:#018x}"),
+                    expected: format!("{stored:#018x} [checkpoint {}]", disk.identity()),
+                    found: format!("{live:#018x} [current run {}]", self.identity()),
                 });
             }
         }
         Ok(())
+    }
+
+    /// A compact one-line identity for log messages: every hashed field
+    /// plus the overall manifest hash.
+    pub fn identity(&self) -> String {
+        format!(
+            "config {:#018x}, lake {:#018x}, seed {}, budget {}, manifest hash {:#018x}",
+            self.config_hash,
+            self.lake_fingerprint,
+            self.seed,
+            self.budget,
+            self.hash()
+        )
     }
 }
 
@@ -191,5 +210,26 @@ mod tests {
         let mut disk = live;
         disk.threads = 1;
         live.validate_against(&disk).unwrap();
+    }
+
+    #[test]
+    fn mismatch_message_carries_both_identities() {
+        let live = manifest();
+        let mut disk = live;
+        disk.lake_fingerprint = 0xDEAD_BEEF;
+        let msg = live.validate_against(&disk).unwrap_err().to_string();
+        // Both sides' config hashes and lake fingerprints must appear, so
+        // a foreign-checkpoint rejection is triageable from logs alone.
+        for needle in [
+            format!("{:#018x}", disk.lake_fingerprint),
+            format!("{:#018x}", live.lake_fingerprint),
+            format!("config {:#018x}", live.config_hash),
+            disk.identity(),
+            live.identity(),
+        ] {
+            assert!(msg.contains(&needle), "missing {needle:?} in: {msg}");
+        }
+        assert!(msg.contains("checkpoint"), "got: {msg}");
+        assert!(msg.contains("current run"), "got: {msg}");
     }
 }

@@ -300,10 +300,17 @@ impl CheckpointStore {
             });
         }
         if manifest_hash != self.manifest.hash() {
+            // The envelope only carries the combined hash, but the
+            // rejecting run knows its own full identity — include it so
+            // the log line says which config/lake/seed refused the file.
             return Err(CkptError::Mismatch {
                 what: "manifest hash",
-                expected: format!("{:#018x}", self.manifest.hash()),
-                found: format!("{manifest_hash:#018x}"),
+                expected: format!("{manifest_hash:#018x} [from {}]", path.display()),
+                found: format!(
+                    "{:#018x} [current run {}]",
+                    self.manifest.hash(),
+                    self.manifest.identity()
+                ),
             });
         }
         if self.obs.is_enabled() {

@@ -164,7 +164,24 @@ impl<'a> StageContext<'a> {
         // One persistent worker pool per run: the Executor owns it, every
         // stage maps through this one instance (clones share the pool),
         // and its threads wind down when the context drops.
-        let executor = Executor::new(config.threads).with_obs(obs.clone());
+        let executor = Executor::new(config.threads);
+        Self::with_executor(lake, config, obs, executor)
+    }
+
+    /// [`StageContext::with_obs`] against a caller-supplied executor —
+    /// the seam that lets a daemon run many concurrent detections on one
+    /// shared worker pool instead of spawning a pool per request. The
+    /// executor is re-bound to `obs` so worker spans land in *this*
+    /// run's trace, not a previous tenant's; `config.threads` is ignored
+    /// in favour of the executor's own width (thread count never changes
+    /// result bits).
+    pub fn with_executor(
+        lake: &'a Lake,
+        config: &'a MateldaConfig,
+        obs: Obs,
+        executor: Executor,
+    ) -> Self {
+        let executor = executor.with_obs(obs.clone());
         let report = RunReport::new(executor.threads());
         StageContext {
             lake,

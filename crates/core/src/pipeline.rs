@@ -17,7 +17,7 @@ use crate::snapshot::{decode_snapshot, encode_snapshot, ArtifactCodec, CtxState}
 use matelda_ckpt::{CheckpointStore, CkptError, Manifest};
 use matelda_detect::FeatureConfig;
 use matelda_embed::encoder::EncoderConfig;
-use matelda_exec::{faultpoint, RunReport};
+use matelda_exec::{faultpoint, Executor, RunReport};
 use matelda_ml::ClassifierKind;
 use matelda_obs::{Obs, Val};
 use matelda_table::fingerprint::Fnv1a;
@@ -161,6 +161,42 @@ pub struct DetectionResult {
     pub quarantine: crate::engine::QuarantineReport,
 }
 
+impl DetectionResult {
+    /// An order-stable FNV-1a digest of everything the durability
+    /// contract promises to reproduce: predictions, label spend, fold
+    /// counts and the quarantine record (stage wall times are excluded
+    /// on purpose). Crash-recovery tests — and the serve client —
+    /// compare this value between a clean run and a
+    /// crashed-then-resumed one.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_u64(self.predicted.count() as u64);
+        for id in self.predicted.iter_set() {
+            h.write_u64(id.table as u64);
+            h.write_u64(id.row as u64);
+            h.write_u64(id.col as u64);
+        }
+        h.write_u64(self.labels_used as u64);
+        h.write_u64(self.n_domain_folds as u64);
+        h.write_u64(self.n_quality_folds as u64);
+        let q = &self.quarantine;
+        h.write_u64(q.tables.len() as u64);
+        for &t in &q.tables {
+            h.write_u64(t as u64);
+        }
+        h.write_u64(q.columns.len() as u64);
+        for &(t, c) in &q.columns {
+            h.write_u64(t as u64);
+            h.write_u64(c as u64);
+        }
+        h.write_u64(q.fold_fallbacks.len() as u64);
+        for &f in &q.fold_fallbacks {
+            h.write_u64(f as u64);
+        }
+        h.finish()
+    }
+}
+
 /// Checkpoint/resume options for [`Matelda::detect_durable`].
 #[derive(Debug, Clone, Default)]
 pub struct Durability {
@@ -255,13 +291,16 @@ where
 pub struct Matelda {
     config: MateldaConfig,
     obs: Obs,
+    /// A caller-supplied executor (see [`Matelda::with_executor`]);
+    /// `None` builds a fresh pool per run from `config.threads`.
+    executor: Option<Executor>,
 }
 
 impl Matelda {
     /// Creates a pipeline with the given configuration (observability
     /// disabled — recording costs nothing until a handle is attached).
     pub fn new(config: MateldaConfig) -> Self {
-        Self { config, obs: Obs::disabled() }
+        Self { config, obs: Obs::disabled(), executor: None }
     }
 
     /// Attaches an observability handle: the run emits a `run` span,
@@ -277,6 +316,38 @@ impl Matelda {
     /// The attached observability handle.
     pub fn obs(&self) -> &Obs {
         &self.obs
+    }
+
+    /// Runs this pipeline's stages on a caller-supplied executor instead
+    /// of spawning a worker pool per run. Clones of one [`Executor`]
+    /// share a single pool, so a long-lived service can run many
+    /// sequential — or concurrent — detections without respawning
+    /// threads; [`MateldaConfig::threads`] is then ignored in favour of
+    /// the executor's width. Results are bit-identical either way.
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = Some(executor);
+        self
+    }
+
+    /// The determinism identity of a run over `lake` with this
+    /// configuration and `budget`: the same [`Manifest`] that
+    /// [`Matelda::detect_durable`] stamps into checkpoints. Its
+    /// [`Manifest::hash`] covers exactly the inputs that shape output
+    /// bits (config, lake fingerprint, seed, budget — threads exempt),
+    /// which makes it a safe memo-cache key: equal hash ⇒ bit-equal
+    /// result.
+    pub fn manifest(&self, lake: &Lake, budget: usize) -> Manifest {
+        Manifest {
+            config_hash: config_hash(&self.config),
+            lake_fingerprint: lake_fingerprint(lake),
+            seed: self.config.seed,
+            budget: budget as u64,
+            // Informational only — never hashed or validated.
+            threads: match &self.executor {
+                Some(e) => e.threads() as u64,
+                None => self.config.threads as u64,
+            },
+        }
     }
 
     /// Runs the full staged pipeline on `lake` with a total labeling
@@ -318,7 +389,10 @@ impl Matelda {
         opts: &Durability,
     ) -> Result<DetectionResult, CkptError> {
         let cfg = &self.config;
-        let mut ctx = StageContext::with_obs(lake, cfg, self.obs.clone());
+        let mut ctx = match &self.executor {
+            Some(exec) => StageContext::with_executor(lake, cfg, self.obs.clone(), exec.clone()),
+            None => StageContext::with_obs(lake, cfg, self.obs.clone()),
+        };
         // The run span scopes the whole pipeline: stage spans nest under
         // it, and an error path still records it on drop.
         let mut run_span = self.obs.span_scope("run", "detect");
@@ -327,13 +401,8 @@ impl Matelda {
 
         let store = match &opts.checkpoint_dir {
             Some(dir) => {
-                let manifest = Manifest {
-                    config_hash: config_hash(cfg),
-                    lake_fingerprint: lake_fingerprint(lake),
-                    seed: cfg.seed,
-                    budget: budget as u64,
-                    threads: ctx.executor.threads() as u64,
-                };
+                let mut manifest = self.manifest(lake, budget);
+                manifest.threads = ctx.executor.threads() as u64;
                 Some(CheckpointStore::open(dir, manifest, opts.resume)?.with_obs(self.obs.clone()))
             }
             None => None,

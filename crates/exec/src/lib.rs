@@ -24,7 +24,7 @@
 
 mod pool;
 
-pub use pool::Pool;
+pub use pool::{Pool, WEDGE_FAULTPOINT};
 
 use matelda_obs::{Buckets, Obs, Stopwatch};
 use std::fmt;
@@ -203,6 +203,26 @@ impl Executor {
     /// The attached observability handle.
     pub fn obs(&self) -> &Obs {
         &self.obs
+    }
+
+    /// Bounds how long dropping the underlying [`Pool`] waits for worker
+    /// threads to exit before detaching stragglers (see
+    /// [`Pool::set_join_deadline`]). Shared across all clones of this
+    /// executor — the pool is the unit of shutdown, not the clone.
+    pub fn with_join_deadline(self, deadline: Duration) -> Self {
+        self.pool.set_join_deadline(deadline);
+        self
+    }
+
+    /// Attaches a telemetry handle to the underlying [`Pool`] for
+    /// shutdown leak reports (`pool.leak` events,
+    /// `exec.pool.leaked_workers` counter). Deliberately separate from
+    /// [`Executor::with_obs`]: per-run handles come and go with each
+    /// request, while pool-level telemetry belongs to whoever owns the
+    /// pool's lifetime (e.g. a daemon's own handle).
+    pub fn with_pool_obs(self, obs: &Obs) -> Self {
+        self.pool.attach_obs(obs);
+        self
     }
 
     /// The worker-thread count.

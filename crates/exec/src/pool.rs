@@ -21,14 +21,22 @@
 //!   task body, re-raising them on the caller after the join barrier — a
 //!   worker thread never unwinds, so it keeps serving later stages after
 //!   an item panic.
-//! * **Clean shutdown.** Dropping the pool (the last `Executor` clone)
-//!   flags shutdown, wakes every worker and joins them.
+//! * **Clean shutdown, bounded.** Dropping the pool (the last `Executor`
+//!   clone) flags shutdown, wakes every worker and joins them — but only
+//!   until a join deadline ([`Pool::set_join_deadline`]). A worker that
+//!   refuses to exit (wedged in foreign code, a runaway loop) is
+//!   *detached* instead of hanging the drop forever, and the leak is
+//!   reported through the attached [`Obs`] handle by thread name
+//!   (`pool.leak` event + `exec.pool.leaked_workers` counter), so a
+//!   long-lived host (the serve daemon) can shut down on time and still
+//!   tell operators exactly which thread it abandoned.
 //!
 //! Safety: `run` publishes a borrowed task closure to the workers through
 //! a type-erased pointer. The lifetime transmute is sound because `run`
 //! returns only after every participant has checked back in — no worker
 //! can touch the closure (or anything it borrows) once `run` returns.
 
+use matelda_obs::{Obs, Val};
 use std::any::Any;
 use std::cell::Cell;
 use std::ops::Range;
@@ -36,6 +44,22 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The faultpoint a wedged-worker regression test arms (index = worker
+/// id): the armed worker sleeps through shutdown instead of exiting
+/// promptly, modelling a thread stuck in foreign code. Production never
+/// arms it.
+pub const WEDGE_FAULTPOINT: &str = "pool:wedge";
+
+/// How long a wedged worker sleeps when [`WEDGE_FAULTPOINT`] is armed —
+/// far beyond any test join deadline, far below anything that would
+/// stall a test binary's process exit (detached threads don't block it).
+const WEDGE_SLEEP: Duration = Duration::from_secs(5);
+
+/// Default drop-time join deadline. Generous: healthy workers exit in
+/// microseconds, so hitting this at all means a worker is truly wedged.
+const DEFAULT_JOIN_DEADLINE: Duration = Duration::from_secs(2);
 
 thread_local! {
     /// Set while a thread (worker *or* caller) executes a pool task.
@@ -94,6 +118,10 @@ struct PoolState {
     panic: Option<Box<dyn Any + Send>>,
     /// Set by `Drop`; workers exit their loop.
     shutdown: bool,
+    /// Workers that have observed shutdown and left their loop. `Drop`
+    /// waits (bounded) for this to reach the spawned count before
+    /// joining — a wedged worker keeps the count short and is detached.
+    exited: usize,
 }
 
 struct Shared {
@@ -115,6 +143,12 @@ pub struct Pool {
     spawned: AtomicUsize,
     /// Serializes `run` calls from concurrent `Executor` clones.
     run_lock: Mutex<()>,
+    /// Drop-time join deadline, milliseconds (see [`Pool::set_join_deadline`]).
+    join_deadline_ms: AtomicU64,
+    /// Telemetry sink for shutdown leak reports. Attached after
+    /// construction (the pool is shared through an `Arc`), hence the
+    /// interior mutex; the handle itself is a cheap clone.
+    obs: Mutex<Obs>,
 }
 
 impl std::fmt::Debug for Pool {
@@ -140,6 +174,7 @@ impl Pool {
                     remaining: 0,
                     panic: None,
                     shutdown: false,
+                    exited: 0,
                 }),
                 work: Condvar::new(),
                 done: Condvar::new(),
@@ -147,12 +182,28 @@ impl Pool {
             handles: Mutex::new(Vec::new()),
             spawned: AtomicUsize::new(0),
             run_lock: Mutex::new(()),
+            join_deadline_ms: AtomicU64::new(DEFAULT_JOIN_DEADLINE.as_millis() as u64),
+            obs: Mutex::new(Obs::disabled()),
         }
     }
 
     /// Number of pool threads actually started so far.
     pub fn workers_spawned(&self) -> usize {
         self.spawned.load(Ordering::Relaxed)
+    }
+
+    /// Bounds how long `Drop` waits for workers to exit before detaching
+    /// the stragglers and reporting them as leaks. A wedged worker can
+    /// delay shutdown by at most this much — it can never hang it.
+    pub fn set_join_deadline(&self, deadline: Duration) {
+        self.join_deadline_ms.store(deadline.as_millis() as u64, Ordering::Relaxed);
+    }
+
+    /// Attaches the telemetry handle shutdown leak reports go to. The
+    /// pool records nothing else — per-map tracing lives on the
+    /// `Executor` — so a disabled handle (the default) costs nothing.
+    pub fn attach_obs(&self, obs: &Obs) {
+        *self.obs.lock().unwrap_or_else(PoisonError::into_inner) = obs.clone();
     }
 
     /// Spawns the worker threads on first use.
@@ -240,8 +291,42 @@ impl Drop for Pool {
             state.shutdown = true;
         }
         self.shared.work.notify_all();
+        // Wait — bounded — for every worker to acknowledge shutdown.
+        // Workers bump `exited` on their way out; a wedged one keeps the
+        // count short until the deadline expires.
+        let spawned = self.spawned.load(Ordering::Acquire);
+        let deadline =
+            Instant::now() + Duration::from_millis(self.join_deadline_ms.load(Ordering::Relaxed));
+        {
+            let mut state = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+            while state.exited < spawned {
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    break;
+                }
+                let (next, _timed_out) = self
+                    .shared
+                    .done
+                    .wait_timeout(state, left)
+                    .unwrap_or_else(PoisonError::into_inner);
+                state = next;
+            }
+        }
+        let obs = self.obs.get_mut().unwrap_or_else(PoisonError::into_inner).clone();
+        let mut leaked = 0u64;
         for handle in self.handles.get_mut().unwrap_or_else(PoisonError::into_inner).drain(..) {
-            let _ = handle.join();
+            if handle.is_finished() {
+                let _ = handle.join();
+            } else {
+                // Past the deadline and still running: detach instead of
+                // hanging shutdown, and name the thread we abandoned.
+                leaked += 1;
+                let name = handle.thread().name().unwrap_or("<unnamed>").to_owned();
+                obs.event("pool.leak", &[("worker", Val::S(&name))]);
+            }
+        }
+        if leaked > 0 {
+            obs.counter_add("exec.pool.leaked_workers", leaked);
         }
     }
 }
@@ -255,6 +340,15 @@ fn worker_loop(shared: &Shared, id: usize) {
     let mut state = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
     loop {
         if state.shutdown {
+            drop(state);
+            // Test hook: a "wedged" worker stalls past any reasonable join
+            // deadline so the bounded-drop path can be exercised.
+            if crate::faultpoint::is_armed(WEDGE_FAULTPOINT, id) {
+                std::thread::sleep(WEDGE_SLEEP);
+            }
+            let mut state = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+            state.exited += 1;
+            shared.done.notify_all();
             return;
         }
         if state.seq != last_seen {
@@ -393,6 +487,7 @@ impl Ranges {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use matelda_obs::OwnedVal;
     use std::collections::BTreeSet;
 
     #[test]
@@ -461,5 +556,47 @@ mod tests {
         let pool = Pool::new(1);
         assert_eq!(pool.workers_spawned(), 0);
         drop(pool); // clean shutdown with nothing to join
+    }
+
+    #[test]
+    fn clean_shutdown_reports_no_leaked_workers() {
+        let _guard = crate::faultpoint::quiesce();
+        let obs = Obs::enabled();
+        let pool = Pool::new(3);
+        pool.attach_obs(&obs);
+        pool.run(3, &|_| {});
+        assert_eq!(pool.workers_spawned(), 2);
+        drop(pool);
+        assert_eq!(obs.counter("exec.pool.leaked_workers"), None);
+        assert!(obs.events_named("pool.leak").is_empty());
+    }
+
+    #[test]
+    fn wedged_worker_is_detached_and_reported_instead_of_hanging_drop() {
+        let _guard = crate::faultpoint::arm([(WEDGE_FAULTPOINT.to_owned(), 1)]);
+        let obs = Obs::enabled();
+        let pool = Pool::new(2);
+        pool.attach_obs(&obs);
+        pool.set_join_deadline(Duration::from_millis(100));
+        pool.run(2, &|_| {});
+        assert_eq!(pool.workers_spawned(), 1);
+        let started = Instant::now();
+        drop(pool);
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < WEDGE_SLEEP,
+            "drop must return before the wedged worker wakes (took {elapsed:?})"
+        );
+        assert_eq!(obs.counter("exec.pool.leaked_workers"), Some(1));
+        let leaks = obs.events_named("pool.leak");
+        assert_eq!(leaks.len(), 1);
+        assert!(
+            leaks[0]
+                .fields
+                .iter()
+                .any(|(k, v)| k == "worker" && matches!(v, OwnedVal::S(n) if n == "matelda-pool-1")),
+            "leak event must name the abandoned thread: {:?}",
+            leaks[0].fields
+        );
     }
 }

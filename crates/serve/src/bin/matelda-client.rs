@@ -1,0 +1,166 @@
+//! `matelda-client` — talk to a running `matelda-serve`.
+//!
+//! ```text
+//! matelda-client ping <addr>
+//! matelda-client detect <addr> <dirty-dir> --clean <dir>
+//!                [--budget-cells N] [--seed N] [--variant V]
+//!                [--deadline-ms N] [--fresh]
+//!                [--retries N] [--backoff-ms N]
+//! matelda-client shutdown <addr>
+//! ```
+//!
+//! `detect` retries with deterministic backoff through daemon crashes
+//! and backpressure, and prints the same `digest: <hex>` line as the
+//! offline CLI — a retried-through-a-crash run must print the same
+//! digest as an uninterrupted one. Exit codes: 0 ok, 1 runtime/faulted,
+//! 2 usage, 3 ingest, 4 unavailable (busy/unreachable after retries),
+//! 5 checkpoint.
+
+use matelda_serve::{
+    request, request_with_retry, ClientError, DetectJob, ErrorKind, Request, Response, Retry,
+};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+fn parse_addr(s: &str) -> Result<SocketAddr, (u8, String)> {
+    s.parse().map_err(|_| (2, format!("invalid address {s:?} (expected host:port)")))
+}
+
+fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
+    let mut pos = Vec::new();
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    flags.insert(name.to_string(), v.clone());
+                    i += 2;
+                }
+                _ => {
+                    flags.insert(name.to_string(), String::new());
+                    i += 1;
+                }
+            }
+        } else {
+            pos.push(args[i].clone());
+            i += 1;
+        }
+    }
+    (pos, flags)
+}
+
+fn parse_u64(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: u64,
+) -> Result<u64, (u8, String)> {
+    match flags.get(name) {
+        Some(v) => v.parse().map_err(|_| (2, format!("--{name} expects an integer, got {v:?}"))),
+        None => Ok(default),
+    }
+}
+
+fn run() -> Result<(), (u8, String)> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: matelda-client <ping|detect|shutdown> <addr> [args]";
+    let Some(cmd) = args.first() else {
+        return Err((2, usage.to_string()));
+    };
+    match cmd.as_str() {
+        "ping" => {
+            let addr = parse_addr(args.get(1).ok_or((2, usage.to_string()))?)?;
+            match request(addr, &Request::Ping) {
+                Ok(Response::Pong) => {
+                    println!("pong from {addr}");
+                    Ok(())
+                }
+                Ok(other) => Err((1, format!("unexpected response {other:?}"))),
+                Err(e) => Err((4, format!("daemon unreachable: {e}"))),
+            }
+        }
+        "shutdown" => {
+            let addr = parse_addr(args.get(1).ok_or((2, usage.to_string()))?)?;
+            match request(addr, &Request::Shutdown) {
+                Ok(Response::ShutdownAck { drained }) => {
+                    println!("daemon drained {drained} in-flight run(s) and shut down");
+                    Ok(())
+                }
+                Ok(other) => Err((1, format!("unexpected response {other:?}"))),
+                Err(e) => Err((4, format!("daemon unreachable: {e}"))),
+            }
+        }
+        "detect" => {
+            let (pos, flags) = parse_flags(&args[1..]);
+            let [addr, dirty_dir] = pos.as_slice() else {
+                return Err((
+                    2,
+                    "usage: matelda-client detect <addr> <dirty-dir> --clean <dir> [flags]"
+                        .to_string(),
+                ));
+            };
+            let addr = parse_addr(addr)?;
+            let clean_dir = flags
+                .get("clean")
+                .filter(|v| !v.is_empty())
+                .ok_or((2, "--clean <dir> is required".to_string()))?;
+            let job = DetectJob {
+                dirty_dir: dirty_dir.clone(),
+                clean_dir: clean_dir.clone(),
+                budget: parse_u64(&flags, "budget-cells", 20)?,
+                seed: parse_u64(&flags, "seed", 0)?,
+                variant: flags.get("variant").cloned().unwrap_or_else(|| "standard".to_string()),
+                deadline_ms: parse_u64(&flags, "deadline-ms", 0)?,
+                fresh: flags.contains_key("fresh"),
+            };
+            let retry = Retry {
+                attempts: parse_u64(&flags, "retries", 10)? as u32,
+                base_ms: parse_u64(&flags, "backoff-ms", 50)?,
+            };
+            match request_with_retry(addr, &Request::Detect(job), retry) {
+                Ok(Response::Result(o)) => {
+                    let source = if o.cached {
+                        "memo-cache".to_string()
+                    } else {
+                        format!("{} stage(s) run, {} restored", o.stages_run, o.stages_restored)
+                    };
+                    println!(
+                        "detected — {} labels over {} domain folds / {} quality folds ({source})",
+                        o.labels_used, o.n_domain_folds, o.n_quality_folds
+                    );
+                    if o.quarantined_tables > 0 {
+                        println!("degraded run: {} table(s) quarantined", o.quarantined_tables);
+                    }
+                    println!("digest: {:016x}", o.digest);
+                    Ok(())
+                }
+                Ok(Response::Error { kind, message }) => {
+                    let code = match kind {
+                        ErrorKind::Ingest => 3,
+                        ErrorKind::Checkpoint => 5,
+                        ErrorKind::Protocol | ErrorKind::BadRequest => 2,
+                        ErrorKind::Faulted => 1,
+                    };
+                    Err((code, format!("daemon error ({kind:?}): {message}")))
+                }
+                Ok(other) => Err((1, format!("unexpected response {other:?}"))),
+                Err(e @ (ClientError::Overloaded | ClientError::ShuttingDown)) => {
+                    Err((4, e.to_string()))
+                }
+                Err(e) => Err((4, e.to_string())),
+            }
+        }
+        other => Err((2, format!("unknown command {other:?}; {usage}"))),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err((code, msg)) => {
+            eprintln!("matelda-client: {msg}");
+            ExitCode::from(code)
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! The client side: one-shot requests and a deterministic retry loop
+//! that survives daemon crashes and backpressure.
+
+use crate::proto::{
+    decode_response, encode_request, read_frame, write_frame, FrameError, Request, Response,
+};
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Deterministic retry policy: attempt `n` sleeps
+/// `base_ms << min(n, 6)` milliseconds before retrying (exponential,
+/// capped at 64× base). No jitter on purpose — test runs must replay
+/// the exact same schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct Retry {
+    /// Total attempts (the first try included). 0 behaves as 1.
+    pub attempts: u32,
+    /// Base backoff in milliseconds.
+    pub base_ms: u64,
+}
+
+impl Default for Retry {
+    fn default() -> Self {
+        Retry { attempts: 10, base_ms: 50 }
+    }
+}
+
+impl Retry {
+    /// The backoff before retry number `attempt` (0-based).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        Duration::from_millis(self.base_ms << attempt.min(6))
+    }
+}
+
+/// Why a retried request ultimately gave up.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Every attempt failed at the transport layer; the last error.
+    Unreachable(io::Error),
+    /// The daemon kept answering `Busy` through every attempt.
+    Overloaded,
+    /// The daemon is shutting down and refused admission.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Unreachable(e) => write!(f, "daemon unreachable: {e}"),
+            ClientError::Overloaded => write!(f, "daemon overloaded (Busy on every attempt)"),
+            ClientError::ShuttingDown => write!(f, "daemon is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Sends one request over a fresh connection and reads one response.
+/// Transport and protocol failures surface as `io::Error` — retryable
+/// by [`request_with_retry`].
+pub fn request(addr: SocketAddr, req: &Request) -> io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    write_frame(&mut stream, &encode_request(req))?;
+    let payload = read_frame(&mut stream).map_err(|e| match e {
+        FrameError::Io(io) => io,
+        other => io::Error::new(io::ErrorKind::UnexpectedEof, other.to_string()),
+    })?;
+    decode_response(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// [`request`] with deterministic backoff across transport failures and
+/// `Busy` responses.
+///
+/// This is the crash-tolerance loop: a daemon SIGKILLed mid-request
+/// shows up here as a connection reset (retry), a restarting daemon as
+/// a refused connection (retry), an overloaded one as `Busy` (retry) —
+/// and because the daemon checkpoints per stage under a stable key, the
+/// retried request *resumes* the dead run instead of restarting it.
+/// Any other response is final and returned as-is.
+pub fn request_with_retry(
+    addr: SocketAddr,
+    req: &Request,
+    retry: Retry,
+) -> Result<Response, ClientError> {
+    let attempts = retry.attempts.max(1);
+    let mut last_io: Option<io::Error> = None;
+    let mut saw_busy = false;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(retry.backoff(attempt - 1));
+        }
+        match request(addr, req) {
+            Ok(Response::Busy { .. }) => saw_busy = true,
+            Ok(Response::ShuttingDown) => return Err(ClientError::ShuttingDown),
+            Ok(resp) => return Ok(resp),
+            Err(e) => last_io = Some(e),
+        }
+    }
+    // Prefer the transport error when both happened: it is the one the
+    // operator can act on.
+    match last_io {
+        Some(e) => Err(ClientError::Unreachable(e)),
+        None if saw_busy => Err(ClientError::Overloaded),
+        None => Err(ClientError::Unreachable(io::Error::other("no attempts were made"))),
+    }
+}

@@ -1,0 +1,41 @@
+//! # matelda-serve
+//!
+//! A crash-tolerant, multi-tenant detection daemon (and its client) for
+//! the Matelda pipeline — detection-as-a-service where **robustness is
+//! the contract**:
+//!
+//! * a bounded admission gate with explicit [`Response::Busy`]
+//!   backpressure (overload never grows memory without bound);
+//! * per-request deadlines that degrade through the stage watchdog and
+//!   `FaultPolicy::Skip` instead of killing anything;
+//! * request-level fault quarantine — a panicking run answers its own
+//!   client with a structured error while the shared worker pool keeps
+//!   serving everyone else;
+//! * per-stage checkpointing under a manifest-keyed run directory, so a
+//!   SIGKILLed daemon plus a retrying client resume from the stage
+//!   frontier and produce a result digest-equal to an uninterrupted
+//!   run, at any thread count;
+//! * a fingerprint-keyed, checksum-validated memo-cache — an unchanged
+//!   lake answers without running a single stage, and a corrupted entry
+//!   is evicted and recomputed, never served;
+//! * graceful shutdown that stops admission, drains in-flight runs and
+//!   acknowledges before exit.
+//!
+//! Transport is deliberately minimal: length-prefixed frames over TCP
+//! on localhost, carrying totally-decodable messages (see [`proto`]).
+//! The full semantics are specified in DESIGN.md §11.
+
+pub mod cache;
+pub mod client;
+pub mod proto;
+pub mod registry;
+pub mod server;
+
+pub use cache::{CacheRead, MemoCache};
+pub use client::{request, request_with_retry, ClientError, Retry};
+pub use proto::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    DetectJob, DetectOutcome, ErrorKind, FrameError, Request, Response, MAX_FRAME, PROTO_VERSION,
+};
+pub use registry::{LakePair, Registry};
+pub use server::{serve, Latch, ServeOptions, ServerHandle};

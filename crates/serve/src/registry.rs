@@ -1,0 +1,98 @@
+//! The lake registry: parsed lakes cached across requests, invalidated
+//! by file metadata.
+//!
+//! A daemon serving the same lake to many clients should not re-parse
+//! its CSV files per request — but it must also never serve a stale
+//! parse. Each cached entry records a freshness stamp (path, length,
+//! modification time in nanoseconds) for every CSV file it was built
+//! from, plus the *directory listing* itself; any difference on lookup
+//! evicts and reloads. The memo-cache layer above is keyed by content
+//! fingerprint, so even a stamp collision (same length, same mtime,
+//! different bytes — not producible by normal filesystems) could only
+//! cost a wrong cache key, and the checkpoint manifest validation
+//! would still refuse to mix artifacts.
+
+use matelda_table::{
+    csv_paths_sorted, diff_lakes, read_lake_from_dir_with, CellMask, Lake, ReadOptions,
+};
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::SystemTime;
+
+/// One file's freshness stamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Stamp {
+    path: PathBuf,
+    len: u64,
+    mtime: SystemTime,
+}
+
+fn stamps(dir: &Path) -> io::Result<Vec<Stamp>> {
+    let mut out = Vec::new();
+    for path in csv_paths_sorted(dir)? {
+        let meta = std::fs::metadata(&path)?;
+        out.push(Stamp {
+            path,
+            len: meta.len(),
+            mtime: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+        });
+    }
+    Ok(out)
+}
+
+/// A dirty/clean lake pair plus the derived labeling truth.
+#[derive(Debug, Clone)]
+pub struct LakePair {
+    /// The dirty lake under detection.
+    pub dirty: Lake,
+    /// Ground truth (cells where dirty and clean differ) — the oracle's
+    /// answer sheet.
+    pub truth: CellMask,
+}
+
+struct Entry {
+    dirty_stamps: Vec<Stamp>,
+    clean_stamps: Vec<Stamp>,
+    pair: LakePair,
+}
+
+/// A concurrent map from `(dirty_dir, clean_dir)` to parsed lakes.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<HashMap<(PathBuf, PathBuf), Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Returns the parsed pair for two directories, reloading if any
+    /// underlying CSV file changed (or appeared, or vanished) since the
+    /// cached parse.
+    pub fn load(&self, dirty_dir: &Path, clean_dir: &Path) -> io::Result<LakePair> {
+        let key = (dirty_dir.to_path_buf(), clean_dir.to_path_buf());
+        let dirty_stamps = stamps(dirty_dir)?;
+        let clean_stamps = stamps(clean_dir)?;
+        let mut entries = self.entries.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(e) = entries.get(&key) {
+            if e.dirty_stamps == dirty_stamps && e.clean_stamps == clean_stamps {
+                return Ok(e.pair.clone());
+            }
+        }
+        let opts = ReadOptions::strict();
+        let (dirty, _) = read_lake_from_dir_with(dirty_dir, &opts)
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        let (clean, _) = read_lake_from_dir_with(clean_dir, &opts)
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        if dirty.n_tables() != clean.n_tables() {
+            return Err(io::Error::other("dirty and clean lakes have different table counts"));
+        }
+        let pair = LakePair { dirty: dirty.clone(), truth: diff_lakes(&dirty, &clean) };
+        entries.insert(key, Entry { dirty_stamps, clean_stamps, pair: pair.clone() });
+        Ok(pair)
+    }
+}

@@ -1,0 +1,261 @@
+//! Process-level crash tolerance (ISSUE 7 headline proof): a client
+//! retrying through a daemon crash gets a result digest-equal to an
+//! uninterrupted run, at every server thread count.
+//!
+//! These tests drive the *compiled* `matelda-serve` and
+//! `matelda-client` binaries: the daemon is aborted mid-detection (via
+//! the deterministic `MATELDA_CKPT_CRASH` hook, and via a literal
+//! SIGKILL), restarted on the same state directory and port, and the
+//! retrying client must come back with the baseline digest — resumed
+//! from the dead run's checkpointed stage frontier, not recomputed from
+//! scratch.
+
+use matelda_chaos::CRASH_ENV;
+use matelda_core::{Matelda, MateldaConfig};
+use matelda_lakegen::QuintetLake;
+use matelda_table::{diff_lakes, read_lake_from_dir_with, write_lake_to_dir, Oracle, ReadOptions};
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "matelda_serve_chaos_{tag}_{}_{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn write_pair(tag: &str, gen_seed: u64, rows: usize) -> (PathBuf, PathBuf, PathBuf) {
+    let root = tmp_dir(tag);
+    let lake = QuintetLake { rows_per_table: rows, error_rate: 0.1 }.generate(gen_seed);
+    let dirty = root.join("dirty");
+    let clean = root.join("clean");
+    write_lake_to_dir(&lake.dirty, &dirty).expect("write dirty lake");
+    write_lake_to_dir(&lake.clean, &clean).expect("write clean lake");
+    (root, dirty, clean)
+}
+
+/// The uninterrupted-run digest the retried client must reproduce,
+/// formatted like the client's `digest:` line.
+fn baseline_digest(dirty: &Path, clean: &Path) -> String {
+    let (dirty_lake, _) = read_lake_from_dir_with(dirty, &ReadOptions::strict()).expect("dirty");
+    let (clean_lake, _) = read_lake_from_dir_with(clean, &ReadOptions::strict()).expect("clean");
+    let truth = diff_lakes(&dirty_lake, &clean_lake);
+    let mut oracle = Oracle::new(&truth);
+    let result = Matelda::new(MateldaConfig::default()).detect(&dirty_lake, &mut oracle, 20);
+    format!("{:016x}", result.digest())
+}
+
+/// A spawned daemon process, killed on drop so a failing test never
+/// leaks a listener.
+struct DaemonProc {
+    child: Child,
+    addr: String,
+}
+
+impl DaemonProc {
+    fn try_spawn(state: &Path, addr: &str, threads: usize, envs: &[(&str, &str)]) -> Option<Self> {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_matelda-serve"));
+        cmd.args(["--state-dir", state.to_str().unwrap(), "--addr", addr])
+            .args(["--threads", &threads.to_string()])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        for (k, v) in envs {
+            cmd.env(k, v);
+        }
+        let mut child = cmd.spawn().expect("spawn matelda-serve");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let addr = loop {
+            match lines.next() {
+                Some(Ok(line)) => {
+                    if let Some(rest) = line.strip_prefix("listening on ") {
+                        break rest.to_string();
+                    }
+                }
+                _ => {
+                    // Bind failure (e.g. transient EADDRINUSE on a
+                    // restart): reap and let the caller retry.
+                    let _ = child.wait();
+                    return None;
+                }
+            }
+        };
+        // Keep draining stdout so the daemon never blocks on a full pipe.
+        std::thread::spawn(move || for _ in lines {});
+        Some(DaemonProc { child, addr })
+    }
+
+    fn spawn(state: &Path, addr: &str, threads: usize, envs: &[(&str, &str)]) -> Self {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            if let Some(daemon) = Self::try_spawn(state, addr, threads, envs) {
+                return daemon;
+            }
+            assert!(Instant::now() < deadline, "daemon never bound {addr}");
+            std::thread::sleep(Duration::from_millis(250));
+        }
+    }
+
+    /// Waits for the process to exit on its own (a planted crash).
+    fn wait(&mut self) {
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for DaemonProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn client() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_matelda-client"))
+}
+
+fn client_detect(addr: &str, dirty: &Path, clean: &Path, retries: u32, backoff_ms: u64) -> Output {
+    client()
+        .args(["detect", addr, dirty.to_str().unwrap(), "--clean", clean.to_str().unwrap()])
+        .args(["--retries", &retries.to_string(), "--backoff-ms", &backoff_ms.to_string()])
+        .output()
+        .expect("run matelda-client detect")
+}
+
+fn digest_of(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "client failed ({:?}): {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("digest: "))
+        .unwrap_or_else(|| panic!("no digest line in: {stdout}"))
+        .to_string()
+}
+
+fn shutdown(addr: &str) {
+    let out = client().args(["shutdown", addr]).output().expect("run matelda-client shutdown");
+    assert!(out.status.success(), "shutdown failed: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn client_retries_through_a_planted_crash_to_the_baseline_digest() {
+    let (root, dirty, clean) = write_pair("planted", 31, 25);
+    let baseline = baseline_digest(&dirty, &clean);
+
+    for threads in [1usize, 2, 4] {
+        let state = tmp_dir(&format!("planted_state_{threads}"));
+        // The daemon aborts itself right after the quality_folds
+        // snapshot commits — a deterministic mid-detection kill.
+        let mut doomed = DaemonProc::spawn(
+            &state,
+            "127.0.0.1:0",
+            threads,
+            &[(CRASH_ENV, "after:quality_folds")],
+        );
+        let addr = doomed.addr.clone();
+
+        let client_thread = {
+            let (addr, dirty, clean) = (addr.clone(), dirty.clone(), clean.clone());
+            std::thread::spawn(move || client_detect(&addr, &dirty, &clean, 12, 100))
+        };
+        // The planted abort fires during the client's first attempt.
+        doomed.wait();
+        // Restart on the same port and state directory, crash hook off.
+        let revived = DaemonProc::spawn(&state, &addr, threads, &[]);
+
+        let out = client_thread.join().expect("client thread");
+        assert_eq!(
+            digest_of(&out),
+            baseline,
+            "retried-through-crash digest must match at {threads} thread(s)"
+        );
+        // The retried run resumed the dead run's frontier: the four
+        // stages committed before the abort were restored, not re-run.
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains("4 restored"),
+            "expected a 4-stage resume at {threads} thread(s), got: {stdout}"
+        );
+
+        shutdown(&revived.addr);
+        let _ = std::fs::remove_dir_all(state);
+    }
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn client_retries_through_a_sigkill_to_the_baseline_digest() {
+    // A larger lake widens the window between the first checkpoint
+    // commit and the end of the run.
+    let (root, dirty, clean) = write_pair("sigkill", 32, 60);
+    let baseline = baseline_digest(&dirty, &clean);
+    let state = tmp_dir("sigkill_state");
+
+    let mut doomed = DaemonProc::spawn(&state, "127.0.0.1:0", 2, &[]);
+    let addr = doomed.addr.clone();
+    let client_thread = {
+        let (addr, dirty, clean) = (addr.clone(), dirty.clone(), clean.clone());
+        std::thread::spawn(move || client_detect(&addr, &dirty, &clean, 12, 100))
+    };
+
+    // SIGKILL the daemon as soon as any stage snapshot has committed —
+    // no cooperation from the victim, exactly like the OOM killer.
+    let runs = state.join("runs");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    'hunt: while Instant::now() < deadline {
+        for run_dir in std::fs::read_dir(&runs).into_iter().flatten().flatten() {
+            for f in std::fs::read_dir(run_dir.path()).into_iter().flatten().flatten() {
+                let name = f.file_name();
+                let name = name.to_string_lossy().into_owned();
+                if name.ends_with(".ckpt") && name != "manifest.ckpt" {
+                    break 'hunt;
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    doomed.child.kill().expect("SIGKILL the daemon");
+    doomed.wait();
+
+    let revived = DaemonProc::spawn(&state, &addr, 2, &[]);
+    let out = client_thread.join().expect("client thread");
+    assert_eq!(digest_of(&out), baseline, "retried-through-SIGKILL digest must match");
+
+    shutdown(&revived.addr);
+    let _ = std::fs::remove_dir_all(state);
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn an_env_armed_fault_quarantines_requests_but_not_the_daemon() {
+    let (root, dirty, clean) = write_pair("armed", 33, 25);
+    let state = tmp_dir("armed_state");
+    // Every detection in this daemon trips the finalize faultpoint.
+    let daemon =
+        DaemonProc::spawn(&state, "127.0.0.1:0", 2, &[("MATELDA_FAULTPOINTS", "finalize:0")]);
+
+    let out = client_detect(&daemon.addr, &dirty, &clean, 1, 10);
+    assert_eq!(out.status.code(), Some(1), "a faulted run must exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("Faulted"), "got: {stderr}");
+
+    // The fault was request-scoped: the daemon still answers and still
+    // shuts down gracefully.
+    let ping = client().args(["ping", &daemon.addr]).output().expect("ping");
+    assert!(ping.status.success(), "daemon must survive a faulted request");
+    shutdown(&daemon.addr);
+
+    let _ = std::fs::remove_dir_all(state);
+    let _ = std::fs::remove_dir_all(root);
+}

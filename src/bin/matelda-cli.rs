@@ -46,12 +46,11 @@
 //! 4 quarantine ceiling exceeded, 5 checkpoint rejected.
 
 use matelda::core::{
-    CkptError, DetectionResult, DomainFolding, Durability, FaultPolicy, Matelda, MateldaConfig,
-    Obs, Oracle, TrainingStrategy,
+    CkptError, DomainFolding, Durability, FaultPolicy, Matelda, MateldaConfig, Obs, Oracle,
+    TrainingStrategy,
 };
 use matelda::fd::mine_approximate;
 use matelda::lakegen::{DGovLake, GitTablesLake, QuintetLake, ReinLake, WdcLake};
-use matelda::table::fingerprint::Fnv1a;
 use matelda::table::{diff_lakes, Confusion, IngestReport, Lake, ReadOptions};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -302,39 +301,6 @@ fn print_ingest_notes(label: &str, report: &IngestReport) {
     }
 }
 
-/// An order-stable FNV-1a digest of everything the durability contract
-/// promises to reproduce: predictions, label spend, fold counts and the
-/// quarantine record (stage wall times are excluded on purpose). The
-/// subprocess crash-recovery suite compares this line between a clean run
-/// and a crashed-then-resumed one.
-fn result_digest(result: &DetectionResult) -> u64 {
-    let mut h = Fnv1a::new();
-    h.write_u64(result.predicted.count() as u64);
-    for id in result.predicted.iter_set() {
-        h.write_u64(id.table as u64);
-        h.write_u64(id.row as u64);
-        h.write_u64(id.col as u64);
-    }
-    h.write_u64(result.labels_used as u64);
-    h.write_u64(result.n_domain_folds as u64);
-    h.write_u64(result.n_quality_folds as u64);
-    let q = &result.quarantine;
-    h.write_u64(q.tables.len() as u64);
-    for &t in &q.tables {
-        h.write_u64(t as u64);
-    }
-    h.write_u64(q.columns.len() as u64);
-    for &(t, c) in &q.columns {
-        h.write_u64(t as u64);
-        h.write_u64(c as u64);
-    }
-    h.write_u64(q.fold_fallbacks.len() as u64);
-    for &f in &q.fold_fallbacks {
-        h.write_u64(f as u64);
-    }
-    h.finish()
-}
-
 fn cmd_detect(args: &[String]) -> CliResult {
     let (pos, flags) = parse_flags(args);
     check_flags(
@@ -455,7 +421,7 @@ fn cmd_detect(args: &[String]) -> CliResult {
         result.n_quality_folds,
         result.report.threads
     );
-    println!("digest: {:016x}", result_digest(&result));
+    println!("digest: {:016x}", result.digest());
     if flags.contains_key("report") {
         println!("{}", result.report.to_json());
     }

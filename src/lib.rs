@@ -32,5 +32,6 @@ pub use matelda_fd as fd;
 pub use matelda_lakegen as lakegen;
 pub use matelda_ml as ml;
 pub use matelda_obs as obs;
+pub use matelda_serve as serve;
 pub use matelda_table as table;
 pub use matelda_text as text;
