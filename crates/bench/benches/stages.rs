@@ -111,7 +111,8 @@ fn checkpoint_secs(reps: usize) -> (f64, f64, f64) {
         black_box(result);
         start.elapsed().as_secs_f64()
     };
-    let write = Durability { checkpoint_dir: Some(dir.clone()), resume: false };
+    let write =
+        Durability { checkpoint_dir: Some(dir.clone()), resume: false, ..Default::default() };
     let (mut plains, mut durables) = (Vec::new(), Vec::new());
     for _ in 0..reps {
         plains.push(run(None));
@@ -119,7 +120,8 @@ fn checkpoint_secs(reps: usize) -> (f64, f64, f64) {
     }
     // The snapshots of the last write run are still on disk: every
     // resume rep restores all six stages without recomputation.
-    let resume = Durability { checkpoint_dir: Some(dir.clone()), resume: true };
+    let resume =
+        Durability { checkpoint_dir: Some(dir.clone()), resume: true, ..Default::default() };
     let resumed = median((0..reps).map(|_| run(Some(&resume))).collect());
     let _ = std::fs::remove_dir_all(&dir);
     (median(plains), median(durables), resumed)
@@ -191,8 +193,11 @@ fn serve_secs(reps: usize) -> (f64, f64) {
     let truth = matelda_table::diff_lakes(&dirty_lake, &clean_lake);
     let direct_run = |seed: u64| -> f64 {
         let cfg = MateldaConfig { threads: 1, seed, ..Default::default() };
-        let durability =
-            Durability { checkpoint_dir: Some(root.join(format!("direct-{seed}"))), resume: true };
+        let durability = Durability {
+            checkpoint_dir: Some(root.join(format!("direct-{seed}"))),
+            resume: true,
+            ..Default::default()
+        };
         let mut oracle = Oracle::new(&truth);
         let pipeline = Matelda::new(cfg).with_obs(matelda_obs::Obs::enabled());
         let start = std::time::Instant::now();
@@ -221,6 +226,56 @@ fn serve_secs(reps: usize) -> (f64, f64) {
     handle.join();
     let _ = std::fs::remove_dir_all(&root);
     (median(directs), median(serveds))
+}
+
+/// Commits per timed storage rep and the payload size of each — enough
+/// fsync'd commits that the seam's per-op cost would show against the
+/// dominant I/O if it weren't near-zero.
+const STORAGE_COMMITS: usize = 48;
+const STORAGE_PAYLOAD: usize = 64 * 1024;
+
+/// Measures what the VFS seam costs: `Vfs::real().write_atomic` (an
+/// `Option` check and an atomic op-count bump per operation) vs the
+/// identical tmp + fsync + rename + dir-fsync sequence hand-coded on
+/// `std::fs`. Direct/seamed reps interleave so host drift cancels.
+/// Returns (direct_secs, vfs_secs).
+fn storage_secs(reps: usize) -> (f64, f64) {
+    use std::io::Write as _;
+    let dir = std::env::temp_dir().join(format!("matelda-bench-vfs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench storage dir");
+    let payload = vec![0xA5u8; STORAGE_PAYLOAD];
+
+    let direct_run = || -> f64 {
+        let start = std::time::Instant::now();
+        for i in 0..STORAGE_COMMITS {
+            let tmp = dir.join(format!("direct-{i}.tmp"));
+            let target = dir.join(format!("direct-{i}.bin"));
+            let mut f = std::fs::File::create(&tmp).expect("create tmp");
+            f.write_all(&payload).expect("write tmp");
+            f.sync_all().expect("fsync tmp");
+            std::fs::rename(&tmp, &target).expect("rename");
+            if let Ok(d) = std::fs::File::open(&dir) {
+                let _ = d.sync_all();
+            }
+        }
+        start.elapsed().as_secs_f64()
+    };
+    let vfs = matelda_ckpt::Vfs::real();
+    let vfs_run = || -> f64 {
+        let start = std::time::Instant::now();
+        for i in 0..STORAGE_COMMITS {
+            vfs.write_atomic(&dir.join(format!("vfs-{i}.bin")), &payload).expect("vfs commit");
+        }
+        start.elapsed().as_secs_f64()
+    };
+    let (mut directs, mut vfss) = (Vec::new(), Vec::new());
+    for _ in 0..reps {
+        directs.push(direct_run());
+        vfss.push(vfs_run());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    (median(directs), median(vfss))
 }
 
 fn bench_stages(c: &mut Criterion) {
@@ -344,6 +399,15 @@ fn emit_json() {
     } else {
         0.0
     };
+    // Storage-seam overhead: every durability byte now routes through
+    // the injectable Vfs (DESIGN.md §12). Target: < 5% vs hand-coded
+    // direct I/O — the seam is an Option check, not a tax.
+    let (storage_direct_secs, storage_vfs_secs) = storage_secs(9);
+    let storage_pct = if storage_direct_secs > 0.0 {
+        100.0 * (storage_vfs_secs - storage_direct_secs) / storage_direct_secs
+    } else {
+        0.0
+    };
     let scale = std::env::var("MATELDA_SCALE").unwrap_or_else(|_| "full".to_string());
     let threads_compared =
         if n_threads == 2 { "[1,2]".to_string() } else { format!("[1,2,{n_threads}]") };
@@ -357,9 +421,11 @@ fn emit_json() {
         )
     };
     let json = format!(
-        "{{\"bench\":\"stages\",\"scale\":\"{scale}\",\"host_parallelism\":{host},\"threads_compared\":{threads_compared},\"determinism_thread_counts\":[1,2,4,8],\"reps\":{reps},\"total_secs_1t\":{total_1:.6},\"total_secs_2t\":{total_2:.6},\"end_to_end_speedup_2t\":{sp2:.3}{extra_totals},\"flagged_cells\":{flagged_1},\"deterministic_across_threads\":true,\"fault_isolation\":{{\"map_secs\":{map_secs:.6},\"try_map_secs\":{try_secs:.6},\"overhead_pct\":{overhead_pct:.2},\"target_pct\":5.0}},\"checkpoint\":{{\"rows_per_table\":{ckpt_rows},\"plain_secs\":{plain_secs:.6},\"durable_secs\":{durable_secs:.6},\"overhead_pct\":{ckpt_pct:.2},\"target_pct\":5.0,\"resume_secs\":{resume_secs:.6},\"resume_speedup\":{resume_speedup:.2}}},\"observability\":{{\"off_secs\":{obs_off_secs:.6},\"on_secs\":{obs_on_secs:.6},\"overhead_pct\":{obs_pct:.2},\"target_pct\":5.0,\"spans\":{obs_spans},\"events\":{obs_events}}},\"serve\":{{\"direct_secs\":{serve_direct_secs:.6},\"served_secs\":{serve_served_secs:.6},\"overhead_pct\":{serve_pct:.2},\"target_pct\":5.0}},\"stages\":[{stages_json}]}}\n",
+        "{{\"bench\":\"stages\",\"scale\":\"{scale}\",\"host_parallelism\":{host},\"threads_compared\":{threads_compared},\"determinism_thread_counts\":[1,2,4,8],\"reps\":{reps},\"total_secs_1t\":{total_1:.6},\"total_secs_2t\":{total_2:.6},\"end_to_end_speedup_2t\":{sp2:.3}{extra_totals},\"flagged_cells\":{flagged_1},\"deterministic_across_threads\":true,\"fault_isolation\":{{\"map_secs\":{map_secs:.6},\"try_map_secs\":{try_secs:.6},\"overhead_pct\":{overhead_pct:.2},\"target_pct\":5.0}},\"checkpoint\":{{\"rows_per_table\":{ckpt_rows},\"plain_secs\":{plain_secs:.6},\"durable_secs\":{durable_secs:.6},\"overhead_pct\":{ckpt_pct:.2},\"target_pct\":5.0,\"resume_secs\":{resume_secs:.6},\"resume_speedup\":{resume_speedup:.2}}},\"observability\":{{\"off_secs\":{obs_off_secs:.6},\"on_secs\":{obs_on_secs:.6},\"overhead_pct\":{obs_pct:.2},\"target_pct\":5.0,\"spans\":{obs_spans},\"events\":{obs_events}}},\"serve\":{{\"direct_secs\":{serve_direct_secs:.6},\"served_secs\":{serve_served_secs:.6},\"overhead_pct\":{serve_pct:.2},\"target_pct\":5.0}},\"storage\":{{\"commits\":{storage_commits},\"payload_bytes\":{storage_payload},\"direct_secs\":{storage_direct_secs:.6},\"vfs_secs\":{storage_vfs_secs:.6},\"overhead_pct\":{storage_pct:.2},\"target_pct\":5.0}},\"stages\":[{stages_json}]}}\n",
         host = std::thread::available_parallelism().map_or(1, |v| v.get()),
         ckpt_rows = CKPT_ROWS,
+        storage_commits = STORAGE_COMMITS,
+        storage_payload = STORAGE_PAYLOAD,
         sp2 = if total_2 > 0.0 { total_1 / total_2 } else { 1.0 },
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stages.json");

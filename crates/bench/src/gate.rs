@@ -10,8 +10,8 @@
 //!   and its single-thread throughput (`items_per_sec_1t`) must not
 //!   drop by more than [`GateConfig::max_drop_pct`] percent;
 //! * every overhead section (`fault_isolation`, `checkpoint`,
-//!   `observability`, `serve`) must stay within its own `target_pct` budget in
-//!   the fresh results;
+//!   `observability`, `serve`, `storage`) must stay within its own
+//!   `target_pct` budget in the fresh results;
 //! * the two files must have been produced at the same `MATELDA_SCALE`
 //!   (throughput at different scales is not comparable).
 //!
@@ -250,7 +250,8 @@ impl Default for GateConfig {
 }
 
 /// The overhead sections the gate checks against their own budgets.
-const OVERHEAD_SECTIONS: [&str; 4] = ["fault_isolation", "checkpoint", "observability", "serve"];
+const OVERHEAD_SECTIONS: [&str; 5] =
+    ["fault_isolation", "checkpoint", "observability", "serve", "storage"];
 
 /// Compares fresh bench results against the committed baseline and
 /// returns every violation as a human-readable line. Empty = pass.

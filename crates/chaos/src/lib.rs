@@ -23,6 +23,13 @@
 //!   ([`CrashMode::AfterCommit`]) or after planting a truncated snapshot
 //!   under the final name ([`CrashMode::TornWrite`]). The crash-recovery
 //!   suites then resume and assert bit-identity with a clean run.
+//! * **Storage-level** — [`FaultPlan::io_fault`] picks the Nth
+//!   durability I/O operation and an errno-level [`FaultKind`]
+//!   (ENOSPC, EIO, short write, torn rename) to inject through the
+//!   checkpoint layer's [`Vfs`] seam; `tests/io_faults.rs` sweeps
+//!   *every* site exhaustively and asserts the degradation contract
+//!   (DESIGN.md §12): bit-identical digest or an explicit degraded /
+//!   storage-full outcome — never a panic, never silent corruption.
 //!
 //! The integration suites (`tests/chaos.rs`, `tests/durability.rs`) use
 //! these layers to assert the robustness contracts: a run with k killed
@@ -38,7 +45,18 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 pub use matelda_ckpt::{CrashDirective, CrashMode, CRASH_ENV};
+pub use matelda_ckpt::{FaultInjector, FaultKind, InjectAt, IoOp, Vfs};
 pub use matelda_exec::faultpoint;
+
+/// The errno-level storage faults an I/O plan can inject — the hostile
+/// filesystem's repertoire: out of space, a medium error, a write cut
+/// short, a rename that leaves torn bytes under the final name.
+pub const IO_FAULT_KINDS: [FaultKind; 4] = [
+    FaultKind::Errno(io::ErrorKind::StorageFull),
+    FaultKind::Errno(io::ErrorKind::Other),
+    FaultKind::ShortWrite,
+    FaultKind::TornRename,
+];
 
 /// The pipeline's stage names in execution order — the checkpoint
 /// boundaries a [`FaultPlan::crash_directive`] can pick from.
@@ -123,6 +141,27 @@ impl FaultPlan {
         let mut rng = self.rng(domain);
         let stage = STAGE_NAMES[rng.random_range(0..STAGE_NAMES.len())];
         CrashDirective { mode, stage: stage.to_string() }
+    }
+
+    /// **Storage-level** — picks one I/O fault over a run known (from a
+    /// [`Vfs::recording`] dry run) to perform `n_ops` storage
+    /// operations: a site in `0..n_ops` and a kind from
+    /// [`IO_FAULT_KINDS`], both pure functions of the plan seed and
+    /// `domain`. Feed the result to [`FaultPlan::io_injector`] /
+    /// [`Vfs::with_injector`].
+    pub fn io_fault(&self, domain: &str, n_ops: u64) -> (u64, FaultKind) {
+        let mut rng = self.rng(&format!("io:{domain}"));
+        let at = rng.random_range(0..n_ops.max(1));
+        let kind = IO_FAULT_KINDS[rng.random_range(0..IO_FAULT_KINDS.len())];
+        (at, kind)
+    }
+
+    /// An armed single-site injector for the fault
+    /// [`FaultPlan::io_fault`] picks; hand it to [`Vfs::with_injector`]
+    /// and assert `fired() == 1` afterwards.
+    pub fn io_injector(&self, domain: &str, n_ops: u64) -> std::sync::Arc<InjectAt> {
+        let (at, kind) = self.io_fault(domain, n_ops);
+        InjectAt::new(at, kind)
     }
 
     /// Corrupts `k` of the `*.csv` files under `dir` in place (victims

@@ -36,7 +36,7 @@ fn config(threads: usize) -> MateldaConfig {
 }
 
 fn durability(dir: &Path, resume: bool) -> Durability {
-    Durability { checkpoint_dir: Some(dir.to_path_buf()), resume }
+    Durability { checkpoint_dir: Some(dir.to_path_buf()), resume, ..Default::default() }
 }
 
 /// Full-result equality, minus stage wall times (restored stages report

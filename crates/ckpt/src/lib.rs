@@ -30,15 +30,22 @@
 //! Module map: [`wire`] — bounds-checked little-endian primitives and
 //! [`wire::DecodeError`]; [`manifest`] — the run manifest; [`store`] —
 //! the atomic store, snapshot envelope, and the `MATELDA_CKPT_CRASH`
-//! crash-injection hook used by the chaos harness.
+//! crash-injection hook used by the chaos harness; [`vfs`] — the
+//! storage seam every durability byte goes through, carrying errno
+//! fault injection, disk-budget enforcement and bounded transient
+//! retry (see `DESIGN.md §12`).
 
 pub mod manifest;
 pub mod store;
+pub mod vfs;
 pub mod wire;
 
 pub use manifest::{Manifest, FORMAT_VERSION};
 pub use store::{
     decode_envelope, encode_envelope, CheckpointStore, CkptError, CrashDirective, CrashMode,
     CRASH_ENV,
+};
+pub use vfs::{
+    dir_bytes, AtomicCommit, FaultInjector, FaultKind, InjectAt, IoOp, Vfs, TRANSIENT_RETRIES,
 };
 pub use wire::{DecodeError, Reader, Writer};

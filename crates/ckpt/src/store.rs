@@ -37,12 +37,13 @@
 
 use std::error::Error;
 use std::fmt;
-use std::fs::{self, File};
-use std::io::{self, Write};
+use std::fs;
+use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
 
 use crate::manifest::{Manifest, FORMAT_VERSION};
+use crate::vfs::Vfs;
 use crate::wire::{DecodeError, Reader, Writer};
 use matelda_obs::{Obs, Val};
 use matelda_table::fingerprint::Fnv1a;
@@ -156,11 +157,23 @@ pub struct CheckpointStore {
     dir: PathBuf,
     manifest: Manifest,
     obs: Obs,
+    vfs: Vfs,
 }
 
 impl CheckpointStore {
     /// Opens (creating if needed) a checkpoint directory for a run
-    /// described by `manifest`.
+    /// described by `manifest`, with plain filesystem I/O. See
+    /// [`CheckpointStore::open_with`] for the full contract.
+    pub fn open(
+        dir: &Path,
+        manifest: Manifest,
+        resume: bool,
+    ) -> Result<CheckpointStore, CkptError> {
+        Self::open_with(dir, manifest, resume, Vfs::real())
+    }
+
+    /// Opens (creating if needed) a checkpoint directory for a run
+    /// described by `manifest`, routing every byte through `vfs`.
     ///
     /// Stray `*.tmp` files from interrupted commits are always removed.
     /// With `resume = false` any existing snapshots are deleted and a
@@ -169,18 +182,19 @@ impl CheckpointStore {
     /// live run (thread count exempt) or the open fails with
     /// [`CkptError::Mismatch`]; a missing manifest degrades to a fresh
     /// run, a corrupt one is [`CkptError::Corrupt`].
-    pub fn open(
+    pub fn open_with(
         dir: &Path,
         manifest: Manifest,
         resume: bool,
+        vfs: Vfs,
     ) -> Result<CheckpointStore, CkptError> {
         let io_err = |source| CkptError::Io { path: dir.to_path_buf(), source };
-        fs::create_dir_all(dir).map_err(io_err)?;
-        Self::sweep(dir, "tmp").map_err(io_err)?;
+        vfs.create_dir_all(dir).map_err(io_err)?;
+        Self::sweep(&vfs, dir, "tmp").map_err(io_err)?;
 
         let manifest_path = dir.join(MANIFEST_FILE);
         let stored = if resume {
-            match fs::read(&manifest_path) {
+            match vfs.read(&manifest_path) {
                 Ok(bytes) => Some(Manifest::decode(&bytes).map_err(|reason| {
                     CkptError::Corrupt { path: manifest_path.clone(), reason }
                 })?),
@@ -196,12 +210,12 @@ impl CheckpointStore {
             None => {
                 // Fresh run (or resume with nothing to resume from):
                 // stale snapshots must not survive under a new manifest.
-                Self::sweep(dir, "ckpt").map_err(io_err)?;
-                write_atomic(&manifest_path, &manifest.encode())
+                Self::sweep(&vfs, dir, "ckpt").map_err(io_err)?;
+                vfs.write_atomic(&manifest_path, &manifest.encode())
                     .map_err(|source| CkptError::Io { path: manifest_path, source })?;
             }
         }
-        Ok(CheckpointStore { dir: dir.to_path_buf(), manifest, obs: Obs::disabled() })
+        Ok(CheckpointStore { dir: dir.to_path_buf(), manifest, obs: Obs::disabled(), vfs })
     }
 
     /// Attaches an observability handle: commits and restores then
@@ -214,11 +228,10 @@ impl CheckpointStore {
     }
 
     /// Deletes every regular file in `dir` with the given extension.
-    fn sweep(dir: &Path, ext: &str) -> io::Result<()> {
-        for entry in fs::read_dir(dir)? {
-            let path = entry?.path();
+    fn sweep(vfs: &Vfs, dir: &Path, ext: &str) -> io::Result<()> {
+        for path in vfs.read_dir_paths(dir)? {
             if path.extension().is_some_and(|e| e == ext) && path.is_file() {
-                fs::remove_file(&path)?;
+                vfs.remove_file(&path)?;
             }
         }
         Ok(())
@@ -232,6 +245,11 @@ impl CheckpointStore {
     /// The manifest this store is bound to.
     pub fn manifest(&self) -> &Manifest {
         &self.manifest
+    }
+
+    /// The storage handle this store routes its I/O through.
+    pub fn vfs(&self) -> &Vfs {
+        &self.vfs
     }
 
     fn stage_path(&self, stage: &str) -> PathBuf {
@@ -251,7 +269,7 @@ impl CheckpointStore {
             if d.stage == stage {
                 match d.mode {
                     CrashMode::AfterCommit => {
-                        write_atomic(&path, &bytes).map_err(io_err)?;
+                        self.vfs.write_atomic(&path, &bytes).map_err(io_err)?;
                         std::process::abort();
                     }
                     CrashMode::TornWrite => {
@@ -266,11 +284,23 @@ impl CheckpointStore {
                 }
             }
         }
-        write_atomic(&path, &bytes).map_err(io_err)?;
+        let commit = self.vfs.write_atomic(&path, &bytes).map_err(io_err)?;
+        if !commit.dir_synced {
+            // The snapshot is durable but the *rename* may not survive a
+            // power cut. Not fatal — but no longer silent either.
+            self.obs.counter_add("ckpt.dirsync_failed", 1);
+            if self.obs.is_enabled() {
+                self.obs.event("ckpt.dirsync_failed", &[("stage", Val::S(stage))]);
+            }
+        }
         if self.obs.is_enabled() {
             self.obs.event(
                 "ckpt.commit",
-                &[("stage", Val::S(stage)), ("bytes", Val::U(bytes.len() as u64))],
+                &[
+                    ("stage", Val::S(stage)),
+                    ("bytes", Val::U(bytes.len() as u64)),
+                    ("retries", Val::U(commit.retries as u64)),
+                ],
             );
             self.obs.counter_add("ckpt.commits", 1);
         }
@@ -285,7 +315,7 @@ impl CheckpointStore {
     /// manifest hash. Neither is ever reinterpreted as "just recompute".
     pub fn load_stage(&self, stage: &str) -> Result<Option<Vec<u8>>, CkptError> {
         let path = self.stage_path(stage);
-        let bytes = match fs::read(&path) {
+        let bytes = match self.vfs.read(&path) {
             Ok(b) => b,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
             Err(source) => return Err(CkptError::Io { path, source }),
@@ -361,27 +391,6 @@ pub fn decode_envelope(bytes: &[u8]) -> Result<(u64, String, Vec<u8>), DecodeErr
         return Err(DecodeError::HashMismatch { expected: recorded, found: computed });
     }
     Ok((manifest_hash, stage, payload))
-}
-
-/// tmp + fsync + rename + best-effort directory fsync.
-fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
-    let tmp = path.with_extension("tmp");
-    {
-        let mut f = File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_all()?;
-    }
-    fs::rename(&tmp, path)?;
-    // Persist the rename itself. Some filesystems refuse fsync on a
-    // directory handle; the rename is still ordered after the file
-    // data, so failure here only widens the crash window, never
-    // corrupts — hence best-effort.
-    if let Some(parent) = path.parent() {
-        if let Ok(d) = File::open(parent) {
-            let _ = d.sync_all();
-        }
-    }
-    Ok(())
 }
 
 #[cfg(test)]

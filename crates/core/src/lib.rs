@@ -49,13 +49,13 @@ pub use engine::{
     LabelStage, LabeledFold, Predictions, PropagatedLabels, QualityFoldEntry, QualityFoldStage,
     QualityFolds, QuarantineReport, Stage, StageContext,
 };
-pub use matelda_ckpt::{CheckpointStore, CkptError, Manifest};
+pub use matelda_ckpt::{CheckpointStore, CkptError, Manifest, Vfs};
 pub use matelda_exec::{Executor, ItemFault, RunReport, StageReport};
 pub use matelda_obs::Obs;
 pub use matelda_table::oracle::{Labeler, Oracle};
 pub use pipeline::{
-    DetectionResult, Durability, FaultPolicy, LabelingStrategy, Matelda, MateldaConfig,
-    TrainingStrategy,
+    DetectionResult, Durability, DurabilityPolicy, FaultPolicy, LabelingStrategy, Matelda,
+    MateldaConfig, TrainingStrategy,
 };
 pub use repair::{suggest_repairs, Repair, RepairStrategy};
 pub use snapshot::{decode_snapshot, encode_snapshot, ArtifactCodec, CtxState};

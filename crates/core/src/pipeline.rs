@@ -14,7 +14,7 @@ use crate::engine::{
     Stage, StageContext,
 };
 use crate::snapshot::{decode_snapshot, encode_snapshot, ArtifactCodec, CtxState};
-use matelda_ckpt::{CheckpointStore, CkptError, Manifest};
+use matelda_ckpt::{CheckpointStore, CkptError, Manifest, Vfs};
 use matelda_detect::FeatureConfig;
 use matelda_embed::encoder::EncoderConfig;
 use matelda_exec::{faultpoint, Executor, RunReport};
@@ -140,6 +140,28 @@ impl Default for MateldaConfig {
     }
 }
 
+/// How [`Matelda::detect_durable`] reacts to the *storage* failing —
+/// the filesystem, not the pipeline (that is [`FaultPolicy`]).
+///
+/// The split the contract draws: an I/O errno (`ENOSPC`, `EIO`, a
+/// failed fsync) means durability is unavailable but the computation is
+/// untouched; a [`CkptError::Corrupt`] or [`CkptError::Mismatch`]
+/// snapshot means the *resume inputs* are untrustworthy. Degrade
+/// forgives the former and still hard-fails the latter — a run never
+/// silently reuses questionable bytes under either policy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DurabilityPolicy {
+    /// Any checkpoint failure fails the run (the historical behavior).
+    #[default]
+    Fail,
+    /// An I/O failure downgrades the run to non-durable: checkpointing
+    /// stops, an `obs` `ckpt.degraded` event records where and why, the
+    /// result is still computed (bit-identical to a durable run) and
+    /// [`DetectionResult::durability_degraded`] is set. Resume is then
+    /// unavailable for this run — that is the entire cost.
+    Degrade,
+}
+
 /// Output of a detection run.
 #[derive(Debug, Clone)]
 pub struct DetectionResult {
@@ -159,6 +181,12 @@ pub struct DetectionResult {
     /// What was quarantined or degraded during the run (empty unless
     /// faults occurred under [`FaultPolicy::Skip`]).
     pub quarantine: crate::engine::QuarantineReport,
+    /// Whether checkpointing was abandoned mid-run under
+    /// [`DurabilityPolicy::Degrade`]: the result is still bit-correct,
+    /// but resuming this run is no longer possible. Deliberately
+    /// excluded from [`DetectionResult::digest`] — a degraded run and a
+    /// durable run of the same inputs are the same bits.
+    pub durability_degraded: bool,
 }
 
 impl DetectionResult {
@@ -208,6 +236,12 @@ pub struct Durability {
     /// the on-disk manifest to match the live run's determinism inputs
     /// (config, lake fingerprint, seed, budget — thread count exempt).
     pub resume: bool,
+    /// What a storage failure does to the run (see [`DurabilityPolicy`]).
+    pub policy: DurabilityPolicy,
+    /// The storage handle checkpoint I/O goes through. The default
+    /// ([`Vfs::real`]) is plain filesystem I/O; tests and budgeted
+    /// daemons substitute fault-injecting or byte-accounting handles.
+    pub vfs: Vfs,
 }
 
 /// FNV-1a digest of every configuration field that shapes output bits.
@@ -239,9 +273,50 @@ fn config_hash(cfg: &MateldaConfig) -> u64 {
     h.finish()
 }
 
+/// The mutable durability state of one `detect_durable` call: the open
+/// store (dropped on degradation), the resume frontier, and the policy
+/// deciding whether an I/O failure kills the run or just its
+/// durability.
+struct DurabilityState {
+    store: Option<CheckpointStore>,
+    resume_ok: bool,
+    policy: DurabilityPolicy,
+    degraded: bool,
+}
+
+impl DurabilityState {
+    /// Downgrades the run to non-durable: the store is dropped, nothing
+    /// else changes. Every degradation is announced — the `ckpt.degraded`
+    /// event names the stage and errno so an operator can tell "disk
+    /// full at classify" from "flaky mount at embed".
+    fn degrade(&mut self, obs: &Obs, stage: &str, during: &str, err: &CkptError) {
+        self.store = None;
+        self.resume_ok = false;
+        self.degraded = true;
+        obs.counter_add("ckpt.degraded", 1);
+        if obs.is_enabled() {
+            obs.event(
+                "ckpt.degraded",
+                &[
+                    ("stage", Val::S(stage)),
+                    ("during", Val::S(during)),
+                    ("error", Val::S(&err.to_string())),
+                ],
+            );
+        }
+    }
+
+    /// Whether `err` is forgivable under the policy: only plain I/O
+    /// errnos qualify — corrupt or foreign snapshots stay fatal because
+    /// they question the *inputs*, not the disk.
+    fn forgives(&self, err: &CkptError) -> bool {
+        self.policy == DurabilityPolicy::Degrade && matches!(err, CkptError::Io { .. })
+    }
+}
+
 /// Runs a stage, or restores its snapshot when resuming.
 ///
-/// While `*resume_ok` holds, a verified snapshot short-circuits the
+/// While `resume_ok` holds, a verified snapshot short-circuits the
 /// stage: the stored [`CtxState`] replaces the context's accumulated
 /// state and the artifact is returned without recomputation. The first
 /// *missing* snapshot flips `resume_ok` off — that is where the
@@ -249,10 +324,14 @@ fn config_hash(cfg: &MateldaConfig) -> u64 {
 /// re-checkpoints). A corrupt or foreign snapshot is a hard error, per
 /// the durability contract: never silently reused, never silently
 /// recomputed either, because the caller asked to resume *this* run.
+///
+/// Under [`DurabilityPolicy::Degrade`] an I/O failure — loading or
+/// committing — degrades the run instead (see
+/// [`DurabilityState::degrade`]): the stage runs (or keeps its computed
+/// artifact), and checkpointing is abandoned from here on.
 fn run_or_restore<A, F>(
     ctx: &mut StageContext<'_>,
-    store: Option<&CheckpointStore>,
-    resume_ok: &mut bool,
+    dur: &mut DurabilityState,
     name: &str,
     run: F,
 ) -> Result<A, CkptError>
@@ -260,30 +339,39 @@ where
     A: ArtifactCodec,
     F: FnOnce(&mut StageContext<'_>) -> A,
 {
-    if let Some(s) = store {
-        if *resume_ok {
-            match s.load_stage(name)? {
-                Some(payload) => {
-                    let (state, artifact) = decode_snapshot::<A>(&payload).map_err(|reason| {
-                        CkptError::Corrupt { path: s.dir().join(format!("{name}.ckpt")), reason }
-                    })?;
+    if dur.resume_ok {
+        if let Some(s) = &dur.store {
+            let path = s.dir().join(format!("{name}.ckpt"));
+            let loaded = s.load_stage(name);
+            match loaded {
+                Ok(Some(payload)) => {
+                    let (state, artifact) = decode_snapshot::<A>(&payload)
+                        .map_err(|reason| CkptError::Corrupt { path, reason })?;
                     state.restore(ctx);
                     ctx.obs.event("ckpt.restore", &[("stage", Val::S(name))]);
                     ctx.obs.counter_add("ckpt.restored_stages", 1);
                     return Ok(artifact);
                 }
-                None => {
-                    *resume_ok = false;
+                Ok(None) => {
+                    dur.resume_ok = false;
                     ctx.obs.event("ckpt.resume_frontier", &[("stage", Val::S(name))]);
                 }
+                Err(e) if dur.forgives(&e) => dur.degrade(&ctx.obs, name, "load", &e),
+                Err(e) => return Err(e),
             }
         }
-        let artifact = run(ctx);
-        s.save_stage(name, &encode_snapshot(&CtxState::capture(ctx), &artifact))?;
-        Ok(artifact)
-    } else {
-        Ok(run(ctx))
     }
+    let artifact = run(ctx);
+    if dur.store.is_some() {
+        let payload = encode_snapshot(&CtxState::capture(ctx), &artifact);
+        let saved = dur.store.as_ref().expect("checked above").save_stage(name, &payload);
+        match saved {
+            Ok(()) => {}
+            Err(e) if dur.forgives(&e) => dur.degrade(&ctx.obs, name, "commit", &e),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(artifact)
 }
 
 /// The Matelda estimator.
@@ -403,30 +491,53 @@ impl Matelda {
             Some(dir) => {
                 let mut manifest = self.manifest(lake, budget);
                 manifest.threads = ctx.executor.threads() as u64;
-                Some(CheckpointStore::open(dir, manifest, opts.resume)?.with_obs(self.obs.clone()))
+                match CheckpointStore::open_with(dir, manifest, opts.resume, opts.vfs.clone()) {
+                    Ok(s) => Some(s.with_obs(self.obs.clone())),
+                    // The directory may be unreachable before a single
+                    // snapshot exists; under Degrade the run simply
+                    // starts life non-durable.
+                    Err(e @ CkptError::Io { .. }) if opts.policy == DurabilityPolicy::Degrade => {
+                        self.obs.counter_add("ckpt.degraded", 1);
+                        self.obs.event(
+                            "ckpt.degraded",
+                            &[
+                                ("stage", Val::S("open")),
+                                ("during", Val::S("open")),
+                                ("error", Val::S(&e.to_string())),
+                            ],
+                        );
+                        None
+                    }
+                    Err(e) => return Err(e),
+                }
             }
             None => None,
         };
-        let store = store.as_ref();
+        let opened_degraded = opts.checkpoint_dir.is_some() && store.is_none();
         // Restoration stops at the first missing snapshot; from there the
         // interrupted run is recomputed (and re-checkpointed) stage by
         // stage.
-        let mut resume_ok = opts.resume && store.is_some();
-        let ok = &mut resume_ok;
+        let mut dur = DurabilityState {
+            resume_ok: opts.resume && store.is_some(),
+            store,
+            policy: opts.policy,
+            degraded: opened_degraded,
+        };
+        let dur = &mut dur;
 
         // The two per-table stages run first so that any table faulting
         // under FaultPolicy::Skip is quarantined *before* cross-table
         // clustering — survivors then fold, label and classify exactly
         // as they would in a lake without the quarantined tables.
-        let embedded = run_or_restore(&mut ctx, store, ok, "embed", |ctx| {
+        let embedded = run_or_restore(&mut ctx, dur, "embed", |ctx| {
             EmbedStage::from_config(cfg).run(ctx, ())
         })?;
-        let featurized = run_or_restore(&mut ctx, store, ok, "featurize", |ctx| {
+        let featurized = run_or_restore(&mut ctx, dur, "featurize", |ctx| {
             FeaturizeStage::default().run(ctx, ())
         })?;
 
         // Step 1: domain-based cell folding (cluster the embedding).
-        let domain = run_or_restore(&mut ctx, store, ok, "domain_folds", |ctx| {
+        let domain = run_or_restore(&mut ctx, dur, "domain_folds", |ctx| {
             DomainFoldStage.run(ctx, &embedded)
         })?;
 
@@ -436,18 +547,18 @@ impl Matelda {
             && cfg.training == TrainingStrategy::PerColumn
             && budget >= 4;
         let phase1_budget = if adaptive { budget.div_ceil(2) } else { budget };
-        let quality = run_or_restore(&mut ctx, store, ok, "quality_folds", |ctx| {
+        let quality = run_or_restore(&mut ctx, dur, "quality_folds", |ctx| {
             QualityFoldStage { budget: phase1_budget }.run(ctx, (&domain, &featurized))
         })?;
 
         // Steps 3 + 4: sampling, labeling and propagation (plus the
         // optional uncertainty refinement).
-        let propagated = run_or_restore(&mut ctx, store, ok, "label", |ctx| {
+        let propagated = run_or_restore(&mut ctx, dur, "label", |ctx| {
             LabelStage { labeler, budget }.run(ctx, (&quality, &featurized))
         })?;
 
         // Step 5: classification.
-        let predictions = run_or_restore(&mut ctx, store, ok, "classify", |ctx| {
+        let predictions = run_or_restore(&mut ctx, dur, "classify", |ctx| {
             ClassifyStage.run(ctx, (&domain, &featurized, &propagated))
         })?;
 
@@ -472,6 +583,7 @@ impl Matelda {
             n_quality_folds: quality.n_total(),
             report: ctx.report,
             quarantine: ctx.quarantine,
+            durability_degraded: dur.degraded,
         })
     }
 }
@@ -655,7 +767,8 @@ mod tests {
         let mut o1 = Oracle::new(&lake.errors);
         let plain = Matelda::default().detect(&lake.dirty, &mut o1, 20);
         let mut o2 = Oracle::new(&lake.errors);
-        let opts = Durability { checkpoint_dir: Some(dir.clone()), resume: false };
+        let opts =
+            Durability { checkpoint_dir: Some(dir.clone()), resume: false, ..Default::default() };
         let durable = Matelda::default().detect_durable(&lake.dirty, &mut o2, 20, &opts).unwrap();
         assert_eq!(durable.predicted, plain.predicted);
         assert_eq!(durable.labels_used, plain.labels_used);
@@ -672,12 +785,14 @@ mod tests {
         let lake = QuintetLake { rows_per_table: 30, error_rate: 0.1 }.generate(4);
         let dir = ckpt_dir("resume");
         let mut o1 = Oracle::new(&lake.errors);
-        let opts = Durability { checkpoint_dir: Some(dir.clone()), resume: false };
+        let opts =
+            Durability { checkpoint_dir: Some(dir.clone()), resume: false, ..Default::default() };
         let first = Matelda::default().detect_durable(&lake.dirty, &mut o1, 20, &opts).unwrap();
         // Second run resumes off the completed snapshots: bit-identical
         // result, and the labeler is never consulted.
         let mut o2 = Oracle::new(&lake.errors);
-        let opts = Durability { checkpoint_dir: Some(dir.clone()), resume: true };
+        let opts =
+            Durability { checkpoint_dir: Some(dir.clone()), resume: true, ..Default::default() };
         let second = Matelda::default().detect_durable(&lake.dirty, &mut o2, 20, &opts).unwrap();
         assert_eq!(second.predicted, first.predicted);
         assert_eq!(second.labels_used, first.labels_used);
@@ -690,9 +805,11 @@ mod tests {
         let lake = QuintetLake { rows_per_table: 25, error_rate: 0.1 }.generate(5);
         let dir = ckpt_dir("mismatch");
         let mut o1 = Oracle::new(&lake.errors);
-        let opts = Durability { checkpoint_dir: Some(dir.clone()), resume: false };
+        let opts =
+            Durability { checkpoint_dir: Some(dir.clone()), resume: false, ..Default::default() };
         Matelda::default().detect_durable(&lake.dirty, &mut o1, 20, &opts).unwrap();
-        let resume = Durability { checkpoint_dir: Some(dir.clone()), resume: true };
+        let resume =
+            Durability { checkpoint_dir: Some(dir.clone()), resume: true, ..Default::default() };
         // Different seed.
         let mut o2 = Oracle::new(&lake.errors);
         let other = Matelda::new(MateldaConfig { seed: 99, ..Default::default() });
@@ -709,6 +826,88 @@ mod tests {
         let err = Matelda::default().detect_durable(&dirty, &mut o4, 20, &resume).unwrap_err();
         assert!(err.to_string().contains("lake fingerprint"), "got: {err}");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn io_fault_under_degrade_still_lands_the_clean_digest() {
+        use matelda_ckpt::{FaultKind, InjectAt, Vfs};
+        let lake = QuintetLake { rows_per_table: 25, error_rate: 0.1 }.generate(12);
+        let mut o1 = Oracle::new(&lake.errors);
+        let clean = Matelda::default().detect(&lake.dirty, &mut o1, 20);
+        assert!(!clean.durability_degraded);
+
+        // ENOSPC at the very first checkpoint operation: under Degrade
+        // the run proceeds non-durably and reports it; the bits match.
+        let dir = ckpt_dir("degrade");
+        let obs = Obs::enabled();
+        let opts = Durability {
+            checkpoint_dir: Some(dir.clone()),
+            resume: false,
+            policy: DurabilityPolicy::Degrade,
+            vfs: Vfs::with_injector(InjectAt::new(
+                0,
+                FaultKind::Errno(std::io::ErrorKind::StorageFull),
+            )),
+        };
+        let mut o2 = Oracle::new(&lake.errors);
+        let degraded = Matelda::default()
+            .with_obs(obs.clone())
+            .detect_durable(&lake.dirty, &mut o2, 20, &opts)
+            .expect("Degrade must not fail the run");
+        assert!(degraded.durability_degraded);
+        assert_eq!(degraded.digest(), clean.digest(), "degraded run must keep the clean bits");
+        assert_eq!(obs.counter("ckpt.degraded"), Some(1));
+        assert!(!obs.events_named("ckpt.degraded").is_empty());
+
+        // The same fault under Fail is a hard error, not a panic.
+        let opts = Durability {
+            checkpoint_dir: Some(dir.clone()),
+            resume: false,
+            policy: DurabilityPolicy::Fail,
+            vfs: Vfs::with_injector(InjectAt::new(
+                0,
+                FaultKind::Errno(std::io::ErrorKind::StorageFull),
+            )),
+        };
+        let mut o3 = Oracle::new(&lake.errors);
+        let err = Matelda::default().detect_durable(&lake.dirty, &mut o3, 20, &opts).unwrap_err();
+        assert!(matches!(err, CkptError::Io { .. }), "got: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn degrade_never_forgives_corrupt_snapshots() {
+        // Degrade forgives the disk, not the bytes: a corrupt snapshot
+        // on resume stays a hard error under either policy.
+        let lake = QuintetLake { rows_per_table: 25, error_rate: 0.1 }.generate(13);
+        let dir = ckpt_dir("degrade-corrupt");
+        let mut o1 = Oracle::new(&lake.errors);
+        let write =
+            Durability { checkpoint_dir: Some(dir.clone()), resume: false, ..Default::default() };
+        Matelda::default().detect_durable(&lake.dirty, &mut o1, 20, &write).unwrap();
+        let path = dir.join("embed.ckpt");
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let opts = Durability {
+            checkpoint_dir: Some(dir.clone()),
+            resume: true,
+            policy: DurabilityPolicy::Degrade,
+            ..Default::default()
+        };
+        let mut o2 = Oracle::new(&lake.errors);
+        let err = Matelda::default().detect_durable(&lake.dirty, &mut o2, 20, &opts).unwrap_err();
+        assert!(matches!(err, CkptError::Corrupt { .. }), "got: {err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn degraded_flag_is_excluded_from_the_digest() {
+        let lake = QuintetLake { rows_per_table: 20, error_rate: 0.1 }.generate(14);
+        let mut oracle = Oracle::new(&lake.errors);
+        let mut r = Matelda::default().detect(&lake.dirty, &mut oracle, 15);
+        let before = r.digest();
+        r.durability_degraded = true;
+        assert_eq!(r.digest(), before);
     }
 
     #[test]

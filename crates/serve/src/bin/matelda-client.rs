@@ -6,15 +6,19 @@
 //!                [--budget-cells N] [--seed N] [--variant V]
 //!                [--deadline-ms N] [--fresh]
 //!                [--retries N] [--backoff-ms N]
+//!                [--retry-budget-ms N] [--retry-seed N]
 //! matelda-client shutdown <addr>
 //! ```
 //!
 //! `detect` retries with deterministic backoff through daemon crashes
-//! and backpressure, and prints the same `digest: <hex>` line as the
-//! offline CLI — a retried-through-a-crash run must print the same
-//! digest as an uninterrupted one. Exit codes: 0 ok, 1 runtime/faulted,
-//! 2 usage, 3 ingest, 4 unavailable (busy/unreachable after retries),
-//! 5 checkpoint.
+//! and backpressure (`--retry-budget-ms` caps total sleep; fatal
+//! transport errors never retry), and prints the same `digest: <hex>`
+//! line as the offline CLI — a retried-through-a-crash run must print
+//! the same digest as an uninterrupted one. Exit codes: 0 ok,
+//! 1 runtime/faulted, 2 usage, 3 ingest, 4 unavailable
+//! (busy/unreachable after retries), 5 checkpoint, 6 storage full
+//! (the daemon's state budget cannot fit this run under strict
+//! durability).
 
 use matelda_serve::{
     request, request_with_retry, ClientError, DetectJob, ErrorKind, Request, Response, Retry,
@@ -117,6 +121,8 @@ fn run() -> Result<(), (u8, String)> {
             let retry = Retry {
                 attempts: parse_u64(&flags, "retries", 10)? as u32,
                 base_ms: parse_u64(&flags, "backoff-ms", 50)?,
+                budget_ms: parse_u64(&flags, "retry-budget-ms", 0)?,
+                seed: parse_u64(&flags, "retry-seed", 0)?,
             };
             match request_with_retry(addr, &Request::Detect(job), retry) {
                 Ok(Response::Result(o)) => {
@@ -132,6 +138,9 @@ fn run() -> Result<(), (u8, String)> {
                     if o.quarantined_tables > 0 {
                         println!("degraded run: {} table(s) quarantined", o.quarantined_tables);
                     }
+                    if o.degraded {
+                        println!("non-durable run: checkpoint commit degraded, resume unavailable");
+                    }
                     println!("digest: {:016x}", o.digest);
                     Ok(())
                 }
@@ -141,6 +150,7 @@ fn run() -> Result<(), (u8, String)> {
                         ErrorKind::Checkpoint => 5,
                         ErrorKind::Protocol | ErrorKind::BadRequest => 2,
                         ErrorKind::Faulted => 1,
+                        ErrorKind::StorageFull => 6,
                     };
                     Err((code, format!("daemon error ({kind:?}): {message}")))
                 }

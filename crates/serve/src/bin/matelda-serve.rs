@@ -3,6 +3,7 @@
 //! ```text
 //! matelda-serve --state-dir <dir> [--addr 127.0.0.1:7717] [--threads N]
 //!               [--max-active N] [--max-queued N] [--trace <dir>]
+//!               [--state-budget-bytes N] [--durability degrade|strict]
 //! ```
 //!
 //! Prints `listening on <addr>` once the socket is live (parse this for
@@ -40,14 +41,24 @@ fn run() -> Result<(), (u8, String)> {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "usage: matelda-serve --state-dir <dir> [--addr 127.0.0.1:7717] [--threads N] \
-             [--max-active N] [--max-queued N] [--trace <dir>]"
+             [--max-active N] [--max-queued N] [--trace <dir>] \
+             [--state-budget-bytes N] [--durability degrade|strict]"
         );
         return Ok(());
     }
     let flags = parse_flags(&args).map_err(|e| (2, e))?;
     for key in flags.keys() {
-        if !["state-dir", "addr", "threads", "max-active", "max-queued", "trace"]
-            .contains(&key.as_str())
+        if ![
+            "state-dir",
+            "addr",
+            "threads",
+            "max-active",
+            "max-queued",
+            "trace",
+            "state-budget-bytes",
+            "durability",
+        ]
+        .contains(&key.as_str())
         {
             return Err((2, format!("unknown flag --{key}")));
         }
@@ -64,6 +75,17 @@ fn run() -> Result<(), (u8, String)> {
             None => Ok(default),
         }
     };
+    let state_budget_bytes: u64 = match flags.get("state-budget-bytes") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| (2, format!("--state-budget-bytes expects an integer, got {v:?}")))?,
+        None => 0,
+    };
+    let strict_durability = match flags.get("durability").map(String::as_str) {
+        None | Some("degrade") => false,
+        Some("strict") => true,
+        Some(v) => return Err((2, format!("--durability expects degrade|strict, got {v:?}"))),
+    };
     let opts = ServeOptions {
         addr: flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:7717".to_string()),
         state_dir,
@@ -72,6 +94,8 @@ fn run() -> Result<(), (u8, String)> {
         max_queued: parse_usize("max-queued", 8)?,
         obs: matelda_obs::Obs::enabled(),
         hold: None,
+        state_budget_bytes,
+        strict_durability,
     };
     let trace_dir = flags.get("trace").map(PathBuf::from);
     let obs = opts.obs.clone();

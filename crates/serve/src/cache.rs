@@ -16,8 +16,7 @@
 //! wrong answer.
 
 use crate::proto::{decode_outcome, encode_outcome, DetectOutcome};
-use matelda_ckpt::{decode_envelope, encode_envelope, Reader, Writer};
-use std::fs;
+use matelda_ckpt::{decode_envelope, encode_envelope, Reader, Vfs, Writer};
 use std::io;
 use std::path::{Path, PathBuf};
 
@@ -42,13 +41,32 @@ pub enum CacheRead {
 #[derive(Debug, Clone)]
 pub struct MemoCache {
     dir: PathBuf,
+    vfs: Vfs,
 }
 
 impl MemoCache {
-    /// Opens (creating if needed) the cache directory.
+    /// Opens (creating if needed) the cache directory with plain
+    /// filesystem I/O.
     pub fn open(dir: &Path) -> io::Result<MemoCache> {
-        fs::create_dir_all(dir)?;
-        Ok(MemoCache { dir: dir.to_path_buf() })
+        Self::open_with(dir, Vfs::real())
+    }
+
+    /// Opens (creating if needed) the cache directory, routing every
+    /// byte through `vfs`. Stale `*.tmp` litter from interrupted
+    /// commits is scavenged here — a crashed store never pins disk.
+    pub fn open_with(dir: &Path, vfs: Vfs) -> io::Result<MemoCache> {
+        vfs.create_dir_all(dir)?;
+        for path in vfs.read_dir_paths(dir)? {
+            if path.extension().is_some_and(|e| e == "tmp") && path.is_file() {
+                vfs.remove_file(&path)?;
+            }
+        }
+        Ok(MemoCache { dir: dir.to_path_buf(), vfs })
+    }
+
+    /// The directory this cache lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
     }
 
     /// The entry path for a key (exposed for corruption tests).
@@ -60,7 +78,7 @@ impl MemoCache {
     /// and payload checksum before trusting a byte of the payload.
     pub fn load(&self, key: u64) -> CacheRead {
         let path = self.entry_path(key);
-        let bytes = match fs::read(&path) {
+        let bytes = match self.vfs.read(&path) {
             Ok(b) => b,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return CacheRead::Miss,
             Err(_) => return self.evict(&path),
@@ -80,22 +98,29 @@ impl MemoCache {
         CacheRead::Hit(outcome)
     }
 
-    /// Stores an entry atomically (tmp + rename), so a crash mid-write
-    /// leaves either the old entry or none — never a torn one under the
-    /// final name. Best-effort: a failed store only costs a future
-    /// recompute.
+    /// Stores an entry with the full tmp + fsync + rename commit, so a
+    /// crash — or power cut — mid-write leaves either the old entry or
+    /// none, never a torn one under the final name. Best-effort at the
+    /// call site: a failed store only costs a future recompute, never
+    /// the request.
     pub fn store(&self, key: u64, outcome: &DetectOutcome) -> io::Result<()> {
         let mut w = Writer::new();
         encode_outcome(&mut w, outcome);
         let bytes = encode_envelope(key, MEMO_STAGE, w.as_bytes());
-        let path = self.entry_path(key);
-        let tmp = path.with_extension("tmp");
-        fs::write(&tmp, &bytes)?;
-        fs::rename(&tmp, &path)
+        self.vfs.write_atomic(&self.entry_path(key), &bytes).map(|_| ())
+    }
+
+    /// Removes one entry by key (the eviction layer's hook). Missing
+    /// entries are fine — eviction races lookups by design.
+    pub fn remove(&self, key: u64) -> io::Result<()> {
+        match self.vfs.remove_file(&self.entry_path(key)) {
+            Err(e) if e.kind() != io::ErrorKind::NotFound => Err(e),
+            _ => Ok(()),
+        }
     }
 
     fn evict(&self, path: &Path) -> CacheRead {
-        let _ = fs::remove_file(path);
+        let _ = self.vfs.remove_file(path);
         CacheRead::Corrupt
     }
 }
@@ -115,6 +140,7 @@ mod tests {
             stages_run: 6,
             stages_restored: 0,
             cached: false,
+            degraded: false,
         }
     }
 
@@ -160,6 +186,49 @@ mod tests {
             assert_eq!(cache.load(5), CacheRead::Miss, "damage {i}");
             let _ = std::fs::remove_dir_all(cache.dir);
         }
+    }
+
+    #[test]
+    fn open_scavenges_stale_tmp_litter() {
+        let cache = temp_cache("scavenge");
+        cache.store(3, &outcome()).unwrap();
+        let litter = cache.dir().join("deadbeef00000000.tmp");
+        std::fs::write(&litter, b"half a crashed commit").unwrap();
+        let reopened = MemoCache::open(cache.dir()).unwrap();
+        assert!(!litter.exists(), "stale tmp must be scavenged on open");
+        assert_eq!(reopened.load(3), CacheRead::Hit(outcome()), "real entries survive");
+        let _ = std::fs::remove_dir_all(cache.dir);
+    }
+
+    #[test]
+    fn store_commits_atomically_through_the_vfs() {
+        use matelda_ckpt::{FaultKind, InjectAt, Vfs};
+        let cache = temp_cache("atomic");
+        cache.store(9, &outcome()).unwrap();
+        // A faulted re-store (any site of the commit) must leave the old
+        // entry fully intact — write_atomic never tears the final name.
+        // Opening consumes ops 0-1 (create_dir, scavenge read_dir); the
+        // commit is ops 2-6 (open, write, sync, rename, dir-sync).
+        for at in 2..6 {
+            let inj = InjectAt::new(at, FaultKind::Errno(std::io::ErrorKind::StorageFull));
+            let faulty =
+                MemoCache::open_with(cache.dir(), Vfs::with_injector(inj.clone())).unwrap();
+            let err = faulty.store(9, &outcome()).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::StorageFull, "site {at}");
+            assert_eq!(inj.fired(), 1, "site {at}");
+            assert_eq!(cache.load(9), CacheRead::Hit(outcome()), "site {at}");
+        }
+        let _ = std::fs::remove_dir_all(cache.dir);
+    }
+
+    #[test]
+    fn remove_frees_the_entry_and_tolerates_absence() {
+        let cache = temp_cache("remove");
+        cache.store(4, &outcome()).unwrap();
+        cache.remove(4).unwrap();
+        assert_eq!(cache.load(4), CacheRead::Miss);
+        cache.remove(4).unwrap(); // absent: still Ok
+        let _ = std::fs::remove_dir_all(cache.dir);
     }
 
     #[test]

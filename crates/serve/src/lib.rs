@@ -18,6 +18,10 @@
 //! * a fingerprint-keyed, checksum-validated memo-cache — an unchanged
 //!   lake answers without running a single stage, and a corrupted entry
 //!   is evicted and recomputed, never served;
+//! * a disk budget (`--state-budget-bytes`) enforced at write time by a
+//!   budgeted [`matelda_ckpt::Vfs`], kept livable by LRU eviction of
+//!   completed state ([`storage`]) — an active run degrades or answers
+//!   [`ErrorKind::StorageFull`], never panics and never tears state;
 //! * graceful shutdown that stops admission, drains in-flight runs and
 //!   acknowledges before exit.
 //!
@@ -30,6 +34,7 @@ pub mod client;
 pub mod proto;
 pub mod registry;
 pub mod server;
+pub mod storage;
 
 pub use cache::{CacheRead, MemoCache};
 pub use client::{request, request_with_retry, ClientError, Retry};
@@ -39,3 +44,4 @@ pub use proto::{
 };
 pub use registry::{LakePair, Registry};
 pub use server::{serve, Latch, ServeOptions, ServerHandle};
+pub use storage::{ActiveKey, StateStore};

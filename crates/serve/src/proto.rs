@@ -34,7 +34,8 @@ pub const MAX_FRAME: u32 = 256 * 1024;
 const MAGIC: u8 = 0xA7;
 
 /// Protocol version; bump on any message-layout change.
-pub const PROTO_VERSION: u32 = 1;
+/// v2: [`DetectOutcome::degraded`] + [`ErrorKind::StorageFull`].
+pub const PROTO_VERSION: u32 = 2;
 
 /// What went wrong reading a frame off the socket.
 #[derive(Debug)]
@@ -173,6 +174,10 @@ pub struct DetectOutcome {
     pub stages_restored: u64,
     /// Whether the answer came from the validated memo-cache.
     pub cached: bool,
+    /// Whether the run lost its durability to a storage fault
+    /// (`DurabilityPolicy::Degrade`): the result is still bit-correct,
+    /// but this run cannot be resumed and was not memoized durably.
+    pub degraded: bool,
 }
 
 /// Structured failure classes, mirroring the CLI's exit-code taxonomy.
@@ -188,6 +193,12 @@ pub enum ErrorKind {
     Checkpoint,
     /// The detection run itself faulted; only this request is poisoned.
     Faulted,
+    /// The daemon's disk budget cannot fit this *active* run under
+    /// strict durability. Completed state was already eligible for
+    /// eviction — this is "the live run itself does not fit". Retry
+    /// after freeing space, raising `--state-budget-bytes`, or running
+    /// without strict durability.
+    StorageFull,
 }
 
 impl ErrorKind {
@@ -198,6 +209,7 @@ impl ErrorKind {
             ErrorKind::Ingest => 2,
             ErrorKind::Checkpoint => 3,
             ErrorKind::Faulted => 4,
+            ErrorKind::StorageFull => 5,
         }
     }
 
@@ -208,6 +220,7 @@ impl ErrorKind {
             2 => ErrorKind::Ingest,
             3 => ErrorKind::Checkpoint,
             4 => ErrorKind::Faulted,
+            5 => ErrorKind::StorageFull,
             other => return Err(DecodeError::Malformed(format!("error kind {other}"))),
         })
     }
@@ -372,6 +385,7 @@ pub fn encode_outcome(w: &mut Writer, o: &DetectOutcome) {
     w.write_u64(o.stages_run);
     w.write_u64(o.stages_restored);
     w.write_bool(o.cached);
+    w.write_bool(o.degraded);
 }
 
 /// Decodes the outcome fields (see [`encode_outcome`]).
@@ -386,5 +400,6 @@ pub fn decode_outcome(r: &mut Reader<'_>) -> Result<DetectOutcome, DecodeError> 
         stages_run: r.read_u64()?,
         stages_restored: r.read_u64()?,
         cached: r.read_bool()?,
+        degraded: r.read_bool()?,
     })
 }

@@ -30,8 +30,11 @@ use crate::proto::{
     FrameError, Request, Response,
 };
 use crate::registry::Registry;
+use crate::storage::{ActiveKey, StateStore};
+use matelda_ckpt::{dir_bytes, Vfs};
 use matelda_core::{
-    DomainFolding, Durability, FaultPolicy, Matelda, MateldaConfig, TrainingStrategy,
+    CkptError, DomainFolding, Durability, DurabilityPolicy, FaultPolicy, Matelda, MateldaConfig,
+    TrainingStrategy,
 };
 use matelda_exec::{panic_message, Executor};
 use matelda_obs::{Obs, Val};
@@ -95,6 +98,18 @@ pub struct ServeOptions {
     /// Daemon-level telemetry: per-request events, admission counters,
     /// pool shutdown leak reports.
     pub obs: Obs,
+    /// Hard cap on the state directory's bytes (`0` = unlimited). When
+    /// set, all durability I/O goes through a budgeted [`Vfs`] that
+    /// refuses to exceed the cap, and completed state (memo entries,
+    /// finished runs' checkpoints) is LRU-evicted to keep headroom for
+    /// active runs (see [`crate::storage`]).
+    pub state_budget_bytes: u64,
+    /// `true` makes checkpoint failures fatal to the request (answered
+    /// as `Checkpoint` — or `StorageFull` when the active run cannot
+    /// fit the budget). The default `false` degrades: the run still
+    /// answers with correct bits, marked [`DetectOutcome::degraded`],
+    /// resume unavailable.
+    pub strict_durability: bool,
     /// Test seam: when set, every admitted run blocks on this latch
     /// before doing any work.
     #[doc(hidden)]
@@ -110,6 +125,8 @@ impl Default for ServeOptions {
             max_active: 2,
             max_queued: 8,
             obs: Obs::disabled(),
+            state_budget_bytes: 0,
+            strict_durability: false,
             hold: None,
         }
     }
@@ -193,6 +210,9 @@ struct Daemon {
     registry: Registry,
     cache: MemoCache,
     runs_dir: PathBuf,
+    storage: StateStore,
+    vfs: Vfs,
+    strict: bool,
     obs: Obs,
     hold: Option<Arc<Latch>>,
     /// Serializes concurrent requests for the *same* manifest key so the
@@ -230,7 +250,19 @@ pub fn serve(opts: ServeOptions) -> io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
     let runs_dir = opts.state_dir.join("runs");
     std::fs::create_dir_all(&runs_dir)?;
-    let cache = MemoCache::open(&opts.state_dir.join("cache"))?;
+    // With a budget, pre-charge whatever a restarted daemon already has
+    // on disk, so adopted state counts against the cap from second one.
+    let vfs = if opts.state_budget_bytes > 0 {
+        Vfs::with_budget(opts.state_budget_bytes, dir_bytes(&opts.state_dir).unwrap_or(0))
+    } else {
+        Vfs::real()
+    };
+    let cache_dir = opts.state_dir.join("cache");
+    let cache = MemoCache::open_with(&cache_dir, vfs.clone())?;
+    let storage = StateStore::new(runs_dir.clone(), cache_dir, vfs.clone(), opts.obs.clone());
+    // A restarted budgeted daemon may adopt more state than the
+    // high-water mark allows; reclaim before the first request.
+    storage.enforce();
     // One pool for the daemon's lifetime: every request clones the
     // executor (sharing the pool); shutdown leak reports go to the
     // daemon's obs, bounded by the join deadline.
@@ -248,6 +280,9 @@ pub fn serve(opts: ServeOptions) -> io::Result<ServerHandle> {
         registry: Registry::new(),
         cache,
         runs_dir,
+        storage,
+        vfs,
+        strict: opts.strict_durability,
         obs: opts.obs.clone(),
         hold: opts.hold.clone(),
         key_locks: Mutex::new(HashMap::new()),
@@ -422,9 +457,18 @@ fn run_detect(daemon: &Arc<Daemon>, job: &DetectJob) -> Response {
         }
     }
 
+    // This key's state is now load-bearing: exempt it from eviction,
+    // then reclaim completed state so the active run finds headroom.
+    let _active = ActiveKey::new(&daemon.storage, key);
+    daemon.storage.enforce();
+
     let durability = Durability {
         checkpoint_dir: Some(daemon.runs_dir.join(format!("{key:016x}"))),
         resume: true,
+        // Strict tenants trade availability for a resume guarantee;
+        // the default trades the guarantee for always answering.
+        policy: if daemon.strict { DurabilityPolicy::Fail } else { DurabilityPolicy::Degrade },
+        vfs: daemon.vfs.clone(),
     };
     let mut oracle = matelda_table::Oracle::new(&pair.truth);
     // Request-level quarantine: a panicking run (FaultPolicy::Fail, an
@@ -437,7 +481,17 @@ fn run_detect(daemon: &Arc<Daemon>, job: &DetectJob) -> Response {
         Ok(Ok(result)) => result,
         Ok(Err(ckpt_err)) => {
             daemon.obs.counter_add("serve.checkpoint_errors", 1);
-            return Response::Error { kind: ErrorKind::Checkpoint, message: ckpt_err.to_string() };
+            // Under strict durability, a budget refusal means the
+            // *active* run cannot fit (completed state was already
+            // evictable) — that is the one case StorageFull names.
+            let kind = match &ckpt_err {
+                CkptError::Io { source, .. } if source.kind() == io::ErrorKind::StorageFull => {
+                    daemon.obs.counter_add("serve.storage_full", 1);
+                    ErrorKind::StorageFull
+                }
+                _ => ErrorKind::Checkpoint,
+            };
+            return Response::Error { kind, message: ckpt_err.to_string() };
         }
         Err(payload) => {
             daemon.obs.counter_add("serve.faulted", 1);
@@ -447,6 +501,9 @@ fn run_detect(daemon: &Arc<Daemon>, job: &DetectJob) -> Response {
             };
         }
     };
+    if result.durability_degraded {
+        daemon.obs.counter_add("serve.degraded", 1);
+    }
     let outcome = DetectOutcome {
         digest: result.digest(),
         labels_used: result.labels_used as u64,
@@ -459,9 +516,18 @@ fn run_detect(daemon: &Arc<Daemon>, job: &DetectJob) -> Response {
         stages_run: request_obs.events_named("stage.end").len() as u64,
         stages_restored: request_obs.counter("ckpt.restored_stages").unwrap_or(0),
         cached: false,
+        degraded: result.durability_degraded,
     };
-    // Best-effort: a failed store only costs a recompute later.
-    let _ = daemon.cache.store(key, &outcome);
+    // Best-effort: a failed store only costs a recompute later, never
+    // this request — but it is counted, not swallowed silently.
+    if daemon.cache.store(key, &outcome).is_err() {
+        daemon.obs.counter_add("serve.cache.store_failed", 1);
+    }
+    // Reclaim again with this run's state now evictable-sized: keeps
+    // the steady-state footprint at the high-water mark between
+    // requests. (The guard drops after, making this key evictable for
+    // the *next* pass — its fresh mtime makes it the LRU's last pick.)
+    daemon.storage.enforce();
     note_request(daemon, job, key, &outcome);
     Response::Result(outcome)
 }

@@ -1,0 +1,290 @@
+//! Disk-budget enforcement for the daemon's state directory.
+//!
+//! With `--state-budget-bytes` set, every durability byte the daemon
+//! writes — run checkpoints, memo-cache entries — goes through one
+//! budgeted [`Vfs`] that refuses to exceed the limit, and this module
+//! keeps the budget *livable*: completed state (memo entries and the
+//! checkpoint directories of runs that are not currently executing) is
+//! evicted oldest-first whenever usage crosses the high-water mark, so
+//! active runs always find room. The ordering guarantee is the simple
+//! one that matters operationally:
+//!
+//! * the state directory never exceeds the budget, even transiently
+//!   (the [`Vfs`] enforces that at write time, not this module);
+//! * completed state is reclaimed before any active run is refused;
+//! * a run that *still* cannot fit degrades (default policy) or is
+//!   answered with an explicit `StorageFull` (strict durability) —
+//!   never a panic, never a torn result.
+//!
+//! Telemetry: the `serve.state.bytes` gauge tracks charged bytes after
+//! every enforcement pass, `serve.state.evictions` counts entries
+//! reclaimed over the daemon's lifetime (counter and gauge).
+
+use matelda_ckpt::Vfs;
+use matelda_obs::Obs;
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::SystemTime;
+
+/// Keep usage at or below this fraction of the budget between requests:
+/// evicting down to half leaves the other half as headroom for whatever
+/// the next active run needs to checkpoint.
+const HIGH_WATER_NUM: u64 = 1;
+const HIGH_WATER_DEN: u64 = 2;
+
+/// The daemon's view of its state directory: who is active, what can be
+/// evicted, how many bytes are charged.
+#[derive(Debug)]
+pub struct StateStore {
+    runs_dir: PathBuf,
+    cache_dir: PathBuf,
+    vfs: Vfs,
+    obs: Obs,
+    active: Mutex<HashSet<u64>>,
+    evictions: AtomicU64,
+}
+
+/// One evictable entry: a memo-cache file or a completed run directory.
+struct Candidate {
+    mtime: SystemTime,
+    path: PathBuf,
+    key: Option<u64>,
+    is_dir: bool,
+}
+
+impl StateStore {
+    /// A store over `runs/` and `cache/` sharing the daemon's storage
+    /// handle (whose budget, if any, this store keeps under the
+    /// high-water mark).
+    pub fn new(runs_dir: PathBuf, cache_dir: PathBuf, vfs: Vfs, obs: Obs) -> StateStore {
+        StateStore {
+            runs_dir,
+            cache_dir,
+            vfs,
+            obs,
+            active: Mutex::new(HashSet::new()),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Marks `key` active: its run directory and memo entry are exempt
+    /// from eviction until [`StateStore::end`].
+    pub fn begin(&self, key: u64) {
+        self.lock_active().insert(key);
+    }
+
+    /// Ends `key`'s active window (its state becomes evictable again).
+    pub fn end(&self, key: u64) {
+        self.lock_active().remove(&key);
+    }
+
+    /// Bytes currently charged against the budget (`None` unbudgeted).
+    pub fn bytes(&self) -> Option<u64> {
+        self.vfs.budget_used()
+    }
+
+    /// Entries evicted over the daemon's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    fn lock_active(&self) -> std::sync::MutexGuard<'_, HashSet<u64>> {
+        self.active.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Key encoded in a state entry's file stem (`<key:016x>.res` /
+    /// `runs/<key:016x>`), if it parses.
+    fn entry_key(path: &std::path::Path) -> Option<u64> {
+        let stem = path.file_stem()?.to_str()?;
+        u64::from_str_radix(stem, 16).ok()
+    }
+
+    fn candidates(&self) -> Vec<Candidate> {
+        let mut out = Vec::new();
+        let mut push = |path: PathBuf, is_dir: bool| {
+            let Ok(meta) = std::fs::metadata(&path) else { return };
+            out.push(Candidate {
+                mtime: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+                key: Self::entry_key(&path),
+                path,
+                is_dir,
+            });
+        };
+        if let Ok(entries) = self.vfs.read_dir_paths(&self.cache_dir) {
+            for path in entries {
+                if path.extension().is_some_and(|e| e == "res") {
+                    push(path, false);
+                }
+            }
+        }
+        if let Ok(entries) = self.vfs.read_dir_paths(&self.runs_dir) {
+            for path in entries {
+                if path.is_dir() {
+                    push(path, true);
+                }
+            }
+        }
+        out
+    }
+
+    /// Evicts completed state, oldest first, until usage is at or below
+    /// the high-water mark. No-op without a budget. Active runs' state
+    /// is never touched; ties and ordering are stable (mtime, then
+    /// path) so concurrent enforcement passes converge.
+    pub fn enforce(&self) {
+        let Some(limit) = self.vfs.budget_limit() else { return };
+        let high_water = limit / HIGH_WATER_DEN * HIGH_WATER_NUM;
+        let mut used = self.vfs.budget_used().unwrap_or(0);
+        if used > high_water {
+            let mut candidates = self.candidates();
+            candidates.sort_by(|a, b| a.mtime.cmp(&b.mtime).then_with(|| a.path.cmp(&b.path)));
+            let active = self.lock_active().clone();
+            for c in candidates {
+                if used <= high_water {
+                    break;
+                }
+                if c.key.is_some_and(|k| active.contains(&k)) {
+                    continue;
+                }
+                let removed = if c.is_dir {
+                    self.vfs.remove_dir_all(&c.path)
+                } else {
+                    self.vfs.remove_file(&c.path)
+                };
+                if removed.is_ok() {
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.obs.counter_add("serve.state.evictions", 1);
+                }
+                used = self.vfs.budget_used().unwrap_or(0);
+            }
+        }
+        self.obs.gauge_set("serve.state.bytes", used as f64);
+        self.obs.gauge_set("serve.state.evictions", self.evictions() as f64);
+    }
+}
+
+/// RAII for one key's active window (eviction exemption).
+pub struct ActiveKey<'a> {
+    store: &'a StateStore,
+    key: u64,
+}
+
+impl<'a> ActiveKey<'a> {
+    /// Marks `key` active until the guard drops.
+    pub fn new(store: &'a StateStore, key: u64) -> ActiveKey<'a> {
+        store.begin(key);
+        ActiveKey { store, key }
+    }
+}
+
+impl Drop for ActiveKey<'_> {
+    fn drop(&mut self) {
+        self.store.end(self.key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::path::Path;
+
+    fn temp_state(tag: &str) -> PathBuf {
+        use std::sync::atomic::AtomicU64;
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("matelda-state-{tag}-{}-{n}", std::process::id()));
+        fs::create_dir_all(dir.join("runs")).unwrap();
+        fs::create_dir_all(dir.join("cache")).unwrap();
+        dir
+    }
+
+    fn store_with_budget(dir: &Path, limit: u64) -> StateStore {
+        let used = matelda_ckpt::dir_bytes(dir).unwrap_or(0);
+        StateStore::new(
+            dir.join("runs"),
+            dir.join("cache"),
+            Vfs::with_budget(limit, used),
+            Obs::enabled(),
+        )
+    }
+
+    fn plant_entry(dir: &Path, key: u64, bytes: usize, age_rank: u64) {
+        let path = dir.join("cache").join(format!("{key:016x}.res"));
+        fs::write(&path, vec![0u8; bytes]).unwrap();
+        // mtime ordering via explicit timestamps is not portable without
+        // utime; rank by writing in order and sleeping briefly instead.
+        let _ = age_rank;
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    fn plant_run(dir: &Path, key: u64, bytes: usize) {
+        let run = dir.join("runs").join(format!("{key:016x}"));
+        fs::create_dir_all(&run).unwrap();
+        fs::write(run.join("embed.ckpt"), vec![0u8; bytes]).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    #[test]
+    fn evicts_oldest_first_down_to_high_water() {
+        let dir = temp_state("lru");
+        plant_entry(&dir, 1, 400, 0); // oldest
+        plant_entry(&dir, 2, 400, 1);
+        plant_entry(&dir, 3, 400, 2); // newest
+        let store = store_with_budget(&dir, 1200); // high water = 600
+        assert_eq!(store.bytes(), Some(1200));
+        store.enforce();
+        // Two oldest go; the newest survives at 400 ≤ 600.
+        assert_eq!(store.bytes(), Some(400));
+        assert!(!dir.join("cache/0000000000000001.res").exists());
+        assert!(!dir.join("cache/0000000000000002.res").exists());
+        assert!(dir.join("cache/0000000000000003.res").exists());
+        assert_eq!(store.evictions(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn active_keys_are_never_evicted() {
+        let dir = temp_state("active");
+        plant_entry(&dir, 7, 800, 0); // oldest but active
+        plant_run(&dir, 7, 100);
+        plant_entry(&dir, 8, 600, 1);
+        let store = store_with_budget(&dir, 1400); // high water = 700
+        let guard = ActiveKey::new(&store, 7);
+        store.enforce();
+        assert!(dir.join("cache/0000000000000007.res").exists(), "active memo survives");
+        assert!(dir.join("runs/0000000000000007").exists(), "active run dir survives");
+        assert!(!dir.join("cache/0000000000000008.res").exists(), "inactive newest evicted");
+        drop(guard);
+        store.enforce();
+        assert!(!dir.join("cache/0000000000000007.res").exists(), "evictable once inactive");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn run_directories_are_evicted_whole() {
+        let dir = temp_state("rundirs");
+        plant_run(&dir, 11, 500);
+        plant_entry(&dir, 12, 100, 1);
+        let store = store_with_budget(&dir, 800); // high water = 400
+        store.enforce();
+        assert!(!dir.join("runs/000000000000000b").exists(), "whole run dir reclaimed");
+        assert!(store.bytes().unwrap() <= 400);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unbudgeted_store_never_evicts() {
+        let dir = temp_state("unbudgeted");
+        plant_entry(&dir, 1, 10_000, 0);
+        let store =
+            StateStore::new(dir.join("runs"), dir.join("cache"), Vfs::real(), Obs::disabled());
+        store.enforce();
+        assert!(dir.join("cache/0000000000000001.res").exists());
+        assert_eq!(store.bytes(), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -46,13 +46,13 @@ fn arb_outcome() -> impl Strategy<Value = DetectOutcome> {
     (
         (arb_u64(), 0u64..1000, 0u64..100, 0u64..1000),
         (0u64..100_000, 0u64..16, 0u64..7, 0u64..7),
-        arb_bool(),
+        (arb_bool(), arb_bool()),
     )
         .prop_map(
             |(
                 (digest, labels_used, n_domain_folds, n_quality_folds),
                 (flagged, quarantined_tables, stages_run, stages_restored),
-                cached,
+                (cached, degraded),
             )| DetectOutcome {
                 digest,
                 labels_used,
@@ -63,12 +63,13 @@ fn arb_outcome() -> impl Strategy<Value = DetectOutcome> {
                 stages_run,
                 stages_restored,
                 cached,
+                degraded,
             },
         )
 }
 
 fn arb_response() -> impl Strategy<Value = Response> {
-    (0u8..6, arb_outcome(), (0u64..100, 0u64..100), (0u8..5, "[ -~]{0,60}")).prop_map(
+    (0u8..6, arb_outcome(), (0u64..100, 0u64..100), (0u8..6, "[ -~]{0,60}")).prop_map(
         |(pick, outcome, (active, queued), (k, message))| match pick {
             0 => Response::Pong,
             1 => Response::ShuttingDown,
@@ -81,6 +82,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
                     1 => ErrorKind::BadRequest,
                     2 => ErrorKind::Ingest,
                     3 => ErrorKind::Checkpoint,
+                    4 => ErrorKind::StorageFull,
                     _ => ErrorKind::Faulted,
                 },
                 message,

@@ -420,3 +420,107 @@ fn shutdown_drains_in_flight_runs_and_refuses_new_ones() {
     let _ = std::fs::remove_dir_all(root);
     let _ = std::fs::remove_dir_all(state);
 }
+
+#[test]
+fn a_small_state_budget_is_never_exceeded_and_the_daemon_keeps_answering() {
+    let _s = serial();
+    // Size one run's state footprint with an unbudgeted daemon first.
+    let (root, dirty, clean) = write_pair("budget", 31);
+    let (handle, addr, state) =
+        start("budget_sizing", ServeOptions { threads: 1, ..Default::default() });
+    let baseline = detect_ok(addr, &job(&dirty, &clean, 40));
+    let footprint = matelda_ckpt::dir_bytes(&state).expect("state dir sizes");
+    stop(addr, handle);
+    let _ = std::fs::remove_dir_all(&state);
+    assert!(footprint > 0, "a completed run must leave durable state");
+
+    // A budget fitting ~3 runs, then a 6-key soak: eviction has to kick
+    // in, every request still answers with the right bits, and the
+    // on-disk footprint never exceeds the budget — sampled concurrently,
+    // not just between requests.
+    let budget = footprint * 3;
+    let obs = Obs::enabled();
+    let (handle, addr, state) = start(
+        "budget_soak",
+        ServeOptions {
+            threads: 1,
+            state_budget_bytes: budget,
+            obs: obs.clone(),
+            ..Default::default()
+        },
+    );
+    let stop_sampling = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let sampler = {
+        let state = state.clone();
+        let stop_sampling = std::sync::Arc::clone(&stop_sampling);
+        std::thread::spawn(move || {
+            let mut max = 0u64;
+            while !stop_sampling.load(std::sync::atomic::Ordering::SeqCst) {
+                max = max.max(matelda_ckpt::dir_bytes(&state).unwrap_or(0));
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            max
+        })
+    };
+    for seed in 40..46 {
+        let outcome = detect_ok(addr, &job(&dirty, &clean, seed));
+        assert!(!outcome.degraded, "3-run budget must fit each single active run (seed {seed})");
+        if seed == 40 {
+            assert_eq!(outcome.digest, baseline.digest, "budgeted daemon changes no bits");
+        }
+    }
+    stop_sampling.store(true, std::sync::atomic::Ordering::SeqCst);
+    let peak = sampler.join().expect("sampler");
+    assert!(peak <= budget, "state dir peaked at {peak} bytes over the {budget}-byte budget");
+    assert!(
+        obs.counter("serve.state.evictions").unwrap_or(0) > 0,
+        "6 runs into a 3-run budget must evict"
+    );
+
+    stop(addr, handle);
+    let _ = std::fs::remove_dir_all(root);
+    let _ = std::fs::remove_dir_all(state);
+}
+
+#[test]
+fn an_unpayable_budget_degrades_by_default_and_refuses_under_strict() {
+    let _s = serial();
+    let (root, dirty, clean) = write_pair("nospace", 32);
+    let baseline =
+        direct_digest(&dirty, &clean, MateldaConfig { seed: 12, ..Default::default() }, 20);
+
+    // 16 bytes: no checkpoint (or memo entry) can ever commit. Default
+    // policy answers anyway — correct bits, marked degraded, resume
+    // gone — and the memo-store failure is counted, not fatal.
+    let obs = Obs::enabled();
+    let (handle, addr, state) = start(
+        "nospace_degrade",
+        ServeOptions { threads: 1, state_budget_bytes: 16, obs: obs.clone(), ..Default::default() },
+    );
+    let outcome = detect_ok(addr, &job(&dirty, &clean, 12));
+    assert!(outcome.degraded, "an unwritable state dir must degrade the run");
+    assert_eq!(outcome.digest, baseline, "degraded runs still produce the clean digest");
+    assert_eq!(obs.counter("serve.degraded"), Some(1));
+    assert_eq!(obs.counter("serve.cache.store_failed"), Some(1));
+    stop(addr, handle);
+    let _ = std::fs::remove_dir_all(state);
+
+    // Strict durability turns the same situation into an explicit
+    // StorageFull refusal — the one case that error names.
+    let (handle, addr, state) = start(
+        "nospace_strict",
+        ServeOptions {
+            threads: 1,
+            state_budget_bytes: 16,
+            strict_durability: true,
+            ..Default::default()
+        },
+    );
+    match request(addr, &Request::Detect(job(&dirty, &clean, 12))).expect("connection survives") {
+        Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::StorageFull),
+        other => panic!("expected StorageFull under strict durability, got {other:?}"),
+    }
+    stop(addr, handle);
+    let _ = std::fs::remove_dir_all(root);
+    let _ = std::fs::remove_dir_all(state);
+}

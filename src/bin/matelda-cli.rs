@@ -381,7 +381,7 @@ fn cmd_detect(args: &[String]) -> CliResult {
 
     let truth = diff_lakes(&dirty, &clean);
     let mut oracle = Oracle::new(&truth);
-    let durability = Durability { checkpoint_dir, resume };
+    let durability = Durability { checkpoint_dir, resume, ..Default::default() };
     let start = std::time::Instant::now();
     // Under `--on-error fail` the engine aborts by panicking at the first
     // fault (incl. a blown --stage-timeout-ms deadline). That is the

@@ -117,7 +117,8 @@ fn traced_resume_reads_untraced_checkpoints_bit_identically() {
     let reference = Matelda::default().detect(&gl.dirty, &mut oracle, budget);
 
     // An untraced durable run commits every stage...
-    let write = Durability { checkpoint_dir: Some(dir.clone()), resume: false };
+    let write =
+        Durability { checkpoint_dir: Some(dir.clone()), resume: false, ..Default::default() };
     let mut oracle = Oracle::new(&gl.errors);
     Matelda::default().detect_durable(&gl.dirty, &mut oracle, budget, &write).expect("durable run");
 
@@ -125,7 +126,8 @@ fn traced_resume_reads_untraced_checkpoints_bit_identically() {
     // of the manifest or the snapshots, so the checkpoints are accepted
     // and every stage restores.
     let obs = Obs::enabled();
-    let resume = Durability { checkpoint_dir: Some(dir.clone()), resume: true };
+    let resume =
+        Durability { checkpoint_dir: Some(dir.clone()), resume: true, ..Default::default() };
     let mut oracle = Oracle::new(&gl.errors);
     let resumed = Matelda::default()
         .with_obs(obs.clone())

@@ -464,3 +464,121 @@ proptest! {
         prop_assert!(oracle.labels_used() <= budget);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Storage fault injection (ISSUE 8): the VFS seam's atomicity contract
+// holds under arbitrary errno-level faults. An atomic-write target is
+// always absent or fully decodable (never torn bytes under the final
+// name — the one deliberate exception, `TornRename`, models the *disk*
+// breaking that promise, and the checksum layer detects it), and the
+// stores built on the seam fail structurally, never by panicking.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn faulted_atomic_writes_leave_targets_absent_or_fully_decodable(
+        site in 0u64..6,
+        kind_pick in 0usize..3,
+        has_old in 0u8..2,
+        old_payload in proptest::collection::vec((0usize..256).prop_map(|b| b as u8), 0..64),
+        new_payload in proptest::collection::vec((0usize..256).prop_map(|b| b as u8), 0..64),
+    ) {
+        use matelda::ckpt::{decode_envelope, encode_envelope, FaultKind, InjectAt, Vfs};
+        let kind = [
+            FaultKind::Errno(std::io::ErrorKind::StorageFull),
+            FaultKind::Errno(std::io::ErrorKind::Other),
+            FaultKind::ShortWrite,
+        ][kind_pick];
+        let dir = unique_tmp_dir("vfs_decode_or_absent");
+        std::fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("artifact.ckpt");
+        let old_bytes = encode_envelope(7, "stage", &old_payload);
+        let new_bytes = encode_envelope(7, "stage", &new_payload);
+        if has_old == 1 {
+            Vfs::real().write_atomic(&target, &old_bytes).unwrap();
+        }
+
+        // One fault somewhere in (or past) the 5-op commit sequence.
+        let vfs = Vfs::with_injector(InjectAt::new(site, kind));
+        let _ = vfs.write_atomic(&target, &new_bytes);
+
+        match std::fs::read(&target) {
+            Ok(bytes) => {
+                let (key, stage, payload) =
+                    decode_envelope(&bytes).expect("target under the final name must decode");
+                prop_assert_eq!(key, 7);
+                prop_assert_eq!(stage, "stage");
+                prop_assert!(
+                    payload == old_payload || payload == new_payload,
+                    "target holds bytes nobody ever committed"
+                );
+            }
+            Err(e) => {
+                prop_assert_eq!(e.kind(), std::io::ErrorKind::NotFound);
+                prop_assert_eq!(has_old, 0, "a faulted overwrite must never lose the old entry");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_and_memo_stores_never_panic_under_injected_faults(
+        site in 0u64..24,
+        kind_pick in 0usize..4,
+        payload in proptest::collection::vec((0usize..256).prop_map(|b| b as u8), 0..48),
+    ) {
+        use matelda::ckpt::{CheckpointStore, FaultKind, InjectAt, Manifest, Vfs};
+        use matelda::serve::{CacheRead, DetectOutcome, MemoCache};
+        let kind = [
+            FaultKind::Errno(std::io::ErrorKind::StorageFull),
+            FaultKind::Errno(std::io::ErrorKind::Other),
+            FaultKind::ShortWrite,
+            FaultKind::TornRename,
+        ][kind_pick];
+        let manifest = Manifest { config_hash: 1, lake_fingerprint: 2, seed: 3, budget: 4, threads: 2 };
+
+        // Checkpoint store: open, save twice, load back. Every step is
+        // allowed to fail — reaching the end without a panic, and any
+        // successful load returning exactly the saved bytes, is the
+        // property.
+        let dir = unique_tmp_dir("ckpt_no_panic");
+        let vfs = Vfs::with_injector(InjectAt::new(site, kind));
+        if let Ok(store) = CheckpointStore::open_with(&dir, manifest, true, vfs) {
+            let _ = store.save_stage("embed", &payload);
+            let _ = store.save_stage("featurize", &payload);
+            for stage in ["embed", "featurize"] {
+                if let Ok(Some(loaded)) = store.load_stage(stage) {
+                    prop_assert_eq!(&loaded, &payload, "a load that claims success must be exact");
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Memo-cache: same drill. A Hit must be the exact outcome; Miss
+        // and Corrupt are both acceptable under injected faults.
+        let outcome = DetectOutcome {
+            digest: 0xFEED, labels_used: 1, n_domain_folds: 2, n_quality_folds: 3,
+            flagged: 4, quarantined_tables: 0, stages_run: 6, stages_restored: 0,
+            cached: false, degraded: false,
+        };
+        let dir = unique_tmp_dir("memo_no_panic");
+        let vfs = Vfs::with_injector(InjectAt::new(site, kind));
+        if let Ok(cache) = MemoCache::open_with(&dir, vfs) {
+            let _ = cache.store(9, &outcome);
+            match cache.load(9) {
+                CacheRead::Hit(got) => prop_assert_eq!(got, outcome),
+                CacheRead::Miss | CacheRead::Corrupt => {}
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A per-case unique scratch dir (proptest cases run many times per
+/// process; the counter keeps them from colliding).
+fn unique_tmp_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("matelda_pt_{tag}_{}_{n}", std::process::id()))
+}
