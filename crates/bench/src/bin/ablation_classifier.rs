@@ -6,6 +6,7 @@
 //! explored before settling on boosting.
 
 use matelda_baselines::Budget;
+use matelda_bench::eval::EvalRecorder;
 use matelda_bench::{
     budget_axis, pct, print_stage_report, run_once, secs, MateldaSystem, RunReport, Scale,
     TextTable,
@@ -39,6 +40,7 @@ fn main() {
         ("DGov-NTR", Box::new(move |s| DGovLake::ntr().with_n_tables(n).generate(s))),
     ];
     let budgets = budget_axis(scale);
+    let mut rec = EvalRecorder::for_experiment("ablation_classifier", scale);
     // Last per-stage report per variant, printed once at the end.
     let mut reports: BTreeMap<String, RunReport> = BTreeMap::new();
 
@@ -49,7 +51,8 @@ fn main() {
             for (bi, &b) in budgets.iter().enumerate() {
                 for sys in variants() {
                     let r = run_once(&sys, &lake, Budget::per_table(b));
-                    reports.insert(sys.label.clone(), r.report);
+                    rec.record_run(lake_name, &sys.label, b, seed, &r, &lake);
+                    reports.insert(sys.label.clone(), r.report.clone());
                     let e = acc.entry((sys.label.clone(), bi)).or_insert((0.0, 0.0, 0));
                     e.0 += r.f1;
                     e.1 += r.seconds;
@@ -81,6 +84,8 @@ fn main() {
             lake_name.to_lowercase().replace('-', "_")
         ));
     }
+    rec.flush().expect("write EVAL matrix");
+
     for (name, report) in &reports {
         print_stage_report(name, report);
     }

@@ -15,6 +15,7 @@
 //! literal alternative on Quintet and DGov-NTR at 2 labeled tuples/table.
 
 use matelda_baselines::Budget;
+use matelda_bench::eval::EvalRecorder;
 use matelda_bench::{
     pct, print_stage_report, run_once, MateldaSystem, RunReport, Scale, TextTable,
 };
@@ -56,6 +57,7 @@ fn main() {
         ]
     };
 
+    let mut rec = EvalRecorder::for_experiment("ablation_deviations", scale);
     let mut table = TextTable::new(&["lake", "variant", "precision", "recall", "f1"]);
     // Last per-stage report per variant, printed once at the end.
     let mut reports: std::collections::BTreeMap<String, RunReport> =
@@ -66,7 +68,8 @@ fn main() {
             for seed in 1..=seeds {
                 let lake = generate(seed);
                 let res = run_once(&sys, &lake, budget);
-                reports.insert(sys.label.clone(), res.report);
+                rec.record_run(lake_name, &sys.label, 2.0, seed, &res, &lake);
+                reports.insert(sys.label.clone(), res.report.clone());
                 p += res.precision;
                 r += res.recall;
                 f1 += res.f1;
@@ -83,6 +86,7 @@ fn main() {
     }
     println!("{}", table.render());
     let _ = table.write_csv("ablation_deviations");
+    rec.flush().expect("write EVAL matrix");
 
     for (name, report) in &reports {
         print_stage_report(name, report);

@@ -12,6 +12,7 @@
 //! paper's design of tying cluster count to the labeling budget.
 
 use matelda_baselines::Budget;
+use matelda_bench::eval::EvalRecorder;
 use matelda_bench::{
     budget_axis, pct, print_stage_report, run_once, MateldaSystem, RunReport, Scale, TextTable,
 };
@@ -43,6 +44,7 @@ fn main() {
         ("DGov-NTR", Box::new(move |s| DGovLake::ntr().with_n_tables(n).generate(s))),
     ];
     let budgets = budget_axis(scale);
+    let mut rec = EvalRecorder::for_experiment("ablation_labeling", scale);
     // Last per-stage report per variant, printed once at the end.
     let mut reports: BTreeMap<String, RunReport> = BTreeMap::new();
 
@@ -53,7 +55,8 @@ fn main() {
             for (bi, &b) in budgets.iter().enumerate() {
                 for sys in variants() {
                     let r = run_once(&sys, &lake, Budget::per_table(b));
-                    reports.insert(sys.label.clone(), r.report);
+                    rec.record_run(lake_name, &sys.label, b, seed, &r, &lake);
+                    reports.insert(sys.label.clone(), r.report.clone());
                     let e = acc.entry((sys.label.clone(), bi)).or_insert((0.0, 0, 0));
                     e.0 += r.f1;
                     e.1 += r.labels;
@@ -85,6 +88,8 @@ fn main() {
             lake_name.to_lowercase().replace('-', "_")
         ));
     }
+    rec.flush().expect("write EVAL matrix");
+
     for (name, report) in &reports {
         print_stage_report(name, report);
     }

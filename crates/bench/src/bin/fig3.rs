@@ -16,6 +16,7 @@ use matelda_baselines::holodetect::HoloDetect;
 use matelda_baselines::raha::{Raha, RahaVariant};
 use matelda_baselines::unidetect::UniDetect;
 use matelda_baselines::{Budget, ErrorDetector};
+use matelda_bench::eval::EvalRecorder;
 use matelda_bench::{
     budget_axis, pct, print_stage_report, run_once, MateldaSystem, RunReport, Scale, TextTable,
 };
@@ -53,6 +54,7 @@ fn main() {
     ];
 
     let budgets = budget_axis(scale);
+    let mut rec = EvalRecorder::for_experiment("fig3", scale);
     // Last non-empty per-stage report per system, printed once at the end.
     let mut reports: BTreeMap<String, RunReport> = BTreeMap::new();
 
@@ -94,8 +96,9 @@ fn main() {
                         }
                     }
                     let r = run_once(system.as_ref(), &lake, budget);
+                    rec.record_run(lake_name, &name, b, seed, &r, &lake);
                     if !r.report.stages.is_empty() {
-                        reports.insert(name.clone(), r.report);
+                        reports.insert(name.clone(), r.report.clone());
                     }
                     let e = acc.entry((name, bi)).or_insert((0.0, 0.0, 0.0, 0));
                     e.0 += r.f1;
@@ -142,6 +145,8 @@ fn main() {
             println!("{}", detail.render());
         }
     }
+
+    rec.flush().expect("write EVAL matrix");
 
     for (name, report) in &reports {
         print_stage_report(name, report);

@@ -8,6 +8,7 @@
 use matelda_baselines::aspell::Aspell;
 use matelda_baselines::raha::{Raha, RahaVariant};
 use matelda_baselines::{Budget, ErrorDetector};
+use matelda_bench::eval::EvalRecorder;
 use matelda_bench::{
     budget_axis, pct, print_stage_report, run_once, MateldaSystem, RunReport, Scale, TextTable,
 };
@@ -26,6 +27,7 @@ fn main() {
         ("DGov-RV", Box::new(move |s| DGovLake::rv().with_n_tables(n).generate(s))),
     ];
     let budgets = budget_axis(scale);
+    let mut rec = EvalRecorder::for_experiment("fig4", scale);
     // Last non-empty per-stage report per system, printed once at the end.
     let mut reports: BTreeMap<String, RunReport> = BTreeMap::new();
 
@@ -52,8 +54,9 @@ fn main() {
                         continue;
                     }
                     let r = run_once(system.as_ref(), &lake, budget);
+                    rec.record_run(lake_name, &system.name(), b, seed, &r, &lake);
                     if !r.report.stages.is_empty() {
-                        reports.insert(system.name(), r.report);
+                        reports.insert(system.name(), r.report.clone());
                     }
                     let e = acc.entry((system.name(), bi)).or_insert((0.0, 0));
                     e.0 += r.f1;
@@ -79,6 +82,8 @@ fn main() {
         println!("{}", table.render());
         let _ = table.write_csv(&format!("fig4_{}", lake_name.to_lowercase().replace('-', "_")));
     }
+
+    rec.flush().expect("write EVAL matrix");
 
     for (name, report) in &reports {
         print_stage_report(name, report);

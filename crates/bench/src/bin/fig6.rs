@@ -8,6 +8,7 @@
 //! same folds as the standard method; we verify that too.
 
 use matelda_baselines::Budget;
+use matelda_bench::eval::EvalRecorder;
 use matelda_bench::{
     budget_axis, pct, print_stage_report, run_once, secs, MateldaSystem, RunReport, Scale,
     TextTable,
@@ -73,6 +74,7 @@ fn main() {
 
     let n = scale.tables(143);
     let budgets = budget_axis(scale);
+    let mut rec = EvalRecorder::for_experiment("fig6", scale);
     let mut acc: BTreeMap<(String, usize), (f64, f64, usize)> = BTreeMap::new();
     // Last per-stage report per variant, printed once at the end.
     let mut reports: BTreeMap<String, RunReport> = BTreeMap::new();
@@ -81,7 +83,8 @@ fn main() {
         for (bi, &b) in budgets.iter().enumerate() {
             for sys in variants() {
                 let r = run_once(&sys, &lake, Budget::per_table(b));
-                reports.insert(sys.label.clone(), r.report);
+                rec.record_run("DGov-NTR", &sys.label, b, seed, &r, &lake);
+                reports.insert(sys.label.clone(), r.report.clone());
                 let e = acc.entry((sys.label.clone(), bi)).or_insert((0.0, 0.0, 0));
                 e.0 += r.f1;
                 e.1 += r.seconds;
@@ -114,6 +117,8 @@ fn main() {
     println!("--- DGov-NTR: F1 and runtime per domain-folding design ---");
     println!("{}", table.render());
     let _ = table.write_csv("fig6_dgov_ntr");
+
+    rec.flush().expect("write EVAL matrix");
 
     println!("average runtimes:");
     for (name, (s, k)) in &avg_time {

@@ -14,6 +14,7 @@
 
 use matelda_baselines::raha::{Raha, RahaVariant};
 use matelda_baselines::{Budget, ErrorDetector};
+use matelda_bench::eval::EvalRecorder;
 use matelda_bench::{
     print_stage_report, run_once, secs, MateldaSystem, RunReport, Scale, TextTable,
 };
@@ -38,6 +39,11 @@ fn main() {
         Scale::Full => vec![250, 500, 750, 1000, 1173],
     };
 
+    // Runtime is the headline here, but the accuracy of every sweep point
+    // still lands in the eval matrix: a scalability rewrite that trades
+    // recall for speed must trip the accuracy gate, not pass silently.
+    let mut rec = EvalRecorder::for_experiment("fig9", scale);
+
     // Per-stage report from the largest sweep point per system, printed at
     // the end — this is where the per-stage runtime split matters most.
     let mut reports: BTreeMap<String, RunReport> = BTreeMap::new();
@@ -61,9 +67,10 @@ fn main() {
             ];
             for (i, sys) in systems.iter().enumerate() {
                 let r = run_once(sys.as_ref(), &lake, budget);
+                rec.record_run(&format!("GitTables-{n}"), &sys.name(), 2.0, run, &r, &lake);
                 times[i] += r.seconds;
                 if !r.report.stages.is_empty() {
-                    reports.insert(format!("{} (GitTables)", sys.name()), r.report);
+                    reports.insert(format!("{} (GitTables)", sys.name()), r.report.clone());
                 }
             }
         }
@@ -89,6 +96,8 @@ fn main() {
             let raha = Raha::new(RahaVariant::Standard);
             let rm = run_once(&matelda, &lake, budget);
             let rr = run_once(&raha, &lake, budget);
+            rec.record_run(&format!("DGov-1K-{n}"), &matelda.label, 2.0, run, &rm, &lake);
+            rec.record_run(&format!("DGov-1K-{n}"), &raha.name(), 2.0, run, &rr, &lake);
             times[0] += rm.seconds;
             times[1] += rr.seconds;
             reports.insert("Matelda (DGov-1K)".to_string(), rm.report);
@@ -125,8 +134,12 @@ fn main() {
                 DGovLake { n_tables: 20, rows: (rows, rows), ..DGovLake::ntr() }.generate(run);
             let matelda = MateldaSystem::standard();
             let raha = Raha::new(RahaVariant::Standard);
-            times[0] += run_once(&matelda, &lake, budget).seconds;
-            times[1] += run_once(&raha, &lake, budget).seconds;
+            let rm = run_once(&matelda, &lake, budget);
+            let rr = run_once(&raha, &lake, budget);
+            rec.record_run(&format!("DGov-rows-{rows}"), &matelda.label, 2.0, run, &rm, &lake);
+            rec.record_run(&format!("DGov-rows-{rows}"), &raha.name(), 2.0, run, &rr, &lake);
+            times[0] += rm.seconds;
+            times[1] += rr.seconds;
         }
         t.row(vec![rows.to_string(), secs(times[0] / runs as f64), secs(times[1] / runs as f64)]);
         println!("rows sweep {rows} done");
@@ -134,6 +147,8 @@ fn main() {
     println!("\n--- DGov-style, 20 tables: runtime vs rows per table ---");
     println!("{}", t.render());
     let _ = t.write_csv("fig9_rows_sweep");
+
+    rec.flush().expect("write EVAL matrix");
 
     for (name, report) in &reports {
         print_stage_report(name, report);

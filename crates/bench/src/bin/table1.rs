@@ -7,6 +7,7 @@
 //! error rates and type mixes match.
 
 use matelda_baselines::Budget;
+use matelda_bench::eval::EvalRecorder;
 use matelda_bench::{print_stage_report, run_once, MateldaSystem, Scale, TextTable};
 use matelda_lakegen::{DGovLake, GeneratedLake, GitTablesLake, QuintetLake, ReinLake, WdcLake};
 
@@ -52,6 +53,9 @@ fn main() {
     // table also records what the stages cost on it.
     let quintet = QuintetLake::default().generate(1);
     let r = run_once(&MateldaSystem::standard(), &quintet, Budget::per_table(2.0));
+    let mut rec = EvalRecorder::for_experiment("table1", scale);
+    rec.record_run("Quintet", "Matelda", 2.0, 1, &r, &quintet);
+    rec.flush().expect("write EVAL matrix");
     print_stage_report("Matelda on Quintet (2 tuples/table)", &r.report);
     println!();
 

@@ -9,24 +9,10 @@
 use matelda_baselines::holodetect::HoloDetect;
 use matelda_baselines::raha::{Raha, RahaVariant};
 use matelda_baselines::{Budget, ErrorDetector};
+use matelda_bench::eval::{paper_category, EvalRecorder};
 use matelda_bench::{pct, print_stage_report, MateldaSystem, RunReport, Scale, TextTable};
 use matelda_lakegen::QuintetLake;
 use matelda_table::{Confusion, Oracle, PerTypeRecall};
-
-/// Maps the generator's error-type abbreviations to the paper's Table 3
-/// categories.
-fn paper_category(abbrev: &str) -> &'static str {
-    match abbrev {
-        "MV" => "MV",
-        "FI" => "REP",
-        "VAD" => "SEM",
-        "T" => "TYP",
-        other => {
-            debug_assert!(false, "unexpected type {other}");
-            "?"
-        }
-    }
-}
 
 fn main() {
     let scale = Scale::from_env();
@@ -40,6 +26,7 @@ fn main() {
     ];
     let budget = Budget::per_table(2.0);
     let categories = ["MV", "REP", "SEM", "TYP"];
+    let mut rec = EvalRecorder::for_experiment("table3", scale);
 
     let mut table =
         TextTable::new(&["System", "MV", "REP", "SEM", "TYP", "Total Precision", "Total Recall"]);
@@ -59,17 +46,27 @@ fn main() {
             let conf = Confusion::from_masks(&predicted, &lake.errors);
             p_sum += conf.precision();
             r_sum += conf.recall();
+            rec.record_metrics(
+                "Quintet",
+                &system.name(),
+                2.0,
+                seed,
+                conf.precision(),
+                conf.recall(),
+                conf.f1(),
+            );
+            rec.record_types("Quintet", &system.name(), 2.0, seed, &predicted, &lake.typed_errors);
             let typed: Vec<(String, matelda_table::CellMask)> = lake
                 .typed_errors
                 .iter()
                 .map(|(n, m)| (paper_category(n).to_string(), m.clone()))
                 .collect();
             let per = PerTypeRecall::compute(&predicted, &typed);
-            for (name, recall, count) in &per.recalls {
-                if *count == 0 {
-                    continue;
-                }
-                if let Some(i) = categories.iter().position(|c| c == name) {
+            for tr in &per.recalls {
+                let Some(recall) = tr.recall else {
+                    continue; // no errors of this type in this lake
+                };
+                if let Some(i) = categories.iter().position(|c| *c == tr.name) {
                     recall_sums[i] += recall;
                     recall_counts[i] += 1;
                 }
@@ -90,6 +87,7 @@ fn main() {
     }
     println!("{}", table.render());
     let _ = table.write_csv("table3_quintet_error_types");
+    rec.flush().expect("write EVAL matrix");
 
     for (name, report) in &last_report {
         print_stage_report(name, report);

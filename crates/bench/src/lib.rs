@@ -15,7 +15,9 @@
 //!   `quick` (sanity), `small` (reduced lakes), or `full` (paper-shaped
 //!   lakes; the default).
 
+pub mod eval;
 pub mod gate;
+pub mod json;
 
 use matelda_baselines::{Budget, ErrorDetector};
 use matelda_core::{Matelda, MateldaConfig};
@@ -52,6 +54,15 @@ impl Scale {
             Scale::Quick => full.min(8),
             Scale::Small => (full / 4).max(8).min(full),
             Scale::Full => full,
+        }
+    }
+
+    /// The scale's name as recorded in bench/eval result files.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Small => "small",
+            Scale::Full => "full",
         }
     }
 
@@ -130,6 +141,9 @@ pub struct RunResult {
     /// Per-stage instrumentation of the (last) run; empty for systems
     /// without staged internals.
     pub report: RunReport,
+    /// The predicted error mask — kept so the eval recorder can break
+    /// recall down per error type against the lake's typed truth.
+    pub predicted: CellMask,
 }
 
 /// Runs one system once on a generated lake.
@@ -146,44 +160,42 @@ pub fn run_once(system: &dyn ErrorDetector, lake: &GeneratedLake, budget: Budget
         seconds,
         labels: oracle.labels_used(),
         report,
+        predicted,
     }
 }
 
 /// Averages runs over lakes generated from several seeds. The returned
-/// report is the last seed's (stage proportions are stable across
-/// seeds; metrics stay attributable to one concrete run).
+/// report and predicted mask are the last seed's (stage proportions are
+/// stable across seeds; metrics stay attributable to one concrete run).
 pub fn run_averaged(
     system: &dyn ErrorDetector,
     generate: &dyn Fn(u64) -> GeneratedLake,
     budget: Budget,
     seeds: u64,
 ) -> RunResult {
-    let mut acc = RunResult {
-        precision: 0.0,
-        recall: 0.0,
-        f1: 0.0,
-        seconds: 0.0,
-        labels: 0,
-        report: RunReport::default(),
-    };
+    let (mut precision, mut recall, mut f1, mut seconds) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let mut labels = 0usize;
+    let mut last: Option<RunResult> = None;
     for seed in 0..seeds {
         let lake = generate(seed + 1);
         let r = run_once(system, &lake, budget);
-        acc.precision += r.precision;
-        acc.recall += r.recall;
-        acc.f1 += r.f1;
-        acc.seconds += r.seconds;
-        acc.labels += r.labels;
-        acc.report = r.report;
+        precision += r.precision;
+        recall += r.recall;
+        f1 += r.f1;
+        seconds += r.seconds;
+        labels += r.labels;
+        last = Some(r);
     }
+    let last = last.expect("at least one seed");
     let k = seeds as f64;
     RunResult {
-        precision: acc.precision / k,
-        recall: acc.recall / k,
-        f1: acc.f1 / k,
-        seconds: acc.seconds / k,
-        labels: (acc.labels as f64 / k).round() as usize,
-        report: acc.report,
+        precision: precision / k,
+        recall: recall / k,
+        f1: f1 / k,
+        seconds: seconds / k,
+        labels: (labels as f64 / k).round() as usize,
+        report: last.report,
+        predicted: last.predicted,
     }
 }
 

@@ -41,6 +41,7 @@ pub mod engine;
 pub mod pipeline;
 pub mod quality_fold;
 pub mod repair;
+pub mod report;
 pub mod snapshot;
 
 pub use domain_fold::{domain_folds, DomainFolding, EmbeddedLake, Fold};
@@ -55,7 +56,8 @@ pub use matelda_obs::Obs;
 pub use matelda_table::oracle::{Labeler, Oracle};
 pub use pipeline::{
     DetectionResult, Durability, DurabilityPolicy, FaultPolicy, LabelingStrategy, Matelda,
-    MateldaConfig, TrainingStrategy,
+    MateldaConfig, RunArtifacts, TrainingStrategy,
 };
 pub use repair::{suggest_repairs, Repair, RepairStrategy};
+pub use report::{analyze_failures, CellDiagnosis, FailureReport, Misclass};
 pub use snapshot::{decode_snapshot, encode_snapshot, ArtifactCodec, CtxState};

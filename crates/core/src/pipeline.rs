@@ -10,8 +10,8 @@ use std::time::Duration;
 
 use crate::domain_fold::DomainFolding;
 use crate::engine::{
-    ClassifyStage, DomainFoldStage, EmbedStage, FeaturizeStage, LabelStage, QualityFoldStage,
-    Stage, StageContext,
+    ClassifyStage, DomainFoldStage, DomainFolds, EmbedStage, FeaturizeStage, FeaturizedLake,
+    LabelStage, PropagatedLabels, QualityFoldStage, QualityFolds, Stage, StageContext,
 };
 use crate::snapshot::{decode_snapshot, encode_snapshot, ArtifactCodec, CtxState};
 use matelda_ckpt::{CheckpointStore, CkptError, Manifest, Vfs};
@@ -223,6 +223,22 @@ impl DetectionResult {
         }
         h.finish()
     }
+}
+
+/// The intermediate artifacts of one [`Matelda::detect_explained`] run,
+/// kept alive past the result so failure analysis can attribute each
+/// misclassified cell to its features, quality fold and propagated
+/// label (see [`crate::report`]).
+#[derive(Debug, Clone)]
+pub struct RunArtifacts {
+    /// The unified detector feature space (Alg. 1 line 10).
+    pub featurized: FeaturizedLake,
+    /// Step-1 output: the domain folds.
+    pub domain: DomainFolds,
+    /// Step-2 output: quality folds with provenance.
+    pub quality: QualityFolds,
+    /// Steps 3+4 output: per-cell propagated labels and labeled folds.
+    pub propagated: PropagatedLabels,
 }
 
 /// Checkpoint/resume options for [`Matelda::detect_durable`].
@@ -447,6 +463,56 @@ impl Matelda {
             .expect("detection without a checkpoint store is infallible")
     }
 
+    /// [`Matelda::detect`], but also returning the run's intermediate
+    /// artifacts so callers can *explain* the predictions: the feature
+    /// vectors, the fold structure and the propagated labels that the
+    /// failure-analysis report ([`crate::report`]) attributes
+    /// misclassified cells to. Runs the same six stages with the same
+    /// seeds — the [`DetectionResult`] is bit-identical to
+    /// [`Matelda::detect`] on the same inputs (pinned by a digest test).
+    /// No checkpointing: the artifacts live in memory only, so this path
+    /// is incompatible with resume.
+    pub fn detect_explained(
+        &self,
+        lake: &Lake,
+        labeler: &mut dyn Labeler,
+        budget: usize,
+    ) -> (DetectionResult, RunArtifacts) {
+        let cfg = &self.config;
+        let mut ctx = match &self.executor {
+            Some(exec) => StageContext::with_executor(lake, cfg, self.obs.clone(), exec.clone()),
+            None => StageContext::with_obs(lake, cfg, self.obs.clone()),
+        };
+        let mut run_span = self.obs.span_scope("run", "detect");
+        run_span.arg("budget", budget as f64);
+        run_span.arg("threads", ctx.executor.threads() as f64);
+
+        let embedded = EmbedStage::from_config(cfg).run(&mut ctx, ());
+        let featurized = FeaturizeStage::default().run(&mut ctx, ());
+        let domain = DomainFoldStage.run(&mut ctx, &embedded);
+        let adaptive = cfg.labeling == LabelingStrategy::UncertaintyRefinement
+            && cfg.training == TrainingStrategy::PerColumn
+            && budget >= 4;
+        let phase1_budget = if adaptive { budget.div_ceil(2) } else { budget };
+        let quality =
+            QualityFoldStage { budget: phase1_budget }.run(&mut ctx, (&domain, &featurized));
+        let propagated = LabelStage { labeler, budget }.run(&mut ctx, (&quality, &featurized));
+        let predictions = ClassifyStage.run(&mut ctx, (&domain, &featurized, &propagated));
+
+        ctx.quarantine.normalize();
+        run_span.finish_secs();
+        let result = DetectionResult {
+            predicted: predictions.mask,
+            labels_used: propagated.labels_used,
+            n_domain_folds: domain.folds.len(),
+            n_quality_folds: quality.n_total(),
+            report: ctx.report,
+            quarantine: ctx.quarantine,
+            durability_degraded: false,
+        };
+        (result, RunArtifacts { featurized, domain, quality, propagated })
+    }
+
     /// [`Matelda::detect`] with stage-level checkpointing and crash-safe
     /// resume.
     ///
@@ -626,6 +692,23 @@ mod tests {
         let (a, b) = (run(), run());
         assert_eq!(a.predicted, b.predicted);
         assert_eq!(a.labels_used, b.labels_used);
+    }
+
+    #[test]
+    fn detect_explained_matches_detect_bit_for_bit() {
+        let lake = small_quintet();
+        let mut o1 = Oracle::new(&lake.errors);
+        let plain = Matelda::new(MateldaConfig::default()).detect(&lake.dirty, &mut o1, 40);
+        let mut o2 = Oracle::new(&lake.errors);
+        let (explained, artifacts) =
+            Matelda::new(MateldaConfig::default()).detect_explained(&lake.dirty, &mut o2, 40);
+        assert_eq!(explained.digest(), plain.digest());
+        assert_eq!(explained.predicted, plain.predicted);
+        // The artifacts cover the whole lake and are mutually consistent.
+        assert_eq!(artifacts.featurized.features.len(), lake.dirty.n_tables());
+        assert_eq!(artifacts.propagated.labels_used, plain.labels_used);
+        assert_eq!(artifacts.quality.n_total(), plain.n_quality_folds);
+        assert_eq!(artifacts.domain.folds.len(), plain.n_domain_folds);
     }
 
     #[test]

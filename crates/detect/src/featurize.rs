@@ -39,6 +39,46 @@ pub mod layout {
     pub const NULL_FLAG: usize = 32;
 }
 
+/// Human-readable name of one dimension of the unified feature space.
+///
+/// The failure-analysis report uses these to say *which detector fired*
+/// on a misclassified cell, so the names carry the detector's threshold
+/// where one exists (the outlier blocks) and the bucket index where the
+/// dimension is a one-hot slot (the `nv` blocks).
+///
+/// # Panics
+/// Panics if `dim >= FEATURE_DIM` — there is no such dimension.
+pub fn feature_name(dim: usize) -> String {
+    use crate::outlier::{DIST_THRESHOLDS, TF_THRESHOLDS};
+    assert!(dim < FEATURE_DIM, "feature dimension {dim} out of range");
+    match dim {
+        d if d < layout::GAUSSIAN => format!("tf_hist(θ={})", TF_THRESHOLDS[d - layout::HISTOGRAM]),
+        d if d < layout::TYPO => format!("gaussian(θ={})", DIST_THRESHOLDS[d - layout::GAUSSIAN]),
+        d if d == layout::TYPO => "typo".to_string(),
+        d if d < layout::NV_LHS => {
+            // The three Eq. 5 structural-FD directions, in layout order.
+            const FD: [&str; 3] = ["a0→aj", "aj-1→aj", "aj→aj+1"];
+            format!("fd_structural[{}]", FD[d - layout::STRUCTURAL_FD])
+        }
+        d if d < layout::NV_RHS => format!("nv_lhs[bucket {}]", d - layout::NV_LHS),
+        d if d < layout::NULL_FLAG => format!("nv_rhs[bucket {}]", d - layout::NV_RHS),
+        _ => "null_flag".to_string(),
+    }
+}
+
+/// The names of every dimension that fired (value > 0) in one cell's
+/// feature vector — what the failure-analysis report prints per
+/// misclassified cell. `nv` one-hot buckets appear with their bucket
+/// index; bucket 0 (the least-suspicious quantile) is suppressed so the
+/// list shows *signals*, not the vector's baseline encoding.
+pub fn fired_features(v: &[f32]) -> Vec<String> {
+    v.iter()
+        .enumerate()
+        .filter(|&(d, &x)| x > 0.0 && d != layout::NV_LHS && d != layout::NV_RHS && d < FEATURE_DIM)
+        .map(|(d, _)| feature_name(d))
+        .collect()
+}
+
 /// Which detector families contribute to the vector. Disabled families
 /// are zeroed (not removed), so vector dimensionality — and therefore
 /// cross-configuration comparability — is preserved. Implements the
@@ -321,6 +361,32 @@ mod tests {
         for v in nrvd.cells() {
             assert!(v[layout::STRUCTURAL_FD..layout::NULL_FLAG].iter().all(|x| *x == 0.0));
         }
+    }
+
+    #[test]
+    fn feature_names_cover_every_dimension() {
+        let names: Vec<String> = (0..FEATURE_DIM).map(feature_name).collect();
+        // Unique, and the block boundaries carry the right labels.
+        let mut sorted = names.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), FEATURE_DIM, "duplicate feature names: {names:?}");
+        assert_eq!(names[layout::HISTOGRAM], "tf_hist(θ=0.1)");
+        assert_eq!(names[layout::GAUSSIAN], "gaussian(θ=1)");
+        assert_eq!(names[layout::TYPO], "typo");
+        assert_eq!(names[layout::STRUCTURAL_FD], "fd_structural[a0→aj]");
+        assert_eq!(names[layout::NV_LHS + 2], "nv_lhs[bucket 2]");
+        assert_eq!(names[layout::NULL_FLAG], "null_flag");
+    }
+
+    #[test]
+    fn fired_features_names_the_active_detectors() {
+        let t = Table::new("t", vec![Column::new("genre", ["drama", "derama", "crime"])]);
+        let f = featurize_table(&t, &spell(), &FeatureConfig::default());
+        let fired = fired_features(f.get(1, 0));
+        assert!(fired.iter().any(|n| n == "typo"), "{fired:?}");
+        // Baseline nv bucket 0 is suppressed — signals only.
+        assert!(!fired.iter().any(|n| n.ends_with("[bucket 0]")), "{fired:?}");
     }
 
     #[test]

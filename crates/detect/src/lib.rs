@@ -38,6 +38,8 @@ pub mod rules;
 pub mod syntactic;
 pub mod typo;
 
-pub use featurize::{featurize_table, CellFeatures, FeatureConfig, FEATURE_DIM};
+pub use featurize::{
+    feature_name, featurize_table, fired_features, CellFeatures, FeatureConfig, FEATURE_DIM,
+};
 pub use intern::{InternedColumn, InternedTable};
 pub use syntactic::column_syntactic_features;

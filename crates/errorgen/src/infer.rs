@@ -1,0 +1,182 @@
+//! Inferring an error's *type* from a (dirty, clean) value pair.
+//!
+//! The CLI's `--failure-report` works on lakes loaded from disk, where
+//! the injection report (which records each error's [`crate::ErrorType`])
+//! does not exist — only the dirty and clean values do. This module
+//! reverses the mutation signatures of [`crate::mutate`] to recover the
+//! type: a dirty value that is a null token is a missing value, one
+//! that equals the clean value after stripping formatting decoration is
+//! a formatting issue, a numeric value scaled far away is an outlier, a
+//! small character edit is a typo, and anything else (a value swapped
+//! wholesale, as the FD injector does) is classed as a rule violation.
+
+use crate::ErrorType;
+use matelda_table::value::{as_f64, is_null};
+use matelda_table::Lake;
+
+/// Infers the error type of one `(dirty, clean)` cell pair. Returns
+/// `None` when the values are equal (no error to classify).
+pub fn infer_error_type(dirty: &str, clean: &str) -> Option<ErrorType> {
+    if dirty == clean {
+        return None;
+    }
+    // Missing value: the injector writes "" or "NULL" over a non-null
+    // value (a null over a null is not a new error).
+    if is_null(dirty) {
+        return Some(ErrorType::MissingValue);
+    }
+    // Formatting: the clean value survives underneath the decoration —
+    // currency/percent affixes, thousands separators, whitespace
+    // padding, or a pure case change.
+    if strip_formatting(dirty) == clean
+        || dirty.trim() == clean
+        || dirty.to_lowercase() == clean.to_lowercase()
+    {
+        return Some(ErrorType::Formatting);
+    }
+    // Numeric outlier: both parse and the dirty value sits a couple of
+    // orders of magnitude away (the injector scales by ±100/1000).
+    if let (Some(d), Some(c)) = (as_f64(dirty), as_f64(clean)) {
+        let far = if c.abs() < 1e-9 { d.abs() > 1.0 } else { (d / c).abs() >= 50.0 };
+        if far {
+            return Some(ErrorType::NumericOutlier);
+        }
+    }
+    // Typo: a small character-level edit of a value with letters (the
+    // injector swaps/deletes/duplicates/replaces one letter, so the
+    // edit distance is at most 2 — one swap touches two positions).
+    if clean.chars().any(|ch| ch.is_alphabetic()) && edit_distance_at_most(dirty, clean, 2) {
+        return Some(ErrorType::Typo);
+    }
+    // Everything else: the value was replaced wholesale, which is what
+    // the FD-violation injector does (it copies another group's RHS).
+    Some(ErrorType::FdViolation)
+}
+
+/// The typed truth masks of a `(dirty, clean)` lake pair: for each
+/// error type present, the mask of cells whose diff classifies as that
+/// type — the shape `matelda-bench`'s eval recorder and the failure
+/// report consume. Order follows [`ErrorType`]'s canonical listing;
+/// types with no cells are omitted.
+pub fn infer_typed_masks(dirty: &Lake, clean: &Lake) -> Vec<(String, matelda_table::CellMask)> {
+    let mut masks: Vec<(ErrorType, matelda_table::CellMask)> = [
+        ErrorType::MissingValue,
+        ErrorType::Typo,
+        ErrorType::Formatting,
+        ErrorType::NumericOutlier,
+        ErrorType::FdViolation,
+    ]
+    .into_iter()
+    .map(|t| (t, matelda_table::CellMask::empty(dirty)))
+    .collect();
+    for (t, (dt, ct)) in dirty.tables.iter().zip(&clean.tables).enumerate() {
+        for (c, (dc, cc)) in dt.columns.iter().zip(&ct.columns).enumerate() {
+            for (r, (dv, cv)) in dc.values.iter().zip(&cc.values).enumerate() {
+                if let Some(ty) = infer_error_type(dv, cv) {
+                    let slot = masks.iter_mut().find(|(t2, _)| *t2 == ty).expect("all types");
+                    slot.1.set(matelda_table::CellId::new(t, r, c), true);
+                }
+            }
+        }
+    }
+    masks
+        .into_iter()
+        .filter(|(_, m)| m.count() > 0)
+        .map(|(t, m)| (t.abbrev().to_string(), m))
+        .collect()
+}
+
+/// Strips the formatting decoration [`crate::mutate::make_formatting`]
+/// applies to numerics: `$`/`%` affixes and `,` thousands separators.
+fn strip_formatting(s: &str) -> String {
+    s.trim().trim_start_matches('$').trim_end_matches('%').replace(',', "")
+}
+
+/// Whether the Levenshtein distance between `a` and `b` is ≤ `k`.
+/// Banded DP — O(k·|a|) time, two rows of memory.
+fn edit_distance_at_most(a: &str, b: &str, k: usize) -> bool {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.len().abs_diff(b.len()) > k {
+        return false;
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        let mut row_min = cur[0];
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+            row_min = row_min.min(cur[j + 1]);
+        }
+        if row_min > k {
+            return false;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()] <= k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{inject, ErrorSpec};
+    use matelda_table::{Column, Table};
+
+    #[test]
+    fn classifies_each_mutation_signature() {
+        assert_eq!(infer_error_type("", "Chelsea"), Some(ErrorType::MissingValue));
+        assert_eq!(infer_error_type("NULL", "42"), Some(ErrorType::MissingValue));
+        assert_eq!(infer_error_type("$42", "42"), Some(ErrorType::Formatting));
+        assert_eq!(infer_error_type("42%", "42"), Some(ErrorType::Formatting));
+        assert_eq!(infer_error_type("534,858,444", "534858444"), Some(ErrorType::Formatting));
+        assert_eq!(infer_error_type("  Chelsea", "Chelsea"), Some(ErrorType::Formatting));
+        assert_eq!(infer_error_type("CHELSEA", "Chelsea"), Some(ErrorType::Formatting));
+        assert_eq!(infer_error_type("4200", "42"), Some(ErrorType::NumericOutlier));
+        assert_eq!(infer_error_type("-42000", "42"), Some(ErrorType::NumericOutlier));
+        assert_eq!(infer_error_type("Chelsae", "Chelsea"), Some(ErrorType::Typo));
+        assert_eq!(infer_error_type("Chelsa", "Chelsea"), Some(ErrorType::Typo));
+        assert_eq!(infer_error_type("France", "Spain"), Some(ErrorType::FdViolation));
+        assert_eq!(infer_error_type("same", "same"), None);
+    }
+
+    #[test]
+    fn edit_distance_band_is_exact_at_the_boundary() {
+        assert!(edit_distance_at_most("abc", "abc", 0));
+        assert!(edit_distance_at_most("abcd", "abdc", 2));
+        assert!(!edit_distance_at_most("abcdef", "fedcba", 2));
+        assert!(!edit_distance_at_most("ab", "abcde", 2));
+    }
+
+    #[test]
+    fn round_trips_the_injector() {
+        // Inject every type into a table, then recover the types from
+        // the (dirty, clean) diff alone and check against the report.
+        let clean_table = Table::new(
+            "clubs",
+            vec![
+                Column::new("club", vec!["Chelsea"; 40]),
+                Column::new("points", (0..40).map(|i| (50 + i).to_string()).collect::<Vec<_>>()),
+                Column::new("country", vec!["England"; 40]),
+            ],
+        );
+        let spec = ErrorSpec::all_types(0.2, 7);
+        let (dirty_table, report) = inject(&clean_table, &spec);
+        assert!(!report.is_empty());
+        let clean = Lake::new(vec![clean_table]);
+        let dirty = Lake::new(vec![dirty_table]);
+        let typed = infer_typed_masks(&dirty, &clean);
+        assert!(!typed.is_empty());
+        let total: usize = typed.iter().map(|(_, m)| m.count()).sum();
+        assert_eq!(total, report.len(), "every injected error gets exactly one type");
+        // Each inferred MV cell really is a null token over a non-null.
+        if let Some((_, mv)) = typed.iter().find(|(n, _)| n == "MV") {
+            for id in mv.iter_set() {
+                assert!(matelda_table::value::is_null(
+                    &dirty[id.table].columns[id.col].values[id.row]
+                ));
+            }
+        }
+    }
+}

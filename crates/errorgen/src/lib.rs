@@ -22,7 +22,9 @@
 //! Every injected cell is reported with its error type, so downstream
 //! evaluation can compute per-type recall (paper Table 3, Figure 4).
 
+pub mod infer;
 pub mod inject;
 pub mod mutate;
 
+pub use infer::{infer_error_type, infer_typed_masks};
 pub use inject::{inject, ErrorSpec, ErrorType, InjectionReport};

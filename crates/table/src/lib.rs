@@ -41,7 +41,7 @@ pub use io::{
 };
 pub use lake::{CellId, Lake};
 pub use mask::CellMask;
-pub use metrics::{Confusion, PerTypeRecall};
+pub use metrics::{Confusion, PerTypeRecall, TypeRecall};
 pub use oracle::{Labeler, Oracle};
 pub use profile::{profile_table, ColumnProfile, NumericSummary};
 pub use table::{Column, Table};

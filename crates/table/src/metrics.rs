@@ -18,12 +18,23 @@ pub struct Confusion {
 
 impl Confusion {
     /// Compares a predicted error mask against the ground-truth error mask.
+    ///
+    /// Both masks must cover the same lake shape. Before this was
+    /// asserted up front, mismatched masks either panicked deep inside
+    /// `zip_with` or — had the set algebra been computed differently —
+    /// could underflow `total - tp - fp - fn_` in release builds, so the
+    /// shape contract is now explicit here and the count saturating.
     pub fn from_masks(predicted: &CellMask, truth: &CellMask) -> Self {
+        assert_eq!(
+            predicted.dims(),
+            truth.dims(),
+            "Confusion::from_masks: predicted and truth masks cover different lake shapes"
+        );
         let tp = predicted.and(truth).count();
         let fp = predicted.minus(truth).count();
         let fn_ = truth.minus(predicted).count();
         let total = truth.n_cells();
-        let tn = total - tp - fp - fn_;
+        let tn = total.saturating_sub(tp).saturating_sub(fp).saturating_sub(fn_);
         Self { tp, fp, fn_, tn }
     }
 
@@ -56,24 +67,41 @@ fn ratio(num: usize, den: usize) -> f64 {
     }
 }
 
+/// One error type's recall cell: `recall` is `None` when the lake holds
+/// no errors of this type — "nothing to recall" is not the same signal
+/// as "missed every error", and collapsing both to 0.0 made downstream
+/// consumers (averages, the eval gate) fail on vacuous cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeRecall {
+    /// Error-type name as given in the typed truth.
+    pub name: String,
+    /// Fraction of this type's ground-truth errors the prediction
+    /// covers; `None` when `support == 0`.
+    pub recall: Option<f64>,
+    /// Number of ground-truth errors of this type.
+    pub support: usize,
+}
+
 /// Recall broken down by error type, given one ground-truth mask per type
 /// (paper Table 3: MV / REP / SEM / TYP).
 #[derive(Debug, Clone)]
 pub struct PerTypeRecall {
-    /// `(type name, recall, #errors of that type)` triples in input order.
-    pub recalls: Vec<(String, f64, usize)>,
+    /// One cell per typed truth mask, in input order.
+    pub recalls: Vec<TypeRecall>,
 }
 
 impl PerTypeRecall {
     /// Computes per-type recall: the fraction of each type's ground-truth
-    /// errors that the prediction covers.
+    /// errors that the prediction covers. Types with zero support get an
+    /// explicit `recall: None` rather than a vacuous 0.0.
     pub fn compute(predicted: &CellMask, typed_truth: &[(String, CellMask)]) -> Self {
         let recalls = typed_truth
             .iter()
             .map(|(name, mask)| {
-                let total = mask.count();
+                let support = mask.count();
                 let hit = predicted.and(mask).count();
-                (name.clone(), ratio(hit, total), total)
+                let recall = if support == 0 { None } else { Some(ratio(hit, support)) };
+                TypeRecall { name: name.clone(), recall, support }
             })
             .collect();
         Self { recalls }
@@ -134,8 +162,35 @@ mod tests {
         let typo = CellMask::from_cells(&l, [CellId::new(0, 1, 0), CellId::new(0, 2, 0)]);
         let pred = CellMask::from_cells(&l, [CellId::new(0, 0, 0), CellId::new(0, 1, 0)]);
         let per = PerTypeRecall::compute(&pred, &[("MV".into(), mv), ("TYP".into(), typo)]);
-        assert_eq!(per.recalls[0], ("MV".to_string(), 1.0, 1));
-        assert_eq!(per.recalls[1].1, 0.5);
-        assert_eq!(per.recalls[1].2, 2);
+        assert_eq!(
+            per.recalls[0],
+            TypeRecall { name: "MV".to_string(), recall: Some(1.0), support: 1 }
+        );
+        assert_eq!(per.recalls[1].recall, Some(0.5));
+        assert_eq!(per.recalls[1].support, 2);
+    }
+
+    #[test]
+    fn per_type_recall_distinguishes_zero_support_from_missed() {
+        let l = lake();
+        let missed = CellMask::from_cells(&l, [CellId::new(0, 0, 0)]);
+        let none = CellMask::empty(&l);
+        let pred = CellMask::empty(&l);
+        let per = PerTypeRecall::compute(&pred, &[("MV".into(), missed), ("NO".into(), none)]);
+        // Missed every MV error: a real 0.0.
+        assert_eq!(
+            per.recalls[0],
+            TypeRecall { name: "MV".to_string(), recall: Some(0.0), support: 1 }
+        );
+        // No NO errors exist: explicitly vacuous, not 0.0.
+        assert_eq!(per.recalls[1], TypeRecall { name: "NO".to_string(), recall: None, support: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "different lake shapes")]
+    fn from_masks_rejects_mismatched_shapes() {
+        let l = lake();
+        let other = Lake::new(vec![Table::new("u", vec![Column::new("a", ["1", "2"])])]);
+        let _ = Confusion::from_masks(&CellMask::empty(&l), &CellMask::empty(&other));
     }
 }

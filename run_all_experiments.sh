@@ -1,12 +1,27 @@
 #!/bin/sh
 # Runs the full experiment suite sequentially, teeing per-experiment logs
 # into results/logs/. MATELDA_SCALE defaults to full.
-cd /root/repo
+#
+# Every binary appends its accuracy rows to the shared EVAL_matrix.json
+# (override the path with MATELDA_EVAL_OUT); a failing experiment no
+# longer vanishes silently — the script reports each exit status and
+# exits non-zero listing every experiment that failed.
+cd "$(dirname "$0")" || exit 1
 export MATELDA_SCALE="${MATELDA_SCALE:-full}"
 BIN=target/release
+mkdir -p results/logs
+failed=""
 for exp in table1 table3 table2 fig4 fig5 fig6 fig7 fig8 ablation_deviations ablation_classifier ablation_labeling fig3 fig9; do
   echo "=== running $exp (scale $MATELDA_SCALE) at $(date +%H:%M:%S) ==="
   $BIN/$exp > results/logs/$exp.txt 2>&1
-  echo "=== $exp done (exit $?) at $(date +%H:%M:%S) ==="
+  status=$?
+  echo "=== $exp done (exit $status) at $(date +%H:%M:%S) ==="
+  if [ "$status" -ne 0 ]; then
+    failed="$failed $exp"
+  fi
 done
+if [ -n "$failed" ]; then
+  echo "FAILED:$failed" >&2
+  exit 1
+fi
 echo ALL-DONE

@@ -9,7 +9,7 @@
 //!                    [--read strict|repair|skip] [--on-error fail|skip]
 //!                    [--max-quarantined N]
 //!                    [--checkpoint-dir <dir>] [--resume] [--stage-timeout-ms N]
-//!                    [--trace <dir>] [--metrics]
+//!                    [--trace <dir>] [--metrics] [--failure-report <dir>]
 //!     Load the dirty lake, answer Matelda's label requests from the clean
 //!     lake (the oracle protocol of the paper's experiments), print the
 //!     detection report and, because ground truth is available, P/R/F1.
@@ -36,6 +36,13 @@
 //!     are unchanged. --metrics prints the metrics registry as JSON.
 //!     Tracing never changes results: output is bit-identical with and
 //!     without it, at any thread count.
+//!     --failure-report <dir> writes a per-run failure analysis
+//!     (failure_report.md + failure_report.json) into <dir>: exemplar
+//!     misclassified cells with their values, ground-truth error types
+//!     (inferred from the dirty/clean diff), fired detector features,
+//!     quality folds and propagated labels. Incompatible with
+//!     --checkpoint-dir/--resume (the explained run keeps its artifacts
+//!     in memory, not in checkpoints).
 //!
 //! matelda-cli profile <dir> [--read strict|repair|skip]
 //!     Table/column statistics and approximate FDs of a lake directory.
@@ -46,8 +53,8 @@
 //! 4 quarantine ceiling exceeded, 5 checkpoint rejected.
 
 use matelda::core::{
-    CkptError, DomainFolding, Durability, FaultPolicy, Matelda, MateldaConfig, Obs, Oracle,
-    TrainingStrategy,
+    analyze_failures, CkptError, DomainFolding, Durability, FaultPolicy, Matelda, MateldaConfig,
+    Obs, Oracle, RunArtifacts, TrainingStrategy,
 };
 use matelda::fd::mine_approximate;
 use matelda::lakegen::{DGovLake, GitTablesLake, QuintetLake, ReinLake, WdcLake};
@@ -118,7 +125,7 @@ usage:
                      [--read strict|repair|skip] [--on-error fail|skip]
                      [--max-quarantined N]
                      [--checkpoint-dir <dir>] [--resume] [--stage-timeout-ms N]
-                     [--trace <dir>] [--metrics]
+                     [--trace <dir>] [--metrics] [--failure-report <dir>]
   matelda-cli profile <dir> [--read strict|repair|skip]
 
 durability flags (detect):
@@ -142,6 +149,15 @@ observability flags (detect):
                           changing the exit code. Tracing never changes
                           results: bit-identical output at any --threads.
   --metrics               print the metrics registry as JSON on stdout
+
+failure analysis (detect):
+  --failure-report <dir>  write failure_report.md + failure_report.json:
+                          exemplar misclassified cells (false negatives
+                          and false positives) with value, column, table,
+                          inferred ground-truth error type, the detector
+                          features that fired, the cell's quality fold,
+                          its labeled anchor and the propagated label.
+                          Incompatible with --checkpoint-dir/--resume.
 
 exit codes:
   0  success
@@ -320,6 +336,7 @@ fn cmd_detect(args: &[String]) -> CliResult {
             "repair",
             "trace",
             "metrics",
+            "failure-report",
         ],
     )?;
     let dirty_dir = PathBuf::from(
@@ -356,6 +373,20 @@ fn cmd_detect(args: &[String]) -> CliResult {
         None => None,
     };
     let want_metrics = flags.contains_key("metrics");
+    let failure_report_dir = match flags.get("failure-report").copied() {
+        Some("") => {
+            return Err(CliError::Usage("--failure-report requires a directory path".into()))
+        }
+        Some(d) => Some(PathBuf::from(d)),
+        None => None,
+    };
+    if failure_report_dir.is_some() && (checkpoint_dir.is_some() || resume) {
+        return Err(CliError::Usage(
+            "--failure-report is incompatible with --checkpoint-dir/--resume: the explained \
+             run keeps its artifacts in memory, not in checkpoints"
+                .into(),
+        ));
+    }
 
     let (dirty, dirty_ingest) = load_lake(&dirty_dir, &read)?;
     let (clean, _clean_ingest) = load_lake(&clean_dir, &read)?;
@@ -389,9 +420,21 @@ fn cmd_detect(args: &[String]) -> CliResult {
     // panic trace with exit 101.
     let obs = if trace_dir.is_some() || want_metrics { Obs::enabled() } else { Obs::disabled() };
     let pipeline = Matelda::new(config).with_obs(obs.clone());
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        pipeline.detect_durable(&dirty, &mut oracle, budget, &durability)
-    }))
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+        || -> Result<(matelda::core::DetectionResult, Option<RunArtifacts>), CkptError> {
+            if failure_report_dir.is_some() {
+                // The explained run keeps the stage artifacts for the
+                // failure report; it is bit-identical to detect_durable
+                // without a checkpoint store (guarded above).
+                let (result, artifacts) = pipeline.detect_explained(&dirty, &mut oracle, budget);
+                Ok((result, Some(artifacts)))
+            } else {
+                pipeline
+                    .detect_durable(&dirty, &mut oracle, budget, &durability)
+                    .map(|result| (result, None))
+            }
+        },
+    ))
     .map_err(|payload| {
         let msg = payload
             .downcast_ref::<String>()
@@ -410,7 +453,7 @@ fn cmd_detect(args: &[String]) -> CliResult {
             Err(e) => eprintln!("warning: writing trace to {}: {e}", dir.display()),
         }
     }
-    let result = outcome??;
+    let (result, artifacts) = outcome??;
     let elapsed = start.elapsed();
 
     println!(
@@ -462,6 +505,30 @@ fn cmd_detect(args: &[String]) -> CliResult {
         100.0 * conf.recall(),
         100.0 * conf.f1()
     );
+    if let Some(dir) = &failure_report_dir {
+        let artifacts = artifacts.as_ref().expect("explained run kept its artifacts");
+        // Ground-truth error types are not on disk — recover them from
+        // the (dirty, clean) diff via the mutation signatures.
+        let typed = matelda::errorgen::infer_typed_masks(&dirty, &clean);
+        let report = analyze_failures(&dirty, &result.predicted, &truth, &typed, artifacts, 10);
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CliError::Runtime(format!("creating {}: {e}", dir.display())))?;
+        for (name, contents) in [
+            ("failure_report.md", report.render_markdown()),
+            ("failure_report.json", report.render_json()),
+        ] {
+            std::fs::write(dir.join(name), contents)
+                .map_err(|e| CliError::Runtime(format!("writing {name}: {e}")))?;
+        }
+        println!(
+            "failure report ({} false negative(s), {} false positive(s), {} exemplar(s)) \
+             written to {}",
+            report.n_false_negatives,
+            report.n_false_positives,
+            report.exemplars.len(),
+            dir.display()
+        );
+    }
     if quarantine.tables.len() > max_quarantined {
         return Err(CliError::Quarantine(format!(
             "{} tables quarantined, more than --max-quarantined {max_quarantined}",

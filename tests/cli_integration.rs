@@ -11,7 +11,12 @@ fn cli() -> Command {
 }
 
 fn tmp_dir() -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("matelda_cli_it_{}", std::process::id()));
+    // Unique per call: the test harness runs tests in parallel threads,
+    // so a process-wide path would let tests delete each other's lakes.
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("matelda_cli_it_{}_{n}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     dir
 }
@@ -336,5 +341,70 @@ fn variant_flag_is_validated() {
         .expect("detect");
     assert_eq!(out.status.code(), Some(2), "unknown variant exits 2");
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown variant"));
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn failure_report_names_misclassified_cells_with_evidence() {
+    let dir = tmp_dir();
+    let dir_s = dir.to_string_lossy().to_string();
+    let out = cli()
+        .args(["generate", &dir_s, "--lake", "quintet", "--seed", "11"])
+        .output()
+        .expect("generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let dirty = dir.join("dirty").to_string_lossy().to_string();
+    let clean = dir.join("clean").to_string_lossy().to_string();
+    let report_dir = dir.join("failures");
+    let report_dir_s = report_dir.to_string_lossy().to_string();
+
+    // Incompatible with durability: the explained run has no checkpoints.
+    let out = cli()
+        .args([
+            "detect",
+            &dirty,
+            "--clean",
+            &clean,
+            "--failure-report",
+            &report_dir_s,
+            "--checkpoint-dir",
+            &dir.join("ckpt").to_string_lossy(),
+        ])
+        .output()
+        .expect("incompatible flags");
+    assert_eq!(out.status.code(), Some(2), "must reject --failure-report with --checkpoint-dir");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--failure-report"));
+
+    let out = cli()
+        .args(["detect", &dirty, "--clean", &clean, "--failure-report", &report_dir_s])
+        .output()
+        .expect("detect with failure report");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("failure report ("), "{stdout}");
+
+    let md = std::fs::read_to_string(report_dir.join("failure_report.md")).expect("markdown");
+    assert!(md.starts_with("# Matelda failure analysis"), "{md}");
+    assert!(md.contains("False negatives"), "{md}");
+    // Exemplar rows carry a concrete (table,row,col) cell, a ground-truth
+    // error type inferred from the dirty/clean diff, and the names of the
+    // detector features that fired.
+    assert!(md.contains("| ("), "exemplar rows must name a cell: {md}");
+    assert!(
+        ["| MV |", "| T |", "| FI |", "| NO |", "| VAD |"].iter().any(|t| md.contains(t)),
+        "an FN exemplar must carry its inferred error type: {md}"
+    );
+    assert!(
+        ["tf_hist", "gaussian", "typo", "fd_structural", "nv_", "null_flag", "(none)"]
+            .iter()
+            .any(|f| md.contains(f)),
+        "exemplars must list fired features: {md}"
+    );
+
+    let json = std::fs::read_to_string(report_dir.join("failure_report.json")).expect("json");
+    assert!(json.starts_with("{\"report\":\"matelda-failures\""), "{json}");
+    assert!(json.contains("\"truth_type\""), "{json}");
+    assert!(json.contains("\"fired\""), "{json}");
+
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }

@@ -207,6 +207,46 @@ proptest! {
         let conf = matelda::table::Confusion::from_masks(&pred, &truth);
         prop_assert_eq!(conf.tp + conf.fp + conf.fn_ + conf.tn, lake.n_cells());
     }
+
+    // Metric identities backing the accuracy contract (DESIGN.md §13):
+    // every derived metric is a finite number in [0, 1] for *any* mask
+    // pair — including empty truth and empty predictions, where the
+    // denominators vanish — so the eval matrix never records a NaN.
+    #[test]
+    fn derived_metrics_stay_in_unit_interval_and_finite(
+        cells_t in proptest::collection::vec((0usize..3, 0usize..6), 0..12),
+        cells_p in proptest::collection::vec((0usize..3, 0usize..6), 0..12)) {
+        let table = Table::new("t", (0..3).map(|i| Column::new(format!("c{i}"), vec!["v"; 6])).collect());
+        let lake = Lake::new(vec![table]);
+        let truth = CellMask::from_cells(&lake, cells_t.iter().map(|&(c, r)| CellId::new(0, r, c)));
+        let pred = CellMask::from_cells(&lake, cells_p.iter().map(|&(c, r)| CellId::new(0, r, c)));
+        let conf = matelda::table::Confusion::from_masks(&pred, &truth);
+        for (name, v) in [("precision", conf.precision()), ("recall", conf.recall()), ("f1", conf.f1())] {
+            prop_assert!(v.is_finite(), "{name} = {v} is not finite");
+            prop_assert!((0.0..=1.0).contains(&v), "{name} = {v} out of [0, 1]");
+        }
+    }
+
+    // Swapping predicted and truth transposes the confusion matrix:
+    // tp and tn are symmetric, fp and fn trade places — so precision
+    // and recall trade places too.
+    #[test]
+    fn swapping_predicted_and_truth_transposes_the_confusion(
+        cells_t in proptest::collection::vec((0usize..3, 0usize..6), 0..12),
+        cells_p in proptest::collection::vec((0usize..3, 0usize..6), 0..12)) {
+        let table = Table::new("t", (0..3).map(|i| Column::new(format!("c{i}"), vec!["v"; 6])).collect());
+        let lake = Lake::new(vec![table]);
+        let truth = CellMask::from_cells(&lake, cells_t.iter().map(|&(c, r)| CellId::new(0, r, c)));
+        let pred = CellMask::from_cells(&lake, cells_p.iter().map(|&(c, r)| CellId::new(0, r, c)));
+        let fwd = matelda::table::Confusion::from_masks(&pred, &truth);
+        let rev = matelda::table::Confusion::from_masks(&truth, &pred);
+        prop_assert_eq!(fwd.tp, rev.tp);
+        prop_assert_eq!(fwd.tn, rev.tn);
+        prop_assert_eq!(fwd.fp, rev.fn_);
+        prop_assert_eq!(fwd.fn_, rev.fp);
+        prop_assert_eq!(fwd.precision(), rev.recall());
+        prop_assert_eq!(fwd.recall(), rev.precision());
+    }
 }
 
 // Directory-level ingestion robustness: each case touches the file
