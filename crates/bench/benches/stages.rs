@@ -409,6 +409,17 @@ fn emit_json() {
         0.0
     };
     let scale = std::env::var("MATELDA_SCALE").unwrap_or_else(|_| "full".to_string());
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stages.json");
+    // Preserve the out-of-core `scale` section (written by scale_bench):
+    // the stages bench measures the sweep, not the scale tier, so
+    // rewriting the file must not drop the tier's numbers.
+    let preserved_scale = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| matelda_bench::json::Json::parse(&text).ok())
+        .and_then(|doc| doc.get("scale").cloned())
+        .filter(|s| matches!(s, matelda_bench::json::Json::Obj(_)))
+        .map(|s| format!(",\"scale\":{}", s.render()))
+        .unwrap_or_default();
     let threads_compared =
         if n_threads == 2 { "[1,2]".to_string() } else { format!("[1,2,{n_threads}]") };
     let extra_totals = if n_threads == 2 {
@@ -421,14 +432,13 @@ fn emit_json() {
         )
     };
     let json = format!(
-        "{{\"bench\":\"stages\",\"scale\":\"{scale}\",\"host_parallelism\":{host},\"threads_compared\":{threads_compared},\"determinism_thread_counts\":[1,2,4,8],\"reps\":{reps},\"total_secs_1t\":{total_1:.6},\"total_secs_2t\":{total_2:.6},\"end_to_end_speedup_2t\":{sp2:.3}{extra_totals},\"flagged_cells\":{flagged_1},\"deterministic_across_threads\":true,\"fault_isolation\":{{\"map_secs\":{map_secs:.6},\"try_map_secs\":{try_secs:.6},\"overhead_pct\":{overhead_pct:.2},\"target_pct\":5.0}},\"checkpoint\":{{\"rows_per_table\":{ckpt_rows},\"plain_secs\":{plain_secs:.6},\"durable_secs\":{durable_secs:.6},\"overhead_pct\":{ckpt_pct:.2},\"target_pct\":5.0,\"resume_secs\":{resume_secs:.6},\"resume_speedup\":{resume_speedup:.2}}},\"observability\":{{\"off_secs\":{obs_off_secs:.6},\"on_secs\":{obs_on_secs:.6},\"overhead_pct\":{obs_pct:.2},\"target_pct\":5.0,\"spans\":{obs_spans},\"events\":{obs_events}}},\"serve\":{{\"direct_secs\":{serve_direct_secs:.6},\"served_secs\":{serve_served_secs:.6},\"overhead_pct\":{serve_pct:.2},\"target_pct\":5.0}},\"storage\":{{\"commits\":{storage_commits},\"payload_bytes\":{storage_payload},\"direct_secs\":{storage_direct_secs:.6},\"vfs_secs\":{storage_vfs_secs:.6},\"overhead_pct\":{storage_pct:.2},\"target_pct\":5.0}},\"stages\":[{stages_json}]}}\n",
+        "{{\"bench\":\"stages\",\"sweep\":\"{scale}\",\"host_parallelism\":{host},\"threads_compared\":{threads_compared},\"determinism_thread_counts\":[1,2,4,8],\"reps\":{reps},\"total_secs_1t\":{total_1:.6},\"total_secs_2t\":{total_2:.6},\"end_to_end_speedup_2t\":{sp2:.3}{extra_totals},\"flagged_cells\":{flagged_1},\"deterministic_across_threads\":true,\"fault_isolation\":{{\"map_secs\":{map_secs:.6},\"try_map_secs\":{try_secs:.6},\"overhead_pct\":{overhead_pct:.2},\"target_pct\":5.0}},\"checkpoint\":{{\"rows_per_table\":{ckpt_rows},\"plain_secs\":{plain_secs:.6},\"durable_secs\":{durable_secs:.6},\"overhead_pct\":{ckpt_pct:.2},\"target_pct\":5.0,\"resume_secs\":{resume_secs:.6},\"resume_speedup\":{resume_speedup:.2}}},\"observability\":{{\"off_secs\":{obs_off_secs:.6},\"on_secs\":{obs_on_secs:.6},\"overhead_pct\":{obs_pct:.2},\"target_pct\":5.0,\"spans\":{obs_spans},\"events\":{obs_events}}},\"serve\":{{\"direct_secs\":{serve_direct_secs:.6},\"served_secs\":{serve_served_secs:.6},\"overhead_pct\":{serve_pct:.2},\"target_pct\":5.0}},\"storage\":{{\"commits\":{storage_commits},\"payload_bytes\":{storage_payload},\"direct_secs\":{storage_direct_secs:.6},\"vfs_secs\":{storage_vfs_secs:.6},\"overhead_pct\":{storage_pct:.2},\"target_pct\":5.0}},\"stages\":[{stages_json}]{preserved_scale}}}\n",
         host = std::thread::available_parallelism().map_or(1, |v| v.get()),
         ckpt_rows = CKPT_ROWS,
         storage_commits = STORAGE_COMMITS,
         storage_payload = STORAGE_PAYLOAD,
         sp2 = if total_2 > 0.0 { total_1 / total_2 } else { 1.0 },
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stages.json");
     std::fs::write(path, &json).expect("write BENCH_stages.json");
     println!("\nwrote {path}");
     print!("{json}");

@@ -9,9 +9,11 @@
 //!
 //! Gate clauses (`compare_eval`):
 //!
-//! * the two matrices must have been produced at the same
-//!   `MATELDA_SCALE` (accuracy at different lake sizes is not
-//!   comparable);
+//! * cells carry the `MATELDA_SCALE` they were produced at and are
+//!   gated per scale (accuracy at different lake sizes is not
+//!   comparable): a fresh matrix is checked against exactly the
+//!   baseline cells whose scale it re-ran, and no scale overlap at all
+//!   is a violation;
 //! * every fresh metric must be finite and inside `[0, 1]` — a NaN or
 //!   out-of-range cell is a harness bug, not a regression band issue;
 //! * every baseline cell must still be present in the fresh matrix;
@@ -56,6 +58,10 @@ pub fn paper_category(abbrev: &str) -> &'static str {
 pub struct EvalCell {
     /// The experiment binary that produced the row (`fig3`, `table2`, …).
     pub experiment: String,
+    /// The `MATELDA_SCALE` the row was produced at. Part of the cell
+    /// key, so rows from a `large-ci` out-of-core run live alongside the
+    /// quick/full baseline cells instead of colliding with them.
+    pub scale: String,
     /// Lake template name (`Quintet`, `DGov-NTR`, `GitTables-50`, …).
     pub template: String,
     /// System label (`Matelda`, `Raha`, `Matelda-EDF`, …).
@@ -79,8 +85,9 @@ pub struct EvalCell {
 
 impl EvalCell {
     /// The identity a cell is matched by across matrices.
-    fn key(&self) -> (&str, &str, &str, &str, u64, u64) {
+    fn key(&self) -> (&str, &str, &str, &str, &str, u64, u64) {
         (
+            &self.scale,
             &self.experiment,
             &self.template,
             &self.system,
@@ -93,6 +100,7 @@ impl EvalCell {
     fn to_json(&self) -> Json {
         let mut fields = vec![
             ("experiment".to_string(), Json::Str(self.experiment.clone())),
+            ("scale".to_string(), Json::Str(self.scale.clone())),
             ("template".to_string(), Json::Str(self.template.clone())),
             ("system".to_string(), Json::Str(self.system.clone())),
             ("error_type".to_string(), Json::Str(self.error_type.clone())),
@@ -113,7 +121,9 @@ impl EvalCell {
         Json::Obj(fields)
     }
 
-    fn from_json(v: &Json) -> Result<Self, String> {
+    /// Parses a cell; `default_scale` (the matrix-level scale) covers
+    /// files written before cells carried their own scale.
+    fn from_json(v: &Json, default_scale: &str) -> Result<Self, String> {
         let text = |key: &str| {
             v.get(key)
                 .and_then(Json::as_str)
@@ -123,6 +133,7 @@ impl EvalCell {
         let num = |key: &str| v.get(key).and_then(Json::as_num);
         Ok(EvalCell {
             experiment: text("experiment")?,
+            scale: v.get("scale").and_then(Json::as_str).unwrap_or(default_scale).to_string(),
             template: text("template")?,
             system: text("system")?,
             error_type: text("error_type")?,
@@ -138,16 +149,24 @@ impl EvalCell {
     /// Short display form for violation messages.
     fn label(&self) -> String {
         format!(
-            "{}/{}/{}/{} @ budget {} seed {}",
-            self.experiment, self.template, self.system, self.error_type, self.budget, self.seed
+            "{}@{}/{}/{}/{} @ budget {} seed {}",
+            self.experiment,
+            self.scale,
+            self.template,
+            self.system,
+            self.error_type,
+            self.budget,
+            self.seed
         )
     }
 }
 
-/// A full accuracy matrix: the scale it was produced at plus its cells.
+/// A full accuracy matrix. Cells carry their own scale; the matrix-level
+/// `scale` records the last writer's scale (and is the parse-time
+/// default for cells from files written before the per-cell field).
 #[derive(Debug, Clone, Default)]
 pub struct EvalMatrix {
-    /// The `MATELDA_SCALE` the experiments ran at.
+    /// The `MATELDA_SCALE` of the most recent flush into this file.
     pub scale: String,
     /// All accuracy cells, sorted on render.
     pub cells: Vec<EvalCell>,
@@ -163,7 +182,7 @@ impl EvalMatrix {
             .and_then(Json::as_arr)
             .ok_or("matrix missing `cells`")?
             .iter()
-            .map(EvalCell::from_json)
+            .map(|c| EvalCell::from_json(c, &scale))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(EvalMatrix { scale, cells })
     }
@@ -255,6 +274,7 @@ impl EvalRecorder {
     ) {
         self.cells.push(EvalCell {
             experiment: self.experiment.clone(),
+            scale: self.scale.clone(),
             template: template.to_string(),
             system: system.to_string(),
             error_type: ALL.to_string(),
@@ -284,6 +304,7 @@ impl EvalRecorder {
         for tr in PerTypeRecall::compute(predicted, &typed).recalls {
             self.cells.push(EvalCell {
                 experiment: self.experiment.clone(),
+                scale: self.scale.clone(),
                 template: template.to_string(),
                 system: system.to_string(),
                 error_type: tr.name,
@@ -297,22 +318,21 @@ impl EvalRecorder {
         }
     }
 
-    /// Merges this experiment's rows into the shared matrix file:
-    /// existing rows from *other* experiments at the same scale are
-    /// kept, this experiment's old rows are replaced, and a scale
-    /// change resets the whole file (cells from different scales are
-    /// not comparable). The write is atomic (tmp + rename) so a crashed
-    /// experiment cannot tear the matrix.
+    /// Merges this experiment's rows into the shared matrix file: only
+    /// this experiment's old rows *at this scale* are replaced — rows
+    /// from other experiments, and rows from the same experiment at
+    /// other scales (e.g. a `large-ci` out-of-core run next to the
+    /// `full` baseline), are kept. The write is atomic (tmp + rename)
+    /// so a crashed experiment cannot tear the matrix.
     pub fn flush(&self) -> std::io::Result<()> {
         let mut matrix = match std::fs::read_to_string(&self.path) {
-            Ok(text) => match Json::parse(&text).and_then(|doc| EvalMatrix::from_json(&doc)) {
-                Ok(m) if m.scale == self.scale => m,
-                _ => EvalMatrix::default(),
-            },
+            Ok(text) => {
+                Json::parse(&text).and_then(|doc| EvalMatrix::from_json(&doc)).unwrap_or_default()
+            }
             Err(_) => EvalMatrix::default(),
         };
         matrix.scale = self.scale.clone();
-        matrix.cells.retain(|c| c.experiment != self.experiment);
+        matrix.cells.retain(|c| !(c.experiment == self.experiment && c.scale == self.scale));
         matrix.cells.extend(self.cells.iter().cloned());
         let tmp = self.path.with_extension("json.tmp");
         std::fs::write(&tmp, matrix.render())?;
@@ -350,10 +370,18 @@ pub fn compare_eval(baseline: &Json, fresh: &Json, cfg: EvalGateConfig) -> Vec<S
         Ok(m) => m,
         Err(e) => return vec![format!("fresh matrix malformed: {e}")],
     };
-    if base.scale != fresh.scale {
+    // Scales are compared per cell: a fresh matrix gates exactly the
+    // baseline cells whose scale it re-ran (so a `full` re-run never
+    // "misses" the baseline's `large-ci` rows and vice versa). No
+    // overlap at all means the runs are not comparable.
+    let fresh_scales: std::collections::BTreeSet<&str> =
+        fresh.cells.iter().map(|c| c.scale.as_str()).collect();
+    let base_scales: std::collections::BTreeSet<&str> =
+        base.cells.iter().map(|c| c.scale.as_str()).collect();
+    if !base.cells.is_empty() && base_scales.intersection(&fresh_scales).next().is_none() {
         violations.push(format!(
-            "scale mismatch: baseline ran at `{}`, fresh at `{}` — accuracy not comparable",
-            base.scale, fresh.scale
+            "scale mismatch: baseline ran at {base_scales:?}, fresh at {fresh_scales:?} — \
+             accuracy not comparable",
         ));
         return violations;
     }
@@ -372,8 +400,12 @@ pub fn compare_eval(baseline: &Json, fresh: &Json, cfg: EvalGateConfig) -> Vec<S
         }
     }
 
-    // Clauses: presence and drop band, per baseline cell.
+    // Clauses: presence and drop band, per baseline cell whose scale
+    // the fresh matrix covers.
     for cell in &base.cells {
+        if !fresh_scales.contains(cell.scale.as_str()) {
+            continue;
+        }
         let Some(found) = fresh.cells.iter().find(|c| c.key() == cell.key()) else {
             violations.push(format!(
                 "cell {} present in baseline but missing from fresh matrix",
@@ -422,6 +454,7 @@ mod tests {
             cells: vec![
                 EvalCell {
                     experiment: "fig3".into(),
+                    scale: "quick".into(),
                     template: "Quintet".into(),
                     system: "Matelda".into(),
                     error_type: ALL.into(),
@@ -434,6 +467,7 @@ mod tests {
                 },
                 EvalCell {
                     experiment: "fig3".into(),
+                    scale: "quick".into(),
                     template: "Quintet".into(),
                     system: "Matelda".into(),
                     error_type: "MV".into(),
@@ -446,6 +480,7 @@ mod tests {
                 },
                 EvalCell {
                     experiment: "fig3".into(),
+                    scale: "quick".into(),
                     template: "Quintet".into(),
                     system: "Matelda".into(),
                     error_type: "NO".into(),
@@ -553,9 +588,32 @@ mod tests {
 
         let mut rescaled = base.clone();
         rescaled.scale = "full".to_string();
+        for c in &mut rescaled.cells {
+            c.scale = "full".to_string();
+        }
         let v = compare_eval(&reparse(&base), &reparse(&rescaled), EvalGateConfig::default());
         assert_eq!(v.len(), 1);
         assert!(v[0].contains("scale mismatch"), "{v:?}");
+    }
+
+    #[test]
+    fn gate_scopes_presence_to_the_scales_the_fresh_matrix_covers() {
+        // Baseline holds quick + large-ci rows; a fresh quick-only rerun
+        // gates the quick cells and leaves the large-ci rows alone.
+        let mut base = sample_matrix();
+        let mut large = base.cells[0].clone();
+        large.scale = "large-ci".to_string();
+        large.experiment = "scale_bench".to_string();
+        base.cells.push(large);
+        let fresh = sample_matrix(); // quick cells only
+        let v = compare_eval(&reparse(&base), &reparse(&fresh), EvalGateConfig::default());
+        assert!(v.is_empty(), "large-ci baseline rows must not be 'missing': {v:?}");
+        // But a quick cell actually missing still trips the gate.
+        let mut pruned = sample_matrix();
+        pruned.cells.retain(|c| c.error_type != "MV");
+        let v = compare_eval(&reparse(&base), &reparse(&pruned), EvalGateConfig::default());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("missing"), "{v:?}");
     }
 
     #[test]
@@ -583,7 +641,7 @@ mod tests {
     }
 
     #[test]
-    fn recorder_merges_per_experiment_and_resets_on_scale_change() {
+    fn recorder_merges_per_experiment_and_keeps_other_scales() {
         let dir = std::env::temp_dir().join(format!("matelda-eval-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("EVAL_matrix.json");
@@ -614,15 +672,32 @@ mod tests {
         let fig3 = m.cells.iter().find(|c| c.experiment == "fig3").unwrap();
         assert_eq!(fig3.f1, Some(0.85));
 
-        // A scale change resets the file: mixed-scale cells are invalid.
-        let mut rec4 = EvalRecorder::for_experiment("fig4", Scale::Full);
+        // A flush at another scale keeps the existing cells: rows from
+        // different scales coexist under distinct keys instead of
+        // colliding (the large-tier runs depend on this).
+        let mut rec4 = EvalRecorder::for_experiment("fig3", Scale::LargeCi);
         rec4.path = path.clone();
-        rec4.record_metrics("DGov", "Matelda", 2.0, 1, 0.6, 0.6, 0.6);
+        rec4.record_metrics("ScaleLake", "Matelda", 2.0, 1, 0.6, 0.6, 0.6);
         rec4.flush().unwrap();
         let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
         let m = EvalMatrix::from_json(&doc).unwrap();
-        assert_eq!(m.scale, "full");
-        assert_eq!(m.cells.len(), 1);
+        assert_eq!(m.scale, "large-ci", "matrix-level scale is the last writer's");
+        assert_eq!(m.cells.len(), 3, "quick cells survive a large-ci flush");
+        assert!(m.cells.iter().any(|c| c.scale == "large-ci" && c.experiment == "fig3"));
+        let quick_fig3 =
+            m.cells.iter().find(|c| c.scale == "quick" && c.experiment == "fig3").unwrap();
+        assert_eq!(quick_fig3.f1, Some(0.85), "same experiment at quick scale untouched");
+
+        // Re-flushing at large-ci replaces only the (fig3, large-ci) row.
+        let mut rec5 = EvalRecorder::for_experiment("fig3", Scale::LargeCi);
+        rec5.path = path.clone();
+        rec5.record_metrics("ScaleLake", "Matelda", 2.0, 1, 0.65, 0.65, 0.65);
+        rec5.flush().unwrap();
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let m = EvalMatrix::from_json(&doc).unwrap();
+        assert_eq!(m.cells.len(), 3);
+        let large = m.cells.iter().find(|c| c.scale == "large-ci").unwrap();
+        assert_eq!(large.f1, Some(0.65));
         let _ = std::fs::remove_file(&path);
     }
 
@@ -633,14 +708,20 @@ mod tests {
         let doc = Json::parse(&text).expect("baseline parses");
         let m = EvalMatrix::from_json(&doc).expect("baseline has the matrix shape");
         assert!(!m.cells.is_empty());
-        // Cells from all 13 experiment binaries.
+        // Cells from all 13 experiment binaries, plus the out-of-core
+        // scale_bench row at its own (large) scale.
         let mut experiments: Vec<&str> = m.cells.iter().map(|c| c.experiment.as_str()).collect();
         experiments.sort_unstable();
         experiments.dedup();
         assert_eq!(
             experiments.len(),
-            13,
-            "all 13 experiment binaries contribute cells: {experiments:?}"
+            14,
+            "all 13 experiment binaries plus scale_bench contribute cells: {experiments:?}"
+        );
+        assert!(experiments.contains(&"scale_bench"));
+        assert!(
+            m.cells.iter().any(|c| c.experiment == "scale_bench" && c.scale.starts_with("large")),
+            "the scale_bench row is keyed by a large tier"
         );
         // Per-type recall rows exist alongside the ALL rows.
         assert!(m.cells.iter().any(|c| c.error_type == "MV" && c.support.unwrap_or(0) > 0));

@@ -13,7 +13,13 @@
 //!   `observability`, `serve`, `storage`) must stay within its own
 //!   `target_pct` budget in the fresh results;
 //! * the two files must have been produced at the same `MATELDA_SCALE`
-//!   (throughput at different scales is not comparable).
+//!   sweep size (throughput at different sweep sizes is not comparable;
+//!   the key is `sweep`, with a fallback to the legacy `scale` string);
+//! * when the baseline carries a `scale` section (the out-of-core scale
+//!   tier produced by `scale_bench`), the fresh results must carry one
+//!   too, at the same tier, with `digest_ok` true, peak RSS under both
+//!   the absolute `rss_budget_bytes` and 1.5× the baseline's peak, and
+//!   per-stage `cells_per_sec` within the throughput band.
 //!
 //! By default only single-thread throughput is gated: multi-thread
 //! speedups on shared CI runners are noise-dominated, while
@@ -63,8 +69,18 @@ const OVERHEAD_SECTIONS: [&str; 5] =
 pub fn compare(baseline: &Json, fresh: &Json, cfg: GateConfig) -> Vec<String> {
     let mut violations = Vec::new();
 
-    let b_scale = baseline.get("scale").and_then(Json::as_str).unwrap_or("?");
-    let f_scale = fresh.get("scale").and_then(Json::as_str).unwrap_or("?");
+    // The sweep size lives under `sweep`; older files spelled it
+    // `scale` (a string — the modern `scale` key is the out-of-core
+    // section object, on which `as_str` is `None`, so the fallback
+    // cannot misread it).
+    fn sweep_of(doc: &Json) -> &str {
+        doc.get("sweep")
+            .and_then(Json::as_str)
+            .or_else(|| doc.get("scale").and_then(Json::as_str))
+            .unwrap_or("?")
+    }
+    let b_scale = sweep_of(baseline);
+    let f_scale = sweep_of(fresh);
     if b_scale != f_scale {
         violations.push(format!(
             "scale mismatch: baseline ran at `{b_scale}`, fresh at `{f_scale}` — throughput not comparable"
@@ -140,7 +156,92 @@ pub fn compare(baseline: &Json, fresh: &Json, cfg: GateConfig) -> Vec<String> {
         }
     }
 
+    check_scale_section(baseline, fresh, cfg, &mut violations);
+
     violations
+}
+
+/// How much a fresh peak RSS may exceed the baseline's before the gate
+/// trips. 1.5× absorbs allocator and runner noise while rejecting a
+/// genuine memory-behavior regression (the negative test doubles RSS).
+const RSS_GROWTH_LIMIT: f64 = 1.5;
+
+/// Gates the out-of-core `scale` section (written by `scale_bench`):
+/// tier identity, digest equivalence with the in-memory path, peak RSS
+/// against both the absolute budget and the baseline, and per-stage
+/// streaming throughput. Skipped entirely when the baseline has no
+/// section — sweeps that never ran the scale tier are not penalised.
+fn check_scale_section(
+    baseline: &Json,
+    fresh: &Json,
+    cfg: GateConfig,
+    violations: &mut Vec<String>,
+) {
+    // Only the modern object form counts; a legacy `"scale":"full"`
+    // string is the sweep size, not this section.
+    let Some(base) = baseline.get("scale").filter(|s| matches!(s, Json::Obj(_))) else {
+        return;
+    };
+    let Some(found) = fresh.get("scale").filter(|s| matches!(s, Json::Obj(_))) else {
+        violations.push("scale section present in baseline but missing from fresh results".into());
+        return;
+    };
+    let b_tier = base.get("tier").and_then(Json::as_str).unwrap_or("?");
+    let f_tier = found.get("tier").and_then(Json::as_str).unwrap_or("?");
+    if b_tier != f_tier {
+        violations
+            .push(format!("scale tier mismatch: baseline ran `{b_tier}`, fresh ran `{f_tier}`"));
+        return;
+    }
+    if found.get("digest_ok").and_then(Json::as_bool) != Some(true) {
+        violations.push(
+            "scale: out-of-core digest no longer matches the in-memory path (digest_ok)".into(),
+        );
+    }
+    let fresh_rss = found.get("peak_rss_bytes").and_then(Json::as_num).unwrap_or(f64::INFINITY);
+    let rss_budget = found.get("rss_budget_bytes").and_then(Json::as_num).unwrap_or(0.0);
+    if fresh_rss > rss_budget {
+        violations.push(format!(
+            "scale: peak RSS {fresh_rss:.0} bytes exceeds the {rss_budget:.0}-byte budget \
+             (out-of-core path held too much resident)"
+        ));
+    }
+    if let Some(base_rss) = base.get("peak_rss_bytes").and_then(Json::as_num) {
+        if base_rss > 0.0 && fresh_rss > base_rss * RSS_GROWTH_LIMIT {
+            violations.push(format!(
+                "scale: peak RSS grew {ratio:.2}x over baseline \
+                 ({base_rss:.0} -> {fresh_rss:.0} bytes, limit {RSS_GROWTH_LIMIT}x)",
+                ratio = fresh_rss / base_rss
+            ));
+        }
+    }
+    let empty: [Json; 0] = [];
+    let fresh_stages = found.get("stages").and_then(Json::as_arr).unwrap_or(&empty);
+    for stage in base.get("stages").and_then(Json::as_arr).unwrap_or(&empty) {
+        let name = stage.get("stage").and_then(Json::as_str).unwrap_or("?");
+        let Some(base_cps) = stage.get("cells_per_sec").and_then(Json::as_num) else {
+            continue;
+        };
+        let found_stage =
+            fresh_stages.iter().find(|s| s.get("stage").and_then(Json::as_str) == Some(name));
+        let Some(found_stage) = found_stage else {
+            violations.push(format!(
+                "scale stage `{name}` present in baseline but missing from fresh results"
+            ));
+            continue;
+        };
+        let fresh_cps = found_stage.get("cells_per_sec").and_then(Json::as_num).unwrap_or(0.0);
+        if base_cps > 0.0 {
+            let drop_pct = 100.0 * (base_cps - fresh_cps) / base_cps;
+            if drop_pct > cfg.max_drop_pct {
+                violations.push(format!(
+                    "scale stage `{name}`: cells_per_sec dropped {drop_pct:.1}% \
+                     ({base_cps:.1}/s -> {fresh_cps:.1}/s, limit {limit:.0}%)",
+                    limit = cfg.max_drop_pct
+                ));
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -280,6 +381,85 @@ mod tests {
         let v = compare(&baseline, &quick, GateConfig::default());
         assert_eq!(v.len(), 1);
         assert!(v[0].contains("scale mismatch"));
+    }
+
+    /// A document with the modern `sweep` key plus a `scale` section.
+    fn scale_doc(peak_rss: f64, digest_ok: bool, fold_cps: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{"sweep":"full","stages":[],
+                "scale":{{"tier":"large-ci","cells":1000000,"lake_bytes":50000000,
+                          "peak_rss_bytes":{peak_rss},"rss_budget_bytes":900000000,
+                          "spill_count":150,"digest_ok":{digest_ok},
+                          "stages":[{{"stage":"featurize","cells_per_sec":200000.0}},
+                                    {{"stage":"domain_folds","cells_per_sec":{fold_cps}}}]}}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn legacy_scale_string_and_modern_sweep_key_interoperate() {
+        // Pre-rename files spell the sweep size `"scale":"full"`; the
+        // modern writer spells it `"sweep":"full"` and uses `scale` for
+        // the out-of-core section. Both directions must compare cleanly.
+        let legacy = Json::parse(r#"{"scale":"full","stages":[]}"#).unwrap();
+        let modern = scale_doc(400e6, true, 100e3);
+        assert!(compare(&legacy, &modern, GateConfig::default()).is_empty());
+        // A modern baseline against a legacy fresh file: the scale
+        // section is missing from fresh, which is a violation — but the
+        // sweep sizes still match (no spurious "scale mismatch").
+        let v = compare(&modern, &legacy, GateConfig::default());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("scale section") && v[0].contains("missing"));
+        // Genuinely different sweep sizes are still caught across forms.
+        let quick = Json::parse(r#"{"sweep":"quick","stages":[]}"#).unwrap();
+        let v = compare(&legacy, &quick, GateConfig::default());
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("scale mismatch"));
+    }
+
+    #[test]
+    fn gate_rejects_a_scale_rss_blowup() {
+        // The negative control for the scale tier: a synthetic 2× peak-RSS
+        // blowup (a change that quietly re-materialises the lake in
+        // memory) must trip the 1.5× growth clause.
+        let baseline = scale_doc(400e6, true, 100e3);
+        let blown = scale_doc(800e6, true, 100e3);
+        let v = compare(&baseline, &blown, GateConfig::default());
+        assert_eq!(v.len(), 1, "exactly the RSS clause: {v:?}");
+        assert!(v[0].contains("peak RSS grew") && v[0].contains("2.00x"));
+        // 1.4× stays inside the band.
+        let ok = scale_doc(560e6, true, 100e3);
+        assert!(compare(&baseline, &ok, GateConfig::default()).is_empty());
+        // Blowing the absolute budget trips even without baseline growth:
+        // both legs at 2× budget report growth AND budget violations.
+        let huge = scale_doc(2000e6, true, 100e3);
+        let v = compare(&huge, &huge, GateConfig::default());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("exceeds the") && v[0].contains("budget"));
+    }
+
+    #[test]
+    fn gate_rejects_scale_digest_and_throughput_regressions() {
+        let baseline = scale_doc(400e6, true, 100e3);
+        // Digest divergence between the out-of-core and in-memory paths
+        // is a correctness failure, not a perf number.
+        let diverged = scale_doc(400e6, false, 100e3);
+        let v = compare(&baseline, &diverged, GateConfig::default());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("digest_ok"));
+        // A >25% cells/s drop on one streaming stage trips its clause.
+        let slow = scale_doc(400e6, true, 60e3);
+        let v = compare(&baseline, &slow, GateConfig::default());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("domain_folds") && v[0].contains("40.0%"));
+        // Tier mismatch short-circuits the rest of the section.
+        let other_text = scale_doc(400e6, true, 100e3).render().replace("large-ci", "large");
+        let other = Json::parse(&other_text).unwrap();
+        let v = compare(&baseline, &other, GateConfig::default());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("tier mismatch"));
+        // Self-comparison passes.
+        assert!(compare(&baseline, &baseline, GateConfig::default()).is_empty());
     }
 
     #[test]

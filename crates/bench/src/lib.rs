@@ -36,6 +36,12 @@ pub enum Scale {
     Small,
     /// Paper-shaped lakes — the real reproduction.
     Full,
+    /// The out-of-core CI tier: a generated lake of ≥10⁶ cells streamed
+    /// through the out-of-core driver under a peak-RSS budget (see
+    /// `scale_bench`).
+    LargeCi,
+    /// The unbounded out-of-core tier: ≥10⁷ cells, hundreds of tables.
+    Large,
 }
 
 impl Scale {
@@ -44,16 +50,21 @@ impl Scale {
         match std::env::var("MATELDA_SCALE").unwrap_or_default().as_str() {
             "quick" => Scale::Quick,
             "small" => Scale::Small,
+            "large-ci" => Scale::LargeCi,
+            "large" => Scale::Large,
             _ => Scale::Full,
         }
     }
 
-    /// Scales a table count down for the smaller profiles.
+    /// Scales a table count down for the smaller profiles. The large
+    /// tiers never shrink an experiment sweep — they exist for the
+    /// out-of-core path, which sizes its lake from
+    /// `matelda_lakegen::ScaleTier` instead.
     pub fn tables(self, full: usize) -> usize {
         match self {
             Scale::Quick => full.min(8),
             Scale::Small => (full / 4).max(8).min(full),
-            Scale::Full => full,
+            Scale::Full | Scale::LargeCi | Scale::Large => full,
         }
     }
 
@@ -63,13 +74,16 @@ impl Scale {
             Scale::Quick => "quick",
             Scale::Small => "small",
             Scale::Full => "full",
+            Scale::LargeCi => "large-ci",
+            Scale::Large => "large",
         }
     }
 
     /// Number of independent seeds to average over. The paper averages
     /// 3–5 runs on a 64-core machine; this reproduction defaults to 2 at
     /// full scale to fit a single-core budget (set `MATELDA_SEEDS` to
-    /// override).
+    /// override). The large tiers run one seed — a single pass is the
+    /// point.
     pub fn seeds(self) -> u64 {
         if let Ok(s) = std::env::var("MATELDA_SEEDS") {
             if let Ok(n) = s.parse::<u64>() {
@@ -80,6 +94,7 @@ impl Scale {
             Scale::Quick => 1,
             Scale::Small => 2,
             Scale::Full => 2,
+            Scale::LargeCi | Scale::Large => 1,
         }
     }
 }
@@ -288,7 +303,9 @@ pub fn budget_axis(scale: Scale) -> Vec<f64> {
     match scale {
         Scale::Quick => vec![1.0, 5.0],
         Scale::Small => vec![0.5, 1.0, 2.0, 5.0, 10.0],
-        Scale::Full => vec![0.1, 0.3, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0],
+        Scale::Full | Scale::LargeCi | Scale::Large => {
+            vec![0.1, 0.3, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0]
+        }
     }
 }
 

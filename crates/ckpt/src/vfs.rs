@@ -36,7 +36,7 @@
 
 use std::fmt;
 use std::fs::{self, File};
-use std::io::{self, Write};
+use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -312,6 +312,42 @@ impl Vfs {
         .map(|(bytes, _)| bytes)
     }
 
+    /// Reads up to `len` bytes starting at `offset` (fewer at EOF, an
+    /// empty vector past it), retrying transient errnos. Counts and
+    /// faults as [`IoOp::Read`] — one gated operation per chunk — so
+    /// out-of-core readers that pull a file through this method inherit
+    /// the storage fault matrix site by site.
+    pub fn read_range(&self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        retry_transient(|| {
+            self.gate_errno(IoOp::Read, path)?;
+            let mut f = File::open(path)?;
+            f.seek(SeekFrom::Start(offset))?;
+            let mut buf = vec![0u8; len];
+            let mut filled = 0;
+            while filled < len {
+                match f.read(&mut buf[filled..]) {
+                    Ok(0) => break,
+                    Ok(n) => filled += n,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            buf.truncate(filled);
+            Ok(buf)
+        })
+        .map(|(bytes, _)| bytes)
+    }
+
+    /// The byte length of a file, through the [`IoOp::Read`] gate (a
+    /// chunked reader's size probe must be as injectable as its reads).
+    pub fn file_len(&self, path: &Path) -> io::Result<u64> {
+        retry_transient(|| {
+            self.gate_errno(IoOp::Read, path)?;
+            fs::metadata(path).map(|m| m.len())
+        })
+        .map(|(len, _)| len)
+    }
+
     /// Removes one file, refunding its size to the budget.
     pub fn remove_file(&self, path: &Path) -> io::Result<()> {
         let len = fs::metadata(path).map(|m| m.len()).unwrap_or(0);
@@ -445,6 +481,34 @@ pub struct AtomicCommit {
     pub dir_synced: bool,
     /// Transient-errno retries the commit needed (0 on the happy path).
     pub retries: u32,
+}
+
+/// The out-of-core table layer reads and writes through [`ChunkSource`]
+/// (`matelda-table` cannot depend on this crate); plugging the `Vfs` in
+/// here routes every chunked column read and columnar write of the
+/// scale tier through the same injection gate, op counter and disk
+/// budget as checkpoints — the storage fault matrix covers the
+/// out-of-core path for free.
+impl matelda_table::chunked::ChunkSource for Vfs {
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        Vfs::file_len(self, path)
+    }
+
+    fn read_range(&self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        Vfs::read_range(self, path, offset, len)
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        Vfs::write_atomic(self, path, bytes).map(|_| ())
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        Vfs::create_dir_all(self, dir)
+    }
+
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        self.read_dir_paths(dir)
+    }
 }
 
 /// Whether an errno is worth an immediate bounded retry.
@@ -599,6 +663,81 @@ mod tests {
         // 8 on disk; replacing with 8 needs 16 transiently — exactly fits.
         vfs.write_atomic(&path, b"abcdefgh").unwrap();
         assert_eq!(vfs.budget_used(), Some(8), "replacement refunds the old length");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_range_chunks_reassemble_the_file_and_truncate_at_eof() {
+        let dir = temp_dir("range");
+        let path = dir.join("a.bin");
+        let payload: Vec<u8> = (0u16..1000).map(|i| (i % 251) as u8).collect();
+        Vfs::real().write_atomic(&path, &payload).unwrap();
+        let vfs = Vfs::recording();
+        assert_eq!(vfs.file_len(&path).unwrap(), 1000);
+        // Reassemble through ragged chunk sizes, including one spanning EOF.
+        for chunk in [1usize, 7, 256, 999, 1000, 4096] {
+            let mut got = Vec::new();
+            let mut offset = 0u64;
+            loop {
+                let part = vfs.read_range(&path, offset, chunk).unwrap();
+                if part.is_empty() {
+                    break;
+                }
+                offset += part.len() as u64;
+                got.extend_from_slice(&part);
+            }
+            assert_eq!(got, payload, "chunk size {chunk}");
+        }
+        // Entirely past EOF: empty, not an error.
+        assert!(vfs.read_range(&path, 5000, 16).unwrap().is_empty());
+        assert!(vfs.op_count() > 0, "every range read is a counted op");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_range_is_injectable_per_chunk() {
+        let dir = temp_dir("range-inject");
+        let path = dir.join("a.bin");
+        Vfs::real().write_atomic(&path, b"0123456789").unwrap();
+        // Op 0 is the file_len probe, op 1 the first chunk, op 2 the
+        // second: fault exactly the second chunk read.
+        let inj = InjectAt::new(2, FaultKind::Errno(io::ErrorKind::Other));
+        let vfs = Vfs::with_injector(inj.clone());
+        assert_eq!(vfs.file_len(&path).unwrap(), 10);
+        assert_eq!(vfs.read_range(&path, 0, 4).unwrap(), b"0123");
+        let err = vfs.read_range(&path, 4, 4).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        assert_eq!(inj.fired(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn columnar_reads_through_the_vfs_hit_the_injection_gate() {
+        use matelda_table::chunked::{write_table_columnar, ColumnarReader};
+        use matelda_table::{Column, Table};
+        let dir = temp_dir("columnar-vfs");
+        let table = Table::new(
+            "t",
+            vec![Column::new("a", ["1", "2", "3"]), Column::new("b", ["x", "yy", "zzz"])],
+        );
+        // Written and read back through the recording Vfs: ops counted.
+        let vfs = Vfs::recording();
+        let path = write_table_columnar(&vfs, &dir, &table).unwrap();
+        let back = ColumnarReader::open(&vfs, &path).unwrap().read_table(4).unwrap();
+        assert_eq!(back, table);
+        assert!(vfs.op_count() > 5, "columnar io is gated and counted");
+        // A fault planted mid-column surfaces as an error, not a
+        // misparse: the out-of-core path inherits the fault matrix.
+        let ops = vfs.op_count();
+        for at in 0..ops {
+            let inj = InjectAt::new(at, FaultKind::Errno(io::ErrorKind::Other));
+            let faulty = Vfs::with_injector(inj);
+            let res = ColumnarReader::open(&faulty, &path).and_then(|r| r.read_table(4));
+            if let Err(e) = res {
+                let msg = e.to_string();
+                assert!(msg.contains("injected") || msg.contains("chunked io"), "{msg}");
+            }
+        }
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -292,6 +292,86 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Magic tag of a chunked frame (see [`encode_chunked`]).
+pub const CHUNKED_MAGIC: &[u8; 4] = b"MTCH";
+
+/// Chunked-frame format version.
+pub const CHUNKED_VERSION: u32 = 1;
+
+/// FNV-1a over one chunk's bytes — the same hash family as the snapshot
+/// envelope, via the table crate's incremental hasher.
+fn chunk_digest(bytes: &[u8]) -> u64 {
+    let mut h = matelda_table::fingerprint::Fnv1a::new();
+    h.write_bytes(bytes);
+    h.finish()
+}
+
+/// Frames a payload as independently-verifiable chunks:
+///
+/// ```text
+/// "MTCH" | version:u32 | total_len:varint | n_chunks:varint
+///        | { len:varint | bytes | fnv1a:u64 } × n_chunks
+/// ```
+///
+/// Large snapshots (out-of-core featurize spill, columnar column files)
+/// use this instead of one monolithic hashed blob: a torn tail or a
+/// flipped bit is pinned to *one* chunk by [`decode_chunked`], and a
+/// streaming writer can emit chunk frames as they are produced instead
+/// of buffering the whole payload to hash it.
+pub fn encode_chunked(payload: &[u8], chunk_len: usize) -> Vec<u8> {
+    let chunk_len = chunk_len.max(1);
+    let mut w = Writer::new();
+    w.reserve(payload.len() + payload.len() / chunk_len * 12 + 32);
+    w.write_raw(CHUNKED_MAGIC);
+    w.write_u32(CHUNKED_VERSION);
+    w.write_varint(payload.len() as u64);
+    let n_chunks = payload.len().div_ceil(chunk_len);
+    w.write_varint(n_chunks as u64);
+    for chunk in payload.chunks(chunk_len) {
+        w.write_varint(chunk.len() as u64);
+        w.write_raw(chunk);
+        w.write_u64(chunk_digest(chunk));
+    }
+    w.into_bytes()
+}
+
+/// Decodes a frame produced by [`encode_chunked`], validating magic,
+/// version, every chunk digest, the total length and exact consumption.
+pub fn decode_chunked(bytes: &[u8]) -> Result<Vec<u8>, DecodeError> {
+    let mut r = Reader::new(bytes);
+    if r.read_raw(4)? != CHUNKED_MAGIC {
+        return Err(DecodeError::BadMagic { expected: "MTCH" });
+    }
+    let version = r.read_u32()?;
+    if version != CHUNKED_VERSION {
+        return Err(DecodeError::BadVersion { found: version, expected: CHUNKED_VERSION });
+    }
+    let total = r.read_varint()?;
+    if total > bytes.len() as u64 {
+        return Err(DecodeError::LengthOverflow { len: total, remaining: r.remaining() });
+    }
+    let n_chunks = r.read_varint()?;
+    let mut payload = Vec::with_capacity(total as usize);
+    for _ in 0..n_chunks {
+        let len = r.read_varint_len()?;
+        let chunk = r.read_raw(len)?;
+        let expected = r.read_u64()?;
+        let found = chunk_digest(chunk);
+        if found != expected {
+            return Err(DecodeError::HashMismatch { expected, found });
+        }
+        payload.extend_from_slice(chunk);
+    }
+    if payload.len() as u64 != total {
+        return Err(DecodeError::Malformed(format!(
+            "chunked frame declares {total} payload bytes but chunks carry {}",
+            payload.len()
+        )));
+    }
+    r.finish()?;
+    Ok(payload)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -413,6 +493,48 @@ mod tests {
         let mut r = Reader::new(&bytes);
         r.read_u8().unwrap();
         assert_eq!(r.finish(), Err(DecodeError::TrailingBytes { count: 1 }));
+    }
+
+    #[test]
+    fn chunked_frame_round_trips_at_ragged_chunk_sizes() {
+        let payload: Vec<u8> = (0u32..10_000).map(|i| (i * 7 % 256) as u8).collect();
+        for chunk_len in [1usize, 13, 4096, 10_000, 1 << 20] {
+            let framed = encode_chunked(&payload, chunk_len);
+            assert_eq!(decode_chunked(&framed).unwrap(), payload, "chunk_len {chunk_len}");
+        }
+        // Empty payload: zero chunks, still a valid frame.
+        let framed = encode_chunked(&[], 64);
+        assert_eq!(decode_chunked(&framed).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn chunked_frame_pins_corruption_to_a_chunk() {
+        let payload = vec![0xABu8; 1000];
+        let mut framed = encode_chunked(&payload, 100);
+        // Flip one payload byte deep inside the frame: the owning
+        // chunk's digest must catch it.
+        let mid = framed.len() / 2;
+        framed[mid] ^= 0x01;
+        assert!(matches!(decode_chunked(&framed), Err(DecodeError::HashMismatch { .. })));
+    }
+
+    #[test]
+    fn chunked_frame_rejects_truncation_magic_and_version_drift() {
+        let framed = encode_chunked(b"hello chunked world", 4);
+        // A torn tail is EOF or a length overflow, never a panic.
+        for cut in 1..framed.len() {
+            assert!(decode_chunked(&framed[..cut]).is_err(), "cut {cut}");
+        }
+        let mut bad_magic = framed.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(decode_chunked(&bad_magic), Err(DecodeError::BadMagic { .. })));
+        let mut bad_version = framed.clone();
+        bad_version[4] = 99;
+        assert!(matches!(decode_chunked(&bad_version), Err(DecodeError::BadVersion { .. })));
+        // Trailing garbage after a complete frame is rejected.
+        let mut trailing = framed.clone();
+        trailing.push(0);
+        assert!(matches!(decode_chunked(&trailing), Err(DecodeError::TrailingBytes { .. })));
     }
 
     #[test]

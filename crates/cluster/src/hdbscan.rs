@@ -14,6 +14,7 @@
 //! (§4.1.3); outlying tables come back as [`NOISE`] and are promoted to
 //! singleton domain folds by the pipeline.
 
+use crate::budget::{check_budget, dense_matrix_bytes, ScaleError};
 use crate::linkage::{single_linkage, Merge};
 use crate::matrix::{pairwise_euclidean_with, PointMatrix};
 use matelda_exec::Executor;
@@ -93,6 +94,31 @@ impl Hdbscan {
         dist: impl Fn(usize, usize) -> f64 + Sync,
         exec: &Executor,
     ) -> Vec<isize> {
+        self.try_fit_with_exec(n, dist, exec, None).expect("no budget")
+    }
+
+    /// [`Hdbscan::fit_with_exec`] behind the memory budget: the fit
+    /// materializes one dense `n × n` f64 mutual-reachability matrix, so
+    /// the check covers it before allocation. Over budget the caller
+    /// gets a [`ScaleError`] to degrade on; within budget the labels are
+    /// bit-identical to the unbudgeted path.
+    pub fn try_fit_with_exec(
+        &self,
+        n: usize,
+        dist: impl Fn(usize, usize) -> f64 + Sync,
+        exec: &Executor,
+        budget: Option<u64>,
+    ) -> Result<Vec<isize>, ScaleError> {
+        check_budget("hdbscan mutual-reachability matrix", dense_matrix_bytes(n), budget)?;
+        Ok(self.fit_with_exec_unchecked(n, dist, exec))
+    }
+
+    fn fit_with_exec_unchecked(
+        &self,
+        n: usize,
+        dist: impl Fn(usize, usize) -> f64 + Sync,
+        exec: &Executor,
+    ) -> Vec<isize> {
         if n == 0 {
             return Vec::new();
         }
@@ -139,9 +165,29 @@ impl Hdbscan {
     /// blocks on `exec`. Bit-identical to the serial path at every
     /// thread count.
     pub fn fit_points_with(&self, points: &[Vec<f32>], exec: &Executor) -> Vec<isize> {
+        self.try_fit_points_with(points, exec, None).expect("no budget")
+    }
+
+    /// [`Hdbscan::fit_points_with`] behind the memory budget. The point
+    /// interface materializes *two* dense `n × n` f64 matrices (pairwise
+    /// distances here, mutual reachability inside the fit), so the check
+    /// covers both before either is allocated; over budget, the caller
+    /// gets a [`ScaleError`] and decides how to degrade — same labels as
+    /// the unbudgeted path whenever the budget passes.
+    pub fn try_fit_points_with(
+        &self,
+        points: &[Vec<f32>],
+        exec: &Executor,
+        budget: Option<u64>,
+    ) -> Result<Vec<isize>, ScaleError> {
         let n = points.len();
+        check_budget(
+            "hdbscan pairwise + mutual-reachability matrices",
+            dense_matrix_bytes(n).saturating_mul(2),
+            budget,
+        )?;
         let pd = pairwise_euclidean_with(&PointMatrix::from_rows(points), exec);
-        self.fit_with_exec(n, |a, b| pd[a * n + b], exec)
+        Ok(self.fit_with_exec(n, |a, b| pd[a * n + b], exec))
     }
 }
 
@@ -436,6 +482,46 @@ mod tests {
             let exec = Executor::new(threads);
             assert_eq!(h.fit_points_with(&pts, &exec), base, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn budgeted_fit_degrades_to_a_scale_error_instead_of_allocating() {
+        let pts = blob((0.0, 0.0), 32, 0.05);
+        let h = Hdbscan::default();
+        // 32 points → two 32×32 f64 matrices = 16 KiB; a 1 KiB budget
+        // must refuse before allocating either.
+        let err = h.try_fit_points_with(&pts, &Executor::single(), Some(1024)).unwrap_err();
+        assert_eq!(err.needed_bytes, 2 * 32 * 32 * 8);
+        assert_eq!(err.budget_bytes, 1024);
+        // A budget that fits changes nothing: labels bit-identical to
+        // the unbudgeted path at several thread counts.
+        let base = h.fit_points(&pts);
+        for threads in [1, 2, 4] {
+            let exec = Executor::new(threads);
+            let labels = h.try_fit_points_with(&pts, &exec, Some(1 << 20)).unwrap();
+            assert_eq!(labels, base, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn budgeted_fit_with_exec_checks_the_mutual_reachability_matrix() {
+        let pts = blob((0.0, 0.0), 24, 0.05);
+        let n = pts.len();
+        let dist = |a: usize, b: usize| {
+            let dx = (pts[a][0] - pts[b][0]) as f64;
+            let dy = (pts[a][1] - pts[b][1]) as f64;
+            (dx * dx + dy * dy).sqrt()
+        };
+        let h = Hdbscan::default();
+        // One 24×24 f64 matrix = 4608 bytes; a budget one byte short
+        // must refuse, the exact budget must pass (inclusive boundary).
+        let err =
+            h.try_fit_with_exec(n, dist, &Executor::single(), Some(24 * 24 * 8 - 1)).unwrap_err();
+        assert_eq!(err.needed_bytes, 24 * 24 * 8);
+        let base = h.fit_with_exec(n, dist, &Executor::single());
+        let budgeted =
+            h.try_fit_with_exec(n, dist, &Executor::single(), Some(24 * 24 * 8)).unwrap();
+        assert_eq!(budgeted, base);
     }
 
     #[test]

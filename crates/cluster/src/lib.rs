@@ -21,12 +21,14 @@
 //! All entry points are deterministic given their seed.
 
 pub mod agglo;
+pub mod budget;
 pub mod hdbscan;
 pub mod kmeans;
 pub mod linkage;
 pub mod matrix;
 
 pub use agglo::agglomerative;
+pub use budget::{check_budget, dense_matrix_bytes, ScaleError};
 pub use hdbscan::{Hdbscan, HdbscanConfig, NOISE};
 pub use kmeans::{MiniBatchKMeans, MiniBatchKMeansConfig};
 pub use matrix::PointMatrix;

@@ -13,6 +13,7 @@
 //! f32 rounding and would break the exact-equivalence contract; see
 //! DESIGN.md "Performance contract".)
 
+use crate::budget::{check_budget, dense_matrix_bytes, ScaleError};
 use crate::kmeans::sq_dist;
 
 /// Rows of points per cache block in [`nearest_centers_blocked`].
@@ -131,6 +132,20 @@ pub fn pairwise_euclidean(points: &PointMatrix) -> Vec<f64> {
     pairwise_euclidean_with(points, &matelda_exec::Executor::single())
 }
 
+/// [`pairwise_euclidean_with`] behind the memory budget: the `n × n`
+/// f64 matrix is only allocated if it fits, otherwise a structured
+/// [`ScaleError`] comes back before a byte is touched. All pairwise
+/// materializations route through here — the unbudgeted names are
+/// `budget: None` wrappers.
+pub fn try_pairwise_euclidean_with(
+    points: &PointMatrix,
+    exec: &matelda_exec::Executor,
+    budget: Option<u64>,
+) -> Result<Vec<f64>, ScaleError> {
+    check_budget("pairwise distance matrix", dense_matrix_bytes(points.n()), budget)?;
+    Ok(pairwise_euclidean_unchecked(points, exec))
+}
+
 /// Row-block size of the parallel pairwise build: big enough that a
 /// block's upper-triangle work dwarfs its merge cost, small enough that
 /// the executor's range stealing can rebalance the triangle's skew
@@ -144,6 +159,10 @@ const PAIRWISE_ROW_BLOCK: usize = 32;
 /// row order — so the matrix is bit-identical to the serial build at
 /// every thread count, which the proptests below pin.
 pub fn pairwise_euclidean_with(points: &PointMatrix, exec: &matelda_exec::Executor) -> Vec<f64> {
+    try_pairwise_euclidean_with(points, exec, None).expect("no budget")
+}
+
+fn pairwise_euclidean_unchecked(points: &PointMatrix, exec: &matelda_exec::Executor) -> Vec<f64> {
     let n = points.n();
     if n == 0 {
         return Vec::new();

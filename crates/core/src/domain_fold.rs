@@ -1,6 +1,6 @@
 //! Step 1 — domain-based cell folding (paper §3.2) and its variants.
 
-use matelda_cluster::{Hdbscan, HdbscanConfig, NOISE};
+use matelda_cluster::{Hdbscan, HdbscanConfig, ScaleError, NOISE};
 use matelda_detect::column_syntactic_features;
 use matelda_embed::encoder::{embed_table, embed_table_sampled, HashedEncoder};
 use matelda_embed::vector::cosine_distance;
@@ -164,10 +164,27 @@ pub fn folds_from_embedding_excluding_with(
     excluded: &[usize],
     exec: &Executor,
 ) -> Vec<Fold> {
+    try_folds_from_embedding_excluding_with(lake, embedded, excluded, exec, None)
+        .expect("no budget")
+}
+
+/// [`folds_from_embedding_excluding_with`] behind a byte budget: HDBSCAN
+/// over `n` surviving tables materializes a dense `n × n` f64
+/// mutual-reachability matrix, and a budget that the matrix would blow
+/// surfaces as a structured [`ScaleError`] *before* the allocation
+/// instead of an OOM abort. `None` disables the check; within budget the
+/// folds are bit-identical to the unbudgeted path.
+pub fn try_folds_from_embedding_excluding_with(
+    lake: &Lake,
+    embedded: &EmbeddedLake,
+    excluded: &[usize],
+    exec: &Executor,
+    budget: Option<u64>,
+) -> Result<Vec<Fold>, ScaleError> {
     let survivors: Vec<usize> = (0..lake.n_tables()).filter(|t| !excluded.contains(t)).collect();
     let n = survivors.len();
     if n == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let local_groups: Vec<Vec<usize>> = match embedded {
         EmbeddedLake::Trivial => vec![(0..n).collect()],
@@ -175,24 +192,26 @@ pub fn folds_from_embedding_excluding_with(
             if n == 1 {
                 vec![vec![0]]
             } else {
-                let labels = Hdbscan::new(HdbscanConfig::default()).fit_with_exec(
+                let labels = Hdbscan::new(HdbscanConfig::default()).try_fit_with_exec(
                     n,
                     |a, b| f64::from(cosine_distance(&vecs[survivors[a]], &vecs[survivors[b]])),
                     exec,
-                );
+                    budget,
+                )?;
                 groups_from_labels(&labels, n)
             }
         }
         EmbeddedLake::Unionability(sims) => {
-            let labels = Hdbscan::new(HdbscanConfig::default()).fit_with_exec(
+            let labels = Hdbscan::new(HdbscanConfig::default()).try_fit_with_exec(
                 n,
                 |a, b| (1.0 - sims[survivors[a]][survivors[b]]).max(0.0),
                 exec,
-            );
+                budget,
+            )?;
             groups_from_labels(&labels, n)
         }
     };
-    local_groups
+    Ok(local_groups
         .into_iter()
         .map(|tables| Fold {
             columns: tables
@@ -203,7 +222,7 @@ pub fn folds_from_embedding_excluding_with(
                 })
                 .collect(),
         })
-        .collect()
+        .collect())
 }
 
 /// Groups the lake's tables into domain folds according to `strategy`.

@@ -67,7 +67,7 @@
 //! sleeps.
 
 use crate::domain_fold::{
-    embed_table_for, folds_from_embedding_excluding_with, refine_syntactic, DomainFolding, Fold,
+    embed_table_for, refine_syntactic, try_folds_from_embedding_excluding_with, DomainFolding, Fold,
 };
 use crate::pipeline::{FaultPolicy, LabelingStrategy, MateldaConfig, TrainingStrategy};
 use crate::quality_fold::{budget_per_fold, quality_folds, single_quality_fold, QualityFold};
@@ -480,12 +480,40 @@ impl Stage for DomainFoldStage {
         // Quarantined tables are excluded *before* clustering, so the
         // survivors fold exactly as they would in a lake without the
         // quarantined tables.
-        let mut folds = folds_from_embedding_excluding_with(
+        let mut folds = match try_folds_from_embedding_excluding_with(
             ctx.lake,
             embedded,
             &ctx.quarantine.tables,
             &ctx.executor,
-        );
+            cfg.mem_budget_bytes,
+        ) {
+            Ok(folds) => folds,
+            Err(scale_err) => {
+                // Clustering would blow the byte budget. Fault the stage
+                // (aborts under `FaultPolicy::Fail`) and degrade to
+                // extreme domain folding: one fold of all surviving
+                // tables, which allocates nothing quadratic.
+                ctx.note_faults(vec![ItemFault {
+                    stage: self.name().into(),
+                    index: 0,
+                    message: scale_err.to_string(),
+                }]);
+                stage.metrics.push(("budget_degraded".into(), 1.0));
+                let survivors: Vec<usize> = (0..ctx.lake.n_tables())
+                    .filter(|t| !ctx.quarantine.tables.contains(t))
+                    .collect();
+                if survivors.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![Fold {
+                        columns: survivors
+                            .iter()
+                            .flat_map(|&t| (0..ctx.lake[t].n_cols()).map(move |c| (t, c)))
+                            .collect(),
+                    }]
+                }
+            }
+        };
         if cfg.syntactic_refinement {
             folds = refine_syntactic(ctx.lake, folds, cfg.syntactic_groups);
         }

@@ -42,6 +42,7 @@ pub mod pipeline;
 pub mod quality_fold;
 pub mod repair;
 pub mod report;
+pub mod scale;
 pub mod snapshot;
 
 pub use domain_fold::{domain_folds, DomainFolding, EmbeddedLake, Fold};
@@ -60,4 +61,5 @@ pub use pipeline::{
 };
 pub use repair::{suggest_repairs, Repair, RepairStrategy};
 pub use report::{analyze_failures, CellDiagnosis, FailureReport, Misclass};
+pub use scale::{OutOfCoreError, OutOfCoreOpts, OutOfCoreRun};
 pub use snapshot::{decode_snapshot, encode_snapshot, ArtifactCodec, CtxState};

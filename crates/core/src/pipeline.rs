@@ -114,6 +114,13 @@ pub struct MateldaConfig {
     /// watchdog. Wall-clock deadlines are inherently nondeterministic;
     /// tests arm the `timeout:<stage>` faultpoint instead.
     pub stage_timeout: Option<Duration>,
+    /// Byte budget for the dense O(n²) matrices the fold stages would
+    /// otherwise allocate unchecked. `None` (the default) disables the
+    /// check. When a stage's matrix would exceed the budget it faults
+    /// with a structured [`matelda_cluster::ScaleError`] instead of
+    /// OOM-aborting, and degrades (or panics) per
+    /// [`MateldaConfig::on_error`].
+    pub mem_budget_bytes: Option<u64>,
 }
 
 impl Default for MateldaConfig {
@@ -136,6 +143,7 @@ impl Default for MateldaConfig {
             threads: 0,
             on_error: FaultPolicy::Fail,
             stage_timeout: None,
+            mem_budget_bytes: None,
         }
     }
 }
@@ -283,6 +291,7 @@ fn config_hash(cfg: &MateldaConfig) -> u64 {
         format!("{:?}", cfg.labeling),
         format!("{:?}", cfg.on_error),
         format!("{:?}", cfg.stage_timeout),
+        format!("{:?}", cfg.mem_budget_bytes),
     ] {
         h.write_str(&part);
     }
@@ -393,11 +402,11 @@ where
 /// The Matelda estimator.
 #[derive(Debug, Clone, Default)]
 pub struct Matelda {
-    config: MateldaConfig,
-    obs: Obs,
+    pub(crate) config: MateldaConfig,
+    pub(crate) obs: Obs,
     /// A caller-supplied executor (see [`Matelda::with_executor`]);
     /// `None` builds a fresh pool per run from `config.threads`.
-    executor: Option<Executor>,
+    pub(crate) executor: Option<Executor>,
 }
 
 impl Matelda {
@@ -748,6 +757,47 @@ mod tests {
             assert_eq!(r.predicted.n_cells(), lake.dirty.n_cells(), "variant {cfg:?}");
             assert!(r.labels_used <= 20, "variant {cfg:?} overspent: {}", r.labels_used);
         }
+    }
+
+    #[test]
+    fn mem_budget_degrades_domain_folds_instead_of_aborting() {
+        let lake = QuintetLake { rows_per_table: 30, error_rate: 0.1 }.generate(5);
+        // 64 bytes can't hold the 5×5 mutual-reachability matrix, so the
+        // domain-fold stage goes over budget; under Skip the run must
+        // complete, degraded to extreme domain folding, with the fault
+        // on the record.
+        let cfg = MateldaConfig {
+            mem_budget_bytes: Some(64),
+            on_error: FaultPolicy::Skip,
+            ..Default::default()
+        };
+        let mut oracle = Oracle::new(&lake.errors);
+        let r = Matelda::new(cfg).detect(&lake.dirty, &mut oracle, 20);
+        assert_eq!(r.n_domain_folds, 1, "degrades to one fold of all tables");
+        assert_eq!(r.predicted.n_cells(), lake.dirty.n_cells());
+        let fault = r
+            .report
+            .faults
+            .iter()
+            .find(|f| f.stage == "domain_folds")
+            .expect("budget fault recorded");
+        assert!(fault.message.contains("memory budget"), "{}", fault.message);
+        // A budget that fits changes nothing: same bits as no budget.
+        let run = |budget| {
+            let cfg = MateldaConfig { mem_budget_bytes: budget, ..Default::default() };
+            let mut oracle = Oracle::new(&lake.errors);
+            Matelda::new(cfg).detect(&lake.dirty, &mut oracle, 20)
+        };
+        assert_eq!(run(Some(1 << 30)).digest(), run(None).digest());
+    }
+
+    #[test]
+    #[should_panic(expected = "domain_folds")]
+    fn mem_budget_aborts_under_fail_policy() {
+        let lake = QuintetLake { rows_per_table: 30, error_rate: 0.1 }.generate(5);
+        let cfg = MateldaConfig { mem_budget_bytes: Some(64), ..Default::default() };
+        let mut oracle = Oracle::new(&lake.errors);
+        let _ = Matelda::new(cfg).detect(&lake.dirty, &mut oracle, 20);
     }
 
     #[test]

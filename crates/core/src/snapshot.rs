@@ -347,9 +347,11 @@ impl ArtifactCodec for FeaturizedLake {
             w.write_varint(f.n_cols as u64);
             w.write_varint(f.n_rows as u64);
             w.write_varint(f.dim as u64);
-            // The flat matrix encodes as one f32 run — long {0,1} spans
-            // bit-pack across cell boundaries now, not per cell.
-            encode_f32s(&f.data, w);
+            // The matrix encodes as one f32 run — long {0,1} spans
+            // bit-pack across cell boundaries now, not per cell. The
+            // blocked store is flattened transiently (one table's worth)
+            // to keep snapshot bytes identical to the flat-era format.
+            encode_f32s(&f.to_flat(), w);
         }
     }
 
@@ -366,7 +368,7 @@ impl ArtifactCodec for FeaturizedLake {
                     data.len()
                 )));
             }
-            features.push(CellFeatures { n_cols, n_rows, dim, data });
+            features.push(CellFeatures::from_flat(n_cols, n_rows, dim, data));
         }
         Ok(FeaturizedLake { features })
     }

@@ -134,10 +134,19 @@ impl FeatureConfig {
     }
 }
 
-/// The feature vectors of every cell of one table, stored as one
-/// contiguous row-major `f32` matrix (`n_rows * n_cols` cells of `dim`
-/// values each, cell index = `row * n_cols + col`) — the layout the
-/// cluster and ML kernels consume directly, with no per-cell allocation.
+/// Byte target of one [`CellFeatures`] backing block (4 MiB). The real
+/// block length rounds down to a whole number of cells so a cell's `dim`
+/// values never straddle blocks.
+const FEATURE_BLOCK_BYTES: usize = 4 << 20;
+
+/// The feature vectors of every cell of one table, stored row-major
+/// (`n_rows * n_cols` cells of `dim` values each, cell index =
+/// `row * n_cols + col`) in a **blocked** backing store: a run of
+/// fixed-size blocks instead of one giant flat allocation, so a huge
+/// table never demands one contiguous `cells × dim` slab and blocks can
+/// spill to disk / stream back one at a time (DESIGN.md §14). Cell
+/// vectors never straddle a block, so `get` still hands out plain
+/// slices and the cluster/ML kernels are untouched.
 #[derive(Debug, Clone)]
 pub struct CellFeatures {
     /// Number of columns (for indexing).
@@ -146,18 +155,100 @@ pub struct CellFeatures {
     pub n_rows: usize,
     /// Values per cell ([`FEATURE_DIM`] for pipeline-produced features).
     pub dim: usize,
-    /// Flat backing storage, `n_rows * n_cols * dim` values.
-    pub data: Vec<f32>,
+    /// Values per block — a multiple of `dim`, identical for every block
+    /// but the last.
+    block_len: usize,
+    /// The backing blocks; concatenated they are the old flat matrix.
+    blocks: Vec<Vec<f32>>,
 }
 
 impl CellFeatures {
+    /// Values per block for a given `dim` (a whole number of cells).
+    fn block_len_for(dim: usize) -> usize {
+        let dim = dim.max(1);
+        let cells_per_block = (FEATURE_BLOCK_BYTES / 4 / dim).max(1);
+        cells_per_block * dim
+    }
+
     /// An all-zero feature matrix of the given shape.
     pub fn zeros(n_cols: usize, n_rows: usize, dim: usize) -> Self {
-        Self { n_cols, n_rows, dim, data: vec![0.0; n_rows * n_cols * dim] }
+        let total = n_rows * n_cols * dim;
+        let block_len = Self::block_len_for(dim);
+        let mut blocks = Vec::with_capacity(total.div_ceil(block_len.max(1)));
+        let mut remaining = total;
+        while remaining > 0 {
+            let this = remaining.min(block_len);
+            blocks.push(vec![0.0; this]);
+            remaining -= this;
+        }
+        Self { n_cols, n_rows, dim, block_len, blocks }
+    }
+
+    /// Builds from the old flat row-major matrix (`n_rows * n_cols * dim`
+    /// values). The snapshot decoder and spill reloads come through here.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` disagrees with the shape.
+    pub fn from_flat(n_cols: usize, n_rows: usize, dim: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), n_rows * n_cols * dim, "flat payload shape mismatch");
+        let block_len = Self::block_len_for(dim);
+        let blocks = if data.is_empty() {
+            Vec::new()
+        } else {
+            data.chunks(block_len).map(<[f32]>::to_vec).collect()
+        };
+        Self { n_cols, n_rows, dim, block_len, blocks }
+    }
+
+    /// Reassembles from pre-split blocks (the spill reload path): every
+    /// block but the last must hold exactly `block_len` values.
+    pub(crate) fn from_blocks(
+        n_cols: usize,
+        n_rows: usize,
+        dim: usize,
+        block_len: usize,
+        blocks: Vec<Vec<f32>>,
+    ) -> Self {
+        debug_assert_eq!(
+            blocks.iter().map(Vec::len).sum::<usize>(),
+            n_rows * n_cols * dim,
+            "block payload shape mismatch"
+        );
+        Self { n_cols, n_rows, dim, block_len, blocks }
+    }
+
+    /// Values per block of the backing store (the last block may be
+    /// shorter).
+    pub fn block_len(&self) -> usize {
+        self.block_len
+    }
+
+    /// Like [`CellFeatures::from_flat`] with an explicit block length —
+    /// exercises block boundaries at test-friendly sizes. `block_len`
+    /// must be a positive multiple of `dim` (of 1 when `dim == 0`).
+    #[doc(hidden)]
+    pub fn from_flat_blocked(
+        n_cols: usize,
+        n_rows: usize,
+        dim: usize,
+        data: Vec<f32>,
+        block_len: usize,
+    ) -> Self {
+        assert_eq!(data.len(), n_rows * n_cols * dim, "flat payload shape mismatch");
+        assert!(
+            block_len > 0 && block_len.is_multiple_of(dim.max(1)),
+            "block_len must hold whole cells"
+        );
+        let blocks = if data.is_empty() {
+            Vec::new()
+        } else {
+            data.chunks(block_len).map(<[f32]>::to_vec).collect()
+        };
+        Self { n_cols, n_rows, dim, block_len, blocks }
     }
 
     /// Builds from one vector per cell (row-major cells). Convenience for
-    /// tests and fixtures; the pipeline writes into the flat storage
+    /// tests and fixtures; the pipeline writes into the blocked storage
     /// directly.
     ///
     /// # Panics
@@ -171,19 +262,23 @@ impl CellFeatures {
             assert_eq!(v.len(), dim, "cell vector dimension mismatch");
             data.extend_from_slice(v);
         }
-        Self { n_cols, n_rows, dim, data }
+        Self::from_flat(n_cols, n_rows, dim, data)
     }
 
     /// The vector of cell `(row, col)`.
     pub fn get(&self, row: usize, col: usize) -> &[f32] {
         let at = (row * self.n_cols + col) * self.dim;
-        &self.data[at..at + self.dim]
+        let block = &self.blocks[at / self.block_len];
+        let off = at % self.block_len;
+        &block[off..off + self.dim]
     }
 
     /// Mutable view of cell `(row, col)`.
     pub fn get_mut(&mut self, row: usize, col: usize) -> &mut [f32] {
         let at = (row * self.n_cols + col) * self.dim;
-        &mut self.data[at..at + self.dim]
+        let block = &mut self.blocks[at / self.block_len];
+        let off = at % self.block_len;
+        &mut block[off..off + self.dim]
     }
 
     /// Number of cells (`n_rows * n_cols`).
@@ -196,11 +291,33 @@ impl CellFeatures {
         self.n_cells() == 0
     }
 
+    /// Total number of stored values (`n_cells() * dim`).
+    pub fn n_values(&self) -> usize {
+        self.n_cells() * self.dim
+    }
+
     /// Iterates the cells row-major as `dim`-length slices.
     pub fn cells(&self) -> impl Iterator<Item = &[f32]> {
         // `max(1)` keeps `chunks_exact` legal for dim == 0 (no cells can
         // exist then, so the iterator is empty either way).
-        self.data.chunks_exact(self.dim.max(1))
+        let dim = self.dim.max(1);
+        self.blocks.iter().flat_map(move |b| b.chunks_exact(dim))
+    }
+
+    /// The backing blocks in order — concatenated they reproduce the old
+    /// flat matrix exactly (snapshot encoding depends on that).
+    pub fn blocks(&self) -> impl Iterator<Item = &[f32]> {
+        self.blocks.iter().map(Vec::as_slice)
+    }
+
+    /// Materializes the flat row-major matrix (one contiguous copy) —
+    /// for codecs that need a single run, not for hot paths.
+    pub fn to_flat(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.n_values());
+        for b in &self.blocks {
+            out.extend_from_slice(b);
+        }
+        out
     }
 }
 
@@ -314,7 +431,7 @@ mod tests {
         assert_eq!(f.n_cols, 3);
         assert_eq!(f.n_cells(), 12);
         assert_eq!(f.dim, FEATURE_DIM);
-        assert_eq!(f.data.len(), 12 * FEATURE_DIM);
+        assert_eq!(f.n_values(), 12 * FEATURE_DIM);
         // Every cell has exactly one nv bucket per side set.
         for v in f.cells() {
             let lhs: f32 = v[layout::NV_LHS..layout::NV_LHS + 5].iter().sum();
@@ -398,11 +515,37 @@ mod tests {
     }
 
     #[test]
+    fn blocked_store_is_equivalent_to_flat_at_every_block_length() {
+        // 5 cells of dim 3 across block lengths that split the matrix at
+        // every cell boundary, including mid-row and one-cell blocks.
+        let dim = 3;
+        let flat: Vec<f32> = (0..5 * dim).map(|i| i as f32).collect();
+        let reference = CellFeatures::from_flat(5, 1, dim, flat.clone());
+        for cells_per_block in 1..=6 {
+            let f = CellFeatures::from_flat_blocked(5, 1, dim, flat.clone(), cells_per_block * dim);
+            for col in 0..5 {
+                assert_eq!(f.get(0, col), reference.get(0, col), "block {cells_per_block}");
+            }
+            assert_eq!(
+                f.cells().collect::<Vec<_>>(),
+                reference.cells().collect::<Vec<_>>(),
+                "block {cells_per_block}"
+            );
+            assert_eq!(f.to_flat(), flat, "block {cells_per_block}");
+            assert_eq!(
+                f.blocks().flatten().copied().collect::<Vec<f32>>(),
+                flat,
+                "block {cells_per_block}"
+            );
+        }
+    }
+
+    #[test]
     fn empty_table_yields_no_vectors() {
         let t = Table::new("t", vec![]);
         let f = featurize_table(&t, &spell(), &FeatureConfig::default());
         assert!(f.is_empty());
-        assert!(f.data.is_empty());
+        assert_eq!(f.n_values(), 0);
     }
 
     #[test]

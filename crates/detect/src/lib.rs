@@ -35,6 +35,7 @@ pub mod featurize;
 pub mod intern;
 pub mod outlier;
 pub mod rules;
+pub mod spill;
 pub mod syntactic;
 pub mod typo;
 
@@ -42,4 +43,5 @@ pub use featurize::{
     feature_name, featurize_table, fired_features, CellFeatures, FeatureConfig, FEATURE_DIM,
 };
 pub use intern::{InternedColumn, InternedTable};
+pub use spill::{load_features, spill_features, spill_path};
 pub use syntactic::column_syntactic_features;

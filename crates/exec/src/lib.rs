@@ -288,6 +288,43 @@ impl Executor {
         self.try_map_n_within(stage, n, None, f)
     }
 
+    /// [`Executor::try_map_n`] in consecutive windows of at most
+    /// `window` items: window `w` maps indices `[w*window, …)` with the
+    /// full pool, and the next window starts only when it finishes.
+    /// Results concatenate in index order, so the output is identical
+    /// to one `try_map_n(stage, n, f)` call at every thread count — the
+    /// point is *pacing*, not semantics: a streaming stage can bound
+    /// how many items' worth of intermediate state is live at once
+    /// (out-of-core featurization sizes windows to its memory budget).
+    pub fn try_map_windowed<R, F>(
+        &self,
+        stage: &str,
+        n: usize,
+        window: usize,
+        f: F,
+    ) -> Vec<Result<R, ItemFault>>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let window = window.max(1);
+        let mut out = Vec::with_capacity(n);
+        let mut base = 0;
+        while base < n {
+            let len = window.min(n - base);
+            let mut part = self.try_map_n(stage, len, |i| f(base + i));
+            // Fault records carry stage-global indices, not window-local.
+            for r in &mut part {
+                if let Err(fault) = r {
+                    fault.index += base;
+                }
+            }
+            out.extend(part);
+            base += len;
+        }
+        out
+    }
+
     /// [`Executor::try_map_n`] under a watchdog [`Deadline`]: an item
     /// claimed after the deadline has passed (or whose
     /// `timeout:<stage>` faultpoint is armed — the deterministic test
@@ -902,6 +939,36 @@ mod tests {
             i
         });
         assert!(out.iter().all(Result::is_ok));
+    }
+
+    #[test]
+    fn windowed_map_concatenates_identically_to_one_call() {
+        let _armed = faultpoint::arm(vec![("w".to_string(), 4), ("w".to_string(), 9)]);
+        for threads in [1, 2, 4] {
+            let exec = Executor::new(threads);
+            let whole = exec.try_map_n("w", 13, |i| {
+                faultpoint::hit("w", i);
+                i * i
+            });
+            for window in [1, 2, 3, 5, 13, 100] {
+                let windowed = exec.try_map_windowed("w", 13, window, |i| {
+                    faultpoint::hit("w", i);
+                    i * i
+                });
+                assert_eq!(windowed.len(), whole.len(), "threads={threads} window={window}");
+                for (i, (a, b)) in windowed.iter().zip(&whole).enumerate() {
+                    match (a, b) {
+                        (Ok(x), Ok(y)) => assert_eq!(x, y, "item {i} window {window}"),
+                        (Err(fa), Err(fb)) => {
+                            // Faults keep their global index and stage.
+                            assert_eq!(fa.stage, fb.stage, "item {i}");
+                            assert_eq!(fa.index, fb.index, "item {i}");
+                        }
+                        other => panic!("item {i} window {window}: {other:?}"),
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod domains;
 pub mod gittables;
 pub mod quintet;
 pub mod rein;
+pub mod scale;
 pub mod wdc;
 
 pub use build::GeneratedLake;
@@ -33,4 +34,5 @@ pub use dgov::DGovLake;
 pub use gittables::GitTablesLake;
 pub use quintet::QuintetLake;
 pub use rein::ReinLake;
+pub use scale::{ScaleLake, ScaleLakeOnDisk, ScaleTier};
 pub use wdc::WdcLake;

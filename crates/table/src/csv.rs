@@ -118,21 +118,123 @@ pub fn parse_records(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
     split_records(input, false).map(|(records, _)| records)
 }
 
+/// An incremental version of the record splitter: feed the input in
+/// arbitrary pieces (any char boundary, including mid-field, mid-quote,
+/// or between the two `"` of an escaped quote), drain completed records
+/// as they close, and call [`RecordSplitter::finish`] at end of input.
+/// For any split of the input, `feed`+`finish` yields byte-for-byte the
+/// same records, flags and errors as [`split_records`] over the whole
+/// input — the out-of-core CSV reader leans on that equivalence.
+#[derive(Debug, Default)]
+pub struct RecordSplitter {
+    done: Vec<Vec<String>>,
+    record: Vec<String>,
+    field: String,
+    in_quotes: bool,
+    /// Saw a `"` while in quotes; the *next* char decides whether it was
+    /// an escaped quote (`""`) or the closing quote. May straddle feeds.
+    pending_quote: bool,
+    any: bool,
+    emitted: usize,
+}
+
+impl RecordSplitter {
+    /// A splitter with no input consumed yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the next piece of input.
+    pub fn feed(&mut self, piece: &str) {
+        for c in piece.chars() {
+            self.any = true;
+            if self.pending_quote {
+                self.pending_quote = false;
+                if c == '"' {
+                    self.field.push('"');
+                    continue;
+                }
+                // The pending quote closed the field; `c` is re-processed
+                // below under the not-in-quotes rules.
+                self.in_quotes = false;
+            }
+            if self.in_quotes {
+                match c {
+                    '"' => self.pending_quote = true,
+                    _ => self.field.push(c),
+                }
+            } else {
+                match c {
+                    '"' => self.in_quotes = true,
+                    ',' => self.record.push(std::mem::take(&mut self.field)),
+                    '\r' => {
+                        // Swallow; the \n (if any) terminates the record.
+                    }
+                    '\n' => {
+                        self.record.push(std::mem::take(&mut self.field));
+                        self.done.push(std::mem::take(&mut self.record));
+                    }
+                    _ => self.field.push(c),
+                }
+            }
+        }
+    }
+
+    /// Takes the records completed so far, leaving any partial record
+    /// buffered for the next feed.
+    pub fn drain(&mut self) -> Vec<Vec<String>> {
+        self.emitted += self.done.len();
+        std::mem::take(&mut self.done)
+    }
+
+    /// Ends the input, applying the same EOF rules as [`split_records`]:
+    /// a still-open quote errors (strict) or is closed and flagged
+    /// (repair); a trailing unterminated field/record is flushed; input
+    /// that never produced a record is [`CsvError::Empty`]. Returns the
+    /// remaining records plus the `closed_quote` flag.
+    pub fn finish(mut self, repair: bool) -> Result<(Vec<Vec<String>>, bool), CsvError> {
+        // A quote pending at EOF is a closing quote (`peek() == None`).
+        if self.pending_quote {
+            self.in_quotes = false;
+        }
+        let closed_quote = self.in_quotes;
+        if self.in_quotes && !repair {
+            return Err(CsvError::UnterminatedQuote);
+        }
+        if !self.field.is_empty() || !self.record.is_empty() {
+            self.record.push(std::mem::take(&mut self.field));
+            self.done.push(std::mem::take(&mut self.record));
+        }
+        if !self.any || (self.emitted == 0 && self.done.is_empty()) {
+            return Err(CsvError::Empty);
+        }
+        Ok((self.done, closed_quote))
+    }
+}
+
 /// Parses CSV text (header + data records) into a [`Table`].
 pub fn parse_table(name: &str, input: &str) -> Result<Table, CsvError> {
-    let records = parse_records(input)?;
-    let header = &records[0];
-    let width = header.len();
-    let mut columns: Vec<Column> = header
+    table_from_records(name, parse_records(input)?)
+}
+
+/// Assembles parsed records (header first) into a [`Table`], enforcing
+/// the header width. Shared by [`parse_table`] and the chunked reader so
+/// both construct byte-identical tables.
+pub(crate) fn table_from_records(name: &str, records: Vec<Vec<String>>) -> Result<Table, CsvError> {
+    if records.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    let width = records[0].len();
+    let mut columns: Vec<Column> = records[0]
         .iter()
         .map(|h| Column { name: h.clone(), values: Vec::with_capacity(records.len() - 1) })
         .collect();
-    for (i, rec) in records.iter().enumerate().skip(1) {
+    for (i, rec) in records.into_iter().enumerate().skip(1) {
         if rec.len() != width {
             return Err(CsvError::RaggedRow { record: i, found: rec.len(), expected: width });
         }
         for (col, v) in columns.iter_mut().zip(rec) {
-            col.values.push(v.clone());
+            col.values.push(v);
         }
     }
     Ok(Table { name: name.to_string(), columns })
@@ -285,5 +387,64 @@ mod tests {
     #[test]
     fn repair_still_rejects_headerless_input() {
         assert_eq!(parse_table_repair("t", ""), Err(CsvError::Empty));
+    }
+
+    /// Feeds `input` in `step`-char pieces, draining along the way.
+    fn split_incremental(
+        input: &str,
+        step: usize,
+        repair: bool,
+    ) -> Result<(Vec<Vec<String>>, bool), CsvError> {
+        let chars: Vec<char> = input.chars().collect();
+        let mut s = RecordSplitter::new();
+        let mut done = Vec::new();
+        for piece in chars.chunks(step.max(1)) {
+            s.feed(&piece.iter().collect::<String>());
+            done.extend(s.drain());
+        }
+        let (tail, closed) = s.finish(repair)?;
+        done.extend(tail);
+        Ok((done, closed))
+    }
+
+    #[test]
+    fn incremental_splitter_matches_batch_at_every_feed_size() {
+        // Escaped quotes, quoted newlines/commas, CRLF, multi-byte chars,
+        // trailing unterminated field — every boundary-sensitive shape.
+        let inputs = [
+            "a,b\n1,2\n3,4\n",
+            "a,b\r\n\"x,\"\"y\"\"\",z\r\ntail,end",
+            "h\n\"multi\nline é 漢\",\n",
+            "a\n\"\"\"\"\n",
+            "solo",
+            "a,b\n,\n",
+        ];
+        for input in inputs {
+            for repair in [false, true] {
+                let expect = split_records(input, repair);
+                for step in 1..=input.chars().count() {
+                    assert_eq!(
+                        split_incremental(input, step, repair),
+                        expect,
+                        "input {input:?} step {step} repair {repair}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_splitter_matches_batch_on_malformed_input() {
+        for input in ["", "a\n\"unclosed\n", "\"open"] {
+            for repair in [false, true] {
+                for step in 1..=input.chars().count().max(1) {
+                    assert_eq!(
+                        split_incremental(input, step, repair),
+                        split_records(input, repair),
+                        "input {input:?} step {step} repair {repair}"
+                    );
+                }
+            }
+        }
     }
 }

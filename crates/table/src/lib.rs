@@ -21,6 +21,7 @@
 //! serialized value (`"1995"` in an Age column *is* the error), numeric
 //! detectors parse on demand via [`value`] helpers.
 
+pub mod chunked;
 pub mod csv;
 pub mod diff;
 pub mod fingerprint;
@@ -33,6 +34,11 @@ pub mod profile;
 pub mod table;
 pub mod value;
 
+pub use chunked::{
+    columnar_lake_fingerprint, columnar_paths_sorted, csv_dir_to_columnar, read_lake_columnar,
+    read_table_csv_chunked, skeleton_lake, write_lake_columnar, write_table_columnar, ChunkSource,
+    ChunkedError, ColumnarReader, StdFs, DEFAULT_CHUNK_LEN,
+};
 pub use diff::{diff_lakes, diff_tables};
 pub use fingerprint::lake_fingerprint;
 pub use io::{

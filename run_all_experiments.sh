@@ -3,15 +3,30 @@
 # into results/logs/. MATELDA_SCALE defaults to full.
 #
 # Every binary appends its accuracy rows to the shared EVAL_matrix.json
-# (override the path with MATELDA_EVAL_OUT); a failing experiment no
+# (override the path with MATELDA_EVAL_OUT); rows are keyed by
+# (experiment, scale), so runs at different scales accumulate side by
+# side instead of overwriting each other — a large-tier pass never
+# collides with the quick-scale baseline cells. A failing experiment no
 # longer vanishes silently — the script reports each exit status and
 # exits non-zero listing every experiment that failed.
 cd "$(dirname "$0")" || exit 1
 export MATELDA_SCALE="${MATELDA_SCALE:-full}"
 BIN=target/release
 mkdir -p results/logs
+case "$MATELDA_SCALE" in
+  large-ci|large)
+    # The large tiers exercise the out-of-core scale path, not the
+    # paper sweeps: scale_bench generates the tier's lake on disk,
+    # streams it through detection and records its accuracy row under
+    # this scale key.
+    exps="scale_bench"
+    ;;
+  *)
+    exps="table1 table3 table2 fig4 fig5 fig6 fig7 fig8 ablation_deviations ablation_classifier ablation_labeling fig3 fig9"
+    ;;
+esac
 failed=""
-for exp in table1 table3 table2 fig4 fig5 fig6 fig7 fig8 ablation_deviations ablation_classifier ablation_labeling fig3 fig9; do
+for exp in $exps; do
   echo "=== running $exp (scale $MATELDA_SCALE) at $(date +%H:%M:%S) ==="
   $BIN/$exp > results/logs/$exp.txt 2>&1
   status=$?

@@ -4,8 +4,14 @@
 //! matelda-cli generate <dir> [--lake quintet|rein|dgov-ntr|wdc|gittables] [--seed N] [--tables N]
 //!     Write a synthetic benchmark lake: <dir>/dirty/*.csv + <dir>/clean/*.csv
 //!
+//! matelda-cli generate <dir> --scale quick|full|large-ci|large [--seed N]
+//!     Write a scale-tier lake (up to hundreds of tables, ≥10⁷ cells)
+//!     straight to <dir>/*.csv, one table resident at a time — the lake
+//!     never has to fit in memory. Dirty only; ground truth is reported
+//!     as a summary, not as clean files.
+//!
 //! matelda-cli detect <dirty-dir> --clean <clean-dir> [--budget-cells N] [--variant <v>]
-//!                    [--threads N] [--report] [--repair]
+//!                    [--threads N] [--mem-budget-bytes N] [--report] [--repair]
 //!                    [--read strict|repair|skip] [--on-error fail|skip]
 //!                    [--max-quarantined N]
 //!                    [--checkpoint-dir <dir>] [--resume] [--stage-timeout-ms N]
@@ -17,6 +23,9 @@
 //!     --threads N sizes the run's persistent work-stealing pool
 //!     (default: available parallelism; 1 = fully inline, no pool
 //!     threads); output is bit-identical at any thread count.
+//!     --mem-budget-bytes N caps dense O(n²) allocations (the HDBSCAN
+//!     mutual-reachability matrix): an over-budget stage degrades per
+//!     --on-error instead of OOM-aborting the process.
 //!     --report prints the per-stage RunReport as JSON on stdout,
 //!     including the structured fault log of a degraded run.
 //!     --read chooses the ingestion mode: strict fails on the first
@@ -119,9 +128,10 @@ matelda-cli — multi-table error detection (MaTElDa reproduction)
 usage:
   matelda-cli generate <dir> [--lake quintet|rein|dgov-ntr|dgov-nt|wdc|gittables]
                              [--seed N] [--tables N]
+  matelda-cli generate <dir> --scale quick|full|large-ci|large [--seed N]
   matelda-cli detect <dirty-dir> --clean <clean-dir> [--budget-cells N]
                      [--variant standard|edf|rs|santos|sf|tpdf|tucf]
-                     [--threads N] [--report] [--repair]
+                     [--threads N] [--mem-budget-bytes N] [--report] [--repair]
                      [--read strict|repair|skip] [--on-error fail|skip]
                      [--max-quarantined N]
                      [--checkpoint-dir <dir>] [--resume] [--stage-timeout-ms N]
@@ -256,13 +266,41 @@ where
 
 fn cmd_generate(args: &[String]) -> CliResult {
     let (pos, flags) = parse_flags(args);
-    check_flags(&flags, &["lake", "seed", "tables"])?;
+    check_flags(&flags, &["lake", "seed", "tables", "scale"])?;
     let dir = PathBuf::from(
         pos.first().ok_or_else(|| CliError::Usage("generate: missing <dir>".into()))?,
     );
     let seed: u64 = parse_flag(&flags, "seed")?.unwrap_or(1);
     let kind = flags.get("lake").copied().unwrap_or("quintet");
     let tables: Option<usize> = parse_flag(&flags, "tables")?;
+
+    // The scale tiers stream straight to disk — a different code path
+    // from the in-memory generators, without a clean-lake pair.
+    if let Some(tier_name) = flags.get("scale").copied() {
+        if flags.contains_key("lake") || flags.contains_key("tables") {
+            return Err(CliError::Usage(
+                "--scale picks its own lake shape; it is incompatible with --lake/--tables".into(),
+            ));
+        }
+        let tier = matelda::lakegen::ScaleTier::parse(tier_name).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown --scale tier {tier_name:?} (quick|full|large-ci|large)"
+            ))
+        })?;
+        let on_disk = matelda::lakegen::ScaleLake::new(tier)
+            .generate_to_disk(seed, &dir)
+            .map_err(|e| CliError::Runtime(format!("writing {}: {e}", dir.display())))?;
+        println!(
+            "wrote {} tables ({} cells, {:.1}% erroneous, {} CSV bytes) at tier `{}` to {}/",
+            on_disk.n_tables,
+            on_disk.n_cells,
+            100.0 * on_disk.errors.rate(),
+            on_disk.bytes_written,
+            tier.name(),
+            dir.display()
+        );
+        return Ok(());
+    }
 
     let lake = match kind {
         "quintet" => QuintetLake::default().generate(seed),
@@ -331,6 +369,7 @@ fn cmd_detect(args: &[String]) -> CliResult {
             "stage-timeout-ms",
             "budget-cells",
             "threads",
+            "mem-budget-bytes",
             "variant",
             "report",
             "repair",
@@ -398,7 +437,9 @@ fn cmd_detect(args: &[String]) -> CliResult {
 
     // threads = 0 means "available parallelism" (the executor's default).
     let threads: usize = parse_flag(&flags, "threads")?.unwrap_or(0);
-    let mut config = MateldaConfig { threads, on_error, stage_timeout, ..Default::default() };
+    let mem_budget_bytes: Option<u64> = parse_flag(&flags, "mem-budget-bytes")?;
+    let mut config =
+        MateldaConfig { threads, on_error, stage_timeout, mem_budget_bytes, ..Default::default() };
     match flags.get("variant").copied().unwrap_or("standard") {
         "standard" => {}
         "edf" => config.domain_folding = DomainFolding::ExtremeDomainFolding,
